@@ -1,0 +1,74 @@
+//! Integration checks of the baselines' cost *shapes* — the architectural
+//! properties the paper's comparison rests on.
+
+use pm_baselines::{PmemcheckLike, XfdetectorLike};
+use pm_trace::{replay, replay_finish, OrderSpec};
+use pm_workloads::{record_trace, BTree, Memcached, Workload};
+
+#[test]
+fn xfdetector_work_grows_superlinearly_with_program_length() {
+    // records_examined ~ failure_points x shadow size: doubling the program
+    // must much more than double the examined records.
+    let work = |ops: usize| {
+        let trace = record_trace(&BTree::default(), ops);
+        let mut det = XfdetectorLike::new(OrderSpec::new());
+        replay(&trace, &mut det);
+        det.stats().records_examined as f64
+    };
+    let small = work(200);
+    let large = work(800); // 4x the ops
+    assert!(
+        large > small * 8.0,
+        "expected superlinear growth: {small} -> {large}"
+    );
+}
+
+#[test]
+fn xfdetector_failure_points_track_fences() {
+    let trace = record_trace(&BTree::default(), 100);
+    let fences = trace.stats().fences;
+    let mut det = XfdetectorLike::new(OrderSpec::new());
+    replay(&trace, &mut det);
+    assert_eq!(det.stats().failure_points, fences);
+}
+
+#[test]
+fn pmemcheck_reorganizes_constantly() {
+    // The §7.5 "key insight": the tree-only architecture pays tree
+    // reorganizations (rotations + merges) continuously — orders of
+    // magnitude more often than it fences.
+    let trace = record_trace(&BTree::default(), 300);
+    let fences = trace.stats().fences;
+    let mut det = PmemcheckLike::new();
+    replay(&trace, &mut det);
+    let reorgs = det.tree_stats().rotations + det.tree_stats().merges;
+    assert!(
+        reorgs > fences * 10,
+        "reorganizations {reorgs} vs fences {fences}"
+    );
+}
+
+#[test]
+fn pmemcheck_tree_insert_count_equals_store_count() {
+    // No staging: every store becomes a tree insertion.
+    let trace = record_trace(&Memcached::default().with_set_percent(100), 100);
+    let stores = trace.stats().stores;
+    let mut det = PmemcheckLike::new();
+    replay(&trace, &mut det);
+    assert!(det.tree_stats().inserts >= stores, "every store hits the tree");
+}
+
+#[test]
+fn capped_xfdetector_never_reports_more_than_uncapped() {
+    for cap in [0u64, 1, 5, 50] {
+        let trace = pm_workloads::faults::memcached_cas_bug_trace(100);
+        let mut capped = XfdetectorLike::new(OrderSpec::new()).with_max_failure_points(cap);
+        let capped_reports = replay_finish(&trace, &mut capped).len();
+        let mut full = XfdetectorLike::new(OrderSpec::new());
+        let full_reports = replay_finish(&trace, &mut full).len();
+        assert!(
+            capped_reports <= full_reports,
+            "cap {cap}: {capped_reports} > {full_reports}"
+        );
+    }
+}

@@ -1,0 +1,107 @@
+//! Ablation of PMDebugger's design choices (DESIGN.md experiment index).
+//!
+//! Not a paper figure — this bench isolates the contribution of each
+//! design decision the paper motivates with the §3 characterization:
+//!
+//! 1. **Hybrid vs tree-only bookkeeping** — array capacity 1 effectively
+//!    forces every store into the AVL tree (the Pmemcheck architecture);
+//!    the default stages stores in the array (pattern 1/3).
+//! 2. **Merge threshold** — eager merging (threshold 0) vs the paper's 500
+//!    vs never merging.
+//! 3. **Array capacity sweep** — how large the staging array must be
+//!    before spills stop mattering.
+
+use pm_bench::{banner, persistency_of, TextTable};
+use pm_trace::{replay_finish, Trace};
+use pm_workloads::{record_trace, Workload};
+use pmdebugger::{DebuggerConfig, PmDebugger};
+use std::time::Instant;
+
+fn time_config(trace: &Trace, config: &DebuggerConfig, repeats: usize) -> (f64, u64, u64) {
+    let mut best = f64::MAX;
+    let (mut merges, mut rotations) = (0, 0);
+    for _ in 0..repeats {
+        let mut det = PmDebugger::new(config.clone());
+        let start = Instant::now();
+        let _ = replay_finish(trace, &mut det);
+        best = best.min(start.elapsed().as_secs_f64());
+        merges = det.stats().merges;
+        rotations = det.stats().rotations;
+    }
+    (best, merges, rotations)
+}
+
+fn main() {
+    banner(
+        "Ablation — hybrid bookkeeping, merge threshold, array capacity",
+        "design choices of Sections 4.1 and 4.4",
+    );
+
+    let full = std::env::var_os("PM_BENCH_FULL").is_some();
+    let ops = if full { 20_000 } else { 6_000 };
+    let repeats = 3;
+
+    let workloads: Vec<Box<dyn Workload>> = vec![
+        Box::new(pm_workloads::BTree::default()),
+        Box::new(pm_workloads::HashmapTx::default()),
+        Box::new(pm_workloads::HashmapAtomic::default()),
+        Box::new(pm_workloads::Memcached::default().with_set_percent(20)),
+    ];
+
+    println!("\n(1) hybrid array+tree vs tree-only (array capacity 1)");
+    let mut table = TextTable::new(vec![
+        "benchmark", "hybrid ms", "tree-only ms", "hybrid/tree-only",
+    ]);
+    for workload in &workloads {
+        let trace = record_trace(workload.as_ref(), ops);
+        let model = persistency_of(workload.as_ref());
+        let hybrid = DebuggerConfig::for_model(model);
+        let tree_only = DebuggerConfig::for_model(model).with_array_capacity(1);
+        let (t_hybrid, ..) = time_config(&trace, &hybrid, repeats);
+        let (t_tree, ..) = time_config(&trace, &tree_only, repeats);
+        table.row(vec![
+            workload.name().to_owned(),
+            format!("{:.1}", t_hybrid * 1e3),
+            format!("{:.1}", t_tree * 1e3),
+            format!("{:.2}", t_hybrid / t_tree.max(1e-9)),
+        ]);
+    }
+    print!("{}", table.render());
+    println!("expected: hybrid <= tree-only everywhere (pattern 1: most records die young)");
+
+    println!("\n(2) merge threshold sweep (hashmap_tx, the tree-heavy benchmark)");
+    let trace = record_trace(&pm_workloads::HashmapTx::default(), ops);
+    let model = pmdebugger::PersistencyModel::Epoch;
+    let mut table = TextTable::new(vec!["threshold", "time ms", "merge passes", "rotations"]);
+    for &threshold in &[0usize, 50, 500, usize::MAX / 2] {
+        let config = DebuggerConfig::for_model(model).with_merge_threshold(threshold);
+        let (t, merges, rotations) = time_config(&trace, &config, repeats);
+        let label = if threshold > 1 << 20 {
+            "never".to_owned()
+        } else {
+            threshold.to_string()
+        };
+        table.row(vec![
+            label,
+            format!("{:.1}", t * 1e3),
+            merges.to_string(),
+            rotations.to_string(),
+        ]);
+    }
+    print!("{}", table.render());
+    println!("expected: a low threshold pays a whole-tree merge scan at every fence");
+    println!("(hashmap_tx's deferred-stats tree never coalesces, so the scans are pure");
+    println!("waste); the paper's 500 keeps that cost away until a merge could pay off");
+
+    println!("\n(3) array capacity sweep (b_tree)");
+    let trace = record_trace(&pm_workloads::BTree::default(), ops);
+    let model = pmdebugger::PersistencyModel::Epoch;
+    let mut table = TextTable::new(vec!["capacity", "time ms"]);
+    for &capacity in &[4usize, 16, 64, 1024, 100_000] {
+        let config = DebuggerConfig::for_model(model).with_array_capacity(capacity);
+        let (t, ..) = time_config(&trace, &config, repeats);
+        table.row(vec![capacity.to_string(), format!("{:.1}", t * 1e3)]);
+    }
+    print!("{}", table.render());
+    println!("expected: once the array holds a whole fence interval, bigger buys nothing");
+}

@@ -1,0 +1,192 @@
+//! Criterion micro-benchmarks of the bookkeeping primitives.
+//!
+//! Measures the operations the paper's design argument is about: O(1)
+//! array staging vs tree insertion per store (pattern 3), collective vs
+//! per-element CLF processing (pattern 2), and fence-time cleanup
+//! (pattern 1).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pmdebugger::avl::{AvlTree, TreeRecord};
+use pmdebugger::{BookkeepingSpace, FlushState};
+
+fn store_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_path");
+
+    // Pattern-1 shape: 250 fence intervals of 4 stores each, all persisted
+    // by the nearest fence. The hybrid space stages stores in the array and
+    // invalidates wholesale; capacity 1 forces the tree path for everything
+    // (the traditional architecture).
+    let drive = |space: &mut BookkeepingSpace| {
+        for round in 0..250u64 {
+            let base = round * 256;
+            for i in 0..4u64 {
+                space.on_store(base + i * 8, 8, false, round * 4 + i, false);
+            }
+            space.on_flush(base, 64);
+            space.on_fence();
+        }
+    };
+
+    group.bench_function("hybrid_250_fence_intervals", |b| {
+        b.iter_batched(
+            || BookkeepingSpace::new(100_000, 500),
+            |mut space| {
+                drive(&mut space);
+                space
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("tree_only_250_fence_intervals", |b| {
+        b.iter_batched(
+            || BookkeepingSpace::new(1, 500),
+            |mut space| {
+                drive(&mut space);
+                space
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    // Raw structure comparison: appending a record vs inserting a tree node.
+    group.bench_function("raw_tree_insert_1k", |b| {
+        b.iter_batched(
+            AvlTree::new,
+            |mut tree| {
+                for i in 0..1_000u64 {
+                    tree.insert(TreeRecord {
+                        addr: i * 64,
+                        size: 8,
+                        state: FlushState::NotFlushed,
+                        in_epoch: false,
+                        store_seq: i,
+                    });
+                }
+                tree
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.finish();
+}
+
+fn flush_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flush_path");
+
+    // Collective: 16 stores in one line, one covering CLF.
+    group.bench_function("collective_interval_flush", |b| {
+        b.iter_batched(
+            || {
+                let mut space = BookkeepingSpace::new(100_000, 500);
+                for i in 0..16u64 {
+                    space.on_store(i * 4, 4, false, i, false);
+                }
+                space
+            },
+            |mut space| {
+                space.on_flush(0, 64);
+                space
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    // Dispersed: 16 stores across 16 lines, one partial CLF each.
+    group.bench_function("dispersed_interval_flushes", |b| {
+        b.iter_batched(
+            || {
+                let mut space = BookkeepingSpace::new(100_000, 500);
+                for i in 0..16u64 {
+                    space.on_store(i * 64, 4, false, i, false);
+                }
+                space
+            },
+            |mut space| {
+                for i in 0..16u64 {
+                    space.on_flush(i * 64, 64);
+                }
+                space
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.finish();
+}
+
+fn fence_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fence_path");
+
+    // Everything flushed: O(intervals) metadata invalidation.
+    group.bench_function("fence_all_flushed_1k", |b| {
+        b.iter_batched(
+            || {
+                let mut space = BookkeepingSpace::new(100_000, 500);
+                for i in 0..1_000u64 {
+                    space.on_store(i * 8, 8, false, i, false);
+                }
+                space.on_flush(0, 8 * 1_000);
+                space
+            },
+            |mut space| {
+                space.on_fence();
+                space
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    // Nothing flushed: 1k elements migrate to the tree.
+    group.bench_function("fence_migrate_1k_to_tree", |b| {
+        b.iter_batched(
+            || {
+                let mut space = BookkeepingSpace::new(100_000, 500);
+                for i in 0..1_000u64 {
+                    space.on_store(i * 64, 8, false, i, false);
+                }
+                space
+            },
+            |mut space| {
+                space.on_fence();
+                space
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.finish();
+}
+
+fn merge_policy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merge_policy");
+
+    for (label, threshold) in [("eager_merge", 0usize), ("threshold_500", 500)] {
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                || BookkeepingSpace::new(100_000, threshold),
+                |mut space| {
+                    // 64 fence intervals each leaving 8 unflushed survivors.
+                    for round in 0..64u64 {
+                        for i in 0..8u64 {
+                            space.on_store((round * 8 + i) * 64, 8, false, i, false);
+                        }
+                        space.on_fence();
+                    }
+                    space
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = store_path, flush_path, fence_path, merge_policy
+);
+criterion_main!(benches);

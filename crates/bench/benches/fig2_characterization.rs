@@ -1,0 +1,92 @@
+//! Figure 2 — characterization of PM programs.
+//!
+//! Prints, per benchmark: (a) the store→fence distance distribution,
+//! (b) the collective vs dispersed writeback split, (c) the instruction
+//! mix. Paper reference points: ≥77.7% of stores at distance 1, 84.5% at
+//! distance ≤3 overall; >71% of CLF intervals collective; stores ≥40.2%
+//! everywhere and ~70% in most benchmarks.
+
+use pm_bench::{banner, TextTable};
+use pm_trace::characterize::characterize;
+use pm_workloads::{record_trace, Memcached, Workload, Ycsb, YcsbLoad};
+
+fn main() {
+    banner("Figure 2 — PM program characterization", "Figure 2a/2b/2c, Section 3");
+
+    let ops = if std::env::var_os("PM_BENCH_FULL").is_some() {
+        20_000
+    } else {
+        4_000
+    };
+
+    // Figure 2's benchmark set: the PMDK data structures plus YCSB A–F
+    // against memcached.
+    let mut workloads: Vec<Box<dyn Workload>> = vec![
+        Box::new(pm_workloads::BTree::default()),
+        Box::new(pm_workloads::CTree::default()),
+        Box::new(pm_workloads::RbTree::default()),
+        Box::new(pm_workloads::HashmapTx::default()),
+        Box::new(pm_workloads::HashmapAtomic::default()),
+    ];
+    for load in YcsbLoad::ALL {
+        workloads.push(Box::new(Ycsb::new(load, 42)));
+    }
+    // The memcached substrate itself, for context.
+    workloads.push(Box::new(Memcached::default().with_set_percent(5)));
+
+    let mut dist = TextTable::new(vec![
+        "benchmark", "d=1 %", "d=2 %", "d=3 %", "d=4 %", "d=5 %", ">5 %", "cum<=3 %",
+    ]);
+    let mut wb = TextTable::new(vec!["benchmark", "collective %", "dispersed %"]);
+    let mut mix = TextTable::new(vec!["benchmark", "store %", "writeback %", "fence %"]);
+
+    for workload in &workloads {
+        let trace = record_trace(workload.as_ref(), ops);
+        let report = characterize(&trace);
+        let d = &report.distances;
+        dist.row(vec![
+            workload.name().to_owned(),
+            format!("{:.1}", d.fraction(1) * 100.0),
+            format!("{:.1}", d.fraction(2) * 100.0),
+            format!("{:.1}", d.fraction(3) * 100.0),
+            format!("{:.1}", d.fraction(4) * 100.0),
+            format!("{:.1}", d.fraction(5) * 100.0),
+            format!(
+                "{:.1}",
+                (d.over_five + d.unbounded) as f64 / d.total().max(1) as f64 * 100.0
+            ),
+            format!("{:.1}", d.cumulative_fraction(3) * 100.0),
+        ]);
+        let total_intervals = (report.collective_intervals + report.dispersed_intervals).max(1);
+        wb.row(vec![
+            workload.name().to_owned(),
+            format!(
+                "{:.1}",
+                report.collective_intervals as f64 / total_intervals as f64 * 100.0
+            ),
+            format!(
+                "{:.1}",
+                report.dispersed_intervals as f64 / total_intervals as f64 * 100.0
+            ),
+        ]);
+        let fundamental = (report.stores + report.flushes + report.fences).max(1) as f64;
+        mix.row(vec![
+            workload.name().to_owned(),
+            format!("{:.1}", report.stores as f64 / fundamental * 100.0),
+            format!("{:.1}", report.flushes as f64 / fundamental * 100.0),
+            format!("{:.1}", report.fences as f64 / fundamental * 100.0),
+        ]);
+    }
+
+    println!("\n(a) store->fence distance distribution ({ops} ops/benchmark)");
+    print!("{}", dist.render());
+    println!("paper: >=77.7% at distance 1; 84.5% at distance <=3\n");
+
+    println!("(b) collective vs dispersed writeback per CLF interval");
+    print!("{}", wb.render());
+    println!("paper: >71% of CLF intervals are collective\n");
+
+    println!("(c) instruction mix (store / writeback / fence)");
+    print!("{}", mix.render());
+    println!("paper: store >=40.2% everywhere, ~70% in most benchmarks");
+}

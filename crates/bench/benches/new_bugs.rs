@@ -1,0 +1,96 @@
+//! §7.4 / Figure 9 — the new bugs PMDebugger found.
+//!
+//! Reproduces the three showcased discoveries and shows which tools catch
+//! them:
+//!
+//! * Bug 1 (Figure 9a): memcached `ITEM_set_cas` — CAS id modified in
+//!   `do_item_link` but never persisted → no-durability-guarantee.
+//! * Bug 2 (Figure 9b): PMDK `hashmap_atomic`/`data_store` — `map_create`'s
+//!   `pmemobj_persist` fences inside the TX_BEGIN/TX_END epoch →
+//!   redundant-epoch-fence (confirmed by Intel).
+//! * Bug 3 (Figure 9c): PMDK `array` — only the allocated array is
+//!   persisted inside the epoch, not the info struct →
+//!   lack-durability-in-epoch (confirmed by Intel).
+//!
+//! PMTest misses all three (no annotations cover them); XFDetector misses
+//! them because its failure-point budget runs out before the buggy code
+//! (the paper: "it has to restrict the number of instrumented failure
+//! points").
+
+use pm_baselines::{PmemcheckLike, PmtestLike, XfdetectorLike};
+use pm_bench::{banner, TextTable};
+use pm_trace::{replay_finish, BugKind, Detector, OrderSpec, Trace};
+use pm_workloads::faults::{
+    hashmap_atomic_redundant_fence_trace, memcached_cas_bug_trace,
+    pmdk_array_lack_durability_trace,
+};
+use pmdebugger::{DebuggerConfig, PersistencyModel, PmDebugger};
+
+fn detect(trace: &Trace, kind: BugKind, mut detector: Box<dyn Detector>) -> bool {
+    replay_finish(trace, detector.as_mut())
+        .iter()
+        .any(|r| r.kind == kind)
+}
+
+fn main() {
+    banner("Section 7.4 — new bugs found by PMDebugger", "Figure 9, Section 7.4");
+
+    let cases: Vec<(&str, BugKind, PersistencyModel, Trace)> = vec![
+        (
+            "memcached ITEM_set_cas (9a)",
+            BugKind::NoDurabilityGuarantee,
+            PersistencyModel::Strict,
+            memcached_cas_bug_trace(200),
+        ),
+        (
+            "hashmap_atomic create (9b)",
+            BugKind::RedundantEpochFence,
+            PersistencyModel::Epoch,
+            hashmap_atomic_redundant_fence_trace(200),
+        ),
+        (
+            "PMDK array do_alloc (9c)",
+            BugKind::LackDurabilityInEpoch,
+            PersistencyModel::Epoch,
+            pmdk_array_lack_durability_trace().expect("trace-only"),
+        ),
+    ];
+
+    let mut table = TextTable::new(vec![
+        "bug", "pmdebugger", "pmemcheck", "pmtest", "xfdetector*",
+    ]);
+    for (name, kind, model, trace) in &cases {
+        let pmd = detect(
+            trace,
+            *kind,
+            Box::new(PmDebugger::new(DebuggerConfig::for_model(*model))),
+        );
+        let pmc = detect(trace, *kind, Box::new(PmemcheckLike::new()));
+        let pmt = detect(trace, *kind, Box::new(PmtestLike::new()));
+        // XFDetector with the restricted failure-point budget the paper
+        // describes ("it has to restrict the number of instrumented failure
+        // points"): its budget covers only the initialization phase, so the
+        // steady-state defect is outside the instrumented window.
+        let xf = detect(
+            trace,
+            *kind,
+            Box::new(XfdetectorLike::new(OrderSpec::new()).with_max_failure_points(1)),
+        );
+        let mark = |b: bool| if b { "FOUND" } else { "missed" };
+        table.row(vec![
+            (*name).to_owned(),
+            mark(pmd).to_owned(),
+            mark(pmc).to_owned(),
+            mark(pmt).to_owned(),
+            mark(xf).to_owned(),
+        ]);
+        assert!(pmd, "PMDebugger must find {name}");
+        assert!(!pmt, "PMTest must miss {name} (no annotations)");
+    }
+    print!("{}", table.render());
+    println!("* xfdetector with its failure-point budget exhausted during initialization");
+    println!("note: the pmemcheck architecture can catch 9a in principle, but at its");
+    println!("      218x slowdown debugging full memcached runs is impractical (Section 1);");
+    println!("      the epoch-model bugs 9b/9c are invisible to every baseline");
+    println!("paper: all three found only by PMDebugger; 9b and 9c confirmed by Intel");
+}

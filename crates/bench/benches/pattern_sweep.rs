@@ -1,0 +1,91 @@
+//! Pattern sweep — where does PMDebugger's advantage come from?
+//!
+//! Not a paper figure: an extension experiment sweeping the WHISPER-style
+//! synthetic generator's knobs to probe the §3 design assumptions.
+//!
+//! * Sweep 1 varies the fraction of stores whose durability is deferred
+//!   past the nearest fence (pattern 1). Long-lived records grow both
+//!   tools' trees; the measurement shows who pays more for them.
+//! * Sweep 2 varies the dispersed-writeback fraction (pattern 2). More
+//!   dispersed intervals mean fewer O(1) collective state flips.
+
+use pm_baselines::PmemcheckLike;
+use pm_bench::{banner, TextTable};
+use pm_trace::{replay_finish, Detector, Trace};
+use pm_workloads::{record_trace, SynthMix};
+use pmdebugger::{DebuggerConfig, PersistencyModel, PmDebugger};
+use std::time::Instant;
+
+fn time_detector(trace: &Trace, factory: &dyn Fn() -> Box<dyn Detector>, repeats: usize) -> f64 {
+    let mut best = f64::MAX;
+    for _ in 0..repeats {
+        let mut det = factory();
+        let start = Instant::now();
+        let _ = replay_finish(trace, det.as_mut());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    banner(
+        "Pattern sweep — sensitivity to the Section 3 patterns",
+        "extension of Section 3 / Section 4 design arguments",
+    );
+
+    let full = std::env::var_os("PM_BENCH_FULL").is_some();
+    let ops = if full { 20_000 } else { 5_000 };
+    let repeats = 3;
+
+    println!("\n(1) deferred-durability sweep (pattern 1: fraction of stores");
+    println!("    NOT persisted by the nearest fence)");
+    let mut table = TextTable::new(vec![
+        "deferred", "pmdebugger ms", "pmemcheck ms", "advantage",
+    ]);
+    for &deferred in &[0.0, 0.1, 0.3, 0.5, 0.8] {
+        let mix = SynthMix::default().with_deferred(deferred);
+        let trace = record_trace(&mix, ops);
+        let t_pmd = time_detector(
+            &trace,
+            &|| Box::new(PmDebugger::new(DebuggerConfig::for_model(PersistencyModel::Strict))),
+            repeats,
+        );
+        let t_pmc = time_detector(&trace, &|| Box::new(PmemcheckLike::new()), repeats);
+        table.row(vec![
+            format!("{:.0}%", deferred * 100.0),
+            format!("{:.1}", t_pmd * 1e3),
+            format!("{:.1}", t_pmc * 1e3),
+            format!("{:.2}x", t_pmc / t_pmd.max(1e-9)),
+        ]);
+    }
+    print!("{}", table.render());
+    println!("observed: the advantage holds (and even grows) with deferral — long-lived");
+    println!("records inflate the baseline's single tree, which every operation then");
+    println!("pays for, while PMDebugger isolates them and keeps staging new stores");
+    println!("in the O(1) array");
+
+    println!("\n(2) dispersed-writeback sweep (pattern 2: fraction of CLF intervals");
+    println!("    needing multiple writebacks)");
+    let mut table = TextTable::new(vec![
+        "dispersed", "pmdebugger ms", "pmemcheck ms", "advantage",
+    ]);
+    for &dispersed in &[0.0, 0.25, 0.5, 1.0] {
+        let mix = SynthMix::default().with_deferred(0.0).with_dispersed(dispersed);
+        let trace = record_trace(&mix, ops);
+        let t_pmd = time_detector(
+            &trace,
+            &|| Box::new(PmDebugger::new(DebuggerConfig::for_model(PersistencyModel::Strict))),
+            repeats,
+        );
+        let t_pmc = time_detector(&trace, &|| Box::new(PmemcheckLike::new()), repeats);
+        table.row(vec![
+            format!("{:.0}%", dispersed * 100.0),
+            format!("{:.1}", t_pmd * 1e3),
+            format!("{:.1}", t_pmc * 1e3),
+            format!("{:.2}x", t_pmc / t_pmd.max(1e-9)),
+        ]);
+    }
+    print!("{}", table.render());
+    println!("expected: collective intervals (0%) give the cheapest CLF processing;");
+    println!("the advantage persists but narrows as per-element updates take over");
+}

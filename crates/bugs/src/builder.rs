@@ -1,0 +1,164 @@
+//! A small trace builder for bug-case construction.
+//!
+//! Wraps a trace-only [`PmRuntime`] with terse helpers so case generators
+//! read like the paper's code snippets (Figures 7 and 9).
+
+use pm_trace::{Annotation, PmRuntime, StrandId, Trace};
+use pmem_sim::FlushKind;
+
+/// Fluent builder over a recording, trace-only runtime.
+#[derive(Debug)]
+pub struct CaseBuilder {
+    rt: PmRuntime,
+}
+
+impl CaseBuilder {
+    /// Creates a recording builder.
+    pub fn new() -> Self {
+        let mut rt = PmRuntime::trace_only();
+        rt.record();
+        CaseBuilder { rt }
+    }
+
+    /// Raw runtime access for anything without a helper.
+    pub fn rt(&mut self) -> &mut PmRuntime {
+        &mut self.rt
+    }
+
+    /// A store of `size` bytes at `addr`.
+    pub fn store(&mut self, addr: u64, size: u32) -> &mut Self {
+        self.rt.store_untyped(addr, size);
+        self
+    }
+
+    /// CLWB of the line containing `addr`.
+    pub fn clwb(&mut self, addr: u64) -> &mut Self {
+        self.rt.clwb(addr).expect("trace-only clwb");
+        self
+    }
+
+    /// Range flush.
+    pub fn flush_range(&mut self, addr: u64, size: u32) -> &mut Self {
+        self.rt
+            .flush_range(FlushKind::Clwb, addr, size)
+            .expect("trace-only flush");
+        self
+    }
+
+    /// SFENCE.
+    pub fn sfence(&mut self) -> &mut Self {
+        self.rt.sfence();
+        self
+    }
+
+    /// Persist shorthand: CLWB + SFENCE of one location.
+    pub fn persist(&mut self, addr: u64, size: u32) -> &mut Self {
+        self.flush_range(addr, size).sfence()
+    }
+
+    /// Epoch section begin (`TX_BEGIN`).
+    pub fn epoch_begin(&mut self) -> &mut Self {
+        self.rt.epoch_begin();
+        self
+    }
+
+    /// Epoch section end (`TX_END`).
+    pub fn epoch_end(&mut self) -> &mut Self {
+        self.rt.epoch_end().expect("balanced epochs in cases");
+        self
+    }
+
+    /// Strand section begin.
+    pub fn strand_begin(&mut self) -> StrandId {
+        self.rt.strand_begin()
+    }
+
+    /// Strand section end.
+    pub fn strand_end(&mut self) -> &mut Self {
+        self.rt.strand_end().expect("balanced strands in cases");
+        self
+    }
+
+    /// Persist barrier (strand model).
+    pub fn persist_barrier(&mut self) -> &mut Self {
+        self.rt.persist_barrier();
+        self
+    }
+
+    /// Undo-log append marker.
+    pub fn tx_log(&mut self, addr: u64, size: u32) -> &mut Self {
+        self.rt.tx_log(addr, size);
+        self
+    }
+
+    /// Binds an order-spec variable name to a range.
+    pub fn name_range(&mut self, name: &str, addr: u64, size: u32) -> &mut Self {
+        self.rt.name_range(name, addr, size);
+        self
+    }
+
+    /// PMTest-style annotation.
+    pub fn annotate(&mut self, annotation: Annotation) -> &mut Self {
+        self.rt.annotate(annotation);
+        self
+    }
+
+    /// Simulated failure point.
+    pub fn crash(&mut self) -> &mut Self {
+        self.rt.crash();
+        self
+    }
+
+    /// Post-failure recovery read.
+    pub fn recovery_read(&mut self, addr: u64, size: u32) -> &mut Self {
+        self.rt.recovery_read(addr, size);
+        self
+    }
+
+    /// `n` rounds of clean store→flush→fence traffic starting at `base`
+    /// (gives cases a realistic body around the injected defect).
+    pub fn clean_activity(&mut self, base: u64, n: usize) -> &mut Self {
+        for i in 0..n {
+            let addr = base + i as u64 * 128;
+            self.store(addr, 8);
+            self.store(addr + 8, 8);
+            self.clwb(addr);
+            self.sfence();
+        }
+        self
+    }
+
+    /// Finishes and returns the trace.
+    pub fn build(mut self) -> Trace {
+        self.rt.take_trace().expect("recording enabled")
+    }
+}
+
+impl Default for CaseBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_trace() {
+        let mut b = CaseBuilder::new();
+        b.store(0, 8).clwb(0).sfence();
+        let trace = b.build();
+        assert_eq!(trace.len(), 3);
+    }
+
+    #[test]
+    fn clean_activity_is_clean_under_pmdebugger() {
+        use pm_trace::replay_finish;
+        let mut b = CaseBuilder::new();
+        b.clean_activity(0, 10);
+        let trace = b.build();
+        let mut det = pmdebugger::PmDebugger::strict();
+        assert!(replay_finish(&trace, &mut det).is_empty());
+    }
+}

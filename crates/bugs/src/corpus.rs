@@ -1,0 +1,484 @@
+//! The 78-case bug corpus (Table 6 "Bug cases" row: 44 / 2 / 4 / 6 / 3 /
+//! 5 / 4 / 4 / 2 / 4).
+//!
+//! The paper's 68 base cases come from the PMTest/XFDetector/pmemcheck bug
+//! suites and PMDK's commit history, plus ten synthetic cases for the
+//! relaxed-model bug types. This module regenerates equivalent cases as
+//! parameterized trace families: each case is a realistic store/CLF/fence
+//! stream with one planted defect and the annotations (PMTest-style
+//! assertions, order specs) the original suites carry.
+
+use pm_trace::{Annotation, BugKind, OrderSpec, Trace};
+use pmdebugger::PersistencyModel;
+
+use crate::builder::CaseBuilder;
+
+/// One corpus entry.
+#[derive(Debug)]
+pub struct BugCase {
+    /// Stable identifier, e.g. `no_durability_guarantee/07`.
+    pub id: String,
+    /// The planted bug's type (Table 6 column).
+    pub kind: BugKind,
+    /// Persistency model the case targets.
+    pub model: PersistencyModel,
+    /// The recorded event stream.
+    pub trace: Trace,
+    /// Order specification the case ships (for PMDebugger / XFDetector).
+    pub order_spec: Option<OrderSpec>,
+    /// What the defect is.
+    pub description: String,
+}
+
+/// Per-type case counts, in Table 6 column order.
+pub const CASE_COUNTS: [(BugKind, usize); 10] = [
+    (BugKind::NoDurabilityGuarantee, 44),
+    (BugKind::MultipleOverwrites, 2),
+    (BugKind::NoOrderGuarantee, 4),
+    (BugKind::RedundantFlushes, 6),
+    (BugKind::FlushNothing, 3),
+    (BugKind::RedundantLogging, 5),
+    (BugKind::LackDurabilityInEpoch, 4),
+    (BugKind::RedundantEpochFence, 4),
+    (BugKind::LackOrderingInStrands, 2),
+    (BugKind::CrossFailureSemantic, 4),
+];
+
+/// Total corpus size (78).
+pub const TOTAL_CASES: usize = 78;
+
+const HEAP: u64 = 1 << 20; // case heap base, clear of noise addresses
+const NOISE: u64 = 1 << 24; // clean-activity region
+
+fn case(
+    kind: BugKind,
+    index: usize,
+    model: PersistencyModel,
+    trace: Trace,
+    order_spec: Option<OrderSpec>,
+    description: &str,
+) -> BugCase {
+    BugCase {
+        id: format!("{}/{:02}", kind.name().replace('-', "_"), index),
+        kind,
+        model,
+        trace,
+        order_spec,
+        description: description.to_owned(),
+    }
+}
+
+/// The 44 no-durability-guarantee cases: parameterized mixes of missing
+/// CLF and missing fence, across object sizes, offsets and surrounding
+/// traffic, each carrying the trailing `isPersist` assertion the PMTest
+/// suite uses.
+fn no_durability_cases() -> Vec<BugCase> {
+    let mut cases = Vec::new();
+    for i in 0..44usize {
+        let missing_fence = i % 2 == 1;
+        let size = [8u32, 16, 64, 128, 256][i % 5];
+        let addr = HEAP + (i as u64) * 4096 + (i as u64 % 3) * 8;
+        let noise = (i % 4) * 5;
+
+        let mut b = CaseBuilder::new();
+        b.clean_activity(NOISE, noise);
+        b.store(addr, size);
+        if missing_fence {
+            b.flush_range(addr, size); // flushed, never fenced after
+        } else if i % 3 == 0 {
+            // Bury the defect under later clean traffic so the location
+            // migrates into the detectors' long-term structures. (Only for
+            // missing-CLF cases: clean traffic fences would complete a
+            // flushed-but-unfenced store.)
+            b.clean_activity(NOISE + (1 << 20), 3);
+        }
+        b.annotate(Annotation::AssertPersisted { addr, size });
+        let trace = b.build();
+        cases.push(case(
+            BugKind::NoDurabilityGuarantee,
+            i,
+            PersistencyModel::Strict,
+            trace,
+            None,
+            if missing_fence {
+                "store flushed but no fence before program end"
+            } else {
+                "store never flushed"
+            },
+        ));
+    }
+    cases
+}
+
+/// The 2 multiple-overwrites cases (strict persistency).
+fn multiple_overwrite_cases() -> Vec<BugCase> {
+    let mut cases = Vec::new();
+    for i in 0..2usize {
+        let addr = HEAP + i as u64 * 4096;
+        let mut b = CaseBuilder::new();
+        b.clean_activity(NOISE, 2);
+        b.annotate(Annotation::CheckerStart);
+        b.store(addr, 8);
+        if i == 1 {
+            // Second variant overwrites after a flush but before the fence.
+            b.flush_range(addr, 8);
+        }
+        b.store(addr, 8); // overwrite before durability
+        b.annotate(Annotation::CheckerEnd);
+        b.persist(addr, 8);
+        let trace = b.build();
+        cases.push(case(
+            BugKind::MultipleOverwrites,
+            i,
+            PersistencyModel::Strict,
+            trace,
+            None,
+            "location written twice before its durability is guaranteed",
+        ));
+    }
+    cases
+}
+
+/// The 4 no-order-guarantee cases: key/value-style publication where the
+/// dependent object persists first.
+fn no_order_cases() -> Vec<BugCase> {
+    let mut cases = Vec::new();
+    for i in 0..4usize {
+        let value = HEAP + i as u64 * 8192;
+        let key = value + 4096;
+        let mut spec = OrderSpec::new();
+        spec.add_rule("value", "key", None);
+
+        let mut b = CaseBuilder::new();
+        b.name_range("value", value, 64);
+        b.name_range("key", key, 8);
+        b.clean_activity(NOISE, i);
+        b.store(value, 64);
+        b.store(key, 8);
+        match i {
+            // key persisted first, value later.
+            0 | 2 => {
+                b.persist(key, 8);
+                b.persist(value, 64);
+            }
+            // key persisted, value never persisted.
+            _ => {
+                b.persist(key, 8);
+            }
+        }
+        b.annotate(Annotation::AssertOrdered {
+            first: value,
+            first_size: 64,
+            second: key,
+            second_size: 8,
+        });
+        let trace = b.build();
+        cases.push(case(
+            BugKind::NoOrderGuarantee,
+            i,
+            PersistencyModel::Strict,
+            trace,
+            Some(spec),
+            "key becomes durable before the value it references",
+        ));
+    }
+    cases
+}
+
+/// The 6 redundant-flush cases.
+fn redundant_flush_cases() -> Vec<BugCase> {
+    let mut cases = Vec::new();
+    for i in 0..6usize {
+        let addr = HEAP + i as u64 * 4096;
+        let repeats = 1 + i % 3; // 1..3 extra flushes
+        let mut b = CaseBuilder::new();
+        b.clean_activity(NOISE, i);
+        b.annotate(Annotation::CheckerStart);
+        b.store(addr, 8);
+        b.clwb(addr);
+        for _ in 0..repeats {
+            b.clwb(addr); // redundant: line already pending
+        }
+        b.annotate(Annotation::CheckerEnd);
+        b.sfence();
+        let trace = b.build();
+        cases.push(case(
+            BugKind::RedundantFlushes,
+            i,
+            PersistencyModel::Strict,
+            trace,
+            None,
+            "cache line flushed repeatedly before the nearest fence",
+        ));
+    }
+    cases
+}
+
+/// The 3 flush-nothing cases.
+fn flush_nothing_cases() -> Vec<BugCase> {
+    let mut cases = Vec::new();
+    for i in 0..3usize {
+        let addr = HEAP + i as u64 * 4096;
+        let stray = addr + 2048; // never stored to
+        let mut b = CaseBuilder::new();
+        b.clean_activity(NOISE, 2 + i);
+        b.store(addr, 8);
+        b.clwb(addr);
+        b.clwb(stray); // persists nothing
+        b.sfence();
+        let trace = b.build();
+        cases.push(case(
+            BugKind::FlushNothing,
+            i,
+            PersistencyModel::Strict,
+            trace,
+            None,
+            "flush of a line no prior store touched",
+        ));
+    }
+    cases
+}
+
+/// The 5 redundant-logging cases (PMDK-style transactions).
+fn redundant_logging_cases() -> Vec<BugCase> {
+    let mut cases = Vec::new();
+    for i in 0..5usize {
+        let obj = HEAP + i as u64 * 4096;
+        let duplicates = 1 + i % 2;
+        let mut b = CaseBuilder::new();
+        b.annotate(Annotation::TrackLogging { addr: obj, size: 64 });
+        b.epoch_begin();
+        b.tx_log(obj, 64);
+        for _ in 0..duplicates {
+            b.tx_log(obj, 64); // logged again, object updated once
+        }
+        b.store(obj, 64);
+        b.flush_range(obj, 64);
+        b.sfence();
+        b.epoch_end();
+        let trace = b.build();
+        cases.push(case(
+            BugKind::RedundantLogging,
+            i,
+            PersistencyModel::Epoch,
+            trace,
+            None,
+            "object logged multiple times in one transaction",
+        ));
+    }
+    cases
+}
+
+/// The 4 lack-durability-in-epoch cases (Figure 7c shape).
+fn lack_durability_in_epoch_cases() -> Vec<BugCase> {
+    let mut cases = Vec::new();
+    for i in 0..4usize {
+        let a = HEAP + i as u64 * 8192; // updated, not persisted in epoch
+        let bb = a + 4096; // persisted properly
+        let mut b = CaseBuilder::new();
+        b.epoch_begin();
+        b.store(a, 8);
+        b.store(bb, 8);
+        b.flush_range(bb, 8);
+        b.sfence(); // the TX_END fence: does not cover `a` (never flushed)
+        b.epoch_end();
+        // Persist `a` late so only the epoch rule fires, not end-of-program
+        // durability.
+        b.persist(a, 8);
+        let trace = b.build();
+        cases.push(case(
+            BugKind::LackDurabilityInEpoch,
+            i,
+            PersistencyModel::Epoch,
+            trace,
+            None,
+            "location updated in the epoch is not durable at TX_END (Figure 7c)",
+        ));
+    }
+    cases
+}
+
+/// The 4 redundant-epoch-fence cases (Figure 7a / Figure 9b shapes).
+fn redundant_epoch_fence_cases() -> Vec<BugCase> {
+    let mut cases = Vec::new();
+    for i in 0..4usize {
+        let a = HEAP + i as u64 * 8192;
+        let bb = a + 4096;
+        let extra_fences = 1 + i % 2;
+        let mut b = CaseBuilder::new();
+        b.epoch_begin();
+        b.store(a, 8);
+        b.flush_range(a, 8);
+        for _ in 0..extra_fences {
+            b.sfence(); // pmemobj_persist-style fence inside the epoch
+        }
+        b.store(bb, 8);
+        b.flush_range(bb, 8);
+        b.sfence(); // the TX_END fence
+        b.epoch_end();
+        let trace = b.build();
+        cases.push(case(
+            BugKind::RedundantEpochFence,
+            i,
+            PersistencyModel::Epoch,
+            trace,
+            None,
+            "extra fences inside one epoch section (Figures 7a, 9b)",
+        ));
+    }
+    cases
+}
+
+/// The 2 lack-ordering-in-strands cases (Figure 7b shape).
+fn lack_ordering_in_strands_cases() -> Vec<BugCase> {
+    let mut cases = Vec::new();
+    for i in 0..2usize {
+        let a = HEAP + i as u64 * 8192;
+        let bb = a + 4096;
+        let mut spec = OrderSpec::new();
+        spec.add_rule("A", "B", None);
+
+        let mut b = CaseBuilder::new();
+        b.name_range("A", a, 8);
+        b.name_range("B", bb, 8);
+        // Strand 0 writes A then B and flushes A; its barrier has not
+        // executed yet when strand 1 runs (strands are concurrent, modelled
+        // here as a nested interleaving).
+        b.strand_begin();
+        b.store(a, 8);
+        b.store(bb, 8);
+        b.flush_range(a, 8);
+        // Strand 1 persists B while A is not yet durable (Figure 7b).
+        b.strand_begin();
+        if i == 1 {
+            b.store(a + 2048, 8);
+            b.flush_range(a + 2048, 8);
+            b.persist_barrier();
+        }
+        b.flush_range(bb, 8);
+        b.persist_barrier();
+        b.strand_end();
+        // Back in strand 0: the owed barriers finally run.
+        b.persist_barrier();
+        b.flush_range(bb, 8);
+        b.persist_barrier();
+        b.strand_end();
+        let trace = b.build();
+        cases.push(case(
+            BugKind::LackOrderingInStrands,
+            i,
+            PersistencyModel::Strand,
+            trace,
+            Some(spec),
+            "another strand persists B before A is durable (Figure 7b)",
+        ));
+    }
+    cases
+}
+
+/// The 4 cross-failure-semantic cases.
+fn cross_failure_cases() -> Vec<BugCase> {
+    let mut cases = Vec::new();
+    for i in 0..4usize {
+        let committed = HEAP + i as u64 * 8192;
+        let lost = committed + 4096;
+        let mut b = CaseBuilder::new();
+        b.clean_activity(NOISE, i);
+        b.store(committed, 64);
+        b.persist(committed, 64);
+        b.store(lost, 64);
+        if i % 2 == 1 {
+            b.flush_range(lost, 64); // flushed but unfenced: still unsafe
+        }
+        b.crash();
+        // Recovery reads the committed record (fine), then consumes the
+        // lost one (the cross-failure bug).
+        b.recovery_read(committed, 64);
+        b.recovery_read(lost, 64);
+        let trace = b.build();
+        cases.push(case(
+            BugKind::CrossFailureSemantic,
+            i,
+            PersistencyModel::Strict,
+            trace,
+            None,
+            "post-failure execution reads data that was not durable at the crash",
+        ));
+    }
+    cases
+}
+
+/// Builds the full 78-case corpus in Table 6 column order.
+pub fn corpus() -> Vec<BugCase> {
+    let mut all = Vec::with_capacity(TOTAL_CASES);
+    all.extend(no_durability_cases());
+    all.extend(multiple_overwrite_cases());
+    all.extend(no_order_cases());
+    all.extend(redundant_flush_cases());
+    all.extend(flush_nothing_cases());
+    all.extend(redundant_logging_cases());
+    all.extend(lack_durability_in_epoch_cases());
+    all.extend(redundant_epoch_fence_cases());
+    all.extend(lack_ordering_in_strands_cases());
+    all.extend(cross_failure_cases());
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_has_78_cases() {
+        assert_eq!(corpus().len(), TOTAL_CASES);
+    }
+
+    #[test]
+    fn per_type_counts_match_table6() {
+        let all = corpus();
+        for (kind, expected) in CASE_COUNTS {
+            let got = all.iter().filter(|c| c.kind == kind).count();
+            assert_eq!(got, expected, "{kind}");
+        }
+    }
+
+    #[test]
+    fn case_counts_sum_to_total() {
+        let sum: usize = CASE_COUNTS.iter().map(|(_, n)| n).sum();
+        assert_eq!(sum, TOTAL_CASES);
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let all = corpus();
+        let mut ids: Vec<&str> = all.iter().map(|c| c.id.as_str()).collect();
+        let before = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), before);
+    }
+
+    #[test]
+    fn traces_are_nonempty() {
+        for c in corpus() {
+            assert!(!c.trace.is_empty(), "{} empty", c.id);
+        }
+    }
+
+    #[test]
+    fn relaxed_cases_use_relaxed_models() {
+        for c in corpus() {
+            match c.kind {
+                BugKind::LackDurabilityInEpoch
+                | BugKind::RedundantEpochFence
+                | BugKind::RedundantLogging => {
+                    assert_eq!(c.model, PersistencyModel::Epoch, "{}", c.id);
+                }
+                BugKind::LackOrderingInStrands => {
+                    assert_eq!(c.model, PersistencyModel::Strand, "{}", c.id);
+                }
+                _ => {}
+            }
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! Detector evaluation over the corpus: the Table 6 matrix and the §7.3
+//! false-positive / false-negative rates.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use pm_baselines::{PmemcheckLike, PmtestLike, XfdetectorLike};
+use pm_trace::{replay_finish, BugKind, Detector, OrderSpec, Trace};
+use pmdebugger::{DebuggerConfig, PmDebugger};
+
+use crate::corpus::{corpus, BugCase, CASE_COUNTS, TOTAL_CASES};
+
+/// The four evaluated tools.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Tool {
+    /// Pmemcheck-architecture baseline.
+    Pmemcheck,
+    /// PMTest-architecture baseline.
+    Pmtest,
+    /// XFDetector-architecture baseline.
+    Xfdetector,
+    /// PMDebugger.
+    Pmdebugger,
+}
+
+impl Tool {
+    /// All tools, in Table 6 row order.
+    pub const ALL: [Tool; 4] = [
+        Tool::Pmemcheck,
+        Tool::Pmtest,
+        Tool::Xfdetector,
+        Tool::Pmdebugger,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Tool::Pmemcheck => "Pmemcheck",
+            Tool::Pmtest => "PMTest",
+            Tool::Xfdetector => "XFDetector",
+            Tool::Pmdebugger => "PMDebugger",
+        }
+    }
+
+    /// Instantiates the tool for one case (configured with the case's
+    /// model and order specification where the tool accepts one).
+    pub fn instantiate(self, model: pmdebugger::PersistencyModel, spec: Option<&OrderSpec>) -> Box<dyn Detector> {
+        match self {
+            Tool::Pmemcheck => Box::new(PmemcheckLike::new()),
+            Tool::Pmtest => Box::new(PmtestLike::new()),
+            Tool::Xfdetector => Box::new(XfdetectorLike::new(
+                spec.cloned().unwrap_or_default(),
+            )),
+            Tool::Pmdebugger => {
+                let mut config = DebuggerConfig::for_model(model);
+                if let Some(spec) = spec {
+                    config = config.with_order_spec(spec.clone());
+                }
+                Box::new(PmDebugger::new(config))
+            }
+        }
+    }
+}
+
+impl fmt::Display for Tool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Per-tool evaluation result.
+#[derive(Debug, Clone, Default)]
+pub struct ToolResult {
+    /// Cases detected, per bug kind.
+    pub detected_by_kind: BTreeMap<BugKind, usize>,
+    /// Total cases detected.
+    pub detected_total: usize,
+    /// Case ids the tool missed.
+    pub missed: Vec<String>,
+    /// Reports on clean traces (false positives).
+    pub false_positives: usize,
+}
+
+impl ToolResult {
+    /// Number of distinct bug types detected at least once.
+    pub fn types_detected(&self) -> usize {
+        self.detected_by_kind.values().filter(|&&n| n > 0).count()
+    }
+
+    /// False-negative rate over the corpus (§7.3).
+    pub fn false_negative_rate(&self) -> f64 {
+        (TOTAL_CASES - self.detected_total) as f64 / TOTAL_CASES as f64
+    }
+}
+
+/// Full evaluation: the Table 6 matrix plus false-positive checks.
+#[derive(Debug, Clone, Default)]
+pub struct Evaluation {
+    /// Per-tool results.
+    pub per_tool: BTreeMap<Tool, ToolResult>,
+}
+
+impl Evaluation {
+    /// Result for one tool.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the tool was not evaluated.
+    pub fn tool(&self, tool: Tool) -> &ToolResult {
+        &self.per_tool[&tool]
+    }
+}
+
+/// Runs one case through one tool; returns `true` when the tool reports at
+/// least one bug of the case's kind.
+pub fn detects(tool: Tool, case: &BugCase) -> bool {
+    let mut detector = tool.instantiate(case.model, case.order_spec.as_ref());
+    let reports = replay_finish(&case.trace, detector.as_mut());
+    reports.iter().any(|r| r.kind == case.kind)
+}
+
+/// Maps a workload model to the debugger's persistency model.
+fn to_persistency(model: pm_workloads::Model) -> pmdebugger::PersistencyModel {
+    match model {
+        pm_workloads::Model::Strict => pmdebugger::PersistencyModel::Strict,
+        pm_workloads::Model::Epoch => pmdebugger::PersistencyModel::Epoch,
+        pm_workloads::Model::Strand => pmdebugger::PersistencyModel::Strand,
+    }
+}
+
+/// Evaluates every tool over the full corpus and the supplied clean traces.
+pub fn evaluate(clean_traces: &[(String, pm_workloads::Model, Trace)]) -> Evaluation {
+    let cases = corpus();
+    let mut evaluation = Evaluation::default();
+    for tool in Tool::ALL {
+        let mut result = ToolResult::default();
+        for (kind, _) in CASE_COUNTS {
+            result.detected_by_kind.insert(kind, 0);
+        }
+        for case in &cases {
+            if detects(tool, case) {
+                *result.detected_by_kind.get_mut(&case.kind).expect("kind present") += 1;
+                result.detected_total += 1;
+            } else {
+                result.missed.push(case.id.clone());
+            }
+        }
+        for (_, model, trace) in clean_traces {
+            let mut detector = tool.instantiate(to_persistency(*model), None);
+            result.false_positives += replay_finish(trace, detector.as_mut()).len();
+        }
+        evaluation.per_tool.insert(tool, result);
+    }
+    evaluation
+}
+
+/// Clean traces used for the false-positive check: every Table 4 workload
+/// at a modest operation count.
+pub fn clean_traces(ops: usize) -> Vec<(String, pm_workloads::Model, Trace)> {
+    pm_workloads::all_benchmarks()
+        .iter()
+        .map(|w| {
+            (
+                w.name().to_owned(),
+                w.model(),
+                pm_workloads::record_trace(w.as_ref(), ops),
+            )
+        })
+        .collect()
+}
+
+/// Renders the Table 6 matrix as text.
+pub fn render_table6(evaluation: &Evaluation) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:<22}", "bug type (cases)"));
+    for tool in Tool::ALL {
+        out.push_str(&format!("{:>12}", tool.name()));
+    }
+    out.push('\n');
+    for (kind, count) in CASE_COUNTS {
+        out.push_str(&format!("{:<22}", format!("{} ({})", kind.name(), count)));
+        for tool in Tool::ALL {
+            let detected = evaluation.tool(tool).detected_by_kind[&kind];
+            let cell = if detected == count {
+                format!("Y {detected}")
+            } else if detected == 0 {
+                "N 0".to_owned()
+            } else {
+                format!("~ {detected}")
+            };
+            out.push_str(&format!("{cell:>12}"));
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("{:<22}", "TOTAL (78)"));
+    for tool in Tool::ALL {
+        out.push_str(&format!("{:>12}", evaluation.tool(tool).detected_total));
+    }
+    out.push('\n');
+    out.push_str(&format!("{:<22}", "false-negative rate"));
+    for tool in Tool::ALL {
+        out.push_str(&format!(
+            "{:>11.1}%",
+            evaluation.tool(tool).false_negative_rate() * 100.0
+        ));
+    }
+    out.push('\n');
+    out.push_str(&format!("{:<22}", "false positives"));
+    for tool in Tool::ALL {
+        out.push_str(&format!("{:>12}", evaluation.tool(tool).false_positives));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pmdebugger_detects_full_corpus() {
+        let evaluation = evaluate(&[]);
+        let result = evaluation.tool(Tool::Pmdebugger);
+        assert_eq!(
+            result.detected_total, 78,
+            "missed: {:?}",
+            result.missed
+        );
+        assert_eq!(result.types_detected(), 10);
+        assert!(result.false_negative_rate().abs() < 1e-12);
+    }
+
+    #[test]
+    fn baseline_totals_match_paper() {
+        let evaluation = evaluate(&[]);
+        let pmemcheck = evaluation.tool(Tool::Pmemcheck);
+        assert_eq!(pmemcheck.detected_total, 55, "missed: {:?}", pmemcheck.missed);
+        assert_eq!(pmemcheck.types_detected(), 4);
+
+        let pmtest = evaluation.tool(Tool::Pmtest);
+        assert_eq!(pmtest.detected_total, 61, "missed: {:?}", pmtest.missed);
+        assert_eq!(pmtest.types_detected(), 5);
+
+        let xf = evaluation.tool(Tool::Xfdetector);
+        assert_eq!(xf.detected_total, 65, "missed: {:?}", xf.missed);
+        assert_eq!(xf.types_detected(), 6);
+    }
+
+    #[test]
+    fn false_negative_rates_match_section_7_3() {
+        let evaluation = evaluate(&[]);
+        let rate = |tool| evaluation.tool(tool).false_negative_rate() * 100.0;
+        assert!((rate(Tool::Pmemcheck) - 29.5).abs() < 0.1);
+        assert!((rate(Tool::Pmtest) - 21.8).abs() < 0.1);
+        assert!((rate(Tool::Xfdetector) - 16.7).abs() < 0.1);
+        assert!(rate(Tool::Pmdebugger).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_tool_reports_on_clean_traces() {
+        let clean = clean_traces(100);
+        let evaluation = evaluate(&clean);
+        for tool in Tool::ALL {
+            assert_eq!(
+                evaluation.tool(tool).false_positives,
+                0,
+                "{tool} produced false positives"
+            );
+        }
+    }
+
+    #[test]
+    fn table_renders_every_row() {
+        let evaluation = evaluate(&[]);
+        let table = render_table6(&evaluation);
+        assert!(table.contains("no-durability-guarantee"));
+        assert!(table.contains("cross-failure-semantic"));
+        assert!(table.contains("false-negative rate"));
+    }
+}

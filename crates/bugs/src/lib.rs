@@ -1,0 +1,22 @@
+//! The crash-consistency bug corpus and evaluation driver (paper §7.3).
+//!
+//! * [`corpus()`](corpus::corpus) — 78 bug cases across the ten Table 6 bug types, with the
+//!   paper's per-type case counts (44/2/4/6/3/5/4/4/2/4);
+//! * [`evaluate`] — runs every tool (PMDebugger plus the Pmemcheck-,
+//!   PMTest- and XFDetector-like baselines) over the corpus and over clean
+//!   workload traces, producing the Table 6 detection matrix and the §7.3
+//!   false-negative / false-positive rates;
+//! * [`render_table6`] — prints the matrix in the paper's layout.
+//!
+//! Expected results (asserted in this crate's tests): PMDebugger detects
+//! 78/78 (ten types, 0% false negatives); XFDetector-like 65 (six types,
+//! 16.7%); PMTest-like 61 (five types, 21.8%); Pmemcheck-like 55 (four
+//! types, 29.5%); nobody reports on clean traces.
+
+pub mod builder;
+pub mod corpus;
+pub mod eval;
+
+pub use builder::CaseBuilder;
+pub use corpus::{corpus, BugCase, CASE_COUNTS, TOTAL_CASES};
+pub use eval::{clean_traces, detects, evaluate, render_table6, Evaluation, Tool, ToolResult};

@@ -1,0 +1,83 @@
+//! Integration tests over the corpus: determinism, XFDetector budget
+//! behaviour, and per-case detectability structure.
+
+use pm_baselines::XfdetectorLike;
+use pm_bugs::{corpus, detects, Tool};
+use pm_trace::{replay_finish, BugKind, OrderSpec};
+
+#[test]
+fn corpus_is_deterministic() {
+    let a = corpus();
+    let b = corpus();
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.id, y.id);
+        assert_eq!(x.trace, y.trace, "{} trace differs between builds", x.id);
+    }
+}
+
+#[test]
+fn xfdetector_budget_trades_coverage() {
+    // With an unconstrained budget the XFDetector baseline finds every
+    // no-durability case; with a tiny budget it starts missing the ones
+    // whose defect lies past the instrumented window — the paper's §7.4
+    // explanation for its missed memcached bugs.
+    let cases: Vec<_> = corpus()
+        .into_iter()
+        .filter(|c| c.kind == BugKind::NoDurabilityGuarantee)
+        .collect();
+    let mut full = 0;
+    let mut capped = 0;
+    for case in &cases {
+        let mut unlimited = XfdetectorLike::new(OrderSpec::new());
+        if replay_finish(&case.trace, &mut unlimited)
+            .iter()
+            .any(|r| r.kind == case.kind)
+        {
+            full += 1;
+        }
+        let mut limited = XfdetectorLike::new(OrderSpec::new()).with_max_failure_points(1);
+        if replay_finish(&case.trace, &mut limited)
+            .iter()
+            .any(|r| r.kind == case.kind)
+        {
+            capped += 1;
+        }
+    }
+    assert_eq!(full, cases.len(), "unlimited budget finds all");
+    assert!(capped < full, "a 1-point budget must miss some ({capped}/{full})");
+}
+
+#[test]
+fn each_case_is_detected_for_the_planted_kind_only_when_supported() {
+    // Spot-check the architecture boundaries on one case per kind.
+    let mut seen = std::collections::BTreeSet::new();
+    for case in corpus() {
+        if !seen.insert(case.kind) {
+            continue;
+        }
+        // PMDebugger always detects its own corpus.
+        assert!(detects(Tool::Pmdebugger, &case), "{}", case.id);
+        // Nobody but PMDebugger handles the epoch/strand-only kinds.
+        if matches!(
+            case.kind,
+            BugKind::LackDurabilityInEpoch
+                | BugKind::RedundantEpochFence
+                | BugKind::LackOrderingInStrands
+        ) {
+            for tool in [Tool::Pmemcheck, Tool::Pmtest, Tool::Xfdetector] {
+                assert!(!detects(tool, &case), "{tool} on {}", case.id);
+            }
+        }
+    }
+    assert_eq!(seen.len(), 10, "corpus covers all ten kinds");
+}
+
+#[test]
+fn corpus_traces_roundtrip_through_text_format() {
+    for case in corpus().into_iter().take(20) {
+        let text = pm_trace::to_text(&case.trace);
+        let back = pm_trace::from_text(&text).unwrap();
+        assert_eq!(case.trace, back, "{} roundtrip", case.id);
+    }
+}

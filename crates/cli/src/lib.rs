@@ -1,0 +1,623 @@
+//! `pmdbg` — the command-line driver.
+//!
+//! Mirrors the paper artifact's workflow (`run.sh <CHECKER> <INPUTSIZE>
+//! <WORKLOAD>`): pick a workload and a detector, run, and read the bug
+//! summary and bookkeeping statistics. The library half holds the argument
+//! parsing and command execution so they are unit-testable; `main.rs` is a
+//! thin shell.
+
+use std::fmt;
+use std::time::Instant;
+
+use pm_baselines::{Nulgrind, PmemcheckLike, PmtestLike, XfdetectorLike};
+use pm_trace::{BugSummary, Detector, OrderSpec, PmRuntime};
+use pm_workloads::Workload;
+use pmdebugger::{DebuggerConfig, PersistencyModel, PmDebugger};
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// `pmdbg run --workload <name> --ops <n> [--tool <name>] [--order <file>]`
+    Run {
+        /// Workload name (see `pmdbg list`).
+        workload: String,
+        /// Operation count.
+        ops: usize,
+        /// Detector name (default `pmdebugger`).
+        tool: String,
+        /// Optional order-spec file path.
+        order: Option<String>,
+    },
+    /// `pmdbg corpus` — run the 78-case corpus through every tool (Table 6).
+    Corpus,
+    /// `pmdbg record --workload <name> --ops <n> --out <file>` — record a
+    /// trace to the text format.
+    Record {
+        /// Workload name.
+        workload: String,
+        /// Operation count.
+        ops: usize,
+        /// Output file path.
+        out: String,
+    },
+    /// `pmdbg replay --trace <file> [--tool <name>] [--model <m>]` —
+    /// replay a recorded trace through a detector.
+    Replay {
+        /// Trace file path.
+        trace: String,
+        /// Detector name.
+        tool: String,
+        /// Persistency model for PMDebugger (strict/epoch/strand).
+        model: String,
+        /// Optional order-spec file.
+        order: Option<String>,
+    },
+    /// `pmdbg characterize --workload <name> --ops <n>` — Figure 2 stats.
+    Characterize {
+        /// Workload name.
+        workload: String,
+        /// Operation count.
+        ops: usize,
+    },
+    /// `pmdbg list` — list workloads and tools.
+    List,
+    /// `pmdbg help`.
+    Help,
+}
+
+/// Argument-parsing error with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UsageError(pub String);
+
+impl fmt::Display for UsageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}\n\n{}", self.0, USAGE)
+    }
+}
+
+impl std::error::Error for UsageError {}
+
+/// The usage banner.
+pub const USAGE: &str = "\
+pmdbg — PMDebugger reproduction CLI
+
+USAGE:
+  pmdbg run --workload <name> [--ops <n>] [--tool <name>] [--order <file>]
+  pmdbg record --workload <name> [--ops <n>] --out <file>
+  pmdbg replay --trace <file> [--tool <name>] [--model strict|epoch|strand]
+  pmdbg characterize --workload <name> [--ops <n>]
+  pmdbg corpus
+  pmdbg list
+  pmdbg help
+
+TOOLS:     pmdebugger (default), pmemcheck, pmtest, xfdetector, nulgrind
+WORKLOADS: b_tree c_tree r_tree rb_tree hashmap_tx hashmap_atomic
+           synth_strand memcached redis a_YCSB..f_YCSB
+EXAMPLE:   pmdbg run --workload b_tree --ops 1024 --tool pmdebugger";
+
+/// Parses `args` (without the binary name).
+pub fn parse(args: &[String]) -> Result<Command, UsageError> {
+    let mut it = args.iter();
+    let sub = it.next().map(String::as_str).unwrap_or("help");
+    match sub {
+        "run" | "characterize" => {
+            let mut workload: Option<String> = None;
+            let mut ops = 1024usize;
+            let mut tool = "pmdebugger".to_owned();
+            let mut order: Option<String> = None;
+            while let Some(flag) = it.next() {
+                let mut value = |name: &str| {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| UsageError(format!("missing value for {name}")))
+                };
+                match flag.as_str() {
+                    "--workload" | "-w" => workload = Some(value(flag)?),
+                    "--ops" | "-n" => {
+                        ops = value(flag)?
+                            .parse()
+                            .map_err(|_| UsageError("--ops expects a number".into()))?;
+                    }
+                    "--tool" | "-t" => tool = value(flag)?,
+                    "--order" | "-o" => order = Some(value(flag)?),
+                    other => return Err(UsageError(format!("unknown flag `{other}`"))),
+                }
+            }
+            let workload =
+                workload.ok_or_else(|| UsageError("--workload is required".into()))?;
+            if sub == "run" {
+                Ok(Command::Run {
+                    workload,
+                    ops,
+                    tool,
+                    order,
+                })
+            } else {
+                Ok(Command::Characterize { workload, ops })
+            }
+        }
+        "record" => {
+            let mut workload: Option<String> = None;
+            let mut ops = 1024usize;
+            let mut out_path: Option<String> = None;
+            while let Some(flag) = it.next() {
+                let mut value = |name: &str| {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| UsageError(format!("missing value for {name}")))
+                };
+                match flag.as_str() {
+                    "--workload" | "-w" => workload = Some(value(flag)?),
+                    "--ops" | "-n" => {
+                        ops = value(flag)?
+                            .parse()
+                            .map_err(|_| UsageError("--ops expects a number".into()))?;
+                    }
+                    "--out" => out_path = Some(value(flag)?),
+                    other => return Err(UsageError(format!("unknown flag `{other}`"))),
+                }
+            }
+            Ok(Command::Record {
+                workload: workload.ok_or_else(|| UsageError("--workload is required".into()))?,
+                ops,
+                out: out_path.ok_or_else(|| UsageError("--out is required".into()))?,
+            })
+        }
+        "replay" => {
+            let mut trace: Option<String> = None;
+            let mut tool = "pmdebugger".to_owned();
+            let mut model = "strict".to_owned();
+            let mut order: Option<String> = None;
+            while let Some(flag) = it.next() {
+                let mut value = |name: &str| {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| UsageError(format!("missing value for {name}")))
+                };
+                match flag.as_str() {
+                    "--trace" => trace = Some(value(flag)?),
+                    "--tool" | "-t" => tool = value(flag)?,
+                    "--model" | "-m" => model = value(flag)?,
+                    "--order" | "-o" => order = Some(value(flag)?),
+                    other => return Err(UsageError(format!("unknown flag `{other}`"))),
+                }
+            }
+            Ok(Command::Replay {
+                trace: trace.ok_or_else(|| UsageError("--trace is required".into()))?,
+                tool,
+                model,
+                order,
+            })
+        }
+        "corpus" => Ok(Command::Corpus),
+        "list" => Ok(Command::List),
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => Err(UsageError(format!("unknown command `{other}`"))),
+    }
+}
+
+/// Looks up a workload by its Table 4 name.
+pub fn workload_by_name(name: &str) -> Option<Box<dyn Workload>> {
+    if let Some(found) = pm_workloads::all_benchmarks()
+        .into_iter()
+        .find(|w| w.name() == name)
+    {
+        return Some(found);
+    }
+    pm_workloads::YcsbLoad::ALL
+        .iter()
+        .find(|l| l.label() == name)
+        .map(|l| Box::new(pm_workloads::Ycsb::new(*l, 42)) as Box<dyn Workload>)
+}
+
+fn persistency(model: pm_workloads::Model) -> PersistencyModel {
+    match model {
+        pm_workloads::Model::Strict => PersistencyModel::Strict,
+        pm_workloads::Model::Epoch => PersistencyModel::Epoch,
+        pm_workloads::Model::Strand => PersistencyModel::Strand,
+    }
+}
+
+/// Instantiates a detector by CLI name.
+pub fn tool_by_name(
+    name: &str,
+    model: PersistencyModel,
+    order: Option<&OrderSpec>,
+) -> Option<Box<dyn Detector>> {
+    match name {
+        "pmdebugger" => {
+            let mut config = DebuggerConfig::for_model(model);
+            if let Some(spec) = order {
+                config = config.with_order_spec(spec.clone());
+            }
+            Some(Box::new(PmDebugger::new(config)))
+        }
+        "pmemcheck" => Some(Box::new(PmemcheckLike::new())),
+        "pmtest" => Some(Box::new(PmtestLike::new())),
+        "xfdetector" => Some(Box::new(XfdetectorLike::new(
+            order.cloned().unwrap_or_default(),
+        ))),
+        "nulgrind" => Some(Box::new(Nulgrind)),
+        _ => None,
+    }
+}
+
+/// Executes a parsed command, writing human output to `out`.
+///
+/// # Errors
+///
+/// Returns a message for unknown workloads/tools or unreadable order files.
+pub fn execute(command: Command, out: &mut dyn fmt::Write) -> Result<(), String> {
+    match command {
+        Command::Help => {
+            writeln!(out, "{USAGE}").map_err(|e| e.to_string())?;
+            Ok(())
+        }
+        Command::List => {
+            writeln!(out, "workloads:").map_err(|e| e.to_string())?;
+            for workload in pm_workloads::all_benchmarks() {
+                writeln!(out, "  {:<16} ({})", workload.name(), workload.model().name())
+                    .map_err(|e| e.to_string())?;
+            }
+            for load in pm_workloads::YcsbLoad::ALL {
+                writeln!(out, "  {:<16} (strict)", load.label()).map_err(|e| e.to_string())?;
+            }
+            writeln!(out, "tools: pmdebugger pmemcheck pmtest xfdetector nulgrind")
+                .map_err(|e| e.to_string())?;
+            Ok(())
+        }
+        Command::Corpus => {
+            let clean = pm_bugs::clean_traces(100);
+            let evaluation = pm_bugs::evaluate(&clean);
+            write!(out, "{}", pm_bugs::render_table6(&evaluation)).map_err(|e| e.to_string())?;
+            Ok(())
+        }
+        Command::Characterize { workload, ops } => {
+            let workload = workload_by_name(&workload)
+                .ok_or_else(|| format!("unknown workload `{workload}` (try `pmdbg list`)"))?;
+            let trace = pm_workloads::record_trace(workload.as_ref(), ops);
+            let report = pm_trace::characterize::characterize(&trace);
+            writeln!(out, "{}: {} events", workload.name(), trace.len())
+                .map_err(|e| e.to_string())?;
+            writeln!(
+                out,
+                "  distance=1: {:.1}%   <=3: {:.1}%",
+                report.distances.fraction(1) * 100.0,
+                report.distances.cumulative_fraction(3) * 100.0
+            )
+            .map_err(|e| e.to_string())?;
+            writeln!(
+                out,
+                "  collective writebacks: {:.1}%",
+                report.collective_fraction() * 100.0
+            )
+            .map_err(|e| e.to_string())?;
+            writeln!(
+                out,
+                "  instruction mix: store {:.1}% / writeback {:.1}% / fence {:.1}%",
+                report.store_fraction() * 100.0,
+                report.flushes as f64
+                    / (report.stores + report.flushes + report.fences).max(1) as f64
+                    * 100.0,
+                report.fences as f64
+                    / (report.stores + report.flushes + report.fences).max(1) as f64
+                    * 100.0
+            )
+            .map_err(|e| e.to_string())?;
+            Ok(())
+        }
+        Command::Record { workload, ops, out: path } => {
+            let workload = workload_by_name(&workload)
+                .ok_or_else(|| format!("unknown workload `{workload}` (try `pmdbg list`)"))?;
+            let trace = pm_workloads::record_trace(workload.as_ref(), ops);
+            let text = pm_trace::to_text(&trace);
+            std::fs::write(&path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+            writeln!(
+                out,
+                "recorded {} x{}: {} events -> {path}",
+                workload.name(),
+                ops,
+                trace.len()
+            )
+            .map_err(|e| e.to_string())?;
+            Ok(())
+        }
+        Command::Replay {
+            trace: path,
+            tool,
+            model,
+            order,
+        } => {
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            let trace = pm_trace::from_text(&text).map_err(|e| e.to_string())?;
+            let model = match model.as_str() {
+                "strict" => PersistencyModel::Strict,
+                "epoch" => PersistencyModel::Epoch,
+                "strand" => PersistencyModel::Strand,
+                other => return Err(format!("unknown model `{other}`")),
+            };
+            let spec = match order {
+                None => None,
+                Some(path) => {
+                    let text = std::fs::read_to_string(&path)
+                        .map_err(|e| format!("cannot read order file {path}: {e}"))?;
+                    Some(
+                        text.parse::<OrderSpec>()
+                            .map_err(|e| format!("order file {path}: {e}"))?,
+                    )
+                }
+            };
+            let mut detector = tool_by_name(&tool, model, spec.as_ref())
+                .ok_or_else(|| format!("unknown tool `{tool}` (try `pmdbg list`)"))?;
+            let start = Instant::now();
+            let reports = pm_trace::replay_finish(&trace, detector.as_mut());
+            let elapsed = start.elapsed();
+            writeln!(
+                out,
+                "replayed {} events through {tool} in {:.1} ms",
+                trace.len(),
+                elapsed.as_secs_f64() * 1e3
+            )
+            .map_err(|e| e.to_string())?;
+            let summary = BugSummary::from_reports(reports);
+            write!(out, "{summary}").map_err(|e| e.to_string())?;
+            Ok(())
+        }
+        Command::Run {
+            workload,
+            ops,
+            tool,
+            order,
+        } => {
+            let workload = workload_by_name(&workload)
+                .ok_or_else(|| format!("unknown workload `{workload}` (try `pmdbg list`)"))?;
+            let spec = match order {
+                None => None,
+                Some(path) => {
+                    let text = std::fs::read_to_string(&path)
+                        .map_err(|e| format!("cannot read order file {path}: {e}"))?;
+                    Some(
+                        text.parse::<OrderSpec>()
+                            .map_err(|e| format!("order file {path}: {e}"))?,
+                    )
+                }
+            };
+            let model = persistency(workload.model());
+            let detector = tool_by_name(&tool, model, spec.as_ref())
+                .ok_or_else(|| format!("unknown tool `{tool}` (try `pmdbg list`)"))?;
+
+            let mut rt = PmRuntime::trace_only();
+            rt.attach(detector);
+            let start = Instant::now();
+            workload
+                .run(&mut rt, ops)
+                .map_err(|e| format!("workload failed: {e}"))?;
+            let reports = rt.finish();
+            let elapsed = start.elapsed();
+
+            writeln!(
+                out,
+                "{} x{} under {}: {} events in {:.1} ms",
+                workload.name(),
+                ops,
+                tool,
+                rt.event_count(),
+                elapsed.as_secs_f64() * 1e3
+            )
+            .map_err(|e| e.to_string())?;
+            let summary = BugSummary::from_reports(reports);
+            write!(out, "{summary}").map_err(|e| e.to_string())?;
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn parses_run_with_defaults() {
+        let cmd = parse(&args(&["run", "--workload", "b_tree"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Run {
+                workload: "b_tree".into(),
+                ops: 1024,
+                tool: "pmdebugger".into(),
+                order: None,
+            }
+        );
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let cmd = parse(&args(&[
+            "run", "-w", "redis", "-n", "50", "-t", "pmemcheck", "-o", "/tmp/x",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Run {
+                workload: "redis".into(),
+                ops: 50,
+                tool: "pmemcheck".into(),
+                order: Some("/tmp/x".into()),
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_flag_and_command() {
+        assert!(parse(&args(&["run", "--wat"])).is_err());
+        assert!(parse(&args(&["frobnicate"])).is_err());
+        assert!(parse(&args(&["run"])).is_err(), "--workload required");
+        assert!(parse(&args(&["run", "--workload", "x", "--ops", "NaN"])).is_err());
+    }
+
+    #[test]
+    fn empty_args_mean_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn workload_lookup_covers_table4_and_ycsb() {
+        for name in [
+            "b_tree",
+            "c_tree",
+            "r_tree",
+            "rb_tree",
+            "hashmap_tx",
+            "hashmap_atomic",
+            "synth_strand",
+            "memcached",
+            "redis",
+            "a_YCSB",
+            "f_YCSB",
+        ] {
+            assert!(workload_by_name(name).is_some(), "{name}");
+        }
+        assert!(workload_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn tool_lookup_covers_all_five() {
+        for name in ["pmdebugger", "pmemcheck", "pmtest", "xfdetector", "nulgrind"] {
+            assert!(tool_by_name(name, PersistencyModel::Epoch, None).is_some());
+        }
+        assert!(tool_by_name("gdb", PersistencyModel::Epoch, None).is_none());
+    }
+
+    #[test]
+    fn run_command_reports_clean_workload() {
+        let mut out = String::new();
+        execute(
+            Command::Run {
+                workload: "b_tree".into(),
+                ops: 50,
+                tool: "pmdebugger".into(),
+                order: None,
+            },
+            &mut out,
+        )
+        .unwrap();
+        assert!(out.contains("b_tree x50 under pmdebugger"));
+        assert!(out.contains("no crash-consistency bugs detected"));
+    }
+
+    #[test]
+    fn characterize_command_prints_patterns() {
+        let mut out = String::new();
+        execute(
+            Command::Characterize {
+                workload: "c_tree".into(),
+                ops: 100,
+            },
+            &mut out,
+        )
+        .unwrap();
+        assert!(out.contains("collective writebacks"));
+    }
+
+    #[test]
+    fn list_command_names_everything() {
+        let mut out = String::new();
+        execute(Command::List, &mut out).unwrap();
+        assert!(out.contains("hashmap_atomic"));
+        assert!(out.contains("xfdetector"));
+    }
+
+    #[test]
+    fn parses_record_and_replay() {
+        let cmd = parse(&args(&[
+            "record", "--workload", "c_tree", "--ops", "10", "--out", "/tmp/t",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Record {
+                workload: "c_tree".into(),
+                ops: 10,
+                out: "/tmp/t".into(),
+            }
+        );
+        let cmd = parse(&args(&["replay", "--trace", "/tmp/t", "--model", "epoch"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Replay {
+                trace: "/tmp/t".into(),
+                tool: "pmdebugger".into(),
+                model: "epoch".into(),
+                order: None,
+            }
+        );
+        assert!(parse(&args(&["record", "--workload", "x"])).is_err(), "--out required");
+        assert!(parse(&args(&["replay"])).is_err(), "--trace required");
+    }
+
+    #[test]
+    fn record_then_replay_roundtrips() {
+        let path = std::env::temp_dir().join("pmdbg_cli_test.trace");
+        let path_str = path.to_str().unwrap().to_owned();
+        let mut out = String::new();
+        execute(
+            Command::Record {
+                workload: "c_tree".into(),
+                ops: 20,
+                out: path_str.clone(),
+            },
+            &mut out,
+        )
+        .unwrap();
+        assert!(out.contains("recorded c_tree x20"));
+        let mut out = String::new();
+        execute(
+            Command::Replay {
+                trace: path_str.clone(),
+                tool: "pmdebugger".into(),
+                model: "epoch".into(),
+                order: None,
+            },
+            &mut out,
+        )
+        .unwrap();
+        assert!(out.contains("no crash-consistency bugs detected"), "{out}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn replay_rejects_bad_model_and_missing_file() {
+        let err = execute(
+            Command::Replay {
+                trace: "/nonexistent/x.trace".into(),
+                tool: "pmdebugger".into(),
+                model: "strict".into(),
+                order: None,
+            },
+            &mut String::new(),
+        )
+        .unwrap_err();
+        assert!(err.contains("cannot read"));
+    }
+
+    #[test]
+    fn unknown_workload_is_a_clean_error() {
+        let mut out = String::new();
+        let err = execute(
+            Command::Run {
+                workload: "nope".into(),
+                ops: 1,
+                tool: "pmdebugger".into(),
+                order: None,
+            },
+            &mut out,
+        )
+        .unwrap_err();
+        assert!(err.contains("unknown workload"));
+    }
+}

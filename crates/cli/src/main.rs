@@ -1,0 +1,26 @@
+//! `pmdbg` binary entry point; all logic lives in the library for testing.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = match pm_cli::parse(&args) {
+        Ok(command) => command,
+        Err(err) => {
+            eprintln!("{err}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut out = String::new();
+    match pm_cli::execute(command, &mut out) {
+        Ok(()) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            print!("{out}");
+            eprintln!("error: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,750 @@
+//! The AVL tree half of the bookkeeping space (paper §4.1, §4.4).
+//!
+//! Tracks memory locations whose durability is not guaranteed in the short
+//! term (they survived one or more fences). Nodes are keyed by start
+//! address and augmented with the subtree's maximum end address so overlap
+//! queries prune correctly (an interval-tree AVL).
+//!
+//! Node merging — combining adjacent records into one covering a larger
+//! range, which traditional tools do eagerly — is performed only when the
+//! node count exceeds a threshold (500 in the paper), because merging comes
+//! with tree restructuring cost (§4.4).
+
+use pm_trace::Addr;
+
+use crate::array::FlushState;
+
+/// A tracked memory location stored in the tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeRecord {
+    /// Start address.
+    pub addr: Addr,
+    /// Size in bytes.
+    pub size: u64,
+    /// Flush state since the last store to the range.
+    pub state: FlushState,
+    /// Whether the originating store was inside an epoch section.
+    pub in_epoch: bool,
+    /// Event sequence number of the originating store.
+    pub store_seq: u64,
+}
+
+impl TreeRecord {
+    fn end(&self) -> Addr {
+        self.addr.saturating_add(self.size)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    record: TreeRecord,
+    height: i32,
+    /// Maximum `end()` over this subtree (interval-tree augmentation).
+    max_end: Addr,
+    left: Option<Box<Node>>,
+    right: Option<Box<Node>>,
+}
+
+impl Node {
+    fn new(record: TreeRecord) -> Box<Node> {
+        let max_end = record.end();
+        Box::new(Node {
+            record,
+            height: 1,
+            max_end,
+            left: None,
+            right: None,
+        })
+    }
+
+    fn update(&mut self) {
+        let lh = self.left.as_ref().map_or(0, |n| n.height);
+        let rh = self.right.as_ref().map_or(0, |n| n.height);
+        self.height = lh.max(rh) + 1;
+        self.max_end = self
+            .record
+            .end()
+            .max(self.left.as_ref().map_or(0, |n| n.max_end))
+            .max(self.right.as_ref().map_or(0, |n| n.max_end));
+    }
+
+    fn balance_factor(&self) -> i32 {
+        self.left.as_ref().map_or(0, |n| n.height) - self.right.as_ref().map_or(0, |n| n.height)
+    }
+}
+
+/// Counters describing tree maintenance work (used by Figure 11 and the
+/// §7.5 "key insight" numbers).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TreeOpStats {
+    /// Rotations performed while balancing.
+    pub rotations: u64,
+    /// Node-merge reorganizations performed.
+    pub merges: u64,
+    /// Nodes inserted over the tree's lifetime.
+    pub inserts: u64,
+    /// Nodes removed over the tree's lifetime.
+    pub removals: u64,
+}
+
+/// An AVL tree of memory-location records with interval-overlap queries and
+/// threshold-gated node merging.
+///
+/// # Example
+///
+/// ```
+/// use pmdebugger::avl::{AvlTree, TreeRecord};
+/// use pmdebugger::FlushState;
+///
+/// let mut tree = AvlTree::new();
+/// tree.insert(TreeRecord {
+///     addr: 0x40,
+///     size: 8,
+///     state: FlushState::NotFlushed,
+///     in_epoch: false,
+///     store_seq: 0,
+/// });
+/// assert!(tree.overlaps(0x44, 2));
+/// assert!(!tree.overlaps(0x48, 8));
+/// ```
+///
+/// Two derived counters — flushed records and in-epoch records — let the
+/// fence and epoch-end paths skip whole-tree sweeps when nothing matches
+/// (the common case once most records die at the nearest fence).
+#[derive(Debug, Clone, Default)]
+pub struct AvlTree {
+    root: Option<Box<Node>>,
+    len: usize,
+    flushed_len: usize,
+    epoch_len: usize,
+    stats: TreeOpStats,
+}
+
+impl AvlTree {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of records in the tree.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Tree height (0 when empty).
+    pub fn height(&self) -> i32 {
+        self.root.as_ref().map_or(0, |n| n.height)
+    }
+
+    /// Maintenance counters.
+    pub fn stats(&self) -> TreeOpStats {
+        self.stats
+    }
+
+    /// Number of records currently marked [`FlushState::Flushed`].
+    pub fn flushed_len(&self) -> usize {
+        self.flushed_len
+    }
+
+    /// Number of records whose originating store was inside an epoch.
+    pub fn epoch_len(&self) -> usize {
+        self.epoch_len
+    }
+
+    fn count_record(&mut self, record: &TreeRecord, delta: isize) {
+        if record.state == FlushState::Flushed {
+            self.flushed_len = (self.flushed_len as isize + delta) as usize;
+        }
+        if record.in_epoch {
+            self.epoch_len = (self.epoch_len as isize + delta) as usize;
+        }
+    }
+
+    /// Inserts a record (duplicate start addresses permitted; the new record
+    /// goes to the right subtree).
+    pub fn insert(&mut self, record: TreeRecord) {
+        let root = self.root.take();
+        let mut rotations = 0;
+        self.root = Some(Self::insert_node(root, record, &mut rotations));
+        self.len += 1;
+        self.count_record(&record, 1);
+        self.stats.inserts += 1;
+        self.stats.rotations += rotations;
+    }
+
+    fn insert_node(node: Option<Box<Node>>, record: TreeRecord, rotations: &mut u64) -> Box<Node> {
+        let mut node = match node {
+            None => return Node::new(record),
+            Some(node) => node,
+        };
+        if record.addr < node.record.addr {
+            node.left = Some(Self::insert_node(node.left.take(), record, rotations));
+        } else {
+            node.right = Some(Self::insert_node(node.right.take(), record, rotations));
+        }
+        Self::rebalance(node, rotations)
+    }
+
+    fn rotate_right(mut node: Box<Node>) -> Box<Node> {
+        let mut left = node.left.take().expect("rotate_right requires left child");
+        node.left = left.right.take();
+        node.update();
+        left.right = Some(node);
+        left.update();
+        left
+    }
+
+    fn rotate_left(mut node: Box<Node>) -> Box<Node> {
+        let mut right = node.right.take().expect("rotate_left requires right child");
+        node.right = right.left.take();
+        node.update();
+        right.left = Some(node);
+        right.update();
+        right
+    }
+
+    fn rebalance(mut node: Box<Node>, rotations: &mut u64) -> Box<Node> {
+        node.update();
+        let bf = node.balance_factor();
+        if bf > 1 {
+            if node.left.as_ref().expect("bf > 1 implies left").balance_factor() < 0 {
+                node.left = Some(Self::rotate_left(node.left.take().expect("checked")));
+                *rotations += 1;
+            }
+            *rotations += 1;
+            Self::rotate_right(node)
+        } else if bf < -1 {
+            if node
+                .right
+                .as_ref()
+                .expect("bf < -1 implies right")
+                .balance_factor()
+                > 0
+            {
+                node.right = Some(Self::rotate_right(node.right.take().expect("checked")));
+                *rotations += 1;
+            }
+            *rotations += 1;
+            Self::rotate_left(node)
+        } else {
+            node
+        }
+    }
+
+    /// Visits every record overlapping `[addr, addr+len)`.
+    pub fn for_each_overlapping<F: FnMut(&TreeRecord)>(&self, addr: Addr, len: u64, mut f: F) {
+        Self::visit_overlapping(&self.root, addr, addr.saturating_add(len), &mut f);
+    }
+
+    fn visit_overlapping<F: FnMut(&TreeRecord)>(
+        node: &Option<Box<Node>>,
+        lo: Addr,
+        hi: Addr,
+        f: &mut F,
+    ) {
+        let Some(node) = node else { return };
+        if node.max_end <= lo {
+            return; // nothing in this subtree ends after lo
+        }
+        Self::visit_overlapping(&node.left, lo, hi, f);
+        if node.record.addr < hi && node.record.end() > lo {
+            f(&node.record);
+        }
+        if node.record.addr < hi {
+            Self::visit_overlapping(&node.right, lo, hi, f);
+        }
+    }
+
+    /// Returns `true` when any record overlaps `[addr, addr+len)`.
+    pub fn overlaps(&self, addr: Addr, len: u64) -> bool {
+        let mut found = false;
+        self.for_each_overlapping(addr, len, |_| found = true);
+        found
+    }
+
+    /// Applies `f` to every record overlapping `[addr, addr+len)`; `f`
+    /// returns the record's replacement(s): keeping, mutating, splitting or
+    /// deleting it. Used when processing CLF instructions (§4.3): fully
+    /// covered records are marked flushed, partially covered ones split.
+    ///
+    /// Returns the number of records `f` was applied to.
+    pub fn update_overlapping<F>(&mut self, addr: Addr, len: u64, mut f: F) -> usize
+    where
+        F: FnMut(TreeRecord) -> SmallReplacement,
+    {
+        // Collect matches, then rebuild affected entries. Simple and safe;
+        // the per-CLF match count is small in practice.
+        let mut matched = Vec::new();
+        self.for_each_overlapping(addr, len, |r| matched.push(*r));
+        if matched.is_empty() {
+            return 0;
+        }
+        for record in &matched {
+            self.remove_exact(record);
+        }
+        let count = matched.len();
+        for record in matched {
+            match f(record) {
+                SmallReplacement::Drop => {}
+                SmallReplacement::One(a) => self.insert(a),
+                SmallReplacement::Two(a, b) => {
+                    self.insert(a);
+                    self.insert(b);
+                }
+                SmallReplacement::Three(a, b, c) => {
+                    self.insert(a);
+                    self.insert(b);
+                    self.insert(c);
+                }
+            }
+        }
+        count
+    }
+
+    fn remove_exact(&mut self, target: &TreeRecord) {
+        let root = self.root.take();
+        let mut removed = false;
+        let mut rotations = 0;
+        self.root = Self::remove_node(root, target, &mut removed, &mut rotations);
+        if removed {
+            self.len -= 1;
+            self.count_record(target, -1);
+            self.stats.removals += 1;
+            self.stats.rotations += rotations;
+        }
+    }
+
+    fn remove_node(
+        node: Option<Box<Node>>,
+        target: &TreeRecord,
+        removed: &mut bool,
+        rotations: &mut u64,
+    ) -> Option<Box<Node>> {
+        let mut node = node?;
+        if !*removed && node.record == *target {
+            *removed = true;
+            return match (node.left.take(), node.right.take()) {
+                (None, None) => None,
+                (Some(child), None) | (None, Some(child)) => Some(child),
+                (Some(left), Some(right)) => {
+                    // Replace with in-order successor.
+                    let (successor, right) = Self::pop_min(right, rotations);
+                    let mut new_node = Node::new(successor);
+                    new_node.left = Some(left);
+                    new_node.right = right;
+                    Some(Self::rebalance(new_node, rotations))
+                }
+            };
+        }
+        if target.addr < node.record.addr {
+            node.left = Self::remove_node(node.left.take(), target, removed, rotations);
+        } else {
+            // Equal keys may sit in either subtree; search right first, then
+            // left if not found.
+            node.right = Self::remove_node(node.right.take(), target, removed, rotations);
+            if !*removed {
+                node.left = Self::remove_node(node.left.take(), target, removed, rotations);
+            }
+        }
+        Some(Self::rebalance(node, rotations))
+    }
+
+    fn pop_min(mut node: Box<Node>, rotations: &mut u64) -> (TreeRecord, Option<Box<Node>>) {
+        match node.left.take() {
+            None => (node.record, node.right.take()),
+            Some(left) => {
+                let (min, rest) = Self::pop_min(left, rotations);
+                node.left = rest;
+                // Rebalance the whole extraction path: removing the minimum
+                // can unbalance every ancestor by one.
+                (min, Some(Self::rebalance(node, rotations)))
+            }
+        }
+    }
+
+    /// Removes every record matching `pred` (used at fences to drop
+    /// persisted records, §4.4). Implemented as an in-order sweep and
+    /// balanced rebuild — the "tree reorganization" cost traditional tools
+    /// pay constantly and PMDebugger pays only at fences.
+    ///
+    /// Returns the removed records.
+    pub fn drain_matching<F: Fn(&TreeRecord) -> bool>(&mut self, pred: F) -> Vec<TreeRecord> {
+        let all = self.to_sorted_vec();
+        let (removed, kept): (Vec<_>, Vec<_>) = all.into_iter().partition(|r| pred(r));
+        if !removed.is_empty() {
+            self.stats.removals += removed.len() as u64;
+            self.rebuild_from_sorted(&kept);
+        }
+        removed
+    }
+
+    /// Removes every flushed record (the common fence operation), skipping
+    /// the sweep entirely when the flushed counter says there is nothing to
+    /// remove.
+    pub fn drain_flushed(&mut self) -> usize {
+        if self.flushed_len == 0 {
+            return 0;
+        }
+        self.drain_matching(|r| r.state == FlushState::Flushed).len()
+    }
+
+    /// Clears the epoch flag on every record, skipping the rebuild when no
+    /// record carries the flag.
+    pub fn clear_epoch_flags(&mut self) {
+        if self.epoch_len == 0 {
+            return;
+        }
+        let cleared: Vec<TreeRecord> = self
+            .to_sorted_vec()
+            .into_iter()
+            .map(|mut r| {
+                r.in_epoch = false;
+                r
+            })
+            .collect();
+        self.rebuild_from_sorted(&cleared);
+    }
+
+    /// In-order (address-sorted) snapshot of all records.
+    pub fn to_sorted_vec(&self) -> Vec<TreeRecord> {
+        let mut out = Vec::with_capacity(self.len);
+        Self::in_order(&self.root, &mut out);
+        out
+    }
+
+    fn in_order(node: &Option<Box<Node>>, out: &mut Vec<TreeRecord>) {
+        if let Some(node) = node {
+            Self::in_order(&node.left, out);
+            out.push(node.record);
+            Self::in_order(&node.right, out);
+        }
+    }
+
+    fn rebuild_from_sorted(&mut self, records: &[TreeRecord]) {
+        self.root = Self::build_balanced(records);
+        self.len = records.len();
+        self.flushed_len = records
+            .iter()
+            .filter(|r| r.state == FlushState::Flushed)
+            .count();
+        self.epoch_len = records.iter().filter(|r| r.in_epoch).count();
+    }
+
+    fn build_balanced(records: &[TreeRecord]) -> Option<Box<Node>> {
+        if records.is_empty() {
+            return None;
+        }
+        let mid = records.len() / 2;
+        let mut node = Node::new(records[mid]);
+        node.left = Self::build_balanced(&records[..mid]);
+        node.right = Self::build_balanced(&records[mid + 1..]);
+        node.update();
+        Some(node)
+    }
+
+    /// Merges adjacent records with identical state/epoch flags into single
+    /// records covering the combined range, but only when the node count
+    /// exceeds `threshold` (§4.4; the paper uses 500).
+    ///
+    /// A pass that coalesces nothing skips the rebuild: the reorganization
+    /// cost is only paid when it buys a smaller tree.
+    ///
+    /// Returns `true` when a merge pass actually reorganized the tree.
+    pub fn maybe_merge(&mut self, threshold: usize) -> bool {
+        if self.len <= threshold {
+            return false;
+        }
+        let sorted = self.to_sorted_vec();
+        let mut merged: Vec<TreeRecord> = Vec::with_capacity(sorted.len());
+        for record in sorted {
+            match merged.last_mut() {
+                Some(last)
+                    if last.end() >= record.addr
+                        && last.state == record.state
+                        && last.in_epoch == record.in_epoch =>
+                {
+                    let new_end = last.end().max(record.end());
+                    last.size = new_end - last.addr;
+                    last.store_seq = last.store_seq.max(record.store_seq);
+                }
+                _ => merged.push(record),
+            }
+        }
+        if merged.len() == self.len {
+            return false;
+        }
+        self.stats.merges += 1;
+        self.rebuild_from_sorted(&merged);
+        true
+    }
+
+    /// Verifies AVL and interval-augmentation invariants (test support).
+    #[doc(hidden)]
+    pub fn check_invariants(&self) -> Result<(), String> {
+        type SubtreeInfo = (i32, Addr, Option<(Addr, Addr)>);
+        fn check(node: &Option<Box<Node>>) -> Result<SubtreeInfo, String> {
+            let Some(node) = node else {
+                return Ok((0, 0, None));
+            };
+            let (lh, lmax, lrange) = check(&node.left)?;
+            let (rh, rmax, rrange) = check(&node.right)?;
+            if (lh - rh).abs() > 1 {
+                return Err(format!("imbalance at {:#x}", node.record.addr));
+            }
+            let height = lh.max(rh) + 1;
+            if node.height != height {
+                return Err(format!("stale height at {:#x}", node.record.addr));
+            }
+            if let Some((_, lmax_key)) = lrange {
+                if lmax_key > node.record.addr {
+                    return Err(format!("BST violation (left) at {:#x}", node.record.addr));
+                }
+            }
+            if let Some((rmin_key, _)) = rrange {
+                if rmin_key < node.record.addr {
+                    return Err(format!("BST violation (right) at {:#x}", node.record.addr));
+                }
+            }
+            let max_end = node.record.end().max(lmax).max(rmax);
+            if node.max_end != max_end {
+                return Err(format!("stale max_end at {:#x}", node.record.addr));
+            }
+            let min_key = lrange.map_or(node.record.addr, |(lo, _)| lo);
+            let max_key = rrange.map_or(node.record.addr, |(_, hi)| hi);
+            Ok((height, max_end, Some((min_key, max_key))))
+        }
+        check(&self.root).map(|_| ())
+    }
+}
+
+/// Replacement instruction for [`AvlTree::update_overlapping`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SmallReplacement {
+    /// Remove the record.
+    Drop,
+    /// Replace the record with one record.
+    One(TreeRecord),
+    /// Replace the record with two records (a split).
+    Two(TreeRecord, TreeRecord),
+    /// Replace the record with three records (a middle split: prefix,
+    /// covered middle, suffix).
+    Three(TreeRecord, TreeRecord, TreeRecord),
+}
+
+/// Splits `record` against the flushed range `[f_lo, f_hi)`: the covered
+/// part gets `covered_state`, uncovered prefix/suffix keep the original
+/// state. Returns the appropriate replacement. The caller guarantees the
+/// ranges overlap.
+pub fn split_against_flush(
+    record: TreeRecord,
+    f_lo: u64,
+    f_hi: u64,
+    covered_state: FlushState,
+) -> SmallReplacement {
+    let r_lo = record.addr;
+    let r_hi = record.addr + record.size;
+    let c_lo = r_lo.max(f_lo);
+    let c_hi = r_hi.min(f_hi);
+    let mut covered = record;
+    covered.addr = c_lo;
+    covered.size = c_hi - c_lo;
+    covered.state = covered_state;
+    let prefix = (r_lo < c_lo).then(|| {
+        let mut p = record;
+        p.size = c_lo - r_lo;
+        p
+    });
+    let suffix = (c_hi < r_hi).then(|| {
+        let mut sfx = record;
+        sfx.addr = c_hi;
+        sfx.size = r_hi - c_hi;
+        sfx
+    });
+    match (prefix, suffix) {
+        (None, None) => SmallReplacement::One(covered),
+        (Some(p), None) => SmallReplacement::Two(p, covered),
+        (None, Some(sfx)) => SmallReplacement::Two(covered, sfx),
+        (Some(p), Some(sfx)) => SmallReplacement::Three(p, covered, sfx),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(addr: Addr, size: u64) -> TreeRecord {
+        TreeRecord {
+            addr,
+            size,
+            state: FlushState::NotFlushed,
+            in_epoch: false,
+            store_seq: 0,
+        }
+    }
+
+    #[test]
+    fn insert_and_query_overlap() {
+        let mut tree = AvlTree::new();
+        tree.insert(rec(0, 8));
+        tree.insert(rec(64, 8));
+        tree.insert(rec(128, 8));
+        assert!(tree.overlaps(4, 4));
+        assert!(tree.overlaps(0, 1000));
+        assert!(!tree.overlaps(8, 56));
+        assert!(!tree.overlaps(136, 100));
+        assert_eq!(tree.len(), 3);
+    }
+
+    #[test]
+    fn tree_stays_balanced_on_ascending_inserts() {
+        let mut tree = AvlTree::new();
+        for i in 0..1000u64 {
+            tree.insert(rec(i * 64, 8));
+        }
+        tree.check_invariants().unwrap();
+        assert!(tree.height() <= 12, "height {} too large", tree.height());
+    }
+
+    #[test]
+    fn tree_stays_balanced_on_descending_inserts() {
+        let mut tree = AvlTree::new();
+        for i in (0..1000u64).rev() {
+            tree.insert(rec(i * 64, 8));
+        }
+        tree.check_invariants().unwrap();
+        assert!(tree.height() <= 12);
+    }
+
+    #[test]
+    fn duplicate_keys_supported() {
+        let mut tree = AvlTree::new();
+        tree.insert(rec(64, 8));
+        tree.insert(rec(64, 16));
+        let mut hits = 0;
+        tree.for_each_overlapping(64, 1, |_| hits += 1);
+        assert_eq!(hits, 2);
+    }
+
+    #[test]
+    fn drain_matching_removes_and_returns() {
+        let mut tree = AvlTree::new();
+        for i in 0..10u64 {
+            let mut r = rec(i * 64, 8);
+            if i % 2 == 0 {
+                r.state = FlushState::Flushed;
+            }
+            tree.insert(r);
+        }
+        let removed = tree.drain_matching(|r| r.state == FlushState::Flushed);
+        assert_eq!(removed.len(), 5);
+        assert_eq!(tree.len(), 5);
+        tree.check_invariants().unwrap();
+        assert!(tree
+            .to_sorted_vec()
+            .iter()
+            .all(|r| r.state == FlushState::NotFlushed));
+    }
+
+    #[test]
+    fn update_overlapping_marks_flushed() {
+        let mut tree = AvlTree::new();
+        tree.insert(rec(0, 8));
+        tree.insert(rec(64, 8));
+        let touched = tree.update_overlapping(0, 64, |mut r| {
+            r.state = FlushState::Flushed;
+            SmallReplacement::One(r)
+        });
+        assert_eq!(touched, 1);
+        let sorted = tree.to_sorted_vec();
+        assert_eq!(sorted[0].state, FlushState::Flushed);
+        assert_eq!(sorted[1].state, FlushState::NotFlushed);
+    }
+
+    #[test]
+    fn update_overlapping_can_split() {
+        let mut tree = AvlTree::new();
+        tree.insert(rec(0, 64));
+        // Split into flushed [0,32) and unflushed [32,64).
+        tree.update_overlapping(0, 32, |r| {
+            let mut a = r;
+            a.size = 32;
+            a.state = FlushState::Flushed;
+            let mut b = r;
+            b.addr = 32;
+            b.size = 32;
+            SmallReplacement::Two(a, b)
+        });
+        assert_eq!(tree.len(), 2);
+        tree.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn update_overlapping_can_drop() {
+        let mut tree = AvlTree::new();
+        tree.insert(rec(0, 8));
+        tree.update_overlapping(0, 8, |_| SmallReplacement::Drop);
+        assert!(tree.is_empty());
+    }
+
+    #[test]
+    fn merge_only_above_threshold() {
+        let mut tree = AvlTree::new();
+        for i in 0..10u64 {
+            tree.insert(rec(i * 8, 8)); // contiguous
+        }
+        assert!(!tree.maybe_merge(10));
+        assert_eq!(tree.len(), 10);
+        assert!(tree.maybe_merge(9));
+        assert_eq!(tree.len(), 1);
+        let merged = tree.to_sorted_vec()[0];
+        assert_eq!((merged.addr, merged.size), (0, 80));
+        assert_eq!(tree.stats().merges, 1);
+    }
+
+    #[test]
+    fn merge_respects_state_boundaries() {
+        let mut tree = AvlTree::new();
+        for i in 0..4u64 {
+            let mut r = rec(i * 8, 8);
+            if i >= 2 {
+                r.state = FlushState::Flushed;
+            }
+            tree.insert(r);
+        }
+        tree.maybe_merge(0);
+        assert_eq!(tree.len(), 2);
+    }
+
+    #[test]
+    fn merge_skips_noncontiguous() {
+        let mut tree = AvlTree::new();
+        tree.insert(rec(0, 8));
+        tree.insert(rec(64, 8));
+        tree.maybe_merge(0);
+        assert_eq!(tree.len(), 2);
+    }
+
+    #[test]
+    fn stats_track_work() {
+        let mut tree = AvlTree::new();
+        for i in 0..100u64 {
+            tree.insert(rec(i * 64, 8));
+        }
+        let stats = tree.stats();
+        assert_eq!(stats.inserts, 100);
+        assert!(stats.rotations > 0);
+    }
+
+    #[test]
+    fn empty_tree_queries() {
+        let tree = AvlTree::new();
+        assert!(!tree.overlaps(0, u64::MAX));
+        assert!(tree.to_sorted_vec().is_empty());
+        tree.check_invariants().unwrap();
+    }
+}

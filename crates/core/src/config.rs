@@ -1,0 +1,186 @@
+//! Debugger configuration: persistency model, rule selection and tuning.
+
+use pm_trace::OrderSpec;
+
+/// The persistency model under which the program is debugged (paper §2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PersistencyModel {
+    /// Strict persistency: persist order = volatile memory order.
+    #[default]
+    Strict,
+    /// Epoch persistency: persists reorder freely inside an epoch.
+    Epoch,
+    /// Strand persistency: persists are concurrent across strands unless
+    /// explicitly ordered.
+    Strand,
+}
+
+/// Which of the ten detection rules are enabled.
+///
+/// PMDebugger's hierarchical design lets any subset of rules (plus custom
+/// ones) run over the same bookkeeping operations (§4.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuleSet {
+    /// §4.5 no-durability-guarantee (end-of-program check).
+    pub no_durability: bool,
+    /// §4.5 multiple-overwrites (strict model only).
+    pub multiple_overwrites: bool,
+    /// §4.5 no-order-guarantee (config-file driven).
+    pub no_order: bool,
+    /// §4.5 redundant-flushes.
+    pub redundant_flush: bool,
+    /// §4.5 flush-nothing.
+    pub flush_nothing: bool,
+    /// §5.2 redundant-logging.
+    pub redundant_logging: bool,
+    /// §5.2 lack-durability-in-epoch.
+    pub lack_durability_in_epoch: bool,
+    /// §5.2 redundant-epoch-fence.
+    pub redundant_epoch_fence: bool,
+    /// §5.2 lack-ordering-in-strands.
+    pub lack_ordering_in_strands: bool,
+    /// §7.3 cross-failure-semantic (requires crash/recovery events).
+    pub cross_failure: bool,
+}
+
+impl RuleSet {
+    /// Every rule enabled.
+    pub fn all() -> Self {
+        RuleSet {
+            no_durability: true,
+            multiple_overwrites: true,
+            no_order: true,
+            redundant_flush: true,
+            flush_nothing: true,
+            redundant_logging: true,
+            lack_durability_in_epoch: true,
+            redundant_epoch_fence: true,
+            lack_ordering_in_strands: true,
+            cross_failure: true,
+        }
+    }
+
+    /// No rule enabled (pure bookkeeping; useful for overhead ablations).
+    pub fn none() -> Self {
+        RuleSet {
+            no_durability: false,
+            multiple_overwrites: false,
+            no_order: false,
+            redundant_flush: false,
+            flush_nothing: false,
+            redundant_logging: false,
+            lack_durability_in_epoch: false,
+            redundant_epoch_fence: false,
+            lack_ordering_in_strands: false,
+            cross_failure: false,
+        }
+    }
+
+    /// The default rule selection for a persistency model: all rules, with
+    /// multiple-overwrites disabled for the relaxed models (the paper: it
+    /// "is not a bug in those models").
+    pub fn default_for(model: PersistencyModel) -> Self {
+        let mut rules = Self::all();
+        if model != PersistencyModel::Strict {
+            rules.multiple_overwrites = false;
+        }
+        rules
+    }
+}
+
+impl Default for RuleSet {
+    fn default() -> Self {
+        Self::all()
+    }
+}
+
+/// Full PMDebugger configuration.
+#[derive(Debug, Clone, Default)]
+pub struct DebuggerConfig {
+    /// Persistency model the program targets.
+    pub model: PersistencyModel,
+    /// Enabled rules.
+    pub rules: RuleSet,
+    /// Capacity of the memory location array (§4.1: the per-fence-interval
+    /// store count is "typically less than 100,000").
+    pub array_capacity: usize,
+    /// AVL node-merge threshold (§4.4: 500).
+    pub merge_threshold: usize,
+    /// Programmer-supplied persist-order requirements (§4.5, §8).
+    pub order_spec: OrderSpec,
+}
+
+impl DebuggerConfig {
+    /// Configuration with paper defaults for the given model.
+    pub fn for_model(model: PersistencyModel) -> Self {
+        DebuggerConfig {
+            model,
+            rules: RuleSet::default_for(model),
+            array_capacity: DEFAULT_ARRAY_CAPACITY,
+            merge_threshold: DEFAULT_MERGE_THRESHOLD,
+            order_spec: OrderSpec::new(),
+        }
+    }
+
+    /// Sets the order specification.
+    pub fn with_order_spec(mut self, spec: OrderSpec) -> Self {
+        self.order_spec = spec;
+        self
+    }
+
+    /// Sets the array capacity.
+    pub fn with_array_capacity(mut self, capacity: usize) -> Self {
+        self.array_capacity = capacity;
+        self
+    }
+
+    /// Sets the merge threshold.
+    pub fn with_merge_threshold(mut self, threshold: usize) -> Self {
+        self.merge_threshold = threshold;
+        self
+    }
+}
+
+/// Default memory-location-array capacity (§4.1).
+pub const DEFAULT_ARRAY_CAPACITY: usize = 100_000;
+
+/// Default AVL merge threshold (§4.4).
+pub const DEFAULT_MERGE_THRESHOLD: usize = 500;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strict_default_enables_overwrites() {
+        assert!(RuleSet::default_for(PersistencyModel::Strict).multiple_overwrites);
+    }
+
+    #[test]
+    fn relaxed_defaults_disable_overwrites() {
+        assert!(!RuleSet::default_for(PersistencyModel::Epoch).multiple_overwrites);
+        assert!(!RuleSet::default_for(PersistencyModel::Strand).multiple_overwrites);
+    }
+
+    #[test]
+    fn paper_defaults() {
+        let cfg = DebuggerConfig::for_model(PersistencyModel::Epoch);
+        assert_eq!(cfg.array_capacity, 100_000);
+        assert_eq!(cfg.merge_threshold, 500);
+    }
+
+    #[test]
+    fn builder_chain() {
+        let cfg = DebuggerConfig::for_model(PersistencyModel::Strict)
+            .with_array_capacity(16)
+            .with_merge_threshold(4);
+        assert_eq!(cfg.array_capacity, 16);
+        assert_eq!(cfg.merge_threshold, 4);
+    }
+
+    #[test]
+    fn none_disables_everything() {
+        let rules = RuleSet::none();
+        assert!(!rules.no_durability && !rules.cross_failure && !rules.redundant_flush);
+    }
+}

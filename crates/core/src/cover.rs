@@ -1,0 +1,155 @@
+//! A small set of disjoint byte ranges with union/coverage queries.
+//!
+//! Used by the order rules to decide when a named variable's full range has
+//! been flushed (and hence becomes durable at the next fence).
+
+use pm_trace::Addr;
+
+/// A set of disjoint, sorted, half-open byte ranges.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RangeCover {
+    /// Sorted, disjoint `[lo, hi)` pairs.
+    ranges: Vec<(Addr, Addr)>,
+}
+
+impl RangeCover {
+    /// Creates an empty cover.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `[addr, addr+len)`, coalescing with existing ranges.
+    pub fn add(&mut self, addr: Addr, len: u64) {
+        if len == 0 {
+            return;
+        }
+        let (lo, hi) = (addr, addr.saturating_add(len));
+        let mut merged = Vec::with_capacity(self.ranges.len() + 1);
+        let mut new = (lo, hi);
+        let mut placed = false;
+        for &(a, b) in &self.ranges {
+            if b < new.0 {
+                merged.push((a, b));
+            } else if a > new.1 {
+                if !placed {
+                    merged.push(new);
+                    placed = true;
+                }
+                merged.push((a, b));
+            } else {
+                new = (new.0.min(a), new.1.max(b));
+            }
+        }
+        if !placed {
+            merged.push(new);
+        }
+        self.ranges = merged;
+    }
+
+    /// Returns `true` when `[addr, addr+len)` is fully covered.
+    pub fn covers(&self, addr: Addr, len: u64) -> bool {
+        if len == 0 {
+            return true;
+        }
+        let (lo, hi) = (addr, addr.saturating_add(len));
+        self.ranges.iter().any(|&(a, b)| a <= lo && hi <= b)
+    }
+
+    /// Returns `true` when any part of `[addr, addr+len)` is covered.
+    pub fn intersects(&self, addr: Addr, len: u64) -> bool {
+        let (lo, hi) = (addr, addr.saturating_add(len));
+        self.ranges.iter().any(|&(a, b)| a < hi && lo < b)
+    }
+
+    /// Removes all ranges.
+    pub fn clear(&mut self) {
+        self.ranges.clear();
+    }
+
+    /// Whether the cover is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// The stored disjoint ranges.
+    pub fn ranges(&self) -> &[(Addr, Addr)] {
+        &self.ranges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_cover() {
+        let mut c = RangeCover::new();
+        c.add(0, 8);
+        assert!(c.covers(0, 8));
+        assert!(c.covers(2, 4));
+        assert!(!c.covers(0, 9));
+        assert!(!c.covers(8, 1));
+    }
+
+    #[test]
+    fn adjacent_ranges_coalesce() {
+        let mut c = RangeCover::new();
+        c.add(0, 8);
+        c.add(8, 8);
+        assert_eq!(c.ranges().len(), 1);
+        assert!(c.covers(0, 16));
+    }
+
+    #[test]
+    fn overlapping_ranges_coalesce() {
+        let mut c = RangeCover::new();
+        c.add(0, 10);
+        c.add(5, 10);
+        assert_eq!(c.ranges(), &[(0, 15)]);
+    }
+
+    #[test]
+    fn disjoint_ranges_stay_separate() {
+        let mut c = RangeCover::new();
+        c.add(0, 8);
+        c.add(64, 8);
+        assert_eq!(c.ranges().len(), 2);
+        assert!(!c.covers(0, 72));
+        assert!(c.intersects(4, 100));
+        assert!(!c.intersects(8, 56));
+    }
+
+    #[test]
+    fn out_of_order_inserts_sort() {
+        let mut c = RangeCover::new();
+        c.add(64, 8);
+        c.add(0, 8);
+        c.add(32, 8);
+        assert_eq!(c.ranges(), &[(0, 8), (32, 40), (64, 72)]);
+    }
+
+    #[test]
+    fn gap_filled_merges_three() {
+        let mut c = RangeCover::new();
+        c.add(0, 8);
+        c.add(16, 8);
+        c.add(8, 8);
+        assert_eq!(c.ranges(), &[(0, 24)]);
+    }
+
+    #[test]
+    fn zero_length_is_noop() {
+        let mut c = RangeCover::new();
+        c.add(0, 0);
+        assert!(c.is_empty());
+        assert!(c.covers(5, 0));
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut c = RangeCover::new();
+        c.add(0, 8);
+        c.clear();
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,952 @@
+//! The PMDebugger engine: hierarchical composition of the bookkeeping
+//! data structures (§4.1), the store/CLF/fence processing algorithms
+//! (§4.2–§4.4), and the detection rules (§4.5, §5.2).
+
+use std::collections::HashMap;
+
+use pm_trace::{Addr, BugKind, BugReport, Detector, FenceKind, PmEvent, StrandId, ThreadId};
+
+use crate::config::{DebuggerConfig, PersistencyModel};
+use crate::order::OrderTracker;
+use crate::space::BookkeepingSpace;
+use crate::stats::DebuggerStats;
+
+/// A user-supplied detection rule (the "flexible" in the paper's title):
+/// custom rules observe the same event stream and may inspect the
+/// bookkeeping state through [`SpaceView`].
+pub trait CustomRule {
+    /// Rule name for reports.
+    fn name(&self) -> &str;
+
+    /// Observes one event with read access to the bookkeeping space.
+    fn on_event(&mut self, seq: u64, event: &PmEvent, view: &SpaceView<'_>) -> Vec<BugReport>;
+
+    /// End-of-program check.
+    fn finish(&mut self, view: &SpaceView<'_>) -> Vec<BugReport> {
+        let _ = view;
+        Vec::new()
+    }
+}
+
+/// Key of a bookkeeping space: per-strand under strand persistency (§5.1),
+/// per-thread otherwise (an x86 `SFENCE` orders only the issuing thread's
+/// flushes, so threads have independent persistency state).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum SpaceKey {
+    Thread(ThreadId),
+    Strand(StrandId),
+}
+
+/// Read-only view over the debugger's bookkeeping spaces, exposed to custom
+/// rules.
+#[derive(Debug)]
+pub struct SpaceView<'a> {
+    spaces: &'a HashMap<SpaceKey, BookkeepingSpace>,
+}
+
+impl SpaceView<'_> {
+    /// Whether any space tracks a not-yet-durable location overlapping
+    /// `[addr, addr+len)`.
+    pub fn is_tracked(&self, addr: Addr, len: u64) -> bool {
+        self.spaces.values().any(|s| s.contains_overlap(addr, len))
+    }
+
+    /// Total number of tracked locations across all spaces.
+    pub fn tracked_count(&self) -> usize {
+        self.spaces
+            .values()
+            .map(|s| s.array_len() + s.tree_len())
+            .sum()
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct EpochState {
+    /// Explicit fences observed inside the current epoch section.
+    fences: u32,
+    /// Ranges logged in the current transaction (for redundant logging).
+    logged: Vec<(Addr, u64)>,
+}
+
+/// The PMDebugger crash-consistency bug detector.
+///
+/// Implements [`Detector`], so it attaches to a [`pm_trace::PmRuntime`] or
+/// replays recorded traces.
+///
+/// # Example
+///
+/// ```
+/// use pm_trace::{PmRuntime, Detector};
+/// use pmdebugger::PmDebugger;
+///
+/// # fn main() -> Result<(), pm_trace::RuntimeError> {
+/// let mut rt = PmRuntime::with_pool(4096)?;
+/// rt.attach(Box::new(PmDebugger::strict()));
+/// rt.store(0, &1u64.to_le_bytes())?;   // never flushed!
+/// let reports = rt.finish();
+/// assert_eq!(reports.len(), 1);        // no-durability-guarantee
+/// # Ok(())
+/// # }
+/// ```
+pub struct PmDebugger {
+    config: DebuggerConfig,
+    /// Bookkeeping spaces: one per strand section under strand persistency
+    /// (§5.1), one per thread otherwise.
+    spaces: HashMap<SpaceKey, BookkeepingSpace>,
+    order: OrderTracker,
+    /// Per-thread epoch state.
+    epochs: HashMap<ThreadId, EpochState>,
+    reports: Vec<BugReport>,
+    custom_rules: Vec<Box<dyn CustomRule>>,
+    /// Non-durable ranges at the simulated crash point.
+    crash_residuals: Option<Vec<(Addr, u64)>>,
+    events_processed: u64,
+    strand_seen: bool,
+}
+
+impl std::fmt::Debug for PmDebugger {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PmDebugger")
+            .field("model", &self.config.model)
+            .field("spaces", &self.spaces.len())
+            .field("reports", &self.reports.len())
+            .field("events_processed", &self.events_processed)
+            .finish()
+    }
+}
+
+impl PmDebugger {
+    /// Creates a debugger from a full configuration.
+    pub fn new(config: DebuggerConfig) -> Self {
+        let order = OrderTracker::new(config.order_spec.clone());
+        PmDebugger {
+            config,
+            spaces: HashMap::new(),
+            order,
+            epochs: HashMap::new(),
+            reports: Vec::new(),
+            custom_rules: Vec::new(),
+            crash_residuals: None,
+            events_processed: 0,
+            strand_seen: false,
+        }
+    }
+
+    /// Debugger with paper defaults for strict persistency.
+    pub fn strict() -> Self {
+        Self::new(DebuggerConfig::for_model(PersistencyModel::Strict))
+    }
+
+    /// Debugger with paper defaults for epoch persistency.
+    pub fn epoch() -> Self {
+        Self::new(DebuggerConfig::for_model(PersistencyModel::Epoch))
+    }
+
+    /// Debugger with paper defaults for strand persistency.
+    pub fn strand() -> Self {
+        Self::new(DebuggerConfig::for_model(PersistencyModel::Strand))
+    }
+
+    /// Registers a custom detection rule.
+    pub fn add_custom_rule(&mut self, rule: Box<dyn CustomRule>) -> &mut Self {
+        self.custom_rules.push(rule);
+        self
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &DebuggerConfig {
+        &self.config
+    }
+
+    /// Reports accumulated so far (before `finish`).
+    pub fn reports(&self) -> &[BugReport] {
+        &self.reports
+    }
+
+    /// Aggregated bookkeeping statistics across all spaces.
+    pub fn stats(&self) -> DebuggerStats {
+        let mut stats = DebuggerStats {
+            events_processed: self.events_processed,
+            ..DebuggerStats::default()
+        };
+        for space in self.spaces.values() {
+            stats.absorb_space(space.stats(), space.tree_stats(), space.tree_len());
+        }
+        stats
+    }
+
+    fn space_key(&self, tid: ThreadId, strand: Option<StrandId>) -> SpaceKey {
+        match strand {
+            Some(s) if self.config.model == PersistencyModel::Strand => SpaceKey::Strand(s),
+            _ => SpaceKey::Thread(tid),
+        }
+    }
+
+    fn space_for(&mut self, tid: ThreadId, strand: Option<StrandId>) -> &mut BookkeepingSpace {
+        let key = self.space_key(tid, strand);
+        let (capacity, threshold) = (self.config.array_capacity, self.config.merge_threshold);
+        self.spaces
+            .entry(key)
+            .or_insert_with(|| BookkeepingSpace::new(capacity, threshold))
+    }
+
+    fn strand_mode(&self) -> bool {
+        self.config.model == PersistencyModel::Strand || self.strand_seen
+    }
+
+    fn handle_store(
+        &mut self,
+        seq: u64,
+        addr: Addr,
+        size: u64,
+        tid: ThreadId,
+        strand: Option<StrandId>,
+        in_epoch: bool,
+    ) {
+        let check = self.config.rules.multiple_overwrites
+            && self.config.model == PersistencyModel::Strict;
+        let outcome = self
+            .space_for(tid, strand)
+            .on_store(addr, size, in_epoch, seq, check);
+        if check && outcome.already_tracked {
+            self.reports.push(
+                BugReport::new(
+                    BugKind::MultipleOverwrites,
+                    "location written again before its durability was guaranteed",
+                )
+                .with_range(addr, size)
+                .with_event(seq),
+            );
+        }
+        self.order.on_store(addr, size, strand);
+    }
+
+    fn handle_flush(
+        &mut self,
+        seq: u64,
+        addr: Addr,
+        size: u64,
+        tid: ThreadId,
+        strand: Option<StrandId>,
+    ) {
+        let mut outcome = self.space_for(tid, strand).on_flush(addr, size);
+        if !outcome.any_hit() && self.spaces.len() > 1 {
+            // Cross-strand (Figure 7b) or cross-thread flush: the line may
+            // be tracked by another space. Probed only on a local miss.
+            let key = self.space_key(tid, strand);
+            for (other_key, space) in self.spaces.iter_mut() {
+                if *other_key == key {
+                    continue;
+                }
+                let cross = space.on_flush(addr, size);
+                outcome.newly_flushed += cross.newly_flushed;
+                outcome.already_flushed += cross.already_flushed;
+                if cross.any_hit() {
+                    break;
+                }
+            }
+        }
+
+        if self.config.rules.redundant_flush
+            && outcome.already_flushed > 0
+            && outcome.newly_flushed == 0
+        {
+            self.reports.push(
+                BugReport::new(
+                    BugKind::RedundantFlushes,
+                    "cache line flushed again before the nearest fence",
+                )
+                .with_range(addr, size)
+                .with_event(seq),
+            );
+        }
+        if self.config.rules.flush_nothing && !outcome.any_hit() {
+            self.reports.push(
+                BugReport::new(
+                    BugKind::FlushNothing,
+                    "flush does not persist any prior store",
+                )
+                .with_range(addr, size)
+                .with_event(seq),
+            );
+        }
+
+        let strand_mode = self.strand_mode();
+        let order_reports = self.order.on_flush(addr, size, strand, strand_mode, seq);
+        if self.config.rules.lack_ordering_in_strands {
+            self.reports.extend(order_reports);
+        }
+    }
+
+    fn handle_fence(&mut self, seq: u64, tid: ThreadId, strand: Option<StrandId>, in_epoch: bool) {
+        self.space_for(tid, strand).on_fence();
+        if in_epoch {
+            if let Some(epoch) = self.epochs.get_mut(&tid) {
+                epoch.fences += 1;
+            }
+        }
+        let order_reports = self.order.on_fence_scoped(seq, strand);
+        if self.config.rules.no_order {
+            self.reports.extend(order_reports);
+        }
+    }
+
+    fn handle_epoch_end(&mut self, seq: u64, tid: ThreadId) {
+        let epoch = self.epochs.remove(&tid).unwrap_or_default();
+        if self.config.rules.redundant_epoch_fence && epoch.fences > 1 {
+            self.reports.push(
+                BugReport::new(
+                    BugKind::RedundantEpochFence,
+                    format!(
+                        "{} fences in one epoch section; one (at TX_END) suffices",
+                        epoch.fences
+                    ),
+                )
+                .with_event(seq),
+            );
+        }
+        if self.config.rules.lack_durability_in_epoch {
+            let residuals: Vec<_> = self
+                .spaces
+                .values()
+                .filter(|s| s.has_epoch_entries())
+                .flat_map(|s| s.residuals())
+                .filter(|r| r.in_epoch)
+                .collect();
+            for residual in residuals {
+                self.reports.push(
+                    BugReport::new(
+                        BugKind::LackDurabilityInEpoch,
+                        "location updated in the epoch is not durable at epoch end",
+                    )
+                    .with_range(residual.addr, residual.size)
+                    .with_event(seq),
+                );
+            }
+        }
+        for space in self.spaces.values_mut() {
+            space.clear_epoch_flags();
+        }
+    }
+
+    fn handle_tx_log(&mut self, seq: u64, tid: ThreadId, addr: Addr, size: u64) {
+        if !self.config.rules.redundant_logging {
+            return;
+        }
+        let epoch = self.epochs.entry(tid).or_default();
+        let already = epoch
+            .logged
+            .iter()
+            .any(|(la, ll)| pm_trace::events::ranges_overlap(*la, *ll, addr, size));
+        if already {
+            self.reports.push(
+                BugReport::new(
+                    BugKind::RedundantLogging,
+                    "object logged more than once in the same transaction",
+                )
+                .with_range(addr, size)
+                .with_event(seq),
+            );
+        } else {
+            epoch.logged.push((addr, size));
+        }
+    }
+
+    fn handle_crash(&mut self) {
+        let residuals: Vec<(Addr, u64)> = self
+            .spaces
+            .values()
+            .flat_map(|s| s.residuals())
+            .map(|r| (r.addr, r.size))
+            .collect();
+        self.crash_residuals = Some(residuals);
+        for space in self.spaces.values_mut() {
+            space.reset();
+        }
+    }
+
+    fn handle_recovery_read(&mut self, seq: u64, addr: Addr, size: u64) {
+        if !self.config.rules.cross_failure {
+            return;
+        }
+        let Some(residuals) = &self.crash_residuals else {
+            return;
+        };
+        let inconsistent = residuals
+            .iter()
+            .any(|(ra, rl)| pm_trace::events::ranges_overlap(*ra, *rl, addr, size));
+        if inconsistent {
+            self.reports.push(
+                BugReport::new(
+                    BugKind::CrossFailureSemantic,
+                    "recovery reads data whose durability was not guaranteed at the failure point",
+                )
+                .with_range(addr, size)
+                .with_event(seq),
+            );
+        }
+    }
+}
+
+impl Detector for PmDebugger {
+    fn name(&self) -> &str {
+        "pmdebugger"
+    }
+
+    fn on_event(&mut self, seq: u64, event: &PmEvent) {
+        self.events_processed += 1;
+        match event {
+            PmEvent::Store {
+                addr,
+                size,
+                tid,
+                strand,
+                in_epoch,
+            } => self.handle_store(seq, *addr, u64::from(*size), *tid, *strand, *in_epoch),
+            PmEvent::Flush {
+                addr,
+                size,
+                kind: _,
+                tid,
+                strand,
+            } => self.handle_flush(seq, *addr, u64::from(*size), *tid, *strand),
+            PmEvent::Fence {
+                kind,
+                tid,
+                strand,
+                in_epoch,
+            } => {
+                debug_assert!(
+                    *kind != FenceKind::PersistBarrier || strand.is_some() || !self.strand_seen,
+                    "persist barriers belong inside strands"
+                );
+                self.handle_fence(seq, *tid, *strand, *in_epoch);
+            }
+            PmEvent::EpochBegin { tid } => {
+                self.epochs.insert(*tid, EpochState::default());
+            }
+            PmEvent::EpochEnd { tid } => self.handle_epoch_end(seq, *tid),
+            PmEvent::StrandBegin { .. } => {
+                self.strand_seen = true;
+            }
+            PmEvent::StrandEnd { .. } => {}
+            PmEvent::JoinStrand { .. } => {
+                // Explicit cross-strand ordering point: order all persists
+                // issued so far (acts as a fence over every space).
+                for space in self.spaces.values_mut() {
+                    space.on_fence();
+                }
+                let order_reports = self.order.on_fence(seq);
+                if self.config.rules.no_order {
+                    self.reports.extend(order_reports);
+                }
+            }
+            PmEvent::TxLog {
+                obj_addr,
+                size,
+                tid,
+            } => self.handle_tx_log(seq, *tid, *obj_addr, u64::from(*size)),
+            PmEvent::FuncEnter { name, .. } => self.order.func_enter(name),
+            PmEvent::NameRange { name, addr, size } => {
+                self.order.bind(name, *addr, u64::from(*size));
+            }
+            PmEvent::Crash => self.handle_crash(),
+            PmEvent::RecoveryRead { addr, size } => {
+                self.handle_recovery_read(seq, *addr, u64::from(*size));
+            }
+            PmEvent::RegisterPmem { .. } | PmEvent::Annotation(_) => {}
+        }
+
+        if !self.custom_rules.is_empty() {
+            let view = SpaceView {
+                spaces: &self.spaces,
+            };
+            let mut extra = Vec::new();
+            for rule in &mut self.custom_rules {
+                extra.extend(rule.on_event(seq, event, &view));
+            }
+            self.reports.extend(extra);
+        }
+    }
+
+    fn finish(&mut self) -> Vec<BugReport> {
+        if self.config.rules.no_durability {
+            let residuals: Vec<_> = self.spaces.values().flat_map(|s| s.residuals()).collect();
+            for residual in residuals {
+                let (what, hint) = match residual.state {
+                    crate::array::FlushState::Flushed => {
+                        ("flushed but never fenced", "missing fence")
+                    }
+                    crate::array::FlushState::NotFlushed => {
+                        ("never flushed", "missing CLWB/CLFLUSH")
+                    }
+                };
+                self.reports.push(
+                    BugReport::new(
+                        BugKind::NoDurabilityGuarantee,
+                        format!("location {what} at program end ({hint})"),
+                    )
+                    .with_range(residual.addr, residual.size)
+                    .with_event(residual.store_seq),
+                );
+            }
+        }
+        if !self.custom_rules.is_empty() {
+            let view = SpaceView {
+                spaces: &self.spaces,
+            };
+            let mut extra = Vec::new();
+            for rule in &mut self.custom_rules {
+                extra.extend(rule.finish(&view));
+            }
+            self.reports.extend(extra);
+        }
+        std::mem::take(&mut self.reports)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_trace::FlushKind;
+
+    fn store(addr: Addr, size: u32) -> PmEvent {
+        PmEvent::Store {
+            addr,
+            size,
+            tid: ThreadId(0),
+            strand: None,
+            in_epoch: false,
+        }
+    }
+
+    fn epoch_store(addr: Addr, size: u32) -> PmEvent {
+        PmEvent::Store {
+            addr,
+            size,
+            tid: ThreadId(0),
+            strand: None,
+            in_epoch: true,
+        }
+    }
+
+    fn flush(addr: Addr) -> PmEvent {
+        PmEvent::Flush {
+            kind: FlushKind::Clwb,
+            addr,
+            size: 64,
+            tid: ThreadId(0),
+            strand: None,
+        }
+    }
+
+    fn fence() -> PmEvent {
+        PmEvent::Fence {
+            kind: FenceKind::Sfence,
+            tid: ThreadId(0),
+            strand: None,
+            in_epoch: false,
+        }
+    }
+
+    fn epoch_fence() -> PmEvent {
+        PmEvent::Fence {
+            kind: FenceKind::Sfence,
+            tid: ThreadId(0),
+            strand: None,
+            in_epoch: true,
+        }
+    }
+
+    fn run(events: Vec<PmEvent>, mut debugger: PmDebugger) -> Vec<BugReport> {
+        for (seq, event) in events.iter().enumerate() {
+            debugger.on_event(seq as u64, event);
+        }
+        debugger.finish()
+    }
+
+    fn kinds(reports: &[BugReport]) -> Vec<BugKind> {
+        reports.iter().map(|r| r.kind).collect()
+    }
+
+    #[test]
+    fn clean_program_yields_no_reports() {
+        let reports = run(
+            vec![store(0, 8), flush(0), fence()],
+            PmDebugger::strict(),
+        );
+        assert!(reports.is_empty(), "unexpected: {reports:?}");
+    }
+
+    #[test]
+    fn missing_flush_reported_at_end() {
+        let reports = run(vec![store(0, 8), fence()], PmDebugger::strict());
+        assert_eq!(kinds(&reports), vec![BugKind::NoDurabilityGuarantee]);
+        assert!(reports[0].message.contains("CLWB"));
+    }
+
+    #[test]
+    fn missing_fence_reported_at_end() {
+        let reports = run(vec![store(0, 8), flush(0)], PmDebugger::strict());
+        assert_eq!(kinds(&reports), vec![BugKind::NoDurabilityGuarantee]);
+        assert!(reports[0].message.contains("fence"));
+    }
+
+    #[test]
+    fn multiple_overwrites_reported_in_strict_only() {
+        let events = vec![store(0, 8), store(0, 8), flush(0), fence()];
+        let strict = run(events.clone(), PmDebugger::strict());
+        assert!(kinds(&strict).contains(&BugKind::MultipleOverwrites));
+        let epoch = run(events, PmDebugger::epoch());
+        assert!(!kinds(&epoch).contains(&BugKind::MultipleOverwrites));
+    }
+
+    #[test]
+    fn redundant_flush_reported() {
+        let reports = run(
+            vec![store(0, 8), flush(0), flush(0), fence()],
+            PmDebugger::strict(),
+        );
+        assert_eq!(kinds(&reports), vec![BugKind::RedundantFlushes]);
+    }
+
+    #[test]
+    fn flush_nothing_reported() {
+        let reports = run(
+            vec![store(0, 8), flush(0), flush(128), fence()],
+            PmDebugger::strict(),
+        );
+        assert_eq!(kinds(&reports), vec![BugKind::FlushNothing]);
+    }
+
+    #[test]
+    fn flush_after_fence_is_flush_nothing() {
+        let reports = run(
+            vec![store(0, 8), flush(0), fence(), flush(0), fence()],
+            PmDebugger::strict(),
+        );
+        assert_eq!(kinds(&reports), vec![BugKind::FlushNothing]);
+    }
+
+    #[test]
+    fn order_violation_detected_via_spec() {
+        let mut spec = pm_trace::OrderSpec::new();
+        spec.add_rule("value", "key", None);
+        let config =
+            DebuggerConfig::for_model(PersistencyModel::Strict).with_order_spec(spec);
+        let events = vec![
+            PmEvent::NameRange {
+                name: "value".into(),
+                addr: 0,
+                size: 8,
+            },
+            PmEvent::NameRange {
+                name: "key".into(),
+                addr: 64,
+                size: 8,
+            },
+            store(0, 8),  // write value (never persisted)
+            store(64, 8), // write key
+            flush(64),
+            fence(), // key durable before value
+            flush(0),
+            fence(),
+        ];
+        let reports = run(events, PmDebugger::new(config));
+        assert!(kinds(&reports).contains(&BugKind::NoOrderGuarantee));
+    }
+
+    #[test]
+    fn redundant_epoch_fence_needs_more_than_one() {
+        // One in-epoch fence (the TX_END one): fine.
+        let one = vec![
+            PmEvent::EpochBegin { tid: ThreadId(0) },
+            epoch_store(0, 8),
+            flush(0),
+            epoch_fence(),
+            PmEvent::EpochEnd { tid: ThreadId(0) },
+        ];
+        let reports = run(one, PmDebugger::epoch());
+        assert!(!kinds(&reports).contains(&BugKind::RedundantEpochFence));
+
+        // Two in-epoch fences (Figure 7a): redundant.
+        let two = vec![
+            PmEvent::EpochBegin { tid: ThreadId(0) },
+            epoch_store(0, 8),
+            flush(0),
+            epoch_fence(),
+            epoch_store(64, 8),
+            flush(64),
+            epoch_fence(),
+            PmEvent::EpochEnd { tid: ThreadId(0) },
+        ];
+        let reports = run(two, PmDebugger::epoch());
+        assert!(kinds(&reports).contains(&BugKind::RedundantEpochFence));
+    }
+
+    #[test]
+    fn lack_durability_in_epoch_detected() {
+        // Figure 7c: A written in epoch, only B flushed.
+        let events = vec![
+            PmEvent::EpochBegin { tid: ThreadId(0) },
+            epoch_store(0, 8),  // A, never flushed
+            epoch_store(64, 8), // B
+            flush(64),
+            epoch_fence(),
+            PmEvent::EpochEnd { tid: ThreadId(0) },
+        ];
+        let reports = run(events, PmDebugger::epoch());
+        let lack: Vec<_> = reports
+            .iter()
+            .filter(|r| r.kind == BugKind::LackDurabilityInEpoch)
+            .collect();
+        assert_eq!(lack.len(), 1);
+        assert_eq!(lack[0].addr, Some(0));
+    }
+
+    #[test]
+    fn epoch_flags_do_not_leak_into_next_epoch() {
+        let events = vec![
+            PmEvent::EpochBegin { tid: ThreadId(0) },
+            epoch_store(0, 8), // left undurable
+            PmEvent::EpochEnd { tid: ThreadId(0) },
+            PmEvent::EpochBegin { tid: ThreadId(0) },
+            epoch_store(64, 8),
+            flush(64),
+            epoch_fence(),
+            PmEvent::EpochEnd { tid: ThreadId(0) },
+        ];
+        let reports = run(events, PmDebugger::epoch());
+        let lack_count = reports
+            .iter()
+            .filter(|r| r.kind == BugKind::LackDurabilityInEpoch)
+            .count();
+        assert_eq!(lack_count, 1, "first epoch's leak must not re-report");
+    }
+
+    #[test]
+    fn redundant_logging_detected() {
+        let events = vec![
+            PmEvent::EpochBegin { tid: ThreadId(0) },
+            PmEvent::TxLog {
+                obj_addr: 0,
+                size: 8,
+                tid: ThreadId(0),
+            },
+            PmEvent::TxLog {
+                obj_addr: 0,
+                size: 8,
+                tid: ThreadId(0),
+            },
+            epoch_store(0, 8),
+            flush(0),
+            epoch_fence(),
+            PmEvent::EpochEnd { tid: ThreadId(0) },
+        ];
+        let reports = run(events, PmDebugger::epoch());
+        assert!(kinds(&reports).contains(&BugKind::RedundantLogging));
+    }
+
+    #[test]
+    fn logging_once_per_transaction_is_fine() {
+        let events = vec![
+            PmEvent::EpochBegin { tid: ThreadId(0) },
+            PmEvent::TxLog {
+                obj_addr: 0,
+                size: 8,
+                tid: ThreadId(0),
+            },
+            epoch_store(0, 8),
+            flush(0),
+            epoch_fence(),
+            PmEvent::EpochEnd { tid: ThreadId(0) },
+            // New transaction: logging the same object again is fine.
+            PmEvent::EpochBegin { tid: ThreadId(0) },
+            PmEvent::TxLog {
+                obj_addr: 0,
+                size: 8,
+                tid: ThreadId(0),
+            },
+            epoch_store(0, 8),
+            flush(0),
+            epoch_fence(),
+            PmEvent::EpochEnd { tid: ThreadId(0) },
+        ];
+        let reports = run(events, PmDebugger::epoch());
+        assert!(!kinds(&reports).contains(&BugKind::RedundantLogging));
+    }
+
+    #[test]
+    fn strand_spaces_are_independent() {
+        // Store in strand 0 unflushed; persist barrier in strand 1 must not
+        // persist it.
+        let events = vec![
+            PmEvent::StrandBegin {
+                strand: StrandId(0),
+                tid: ThreadId(0),
+            },
+            PmEvent::Store {
+                addr: 0,
+                size: 8,
+                tid: ThreadId(0),
+                strand: Some(StrandId(0)),
+                in_epoch: false,
+            },
+            PmEvent::StrandEnd {
+                strand: StrandId(0),
+                tid: ThreadId(0),
+            },
+            PmEvent::StrandBegin {
+                strand: StrandId(1),
+                tid: ThreadId(0),
+            },
+            PmEvent::Fence {
+                kind: FenceKind::PersistBarrier,
+                tid: ThreadId(0),
+                strand: Some(StrandId(1)),
+                in_epoch: false,
+            },
+            PmEvent::StrandEnd {
+                strand: StrandId(1),
+                tid: ThreadId(0),
+            },
+        ];
+        let reports = run(events, PmDebugger::strand());
+        assert_eq!(kinds(&reports), vec![BugKind::NoDurabilityGuarantee]);
+    }
+
+    #[test]
+    fn cross_strand_flush_reports_lack_ordering() {
+        // Figure 7b: order requires A before B; strand 1 persists B while A
+        // is still volatile.
+        let mut spec = pm_trace::OrderSpec::new();
+        spec.add_rule("A", "B", None);
+        let config = DebuggerConfig::for_model(PersistencyModel::Strand).with_order_spec(spec);
+        let events = vec![
+            PmEvent::NameRange {
+                name: "A".into(),
+                addr: 0,
+                size: 8,
+            },
+            PmEvent::NameRange {
+                name: "B".into(),
+                addr: 64,
+                size: 8,
+            },
+            PmEvent::StrandBegin {
+                strand: StrandId(0),
+                tid: ThreadId(0),
+            },
+            PmEvent::Store {
+                addr: 0,
+                size: 8,
+                tid: ThreadId(0),
+                strand: Some(StrandId(0)),
+                in_epoch: false,
+            },
+            PmEvent::Store {
+                addr: 64,
+                size: 8,
+                tid: ThreadId(0),
+                strand: Some(StrandId(0)),
+                in_epoch: false,
+            },
+            PmEvent::StrandEnd {
+                strand: StrandId(0),
+                tid: ThreadId(0),
+            },
+            PmEvent::StrandBegin {
+                strand: StrandId(1),
+                tid: ThreadId(0),
+            },
+            // Strand 1 flushes B before A is durable.
+            PmEvent::Flush {
+                kind: FlushKind::Clwb,
+                addr: 64,
+                size: 64,
+                tid: ThreadId(0),
+                strand: Some(StrandId(1)),
+            },
+            PmEvent::Fence {
+                kind: FenceKind::PersistBarrier,
+                tid: ThreadId(0),
+                strand: Some(StrandId(1)),
+                in_epoch: false,
+            },
+            PmEvent::StrandEnd {
+                strand: StrandId(1),
+                tid: ThreadId(0),
+            },
+        ];
+        let reports = run(events, PmDebugger::new(config));
+        assert!(kinds(&reports).contains(&BugKind::LackOrderingInStrands));
+    }
+
+    #[test]
+    fn cross_failure_read_of_lost_data_reported() {
+        let events = vec![
+            store(0, 8),
+            flush(0),
+            fence(), // durable
+            store(64, 8), // volatile at crash
+            PmEvent::Crash,
+            PmEvent::RecoveryRead { addr: 0, size: 8 },  // fine
+            PmEvent::RecoveryRead { addr: 64, size: 8 }, // inconsistent
+        ];
+        let reports = run(events, PmDebugger::strict());
+        assert_eq!(kinds(&reports), vec![BugKind::CrossFailureSemantic]);
+        assert_eq!(reports[0].addr, Some(64));
+    }
+
+    #[test]
+    fn custom_rule_runs_over_stream() {
+        struct FenceBudget {
+            fences: u64,
+            budget: u64,
+        }
+        impl CustomRule for FenceBudget {
+            fn name(&self) -> &str {
+                "fence-budget"
+            }
+            fn on_event(
+                &mut self,
+                seq: u64,
+                event: &PmEvent,
+                _view: &SpaceView<'_>,
+            ) -> Vec<BugReport> {
+                if matches!(event, PmEvent::Fence { .. }) {
+                    self.fences += 1;
+                    if self.fences > self.budget {
+                        return vec![BugReport::new(
+                            BugKind::RedundantFlushes,
+                            "fence budget exceeded",
+                        )
+                        .with_event(seq)];
+                    }
+                }
+                Vec::new()
+            }
+        }
+        let mut debugger = PmDebugger::strict();
+        debugger.add_custom_rule(Box::new(FenceBudget {
+            fences: 0,
+            budget: 1,
+        }));
+        let reports = run(
+            vec![store(0, 8), flush(0), fence(), fence()],
+            debugger,
+        );
+        assert!(reports.iter().any(|r| r.message.contains("fence budget")));
+    }
+
+    #[test]
+    fn stats_aggregate_spaces() {
+        let mut debugger = PmDebugger::strict();
+        for (seq, event) in [store(0, 8), flush(0), fence()].iter().enumerate() {
+            debugger.on_event(seq as u64, event);
+        }
+        let stats = debugger.stats();
+        assert_eq!(stats.events_processed, 3);
+        assert_eq!(stats.fence_intervals, 1);
+    }
+}

@@ -1,0 +1,384 @@
+//! Persist-order tracking for the no-order-guarantee and
+//! lack-ordering-in-strands rules (paper §4.5, §5.2).
+//!
+//! Order requirements come from the configuration file ([`pm_trace::OrderSpec`]);
+//! variables are bound to address ranges at runtime via `NameRange` events.
+//! For each variable the tracker maintains whether it has been stored to,
+//! how much of it has been flushed since, and whether it is durable.
+//!
+//! * Under strict/epoch persistency, violations are evaluated when fences
+//!   make the *second* variable durable while the *first* is still volatile.
+//! * Under strand persistency, a CLF covering the second variable while the
+//!   first is not yet durable is itself the violation (persist barriers only
+//!   order within a strand), and the report carries the strand that issued
+//!   the offending flush.
+
+use std::collections::HashMap;
+
+use pm_trace::{Addr, BugKind, BugReport, OrderSpec, StrandId};
+
+use crate::cover::RangeCover;
+
+/// Persist state of one named variable.
+#[derive(Debug, Clone, Default)]
+struct VarState {
+    range: Option<(Addr, u64)>,
+    /// The variable has been stored to and is not yet durable.
+    dirty: bool,
+    /// The variable has been stored to at least once.
+    ever_stored: bool,
+    /// Flushed-but-not-fenced coverage since the last store.
+    flushed: RangeCover,
+    /// Strand that performed the last store, when inside a strand.
+    store_strand: Option<StrandId>,
+    /// Strand that issued the last covering flush (barriers only order
+    /// their own strand's flushes).
+    flush_strand: Option<StrandId>,
+}
+
+impl VarState {
+    fn fully_flushed(&self) -> bool {
+        match self.range {
+            Some((addr, len)) => self.flushed.covers(addr, len),
+            None => false,
+        }
+    }
+}
+
+/// Tracks named variables and evaluates order rules.
+#[derive(Debug, Clone, Default)]
+pub struct OrderTracker {
+    spec: OrderSpec,
+    vars: HashMap<String, VarState>,
+    /// Functions named by at least one rule that have been entered.
+    armed_functions: HashMap<String, bool>,
+    /// Rules already reported (report each violation once).
+    reported: Vec<bool>,
+}
+
+impl OrderTracker {
+    /// Creates a tracker for the given specification.
+    pub fn new(spec: OrderSpec) -> Self {
+        let reported = vec![false; spec.rules().len()];
+        let mut armed_functions = HashMap::new();
+        for rule in spec.rules() {
+            if let Some(func) = &rule.function {
+                armed_functions.insert(func.clone(), false);
+            }
+        }
+        OrderTracker {
+            spec,
+            vars: HashMap::new(),
+            armed_functions,
+            reported,
+        }
+    }
+
+    /// Whether any rules are configured.
+    pub fn is_empty(&self) -> bool {
+        self.spec.rules().is_empty()
+    }
+
+    /// Binds variable `name` to `[addr, addr+len)`.
+    pub fn bind(&mut self, name: &str, addr: Addr, len: u64) {
+        let state = self.vars.entry(name.to_owned()).or_default();
+        state.range = Some((addr, len));
+    }
+
+    /// Marks entry into an application function (arms function-scoped rules).
+    pub fn func_enter(&mut self, name: &str) {
+        if let Some(armed) = self.armed_functions.get_mut(name) {
+            *armed = true;
+        }
+    }
+
+    /// Observes a store.
+    pub fn on_store(&mut self, addr: Addr, len: u64, strand: Option<StrandId>) {
+        for state in self.vars.values_mut() {
+            if let Some((va, vl)) = state.range {
+                if pm_trace::events::ranges_overlap(va, vl, addr, len) {
+                    state.dirty = true;
+                    state.ever_stored = true;
+                    state.flushed.clear();
+                    state.store_strand = strand;
+                }
+            }
+        }
+    }
+
+    /// Observes a CLF. Under strand persistency (`strand_mode`), returns
+    /// lack-ordering-in-strands reports triggered by this flush.
+    pub fn on_flush(
+        &mut self,
+        addr: Addr,
+        len: u64,
+        strand: Option<StrandId>,
+        strand_mode: bool,
+        seq: u64,
+    ) -> Vec<BugReport> {
+        for state in self.vars.values_mut() {
+            if let Some((va, vl)) = state.range {
+                if state.dirty && pm_trace::events::ranges_overlap(va, vl, addr, len) {
+                    state.flushed.add(addr, len);
+                    state.flush_strand = strand;
+                }
+            }
+        }
+        if !strand_mode {
+            return Vec::new();
+        }
+        // Strand model: flushing the second variable while the first is
+        // still volatile violates the cross-strand order (§5.2, Figure 7b).
+        let mut reports = Vec::new();
+        for (i, rule) in self.spec.rules().iter().enumerate() {
+            if self.reported[i] || !self.rule_armed(rule) {
+                continue;
+            }
+            let Some(second) = self.vars.get(&rule.second) else {
+                continue;
+            };
+            let Some((sa, sl)) = second.range else { continue };
+            if !pm_trace::events::ranges_overlap(sa, sl, addr, len) {
+                continue;
+            }
+            let Some(first) = self.vars.get(&rule.first) else {
+                continue;
+            };
+            if first.ever_stored && first.dirty && second.dirty {
+                self.reported[i] = true;
+                let strand_note = match (strand, first.store_strand) {
+                    (Some(s), Some(fs)) if s != fs => {
+                        format!(
+                            " (flush in strand {}, first var written in strand {})",
+                            s.0, fs.0
+                        )
+                    }
+                    (Some(s), _) => format!(" (flush in strand {})", s.0),
+                    _ => String::new(),
+                };
+                reports.push(
+                    BugReport::new(
+                        BugKind::LackOrderingInStrands,
+                        format!(
+                            "`{}` is being persisted before `{}` is durable{}",
+                            rule.second, rule.first, strand_note
+                        ),
+                    )
+                    .with_range(sa, sl)
+                    .with_event(seq),
+                );
+            }
+        }
+        reports
+    }
+
+    /// Observes a fence: fully flushed variables become durable; rules whose
+    /// second variable became durable while the first is still volatile are
+    /// violated (§4.5).
+    ///
+    /// Under strand persistency a persist barrier orders only its own
+    /// strand's flushes: pass the barrier's strand in `fence_strand`.
+    /// Global fences (plain `SFENCE` outside strands, `JoinStrand`) pass
+    /// `None` and complete every pending flush.
+    pub fn on_fence_scoped(&mut self, seq: u64, fence_strand: Option<StrandId>) -> Vec<BugReport> {
+        // Determine who becomes durable at this fence.
+        let mut became_durable: Vec<String> = Vec::new();
+        for (name, state) in self.vars.iter_mut() {
+            let ordered_here = fence_strand.is_none() || state.flush_strand == fence_strand;
+            if state.dirty && state.fully_flushed() && ordered_here {
+                state.dirty = false;
+                state.flushed.clear();
+                became_durable.push(name.clone());
+            }
+        }
+        if became_durable.is_empty() {
+            return Vec::new();
+        }
+        let mut reports = Vec::new();
+        for (i, rule) in self.spec.rules().iter().enumerate() {
+            if self.reported[i] || !self.rule_armed(rule) {
+                continue;
+            }
+            if !became_durable.contains(&rule.second) {
+                continue;
+            }
+            let first_ok = self
+                .vars
+                .get(&rule.first)
+                .map(|f| !f.dirty && f.ever_stored)
+                .unwrap_or(false);
+            let first_stored = self
+                .vars
+                .get(&rule.first)
+                .map(|f| f.ever_stored)
+                .unwrap_or(false);
+            if !first_ok && first_stored {
+                self.reported[i] = true;
+                let range = self.vars.get(&rule.second).and_then(|s| s.range);
+                let mut report = BugReport::new(
+                    BugKind::NoOrderGuarantee,
+                    format!(
+                        "`{}` became durable at this fence but `{}` is not yet durable",
+                        rule.second, rule.first
+                    ),
+                )
+                .with_event(seq);
+                if let Some((addr, len)) = range {
+                    report = report.with_range(addr, len);
+                }
+                reports.push(report);
+            }
+        }
+        reports
+    }
+
+    /// Observes a global fence (non-strand code paths).
+    pub fn on_fence(&mut self, seq: u64) -> Vec<BugReport> {
+        self.on_fence_scoped(seq, None)
+    }
+
+    fn rule_armed(&self, rule: &pm_trace::OrderRule) -> bool {
+        match &rule.function {
+            None => true,
+            Some(func) => *self.armed_functions.get(func).unwrap_or(&false),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(first: &str, second: &str) -> OrderSpec {
+        let mut s = OrderSpec::new();
+        s.add_rule(first, second, None);
+        s
+    }
+
+    fn tracker(first: &str, second: &str) -> OrderTracker {
+        let mut t = OrderTracker::new(spec(first, second));
+        t.bind("a", 0, 8);
+        t.bind("b", 64, 8);
+        let _ = first;
+        let _ = second;
+        t
+    }
+
+    #[test]
+    fn correct_order_produces_no_report() {
+        let mut t = tracker("a", "b");
+        t.on_store(0, 8, None); // write a
+        t.on_flush(0, 64, None, false, 1);
+        assert!(t.on_fence(2).is_empty()); // a durable
+        t.on_store(64, 8, None); // write b
+        t.on_flush(64, 64, None, false, 4);
+        assert!(t.on_fence(5).is_empty()); // b durable after a: fine
+    }
+
+    #[test]
+    fn wrong_order_reports_once() {
+        let mut t = tracker("a", "b");
+        t.on_store(0, 8, None); // write a (never persisted)
+        t.on_store(64, 8, None); // write b
+        t.on_flush(64, 64, None, false, 2);
+        let reports = t.on_fence(3);
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].kind, BugKind::NoOrderGuarantee);
+        // Later fences do not re-report.
+        t.on_flush(64, 64, None, false, 4);
+        assert!(t.on_fence(5).is_empty());
+    }
+
+    #[test]
+    fn both_durable_same_fence_counts_as_ordered() {
+        // a and b flushed, one fence persists both: a is durable at the
+        // same fence, so not reported (the fence guarantees X's durability
+        // "before Y" in the paper's check).
+        let mut t = tracker("a", "b");
+        t.on_store(0, 8, None);
+        t.on_store(64, 8, None);
+        t.on_flush(0, 64, None, false, 2);
+        t.on_flush(64, 64, None, false, 3);
+        let reports = t.on_fence(4);
+        // a became durable at the same fence -> dirty=false when evaluated.
+        assert!(reports.is_empty());
+    }
+
+    #[test]
+    fn unbound_second_variable_is_ignored() {
+        let mut t = OrderTracker::new(spec("a", "b"));
+        t.bind("a", 0, 8);
+        t.on_store(0, 8, None);
+        assert!(t.on_fence(1).is_empty());
+    }
+
+    #[test]
+    fn first_never_stored_is_not_a_violation() {
+        let mut t = tracker("a", "b");
+        t.on_store(64, 8, None); // only b written
+        t.on_flush(64, 64, None, false, 1);
+        assert!(t.on_fence(2).is_empty());
+    }
+
+    #[test]
+    fn partial_flush_does_not_make_durable() {
+        let mut t = OrderTracker::new(spec("a", "b"));
+        t.bind("a", 0, 8);
+        t.bind("b", 0, 128); // spans two lines
+        t.on_store(0, 128, None);
+        t.on_flush(0, 64, None, false, 1); // half of b
+        assert!(t.on_fence(2).is_empty()); // b not durable yet
+    }
+
+    #[test]
+    fn restore_after_durability_resets_coverage() {
+        let mut t = tracker("a", "b");
+        t.on_store(0, 8, None);
+        t.on_flush(0, 64, None, false, 1);
+        t.on_fence(2); // a durable
+        t.on_store(0, 8, None); // a dirty again
+        t.on_store(64, 8, None);
+        t.on_flush(64, 64, None, false, 5);
+        let reports = t.on_fence(6);
+        assert_eq!(reports.len(), 1, "a was re-dirtied and never re-persisted");
+    }
+
+    #[test]
+    fn function_scoped_rule_armed_by_func_enter() {
+        let mut s = OrderSpec::new();
+        s.add_rule("a", "b", Some("insert"));
+        let mut t = OrderTracker::new(s);
+        t.bind("a", 0, 8);
+        t.bind("b", 64, 8);
+        t.on_store(0, 8, None);
+        t.on_store(64, 8, None);
+        t.on_flush(64, 64, None, false, 2);
+        assert!(t.on_fence(3).is_empty(), "rule not armed yet");
+        t.func_enter("insert");
+        t.on_store(64, 8, None);
+        t.on_flush(64, 64, None, false, 5);
+        assert_eq!(t.on_fence(6).len(), 1, "armed after func_enter");
+    }
+
+    #[test]
+    fn strand_mode_reports_at_flush() {
+        let mut t = tracker("a", "b");
+        t.on_store(0, 8, Some(StrandId(0)));
+        t.on_store(64, 8, Some(StrandId(0)));
+        let reports = t.on_flush(64, 64, Some(StrandId(1)), true, 3);
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].kind, BugKind::LackOrderingInStrands);
+        assert!(reports[0].message.contains("strand 1"));
+    }
+
+    #[test]
+    fn strand_mode_ok_when_first_durable() {
+        let mut t = tracker("a", "b");
+        t.on_store(0, 8, Some(StrandId(0)));
+        t.on_flush(0, 64, Some(StrandId(0)), true, 1);
+        t.on_fence(2); // a durable
+        t.on_store(64, 8, Some(StrandId(1)));
+        let reports = t.on_flush(64, 64, Some(StrandId(1)), true, 4);
+        assert!(reports.is_empty());
+    }
+}

@@ -1,0 +1,302 @@
+//! Ready-made custom rules.
+//!
+//! PMDebugger's hierarchical design lets users "introduce any rule for bug
+//! detection" over the same bookkeeping operations (§4.5). The nine paper
+//! rules are built into the engine; this module ships additional rules as
+//! [`CustomRule`] implementations — both as useful analyses and as worked
+//! examples for writing new ones.
+
+use std::collections::HashMap;
+
+use pm_trace::{Addr, BugKind, BugReport, PmEvent};
+
+use crate::debugger::{CustomRule, SpaceView};
+
+/// Reports epochs (transactions) whose store count exceeds a budget.
+///
+/// Giant transactions enlarge the undo log, lengthen the unpublishable
+/// window and defeat the pattern-1 assumption that records die young —
+/// `hashmap_tx`'s rehash is the canonical offender.
+#[derive(Debug)]
+pub struct EpochSizeRule {
+    budget: usize,
+    stores_in_epoch: usize,
+    in_epoch: bool,
+}
+
+impl EpochSizeRule {
+    /// Creates the rule with a per-epoch store budget.
+    pub fn new(budget: usize) -> Self {
+        EpochSizeRule {
+            budget,
+            stores_in_epoch: 0,
+            in_epoch: false,
+        }
+    }
+}
+
+impl CustomRule for EpochSizeRule {
+    fn name(&self) -> &str {
+        "epoch-size"
+    }
+
+    fn on_event(&mut self, seq: u64, event: &PmEvent, _view: &SpaceView<'_>) -> Vec<BugReport> {
+        match event {
+            PmEvent::EpochBegin { .. } => {
+                self.in_epoch = true;
+                self.stores_in_epoch = 0;
+                Vec::new()
+            }
+            PmEvent::Store { .. } if self.in_epoch => {
+                self.stores_in_epoch += 1;
+                Vec::new()
+            }
+            PmEvent::EpochEnd { .. } => {
+                self.in_epoch = false;
+                if self.stores_in_epoch > self.budget {
+                    vec![BugReport::new(
+                        BugKind::RedundantLogging,
+                        format!(
+                            "transaction stores {} locations (budget {}); consider splitting it",
+                            self.stores_in_epoch, self.budget
+                        ),
+                    )
+                    .with_event(seq)]
+                } else {
+                    Vec::new()
+                }
+            }
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// Reports cache lines flushed more than `budget` times over the whole
+/// run — write-amplification hot spots that per-fence redundant-flush
+/// checking cannot see (each individual flush may be justified).
+#[derive(Debug)]
+pub struct FlushAmplificationRule {
+    budget: u64,
+    flush_counts: HashMap<Addr, u64>,
+}
+
+impl FlushAmplificationRule {
+    /// Creates the rule with a per-line whole-run flush budget.
+    pub fn new(budget: u64) -> Self {
+        FlushAmplificationRule {
+            budget,
+            flush_counts: HashMap::new(),
+        }
+    }
+}
+
+impl CustomRule for FlushAmplificationRule {
+    fn name(&self) -> &str {
+        "flush-amplification"
+    }
+
+    fn on_event(&mut self, _seq: u64, event: &PmEvent, _view: &SpaceView<'_>) -> Vec<BugReport> {
+        if let PmEvent::Flush { addr, size, .. } = event {
+            for line in pmem_sim::lines_covering(*addr, *size as usize) {
+                *self.flush_counts.entry(line).or_default() += 1;
+            }
+        }
+        Vec::new()
+    }
+
+    fn finish(&mut self, _view: &SpaceView<'_>) -> Vec<BugReport> {
+        let budget = self.budget;
+        let mut hot: Vec<(&Addr, &u64)> = self
+            .flush_counts
+            .iter()
+            .filter(|(_, n)| **n > budget)
+            .collect();
+        hot.sort_unstable();
+        hot.iter()
+            .map(|(line, count)| {
+                BugReport::new(
+                    BugKind::RedundantFlushes,
+                    format!("cache line flushed {count} times over the run (budget {budget})"),
+                )
+                .with_range(**line, pmem_sim::CACHE_LINE_SIZE)
+            })
+            .collect()
+    }
+}
+
+/// Reports fence intervals containing more stores than a threshold: a
+/// large failure window in strict-persistency code (everything in the
+/// interval is lost together on a crash).
+#[derive(Debug)]
+pub struct FailureWindowRule {
+    threshold: usize,
+    stores_since_fence: usize,
+    worst: usize,
+}
+
+impl FailureWindowRule {
+    /// Creates the rule with a stores-per-fence-interval threshold.
+    pub fn new(threshold: usize) -> Self {
+        FailureWindowRule {
+            threshold,
+            stores_since_fence: 0,
+            worst: 0,
+        }
+    }
+
+    /// Largest fence interval observed (in stores).
+    pub fn worst_window(&self) -> usize {
+        self.worst
+    }
+}
+
+impl CustomRule for FailureWindowRule {
+    fn name(&self) -> &str {
+        "failure-window"
+    }
+
+    fn on_event(&mut self, seq: u64, event: &PmEvent, _view: &SpaceView<'_>) -> Vec<BugReport> {
+        match event {
+            PmEvent::Store { .. } => {
+                self.stores_since_fence += 1;
+                Vec::new()
+            }
+            PmEvent::Fence { .. } => {
+                let window = self.stores_since_fence;
+                self.stores_since_fence = 0;
+                self.worst = self.worst.max(window);
+                if window > self.threshold {
+                    vec![BugReport::new(
+                        BugKind::NoDurabilityGuarantee,
+                        format!(
+                            "{window} stores in one fence interval (threshold {}); a crash loses them together",
+                            self.threshold
+                        ),
+                    )
+                    .with_event(seq)]
+                } else {
+                    Vec::new()
+                }
+            }
+            _ => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::debugger::PmDebugger;
+    use pm_trace::{Detector, FenceKind, ThreadId};
+
+    fn store(addr: Addr) -> PmEvent {
+        PmEvent::Store {
+            addr,
+            size: 8,
+            tid: ThreadId(0),
+            strand: None,
+            in_epoch: false,
+        }
+    }
+
+    fn epoch_store(addr: Addr) -> PmEvent {
+        PmEvent::Store {
+            addr,
+            size: 8,
+            tid: ThreadId(0),
+            strand: None,
+            in_epoch: true,
+        }
+    }
+
+    fn flush(addr: Addr) -> PmEvent {
+        PmEvent::Flush {
+            kind: pm_trace::FlushKind::Clwb,
+            addr,
+            size: 64,
+            tid: ThreadId(0),
+            strand: None,
+        }
+    }
+
+    fn fence() -> PmEvent {
+        PmEvent::Fence {
+            kind: FenceKind::Sfence,
+            tid: ThreadId(0),
+            strand: None,
+            in_epoch: false,
+        }
+    }
+
+    fn run_with_rule(events: Vec<PmEvent>, rule: Box<dyn CustomRule>) -> Vec<BugReport> {
+        let mut debugger = PmDebugger::epoch();
+        debugger.add_custom_rule(rule);
+        for (seq, event) in events.iter().enumerate() {
+            debugger.on_event(seq as u64, event);
+        }
+        debugger
+            .finish()
+            .into_iter()
+            .filter(|r| r.at_event.is_some() || r.message.contains("budget"))
+            .collect()
+    }
+
+    #[test]
+    fn epoch_size_rule_fires_over_budget() {
+        let mut events = vec![PmEvent::EpochBegin { tid: ThreadId(0) }];
+        for i in 0..5 {
+            events.push(epoch_store(i * 64));
+        }
+        for i in 0..5 {
+            events.push(flush(i * 64));
+        }
+        events.push(PmEvent::Fence {
+            kind: FenceKind::Sfence,
+            tid: ThreadId(0),
+            strand: None,
+            in_epoch: true,
+        });
+        events.push(PmEvent::EpochEnd { tid: ThreadId(0) });
+        let reports = run_with_rule(events.clone(), Box::new(EpochSizeRule::new(3)));
+        assert!(reports.iter().any(|r| r.message.contains("stores 5")));
+        let reports = run_with_rule(events, Box::new(EpochSizeRule::new(5)));
+        assert!(!reports.iter().any(|r| r.message.contains("consider splitting")));
+    }
+
+    #[test]
+    fn flush_amplification_counts_whole_run() {
+        // Each flush is individually justified (re-dirtied line) but the
+        // line is flushed 4 times overall.
+        let mut events = Vec::new();
+        for _ in 0..4 {
+            events.push(store(0));
+            events.push(flush(0));
+            events.push(fence());
+        }
+        let reports = run_with_rule(events, Box::new(FlushAmplificationRule::new(3)));
+        assert!(reports.iter().any(|r| r.message.contains("4 times")));
+    }
+
+    #[test]
+    fn flush_amplification_quiet_under_budget() {
+        let events = vec![store(0), flush(0), fence()];
+        let reports = run_with_rule(events, Box::new(FlushAmplificationRule::new(3)));
+        assert!(reports.is_empty());
+    }
+
+    #[test]
+    fn failure_window_flags_long_intervals() {
+        let mut events: Vec<PmEvent> = (0..10).map(|i| store(i * 64)).collect();
+        events.push(flush(0));
+        events.push(fence());
+        let mut debugger = PmDebugger::strict();
+        debugger.add_custom_rule(Box::new(FailureWindowRule::new(4)));
+        for (seq, event) in events.iter().enumerate() {
+            debugger.on_event(seq as u64, event);
+        }
+        let reports = debugger.finish();
+        assert!(reports
+            .iter()
+            .any(|r| r.message.contains("10 stores in one fence interval")));
+    }
+}

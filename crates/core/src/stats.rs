@@ -1,0 +1,102 @@
+//! Aggregated debugger statistics (Figure 11 and the §7.5 "key insight"
+//! numbers: tree sizes, reorganizations, bookkeeping work).
+
+use crate::avl::TreeOpStats;
+use crate::space::SpaceStats;
+
+/// Bookkeeping statistics aggregated over every space of a debugger.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DebuggerStats {
+    /// Events the debugger observed.
+    pub events_processed: u64,
+    /// Stores appended to arrays.
+    pub array_stores: u64,
+    /// Stores spilled to trees (arrays full).
+    pub array_spills: u64,
+    /// Location splits from partially overlapping CLFs.
+    pub splits: u64,
+    /// Fence intervals processed (summed over spaces).
+    pub fence_intervals: u64,
+    /// Sum of tree sizes sampled at fences.
+    pub tree_node_sum: u64,
+    /// Elements migrated from array to tree at fences.
+    pub migrations: u64,
+    /// AVL rotations.
+    pub rotations: u64,
+    /// Threshold-gated merge passes ("tree reorganizations").
+    pub merges: u64,
+    /// Tree insertions over the run.
+    pub tree_inserts: u64,
+    /// Tree removals over the run.
+    pub tree_removals: u64,
+    /// Current total tree size across spaces.
+    pub tree_len_now: usize,
+}
+
+impl DebuggerStats {
+    /// Folds one space's counters into the aggregate.
+    pub fn absorb_space(&mut self, space: SpaceStats, tree: TreeOpStats, tree_len: usize) {
+        self.array_stores += space.array_stores;
+        self.array_spills += space.array_spills;
+        self.splits += space.splits;
+        self.fence_intervals += space.fence_intervals;
+        self.tree_node_sum += space.tree_node_sum;
+        self.migrations += space.migrations;
+        self.rotations += tree.rotations;
+        self.merges += tree.merges;
+        self.tree_inserts += tree.inserts;
+        self.tree_removals += tree.removals;
+        self.tree_len_now += tree_len;
+    }
+
+    /// Average tree node count per fence interval (Figure 11).
+    pub fn avg_tree_nodes(&self) -> f64 {
+        if self.fence_intervals == 0 {
+            0.0
+        } else {
+            self.tree_node_sum as f64 / self.fence_intervals as f64
+        }
+    }
+
+    /// Total tree maintenance operations — the "expensive tree
+    /// reorganizations" count compared in §7.5.
+    pub fn reorganizations(&self) -> u64 {
+        self.rotations + self.merges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut stats = DebuggerStats::default();
+        let space = SpaceStats {
+            array_stores: 10,
+            array_spills: 1,
+            splits: 2,
+            fence_intervals: 4,
+            tree_node_sum: 20,
+            migrations: 3,
+        };
+        let tree = TreeOpStats {
+            rotations: 5,
+            merges: 1,
+            inserts: 6,
+            removals: 2,
+        };
+        stats.absorb_space(space, tree, 7);
+        stats.absorb_space(space, tree, 3);
+        assert_eq!(stats.array_stores, 20);
+        assert_eq!(stats.fence_intervals, 8);
+        assert_eq!(stats.tree_len_now, 10);
+        assert_eq!(stats.reorganizations(), 12);
+        assert!((stats.avg_tree_nodes() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_avg_is_zero() {
+        assert_eq!(DebuggerStats::default().avg_tree_nodes(), 0.0);
+    }
+}

@@ -1,0 +1,191 @@
+//! Property tests for the relaxed-model rules: random epoch-structured
+//! programs checked against simple oracles.
+
+use pm_trace::{replay_finish, BugKind, FenceKind, PmEvent, ThreadId, Trace};
+use pmdebugger::PmDebugger;
+use proptest::prelude::*;
+
+const LINES: u64 = 16;
+
+/// One epoch section: which lines are stored, which flushed, and how many
+/// extra fences appear inside the section.
+#[derive(Debug, Clone)]
+struct Epoch {
+    stores: Vec<u64>,
+    flush_all: bool,
+    extra_fences: usize,
+}
+
+fn epoch_strategy() -> impl Strategy<Value = Epoch> {
+    (
+        proptest::collection::vec(0..LINES, 1..6),
+        any::<bool>(),
+        0usize..3,
+    )
+        .prop_map(|(stores, flush_all, extra_fences)| Epoch {
+            stores,
+            flush_all,
+            extra_fences,
+        })
+}
+
+fn tid() -> ThreadId {
+    ThreadId(0)
+}
+
+fn build(epochs: &[Epoch]) -> Trace {
+    let mut trace = Trace::new();
+    let mut dirty: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+    for epoch in epochs {
+        trace.push(PmEvent::EpochBegin { tid: tid() });
+        for line in &epoch.stores {
+            dirty.insert(*line);
+            trace.push(PmEvent::Store {
+                addr: line * 64,
+                size: 8,
+                tid: tid(),
+                strand: None,
+                in_epoch: true,
+            });
+        }
+        for _ in 0..epoch.extra_fences {
+            trace.push(PmEvent::Fence {
+                kind: FenceKind::Sfence,
+                tid: tid(),
+                strand: None,
+                in_epoch: true,
+            });
+        }
+        if epoch.flush_all {
+            let mut lines = epoch.stores.clone();
+            lines.sort_unstable();
+            lines.dedup();
+            for line in lines {
+                dirty.remove(&line);
+                trace.push(PmEvent::Flush {
+                    kind: pmem_sim::FlushKind::Clwb,
+                    addr: line * 64,
+                    size: 64,
+                    tid: tid(),
+                    strand: None,
+                });
+            }
+        }
+        // The TX_END fence.
+        trace.push(PmEvent::Fence {
+            kind: FenceKind::Sfence,
+            tid: tid(),
+            strand: None,
+            in_epoch: true,
+        });
+        trace.push(PmEvent::EpochEnd { tid: tid() });
+    }
+    // Settle the still-dirty lines afterwards so only epoch rules fire.
+    for line in &dirty {
+        trace.push(PmEvent::Flush {
+            kind: pmem_sim::FlushKind::Clwb,
+            addr: line * 64,
+            size: 64,
+            tid: tid(),
+            strand: None,
+        });
+    }
+    if !dirty.is_empty() {
+        trace.push(PmEvent::Fence {
+            kind: FenceKind::Sfence,
+            tid: tid(),
+            strand: None,
+            in_epoch: false,
+        });
+    }
+    trace
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Lack-durability-in-epoch fires for exactly the epochs that skip the
+    /// flush, and redundant-epoch-fence for exactly those with extra
+    /// fences (the TX_END fence alone is legitimate).
+    #[test]
+    fn epoch_rules_match_construction(epochs in proptest::collection::vec(epoch_strategy(), 0..8)) {
+        let trace = build(&epochs);
+        let mut det = PmDebugger::epoch();
+        let reports = replay_finish(&trace, &mut det);
+
+        let lack_expected = epochs.iter().filter(|e| !e.flush_all).count();
+        let lack_got = reports
+            .iter()
+            .filter(|r| r.kind == BugKind::LackDurabilityInEpoch)
+            .map(|r| r.at_event)
+            .collect::<std::collections::BTreeSet<_>>()
+            .len();
+        prop_assert_eq!(lack_got, lack_expected, "lack-durability per epoch");
+
+        let redundant_expected = epochs.iter().filter(|e| e.extra_fences > 0).count();
+        let redundant_got = reports
+            .iter()
+            .filter(|r| r.kind == BugKind::RedundantEpochFence)
+            .count();
+        prop_assert_eq!(redundant_got, redundant_expected, "redundant fences");
+
+        // The trailing settle pass leaves no end-of-program reports.
+        prop_assert!(!reports
+            .iter()
+            .any(|r| r.kind == BugKind::NoDurabilityGuarantee));
+    }
+
+    /// Multiple overwrites inside epochs never fire under the epoch model,
+    /// even when the same line is stored repeatedly.
+    #[test]
+    fn overwrites_are_legal_inside_epochs(line in 0..LINES, repeats in 2usize..6) {
+        let epoch = Epoch {
+            stores: vec![line; repeats],
+            flush_all: true,
+            extra_fences: 0,
+        };
+        let trace = build(&[epoch]);
+        let mut det = PmDebugger::epoch();
+        let reports = replay_finish(&trace, &mut det);
+        prop_assert!(reports.is_empty(), "{reports:?}");
+    }
+
+    /// Redundant logging fires iff an object is logged twice in one
+    /// transaction, never across transactions.
+    #[test]
+    fn redundant_logging_is_per_transaction(
+        duplicate_in_first in any::<bool>(),
+        obj in 0..LINES,
+    ) {
+        let mut trace = Trace::new();
+        for tx in 0..2 {
+            trace.push(PmEvent::EpochBegin { tid: tid() });
+            trace.push(PmEvent::TxLog {
+                obj_addr: obj * 64,
+                size: 8,
+                tid: tid(),
+            });
+            if tx == 0 && duplicate_in_first {
+                trace.push(PmEvent::TxLog {
+                    obj_addr: obj * 64,
+                    size: 8,
+                    tid: tid(),
+                });
+            }
+            trace.push(PmEvent::Fence {
+                kind: FenceKind::Sfence,
+                tid: tid(),
+                strand: None,
+                in_epoch: true,
+            });
+            trace.push(PmEvent::EpochEnd { tid: tid() });
+        }
+        let mut det = PmDebugger::epoch();
+        let reports = replay_finish(&trace, &mut det);
+        let logging = reports
+            .iter()
+            .filter(|r| r.kind == BugKind::RedundantLogging)
+            .count();
+        prop_assert_eq!(logging, usize::from(duplicate_in_first));
+    }
+}

@@ -1,0 +1,263 @@
+//! Property-based tests for PMDebugger's bookkeeping structures.
+
+use pmdebugger::avl::{AvlTree, TreeRecord};
+use pmdebugger::{BookkeepingSpace, FlushState};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+const SPAN: u64 = 2048; // byte span the oracle models
+
+/// Random bookkeeping operations (byte-granular, including partial
+/// flushes that force splits).
+#[derive(Debug, Clone)]
+enum Op {
+    Store { addr: u64, size: u64 },
+    Flush { addr: u64, size: u64 },
+    Fence,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0..SPAN - 32, 1u64..32).prop_map(|(addr, size)| Op::Store { addr, size }),
+        3 => (0..SPAN - 64, 1u64..64).prop_map(|(addr, size)| Op::Flush { addr, size }),
+        2 => Just(Op::Fence),
+    ]
+}
+
+/// Byte-granular oracle of persistency state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ByteState {
+    Durable,
+    Dirty,
+    Pending,
+}
+
+fn oracle(ops: &[Op]) -> BTreeMap<u64, ByteState> {
+    let mut bytes: BTreeMap<u64, ByteState> = BTreeMap::new();
+    for op in ops {
+        match op {
+            Op::Store { addr, size } => {
+                for b in *addr..addr + size {
+                    bytes.insert(b, ByteState::Dirty);
+                }
+            }
+            Op::Flush { addr, size } => {
+                for b in *addr..addr + size {
+                    if let Some(state) = bytes.get_mut(&b) {
+                        if *state == ByteState::Dirty {
+                            *state = ByteState::Pending;
+                        }
+                    }
+                }
+            }
+            Op::Fence => {
+                for state in bytes.values_mut() {
+                    if *state == ByteState::Pending {
+                        *state = ByteState::Durable;
+                    }
+                }
+            }
+        }
+    }
+    bytes
+}
+
+fn run_space(ops: &[Op], capacity: usize) -> BookkeepingSpace {
+    let mut space = BookkeepingSpace::new(capacity, 500);
+    for (seq, op) in ops.iter().enumerate() {
+        match op {
+            Op::Store { addr, size } => {
+                space.on_store(*addr, *size, false, seq as u64, false);
+            }
+            Op::Flush { addr, size } => {
+                space.on_flush(*addr, *size);
+            }
+            Op::Fence => {
+                space.on_fence();
+            }
+        }
+    }
+    space
+}
+
+/// Bytes the space still tracks (union of residual ranges), with their
+/// effective flush state.
+fn residual_bytes(space: &BookkeepingSpace) -> BTreeMap<u64, FlushState> {
+    let mut bytes = BTreeMap::new();
+    for residual in space.residuals() {
+        for b in residual.addr..residual.addr + residual.size {
+            // Later entries (more recent stores) win where ranges overlap:
+            // a byte is unflushed if ANY residual covering it is unflushed.
+            let entry = bytes.entry(b).or_insert(residual.state);
+            if residual.state == FlushState::NotFlushed {
+                *entry = FlushState::NotFlushed;
+            }
+        }
+    }
+    bytes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The space's residual byte set equals the oracle's not-durable set —
+    /// every stored byte is tracked until durable, and dropped exactly when
+    /// durable.
+    #[test]
+    fn residuals_match_byte_oracle(ops in proptest::collection::vec(op_strategy(), 0..80)) {
+        let space = run_space(&ops, 100_000);
+        let tracked = residual_bytes(&space);
+        let expected = oracle(&ops);
+        for (byte, state) in &expected {
+            match state {
+                ByteState::Durable => prop_assert!(
+                    !tracked.contains_key(byte),
+                    "byte {byte:#x} durable but still tracked"
+                ),
+                ByteState::Dirty | ByteState::Pending => prop_assert!(
+                    tracked.contains_key(byte),
+                    "byte {byte:#x} not durable but lost"
+                ),
+            }
+        }
+        // And nothing is tracked that was never left undurable.
+        for byte in tracked.keys() {
+            prop_assert_ne!(
+                expected.get(byte).copied(),
+                Some(ByteState::Durable),
+                "byte {:#x} tracked after durability", byte
+            );
+        }
+    }
+
+    /// Same equivalence with a tiny array (every store spills to the tree):
+    /// the array is a performance structure, never a correctness one.
+    #[test]
+    fn residuals_match_oracle_with_spills(ops in proptest::collection::vec(op_strategy(), 0..60)) {
+        let big = residual_bytes(&run_space(&ops, 100_000));
+        let tiny = residual_bytes(&run_space(&ops, 2));
+        prop_assert_eq!(
+            big.keys().collect::<Vec<_>>(),
+            tiny.keys().collect::<Vec<_>>()
+        );
+    }
+
+    /// Pending (flushed but unfenced) bytes report as Flushed; dirty bytes
+    /// as NotFlushed (drives the missing-fence vs missing-CLF hint).
+    #[test]
+    fn residual_states_classify_correctly(ops in proptest::collection::vec(op_strategy(), 0..80)) {
+        let space = run_space(&ops, 100_000);
+        let tracked = residual_bytes(&space);
+        let expected = oracle(&ops);
+        for (byte, state) in tracked {
+            match expected.get(&byte) {
+                Some(ByteState::Dirty) => prop_assert_eq!(
+                    state, FlushState::NotFlushed,
+                    "dirty byte {:#x} reported flushed", byte
+                ),
+                Some(ByteState::Pending) => prop_assert_eq!(
+                    state, FlushState::Flushed,
+                    "pending byte {:#x} reported unflushed", byte
+                ),
+                other => prop_assert!(false, "byte {:#x} unexpectedly {:?}", byte, other),
+            }
+        }
+    }
+
+    /// AVL invariants hold under arbitrary insert/update/drain sequences.
+    #[test]
+    fn avl_invariants_under_churn(
+        inserts in proptest::collection::vec((0u64..4096, 1u64..64), 1..150),
+        flush_every in 2usize..6,
+    ) {
+        let mut tree = AvlTree::new();
+        for (i, (addr, size)) in inserts.iter().enumerate() {
+            tree.insert(TreeRecord {
+                addr: *addr,
+                size: *size,
+                state: FlushState::NotFlushed,
+                in_epoch: i % 3 == 0,
+                store_seq: i as u64,
+            });
+            if i % flush_every == 0 {
+                tree.update_overlapping(*addr, *size, |mut r| {
+                    r.state = FlushState::Flushed;
+                    pmdebugger::avl::SmallReplacement::One(r)
+                });
+            }
+            if i % (flush_every * 2) == 0 {
+                tree.drain_flushed();
+            }
+            tree.check_invariants().map_err(|e| {
+                TestCaseError::fail(format!("invariant broken: {e}"))
+            })?;
+        }
+        // Counters agree with a full scan.
+        let records = tree.to_sorted_vec();
+        prop_assert_eq!(
+            tree.flushed_len(),
+            records.iter().filter(|r| r.state == FlushState::Flushed).count()
+        );
+        prop_assert_eq!(
+            tree.epoch_len(),
+            records.iter().filter(|r| r.in_epoch).count()
+        );
+    }
+
+    /// Merging preserves covered bytes and never increases node count.
+    #[test]
+    fn merge_preserves_coverage(
+        inserts in proptest::collection::vec((0u64..1024, 1u64..32), 1..100)
+    ) {
+        let mut tree = AvlTree::new();
+        for (i, (addr, size)) in inserts.iter().enumerate() {
+            tree.insert(TreeRecord {
+                addr: *addr,
+                size: *size,
+                state: FlushState::NotFlushed,
+                in_epoch: false,
+                store_seq: i as u64,
+            });
+        }
+        let before: std::collections::BTreeSet<u64> = tree
+            .to_sorted_vec()
+            .iter()
+            .flat_map(|r| r.addr..r.addr + r.size)
+            .collect();
+        let len_before = tree.len();
+        tree.maybe_merge(0);
+        let after: std::collections::BTreeSet<u64> = tree
+            .to_sorted_vec()
+            .iter()
+            .flat_map(|r| r.addr..r.addr + r.size)
+            .collect();
+        prop_assert_eq!(before, after);
+        prop_assert!(tree.len() <= len_before);
+        tree.check_invariants().map_err(|e| {
+            TestCaseError::fail(format!("invariant broken after merge: {e}"))
+        })?;
+    }
+
+    /// RangeCover's covers/intersects agree with a byte-set model.
+    #[test]
+    fn range_cover_matches_byte_model(
+        adds in proptest::collection::vec((0u64..512, 1u64..48), 0..30),
+        probe in (0u64..512, 1u64..48),
+    ) {
+        let mut cover = pmdebugger::RangeCover::new();
+        let mut model = std::collections::BTreeSet::new();
+        for (addr, len) in &adds {
+            cover.add(*addr, *len);
+            model.extend(*addr..addr + len);
+        }
+        let (p_addr, p_len) = probe;
+        let all = (p_addr..p_addr + p_len).all(|b| model.contains(&b));
+        let any = (p_addr..p_addr + p_len).any(|b| model.contains(&b));
+        prop_assert_eq!(cover.covers(p_addr, p_len), all);
+        prop_assert_eq!(cover.intersects(p_addr, p_len), any);
+        // Stored ranges stay disjoint and sorted.
+        for pair in cover.ranges().windows(2) {
+            prop_assert!(pair[0].1 < pair[1].0);
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! A PMDK-flavoured object allocator over a [`crate::PmPool`] address space.
+//!
+//! Workloads in this repository allocate persistent objects much like PMDK's
+//! `pmemobj` layer does: allocations are named by stable [`ObjectId`]s and
+//! mapped to pool offsets. The allocator is a first-fit free-list allocator
+//! with cache-line-aligned blocks so that distinct objects never share a
+//! cache line (mirroring `pmemobj`'s minimum allocation granularity and
+//! keeping flush reasoning per-object exact).
+
+use std::collections::BTreeMap;
+
+use crate::cacheline::CACHE_LINE_SIZE;
+use crate::error::PmemError;
+
+/// Stable identifier of a live persistent allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjectId(pub u64);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Block {
+    offset: u64,
+    size: u64,
+}
+
+/// First-fit free-list allocator handing out cache-line-aligned ranges of a
+/// pool's address space.
+///
+/// The allocator manages offsets only; it does not own the pool bytes, so it
+/// composes with both [`crate::PmPool`] and trace-only runtimes.
+#[derive(Debug, Clone)]
+pub struct PmAllocator {
+    pool_size: u64,
+    free: Vec<Block>,
+    live: BTreeMap<ObjectId, Block>,
+    next_id: u64,
+}
+
+impl PmAllocator {
+    /// Creates an allocator over `[base, base + size)`.
+    pub fn new(base: u64, size: u64) -> Self {
+        Self {
+            pool_size: base + size,
+            free: vec![Block { offset: base, size }],
+            live: BTreeMap::new(),
+            next_id: 1,
+        }
+    }
+
+    fn align_up(v: u64) -> u64 {
+        (v + CACHE_LINE_SIZE - 1) & !(CACHE_LINE_SIZE - 1)
+    }
+
+    /// Allocates `size` bytes, rounded up to whole cache lines.
+    ///
+    /// Returns the new object's id and base address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmemError::OutOfMemory`] when no free block fits and
+    /// [`PmemError::EmptyAccess`] for zero-size requests.
+    pub fn alloc(&mut self, size: usize) -> Result<(ObjectId, u64), PmemError> {
+        if size == 0 {
+            return Err(PmemError::EmptyAccess);
+        }
+        let need = Self::align_up(size as u64);
+        let idx = self
+            .free
+            .iter()
+            .position(|b| b.size >= need)
+            .ok_or(PmemError::OutOfMemory { requested: size })?;
+        let block = self.free[idx];
+        if block.size == need {
+            self.free.remove(idx);
+        } else {
+            self.free[idx] = Block {
+                offset: block.offset + need,
+                size: block.size - need,
+            };
+        }
+        let id = ObjectId(self.next_id);
+        self.next_id += 1;
+        self.live.insert(
+            id,
+            Block {
+                offset: block.offset,
+                size: need,
+            },
+        );
+        Ok((id, block.offset))
+    }
+
+    /// Frees a live allocation, coalescing adjacent free blocks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmemError::InvalidObject`] if `id` is not live.
+    pub fn free(&mut self, id: ObjectId) -> Result<(), PmemError> {
+        let block = self.live.remove(&id).ok_or(PmemError::InvalidObject(id.0))?;
+        // Insert sorted by offset, then coalesce neighbours.
+        let pos = self
+            .free
+            .binary_search_by_key(&block.offset, |b| b.offset)
+            .unwrap_err();
+        self.free.insert(pos, block);
+        self.coalesce();
+        Ok(())
+    }
+
+    fn coalesce(&mut self) {
+        let mut merged: Vec<Block> = Vec::with_capacity(self.free.len());
+        for &block in &self.free {
+            match merged.last_mut() {
+                Some(last) if last.offset + last.size == block.offset => {
+                    last.size += block.size;
+                }
+                _ => merged.push(block),
+            }
+        }
+        self.free = merged;
+    }
+
+    /// Base address of a live allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmemError::InvalidObject`] if `id` is not live.
+    pub fn addr_of(&self, id: ObjectId) -> Result<u64, PmemError> {
+        self.live
+            .get(&id)
+            .map(|b| b.offset)
+            .ok_or(PmemError::InvalidObject(id.0))
+    }
+
+    /// Rounded-up size of a live allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmemError::InvalidObject`] if `id` is not live.
+    pub fn size_of(&self, id: ObjectId) -> Result<u64, PmemError> {
+        self.live
+            .get(&id)
+            .map(|b| b.size)
+            .ok_or(PmemError::InvalidObject(id.0))
+    }
+
+    /// Number of live allocations.
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Total bytes currently free.
+    pub fn free_bytes(&self) -> u64 {
+        self.free.iter().map(|b| b.size).sum()
+    }
+
+    /// End of the managed region.
+    pub fn region_end(&self) -> u64 {
+        self.pool_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_is_line_aligned() {
+        let mut a = PmAllocator::new(0, 4096);
+        let (_, addr1) = a.alloc(1).unwrap();
+        let (_, addr2) = a.alloc(65).unwrap();
+        assert_eq!(addr1 % CACHE_LINE_SIZE, 0);
+        assert_eq!(addr2 % CACHE_LINE_SIZE, 0);
+        assert_eq!(addr2 - addr1, CACHE_LINE_SIZE); // 1 byte -> one line
+    }
+
+    #[test]
+    fn distinct_objects_never_share_lines() {
+        let mut a = PmAllocator::new(0, 4096);
+        let (_, x) = a.alloc(8).unwrap();
+        let (_, y) = a.alloc(8).unwrap();
+        assert_ne!(
+            crate::cacheline::line_base(x),
+            crate::cacheline::line_base(y)
+        );
+    }
+
+    #[test]
+    fn zero_alloc_rejected() {
+        let mut a = PmAllocator::new(0, 4096);
+        assert_eq!(a.alloc(0).unwrap_err(), PmemError::EmptyAccess);
+    }
+
+    #[test]
+    fn out_of_memory() {
+        let mut a = PmAllocator::new(0, 128);
+        a.alloc(64).unwrap();
+        a.alloc(64).unwrap();
+        assert!(matches!(
+            a.alloc(1).unwrap_err(),
+            PmemError::OutOfMemory { .. }
+        ));
+    }
+
+    #[test]
+    fn free_and_reuse() {
+        let mut a = PmAllocator::new(0, 128);
+        let (id, addr) = a.alloc(64).unwrap();
+        a.alloc(64).unwrap();
+        a.free(id).unwrap();
+        let (_, addr2) = a.alloc(64).unwrap();
+        assert_eq!(addr, addr2);
+    }
+
+    #[test]
+    fn double_free_rejected() {
+        let mut a = PmAllocator::new(0, 256);
+        let (id, _) = a.alloc(8).unwrap();
+        a.free(id).unwrap();
+        assert_eq!(a.free(id).unwrap_err(), PmemError::InvalidObject(id.0));
+    }
+
+    #[test]
+    fn coalescing_restores_full_region() {
+        let mut a = PmAllocator::new(0, 512);
+        let ids: Vec<ObjectId> = (0..8).map(|_| a.alloc(64).unwrap().0).collect();
+        assert_eq!(a.free_bytes(), 0);
+        // Free in an interleaved order to exercise coalescing.
+        for &id in ids.iter().step_by(2) {
+            a.free(id).unwrap();
+        }
+        for &id in ids.iter().skip(1).step_by(2) {
+            a.free(id).unwrap();
+        }
+        assert_eq!(a.free_bytes(), 512);
+        let (_, addr) = a.alloc(512).unwrap();
+        assert_eq!(addr, 0);
+    }
+
+    #[test]
+    fn addr_and_size_queries() {
+        let mut a = PmAllocator::new(64, 4096);
+        let (id, addr) = a.alloc(100).unwrap();
+        assert_eq!(a.addr_of(id).unwrap(), addr);
+        assert_eq!(a.size_of(id).unwrap(), 128); // rounded to 2 lines
+        assert_eq!(a.live_count(), 1);
+    }
+
+    #[test]
+    fn base_offset_respected() {
+        let mut a = PmAllocator::new(1024, 1024);
+        let (_, addr) = a.alloc(8).unwrap();
+        assert!(addr >= 1024);
+        assert_eq!(a.region_end(), 2048);
+    }
+}

@@ -1,0 +1,243 @@
+//! Volatile cache model with a write-pending queue.
+//!
+//! This models the persistency-relevant slice of the memory hierarchy:
+//! which cache lines are dirty (volatile), which have been flushed and sit in
+//! the memory controller's write-pending queue (WPQ, ordered-by-fence), and
+//! which have reached the persistence domain.
+
+use std::collections::BTreeMap;
+
+use crate::cacheline::line_base;
+use crate::pool::FlushKind;
+
+/// Persistency state of a single cache line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LineState {
+    /// The line holds data newer than the persistence domain and has not
+    /// been flushed since its last store.
+    Dirty,
+    /// The line was flushed (CLWB/CLFLUSH/CLFLUSHOPT) after its last store
+    /// and sits in the write-pending queue; it persists at the next fence,
+    /// but may or may not survive a crash occurring before that fence.
+    Pending,
+    /// The line's most recent store has reached the persistence domain.
+    Persisted,
+}
+
+/// Tracks the persistency state of every cache line that has been stored to.
+///
+/// Lines never stored to are implicitly clean/persisted (their content equals
+/// the persistence-domain image by definition).
+#[derive(Debug, Clone, Default)]
+pub struct CacheModel {
+    /// State per line base address. Only lines that were ever stored to
+    /// appear here.
+    lines: BTreeMap<u64, LineState>,
+    /// Count of fences processed, for statistics.
+    fences: u64,
+    /// Count of flushes processed, for statistics.
+    flushes: u64,
+}
+
+impl CacheModel {
+    /// Creates an empty cache model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a store touching the line containing `addr`.
+    ///
+    /// The line becomes [`LineState::Dirty`] regardless of its prior state:
+    /// a store after a flush re-dirties the line (the earlier flush does not
+    /// cover the new data).
+    pub fn store(&mut self, addr: u64) {
+        self.lines.insert(line_base(addr), LineState::Dirty);
+    }
+
+    /// Records a flush of the line containing `addr`.
+    ///
+    /// Returns the state of the line *before* the flush, or `None` if the
+    /// line was never stored to (a "flush nothing" — the flush is harmless
+    /// but useless).
+    pub fn flush(&mut self, _kind: FlushKind, addr: u64) -> Option<LineState> {
+        self.flushes += 1;
+        let base = line_base(addr);
+        match self.lines.get_mut(&base) {
+            Some(state) => {
+                let prev = *state;
+                if prev == LineState::Dirty {
+                    *state = LineState::Pending;
+                }
+                Some(prev)
+            }
+            None => None,
+        }
+    }
+
+    /// Records a store fence: all pending lines reach the persistence domain.
+    ///
+    /// Returns the base addresses of the lines that persisted at this fence.
+    pub fn sfence(&mut self) -> Vec<u64> {
+        self.fences += 1;
+        let mut persisted = Vec::new();
+        for (base, state) in self.lines.iter_mut() {
+            if *state == LineState::Pending {
+                *state = LineState::Persisted;
+                persisted.push(*base);
+            }
+        }
+        persisted
+    }
+
+    /// Returns the state of the line containing `addr`, or `None` if it was
+    /// never stored to.
+    pub fn line_state(&self, addr: u64) -> Option<LineState> {
+        self.lines.get(&line_base(addr)).copied()
+    }
+
+    /// Returns `true` if every line overlapping `[addr, addr + len)` is
+    /// persisted (or was never stored to).
+    pub fn range_persisted(&self, addr: u64, len: usize) -> bool {
+        crate::cacheline::lines_covering(addr, len).all(|base| {
+            matches!(
+                self.lines.get(&base),
+                None | Some(LineState::Persisted)
+            )
+        })
+    }
+
+    /// Iterates over `(line_base, state)` pairs for all tracked lines.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, LineState)> + '_ {
+        self.lines.iter().map(|(b, s)| (*b, *s))
+    }
+
+    /// Base addresses of lines currently in the write-pending queue.
+    pub fn pending_lines(&self) -> Vec<u64> {
+        self.lines
+            .iter()
+            .filter(|(_, s)| **s == LineState::Pending)
+            .map(|(b, _)| *b)
+            .collect()
+    }
+
+    /// Base addresses of lines currently dirty (unflushed).
+    pub fn dirty_lines(&self) -> Vec<u64> {
+        self.lines
+            .iter()
+            .filter(|(_, s)| **s == LineState::Dirty)
+            .map(|(b, _)| *b)
+            .collect()
+    }
+
+    /// Number of fences processed so far.
+    pub fn fence_count(&self) -> u64 {
+        self.fences
+    }
+
+    /// Number of flushes processed so far.
+    pub fn flush_count(&self) -> u64 {
+        self.flushes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_dirties_line() {
+        let mut cache = CacheModel::new();
+        cache.store(100);
+        assert_eq!(cache.line_state(100), Some(LineState::Dirty));
+        assert_eq!(cache.line_state(64), Some(LineState::Dirty));
+        assert_eq!(cache.line_state(0), None);
+    }
+
+    #[test]
+    fn flush_moves_dirty_to_pending() {
+        let mut cache = CacheModel::new();
+        cache.store(0);
+        let prev = cache.flush(FlushKind::Clwb, 0);
+        assert_eq!(prev, Some(LineState::Dirty));
+        assert_eq!(cache.line_state(0), Some(LineState::Pending));
+    }
+
+    #[test]
+    fn flush_of_untouched_line_reports_none() {
+        let mut cache = CacheModel::new();
+        assert_eq!(cache.flush(FlushKind::Clflush, 128), None);
+    }
+
+    #[test]
+    fn fence_persists_pending_only() {
+        let mut cache = CacheModel::new();
+        cache.store(0);
+        cache.store(64);
+        cache.flush(FlushKind::Clwb, 0);
+        let persisted = cache.sfence();
+        assert_eq!(persisted, vec![0]);
+        assert_eq!(cache.line_state(0), Some(LineState::Persisted));
+        assert_eq!(cache.line_state(64), Some(LineState::Dirty));
+    }
+
+    #[test]
+    fn store_after_flush_redirties() {
+        let mut cache = CacheModel::new();
+        cache.store(0);
+        cache.flush(FlushKind::Clwb, 0);
+        cache.store(8); // same line
+        assert_eq!(cache.line_state(0), Some(LineState::Dirty));
+        assert!(cache.sfence().is_empty());
+    }
+
+    #[test]
+    fn redundant_flush_reports_pending() {
+        let mut cache = CacheModel::new();
+        cache.store(0);
+        cache.flush(FlushKind::Clwb, 0);
+        let prev = cache.flush(FlushKind::Clwb, 0);
+        assert_eq!(prev, Some(LineState::Pending));
+    }
+
+    #[test]
+    fn range_persisted_requires_all_lines() {
+        let mut cache = CacheModel::new();
+        cache.store(0);
+        cache.store(64);
+        cache.flush(FlushKind::Clwb, 0);
+        cache.flush(FlushKind::Clwb, 64);
+        cache.sfence();
+        assert!(cache.range_persisted(0, 128));
+        cache.store(64);
+        assert!(cache.range_persisted(0, 64));
+        assert!(!cache.range_persisted(0, 128));
+    }
+
+    #[test]
+    fn never_stored_range_counts_as_persisted() {
+        let cache = CacheModel::new();
+        assert!(cache.range_persisted(0, 4096));
+    }
+
+    #[test]
+    fn pending_and_dirty_line_queries() {
+        let mut cache = CacheModel::new();
+        cache.store(0);
+        cache.store(64);
+        cache.store(128);
+        cache.flush(FlushKind::Clwb, 64);
+        assert_eq!(cache.dirty_lines(), vec![0, 128]);
+        assert_eq!(cache.pending_lines(), vec![64]);
+    }
+
+    #[test]
+    fn counters_advance() {
+        let mut cache = CacheModel::new();
+        cache.store(0);
+        cache.flush(FlushKind::Clwb, 0);
+        cache.sfence();
+        cache.sfence();
+        assert_eq!(cache.flush_count(), 1);
+        assert_eq!(cache.fence_count(), 2);
+    }
+}

@@ -1,0 +1,112 @@
+//! Cache-line geometry helpers.
+//!
+//! All persistency bookkeeping in the simulator (and in the detectors built
+//! on top of it) happens at cache-line granularity, matching x86 `CLWB` /
+//! `CLFLUSH` / `CLFLUSHOPT` semantics.
+
+/// Size of a cache line in bytes, matching x86.
+pub const CACHE_LINE_SIZE: u64 = 64;
+
+/// Returns the base address of the cache line containing `addr`.
+///
+/// # Example
+///
+/// ```
+/// use pmem_sim::line_base;
+/// assert_eq!(line_base(0), 0);
+/// assert_eq!(line_base(63), 0);
+/// assert_eq!(line_base(64), 64);
+/// assert_eq!(line_base(130), 128);
+/// ```
+#[inline]
+pub fn line_base(addr: u64) -> u64 {
+    addr & !(CACHE_LINE_SIZE - 1)
+}
+
+/// Returns the half-open byte range `[base, base + 64)` of the cache line
+/// containing `addr`.
+#[inline]
+pub fn line_range(addr: u64) -> (u64, u64) {
+    let base = line_base(addr);
+    (base, base + CACHE_LINE_SIZE)
+}
+
+/// Iterates over the base addresses of all cache lines overlapping the
+/// half-open byte range `[addr, addr + len)`.
+///
+/// An empty range yields no lines.
+///
+/// # Example
+///
+/// ```
+/// use pmem_sim::lines_covering;
+/// let lines: Vec<u64> = lines_covering(60, 8).collect();
+/// assert_eq!(lines, vec![0, 64]);
+/// ```
+pub fn lines_covering(addr: u64, len: usize) -> impl Iterator<Item = u64> {
+    let end = addr.saturating_add(len as u64);
+    let first = line_base(addr);
+    let count = if len == 0 {
+        0
+    } else {
+        (end - 1 - first) / CACHE_LINE_SIZE + 1
+    };
+    (0..count).map(move |i| first + i * CACHE_LINE_SIZE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_base_is_aligned() {
+        for addr in [0u64, 1, 63, 64, 65, 127, 128, 4095, 4096] {
+            let base = line_base(addr);
+            assert_eq!(base % CACHE_LINE_SIZE, 0);
+            assert!(base <= addr);
+            assert!(addr < base + CACHE_LINE_SIZE);
+        }
+    }
+
+    #[test]
+    fn line_range_spans_one_line() {
+        let (lo, hi) = line_range(100);
+        assert_eq!(hi - lo, CACHE_LINE_SIZE);
+        assert!(lo <= 100 && 100 < hi);
+    }
+
+    #[test]
+    fn lines_covering_empty_range() {
+        assert_eq!(lines_covering(10, 0).count(), 0);
+    }
+
+    #[test]
+    fn lines_covering_within_one_line() {
+        let lines: Vec<u64> = lines_covering(8, 8).collect();
+        assert_eq!(lines, vec![0]);
+    }
+
+    #[test]
+    fn lines_covering_exact_line() {
+        let lines: Vec<u64> = lines_covering(64, 64).collect();
+        assert_eq!(lines, vec![64]);
+    }
+
+    #[test]
+    fn lines_covering_straddles_boundary() {
+        let lines: Vec<u64> = lines_covering(62, 4).collect();
+        assert_eq!(lines, vec![0, 64]);
+    }
+
+    #[test]
+    fn lines_covering_large_span() {
+        let lines: Vec<u64> = lines_covering(0, 256).collect();
+        assert_eq!(lines, vec![0, 64, 128, 192]);
+    }
+
+    #[test]
+    fn lines_covering_unaligned_large_span() {
+        let lines: Vec<u64> = lines_covering(30, 100).collect();
+        assert_eq!(lines, vec![0, 64, 128]);
+    }
+}

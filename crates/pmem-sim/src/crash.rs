@@ -1,0 +1,170 @@
+//! Crash-image generation with persist-reordering freedom.
+//!
+//! Between a cache-line flush and the fence that orders it, the platform may
+//! or may not have written the line to media. A crash at that point therefore
+//! exposes one of `2^n` possible images, where `n` is the number of pending
+//! lines. [`CrashImage::enumerate`] walks those images (bounded) and
+//! [`CrashImage::sample`] draws random ones — this is the machinery the
+//! XFDetector-style baseline and the cross-failure-semantic rule use.
+
+use crate::pool::PmPool;
+
+/// Policy selecting which pending lines survive a simulated crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPolicy {
+    /// No pending line survives: the most conservative post-crash image.
+    NoneSurvive,
+    /// Every pending line survives: the most optimistic post-crash image.
+    AllSurvive,
+    /// Exactly the subset encoded by the given bitmask survives
+    /// (bit `i` = `i`-th pending line in address order).
+    Subset(u64),
+}
+
+/// A post-crash byte image of a [`PmPool`] plus the lines that made it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrashImage {
+    /// The post-crash bytes of the whole pool.
+    pub image: Vec<u8>,
+    /// Base addresses of the pending lines that survived.
+    pub survivors: Vec<u64>,
+}
+
+impl CrashImage {
+    /// Builds the crash image of `pool` under `policy`.
+    pub fn capture(pool: &PmPool, policy: CrashPolicy) -> Self {
+        let pending = pool.pending_lines();
+        let survivors: Vec<u64> = match policy {
+            CrashPolicy::NoneSurvive => Vec::new(),
+            CrashPolicy::AllSurvive => pending.clone(),
+            CrashPolicy::Subset(mask) => pending
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i < 64 && mask & (1 << *i) != 0)
+                .map(|(_, b)| *b)
+                .collect(),
+        };
+        CrashImage {
+            image: pool.crash_image_with(&survivors),
+            survivors,
+        }
+    }
+
+    /// Enumerates every distinct crash image of `pool`, up to `limit` images.
+    ///
+    /// With `n` pending lines there are `2^n` images; callers bound the walk
+    /// with `limit` (the paper's XFDetector similarly restricts the number of
+    /// instrumented failure points to stay tractable).
+    pub fn enumerate(pool: &PmPool, limit: usize) -> Vec<CrashImage> {
+        let pending = pool.pending_lines();
+        let n = pending.len().min(63);
+        let total = 1u64 << n;
+        (0..total)
+            .take(limit)
+            .map(|mask| CrashImage::capture(pool, CrashPolicy::Subset(mask)))
+            .collect()
+    }
+
+    /// Draws `count` random crash images using the caller-provided `next_u64`
+    /// source (kept generic so the crate itself stays RNG-free).
+    pub fn sample<F: FnMut() -> u64>(pool: &PmPool, count: usize, mut next_u64: F) -> Vec<CrashImage> {
+        (0..count)
+            .map(|_| CrashImage::capture(pool, CrashPolicy::Subset(next_u64())))
+            .collect()
+    }
+
+    /// Reads `len` bytes at `addr` from the crash image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range escapes the image.
+    pub fn read(&self, addr: u64, len: usize) -> &[u8] {
+        &self.image[addr as usize..addr as usize + len]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::FlushKind;
+
+    fn pool_with_two_pending() -> PmPool {
+        let mut pool = PmPool::new(256).unwrap();
+        pool.store(0, &[1; 8]).unwrap();
+        pool.store(64, &[2; 8]).unwrap();
+        pool.flush(FlushKind::Clwb, 0).unwrap();
+        pool.flush(FlushKind::Clwb, 64).unwrap();
+        pool
+    }
+
+    #[test]
+    fn none_survive_equals_persistent_image() {
+        let pool = pool_with_two_pending();
+        let img = CrashImage::capture(&pool, CrashPolicy::NoneSurvive);
+        assert_eq!(img.image, pool.persistent_image());
+        assert!(img.survivors.is_empty());
+    }
+
+    #[test]
+    fn all_survive_includes_both_lines() {
+        let pool = pool_with_two_pending();
+        let img = CrashImage::capture(&pool, CrashPolicy::AllSurvive);
+        assert_eq!(img.read(0, 8), &[1; 8]);
+        assert_eq!(img.read(64, 8), &[2; 8]);
+        assert_eq!(img.survivors, vec![0, 64]);
+    }
+
+    #[test]
+    fn subset_mask_selects_lines() {
+        let pool = pool_with_two_pending();
+        let img = CrashImage::capture(&pool, CrashPolicy::Subset(0b10));
+        assert_eq!(img.read(0, 8), &[0; 8]);
+        assert_eq!(img.read(64, 8), &[2; 8]);
+        assert_eq!(img.survivors, vec![64]);
+    }
+
+    #[test]
+    fn enumerate_yields_all_subsets() {
+        let pool = pool_with_two_pending();
+        let images = CrashImage::enumerate(&pool, 100);
+        assert_eq!(images.len(), 4);
+        // All four subsets are distinct.
+        let distinct: std::collections::HashSet<Vec<u64>> =
+            images.iter().map(|i| i.survivors.clone()).collect();
+        assert_eq!(distinct.len(), 4);
+    }
+
+    #[test]
+    fn enumerate_respects_limit() {
+        let pool = pool_with_two_pending();
+        assert_eq!(CrashImage::enumerate(&pool, 3).len(), 3);
+    }
+
+    #[test]
+    fn fenced_data_survives_every_crash() {
+        let mut pool = pool_with_two_pending();
+        pool.sfence();
+        for img in CrashImage::enumerate(&pool, 100) {
+            assert_eq!(img.read(0, 8), &[1; 8]);
+            assert_eq!(img.read(64, 8), &[2; 8]);
+        }
+    }
+
+    #[test]
+    fn dirty_data_never_survives() {
+        let mut pool = PmPool::new(256).unwrap();
+        pool.store(0, &[9; 8]).unwrap(); // dirty only
+        for img in CrashImage::enumerate(&pool, 100) {
+            assert_eq!(img.read(0, 8), &[0; 8]);
+        }
+    }
+
+    #[test]
+    fn sample_uses_provided_masks() {
+        let pool = pool_with_two_pending();
+        let mut masks = [0b01u64, 0b11u64].into_iter();
+        let images = CrashImage::sample(&pool, 2, || masks.next().unwrap());
+        assert_eq!(images[0].survivors, vec![0]);
+        assert_eq!(images[1].survivors, vec![0, 64]);
+    }
+}

@@ -1,0 +1,93 @@
+//! Error type for the persistent-memory simulator.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the persistent-memory simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PmemError {
+    /// An access touched addresses outside the pool.
+    OutOfBounds {
+        /// First byte of the offending access.
+        addr: u64,
+        /// Length of the offending access in bytes.
+        len: usize,
+        /// Size of the pool the access was issued against.
+        pool_size: u64,
+    },
+    /// The pool could not be created (e.g. zero-sized).
+    InvalidPoolSize(u64),
+    /// An allocation request could not be satisfied.
+    OutOfMemory {
+        /// Requested allocation size in bytes.
+        requested: usize,
+    },
+    /// An object id did not name a live allocation.
+    InvalidObject(u64),
+    /// A store or flush of zero length was issued.
+    EmptyAccess,
+}
+
+impl fmt::Display for PmemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PmemError::OutOfBounds {
+                addr,
+                len,
+                pool_size,
+            } => write!(
+                f,
+                "access of {len} bytes at {addr:#x} is outside pool of {pool_size} bytes"
+            ),
+            PmemError::InvalidPoolSize(size) => write!(f, "invalid pool size {size}"),
+            PmemError::OutOfMemory { requested } => {
+                write!(f, "allocation of {requested} bytes exhausts the pool")
+            }
+            PmemError::InvalidObject(id) => write!(f, "object id {id} does not name a live allocation"),
+            PmemError::EmptyAccess => write!(f, "zero-length persistent memory access"),
+        }
+    }
+}
+
+impl Error for PmemError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_specific() {
+        let err = PmemError::OutOfBounds {
+            addr: 0x40,
+            len: 8,
+            pool_size: 64,
+        };
+        let text = err.to_string();
+        assert!(text.contains("0x40"));
+        assert!(text.contains("64"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PmemError>();
+    }
+
+    #[test]
+    fn display_covers_all_variants() {
+        let variants = [
+            PmemError::OutOfBounds {
+                addr: 1,
+                len: 2,
+                pool_size: 3,
+            },
+            PmemError::InvalidPoolSize(0),
+            PmemError::OutOfMemory { requested: 10 },
+            PmemError::InvalidObject(7),
+            PmemError::EmptyAccess,
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+}

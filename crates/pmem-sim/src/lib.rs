@@ -1,0 +1,54 @@
+//! Software-simulated persistent memory substrate.
+//!
+//! The PMDebugger paper evaluates on Intel Optane DC Persistent Memory with a
+//! DAX-mounted file system. No such hardware is available here, so this crate
+//! models the part of the platform the debugger (and the cross-failure
+//! methodology) actually depends on: the *persistency state machine* of x86
+//! persistent memory.
+//!
+//! The model follows the x86 persistence semantics used throughout the paper:
+//!
+//! * A **store** writes data into the (volatile) cache. The affected cache
+//!   line becomes *dirty*; its content is lost on a crash.
+//! * A **cache-line flush** (`CLWB`, `CLFLUSH`, `CLFLUSHOPT`) moves the line
+//!   to the memory controller's *write-pending queue* (WPQ). `CLFLUSH` and
+//!   `CLFLUSHOPT` also evict the line; `CLWB` keeps it cached clean. Lines in
+//!   the WPQ may or may not survive a crash (the platform's ADR domain is
+//!   modelled as covering the WPQ only after a fence orders the flush).
+//! * An **SFENCE** drains previously flushed lines into the *persistence
+//!   domain*; data there is guaranteed to survive a crash.
+//!
+//! Crash simulation produces [`crash::CrashImage`]s: the persistence domain
+//! content plus an arbitrary (caller- or RNG-chosen) subset of pending lines,
+//! modelling the reordering freedom the hardware has between a flush and the
+//! fence that orders it. This is the substrate the XFDetector-style baseline
+//! and the cross-failure-semantic rule are built on.
+//!
+//! # Example
+//!
+//! ```
+//! use pmem_sim::{PmPool, FlushKind};
+//!
+//! # fn main() -> Result<(), pmem_sim::PmemError> {
+//! let mut pool = PmPool::new(4096)?;
+//! pool.store(0, &42u64.to_le_bytes())?;
+//! pool.flush(FlushKind::Clwb, 0)?;       // line enters the WPQ
+//! pool.sfence();                          // line reaches the persistence domain
+//! assert!(pool.is_persisted(0, 8));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod alloc;
+pub mod cache;
+pub mod cacheline;
+pub mod crash;
+pub mod error;
+pub mod pool;
+
+pub use alloc::{ObjectId, PmAllocator};
+pub use cache::{CacheModel, LineState};
+pub use cacheline::{line_base, line_range, lines_covering, CACHE_LINE_SIZE};
+pub use crash::{CrashImage, CrashPolicy};
+pub use error::PmemError;
+pub use pool::{FlushKind, PmPool};

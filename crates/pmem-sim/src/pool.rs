@@ -1,0 +1,430 @@
+//! The persistent-memory pool: volatile image + persistence-domain image.
+//!
+//! A [`PmPool`] holds two byte images of the same region:
+//!
+//! * the **volatile image** — what loads observe during normal execution
+//!   (caches included), and
+//! * the **persistent image** — what would survive a crash after the last
+//!   fence.
+//!
+//! Stores update the volatile image and dirty the corresponding cache line in
+//! the [`CacheModel`]. A fence copies every pending line from the volatile
+//! image into the persistent image.
+
+use crate::cache::{CacheModel, LineState};
+use crate::cacheline::{line_base, lines_covering, CACHE_LINE_SIZE};
+use crate::error::PmemError;
+
+/// Kind of cache-line flush instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlushKind {
+    /// `CLWB` — write back, keep the line cached.
+    Clwb,
+    /// `CLFLUSH` — write back and evict, implicitly ordered.
+    Clflush,
+    /// `CLFLUSHOPT` — write back and evict, weakly ordered.
+    Clflushopt,
+}
+
+impl FlushKind {
+    /// All flush kinds, for exhaustive tests and sweeps.
+    pub const ALL: [FlushKind; 3] = [FlushKind::Clwb, FlushKind::Clflush, FlushKind::Clflushopt];
+}
+
+/// A simulated persistent-memory pool.
+///
+/// # Example
+///
+/// ```
+/// use pmem_sim::{PmPool, FlushKind};
+///
+/// # fn main() -> Result<(), pmem_sim::PmemError> {
+/// let mut pool = PmPool::new(1024)?;
+/// pool.store(16, b"hello")?;
+/// assert_eq!(pool.load(16, 5)?, b"hello");
+/// assert!(!pool.is_persisted(16, 5));
+/// pool.flush(FlushKind::Clwb, 16)?;
+/// pool.sfence();
+/// assert!(pool.is_persisted(16, 5));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PmPool {
+    volatile: Vec<u8>,
+    persistent: Vec<u8>,
+    cache: CacheModel,
+    stores: u64,
+}
+
+impl PmPool {
+    /// Creates a zero-initialized pool of `size` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmemError::InvalidPoolSize`] if `size` is zero.
+    pub fn new(size: u64) -> Result<Self, PmemError> {
+        if size == 0 {
+            return Err(PmemError::InvalidPoolSize(size));
+        }
+        Ok(Self {
+            volatile: vec![0; size as usize],
+            persistent: vec![0; size as usize],
+            cache: CacheModel::new(),
+            stores: 0,
+        })
+    }
+
+    /// Pool size in bytes.
+    pub fn size(&self) -> u64 {
+        self.volatile.len() as u64
+    }
+
+    fn check_range(&self, addr: u64, len: usize) -> Result<(), PmemError> {
+        if len == 0 {
+            return Err(PmemError::EmptyAccess);
+        }
+        let end = addr.checked_add(len as u64);
+        match end {
+            Some(end) if end <= self.size() => Ok(()),
+            _ => Err(PmemError::OutOfBounds {
+                addr,
+                len,
+                pool_size: self.size(),
+            }),
+        }
+    }
+
+    /// Writes `data` at `addr` in the volatile image, dirtying the covered
+    /// cache lines.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmemError::OutOfBounds`] if the write escapes the pool and
+    /// [`PmemError::EmptyAccess`] for zero-length writes.
+    pub fn store(&mut self, addr: u64, data: &[u8]) -> Result<(), PmemError> {
+        self.check_range(addr, data.len())?;
+        self.volatile[addr as usize..addr as usize + data.len()].copy_from_slice(data);
+        for line in lines_covering(addr, data.len()) {
+            self.cache.store(line);
+        }
+        self.stores += 1;
+        Ok(())
+    }
+
+    /// Reads `len` bytes at `addr` from the volatile image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmemError::OutOfBounds`] / [`PmemError::EmptyAccess`] like
+    /// [`PmPool::store`].
+    pub fn load(&self, addr: u64, len: usize) -> Result<&[u8], PmemError> {
+        self.check_range(addr, len)?;
+        Ok(&self.volatile[addr as usize..addr as usize + len])
+    }
+
+    /// Flushes the cache line containing `addr`.
+    ///
+    /// Returns the line's state before the flush (`None` when the line was
+    /// never stored to — a "flush nothing").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmemError::OutOfBounds`] if `addr` is outside the pool.
+    pub fn flush(&mut self, kind: FlushKind, addr: u64) -> Result<Option<LineState>, PmemError> {
+        self.check_range(addr, 1)?;
+        Ok(self.cache.flush(kind, addr))
+    }
+
+    /// Flushes every cache line overlapping `[addr, addr + len)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmemError::OutOfBounds`] / [`PmemError::EmptyAccess`] like
+    /// [`PmPool::store`].
+    pub fn flush_range(&mut self, kind: FlushKind, addr: u64, len: usize) -> Result<(), PmemError> {
+        self.check_range(addr, len)?;
+        for line in lines_covering(addr, len) {
+            self.cache.flush(kind, line);
+        }
+        Ok(())
+    }
+
+    /// Executes a store fence: every pending line is copied from the volatile
+    /// image into the persistent image.
+    ///
+    /// Returns the base addresses of the lines that persisted.
+    pub fn sfence(&mut self) -> Vec<u64> {
+        let persisted = self.cache.sfence();
+        for &base in &persisted {
+            self.commit_line(base);
+        }
+        persisted
+    }
+
+    fn commit_line(&mut self, base: u64) {
+        let start = base as usize;
+        let end = (base + CACHE_LINE_SIZE).min(self.size()) as usize;
+        self.persistent[start..end].copy_from_slice(&self.volatile[start..end]);
+    }
+
+    /// Returns `true` when every byte of `[addr, addr + len)` is guaranteed
+    /// to survive a crash (all covering lines persisted or never written).
+    pub fn is_persisted(&self, addr: u64, len: usize) -> bool {
+        self.cache.range_persisted(addr, len)
+    }
+
+    /// State of the cache line containing `addr` (`None` = never stored to).
+    pub fn line_state(&self, addr: u64) -> Option<LineState> {
+        self.cache.line_state(addr)
+    }
+
+    /// Reads `len` bytes at `addr` from the *persistent* image — the bytes a
+    /// post-crash recovery would observe if no pending line survived.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmemError::OutOfBounds`] / [`PmemError::EmptyAccess`] like
+    /// [`PmPool::store`].
+    pub fn load_persistent(&self, addr: u64, len: usize) -> Result<&[u8], PmemError> {
+        self.check_range(addr, len)?;
+        Ok(&self.persistent[addr as usize..addr as usize + len])
+    }
+
+    /// Snapshot of the full persistent image.
+    pub fn persistent_image(&self) -> &[u8] {
+        &self.persistent
+    }
+
+    /// Snapshot of the full volatile image.
+    pub fn volatile_image(&self) -> &[u8] {
+        &self.volatile
+    }
+
+    /// Access to the underlying cache model (for crash simulation and stats).
+    pub fn cache(&self) -> &CacheModel {
+        &self.cache
+    }
+
+    /// Lines currently pending in the WPQ (flushed, not yet fenced).
+    pub fn pending_lines(&self) -> Vec<u64> {
+        self.cache.pending_lines()
+    }
+
+    /// Lines currently dirty (stored to, not flushed since).
+    pub fn dirty_lines(&self) -> Vec<u64> {
+        self.cache.dirty_lines()
+    }
+
+    /// Number of stores executed against this pool.
+    pub fn store_count(&self) -> u64 {
+        self.stores
+    }
+
+    /// Writes the persistent image to `path` (what a DAX file would hold
+    /// after a clean shutdown).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the filesystem.
+    pub fn save_image<P: AsRef<std::path::Path>>(&self, path: P) -> std::io::Result<()> {
+        std::fs::write(path, &self.persistent)
+    }
+
+    /// Creates a pool whose persistent *and* volatile images are loaded
+    /// from `path` (reopening a pool file after a clean shutdown or crash).
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error for unreadable files, or `InvalidData` for an
+    /// empty file (a zero-sized pool is invalid).
+    pub fn load_image<P: AsRef<std::path::Path>>(path: P) -> std::io::Result<Self> {
+        let bytes = std::fs::read(path)?;
+        if bytes.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "pool image is empty",
+            ));
+        }
+        Ok(PmPool {
+            volatile: bytes.clone(),
+            persistent: bytes,
+            cache: CacheModel::new(),
+            stores: 0,
+        })
+    }
+
+    /// Builds the byte image that would be observed after a crash in which
+    /// exactly the lines in `surviving_pending` (base addresses) made it out
+    /// of the WPQ. Lines not pending are ignored.
+    pub fn crash_image_with(&self, surviving_pending: &[u64]) -> Vec<u8> {
+        let mut image = self.persistent.clone();
+        let pending = self.cache.pending_lines();
+        for &base in surviving_pending {
+            if pending.contains(&line_base(base)) {
+                let start = line_base(base) as usize;
+                let end = (line_base(base) + CACHE_LINE_SIZE).min(self.size()) as usize;
+                image[start..end].copy_from_slice(&self.volatile[start..end]);
+            }
+        }
+        image
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_rejects_zero_size() {
+        assert_eq!(PmPool::new(0).unwrap_err(), PmemError::InvalidPoolSize(0));
+    }
+
+    #[test]
+    fn store_load_roundtrip() {
+        let mut pool = PmPool::new(256).unwrap();
+        pool.store(10, &[1, 2, 3]).unwrap();
+        assert_eq!(pool.load(10, 3).unwrap(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn store_out_of_bounds() {
+        let mut pool = PmPool::new(64).unwrap();
+        let err = pool.store(60, &[0; 8]).unwrap_err();
+        assert!(matches!(err, PmemError::OutOfBounds { .. }));
+    }
+
+    #[test]
+    fn store_at_end_boundary_ok() {
+        let mut pool = PmPool::new(64).unwrap();
+        pool.store(56, &[0xff; 8]).unwrap();
+        assert_eq!(pool.load(56, 8).unwrap(), &[0xff; 8]);
+    }
+
+    #[test]
+    fn empty_store_rejected() {
+        let mut pool = PmPool::new(64).unwrap();
+        assert_eq!(pool.store(0, &[]).unwrap_err(), PmemError::EmptyAccess);
+    }
+
+    #[test]
+    fn overflowing_address_rejected() {
+        let pool = PmPool::new(64).unwrap();
+        assert!(matches!(
+            pool.load(u64::MAX - 2, 8).unwrap_err(),
+            PmemError::OutOfBounds { .. }
+        ));
+    }
+
+    #[test]
+    fn persistence_requires_flush_and_fence() {
+        let mut pool = PmPool::new(256).unwrap();
+        pool.store(0, &[7; 8]).unwrap();
+        assert!(!pool.is_persisted(0, 8));
+        pool.flush(FlushKind::Clwb, 0).unwrap();
+        assert!(!pool.is_persisted(0, 8));
+        pool.sfence();
+        assert!(pool.is_persisted(0, 8));
+        assert_eq!(pool.load_persistent(0, 8).unwrap(), &[7; 8]);
+    }
+
+    #[test]
+    fn unfenced_flush_does_not_commit() {
+        let mut pool = PmPool::new(256).unwrap();
+        pool.store(0, &[9; 4]).unwrap();
+        pool.flush(FlushKind::Clflushopt, 0).unwrap();
+        assert_eq!(pool.load_persistent(0, 4).unwrap(), &[0; 4]);
+    }
+
+    #[test]
+    fn fence_commits_only_pending_lines() {
+        let mut pool = PmPool::new(256).unwrap();
+        pool.store(0, &[1; 8]).unwrap();
+        pool.store(64, &[2; 8]).unwrap();
+        pool.flush(FlushKind::Clwb, 0).unwrap();
+        let persisted = pool.sfence();
+        assert_eq!(persisted, vec![0]);
+        assert_eq!(pool.load_persistent(0, 8).unwrap(), &[1; 8]);
+        assert_eq!(pool.load_persistent(64, 8).unwrap(), &[0; 8]);
+    }
+
+    #[test]
+    fn flush_range_covers_multiple_lines() {
+        let mut pool = PmPool::new(512).unwrap();
+        pool.store(0, &[5; 200]).unwrap();
+        pool.flush_range(FlushKind::Clwb, 0, 200).unwrap();
+        pool.sfence();
+        assert!(pool.is_persisted(0, 200));
+    }
+
+    #[test]
+    fn store_after_flush_needs_new_flush() {
+        let mut pool = PmPool::new(128).unwrap();
+        pool.store(0, &[1]).unwrap();
+        pool.flush(FlushKind::Clwb, 0).unwrap();
+        pool.store(1, &[2]).unwrap(); // same line, re-dirties
+        pool.sfence();
+        assert!(!pool.is_persisted(0, 2));
+        assert_eq!(pool.load_persistent(0, 2).unwrap(), &[0, 0]);
+    }
+
+    #[test]
+    fn crash_image_with_no_survivors_is_persistent_image() {
+        let mut pool = PmPool::new(128).unwrap();
+        pool.store(0, &[3; 8]).unwrap();
+        pool.flush(FlushKind::Clwb, 0).unwrap();
+        let image = pool.crash_image_with(&[]);
+        assert_eq!(&image[0..8], &[0; 8]);
+    }
+
+    #[test]
+    fn crash_image_with_surviving_pending_line() {
+        let mut pool = PmPool::new(128).unwrap();
+        pool.store(0, &[3; 8]).unwrap();
+        pool.flush(FlushKind::Clwb, 0).unwrap();
+        let image = pool.crash_image_with(&[0]);
+        assert_eq!(&image[0..8], &[3; 8]);
+    }
+
+    #[test]
+    fn crash_image_ignores_dirty_lines() {
+        let mut pool = PmPool::new(128).unwrap();
+        pool.store(0, &[3; 8]).unwrap(); // dirty, not flushed
+        let image = pool.crash_image_with(&[0]);
+        assert_eq!(&image[0..8], &[0; 8]);
+    }
+
+    #[test]
+    fn image_save_load_roundtrip() {
+        let path = std::env::temp_dir().join("pmem_sim_image_test.pool");
+        let mut pool = PmPool::new(256).unwrap();
+        pool.store(0, b"persist!").unwrap();
+        pool.flush(FlushKind::Clwb, 0).unwrap();
+        pool.sfence();
+        pool.store(64, b"volatile").unwrap(); // never persisted
+        pool.save_image(&path).unwrap();
+
+        let reopened = PmPool::load_image(&path).unwrap();
+        assert_eq!(reopened.size(), 256);
+        assert_eq!(reopened.load(0, 8).unwrap(), b"persist!");
+        // The unpersisted store did not reach the image.
+        assert_eq!(reopened.load(64, 8).unwrap(), &[0u8; 8]);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn empty_image_rejected() {
+        let path = std::env::temp_dir().join("pmem_sim_empty_test.pool");
+        std::fs::write(&path, b"").unwrap();
+        assert!(PmPool::load_image(&path).is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn store_count_tracks() {
+        let mut pool = PmPool::new(128).unwrap();
+        pool.store(0, &[1]).unwrap();
+        pool.store(4, &[1]).unwrap();
+        assert_eq!(pool.store_count(), 2);
+    }
+}

@@ -1,0 +1,159 @@
+//! Property-based tests for the persistent-memory simulator.
+
+use pmem_sim::{CrashImage, CrashPolicy, FlushKind, PmAllocator, PmPool, CACHE_LINE_SIZE};
+use proptest::prelude::*;
+
+const POOL: u64 = 4096;
+
+/// An abstract PM operation for random program generation.
+#[derive(Debug, Clone)]
+enum Op {
+    Store { addr: u64, data: Vec<u8> },
+    Flush { kind: FlushKind, addr: u64 },
+    Fence,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0..POOL - 16, proptest::collection::vec(any::<u8>(), 1..16))
+            .prop_map(|(addr, data)| Op::Store { addr, data }),
+        2 => (0..POOL, prop_oneof![
+                Just(FlushKind::Clwb),
+                Just(FlushKind::Clflush),
+                Just(FlushKind::Clflushopt)
+            ])
+            .prop_map(|(addr, kind)| Op::Flush { kind, addr }),
+        1 => Just(Op::Fence),
+    ]
+}
+
+fn run_ops(ops: &[Op]) -> PmPool {
+    let mut pool = PmPool::new(POOL).unwrap();
+    for op in ops {
+        match op {
+            Op::Store { addr, data } => pool.store(*addr, data).unwrap(),
+            Op::Flush { kind, addr } => {
+                pool.flush(*kind, *addr).unwrap();
+            }
+            Op::Fence => {
+                pool.sfence();
+            }
+        }
+    }
+    pool
+}
+
+proptest! {
+    /// The persistent image never contains bytes that were not both flushed
+    /// and fenced: any byte differing from the volatile image must belong to
+    /// a line that is currently dirty or pending.
+    #[test]
+    fn persistent_image_lags_only_on_unpersisted_lines(
+        ops in proptest::collection::vec(op_strategy(), 0..120)
+    ) {
+        let pool = run_ops(&ops);
+        let vol = pool.volatile_image();
+        let per = pool.persistent_image();
+        for (i, (v, p)) in vol.iter().zip(per.iter()).enumerate() {
+            if v != p {
+                let line = (i as u64) & !(CACHE_LINE_SIZE - 1);
+                let state = pool.line_state(line);
+                prop_assert!(
+                    !matches!(state, Some(pmem_sim::LineState::Persisted) | None),
+                    "byte {i} differs but line {line:#x} state is {state:?}"
+                );
+            }
+        }
+    }
+
+    /// After a trailing flush-everything + fence, the persistent image
+    /// equals the volatile image.
+    #[test]
+    fn full_flush_fence_synchronizes_images(
+        ops in proptest::collection::vec(op_strategy(), 0..120)
+    ) {
+        let mut pool = run_ops(&ops);
+        pool.flush_range(FlushKind::Clwb, 0, POOL as usize).unwrap();
+        pool.sfence();
+        prop_assert_eq!(pool.volatile_image(), pool.persistent_image());
+    }
+
+    /// Every enumerated crash image agrees with the persistent image outside
+    /// surviving lines and with the volatile image inside them.
+    #[test]
+    fn crash_images_are_consistent_mixtures(
+        ops in proptest::collection::vec(op_strategy(), 0..60)
+    ) {
+        let pool = run_ops(&ops);
+        for img in CrashImage::enumerate(&pool, 16) {
+            for (i, byte) in img.image.iter().enumerate() {
+                let line = (i as u64) & !(CACHE_LINE_SIZE - 1);
+                if img.survivors.contains(&line) {
+                    prop_assert_eq!(*byte, pool.volatile_image()[i]);
+                } else {
+                    prop_assert_eq!(*byte, pool.persistent_image()[i]);
+                }
+            }
+        }
+    }
+
+    /// `is_persisted` is exactly "crash-safe under the NoneSurvive policy":
+    /// if a range is persisted, the worst-case crash image matches the
+    /// volatile data there.
+    #[test]
+    fn is_persisted_means_worst_case_crash_safe(
+        ops in proptest::collection::vec(op_strategy(), 0..120),
+        addr in 0..POOL - 64,
+        len in 1usize..64,
+    ) {
+        let pool = run_ops(&ops);
+        if pool.is_persisted(addr, len) {
+            let img = CrashImage::capture(&pool, CrashPolicy::NoneSurvive);
+            prop_assert_eq!(
+                img.read(addr, len),
+                pool.load(addr, len).unwrap()
+            );
+        }
+    }
+
+    /// Allocator invariants: live allocations are disjoint, line-aligned,
+    /// and in-bounds; free+alloc never loses bytes.
+    #[test]
+    fn allocator_blocks_disjoint_and_aligned(
+        sizes in proptest::collection::vec(1usize..256, 1..20),
+        free_mask in any::<u32>(),
+    ) {
+        let region = 64 * 1024;
+        let mut alloc = PmAllocator::new(0, region);
+        let mut live = Vec::new();
+        for size in &sizes {
+            if let Ok((id, addr)) = alloc.alloc(*size) {
+                prop_assert_eq!(addr % CACHE_LINE_SIZE, 0);
+                prop_assert!(addr + alloc.size_of(id).unwrap() <= region);
+                live.push(id);
+            }
+        }
+        // Disjointness.
+        let mut ranges: Vec<(u64, u64)> = live
+            .iter()
+            .map(|&id| {
+                let a = alloc.addr_of(id).unwrap();
+                (a, a + alloc.size_of(id).unwrap())
+            })
+            .collect();
+        ranges.sort_unstable();
+        for pair in ranges.windows(2) {
+            prop_assert!(pair[0].1 <= pair[1].0, "overlapping allocations");
+        }
+        // Free a random subset; accounting must balance.
+        let before_free = alloc.free_bytes();
+        let mut freed = 0;
+        for (i, id) in live.iter().enumerate() {
+            if free_mask & (1 << (i % 32)) != 0 {
+                freed += alloc.size_of(*id).unwrap();
+                alloc.free(*id).unwrap();
+            }
+        }
+        prop_assert_eq!(alloc.free_bytes(), before_free + freed);
+    }
+}

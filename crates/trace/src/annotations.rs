@@ -1,0 +1,81 @@
+//! PMTest-style in-program annotations.
+//!
+//! PMTest (ASPLOS'19) relies on the programmer inserting assertion-like
+//! checkers into the program; its bug coverage is bounded by the annotations
+//! present. The PMTest-like baseline in `pm-baselines` consumes these
+//! annotation events; PMDebugger ignores them (it needs only the region
+//! markers in Table 2).
+
+use crate::events::Addr;
+
+/// An assertion the programmer embedded in the PM program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Annotation {
+    /// `TX_CHECKER_START`-style: begin a checked transaction region.
+    CheckerStart,
+    /// `TX_CHECKER_END`-style: end a checked transaction region.
+    CheckerEnd,
+    /// Assert that `[addr, addr+size)` is persisted at this point
+    /// (PMTest's `isPersist`).
+    AssertPersisted {
+        /// Base of the asserted range.
+        addr: Addr,
+        /// Length of the asserted range.
+        size: u32,
+    },
+    /// Assert that `[first, first+first_size)` was persisted strictly before
+    /// `[second, second+second_size)` (PMTest's `isOrderedBefore`).
+    AssertOrdered {
+        /// Base of the range that must persist first.
+        first: Addr,
+        /// Length of the first range.
+        first_size: u32,
+        /// Base of the range that must persist second.
+        second: Addr,
+        /// Length of the second range.
+        second_size: u32,
+    },
+    /// Hint that the object at `addr` is transactionally managed, enabling
+    /// the baseline's redundant-logging check for that object only.
+    TrackLogging {
+        /// Base of the tracked object.
+        addr: Addr,
+        /// Length of the tracked object.
+        size: u32,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn annotations_are_comparable() {
+        let a = Annotation::AssertPersisted { addr: 0, size: 8 };
+        let b = Annotation::AssertPersisted { addr: 0, size: 8 };
+        assert_eq!(a, b);
+        assert_ne!(a, Annotation::CheckerStart);
+    }
+
+    #[test]
+    fn ordered_annotation_carries_both_ranges() {
+        let ann = Annotation::AssertOrdered {
+            first: 0,
+            first_size: 8,
+            second: 64,
+            second_size: 16,
+        };
+        if let Annotation::AssertOrdered {
+            first,
+            second,
+            first_size,
+            second_size,
+        } = ann
+        {
+            assert_eq!((first, first_size), (0, 8));
+            assert_eq!((second, second_size), (64, 16));
+        } else {
+            unreachable!();
+        }
+    }
+}

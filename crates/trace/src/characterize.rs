@@ -1,0 +1,446 @@
+//! PM program characterization (paper §3, Figure 2).
+//!
+//! Computes the three pattern statistics that motivate PMDebugger's design:
+//!
+//! * **Figure 2a** — distribution of the *distance* between a store and the
+//!   fence that guarantees its durability, counted in fences. The relevant
+//!   fence is the first fence following a CLF that covers the store; stores
+//!   whose durability is never guaranteed are reported separately.
+//! * **Figure 2b** — fraction of CLF intervals with *collective* writeback
+//!   (all locations updated in the interval are persisted by one CLF) vs
+//!   *dispersed* writeback.
+//! * **Figure 2c** — instruction mix among store / CLF / fence.
+
+use crate::events::{ranges_overlap, range_contains, PmEvent};
+use crate::recorder::Trace;
+
+/// Histogram over store→fence distances (Figure 2a).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DistanceHistogram {
+    /// `buckets[d-1]` counts stores with distance `d`, for `d` in `1..=5`.
+    pub buckets: [u64; 5],
+    /// Stores with distance greater than 5.
+    pub over_five: u64,
+    /// Stores whose durability is never guaranteed in the trace.
+    pub unbounded: u64,
+}
+
+impl DistanceHistogram {
+    /// Total stores counted (including unbounded ones).
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum::<u64>() + self.over_five + self.unbounded
+    }
+
+    /// Fraction of bounded stores with distance `d` (1-based, `d <= 5`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `d` is 0 or greater than 5.
+    pub fn fraction(&self, d: usize) -> f64 {
+        assert!((1..=5).contains(&d), "distance bucket must be 1..=5");
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.buckets[d - 1] as f64 / total as f64
+        }
+    }
+
+    /// Fraction of stores with distance ≤ `d`.
+    pub fn cumulative_fraction(&self, d: usize) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let sum: u64 = self.buckets.iter().take(d.min(5)).sum();
+        sum as f64 / total as f64
+    }
+}
+
+/// Distribution of fence-interval sizes (stores per fence interval).
+///
+/// §4.1 sizes the memory location array from the observation that the
+/// per-fence-interval store count is "typically less than 100,000"; this
+/// histogram lets a user validate that for their own workload (and pick a
+/// smaller array if their intervals are tiny).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FenceIntervalHistogram {
+    /// Fence intervals with 0 stores.
+    pub empty: u64,
+    /// Intervals with 1–9 stores.
+    pub small: u64,
+    /// Intervals with 10–99 stores.
+    pub medium: u64,
+    /// Intervals with 100–99,999 stores.
+    pub large: u64,
+    /// Intervals with 100,000 or more stores (would overflow the paper's
+    /// default array).
+    pub oversized: u64,
+    /// Largest interval observed.
+    pub max: u64,
+}
+
+impl FenceIntervalHistogram {
+    fn record(&mut self, stores: u64) {
+        match stores {
+            0 => self.empty += 1,
+            1..=9 => self.small += 1,
+            10..=99 => self.medium += 1,
+            100..=99_999 => self.large += 1,
+            _ => self.oversized += 1,
+        }
+        self.max = self.max.max(stores);
+    }
+
+    /// Total fence intervals recorded.
+    pub fn total(&self) -> u64 {
+        self.empty + self.small + self.medium + self.large + self.oversized
+    }
+}
+
+/// Full characterization of one trace (Figure 2 rows for one benchmark).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CharacterizationReport {
+    /// Figure 2a: store→fence distance histogram.
+    pub distances: DistanceHistogram,
+    /// Figure 2b: CLF intervals persisted by a single covering CLF.
+    pub collective_intervals: u64,
+    /// Figure 2b: CLF intervals needing multiple CLFs.
+    pub dispersed_intervals: u64,
+    /// Figure 2c: store count.
+    pub stores: u64,
+    /// Figure 2c: CLF count.
+    pub flushes: u64,
+    /// Figure 2c: fence count.
+    pub fences: u64,
+    /// Stores-per-fence-interval distribution (§4.1 array sizing).
+    pub fence_intervals: FenceIntervalHistogram,
+}
+
+impl CharacterizationReport {
+    /// Fraction of CLF intervals with collective writeback (Figure 2b).
+    pub fn collective_fraction(&self) -> f64 {
+        let total = self.collective_intervals + self.dispersed_intervals;
+        if total == 0 {
+            0.0
+        } else {
+            self.collective_intervals as f64 / total as f64
+        }
+    }
+
+    /// Store share of the three fundamental instructions (Figure 2c).
+    pub fn store_fraction(&self) -> f64 {
+        let total = self.stores + self.flushes + self.fences;
+        if total == 0 {
+            0.0
+        } else {
+            self.stores as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PendingStore {
+    addr: u64,
+    size: u64,
+    /// Fences seen since the store, before its covering CLF was fenced.
+    fences_seen: u64,
+    /// Set once a CLF covering the store has been issued.
+    flushed: bool,
+}
+
+/// Streaming characterizer: feed events (or whole traces), then call
+/// [`TraceCharacterizer::report`].
+#[derive(Debug, Clone, Default)]
+pub struct TraceCharacterizer {
+    report: CharacterizationReport,
+    pending: Vec<PendingStore>,
+    /// Store ranges of the current CLF interval.
+    interval_stores: Vec<(u64, u64)>,
+    /// Whether the current CLF interval saw any store.
+    interval_has_stores: bool,
+    /// Stores since the last fence.
+    stores_since_fence: u64,
+}
+
+impl TraceCharacterizer {
+    /// Creates an empty characterizer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Observes one event.
+    pub fn observe(&mut self, event: &PmEvent) {
+        match event {
+            PmEvent::Store { addr, size, .. } => {
+                self.report.stores += 1;
+                self.pending.push(PendingStore {
+                    addr: *addr,
+                    size: u64::from(*size),
+                    fences_seen: 0,
+                    flushed: false,
+                });
+                self.interval_stores.push((*addr, u64::from(*size)));
+                self.interval_has_stores = true;
+                self.stores_since_fence += 1;
+            }
+            PmEvent::Flush { addr, size, .. } => {
+                self.report.flushes += 1;
+                // Mark covered pending stores as flushed.
+                for store in &mut self.pending {
+                    if !store.flushed
+                        && ranges_overlap(store.addr, store.size, *addr, u64::from(*size))
+                    {
+                        store.flushed = true;
+                    }
+                }
+                // Close the current CLF interval: collective iff this single
+                // CLF covers every location updated in the interval.
+                if self.interval_has_stores {
+                    let collective = self
+                        .interval_stores
+                        .iter()
+                        .all(|(sa, sl)| range_contains(*addr, u64::from(*size), *sa, *sl));
+                    if collective {
+                        self.report.collective_intervals += 1;
+                    } else {
+                        self.report.dispersed_intervals += 1;
+                    }
+                }
+                self.interval_stores.clear();
+                self.interval_has_stores = false;
+            }
+            PmEvent::Fence { .. } => {
+                self.report.fences += 1;
+                self.report
+                    .fence_intervals
+                    .record(self.stores_since_fence);
+                self.stores_since_fence = 0;
+                // Flushed stores are durable at this fence: distance =
+                // fences seen since the store + this one.
+                let distances = &mut self.report.distances;
+                self.pending.retain_mut(|store| {
+                    store.fences_seen += 1;
+                    if store.flushed {
+                        let d = store.fences_seen;
+                        if d <= 5 {
+                            // d >= 1 by construction (buckets are 1-based).
+                            distances.buckets[(d - 1) as usize] += 1;
+                        } else {
+                            distances.over_five += 1;
+                        }
+                        false
+                    } else {
+                        true
+                    }
+                });
+            }
+            _ => {}
+        }
+    }
+
+    /// Observes every event of a trace.
+    pub fn observe_trace(&mut self, trace: &Trace) {
+        for event in trace.events() {
+            self.observe(event);
+        }
+    }
+
+    /// Finalizes and returns the report. Stores still pending count as
+    /// `unbounded` (their durability was never guaranteed).
+    pub fn report(mut self) -> CharacterizationReport {
+        self.report.distances.unbounded += self.pending.len() as u64;
+        self.report
+    }
+}
+
+/// Characterizes a whole trace in one call.
+pub fn characterize(trace: &Trace) -> CharacterizationReport {
+    let mut c = TraceCharacterizer::new();
+    c.observe_trace(trace);
+    c.report()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::{FenceKind, ThreadId};
+    use pmem_sim::FlushKind;
+
+    fn store(addr: u64, size: u32) -> PmEvent {
+        PmEvent::Store {
+            addr,
+            size,
+            tid: ThreadId(0),
+            strand: None,
+            in_epoch: false,
+        }
+    }
+
+    fn flush(addr: u64, size: u32) -> PmEvent {
+        PmEvent::Flush {
+            kind: FlushKind::Clwb,
+            addr,
+            size,
+            tid: ThreadId(0),
+            strand: None,
+        }
+    }
+
+    fn fence() -> PmEvent {
+        PmEvent::Fence {
+            kind: FenceKind::Sfence,
+            tid: ThreadId(0),
+            strand: None,
+            in_epoch: false,
+        }
+    }
+
+    fn run(events: Vec<PmEvent>) -> CharacterizationReport {
+        let trace: Trace = events.into_iter().collect();
+        characterize(&trace)
+    }
+
+    #[test]
+    fn distance_one_store() {
+        // store A; clwb A; sfence -> distance 1
+        let report = run(vec![store(0, 8), flush(0, 64), fence()]);
+        assert_eq!(report.distances.buckets[0], 1);
+        assert_eq!(report.distances.total(), 1);
+    }
+
+    #[test]
+    fn distance_two_when_flush_comes_after_first_fence() {
+        // Paper's Figure 3 example: store B[1]; (CLF for A); fence;
+        // store B[2]; clwb B; fence  -> B[1] has distance 2.
+        let report = run(vec![
+            store(64, 8),  // B[1]
+            flush(0, 64),  // writeback A (does not cover B)
+            fence(),       // first fence: B not flushed yet
+            store(72, 8),  // B[2]
+            flush(64, 64), // writeback B
+            fence(),       // durability of B[1] guaranteed here
+        ]);
+        assert_eq!(report.distances.buckets[1], 1, "B[1] distance 2");
+        assert_eq!(report.distances.buckets[0], 1, "B[2] distance 1");
+    }
+
+    #[test]
+    fn unflushed_store_is_unbounded() {
+        let report = run(vec![store(0, 8), fence(), fence()]);
+        assert_eq!(report.distances.unbounded, 1);
+        assert_eq!(report.distances.total(), 1);
+    }
+
+    #[test]
+    fn over_five_distances_bucketed() {
+        let mut events = vec![store(0, 8)];
+        for _ in 0..6 {
+            events.push(fence());
+        }
+        events.push(flush(0, 64));
+        events.push(fence());
+        let report = run(events);
+        assert_eq!(report.distances.over_five, 1);
+    }
+
+    #[test]
+    fn collective_interval_detected() {
+        // Two stores in one line, one CLF covers both -> collective.
+        let report = run(vec![store(0, 8), store(8, 8), flush(0, 64), fence()]);
+        assert_eq!(report.collective_intervals, 1);
+        assert_eq!(report.dispersed_intervals, 0);
+        assert!((report.collective_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dispersed_interval_detected() {
+        // Stores to two lines, first CLF covers only line 0 -> dispersed.
+        let report = run(vec![
+            store(0, 8),
+            store(64, 8),
+            flush(0, 64),
+            flush(64, 64),
+            fence(),
+        ]);
+        assert_eq!(report.dispersed_intervals, 1);
+        // Second CLF closes an interval with no stores — not counted.
+        assert_eq!(report.collective_intervals, 0);
+    }
+
+    #[test]
+    fn interval_without_stores_not_counted() {
+        let report = run(vec![flush(0, 64), flush(64, 64), fence()]);
+        assert_eq!(report.collective_intervals + report.dispersed_intervals, 0);
+    }
+
+    #[test]
+    fn instruction_mix_counts() {
+        let report = run(vec![
+            store(0, 8),
+            store(8, 8),
+            store(16, 8),
+            flush(0, 64),
+            fence(),
+        ]);
+        assert_eq!(report.stores, 3);
+        assert_eq!(report.flushes, 1);
+        assert_eq!(report.fences, 1);
+        assert!((report.store_fraction() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cumulative_fraction_sums_buckets() {
+        let report = run(vec![
+            store(0, 8),
+            flush(0, 64),
+            fence(), // distance 1
+            store(64, 8),
+            fence(), // not flushed yet
+            flush(64, 64),
+            fence(), // distance 2
+        ]);
+        assert!((report.distances.cumulative_fraction(1) - 0.5).abs() < 1e-12);
+        assert!((report.distances.cumulative_fraction(2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fence_interval_histogram_buckets() {
+        let mut events = Vec::new();
+        // Interval of 3 stores.
+        for i in 0..3 {
+            events.push(store(i * 8, 8));
+        }
+        events.push(flush(0, 64));
+        events.push(fence());
+        // Empty interval.
+        events.push(fence());
+        // Interval of 12 stores.
+        for i in 0..12 {
+            events.push(store(i * 8, 8));
+        }
+        events.push(flush(0, 128));
+        events.push(fence());
+        let report = run(events);
+        let hist = &report.fence_intervals;
+        assert_eq!(hist.small, 1);
+        assert_eq!(hist.empty, 1);
+        assert_eq!(hist.medium, 1);
+        assert_eq!(hist.max, 12);
+        assert_eq!(hist.total(), 3);
+    }
+
+    #[test]
+    fn empty_trace_yields_zero_report() {
+        let report = run(vec![]);
+        assert_eq!(report.distances.total(), 0);
+        assert_eq!(report.collective_fraction(), 0.0);
+        assert_eq!(report.store_fraction(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket")]
+    fn fraction_rejects_zero_bucket() {
+        DistanceHistogram::default().fraction(0);
+    }
+}

@@ -1,0 +1,301 @@
+//! The detector interface and bug-report types shared by PMDebugger and all
+//! baselines.
+
+use std::fmt;
+
+use crate::events::{Addr, PmEvent};
+
+/// The ten bug types of the paper's Table 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BugKind {
+    /// A persistent location is not persisted after its last write
+    /// (missing CLF or missing fence), §4.5.
+    NoDurabilityGuarantee,
+    /// The same location is written multiple times before its durability is
+    /// guaranteed (strict persistency only), §4.5.
+    MultipleOverwrites,
+    /// A programmer-specified persist order `X before Y` is violated, §4.5.
+    NoOrderGuarantee,
+    /// A store is flushed more than once before the nearest fence
+    /// (performance bug), §4.5.
+    RedundantFlushes,
+    /// A CLF persists no prior store (performance bug), §4.5.
+    FlushNothing,
+    /// A data object is updated once but logged multiple times inside a
+    /// transaction (performance bug), §5.2.
+    RedundantLogging,
+    /// Durability of stores in an epoch is not guaranteed at epoch end, §5.2.
+    LackDurabilityInEpoch,
+    /// More than one fence in an epoch section (performance bug), §5.2.
+    RedundantEpochFence,
+    /// Persists across strands violate a required order, §5.2.
+    LackOrderingInStrands,
+    /// Post-failure execution reads semantically inconsistent data, §7.3
+    /// (XFDetector's bug class).
+    CrossFailureSemantic,
+}
+
+impl BugKind {
+    /// All ten kinds, in Table 6 column order.
+    pub const ALL: [BugKind; 10] = [
+        BugKind::NoDurabilityGuarantee,
+        BugKind::MultipleOverwrites,
+        BugKind::NoOrderGuarantee,
+        BugKind::RedundantFlushes,
+        BugKind::FlushNothing,
+        BugKind::RedundantLogging,
+        BugKind::LackDurabilityInEpoch,
+        BugKind::RedundantEpochFence,
+        BugKind::LackOrderingInStrands,
+        BugKind::CrossFailureSemantic,
+    ];
+
+    /// Short, stable name used in reports and tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            BugKind::NoDurabilityGuarantee => "no-durability-guarantee",
+            BugKind::MultipleOverwrites => "multiple-overwrites",
+            BugKind::NoOrderGuarantee => "no-order-guarantee",
+            BugKind::RedundantFlushes => "redundant-flushes",
+            BugKind::FlushNothing => "flush-nothing",
+            BugKind::RedundantLogging => "redundant-logging",
+            BugKind::LackDurabilityInEpoch => "lack-durability-in-epoch",
+            BugKind::RedundantEpochFence => "redundant-epoch-fence",
+            BugKind::LackOrderingInStrands => "lack-ordering-in-strands",
+            BugKind::CrossFailureSemantic => "cross-failure-semantic",
+        }
+    }
+
+    /// Whether the paper classifies the kind as a correctness bug (`true`)
+    /// or a performance bug (`false`).
+    pub fn is_correctness(self) -> bool {
+        !matches!(
+            self,
+            BugKind::RedundantFlushes
+                | BugKind::FlushNothing
+                | BugKind::RedundantLogging
+                | BugKind::RedundantEpochFence
+        )
+    }
+}
+
+impl fmt::Display for BugKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Severity classification following the paper's convention of reporting
+/// both correctness and performance bugs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Severity {
+    /// The program can become unrecoverable after a crash.
+    Correctness,
+    /// The program wastes work (extra flushes/fences/log records).
+    Performance,
+}
+
+/// One detected bug.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BugReport {
+    /// Bug classification (Table 6 column).
+    pub kind: BugKind,
+    /// Severity derived from `kind`.
+    pub severity: Severity,
+    /// Address the bug concerns, when applicable.
+    pub addr: Option<Addr>,
+    /// Size of the affected range, when applicable.
+    pub size: Option<u64>,
+    /// Index of the event in the observed stream that triggered the report
+    /// (`None` for end-of-program checks).
+    pub at_event: Option<u64>,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl BugReport {
+    /// Creates a report for `kind` with severity derived from the kind.
+    pub fn new(kind: BugKind, message: impl Into<String>) -> Self {
+        BugReport {
+            kind,
+            severity: if kind.is_correctness() {
+                Severity::Correctness
+            } else {
+                Severity::Performance
+            },
+            addr: None,
+            size: None,
+            at_event: None,
+            message: message.into(),
+        }
+    }
+
+    /// Sets the affected address range.
+    pub fn with_range(mut self, addr: Addr, size: u64) -> Self {
+        self.addr = Some(addr);
+        self.size = Some(size);
+        self
+    }
+
+    /// Sets the triggering event index.
+    pub fn with_event(mut self, seq: u64) -> Self {
+        self.at_event = Some(seq);
+        self
+    }
+}
+
+impl fmt::Display for BugReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.kind, self.message)?;
+        if let (Some(addr), Some(size)) = (self.addr, self.size) {
+            write!(f, " (range {addr:#x}+{size})")?;
+        }
+        if let Some(seq) = self.at_event {
+            write!(f, " at event #{seq}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A consumer of the instrumented event stream.
+///
+/// All debuggers in this repository — PMDebugger and the Pmemcheck-, PMTest-
+/// and XFDetector-like baselines — implement this trait and are driven by the
+/// same [`crate::PmRuntime`] or [`crate::replay`] loop, mirroring how all the
+/// paper's tools sit behind equivalent instrumentation.
+pub trait Detector {
+    /// Stable tool name for tables and reports.
+    fn name(&self) -> &str;
+
+    /// Observes one event. `seq` is the zero-based index of the event in the
+    /// stream (used for report locations).
+    fn on_event(&mut self, seq: u64, event: &PmEvent);
+
+    /// Runs end-of-program checks (e.g. the no-durability-guarantee rule)
+    /// and returns all reports accumulated over the whole run.
+    fn finish(&mut self) -> Vec<BugReport>;
+}
+
+/// A detector that does nothing — the paper's "Nulgrind" configuration
+/// (instrumentation without bookkeeping), used to separate instrumentation
+/// overhead from debugging overhead.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NopDetector;
+
+impl Detector for NopDetector {
+    fn name(&self) -> &str {
+        "nulgrind"
+    }
+
+    fn on_event(&mut self, _seq: u64, _event: &PmEvent) {}
+
+    fn finish(&mut self) -> Vec<BugReport> {
+        Vec::new()
+    }
+}
+
+/// A detector that counts events by class; useful in tests and examples.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CountingDetector {
+    /// Number of store events seen.
+    pub stores: u64,
+    /// Number of flush events seen.
+    pub flushes: u64,
+    /// Number of fence events seen.
+    pub fences: u64,
+    /// Number of all other events seen.
+    pub other: u64,
+}
+
+impl Detector for CountingDetector {
+    fn name(&self) -> &str {
+        "counting"
+    }
+
+    fn on_event(&mut self, _seq: u64, event: &PmEvent) {
+        match event {
+            PmEvent::Store { .. } => self.stores += 1,
+            PmEvent::Flush { .. } => self.flushes += 1,
+            PmEvent::Fence { .. } => self.fences += 1,
+            _ => self.other += 1,
+        }
+    }
+
+    fn finish(&mut self) -> Vec<BugReport> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::{FenceKind, ThreadId};
+
+    #[test]
+    fn all_kinds_listed_once() {
+        let mut names: Vec<&str> = BugKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 10);
+    }
+
+    #[test]
+    fn severity_classification_matches_paper() {
+        assert!(BugKind::NoDurabilityGuarantee.is_correctness());
+        assert!(BugKind::MultipleOverwrites.is_correctness());
+        assert!(BugKind::NoOrderGuarantee.is_correctness());
+        assert!(BugKind::LackDurabilityInEpoch.is_correctness());
+        assert!(BugKind::LackOrderingInStrands.is_correctness());
+        assert!(BugKind::CrossFailureSemantic.is_correctness());
+        assert!(!BugKind::RedundantFlushes.is_correctness());
+        assert!(!BugKind::FlushNothing.is_correctness());
+        assert!(!BugKind::RedundantLogging.is_correctness());
+        assert!(!BugKind::RedundantEpochFence.is_correctness());
+    }
+
+    #[test]
+    fn report_builder_and_display() {
+        let report = BugReport::new(BugKind::RedundantFlushes, "line flushed twice")
+            .with_range(0x40, 64)
+            .with_event(17);
+        assert_eq!(report.severity, Severity::Performance);
+        let text = report.to_string();
+        assert!(text.contains("redundant-flushes"));
+        assert!(text.contains("0x40"));
+        assert!(text.contains("#17"));
+    }
+
+    #[test]
+    fn counting_detector_counts() {
+        let mut det = CountingDetector::default();
+        det.on_event(
+            0,
+            &PmEvent::Store {
+                addr: 0,
+                size: 8,
+                tid: ThreadId(0),
+                strand: None,
+                in_epoch: false,
+            },
+        );
+        det.on_event(
+            1,
+            &PmEvent::Fence {
+                kind: FenceKind::Sfence,
+                tid: ThreadId(0),
+                strand: None,
+                in_epoch: false,
+            },
+        );
+        det.on_event(2, &PmEvent::EpochBegin { tid: ThreadId(0) });
+        assert_eq!((det.stores, det.fences, det.other), (1, 1, 1));
+        assert!(det.finish().is_empty());
+    }
+
+    #[test]
+    fn detectors_are_object_safe() {
+        let mut boxed: Box<dyn Detector> = Box::new(NopDetector);
+        boxed.on_event(0, &PmEvent::EpochBegin { tid: ThreadId(0) });
+        assert_eq!(boxed.name(), "nulgrind");
+    }
+}

@@ -1,0 +1,301 @@
+//! The persistent-memory event model.
+//!
+//! One [`PmEvent`] corresponds to one intercepted instruction or annotation
+//! in the original Valgrind-based tool: memory stores to registered PM,
+//! cache-line flushes, fences, epoch/strand region markers, undo-log appends
+//! and PMTest-style assertions.
+
+use crate::annotations::Annotation;
+use pmem_sim::FlushKind;
+
+/// A persistent-memory address (byte offset into the registered PM space).
+pub type Addr = u64;
+
+/// Identifier of the thread that issued an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ThreadId(pub u32);
+
+/// Identifier of a strand (strand persistency model, paper §2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct StrandId(pub u32);
+
+/// Kind of ordering fence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FenceKind {
+    /// x86 `SFENCE` — orders and completes prior flushes.
+    Sfence,
+    /// A persist barrier inside a strand (strand persistency model).
+    PersistBarrier,
+}
+
+/// One intercepted persistent-memory operation.
+///
+/// Addresses and sizes describe *persistent* locations only; the runtime
+/// filters accesses outside registered PM regions, exactly as the paper's
+/// tool only tracks locations registered via `Register_pmem`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PmEvent {
+    /// Registration of a persistent region for debugging (Table 2,
+    /// `Register_pmem`).
+    RegisterPmem {
+        /// Base address of the region.
+        base: Addr,
+        /// Region length in bytes.
+        size: u64,
+    },
+    /// A store to persistent memory.
+    Store {
+        /// First byte written.
+        addr: Addr,
+        /// Number of bytes written.
+        size: u32,
+        /// Issuing thread.
+        tid: ThreadId,
+        /// Strand the store belongs to, when inside a strand section.
+        strand: Option<StrandId>,
+        /// Whether the store was issued inside an epoch section.
+        in_epoch: bool,
+    },
+    /// A cache-line flush (CLWB / CLFLUSH / CLFLUSHOPT).
+    Flush {
+        /// Flush instruction variant.
+        kind: FlushKind,
+        /// Base address of the flushed cache line.
+        addr: Addr,
+        /// Flushed length (one cache line unless a range helper was used).
+        size: u32,
+        /// Issuing thread.
+        tid: ThreadId,
+        /// Strand the flush belongs to, when inside a strand section.
+        strand: Option<StrandId>,
+    },
+    /// A fence.
+    Fence {
+        /// Fence variant.
+        kind: FenceKind,
+        /// Issuing thread.
+        tid: ThreadId,
+        /// Strand the fence belongs to, when inside a strand section.
+        strand: Option<StrandId>,
+        /// Whether the fence was issued inside an epoch section.
+        in_epoch: bool,
+    },
+    /// Beginning of an (outermost) epoch section (`TX_BEGIN`).
+    EpochBegin {
+        /// Issuing thread.
+        tid: ThreadId,
+    },
+    /// End of an (outermost) epoch section (`TX_END`).
+    EpochEnd {
+        /// Issuing thread.
+        tid: ThreadId,
+    },
+    /// Beginning of a strand section.
+    StrandBegin {
+        /// The strand being started.
+        strand: StrandId,
+        /// Issuing thread.
+        tid: ThreadId,
+    },
+    /// End of a strand section.
+    StrandEnd {
+        /// The strand being ended.
+        strand: StrandId,
+        /// Issuing thread.
+        tid: ThreadId,
+    },
+    /// Explicit cross-strand ordering point (`JoinStrand`).
+    JoinStrand {
+        /// Issuing thread.
+        tid: ThreadId,
+    },
+    /// An undo-log append inside a transaction (`TX_ADD` / `pmemobj_tx_add_range`).
+    ///
+    /// The paper's redundant-logging rule treats the *logged object address*
+    /// as the stored-to address and reuses the multiple-overwrites machinery.
+    TxLog {
+        /// Address of the data object being logged.
+        obj_addr: Addr,
+        /// Size of the logged range.
+        size: u32,
+        /// Issuing thread.
+        tid: ThreadId,
+    },
+    /// Entry into an application function named in an [`crate::OrderSpec`]
+    /// (the paper instruments such functions and registers a callback).
+    FuncEnter {
+        /// Function name as used in the order-spec configuration.
+        name: String,
+        /// Issuing thread.
+        tid: ThreadId,
+    },
+    /// A PMTest-style in-program assertion (consumed by the PMTest baseline,
+    /// ignored by PMDebugger).
+    Annotation(Annotation),
+    /// A named-variable registration mapping an order-spec variable to an
+    /// address range (the paper maps variables "based on symbol tables or by
+    /// intercepting dynamic memory allocations").
+    NameRange {
+        /// Variable name as used in the order-spec configuration.
+        name: String,
+        /// Base address of the variable.
+        addr: Addr,
+        /// Variable size in bytes.
+        size: u32,
+    },
+    /// A simulated failure point: execution crashes here and recovery code
+    /// runs next (cross-failure methodology; the paper manually invokes the
+    /// recovery program because Valgrind cannot pause/resume threads, §7.3).
+    Crash,
+    /// A read performed by post-failure recovery code. Reading data whose
+    /// durability was not guaranteed at the crash is a cross-failure
+    /// semantic bug.
+    RecoveryRead {
+        /// First byte read.
+        addr: Addr,
+        /// Number of bytes read.
+        size: u32,
+    },
+}
+
+impl PmEvent {
+    /// Returns `true` for the three fundamental instruction events the
+    /// paper's characterization counts (store, CLF, fence).
+    pub fn is_fundamental(&self) -> bool {
+        matches!(
+            self,
+            PmEvent::Store { .. } | PmEvent::Flush { .. } | PmEvent::Fence { .. }
+        )
+    }
+
+    /// The issuing thread, when the event has one.
+    pub fn tid(&self) -> Option<ThreadId> {
+        match self {
+            PmEvent::Store { tid, .. }
+            | PmEvent::Flush { tid, .. }
+            | PmEvent::Fence { tid, .. }
+            | PmEvent::EpochBegin { tid }
+            | PmEvent::EpochEnd { tid }
+            | PmEvent::StrandBegin { tid, .. }
+            | PmEvent::StrandEnd { tid, .. }
+            | PmEvent::JoinStrand { tid }
+            | PmEvent::TxLog { tid, .. }
+            | PmEvent::FuncEnter { tid, .. } => Some(*tid),
+            PmEvent::RegisterPmem { .. }
+            | PmEvent::Annotation(_)
+            | PmEvent::NameRange { .. }
+            | PmEvent::Crash
+            | PmEvent::RecoveryRead { .. } => None,
+        }
+    }
+
+    /// The address range `[addr, addr + size)` the event touches, if any.
+    pub fn range(&self) -> Option<(Addr, u64)> {
+        match self {
+            PmEvent::Store { addr, size, .. } | PmEvent::Flush { addr, size, .. } => {
+                Some((*addr, u64::from(*size)))
+            }
+            PmEvent::TxLog { obj_addr, size, .. } => Some((*obj_addr, u64::from(*size))),
+            PmEvent::RegisterPmem { base, size } => Some((*base, *size)),
+            PmEvent::NameRange { addr, size, .. }
+            | PmEvent::RecoveryRead { addr, size } => Some((*addr, u64::from(*size))),
+            _ => None,
+        }
+    }
+}
+
+/// Returns `true` when the half-open ranges `[a, a+al)` and `[b, b+bl)`
+/// overlap.
+#[inline]
+pub fn ranges_overlap(a: Addr, al: u64, b: Addr, bl: u64) -> bool {
+    a < b.saturating_add(bl) && b < a.saturating_add(al)
+}
+
+/// Returns `true` when `[inner, inner+il)` is contained in `[outer, outer+ol)`.
+#[inline]
+pub fn range_contains(outer: Addr, ol: u64, inner: Addr, il: u64) -> bool {
+    inner >= outer && inner.saturating_add(il) <= outer.saturating_add(ol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(addr: Addr) -> PmEvent {
+        PmEvent::Store {
+            addr,
+            size: 8,
+            tid: ThreadId(0),
+            strand: None,
+            in_epoch: false,
+        }
+    }
+
+    #[test]
+    fn fundamental_classification() {
+        assert!(store(0).is_fundamental());
+        assert!(PmEvent::Flush {
+            kind: FlushKind::Clwb,
+            addr: 0,
+            size: 64,
+            tid: ThreadId(0),
+            strand: None,
+        }
+        .is_fundamental());
+        assert!(PmEvent::Fence {
+            kind: FenceKind::Sfence,
+            tid: ThreadId(0),
+            strand: None,
+            in_epoch: false,
+        }
+        .is_fundamental());
+        assert!(!PmEvent::EpochBegin { tid: ThreadId(0) }.is_fundamental());
+        assert!(!PmEvent::RegisterPmem { base: 0, size: 64 }.is_fundamental());
+    }
+
+    #[test]
+    fn tid_extraction() {
+        assert_eq!(store(0).tid(), Some(ThreadId(0)));
+        assert_eq!(PmEvent::RegisterPmem { base: 0, size: 1 }.tid(), None);
+    }
+
+    #[test]
+    fn range_extraction() {
+        assert_eq!(store(16).range(), Some((16, 8)));
+        assert_eq!(
+            PmEvent::JoinStrand { tid: ThreadId(1) }.range(),
+            None
+        );
+        assert_eq!(
+            PmEvent::TxLog {
+                obj_addr: 128,
+                size: 32,
+                tid: ThreadId(0)
+            }
+            .range(),
+            Some((128, 32))
+        );
+    }
+
+    #[test]
+    fn overlap_semantics() {
+        assert!(ranges_overlap(0, 8, 4, 8));
+        assert!(ranges_overlap(4, 8, 0, 8));
+        assert!(!ranges_overlap(0, 8, 8, 8)); // half-open: touching ends do not overlap
+        assert!(!ranges_overlap(8, 8, 0, 8));
+        assert!(ranges_overlap(0, 1, 0, 1));
+    }
+
+    #[test]
+    fn overlap_never_panics_near_u64_max() {
+        assert!(ranges_overlap(u64::MAX - 1, u64::MAX, 0, u64::MAX));
+    }
+
+    #[test]
+    fn containment_semantics() {
+        assert!(range_contains(0, 64, 0, 64));
+        assert!(range_contains(0, 64, 8, 8));
+        assert!(!range_contains(0, 64, 60, 8));
+        assert!(!range_contains(8, 8, 0, 8));
+    }
+}

@@ -1,0 +1,195 @@
+//! The order-specification configuration file (paper §4.5, §8).
+//!
+//! To detect "no order guarantee" bugs, PMDebugger asks the programmer to
+//! state — *once*, in a configuration file, not via in-code annotations —
+//! that variable `X` must be persisted before variable `Y`, optionally at a
+//! given application function. Variables are mapped to address ranges at
+//! runtime via [`crate::PmEvent::NameRange`] events (the paper uses symbol
+//! tables or intercepted allocations).
+//!
+//! # Format
+//!
+//! One directive per line, `#` starts a comment:
+//!
+//! ```text
+//! # X must persist before Y (checked everywhere)
+//! order value before key
+//! # checked only while inside function `insert`
+//! order meta before root @ insert
+//! ```
+
+use std::error::Error;
+use std::fmt;
+use std::str::FromStr;
+
+/// One persist-order requirement: `first` must be durable before `second`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderRule {
+    /// Variable that must persist first.
+    pub first: String,
+    /// Variable that must persist second.
+    pub second: String,
+    /// Restrict checking to this application function, when set.
+    pub function: Option<String>,
+}
+
+/// A parsed order-specification file.
+///
+/// # Example
+///
+/// ```
+/// use pm_trace::OrderSpec;
+///
+/// # fn main() -> Result<(), pm_trace::ParseOrderSpecError> {
+/// let spec: OrderSpec = "\
+///     order value before key   # value durable before the key naming it
+///     order meta before root @ insert
+/// ".parse()?;
+/// assert_eq!(spec.rules().len(), 2);
+/// assert_eq!(spec.rules()[1].function.as_deref(), Some("insert"));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OrderSpec {
+    rules: Vec<OrderRule>,
+}
+
+impl OrderSpec {
+    /// Creates an empty specification.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a rule programmatically.
+    pub fn add_rule(&mut self, first: &str, second: &str, function: Option<&str>) -> &mut Self {
+        self.rules.push(OrderRule {
+            first: first.to_owned(),
+            second: second.to_owned(),
+            function: function.map(str::to_owned),
+        });
+        self
+    }
+
+    /// The parsed rules.
+    pub fn rules(&self) -> &[OrderRule] {
+        &self.rules
+    }
+
+    /// Whether the specification has no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+}
+
+/// Error from parsing an order-specification file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseOrderSpecError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What was wrong.
+    pub reason: String,
+}
+
+impl fmt::Display for ParseOrderSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "order spec line {}: {}", self.line, self.reason)
+    }
+}
+
+impl Error for ParseOrderSpecError {}
+
+impl FromStr for OrderSpec {
+    type Err = ParseOrderSpecError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut spec = OrderSpec::new();
+        for (idx, raw) in s.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (body, function) = match line.split_once('@') {
+                Some((body, func)) => {
+                    let func = func.trim();
+                    if func.is_empty() {
+                        return Err(ParseOrderSpecError {
+                            line: line_no,
+                            reason: "empty function name after '@'".to_owned(),
+                        });
+                    }
+                    (body.trim(), Some(func))
+                }
+                None => (line, None),
+            };
+            let tokens: Vec<&str> = body.split_whitespace().collect();
+            match tokens.as_slice() {
+                ["order", first, "before", second] => {
+                    spec.add_rule(first, second, function);
+                }
+                _ => {
+                    return Err(ParseOrderSpecError {
+                        line: line_no,
+                        reason: format!("expected `order <X> before <Y> [@ func]`, got `{body}`"),
+                    });
+                }
+            }
+        }
+        Ok(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic_rule() {
+        let spec: OrderSpec = "order value before key".parse().unwrap();
+        assert_eq!(spec.rules().len(), 1);
+        assert_eq!(spec.rules()[0].first, "value");
+        assert_eq!(spec.rules()[0].second, "key");
+        assert_eq!(spec.rules()[0].function, None);
+    }
+
+    #[test]
+    fn parses_function_scoped_rule() {
+        let spec: OrderSpec = "order meta before root @ insert".parse().unwrap();
+        assert_eq!(spec.rules()[0].function.as_deref(), Some("insert"));
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let text = "\n# header\norder a before b # trailing\n\n";
+        let spec: OrderSpec = text.parse().unwrap();
+        assert_eq!(spec.rules().len(), 1);
+    }
+
+    #[test]
+    fn rejects_malformed_line_with_location() {
+        let err = "order a b".parse::<OrderSpec>().unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn rejects_empty_function() {
+        let err = "order a before b @".parse::<OrderSpec>().unwrap_err();
+        assert!(err.reason.contains("function"));
+    }
+
+    #[test]
+    fn multiple_rules_preserved_in_order() {
+        let text = "order a before b\norder c before d @ f";
+        let spec: OrderSpec = text.parse().unwrap();
+        assert_eq!(spec.rules().len(), 2);
+        assert_eq!(spec.rules()[1].first, "c");
+    }
+
+    #[test]
+    fn empty_spec_is_empty() {
+        let spec: OrderSpec = "# nothing".parse().unwrap();
+        assert!(spec.is_empty());
+    }
+}

@@ -1,0 +1,279 @@
+//! Trace recording, replay and multi-thread interleaving.
+
+use crate::detector::{BugReport, Detector};
+use crate::events::{PmEvent, ThreadId};
+
+/// A recorded sequence of [`PmEvent`]s.
+///
+/// Traces decouple workload execution from detector evaluation: benchmarks
+/// record a workload once and replay the identical stream through every
+/// detector, mirroring how the paper runs each tool over the same program.
+///
+/// # Example
+///
+/// ```
+/// use pm_trace::{replay_finish, CountingDetector, PmRuntime};
+///
+/// # fn main() -> Result<(), pm_trace::RuntimeError> {
+/// let mut rt = PmRuntime::trace_only();
+/// rt.record();
+/// rt.store_untyped(0, 8);
+/// rt.clwb(0)?;
+/// rt.sfence();
+/// let trace = rt.take_trace().expect("recording enabled");
+///
+/// let mut counter = CountingDetector::default();
+/// replay_finish(&trace, &mut counter);
+/// assert_eq!((counter.stores, counter.flushes, counter.fences), (1, 1, 1));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    events: Vec<PmEvent>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one event.
+    pub fn push(&mut self, event: PmEvent) {
+        self.events.push(event);
+    }
+
+    /// The recorded events in order.
+    pub fn events(&self) -> &[PmEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Computes summary statistics (instruction mix).
+    pub fn stats(&self) -> TraceStats {
+        let mut stats = TraceStats::default();
+        for event in &self.events {
+            match event {
+                PmEvent::Store { .. } => stats.stores += 1,
+                PmEvent::Flush { .. } => stats.flushes += 1,
+                PmEvent::Fence { .. } => stats.fences += 1,
+                _ => stats.other += 1,
+            }
+        }
+        stats
+    }
+}
+
+impl FromIterator<PmEvent> for Trace {
+    fn from_iter<I: IntoIterator<Item = PmEvent>>(iter: I) -> Self {
+        Trace {
+            events: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<PmEvent> for Trace {
+    fn extend<I: IntoIterator<Item = PmEvent>>(&mut self, iter: I) {
+        self.events.extend(iter);
+    }
+}
+
+impl IntoIterator for Trace {
+    type Item = PmEvent;
+    type IntoIter = std::vec::IntoIter<PmEvent>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.into_iter()
+    }
+}
+
+/// Instruction-mix counters for a trace.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Store events.
+    pub stores: u64,
+    /// Flush events.
+    pub flushes: u64,
+    /// Fence events.
+    pub fences: u64,
+    /// All other events (markers, annotations, registrations).
+    pub other: u64,
+}
+
+impl TraceStats {
+    /// Total of the three fundamental instruction classes.
+    pub fn fundamental_total(&self) -> u64 {
+        self.stores + self.flushes + self.fences
+    }
+}
+
+/// Replays a trace through a detector without running its final checks.
+pub fn replay<D: Detector + ?Sized>(trace: &Trace, detector: &mut D) {
+    for (seq, event) in trace.events().iter().enumerate() {
+        detector.on_event(seq as u64, event);
+    }
+}
+
+/// Replays a trace through a detector and returns its reports (including
+/// end-of-program checks).
+pub fn replay_finish<D: Detector + ?Sized>(trace: &Trace, detector: &mut D) -> Vec<BugReport> {
+    replay(trace, detector);
+    detector.finish()
+}
+
+/// Interleaves per-thread traces round-robin in chunks of `quantum` events,
+/// re-stamping each event with its source thread id.
+///
+/// This models a multi-threaded program's interleaved instruction stream
+/// (used by the Figure 10 scalability experiment) while keeping workload
+/// generation deterministic and single-threaded.
+pub fn interleave_round_robin(per_thread: Vec<Trace>, quantum: usize) -> Trace {
+    assert!(quantum > 0, "quantum must be positive");
+    let mut sources: Vec<(ThreadId, std::vec::IntoIter<PmEvent>)> = per_thread
+        .into_iter()
+        .enumerate()
+        .map(|(i, t)| (ThreadId(i as u32), t.into_iter()))
+        .collect();
+    let mut merged = Trace::new();
+    let mut any = true;
+    while any {
+        any = false;
+        for (tid, source) in &mut sources {
+            for _ in 0..quantum {
+                match source.next() {
+                    Some(mut event) => {
+                        restamp(&mut event, *tid);
+                        merged.push(event);
+                        any = true;
+                    }
+                    None => break,
+                }
+            }
+        }
+    }
+    merged
+}
+
+fn restamp(event: &mut PmEvent, new_tid: ThreadId) {
+    match event {
+        PmEvent::Store { tid, .. }
+        | PmEvent::Flush { tid, .. }
+        | PmEvent::Fence { tid, .. }
+        | PmEvent::EpochBegin { tid }
+        | PmEvent::EpochEnd { tid }
+        | PmEvent::StrandBegin { tid, .. }
+        | PmEvent::StrandEnd { tid, .. }
+        | PmEvent::JoinStrand { tid }
+        | PmEvent::TxLog { tid, .. }
+        | PmEvent::FuncEnter { tid, .. } => *tid = new_tid,
+        PmEvent::RegisterPmem { .. }
+        | PmEvent::Annotation(_)
+        | PmEvent::NameRange { .. }
+        | PmEvent::Crash
+        | PmEvent::RecoveryRead { .. } => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::CountingDetector;
+    use crate::events::FenceKind;
+
+    fn store(addr: u64) -> PmEvent {
+        PmEvent::Store {
+            addr,
+            size: 8,
+            tid: ThreadId(0),
+            strand: None,
+            in_epoch: false,
+        }
+    }
+
+    fn fence() -> PmEvent {
+        PmEvent::Fence {
+            kind: FenceKind::Sfence,
+            tid: ThreadId(0),
+            strand: None,
+            in_epoch: false,
+        }
+    }
+
+    #[test]
+    fn stats_count_classes() {
+        let trace: Trace = vec![store(0), store(8), fence()].into_iter().collect();
+        let stats = trace.stats();
+        assert_eq!(stats.stores, 2);
+        assert_eq!(stats.fences, 1);
+        assert_eq!(stats.flushes, 0);
+        assert_eq!(stats.fundamental_total(), 3);
+    }
+
+    #[test]
+    fn replay_visits_every_event_in_order() {
+        let trace: Trace = vec![store(0), fence(), store(8)].into_iter().collect();
+        let mut det = CountingDetector::default();
+        let reports = replay_finish(&trace, &mut det);
+        assert!(reports.is_empty());
+        assert_eq!(det.stores, 2);
+        assert_eq!(det.fences, 1);
+    }
+
+    #[test]
+    fn interleave_restamps_thread_ids() {
+        let t0: Trace = vec![store(0), store(8)].into_iter().collect();
+        let t1: Trace = vec![store(64), store(72)].into_iter().collect();
+        let merged = interleave_round_robin(vec![t0, t1], 1);
+        let tids: Vec<u32> = merged
+            .events()
+            .iter()
+            .map(|e| e.tid().unwrap().0)
+            .collect();
+        assert_eq!(tids, vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn interleave_preserves_per_thread_order() {
+        let t0: Trace = vec![store(0), store(8), store(16)].into_iter().collect();
+        let t1: Trace = vec![store(64)].into_iter().collect();
+        let merged = interleave_round_robin(vec![t0, t1], 2);
+        let addrs: Vec<u64> = merged
+            .events()
+            .iter()
+            .map(|e| e.range().unwrap().0)
+            .collect();
+        assert_eq!(addrs, vec![0, 8, 64, 16]);
+    }
+
+    #[test]
+    fn interleave_handles_unbalanced_sources() {
+        let t0: Trace = (0..5).map(|i| store(i * 8)).collect();
+        let t1 = Trace::new();
+        let merged = interleave_round_robin(vec![t0, t1], 2);
+        assert_eq!(merged.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantum")]
+    fn zero_quantum_panics() {
+        interleave_round_robin(vec![Trace::new()], 0);
+    }
+
+    #[test]
+    fn trace_collects_and_extends() {
+        let mut trace: Trace = vec![store(0)].into_iter().collect();
+        trace.extend(vec![fence()]);
+        assert_eq!(trace.len(), 2);
+        assert!(!trace.is_empty());
+    }
+}

@@ -1,0 +1,188 @@
+//! Bug-report summarization.
+//!
+//! The paper's artifact prints "a detailed bug summary" after a run. This
+//! module aggregates raw [`BugReport`]s into that summary: counts per bug
+//! type, correctness vs performance split, deduplication by (kind, range),
+//! and a formatted rendering.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::detector::{BugKind, BugReport, Severity};
+
+/// Aggregated view over a run's bug reports.
+///
+/// # Example
+///
+/// ```
+/// use pm_trace::{BugKind, BugReport, BugSummary};
+///
+/// let summary = BugSummary::from_reports(vec![
+///     BugReport::new(BugKind::NoDurabilityGuarantee, "cas id unpersisted"),
+///     BugReport::new(BugKind::RedundantFlushes, "double flush"),
+/// ]);
+/// assert_eq!(summary.total(), 2);
+/// assert_eq!(summary.correctness_count(), 1);
+/// println!("{summary}");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BugSummary {
+    by_kind: BTreeMap<BugKind, Vec<BugReport>>,
+    total: usize,
+}
+
+impl BugSummary {
+    /// Builds a summary from raw reports.
+    pub fn from_reports<I: IntoIterator<Item = BugReport>>(reports: I) -> Self {
+        let mut summary = BugSummary::default();
+        for report in reports {
+            summary.total += 1;
+            summary.by_kind.entry(report.kind).or_default().push(report);
+        }
+        summary
+    }
+
+    /// Total reports (before deduplication).
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Number of distinct bug kinds present.
+    pub fn kinds(&self) -> usize {
+        self.by_kind.len()
+    }
+
+    /// Reports of one kind.
+    pub fn of_kind(&self, kind: BugKind) -> &[BugReport] {
+        self.by_kind.get(&kind).map_or(&[], Vec::as_slice)
+    }
+
+    /// Count of correctness-severity reports.
+    pub fn correctness_count(&self) -> usize {
+        self.by_kind
+            .values()
+            .flatten()
+            .filter(|r| r.severity == Severity::Correctness)
+            .count()
+    }
+
+    /// Count of performance-severity reports.
+    pub fn performance_count(&self) -> usize {
+        self.total - self.correctness_count()
+    }
+
+    /// Deduplicates reports that share kind and affected range, returning
+    /// `(representative, occurrence count)` pairs in kind order. Repeated
+    /// executions of one buggy code path collapse to a single line.
+    pub fn deduplicated(&self) -> Vec<(&BugReport, usize)> {
+        type SiteKey = (Option<u64>, Option<u64>);
+        let mut out: Vec<(&BugReport, usize)> = Vec::new();
+        for reports in self.by_kind.values() {
+            let mut groups: BTreeMap<SiteKey, (&BugReport, usize)> = BTreeMap::new();
+            for report in reports {
+                groups
+                    .entry((report.addr, report.size))
+                    .and_modify(|(_, n)| *n += 1)
+                    .or_insert((report, 1));
+            }
+            out.extend(groups.into_values());
+        }
+        out
+    }
+
+    /// Whether the run was clean.
+    pub fn is_clean(&self) -> bool {
+        self.total == 0
+    }
+}
+
+impl fmt::Display for BugSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return writeln!(f, "no crash-consistency bugs detected");
+        }
+        writeln!(
+            f,
+            "{} bug report(s) across {} type(s) ({} correctness, {} performance)",
+            self.total,
+            self.kinds(),
+            self.correctness_count(),
+            self.performance_count()
+        )?;
+        for (kind, reports) in &self.by_kind {
+            writeln!(f, "  {kind}: {}", reports.len())?;
+        }
+        writeln!(f, "distinct defect sites:")?;
+        for (report, count) in self.deduplicated() {
+            if count > 1 {
+                writeln!(f, "  {report} (x{count})")?;
+            } else {
+                writeln!(f, "  {report}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(kind: BugKind, addr: u64) -> BugReport {
+        BugReport::new(kind, "test").with_range(addr, 8)
+    }
+
+    #[test]
+    fn empty_summary_is_clean() {
+        let summary = BugSummary::from_reports(Vec::new());
+        assert!(summary.is_clean());
+        assert_eq!(summary.to_string().trim(), "no crash-consistency bugs detected");
+    }
+
+    #[test]
+    fn counts_by_kind_and_severity() {
+        let summary = BugSummary::from_reports(vec![
+            report(BugKind::NoDurabilityGuarantee, 0),
+            report(BugKind::NoDurabilityGuarantee, 64),
+            report(BugKind::RedundantFlushes, 128),
+        ]);
+        assert_eq!(summary.total(), 3);
+        assert_eq!(summary.kinds(), 2);
+        assert_eq!(summary.correctness_count(), 2);
+        assert_eq!(summary.performance_count(), 1);
+        assert_eq!(summary.of_kind(BugKind::NoDurabilityGuarantee).len(), 2);
+        assert!(summary.of_kind(BugKind::FlushNothing).is_empty());
+    }
+
+    #[test]
+    fn deduplication_groups_repeated_sites() {
+        let summary = BugSummary::from_reports(vec![
+            report(BugKind::RedundantFlushes, 0),
+            report(BugKind::RedundantFlushes, 0),
+            report(BugKind::RedundantFlushes, 0),
+            report(BugKind::RedundantFlushes, 64),
+        ]);
+        let dedup = summary.deduplicated();
+        assert_eq!(dedup.len(), 2);
+        let max = dedup.iter().map(|(_, n)| *n).max().unwrap();
+        assert_eq!(max, 3);
+        assert!(summary.to_string().contains("(x3)"));
+    }
+
+    #[test]
+    fn same_site_different_kind_not_merged() {
+        let summary = BugSummary::from_reports(vec![
+            report(BugKind::RedundantFlushes, 0),
+            report(BugKind::NoDurabilityGuarantee, 0),
+        ]);
+        assert_eq!(summary.deduplicated().len(), 2);
+    }
+
+    #[test]
+    fn display_lists_kind_counts() {
+        let summary = BugSummary::from_reports(vec![report(BugKind::FlushNothing, 0)]);
+        let text = summary.to_string();
+        assert!(text.contains("flush-nothing: 1"));
+        assert!(text.contains("1 bug report(s)"));
+    }
+}

@@ -1,0 +1,190 @@
+//! Property-based tests for the instrumentation substrate.
+
+use pm_trace::characterize::characterize;
+use pm_trace::{interleave_round_robin, FenceKind, PmEvent, ThreadId, Trace};
+use pmem_sim::FlushKind;
+use proptest::prelude::*;
+
+fn store(addr: u64, tid: u32) -> PmEvent {
+    PmEvent::Store {
+        addr,
+        size: 8,
+        tid: ThreadId(tid),
+        strand: None,
+        in_epoch: false,
+    }
+}
+
+fn flush(addr: u64, tid: u32) -> PmEvent {
+    PmEvent::Flush {
+        kind: FlushKind::Clwb,
+        addr,
+        size: 64,
+        tid: ThreadId(tid),
+        strand: None,
+    }
+}
+
+fn fence(tid: u32) -> PmEvent {
+    PmEvent::Fence {
+        kind: FenceKind::Sfence,
+        tid: ThreadId(tid),
+        strand: None,
+        in_epoch: false,
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Kind {
+    Store,
+    Flush,
+    Fence,
+}
+
+fn kind_strategy() -> impl Strategy<Value = (Kind, u64)> {
+    prop_oneof![
+        3 => (Just(Kind::Store), 0u64..1024),
+        2 => (Just(Kind::Flush), 0u64..1024),
+        1 => (Just(Kind::Fence), Just(0u64)),
+    ]
+}
+
+fn build_trace(kinds: &[(Kind, u64)], tid: u32) -> Trace {
+    kinds
+        .iter()
+        .map(|(kind, addr)| match kind {
+            Kind::Store => store(*addr, tid),
+            Kind::Flush => flush(*addr & !63, tid),
+            Kind::Fence => fence(tid),
+        })
+        .collect()
+}
+
+fn any_event() -> impl Strategy<Value = PmEvent> {
+    prop_oneof![
+        (0u64..1 << 20, 1u32..256, 0u32..4, proptest::option::of(0u32..4), any::<bool>())
+            .prop_map(|(addr, size, tid, strand, in_epoch)| PmEvent::Store {
+                addr,
+                size,
+                tid: ThreadId(tid),
+                strand: strand.map(pm_trace::StrandId),
+                in_epoch,
+            }),
+        (0u64..1 << 20, 0u32..4, proptest::option::of(0u32..4)).prop_map(|(addr, tid, strand)| {
+            PmEvent::Flush {
+                kind: FlushKind::Clwb,
+                addr: addr & !63,
+                size: 64,
+                tid: ThreadId(tid),
+                strand: strand.map(pm_trace::StrandId),
+            }
+        }),
+        (0u32..4, any::<bool>()).prop_map(|(tid, in_epoch)| PmEvent::Fence {
+            kind: FenceKind::Sfence,
+            tid: ThreadId(tid),
+            strand: None,
+            in_epoch,
+        }),
+        (0u32..4).prop_map(|tid| PmEvent::EpochBegin { tid: ThreadId(tid) }),
+        (0u32..4).prop_map(|tid| PmEvent::EpochEnd { tid: ThreadId(tid) }),
+        (0u64..1 << 20, 1u32..128, 0u32..4).prop_map(|(addr, size, tid)| PmEvent::TxLog {
+            obj_addr: addr,
+            size,
+            tid: ThreadId(tid),
+        }),
+        ("[a-z][a-z0-9_]{0,12}", 0u64..1 << 20, 1u32..64)
+            .prop_map(|(name, addr, size)| PmEvent::NameRange { name, addr, size }),
+        Just(PmEvent::Crash),
+        (0u64..1 << 20, 1u32..64)
+            .prop_map(|(addr, size)| PmEvent::RecoveryRead { addr, size }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Text serialization roundtrips arbitrary event sequences exactly.
+    #[test]
+    fn text_format_roundtrips(events in proptest::collection::vec(any_event(), 0..80)) {
+        let trace: Trace = events.into_iter().collect();
+        let text = pm_trace::to_text(&trace);
+        let back = pm_trace::from_text(&text).unwrap();
+        prop_assert_eq!(trace, back);
+    }
+
+    /// Interleaving preserves every source event (count and multiset of
+    /// per-thread subsequences).
+    #[test]
+    fn interleaving_preserves_per_thread_subsequences(
+        t0 in proptest::collection::vec(kind_strategy(), 0..60),
+        t1 in proptest::collection::vec(kind_strategy(), 0..60),
+        quantum in 1usize..9,
+    ) {
+        let a = build_trace(&t0, 0);
+        let b = build_trace(&t1, 1);
+        let merged = interleave_round_robin(vec![a.clone(), b.clone()], quantum);
+        prop_assert_eq!(merged.len(), a.len() + b.len());
+        // Project back per thread: must equal the sources.
+        let project = |tid: u32| -> Vec<PmEvent> {
+            merged
+                .events()
+                .iter()
+                .filter(|e| e.tid() == Some(ThreadId(tid)))
+                .cloned()
+                .collect()
+        };
+        prop_assert_eq!(project(0), a.into_iter().collect::<Vec<_>>());
+        prop_assert_eq!(project(1), b.into_iter().collect::<Vec<_>>());
+    }
+
+    /// Characterization totals are consistent: instruction counts equal the
+    /// trace stats; distance buckets + unbounded equal the store count.
+    #[test]
+    fn characterization_is_consistent(
+        kinds in proptest::collection::vec(kind_strategy(), 0..150)
+    ) {
+        let trace = build_trace(&kinds, 0);
+        let stats = trace.stats();
+        let report = characterize(&trace);
+        prop_assert_eq!(report.stores, stats.stores);
+        prop_assert_eq!(report.flushes, stats.flushes);
+        prop_assert_eq!(report.fences, stats.fences);
+        prop_assert_eq!(report.distances.total(), stats.stores);
+        // Interval counts never exceed the flush count (a CLF closes at
+        // most one interval).
+        prop_assert!(
+            report.collective_intervals + report.dispersed_intervals <= report.flushes
+        );
+    }
+
+    /// Characterization is insensitive to trailing non-fundamental events.
+    #[test]
+    fn markers_do_not_affect_characterization(
+        kinds in proptest::collection::vec(kind_strategy(), 0..100)
+    ) {
+        let base = build_trace(&kinds, 0);
+        let mut with_markers: Trace = base.events().to_vec().into_iter().collect();
+        with_markers.push(PmEvent::RegisterPmem { base: 0, size: 1 });
+        with_markers.push(PmEvent::FuncEnter {
+            name: "f".into(),
+            tid: ThreadId(0),
+        });
+        prop_assert_eq!(characterize(&base), characterize(&with_markers));
+    }
+
+    /// A store followed immediately by a covering flush and a fence always
+    /// lands in distance bucket 1, regardless of surrounding noise.
+    #[test]
+    fn immediate_persist_is_distance_one(
+        prefix in proptest::collection::vec(kind_strategy(), 0..40)
+    ) {
+        let mut trace = build_trace(&prefix, 0);
+        // Use an address far outside the noise range.
+        let addr = 1 << 20;
+        trace.push(store(addr, 0));
+        trace.push(flush(addr, 0));
+        trace.push(fence(0));
+        let report = characterize(&trace);
+        prop_assert!(report.distances.buckets[0] >= 1);
+    }
+}

@@ -1,0 +1,287 @@
+//! `b_tree`: a persistent B-tree in PMDK-transaction style (epoch model).
+//!
+//! Mirrors PMDK's `btree` map example: order-8 nodes, every structural
+//! mutation wrapped in one transaction that logs the touched nodes before
+//! modifying them. The shadow index lives in DRAM; every persistent byte
+//! that the real program would write goes through the runtime, so the
+//! emitted store/CLF/fence stream has the example's shape.
+
+use pm_trace::{PmRuntime, RuntimeError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::heap::{init_object, Model, PmHeap, Workload, DEFAULT_POOL, LOG_REGION};
+use crate::tx::Tx;
+
+/// B-tree order (PMDK's `BTREE_ORDER`).
+const ORDER: usize = 8;
+/// Bytes per persistent node: keys + values + child pointers + header.
+const NODE_SIZE: usize = ORDER * 8 + ORDER * 8 + (ORDER + 1) * 8 + 16;
+
+#[derive(Debug)]
+struct Node {
+    addr: u64,
+    keys: Vec<u64>,
+    values: Vec<u64>,
+    children: Vec<usize>, // indexes into the arena; empty = leaf
+}
+
+/// The persistent B-tree workload.
+#[derive(Debug)]
+pub struct BTree {
+    seed: u64,
+}
+
+impl BTree {
+    /// Creates the workload with a deterministic RNG seed.
+    pub fn new(seed: u64) -> Self {
+        BTree { seed }
+    }
+}
+
+impl Default for BTree {
+    fn default() -> Self {
+        Self::new(0xB7EE)
+    }
+}
+
+struct BTreeState {
+    arena: Vec<Node>,
+    root: usize,
+    heap: PmHeap,
+}
+
+impl BTreeState {
+    fn new() -> Result<Self, RuntimeError> {
+        let mut heap = PmHeap::new(DEFAULT_POOL);
+        let root_addr = heap.alloc(NODE_SIZE).map_err(pm_trace::RuntimeError::Pmem)?;
+        Ok(BTreeState {
+            arena: vec![Node {
+                addr: root_addr,
+                keys: Vec::new(),
+                values: Vec::new(),
+                children: Vec::new(),
+            }],
+            root: 0,
+            heap,
+        })
+    }
+
+    fn new_node(&mut self) -> Result<usize, RuntimeError> {
+        let addr = self
+            .heap
+            .alloc(NODE_SIZE)
+            .map_err(pm_trace::RuntimeError::Pmem)?;
+        self.arena.push(Node {
+            addr,
+            keys: Vec::new(),
+            values: Vec::new(),
+            children: Vec::new(),
+        });
+        Ok(self.arena.len() - 1)
+    }
+
+    /// Inserts `key` in one transaction, logging and rewriting every node
+    /// the insertion touches (as PMDK's example does via TX_ADD).
+    fn insert(&mut self, rt: &mut PmRuntime, key: u64, value: u64) -> Result<(), RuntimeError> {
+        let mut tx = Tx::begin(rt, 0, LOG_REGION);
+
+        // Split the root pre-emptively if full (classic top-down B-tree).
+        if self.arena[self.root].keys.len() == ORDER - 1 {
+            let old_root = self.root;
+            let new_root = self.new_node()?;
+            self.arena[new_root].children.push(old_root);
+            self.root = new_root;
+            self.split_child(rt, &mut tx, new_root, 0)?;
+        }
+
+        let mut node = self.root;
+        loop {
+            // Invariant: we arrive at `node` with at most ORDER-2 keys (we
+            // never descend into a full child), so one separator from a
+            // child split below cannot overflow it.
+            let pos = self.arena[node].keys.partition_point(|&k| k < key);
+            if pos < self.arena[node].keys.len() && self.arena[node].keys[pos] == key {
+                // Update in place.
+                let addr = self.arena[node].addr;
+                tx.add(rt, addr, NODE_SIZE as u32);
+                self.arena[node].values[pos] = value;
+                tx.store_untyped(rt, addr + (ORDER as u64 * 8) + pos as u64 * 8, 8);
+                break;
+            }
+            if self.arena[node].children.is_empty() {
+                // Leaf: log, shift, insert.
+                let addr = self.arena[node].addr;
+                tx.add(rt, addr, NODE_SIZE as u32);
+                self.arena[node].keys.insert(pos, key);
+                self.arena[node].values.insert(pos, value);
+                // The shifted tail of keys and values is rewritten.
+                let moved = (self.arena[node].keys.len() - pos) as u32;
+                tx.store_untyped(rt, addr + pos as u64 * 8, moved * 8);
+                tx.store_untyped(rt, addr + ORDER as u64 * 8 + pos as u64 * 8, moved * 8);
+                break;
+            }
+            let child = self.arena[node].children[pos];
+            if self.arena[child].keys.len() == ORDER - 1 {
+                self.split_child(rt, &mut tx, node, pos)?;
+                // Re-descend: the separator may direct us right.
+                continue;
+            }
+            node = child;
+        }
+
+        tx.commit(rt)
+    }
+
+    fn split_child(
+        &mut self,
+        rt: &mut PmRuntime,
+        tx: &mut Tx,
+        parent: usize,
+        idx: usize,
+    ) -> Result<(), RuntimeError> {
+        let child = self.arena[parent].children[idx];
+        let right = self.new_node()?;
+        let mid = (ORDER - 1) / 2;
+
+        let (parent_addr, child_addr, right_addr) = (
+            self.arena[parent].addr,
+            self.arena[child].addr,
+            self.arena[right].addr,
+        );
+        tx.add(rt, parent_addr, NODE_SIZE as u32);
+        tx.add(rt, child_addr, NODE_SIZE as u32);
+
+        let sep_key = self.arena[child].keys[mid];
+        let sep_val = self.arena[child].values[mid];
+
+        let right_keys: Vec<u64> = self.arena[child].keys.split_off(mid + 1);
+        let right_vals: Vec<u64> = self.arena[child].values.split_off(mid + 1);
+        self.arena[child].keys.pop();
+        self.arena[child].values.pop();
+        let right_children: Vec<usize> = if self.arena[child].children.is_empty() {
+            Vec::new()
+        } else {
+            self.arena[child].children.split_off(mid + 1)
+        };
+        {
+            let r = &mut self.arena[right];
+            r.keys = right_keys;
+            r.values = right_vals;
+            r.children = right_children;
+        }
+        let p = &mut self.arena[parent];
+        p.keys.insert(idx, sep_key);
+        p.values.insert(idx, sep_val);
+        p.children.insert(idx + 1, right);
+
+        // Persistent writes: the fresh right node is constructed and
+        // persisted like a new allocation; the logged child and parent are
+        // rewritten through the transaction.
+        init_object(rt, right_addr, NODE_SIZE as u32)?;
+        tx.store_untyped(rt, child_addr, NODE_SIZE as u32);
+        tx.store_untyped(rt, parent_addr, NODE_SIZE as u32);
+        Ok(())
+    }
+}
+
+impl Workload for BTree {
+    fn name(&self) -> &'static str {
+        "b_tree"
+    }
+
+    fn model(&self) -> Model {
+        Model::Epoch
+    }
+
+    fn run(&self, rt: &mut PmRuntime, ops: usize) -> Result<(), RuntimeError> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut state = BTreeState::new()?;
+        for i in 0..ops {
+            let key = rng.gen_range(0..ops as u64 * 4);
+            state.insert(rt, key, i as u64)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_trace::PmEvent;
+
+    fn record(ops: usize) -> pm_trace::Trace {
+        let mut rt = PmRuntime::trace_only();
+        rt.record();
+        BTree::default().run(&mut rt, ops).unwrap();
+        rt.take_trace().unwrap()
+    }
+
+    #[test]
+    fn emits_one_epoch_per_insert() {
+        let trace = record(50);
+        let begins = trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e, PmEvent::EpochBegin { .. }))
+            .count();
+        assert_eq!(begins, 50);
+    }
+
+    #[test]
+    fn every_epoch_has_exactly_one_fence() {
+        let trace = record(100);
+        let mut fences_in_epoch = 0;
+        for event in trace.events() {
+            match event {
+                PmEvent::Fence { in_epoch, .. } => {
+                    assert!(*in_epoch, "b_tree only fences at TX_END");
+                    fences_in_epoch += 1;
+                }
+                PmEvent::EpochEnd { .. } => {
+                    assert_eq!(fences_in_epoch, 1);
+                    fences_in_epoch = 0;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn store_dominates_instruction_mix() {
+        let trace = record(200);
+        let stats = trace.stats();
+        let total = stats.fundamental_total() as f64;
+        assert!(
+            stats.stores as f64 / total > 0.55,
+            "stores {} of {}",
+            stats.stores,
+            total
+        );
+    }
+
+    #[test]
+    fn splits_happen_for_enough_inserts() {
+        // With ORDER = 8 and 200 distinct-ish keys there must be splits:
+        // more than one node address appears in the store stream.
+        let trace = record(200);
+        let mut addrs: Vec<u64> = trace
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                PmEvent::Store { addr, .. } if *addr >= LOG_REGION => Some(*addr / 512),
+                _ => None,
+            })
+            .collect();
+        addrs.sort_unstable();
+        addrs.dedup();
+        assert!(addrs.len() > 3, "expected splits, got {} nodes", addrs.len());
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = record(30);
+        let b = record(30);
+        assert_eq!(a, b);
+    }
+}

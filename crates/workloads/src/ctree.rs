@@ -1,0 +1,252 @@
+//! `c_tree`: a persistent crit-bit tree in PMDK-transaction style
+//! (epoch model), after PMDK's `ctree` map example.
+//!
+//! A crit-bit tree stores each key in a leaf; internal nodes record the
+//! critical bit that distinguishes their subtrees. Inserts allocate one
+//! leaf plus (usually) one internal node and touch a single parent pointer,
+//! so transactions are small and uniform — the other end of the spectrum
+//! from `b_tree`'s wide node rewrites.
+
+use pm_trace::{PmRuntime, RuntimeError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::heap::{init_object, Model, PmHeap, Workload, DEFAULT_POOL, LOG_REGION};
+use crate::tx::Tx;
+
+/// Persistent leaf: key + value.
+const LEAF_SIZE: usize = 16;
+/// Persistent internal node: crit-bit index + two child pointers.
+const INTERNAL_SIZE: usize = 24;
+
+#[derive(Debug, Clone)]
+enum CNode {
+    Leaf { addr: u64, key: u64 },
+    Internal { addr: u64, bit: u32, left: usize, right: usize },
+}
+
+/// The persistent crit-bit tree workload.
+#[derive(Debug)]
+pub struct CTree {
+    seed: u64,
+}
+
+impl CTree {
+    /// Creates the workload with a deterministic RNG seed.
+    pub fn new(seed: u64) -> Self {
+        CTree { seed }
+    }
+}
+
+impl Default for CTree {
+    fn default() -> Self {
+        Self::new(0xC7EE)
+    }
+}
+
+struct CTreeState {
+    arena: Vec<CNode>,
+    root: Option<usize>,
+    root_slot: u64,
+    heap: PmHeap,
+}
+
+impl CTreeState {
+    fn new() -> Self {
+        let mut heap = PmHeap::new(DEFAULT_POOL);
+        let root_slot = heap.alloc(8).expect("fresh heap has room for the root slot");
+        CTreeState {
+            arena: Vec::new(),
+            root: None,
+            root_slot,
+            heap,
+        }
+    }
+
+    fn insert(&mut self, rt: &mut PmRuntime, key: u64, value: u64) -> Result<(), RuntimeError> {
+        let mut tx = Tx::begin(rt, 0, LOG_REGION);
+        let leaf_addr = self
+            .heap
+            .alloc(LEAF_SIZE)
+            .map_err(pm_trace::RuntimeError::Pmem)?;
+        // Construct and persist the new leaf (key, value) like a fresh
+        // pmemobj allocation.
+        init_object(rt, leaf_addr, LEAF_SIZE as u32)?;
+        let _ = value;
+        let leaf_idx = self.arena.len();
+        self.arena.push(CNode::Leaf {
+            addr: leaf_addr,
+            key,
+        });
+
+        match self.root {
+            None => {
+                self.root = Some(leaf_idx);
+            }
+            Some(root) => {
+                // Find the existing leaf the key would collide with.
+                let mut probe = root;
+                loop {
+                    match &self.arena[probe] {
+                        CNode::Leaf { .. } => break,
+                        CNode::Internal {
+                            bit, left, right, ..
+                        } => {
+                            probe = if key & (1u64 << bit) == 0 { *left } else { *right };
+                        }
+                    }
+                }
+                let existing_key = match &self.arena[probe] {
+                    CNode::Leaf { key, .. } => *key,
+                    CNode::Internal { .. } => unreachable!(),
+                };
+                if existing_key == key {
+                    // Update in place: log the leaf, rewrite its value.
+                    let addr = match &self.arena[probe] {
+                        CNode::Leaf { addr, .. } => *addr,
+                        CNode::Internal { .. } => unreachable!(),
+                    };
+                    tx.add(rt, addr, LEAF_SIZE as u32);
+                    tx.store_untyped(rt, addr + 8, 8);
+                    return tx.commit(rt);
+                }
+                let crit = 63 - (existing_key ^ key).leading_zeros();
+
+                // Descend again, stopping where the crit bit decides.
+                let mut link = LinkRef::Root;
+                let mut node = root;
+                loop {
+                    match &self.arena[node] {
+                        CNode::Leaf { .. } => break,
+                        CNode::Internal {
+                            bit, left, right, ..
+                        } => {
+                            if *bit < crit {
+                                break;
+                            }
+                            let go_right = key & (1u64 << bit) != 0;
+                            link = LinkRef::Child(node, go_right);
+                            node = if go_right { *right } else { *left };
+                        }
+                    }
+                }
+
+                let internal_addr = self
+                    .heap
+                    .alloc(INTERNAL_SIZE)
+                    .map_err(pm_trace::RuntimeError::Pmem)?;
+                let goes_right = key & (1u64 << crit) != 0;
+                let internal_idx = self.arena.len();
+                self.arena.push(CNode::Internal {
+                    addr: internal_addr,
+                    bit: crit,
+                    left: if goes_right { node } else { leaf_idx },
+                    right: if goes_right { leaf_idx } else { node },
+                });
+                // Construct and persist the new internal node.
+                init_object(rt, internal_addr, INTERNAL_SIZE as u32)?;
+
+                // Log and rewrite the parent pointer that now points at it.
+                match link {
+                    LinkRef::Root => {
+                        self.root = Some(internal_idx);
+                        tx.add(rt, self.root_slot, 8);
+                        tx.store_untyped(rt, self.root_slot, 8);
+                    }
+                    LinkRef::Child(parent, went_right) => {
+                        let parent_addr = match &self.arena[parent] {
+                            CNode::Internal { addr, .. } => *addr,
+                            CNode::Leaf { .. } => unreachable!(),
+                        };
+                        tx.add(rt, parent_addr, INTERNAL_SIZE as u32);
+                        let offset = if went_right { 16 } else { 8 };
+                        tx.store_untyped(rt, parent_addr + offset, 8);
+                        match &mut self.arena[parent] {
+                            CNode::Internal { left, right, .. } => {
+                                if went_right {
+                                    *right = internal_idx;
+                                } else {
+                                    *left = internal_idx;
+                                }
+                            }
+                            CNode::Leaf { .. } => unreachable!(),
+                        }
+                    }
+                }
+            }
+        }
+        tx.commit(rt)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum LinkRef {
+    Root,
+    Child(usize, bool),
+}
+
+impl Workload for CTree {
+    fn name(&self) -> &'static str {
+        "c_tree"
+    }
+
+    fn model(&self) -> Model {
+        Model::Epoch
+    }
+
+    fn run(&self, rt: &mut PmRuntime, ops: usize) -> Result<(), RuntimeError> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut state = CTreeState::new();
+        for i in 0..ops {
+            let key = rng.gen::<u64>();
+            state.insert(rt, key, i as u64)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_trace::PmEvent;
+
+    fn record(ops: usize) -> pm_trace::Trace {
+        let mut rt = PmRuntime::trace_only();
+        rt.record();
+        CTree::default().run(&mut rt, ops).unwrap();
+        rt.take_trace().unwrap()
+    }
+
+    #[test]
+    fn one_epoch_per_insert() {
+        let trace = record(40);
+        let begins = trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e, PmEvent::EpochBegin { .. }))
+            .count();
+        assert_eq!(begins, 40);
+    }
+
+    #[test]
+    fn transactions_are_small() {
+        let trace = record(100);
+        // Stores per epoch should be small (word stores for a 16-byte leaf,
+        // a 24-byte internal node, one log record, one parent slot), far
+        // below b_tree's whole-node rewrites.
+        let stores = trace.stats().stores as usize;
+        assert!(stores < 100 * 14, "stores = {stores}");
+    }
+
+    #[test]
+    fn fences_match_epochs() {
+        let trace = record(50);
+        let stats = trace.stats();
+        assert_eq!(stats.fences, 50);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(record(25), record(25));
+    }
+}

@@ -1,0 +1,134 @@
+//! Fault-injected micro-traces reproducing the paper's showcased new bugs
+//! (§7.4, Figure 9) and a PMDK-`array`-style lack-of-durability case.
+
+use pm_trace::{PmRuntime, RuntimeError, Trace};
+use pmem_sim::FlushKind;
+
+use crate::heap::LOG_REGION;
+use crate::memcached::Memcached;
+use crate::tx::{pmemobj_persist, Tx};
+use crate::Workload;
+
+/// Figure 9a — memcached `ITEM_set_cas`: the CAS id is modified inside
+/// `do_item_link` but never persisted. Returns the buggy trace.
+pub fn memcached_cas_bug_trace(ops: usize) -> Trace {
+    let workload = Memcached::default().with_set_percent(100).with_cas_bug();
+    let mut rt = PmRuntime::trace_only();
+    rt.record();
+    workload.run(&mut rt, ops).expect("trace-only run");
+    rt.take_trace().expect("recording enabled")
+}
+
+/// Figure 9b — PMDK `hashmap_atomic`/`data_store`: `map_create` redirects to
+/// `create_hashmap`, which issues `pmemobj_persist` (with its fence) inside
+/// the surrounding `TX_BEGIN`/`TX_END` epoch. Returns the buggy trace.
+pub fn hashmap_atomic_redundant_fence_trace(ops: usize) -> Trace {
+    let workload = crate::hashmap::HashmapAtomic::default().with_redundant_fence_bug();
+    let mut rt = PmRuntime::trace_only();
+    rt.record();
+    workload.run(&mut rt, ops).expect("trace-only run");
+    rt.take_trace().expect("recording enabled")
+}
+
+/// Figure 9c — PMDK `array` example: `do_alloc` writes the info struct
+/// (name, size, type, array pointer) inside an epoch, but `alloc_int` only
+/// persists the allocated array — the info fields lack durability at epoch
+/// end. Returns the buggy trace.
+///
+/// # Errors
+///
+/// Propagates [`RuntimeError`] (the trace-only runtime cannot actually
+/// fail; the `Result` keeps the call shape uniform with workload runs).
+pub fn pmdk_array_lack_durability_trace() -> Result<Trace, RuntimeError> {
+    let mut rt = PmRuntime::trace_only();
+    rt.record();
+
+    let info_addr = LOG_REGION; // info struct right above the log
+    let array_addr = LOG_REGION + 4096;
+    let array_len: u32 = 16 * 8;
+
+    let mut tx = Tx::begin(&mut rt, 0, LOG_REGION);
+    // do_alloc: info->name, info->size, info->type, info->array (4 words).
+    tx.store_untyped(&mut rt, info_addr, 8);
+    tx.store_untyped(&mut rt, info_addr + 8, 8);
+    tx.store_untyped(&mut rt, info_addr + 16, 8);
+    tx.store_untyped(&mut rt, info_addr + 24, 8);
+    // alloc_int: POBJ_ALLOC + pmemobj_persist of the array only.
+    rt.store_untyped(array_addr, array_len);
+    pmemobj_persist(&mut rt, array_addr, array_len)?;
+    // TX_END without the commit-time flush of the info struct: emit the
+    // fence and epoch end directly, bypassing Tx::commit's flushes (that is
+    // the bug being reproduced).
+    rt.sfence();
+    rt.epoch_end()?;
+    drop(tx);
+
+    Ok(rt.take_trace().expect("recording enabled"))
+}
+
+/// The corrected Figure 9c flow (persists the info struct too); used to
+/// check detectors stay silent on the fixed code.
+///
+/// # Errors
+///
+/// Propagates [`RuntimeError`] like [`pmdk_array_lack_durability_trace`].
+pub fn pmdk_array_fixed_trace() -> Result<Trace, RuntimeError> {
+    let mut rt = PmRuntime::trace_only();
+    rt.record();
+
+    let info_addr = LOG_REGION;
+    let array_addr = LOG_REGION + 4096;
+    let array_len: u32 = 16 * 8;
+
+    let mut tx = Tx::begin(&mut rt, 0, LOG_REGION);
+    tx.store_untyped(&mut rt, info_addr, 32);
+    rt.store_untyped(array_addr, array_len);
+    rt.flush_range(FlushKind::Clwb, array_addr, array_len)?;
+    tx.commit(&mut rt)?;
+
+    Ok(rt.take_trace().expect("recording enabled"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_trace::PmEvent;
+
+    #[test]
+    fn cas_bug_trace_is_nonempty() {
+        let trace = memcached_cas_bug_trace(10);
+        assert!(trace.len() > 30);
+    }
+
+    #[test]
+    fn redundant_fence_trace_has_two_in_epoch_fences() {
+        let trace = hashmap_atomic_redundant_fence_trace(5);
+        let in_epoch = trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e, PmEvent::Fence { in_epoch: true, .. }))
+            .count();
+        assert_eq!(in_epoch, 2);
+    }
+
+    #[test]
+    fn array_bug_trace_leaves_info_unflushed() {
+        let trace = pmdk_array_lack_durability_trace().unwrap();
+        // No flush covers the info struct at LOG_REGION.
+        let info_flushed = trace.events().iter().any(|e| {
+            matches!(e, PmEvent::Flush { addr, size, .. }
+                if *addr <= LOG_REGION && LOG_REGION < *addr + u64::from(*size))
+        });
+        assert!(!info_flushed);
+    }
+
+    #[test]
+    fn fixed_array_trace_flushes_info() {
+        let trace = pmdk_array_fixed_trace().unwrap();
+        let info_flushed = trace.events().iter().any(|e| {
+            matches!(e, PmEvent::Flush { addr, size, .. }
+                if *addr <= LOG_REGION && LOG_REGION < *addr + u64::from(*size))
+        });
+        assert!(info_flushed);
+    }
+}

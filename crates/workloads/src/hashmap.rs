@@ -1,0 +1,372 @@
+//! `hashmap_tx` and `hashmap_atomic`, after PMDK's two hashmap map
+//! examples.
+//!
+//! * [`HashmapTx`] — transactional: every insert runs inside a PMDK
+//!   transaction that logs the bucket head and sometimes rehashes. The
+//!   rehash path keeps many locations alive across fences, which is what
+//!   makes this the paper's AVL-tree outlier (Figure 11: tree size 528).
+//! * [`HashmapAtomic`] — atomic-style: inserts persist the new entry with
+//!   `pmemobj_persist` and then publish it with a second persist of the
+//!   bucket head. Its stores cluster into single cache lines persisted by
+//!   one CLF (the highest collective-writeback ratio of Figure 2b, and the
+//!   biggest PMDebugger win in Figure 8f). Its `create` path reproduces the
+//!   PMDK `data_store`/`hashmap_atomic` redundant-epoch-fence bug the paper
+//!   reported to Intel (Figure 9b) when fault injection asks for it.
+
+use pm_trace::{PmRuntime, RuntimeError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::heap::{init_object, Model, PmHeap, Workload, DEFAULT_POOL, LOG_REGION};
+use crate::tx::{pmemobj_persist, Tx};
+use pmem_sim::FlushKind;
+
+/// Persistent entry: key, value, next pointer.
+const ENTRY_SIZE: usize = 24;
+/// Bucket head pointer size.
+const HEAD_SIZE: usize = 8;
+
+/// The transactional hashmap workload.
+#[derive(Debug)]
+pub struct HashmapTx {
+    seed: u64,
+    buckets: usize,
+}
+
+impl HashmapTx {
+    /// Creates the workload with a deterministic seed and bucket count.
+    pub fn new(seed: u64, buckets: usize) -> Self {
+        assert!(buckets > 0, "bucket count must be positive");
+        HashmapTx { seed, buckets }
+    }
+}
+
+impl Default for HashmapTx {
+    fn default() -> Self {
+        // Small initial table so inserts trigger rehashes, matching the
+        // PMDK example's growth behaviour.
+        Self::new(0x4A51, 16)
+    }
+}
+
+/// Slots in the deferred statistics ring. Per-insert counters are stored
+/// immediately but persisted only when the ring wraps — the "persisted
+/// very late after stores" behaviour that makes hashmap_tx the paper's
+/// AVL-tree outlier (Figure 11: tree size 528) and spreads its
+/// store→fence distances past 1 (Figure 2a).
+const STATS_SLOTS: u64 = 512;
+
+struct TxState {
+    heads: Vec<Option<usize>>, // bucket -> entry arena index
+    entries: Vec<(u64, u64, Option<usize>)>, // (addr, key, next)
+    heads_addr: u64,
+    stats_addr: u64,
+    heap: PmHeap,
+    count: usize,
+}
+
+impl TxState {
+    fn new(buckets: usize) -> Result<Self, RuntimeError> {
+        let mut heap = PmHeap::new(DEFAULT_POOL);
+        let heads_addr = heap
+            .alloc(buckets * HEAD_SIZE)
+            .map_err(pm_trace::RuntimeError::Pmem)?;
+        let stats_addr = heap
+            .alloc((STATS_SLOTS * 64) as usize)
+            .map_err(pm_trace::RuntimeError::Pmem)?;
+        Ok(TxState {
+            heads: vec![None; buckets],
+            entries: Vec::new(),
+            heads_addr,
+            stats_addr,
+            heap,
+            count: 0,
+        })
+    }
+
+    /// Per-insert statistics update: stored now, persisted when the ring
+    /// wraps (deferred durability).
+    fn bump_stats(&mut self, rt: &mut PmRuntime) -> Result<(), RuntimeError> {
+        // One slot per cache line: per-bucket statistics interleave with
+        // other metadata in the real example, so they never coalesce.
+        let slot = self.count as u64 % STATS_SLOTS;
+        rt.store_untyped(self.stats_addr + slot * 64, 8);
+        if slot == STATS_SLOTS - 1 {
+            rt.flush_range(FlushKind::Clwb, self.stats_addr, (STATS_SLOTS * 64) as u32)?;
+            rt.sfence();
+        }
+        Ok(())
+    }
+
+    /// Persists whatever tail of the stats ring is still volatile.
+    fn settle_stats(&mut self, rt: &mut PmRuntime) -> Result<(), RuntimeError> {
+        if !(self.count as u64).is_multiple_of(STATS_SLOTS) {
+            rt.flush_range(FlushKind::Clwb, self.stats_addr, (STATS_SLOTS * 64) as u32)?;
+            rt.sfence();
+        }
+        Ok(())
+    }
+
+    fn bucket(&self, key: u64) -> usize {
+        (key % self.heads.len() as u64) as usize
+    }
+
+    fn insert(&mut self, rt: &mut PmRuntime, key: u64, _value: u64) -> Result<(), RuntimeError> {
+        let mut tx = Tx::begin(rt, 0, LOG_REGION);
+        let b = self.bucket(key);
+
+        // Duplicate check via the shadow chain.
+        let mut cursor = self.heads[b];
+        while let Some(e) = cursor {
+            if self.entries[e].1 == key {
+                let addr = self.entries[e].0;
+                tx.add(rt, addr, ENTRY_SIZE as u32);
+                tx.store_untyped(rt, addr + 8, 8); // value word
+                return tx.commit(rt);
+            }
+            cursor = self.entries[e].2;
+        }
+
+        // New entry, constructed and persisted like a fresh allocation,
+        // then linked at the head.
+        let addr = self
+            .heap
+            .alloc(ENTRY_SIZE)
+            .map_err(pm_trace::RuntimeError::Pmem)?;
+        let idx = self.entries.len();
+        self.entries.push((addr, key, self.heads[b]));
+        init_object(rt, addr, ENTRY_SIZE as u32)?;
+        let head_slot = self.heads_addr + b as u64 * HEAD_SIZE as u64;
+        tx.add(rt, head_slot, HEAD_SIZE as u32);
+        tx.store_untyped(rt, head_slot, HEAD_SIZE as u32);
+        self.heads[b] = Some(idx);
+        self.count += 1;
+
+        // Rehash at load factor 4: rewrite the whole table inside this
+        // transaction. The long-lived logged ranges here are the reason
+        // hashmap_tx keeps PMDebugger's AVL tree large (Figure 11).
+        if self.count > self.heads.len() * 4 {
+            self.rehash(rt, &mut tx)?;
+        }
+        tx.commit(rt)?;
+        self.bump_stats(rt)
+    }
+
+    fn rehash(&mut self, rt: &mut PmRuntime, tx: &mut Tx) -> Result<(), RuntimeError> {
+        let new_buckets = self.heads.len() * 2;
+        let new_heads_addr = self
+            .heap
+            .alloc(new_buckets * HEAD_SIZE)
+            .map_err(pm_trace::RuntimeError::Pmem)?;
+        let mut new_heads: Vec<Option<usize>> = vec![None; new_buckets];
+
+        // Relink every entry: log it, rewrite its next pointer.
+        for e in 0..self.entries.len() {
+            let (addr, key, _) = self.entries[e];
+            let nb = (key % new_buckets as u64) as usize;
+            self.entries[e].2 = new_heads[nb];
+            new_heads[nb] = Some(e);
+            tx.add(rt, addr + 16, 8);
+            tx.store_untyped(rt, addr + 16, 8);
+        }
+        // Write the new table (fresh allocation) and switch over.
+        init_object(rt, new_heads_addr, (new_buckets * HEAD_SIZE) as u32)?;
+        self.heads = new_heads;
+        self.heads_addr = new_heads_addr;
+        Ok(())
+    }
+}
+
+impl Workload for HashmapTx {
+    fn name(&self) -> &'static str {
+        "hashmap_tx"
+    }
+
+    fn model(&self) -> Model {
+        Model::Epoch
+    }
+
+    fn run(&self, rt: &mut PmRuntime, ops: usize) -> Result<(), RuntimeError> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut state = TxState::new(self.buckets)?;
+        for i in 0..ops {
+            let key = rng.gen::<u64>();
+            state.insert(rt, key, i as u64)?;
+        }
+        state.settle_stats(rt)
+    }
+}
+
+/// The atomic-style hashmap workload.
+#[derive(Debug)]
+pub struct HashmapAtomic {
+    seed: u64,
+    buckets: usize,
+    /// Reproduce the Figure 9b redundant-epoch-fence bug in the create
+    /// path (`map_create` calling `pmemobj_persist` inside TX_BEGIN/TX_END).
+    pub inject_redundant_epoch_fence: bool,
+}
+
+impl HashmapAtomic {
+    /// Creates the workload with a deterministic seed and bucket count.
+    pub fn new(seed: u64, buckets: usize) -> Self {
+        assert!(buckets > 0, "bucket count must be positive");
+        HashmapAtomic {
+            seed,
+            buckets,
+            inject_redundant_epoch_fence: false,
+        }
+    }
+
+    /// Enables the Figure 9b bug reproduction.
+    pub fn with_redundant_fence_bug(mut self) -> Self {
+        self.inject_redundant_epoch_fence = true;
+        self
+    }
+
+    /// The `data_store` main() preamble: creates the map. With the bug
+    /// enabled, `create_hashmap` issues `pmemobj_persist` (flush + fence)
+    /// inside the surrounding transaction — the redundant fence Intel
+    /// confirmed (Figure 9b).
+    fn create(&self, rt: &mut PmRuntime, heap: &mut PmHeap) -> Result<u64, RuntimeError> {
+        let heads_addr = heap
+            .alloc(self.buckets * HEAD_SIZE)
+            .map_err(pm_trace::RuntimeError::Pmem)?;
+        if self.inject_redundant_epoch_fence {
+            let mut tx = Tx::begin(rt, 0, LOG_REGION);
+            // map_create -> create_hashmap -> pmemobj_persist: the persist's
+            // fence is redundant inside the epoch (TX_END will fence).
+            tx.store_untyped(rt, heads_addr, (self.buckets * HEAD_SIZE) as u32);
+            pmemobj_persist(rt, heads_addr, (self.buckets * HEAD_SIZE) as u32)?;
+            tx.commit(rt)?;
+        } else {
+            // Fixed version (as merged by Intel): initialize, persist once
+            // outside any transaction.
+            rt.store_untyped(heads_addr, (self.buckets * HEAD_SIZE) as u32);
+            pmemobj_persist(rt, heads_addr, (self.buckets * HEAD_SIZE) as u32)?;
+        }
+        Ok(heads_addr)
+    }
+}
+
+impl Default for HashmapAtomic {
+    fn default() -> Self {
+        Self::new(0xA70,  64)
+    }
+}
+
+impl Workload for HashmapAtomic {
+    fn name(&self) -> &'static str {
+        "hashmap_atomic"
+    }
+
+    fn model(&self) -> Model {
+        Model::Epoch
+    }
+
+    fn run(&self, rt: &mut PmRuntime, ops: usize) -> Result<(), RuntimeError> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut heap = PmHeap::new(DEFAULT_POOL);
+        let heads_addr = self.create(rt, &mut heap)?;
+        let mut heads: Vec<Option<u64>> = vec![None; self.buckets];
+
+        for _ in 0..ops {
+            let key = rng.gen::<u64>();
+            let b = (key % self.buckets as u64) as usize;
+            // Atomic-style insert: write the entry (fits one cache line),
+            // persist it collectively, then publish the head pointer and
+            // persist that.
+            let addr = heap
+                .alloc(ENTRY_SIZE)
+                .map_err(pm_trace::RuntimeError::Pmem)?;
+            rt.store_untyped(addr, 8); // key
+            rt.store_untyped(addr + 8, 8); // value
+            rt.store_untyped(addr + 16, 8); // next = old head
+            pmemobj_persist(rt, addr, ENTRY_SIZE as u32)?;
+            let head_slot = heads_addr + b as u64 * HEAD_SIZE as u64;
+            rt.store_untyped(head_slot, HEAD_SIZE as u32);
+            pmemobj_persist(rt, head_slot, HEAD_SIZE as u32)?;
+            heads[b] = Some(addr);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_trace::PmEvent;
+
+    fn record(workload: &dyn Workload, ops: usize) -> pm_trace::Trace {
+        let mut rt = PmRuntime::trace_only();
+        rt.record();
+        workload.run(&mut rt, ops).unwrap();
+        rt.take_trace().unwrap()
+    }
+
+    #[test]
+    fn tx_variant_rehashes() {
+        let trace = record(&HashmapTx::default(), 200);
+        // Rehash transactions log far more ranges than plain inserts.
+        let max_logs_per_epoch = {
+            let mut max = 0;
+            let mut current = 0;
+            for e in trace.events() {
+                match e {
+                    PmEvent::TxLog { .. } => current += 1,
+                    PmEvent::EpochEnd { .. } => {
+                        max = max.max(current);
+                        current = 0;
+                    }
+                    _ => {}
+                }
+            }
+            max
+        };
+        assert!(max_logs_per_epoch > 50, "rehash logged {max_logs_per_epoch}");
+    }
+
+    #[test]
+    fn atomic_variant_uses_no_transactions_after_create() {
+        let trace = record(&HashmapAtomic::default(), 50);
+        let epochs = trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e, PmEvent::EpochBegin { .. }))
+            .count();
+        assert_eq!(epochs, 0, "fixed create path has no transaction");
+    }
+
+    #[test]
+    fn atomic_insert_is_two_persist_pairs() {
+        let trace = record(&HashmapAtomic::default(), 10);
+        let stats = trace.stats();
+        // Create: 1 flush + 1 fence. Each insert: 2 flushes + 2 fences.
+        assert_eq!(stats.flushes, 1 + 20);
+        assert_eq!(stats.fences, 1 + 20);
+    }
+
+    #[test]
+    fn injected_create_bug_has_fence_inside_epoch() {
+        let workload = HashmapAtomic::default().with_redundant_fence_bug();
+        let trace = record(&workload, 5);
+        let in_epoch_fences = trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e, PmEvent::Fence { in_epoch: true, .. }))
+            .count();
+        assert_eq!(in_epoch_fences, 2, "pmemobj_persist fence + TX_END fence");
+    }
+
+    #[test]
+    fn both_deterministic() {
+        assert_eq!(
+            record(&HashmapTx::default(), 30),
+            record(&HashmapTx::default(), 30)
+        );
+        assert_eq!(
+            record(&HashmapAtomic::default(), 30),
+            record(&HashmapAtomic::default(), 30)
+        );
+    }
+}

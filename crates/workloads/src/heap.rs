@@ -1,0 +1,143 @@
+//! Shared heap layout and workload trait.
+
+use pm_trace::{PmRuntime, RuntimeError};
+use pmem_sim::{FlushKind, ObjectId, PmAllocator, PmemError};
+
+/// Size reserved at the bottom of each workload's address space for the
+/// undo log.
+pub const LOG_REGION: u64 = 1 << 20; // 1 MiB
+
+/// Default virtual pool size for trace-only workload runs.
+pub const DEFAULT_POOL: u64 = 1 << 32; // 4 GiB of address space
+
+/// Persistency model names used in tables (matches Table 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Model {
+    /// Strict persistency.
+    Strict,
+    /// Epoch persistency (PMDK transactions).
+    Epoch,
+    /// Strand persistency.
+    Strand,
+}
+
+impl Model {
+    /// Table-friendly name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Model::Strict => "strict",
+            Model::Epoch => "epoch",
+            Model::Strand => "strand",
+        }
+    }
+}
+
+/// A runnable evaluation workload (one Table 4 row).
+pub trait Workload {
+    /// Benchmark name as it appears in the paper's tables/figures.
+    fn name(&self) -> &'static str;
+
+    /// Persistency model the workload uses (Table 4).
+    fn model(&self) -> Model;
+
+    /// Executes `ops` operations against the runtime, emitting the
+    /// workload's full PM event stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RuntimeError`] from the runtime.
+    fn run(&self, rt: &mut PmRuntime, ops: usize) -> Result<(), RuntimeError>;
+}
+
+/// Initializes a freshly allocated persistent object: writes it in
+/// line-sized chunks (the memcpy/memset a constructor performs) and flushes
+/// it immediately, the way `pmemobj` persists new allocations. Durability
+/// is completed by the next fence (usually the transaction commit).
+///
+/// # Errors
+///
+/// Propagates [`RuntimeError`] from the runtime.
+pub fn init_object(rt: &mut PmRuntime, addr: u64, size: u32) -> Result<(), RuntimeError> {
+    let mut written = 0u64;
+    while written < u64::from(size) {
+        let chunk = (u64::from(size) - written).min(16) as u32;
+        rt.store_untyped(addr + written, chunk);
+        written += u64::from(chunk);
+    }
+    rt.flush_range(FlushKind::Clwb, addr, size)
+}
+
+/// A persistent heap: allocator over the address space above the log
+/// region.
+#[derive(Debug)]
+pub struct PmHeap {
+    alloc: PmAllocator,
+}
+
+impl PmHeap {
+    /// Creates a heap over `[LOG_REGION, pool_size)`.
+    pub fn new(pool_size: u64) -> Self {
+        PmHeap {
+            alloc: PmAllocator::new(LOG_REGION, pool_size - LOG_REGION),
+        }
+    }
+
+    /// Creates a heap over `[base, base + size)` — used to give concurrent
+    /// workers disjoint regions of one shared pool.
+    pub fn with_base(base: u64, size: u64) -> Self {
+        PmHeap {
+            alloc: PmAllocator::new(base, size),
+        }
+    }
+
+    /// Allocates `size` bytes; returns the object's base address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmemError::OutOfMemory`] when the heap is exhausted.
+    pub fn alloc(&mut self, size: usize) -> Result<u64, PmemError> {
+        self.alloc.alloc(size).map(|(_, addr)| addr)
+    }
+
+    /// Allocates and returns both the object id and base address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmemError::OutOfMemory`] when the heap is exhausted.
+    pub fn alloc_obj(&mut self, size: usize) -> Result<(ObjectId, u64), PmemError> {
+        self.alloc.alloc(size)
+    }
+
+    /// Frees an allocation by id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmemError::InvalidObject`] for stale ids.
+    pub fn free(&mut self, id: ObjectId) -> Result<(), PmemError> {
+        self.alloc.free(id)
+    }
+
+    /// Live allocation count.
+    pub fn live(&self) -> usize {
+        self.alloc.live_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heap_allocations_sit_above_log() {
+        let mut heap = PmHeap::new(DEFAULT_POOL);
+        let addr = heap.alloc(64).unwrap();
+        assert!(addr >= LOG_REGION);
+    }
+
+    #[test]
+    fn model_names_match_table4() {
+        assert_eq!(Model::Strict.name(), "strict");
+        assert_eq!(Model::Epoch.name(), "epoch");
+        assert_eq!(Model::Strand.name(), "strand");
+    }
+}

@@ -1,0 +1,123 @@
+//! Evaluation workloads for the PMDebugger reproduction (Table 4).
+//!
+//! | name | model | analogue of |
+//! |------|-------|-------------|
+//! | `b_tree` | epoch | PMDK btree map example |
+//! | `c_tree` | epoch | PMDK ctree map example |
+//! | `r_tree` | epoch | PMDK rtree map example |
+//! | `rb_tree` | epoch | PMDK rbtree map example |
+//! | `hashmap_tx` | epoch | PMDK transactional hashmap |
+//! | `hashmap_atomic` | epoch | PMDK atomic hashmap (+ Figure 9b bug) |
+//! | `synth_strand` | strand | the paper's synthetic strand benchmark |
+//! | `memcached` | strict | Lenovo memcached-pmem + memslap (+ Figure 9a bug) |
+//! | `redis` | epoch | Intel PM Redis + redis-cli LRU test |
+//! | `a_YCSB`…`f_YCSB` | strict | YCSB A–F over memcached (Figure 2) |
+//!
+//! Every workload implements [`Workload`] and emits its full persistent
+//! event stream through a [`pm_trace::PmRuntime`]; recorded traces replay
+//! identically through any detector.
+
+pub mod btree;
+pub mod ctree;
+pub mod faults;
+pub mod hashmap;
+pub mod heap;
+pub mod memcached;
+pub mod rbtree;
+pub mod redis;
+pub mod rtree;
+pub mod synth_strand;
+pub mod tx;
+pub mod whisper;
+pub mod ycsb;
+
+pub use btree::BTree;
+pub use ctree::CTree;
+pub use hashmap::{HashmapAtomic, HashmapTx};
+pub use heap::{Model, PmHeap, Workload, DEFAULT_POOL, LOG_REGION};
+pub use memcached::{memcached_multithread_trace, Memcached};
+pub use rbtree::RbTree;
+pub use redis::Redis;
+pub use rtree::RTree;
+pub use synth_strand::SynthStrand;
+pub use tx::{pmemobj_flush, pmemobj_persist, Tx};
+pub use whisper::SynthMix;
+pub use ycsb::{Ycsb, YcsbLoad, Zipfian};
+
+use pm_trace::{PmRuntime, Trace};
+
+/// The seven micro-benchmarks of Table 4, in figure order.
+pub fn micro_benchmarks() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(BTree::default()),
+        Box::new(CTree::default()),
+        Box::new(RTree::default()),
+        Box::new(RbTree::default()),
+        Box::new(HashmapTx::default()),
+        Box::new(HashmapAtomic::default()),
+        Box::new(SynthStrand::default()),
+    ]
+}
+
+/// All single-threaded evaluation workloads: the seven micro-benchmarks
+/// plus memcached and redis.
+pub fn all_benchmarks() -> Vec<Box<dyn Workload>> {
+    let mut all = micro_benchmarks();
+    all.push(Box::new(Memcached::default()));
+    all.push(Box::new(Redis::default()));
+    all
+}
+
+/// Records a workload's trace with `ops` operations (trace-only runtime).
+pub fn record_trace(workload: &dyn Workload, ops: usize) -> Trace {
+    let mut rt = PmRuntime::trace_only();
+    rt.record();
+    workload
+        .run(&mut rt, ops)
+        .expect("trace-only workload runs cannot fail");
+    rt.take_trace().expect("recording enabled")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique() {
+        let mut names: Vec<&str> = all_benchmarks().iter().map(|w| w.name()).collect();
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn registry_covers_table4() {
+        let names: Vec<&str> = all_benchmarks().iter().map(|w| w.name()).collect();
+        for expected in [
+            "b_tree",
+            "c_tree",
+            "r_tree",
+            "rb_tree",
+            "hashmap_tx",
+            "hashmap_atomic",
+            "synth_strand",
+            "memcached",
+            "redis",
+        ] {
+            assert!(names.contains(&expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn every_workload_produces_events() {
+        for workload in all_benchmarks() {
+            let trace = record_trace(workload.as_ref(), 20);
+            assert!(
+                trace.stats().stores > 0,
+                "{} produced no stores",
+                workload.name()
+            );
+        }
+    }
+}

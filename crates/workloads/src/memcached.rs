@@ -1,0 +1,303 @@
+//! `memcached`: a memcached-pmem analogue (strict persistency).
+//!
+//! Lenovo's memcached-pmem places item storage on persistent memory and
+//! persists items with explicit flush + fence pairs (strict persistency,
+//! Table 4). This workload reproduces the store path the paper evaluates:
+//! a hash table of slab-allocated items, a memslap-style driver (95% get /
+//! 5% set by default), per-item CAS identifiers, and the `do_item_link`
+//! path whose `ITEM_set_cas` write the paper found unpersisted (Figure 9a,
+//! bug 1 of the 19 new memcached bugs).
+//!
+//! The workload is also the scalability vehicle (Figure 10): use
+//! [`memcached_multithread_trace`] to produce an interleaved multi-thread
+//! event stream.
+
+use pm_trace::{interleave_round_robin, PmRuntime, RuntimeError, ThreadId, Trace};
+use pmem_sim::FlushKind;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::heap::{Model, PmHeap, Workload, DEFAULT_POOL};
+
+
+/// Persistent item layout: header (flags, nbytes, cas) + key + value.
+const ITEM_HEADER: u64 = 24;
+/// Offset of the CAS field inside the item header.
+const CAS_OFFSET: u64 = 8;
+/// Slots in the deferred statistics ring (memcached keeps per-slab stats
+/// that are persisted lazily; this spreads store→fence distances past 1).
+const STATS_SLOTS: u64 = 128;
+
+/// The memcached-like workload.
+#[derive(Debug, Clone)]
+pub struct Memcached {
+    seed: u64,
+    /// Fraction of operations that are sets, in percent (memslap "5% set").
+    pub set_percent: u8,
+    /// Key cardinality.
+    pub key_space: u64,
+    /// Value payload size in bytes.
+    pub value_size: u32,
+    /// Reproduce Figure 9a: the CAS id written by `ITEM_set_cas` in
+    /// `do_item_link` is modified but never persisted.
+    pub inject_cas_bug: bool,
+}
+
+impl Memcached {
+    /// Creates the workload with a deterministic RNG seed.
+    pub fn new(seed: u64) -> Self {
+        Memcached {
+            seed,
+            set_percent: 5,
+            key_space: 10_000,
+            value_size: 64,
+            inject_cas_bug: false,
+        }
+    }
+
+    /// Sets the set/get mix (memslap's `--set-prop`).
+    pub fn with_set_percent(mut self, percent: u8) -> Self {
+        assert!(percent <= 100, "percentage out of range");
+        self.set_percent = percent;
+        self
+    }
+
+    /// Enables the Figure 9a CAS-durability bug.
+    pub fn with_cas_bug(mut self) -> Self {
+        self.inject_cas_bug = true;
+        self
+    }
+
+    /// One `do_item_link`-style set: allocate the item, write header, key
+    /// and value, assign the CAS id, persist, publish in the hash table.
+    fn set_item(
+        &self,
+        rt: &mut PmRuntime,
+        heap: &mut PmHeap,
+        table: &mut [Option<u64>],
+        table_addr: u64,
+        key: u64,
+        cas: u64,
+    ) -> Result<(), RuntimeError> {
+        let item_len = ITEM_HEADER + 16 + u64::from(self.value_size);
+        let addr = heap
+            .alloc(item_len as usize)
+            .map_err(pm_trace::RuntimeError::Pmem)?;
+        // item_alloc + data copy: header (flags + nbytes), key, value —
+        // persisted before the item is linked.
+        rt.store_untyped(addr, 8);
+        rt.store_untyped(addr + ITEM_HEADER, 16); // key bytes
+        rt.store_untyped(addr + ITEM_HEADER + 16, self.value_size); // value
+        rt.flush_range(FlushKind::Clflushopt, addr, item_len as u32)?;
+        rt.sfence();
+        // do_item_link: ITEM_set_cas assigns the CAS id, re-dirtying the
+        // header line. The shipped code never persists it (Figure 9a); the
+        // fixed version flushes the header before publishing.
+        rt.store_untyped(addr + CAS_OFFSET, 8);
+        let _ = cas;
+        if !self.inject_cas_bug {
+            rt.flush_range(FlushKind::Clflushopt, addr + CAS_OFFSET, 8)?;
+        }
+        // Publish: bucket head pointer, persisted strictly after the item.
+        let b = (key % table.len() as u64) as usize;
+        let slot = table_addr + b as u64 * 8;
+        rt.store_untyped(slot, 8);
+        rt.flush_range(FlushKind::Clflushopt, slot, 8)?;
+        rt.sfence();
+        table[b] = Some(addr);
+        Ok(())
+    }
+}
+
+impl Default for Memcached {
+    fn default() -> Self {
+        Self::new(0x3E3CA)
+    }
+}
+
+impl Workload for Memcached {
+    fn name(&self) -> &'static str {
+        "memcached"
+    }
+
+    fn model(&self) -> Model {
+        Model::Strict
+    }
+
+    fn run(&self, rt: &mut PmRuntime, ops: usize) -> Result<(), RuntimeError> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ u64::from(rt.thread().0));
+        // Worker threads share one pool but slab-allocate from disjoint
+        // arenas; each simulated thread gets its own region.
+        let tid = u64::from(rt.thread().0);
+        let region = DEFAULT_POOL / 64;
+        let mut heap = PmHeap::with_base(crate::heap::LOG_REGION + tid * region, region);
+        let buckets = 1024;
+        let table_addr = heap
+            .alloc(buckets * 8)
+            .map_err(pm_trace::RuntimeError::Pmem)?;
+        // Table initialization is persisted once.
+        rt.store_untyped(table_addr, (buckets * 8) as u32);
+        rt.flush_range(FlushKind::Clflushopt, table_addr, (buckets * 8) as u32)?;
+        rt.sfence();
+
+        let stats_addr = heap
+            .alloc((STATS_SLOTS * 64) as usize)
+            .map_err(pm_trace::RuntimeError::Pmem)?;
+
+        let mut table: Vec<Option<u64>> = vec![None; buckets];
+        let mut cas: u64 = 0;
+        for _ in 0..ops {
+            let key = rng.gen_range(0..self.key_space);
+            if rng.gen_range(0..100u32) < u32::from(self.set_percent) {
+                cas += 1;
+                self.set_item(rt, &mut heap, &mut table, table_addr, key, cas)?;
+                // Slab statistics: stored per set, persisted when the ring
+                // wraps (deferred durability — distances > 1 in Figure 2a).
+                let slot = cas % STATS_SLOTS;
+                rt.store_untyped(stats_addr + slot * 64, 8);
+                if slot == STATS_SLOTS - 1 {
+                    rt.flush_range(FlushKind::Clflushopt, stats_addr, (STATS_SLOTS * 64) as u32)?;
+                    rt.sfence();
+                }
+            }
+            // Gets touch no persistent state.
+        }
+        // Settle the volatile tail of the stats ring.
+        if cas % STATS_SLOTS != STATS_SLOTS - 1 {
+            rt.flush_range(FlushKind::Clflushopt, stats_addr, (STATS_SLOTS * 64) as u32)?;
+            rt.sfence();
+        }
+        Ok(())
+    }
+}
+
+/// Produces the Figure 10 multi-threaded trace: `threads` memcached worker
+/// streams, each running `ops_per_thread` operations, interleaved
+/// round-robin in `quantum`-event slices.
+pub fn memcached_multithread_trace(
+    workload: &Memcached,
+    threads: usize,
+    ops_per_thread: usize,
+    quantum: usize,
+) -> Trace {
+    let per_thread: Vec<Trace> = (0..threads)
+        .map(|t| {
+            let mut rt = PmRuntime::trace_only();
+            rt.set_thread(ThreadId(t as u32));
+            rt.record();
+            workload
+                .run(&mut rt, ops_per_thread)
+                .expect("trace-only memcached run cannot fail");
+            rt.take_trace().expect("recording enabled")
+        })
+        .collect();
+    interleave_round_robin(per_thread, quantum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_trace::PmEvent;
+
+    fn record(workload: &Memcached, ops: usize) -> Trace {
+        let mut rt = PmRuntime::trace_only();
+        rt.record();
+        workload.run(&mut rt, ops).unwrap();
+        rt.take_trace().unwrap()
+    }
+
+    #[test]
+    fn default_mix_is_mostly_gets() {
+        let trace = record(&Memcached::default(), 2000);
+        let stats = trace.stats();
+        // ~5% sets * ~4 stores per set, plus init store.
+        assert!(stats.stores < 2000, "stores = {}", stats.stores);
+        assert!(stats.stores > 100);
+    }
+
+    #[test]
+    fn all_sets_mix_is_store_heavy() {
+        let trace = record(&Memcached::default().with_set_percent(100), 500);
+        assert!(trace.stats().stores >= 500 * 4);
+    }
+
+    #[test]
+    fn strict_model_has_no_epochs() {
+        let trace = record(&Memcached::default().with_set_percent(50), 200);
+        assert!(!trace
+            .events()
+            .iter()
+            .any(|e| matches!(e, PmEvent::EpochBegin { .. })));
+    }
+
+    #[test]
+    fn cas_bug_skips_the_header_reflush() {
+        let ops = 20;
+        let fixed = record(&Memcached::default().with_set_percent(100), ops);
+        let buggy = record(&Memcached::default().with_set_percent(100).with_cas_bug(), ops);
+        // Same op sequence (same seed): the fixed version issues exactly one
+        // extra flush per set — the ITEM_set_cas header re-flush.
+        // Each set writes the 16-byte key exactly once.
+        let sets = fixed
+            .events()
+            .iter()
+            .filter(|e| matches!(e, PmEvent::Store { size: 16, .. }))
+            .count() as u64;
+        assert!(sets > 0);
+        assert_eq!(fixed.stats().flushes, buggy.stats().flushes + sets);
+        // And in the buggy trace, no flush event follows a CAS store before
+        // the next fence on the same line.
+        let mut dirty_cas_line: Option<u64> = None;
+        let mut unpersisted_cas = 0;
+        for e in buggy.events() {
+            match e {
+                PmEvent::Store { addr, size: 8, .. } if *addr % 64 == CAS_OFFSET => {
+                    dirty_cas_line = Some(pmem_sim::line_base(*addr));
+                }
+                PmEvent::Flush { addr, size, .. } => {
+                    if let Some(line) = dirty_cas_line {
+                        if *addr <= line && line < *addr + u64::from(*size) {
+                            dirty_cas_line = None; // would have persisted it
+                        }
+                    }
+                }
+                PmEvent::Fence { .. }
+                    if dirty_cas_line.take().is_some() => {
+                        unpersisted_cas += 1;
+                    }
+                _ => {}
+            }
+        }
+        assert!(unpersisted_cas > 0, "CAS ids must stay unpersisted");
+    }
+
+    #[test]
+    fn multithread_trace_interleaves_tids() {
+        let trace = memcached_multithread_trace(
+            &Memcached::default().with_set_percent(100),
+            4,
+            50,
+            16,
+        );
+        let mut tids: Vec<u32> = trace
+            .events()
+            .iter()
+            .filter_map(|e| e.tid().map(|t| t.0))
+            .collect();
+        tids.sort_unstable();
+        tids.dedup();
+        assert_eq!(tids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn per_thread_streams_differ() {
+        // Different thread seeds produce different op sequences.
+        let trace = memcached_multithread_trace(
+            &Memcached::default().with_set_percent(100),
+            2,
+            50,
+            8,
+        );
+        assert!(trace.len() > 100);
+    }
+}

@@ -1,0 +1,348 @@
+//! `rb_tree`: a persistent red-black tree in PMDK-transaction style
+//! (epoch model), after PMDK's `rbtree` map example.
+//!
+//! Rebalancing (recolours and rotations) touches several nodes per insert,
+//! so transactions log and rewrite a handful of small node ranges — many
+//! small stores spread over distinct cache lines, which is what makes this
+//! benchmark's CLF intervals more dispersed than `hashmap_atomic`'s.
+
+use pm_trace::{PmRuntime, RuntimeError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::heap::{init_object, Model, PmHeap, Workload, DEFAULT_POOL, LOG_REGION};
+use crate::tx::Tx;
+
+/// Persistent node: key, value, colour, parent/left/right pointers.
+const NODE_SIZE: usize = 48;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Colour {
+    Red,
+    Black,
+}
+
+#[derive(Debug)]
+struct Node {
+    addr: u64,
+    key: u64,
+    colour: Colour,
+    parent: Option<usize>,
+    left: Option<usize>,
+    right: Option<usize>,
+}
+
+/// The persistent red-black tree workload.
+#[derive(Debug)]
+pub struct RbTree {
+    seed: u64,
+}
+
+impl RbTree {
+    /// Creates the workload with a deterministic RNG seed.
+    pub fn new(seed: u64) -> Self {
+        RbTree { seed }
+    }
+}
+
+impl Default for RbTree {
+    fn default() -> Self {
+        Self::new(0x8B7E)
+    }
+}
+
+struct RbState {
+    arena: Vec<Node>,
+    root: Option<usize>,
+    heap: PmHeap,
+}
+
+impl RbState {
+    fn new() -> Self {
+        RbState {
+            arena: Vec::new(),
+            root: None,
+            heap: PmHeap::new(DEFAULT_POOL),
+        }
+    }
+
+    /// Logs a node and rewrites its persistent image (PMDK's example logs
+    /// whole nodes with TX_ADD before each mutation).
+    fn touch(&self, rt: &mut PmRuntime, tx: &mut Tx, node: usize) {
+        let addr = self.arena[node].addr;
+        tx.add(rt, addr, NODE_SIZE as u32);
+        tx.store_untyped(rt, addr, NODE_SIZE as u32);
+    }
+
+    fn rotate_left(&mut self, rt: &mut PmRuntime, tx: &mut Tx, x: usize) {
+        let y = self.arena[x].right.expect("rotate_left requires right child");
+        self.touch(rt, tx, x);
+        self.touch(rt, tx, y);
+        let y_left = self.arena[y].left;
+        self.arena[x].right = y_left;
+        if let Some(yl) = y_left {
+            self.arena[yl].parent = Some(x);
+            self.touch(rt, tx, yl);
+        }
+        let x_parent = self.arena[x].parent;
+        self.arena[y].parent = x_parent;
+        match x_parent {
+            None => self.root = Some(y),
+            Some(p) => {
+                self.touch(rt, tx, p);
+                if self.arena[p].left == Some(x) {
+                    self.arena[p].left = Some(y);
+                } else {
+                    self.arena[p].right = Some(y);
+                }
+            }
+        }
+        self.arena[y].left = Some(x);
+        self.arena[x].parent = Some(y);
+    }
+
+    fn rotate_right(&mut self, rt: &mut PmRuntime, tx: &mut Tx, x: usize) {
+        let y = self.arena[x].left.expect("rotate_right requires left child");
+        self.touch(rt, tx, x);
+        self.touch(rt, tx, y);
+        let y_right = self.arena[y].right;
+        self.arena[x].left = y_right;
+        if let Some(yr) = y_right {
+            self.arena[yr].parent = Some(x);
+            self.touch(rt, tx, yr);
+        }
+        let x_parent = self.arena[x].parent;
+        self.arena[y].parent = x_parent;
+        match x_parent {
+            None => self.root = Some(y),
+            Some(p) => {
+                self.touch(rt, tx, p);
+                if self.arena[p].left == Some(x) {
+                    self.arena[p].left = Some(y);
+                } else {
+                    self.arena[p].right = Some(y);
+                }
+            }
+        }
+        self.arena[y].right = Some(x);
+        self.arena[x].parent = Some(y);
+    }
+
+    fn insert(&mut self, rt: &mut PmRuntime, key: u64) -> Result<(), RuntimeError> {
+        let mut tx = Tx::begin(rt, 0, LOG_REGION);
+
+        // BST insert.
+        let mut parent: Option<usize> = None;
+        let mut cursor = self.root;
+        while let Some(c) = cursor {
+            parent = Some(c);
+            if key == self.arena[c].key {
+                // Update value in place.
+                self.touch(rt, &mut tx, c);
+                return tx.commit(rt);
+            }
+            cursor = if key < self.arena[c].key {
+                self.arena[c].left
+            } else {
+                self.arena[c].right
+            };
+        }
+        let addr = self
+            .heap
+            .alloc(NODE_SIZE)
+            .map_err(pm_trace::RuntimeError::Pmem)?;
+        let z = self.arena.len();
+        self.arena.push(Node {
+            addr,
+            key,
+            colour: Colour::Red,
+            parent,
+            left: None,
+            right: None,
+        });
+        // The fresh node is constructed and persisted like a new
+        // allocation (not logged: it was free space before this tx).
+        init_object(rt, addr, NODE_SIZE as u32)?;
+        match parent {
+            None => self.root = Some(z),
+            Some(p) => {
+                self.touch(rt, &mut tx, p);
+                if key < self.arena[p].key {
+                    self.arena[p].left = Some(z);
+                } else {
+                    self.arena[p].right = Some(z);
+                }
+            }
+        }
+
+        // Fix-up.
+        let mut z = z;
+        while let Some(p) = self.arena[z].parent {
+            if self.arena[p].colour != Colour::Red {
+                break;
+            }
+            let g = match self.arena[p].parent {
+                Some(g) => g,
+                None => break,
+            };
+            let p_is_left = self.arena[g].left == Some(p);
+            let uncle = if p_is_left {
+                self.arena[g].right
+            } else {
+                self.arena[g].left
+            };
+            if let Some(u) = uncle {
+                if self.arena[u].colour == Colour::Red {
+                    self.arena[p].colour = Colour::Black;
+                    self.arena[u].colour = Colour::Black;
+                    self.arena[g].colour = Colour::Red;
+                    self.touch(rt, &mut tx, p);
+                    self.touch(rt, &mut tx, u);
+                    self.touch(rt, &mut tx, g);
+                    z = g;
+                    continue;
+                }
+            }
+            if p_is_left {
+                if self.arena[p].right == Some(z) {
+                    z = p;
+                    self.rotate_left(rt, &mut tx, z);
+                }
+                let p = self.arena[z].parent.expect("fixup parent");
+                let g = self.arena[p].parent.expect("fixup grandparent");
+                self.arena[p].colour = Colour::Black;
+                self.arena[g].colour = Colour::Red;
+                self.touch(rt, &mut tx, p);
+                self.touch(rt, &mut tx, g);
+                self.rotate_right(rt, &mut tx, g);
+            } else {
+                if self.arena[p].left == Some(z) {
+                    z = p;
+                    self.rotate_right(rt, &mut tx, z);
+                }
+                let p = self.arena[z].parent.expect("fixup parent");
+                let g = self.arena[p].parent.expect("fixup grandparent");
+                self.arena[p].colour = Colour::Black;
+                self.arena[g].colour = Colour::Red;
+                self.touch(rt, &mut tx, p);
+                self.touch(rt, &mut tx, g);
+                self.rotate_left(rt, &mut tx, g);
+            }
+        }
+        if let Some(root) = self.root {
+            if self.arena[root].colour != Colour::Black {
+                self.arena[root].colour = Colour::Black;
+                self.touch(rt, &mut tx, root);
+            }
+        }
+        tx.commit(rt)
+    }
+
+    /// Validates red-black invariants over the shadow tree (test support).
+    #[cfg(test)]
+    fn check(&self) -> Result<u32, String> {
+        fn walk(state: &RbState, node: Option<usize>) -> Result<u32, String> {
+            let Some(n) = node else { return Ok(1) };
+            let node_ref = &state.arena[n];
+            if node_ref.colour == Colour::Red {
+                for child in [node_ref.left, node_ref.right].into_iter().flatten() {
+                    if state.arena[child].colour == Colour::Red {
+                        return Err(format!("red-red violation at key {}", node_ref.key));
+                    }
+                }
+            }
+            let lh = walk(state, node_ref.left)?;
+            let rh = walk(state, node_ref.right)?;
+            if lh != rh {
+                return Err(format!("black-height mismatch at key {}", node_ref.key));
+            }
+            Ok(lh + u32::from(node_ref.colour == Colour::Black))
+        }
+        walk(self, self.root)
+    }
+}
+
+impl Workload for RbTree {
+    fn name(&self) -> &'static str {
+        "rb_tree"
+    }
+
+    fn model(&self) -> Model {
+        Model::Epoch
+    }
+
+    fn run(&self, rt: &mut PmRuntime, ops: usize) -> Result<(), RuntimeError> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut state = RbState::new();
+        for _ in 0..ops {
+            let key = rng.gen::<u64>();
+            state.insert(rt, key)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_trace::PmEvent;
+
+    fn record(ops: usize) -> pm_trace::Trace {
+        let mut rt = PmRuntime::trace_only();
+        rt.record();
+        RbTree::default().run(&mut rt, ops).unwrap();
+        rt.take_trace().unwrap()
+    }
+
+    #[test]
+    fn rb_invariants_hold_after_many_inserts() {
+        let mut rt = PmRuntime::trace_only();
+        let mut state = RbState::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..500 {
+            state.insert(&mut rt, rng.gen::<u64>()).unwrap();
+        }
+        state.check().unwrap();
+    }
+
+    #[test]
+    fn sequential_keys_stay_balanced() {
+        let mut rt = PmRuntime::trace_only();
+        let mut state = RbState::new();
+        for key in 0..200u64 {
+            state.insert(&mut rt, key).unwrap();
+        }
+        state.check().unwrap();
+    }
+
+    #[test]
+    fn one_epoch_per_insert_with_one_fence() {
+        let trace = record(60);
+        let stats = trace.stats();
+        assert_eq!(stats.fences, 60);
+        let begins = trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e, PmEvent::EpochBegin { .. }))
+            .count();
+        assert_eq!(begins, 60);
+    }
+
+    #[test]
+    fn rebalancing_touches_multiple_nodes() {
+        let trace = record(100);
+        // Log records (TxLog) per epoch > 1 on average because fix-up
+        // touches parents/uncles.
+        let logs = trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e, PmEvent::TxLog { .. }))
+            .count();
+        assert!(logs > 100, "tx_adds = {logs}");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(record(20), record(20));
+    }
+}

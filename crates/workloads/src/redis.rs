@@ -1,0 +1,231 @@
+//! `redis`: a PM-aware Redis analogue (epoch persistency).
+//!
+//! Intel's PM Redis port (3.2-nvml) keeps the keyspace dictionary on
+//! persistent memory using PMDK transactions (epoch model, Table 4). The
+//! paper drives it with redis-cli's LRU test mode: a fixed-size keyspace,
+//! uniform-random GET/SET against it, and evictions once the simulated
+//! memory limit is reached.
+//!
+//! This workload reproduces that access pattern: a PM-resident dict of
+//! entries, transactional SETs, LRU bookkeeping with evictions that free
+//! and reuse entries.
+
+use std::collections::HashMap;
+
+use pm_trace::{PmRuntime, RuntimeError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::heap::{init_object, Model, PmHeap, Workload, DEFAULT_POOL, LOG_REGION};
+use crate::tx::Tx;
+
+/// Persistent dict entry: key hash, value pointer, lru clock, next.
+const ENTRY_SIZE: usize = 32;
+/// Persistent value blob size.
+const VALUE_SIZE: usize = 64;
+/// Slots of the deferred `server.dirty`-style counter ring (persisted at
+/// save points, not per command).
+const DIRTY_SLOTS: u64 = 64;
+
+/// The redis-like LRU workload.
+#[derive(Debug, Clone)]
+pub struct Redis {
+    seed: u64,
+    /// Keyspace size of the LRU test (`redis-cli --lru-test <keys>`).
+    pub key_space: u64,
+    /// Entries held before evictions begin.
+    pub max_entries: usize,
+}
+
+impl Redis {
+    /// Creates the workload with a deterministic RNG seed.
+    pub fn new(seed: u64) -> Self {
+        Redis {
+            seed,
+            key_space: 5_000,
+            max_entries: 1_000,
+        }
+    }
+
+    /// Sets the LRU keyspace size.
+    pub fn with_key_space(mut self, keys: u64) -> Self {
+        self.key_space = keys;
+        self
+    }
+}
+
+impl Default for Redis {
+    fn default() -> Self {
+        Self::new(0x8ED15)
+    }
+}
+
+struct Entry {
+    entry_addr: u64,
+    value_addr: u64,
+    entry_id: pmem_sim::ObjectId,
+    value_id: pmem_sim::ObjectId,
+    lru: u64,
+}
+
+impl Workload for Redis {
+    fn name(&self) -> &'static str {
+        "redis"
+    }
+
+    fn model(&self) -> Model {
+        Model::Epoch
+    }
+
+    fn run(&self, rt: &mut PmRuntime, ops: usize) -> Result<(), RuntimeError> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut heap = PmHeap::new(DEFAULT_POOL);
+        let mut dict: HashMap<u64, Entry> = HashMap::new();
+        let mut clock: u64 = 0;
+        let dirty_addr = heap
+            .alloc((DIRTY_SLOTS * 64) as usize)
+            .map_err(pm_trace::RuntimeError::Pmem)?;
+        let mut writes: u64 = 0;
+
+        let bump_dirty = |rt: &mut PmRuntime, writes: &mut u64| -> Result<(), RuntimeError> {
+            // Stored per write command, persisted at save points (when the
+            // ring wraps) — deferred durability like redis's dirty counter.
+            let slot = *writes % DIRTY_SLOTS;
+            rt.store_untyped(dirty_addr + slot * 64, 8);
+            *writes += 1;
+            if slot == DIRTY_SLOTS - 1 {
+                rt.flush_range(pmem_sim::FlushKind::Clwb, dirty_addr, (DIRTY_SLOTS * 64) as u32)?;
+                rt.sfence();
+            }
+            Ok(())
+        };
+
+        for _ in 0..ops {
+            clock += 1;
+            let key = rng.gen_range(0..self.key_space);
+            let is_set = rng.gen_bool(0.5); // LRU test alternates GET/SET
+
+            if let Some(entry) = dict.get_mut(&key) {
+                entry.lru = clock;
+                if is_set {
+                    // Overwrite: transactionally update value + lru clock.
+                    let mut tx = Tx::begin(rt, 0, LOG_REGION);
+                    tx.add(rt, entry.value_addr, VALUE_SIZE as u32);
+                    tx.store_untyped(rt, entry.value_addr, VALUE_SIZE as u32);
+                    tx.add(rt, entry.entry_addr + 16, 8);
+                    tx.store_untyped(rt, entry.entry_addr + 16, 8);
+                    tx.commit(rt)?;
+                    bump_dirty(rt, &mut writes)?;
+                }
+                continue;
+            }
+            if !is_set {
+                continue; // miss on GET
+            }
+
+            // Evict before inserting when at capacity.
+            if dict.len() >= self.max_entries {
+                let victim_key = *dict
+                    .iter()
+                    .min_by_key(|(_, e)| e.lru)
+                    .map(|(k, _)| k)
+                    .expect("dict not empty at capacity");
+                let victim = dict.remove(&victim_key).expect("victim exists");
+                // Transactional unlink: log the entry, clear its header.
+                let mut tx = Tx::begin(rt, 0, LOG_REGION);
+                tx.add(rt, victim.entry_addr, ENTRY_SIZE as u32);
+                tx.store_untyped(rt, victim.entry_addr, 8); // tombstone word
+                tx.commit(rt)?;
+                heap.free(victim.entry_id).map_err(pm_trace::RuntimeError::Pmem)?;
+                heap.free(victim.value_id).map_err(pm_trace::RuntimeError::Pmem)?;
+            }
+
+            // Transactional insert: entry + value blob.
+            let (value_id, value_addr) = heap
+                .alloc_obj(VALUE_SIZE)
+                .map_err(pm_trace::RuntimeError::Pmem)?;
+            let (entry_id, entry_addr) = heap
+                .alloc_obj(ENTRY_SIZE)
+                .map_err(pm_trace::RuntimeError::Pmem)?;
+            let tx = Tx::begin(rt, 0, LOG_REGION);
+            init_object(rt, value_addr, VALUE_SIZE as u32)?;
+            init_object(rt, entry_addr, ENTRY_SIZE as u32)?;
+            tx.commit(rt)?;
+            dict.insert(
+                key,
+                Entry {
+                    entry_addr,
+                    value_addr,
+                    entry_id,
+                    value_id,
+                    lru: clock,
+                },
+            );
+            bump_dirty(rt, &mut writes)?;
+        }
+        // Final save point: settle the volatile tail of the dirty ring.
+        if !writes.is_multiple_of(DIRTY_SLOTS) {
+            rt.flush_range(pmem_sim::FlushKind::Clwb, dirty_addr, (DIRTY_SLOTS * 64) as u32)?;
+            rt.sfence();
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_trace::PmEvent;
+
+    fn record(workload: &Redis, ops: usize) -> pm_trace::Trace {
+        let mut rt = PmRuntime::trace_only();
+        rt.record();
+        workload.run(&mut rt, ops).unwrap();
+        rt.take_trace().unwrap()
+    }
+
+    #[test]
+    fn transactions_present() {
+        let trace = record(&Redis::default(), 500);
+        let begins = trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e, PmEvent::EpochBegin { .. }))
+            .count();
+        assert!(begins > 100, "epochs = {begins}");
+    }
+
+    #[test]
+    fn evictions_kick_in_with_small_capacity() {
+        let small = Redis {
+            seed: 1,
+            key_space: 1_000,
+            max_entries: 16,
+        };
+        // Must not run out of heap: evictions free entries for reuse.
+        let trace = record(&small, 3_000);
+        assert!(trace.len() > 1_000);
+    }
+
+    #[test]
+    fn mix_contains_overwrites() {
+        // With a tiny keyspace every key is hit repeatedly.
+        let workload = Redis {
+            seed: 2,
+            key_space: 8,
+            max_entries: 1_000,
+        };
+        let trace = record(&workload, 500);
+        let logs = trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e, PmEvent::TxLog { .. }))
+            .count();
+        assert!(logs > 50, "overwrite transactions log existing ranges");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(record(&Redis::default(), 200), record(&Redis::default(), 200));
+    }
+}

@@ -1,0 +1,185 @@
+//! `r_tree`: a persistent radix tree in PMDK-transaction style (epoch
+//! model), after PMDK's `rtree` map example.
+//!
+//! Keys descend 4 bits at a time through 16-way nodes. Inserts allocate the
+//! missing path of internal nodes and write one leaf, logging each parent
+//! slot they rewrite — transactions whose size varies with the key's shared
+//! prefix length.
+
+use pm_trace::{PmRuntime, RuntimeError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::heap::{init_object, Model, PmHeap, Workload, DEFAULT_POOL, LOG_REGION};
+use crate::tx::Tx;
+
+/// Radix fan-out: 4 bits per level.
+const BITS_PER_LEVEL: u32 = 4;
+/// Number of levels for a 32-bit keyspace.
+const LEVELS: u32 = 8;
+/// Persistent internal node: 16 child pointers.
+const NODE_SIZE: usize = 16 * 8;
+/// Persistent leaf: key + value.
+const LEAF_SIZE: usize = 16;
+
+#[derive(Debug)]
+struct RNode {
+    addr: u64,
+    children: [Option<usize>; 16],
+}
+
+/// The persistent radix tree workload.
+#[derive(Debug)]
+pub struct RTree {
+    seed: u64,
+}
+
+impl RTree {
+    /// Creates the workload with a deterministic RNG seed.
+    pub fn new(seed: u64) -> Self {
+        RTree { seed }
+    }
+}
+
+impl Default for RTree {
+    fn default() -> Self {
+        Self::new(0x87EE)
+    }
+}
+
+struct RTreeState {
+    arena: Vec<RNode>,
+    leaves: Vec<u64>, // leaf addresses by leaf index
+    root: usize,
+    heap: PmHeap,
+}
+
+impl RTreeState {
+    fn new() -> Result<Self, RuntimeError> {
+        let mut heap = PmHeap::new(DEFAULT_POOL);
+        let root_addr = heap.alloc(NODE_SIZE).map_err(pm_trace::RuntimeError::Pmem)?;
+        Ok(RTreeState {
+            arena: vec![RNode {
+                addr: root_addr,
+                children: [None; 16],
+            }],
+            leaves: Vec::new(),
+            root: 0,
+            heap,
+        })
+    }
+
+    fn insert(&mut self, rt: &mut PmRuntime, key: u32, _value: u64) -> Result<(), RuntimeError> {
+        let mut tx = Tx::begin(rt, 0, LOG_REGION);
+        let mut node = self.root;
+        for level in (1..LEVELS).rev() {
+            let nibble = ((key >> (level * BITS_PER_LEVEL)) & 0xF) as usize;
+            match self.arena[node].children[nibble] {
+                Some(next) => node = next,
+                None => {
+                    // Allocate a fresh internal node and link it: log the
+                    // parent slot, write the new node, rewrite the slot.
+                    let addr = self
+                        .heap
+                        .alloc(NODE_SIZE)
+                        .map_err(pm_trace::RuntimeError::Pmem)?;
+                    let new_idx = self.arena.len();
+                    self.arena.push(RNode {
+                        addr,
+                        children: [None; 16],
+                    });
+                    init_object(rt, addr, NODE_SIZE as u32)?;
+                    let parent_addr = self.arena[node].addr;
+                    tx.add(rt, parent_addr + nibble as u64 * 8, 8);
+                    tx.store_untyped(rt, parent_addr + nibble as u64 * 8, 8);
+                    self.arena[node].children[nibble] = Some(new_idx);
+                    node = new_idx;
+                }
+            }
+        }
+        // Leaf level.
+        let nibble = (key & 0xF) as usize;
+        match self.arena[node].children[nibble] {
+            Some(leaf_ref) => {
+                // Update: log the leaf and rewrite the value word.
+                let leaf_addr = self.leaves[leaf_ref];
+                tx.add(rt, leaf_addr, LEAF_SIZE as u32);
+                tx.store_untyped(rt, leaf_addr + 8, 8);
+            }
+            None => {
+                let leaf_addr = self
+                    .heap
+                    .alloc(LEAF_SIZE)
+                    .map_err(pm_trace::RuntimeError::Pmem)?;
+                let leaf_ref = self.leaves.len();
+                self.leaves.push(leaf_addr);
+                init_object(rt, leaf_addr, LEAF_SIZE as u32)?;
+                let parent_addr = self.arena[node].addr;
+                tx.add(rt, parent_addr + nibble as u64 * 8, 8);
+                tx.store_untyped(rt, parent_addr + nibble as u64 * 8, 8);
+                self.arena[node].children[nibble] = Some(leaf_ref);
+            }
+        }
+        tx.commit(rt)
+    }
+}
+
+impl Workload for RTree {
+    fn name(&self) -> &'static str {
+        "r_tree"
+    }
+
+    fn model(&self) -> Model {
+        Model::Epoch
+    }
+
+    fn run(&self, rt: &mut PmRuntime, ops: usize) -> Result<(), RuntimeError> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut state = RTreeState::new()?;
+        for i in 0..ops {
+            // Clustered keys so paths share prefixes (realistic radix use).
+            let key = rng.gen_range(0..(ops as u32 * 16).max(16));
+            state.insert(rt, key, i as u64)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(ops: usize) -> pm_trace::Trace {
+        let mut rt = PmRuntime::trace_only();
+        rt.record();
+        RTree::default().run(&mut rt, ops).unwrap();
+        rt.take_trace().unwrap()
+    }
+
+    #[test]
+    fn one_epoch_and_fence_per_insert() {
+        let trace = record(40);
+        let stats = trace.stats();
+        assert_eq!(stats.fences, 40);
+    }
+
+    #[test]
+    fn early_inserts_cost_more_than_late() {
+        // Path sharing: the first insert allocates ~7 internal nodes, later
+        // inserts reuse them, so stores-per-op decline over the run.
+        let early = {
+            let trace = record(5);
+            trace.stats().stores as f64 / 5.0
+        };
+        let late = {
+            let trace = record(500);
+            trace.stats().stores as f64 / 500.0
+        };
+        assert!(early > late, "early {early} vs late {late}");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(record(20), record(20));
+    }
+}

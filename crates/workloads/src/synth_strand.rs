@@ -1,0 +1,181 @@
+//! `synth_strand`: the paper's synthetic strand-persistency benchmark.
+//!
+//! No hardware or application supports strand persistency yet, so the paper
+//! builds a synthetic benchmark placing `b_tree` and `c_tree` into two
+//! independent strands (§7.1). Within a strand, persists are ordered by
+//! persist barriers; across strands there is no implicit ordering. Since the
+//! PMDK-style tree code is epoch-structured, the strand variant re-expresses
+//! each insert as: stores, per-line flushes, one persist barrier — the
+//! strand idiom of Figure 1c.
+
+use pm_trace::{PmRuntime, RuntimeError};
+use pmem_sim::FlushKind;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::heap::{Model, PmHeap, Workload, DEFAULT_POOL};
+
+/// The synthetic strand benchmark: two tree workloads in two strands.
+#[derive(Debug)]
+pub struct SynthStrand {
+    seed: u64,
+    /// Inject the lack-ordering-in-strands bug (Figure 7b): strand 1
+    /// persists a location strand 0 wrote, before strand 0's ordering
+    /// prerequisite is durable.
+    pub inject_strand_order_bug: bool,
+}
+
+impl SynthStrand {
+    /// Creates the workload with a deterministic RNG seed.
+    pub fn new(seed: u64) -> Self {
+        SynthStrand {
+            seed,
+            inject_strand_order_bug: false,
+        }
+    }
+
+    /// Enables the Figure 7b bug reproduction.
+    pub fn with_order_bug(mut self) -> Self {
+        self.inject_strand_order_bug = true;
+        self
+    }
+
+    /// One strand-style insert: write node(s), flush, barrier.
+    fn strand_insert(
+        rt: &mut PmRuntime,
+        heap: &mut PmHeap,
+        node_size: usize,
+        writes: usize,
+    ) -> Result<(), RuntimeError> {
+        let addr = heap
+            .alloc(node_size)
+            .map_err(pm_trace::RuntimeError::Pmem)?;
+        for w in 0..writes {
+            rt.store_untyped(addr + (w as u64 * 8) % node_size as u64, 8);
+        }
+        rt.flush_range(FlushKind::Clwb, addr, node_size as u32)?;
+        rt.persist_barrier();
+        Ok(())
+    }
+}
+
+impl Default for SynthStrand {
+    fn default() -> Self {
+        Self::new(0x57A4D)
+    }
+}
+
+impl Workload for SynthStrand {
+    fn name(&self) -> &'static str {
+        "synth_strand"
+    }
+
+    fn model(&self) -> Model {
+        Model::Strand
+    }
+
+    fn run(&self, rt: &mut PmRuntime, ops: usize) -> Result<(), RuntimeError> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut heap = PmHeap::new(DEFAULT_POOL);
+
+        // Figure 7b prologue: A must persist before B, but a second strand
+        // persists B while A's barrier has not run yet.
+        if self.inject_strand_order_bug {
+            let shared_a = heap.alloc(8).map_err(pm_trace::RuntimeError::Pmem)?;
+            let shared_b = heap.alloc(8).map_err(pm_trace::RuntimeError::Pmem)?;
+            rt.name_range("A", shared_a, 8);
+            rt.name_range("B", shared_b, 8);
+            // Strand 0 writes A then B and flushes A; its barrier is owed.
+            rt.strand_begin();
+            rt.store_untyped(shared_a, 8);
+            rt.store_untyped(shared_b, 8);
+            rt.flush_range(FlushKind::Clwb, shared_a, 8)?;
+            // Concurrent strand persists B first — the violation.
+            rt.strand_begin();
+            rt.flush_range(FlushKind::Clwb, shared_b, 8)?;
+            rt.persist_barrier();
+            rt.strand_end()?;
+            // Strand 0 finally runs its barriers.
+            rt.persist_barrier();
+            rt.flush_range(FlushKind::Clwb, shared_b, 8)?;
+            rt.persist_barrier();
+            rt.strand_end()?;
+        }
+
+        // Strand 0: b_tree-like inserts (wide nodes, several writes each).
+        rt.strand_begin();
+        for _ in 0..ops / 2 {
+            let writes = rng.gen_range(3..10);
+            Self::strand_insert(rt, &mut heap, 256, writes)?;
+        }
+        rt.strand_end()?;
+
+        // Strand 1: c_tree-like inserts (small nodes, few writes each).
+        rt.strand_begin();
+        for _ in 0..ops - ops / 2 {
+            let writes = rng.gen_range(1..4);
+            Self::strand_insert(rt, &mut heap, 64, writes)?;
+        }
+        rt.strand_end()?;
+
+        rt.join_strand();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_trace::{FenceKind, PmEvent, StrandId};
+
+    fn record(workload: &SynthStrand, ops: usize) -> pm_trace::Trace {
+        let mut rt = PmRuntime::trace_only();
+        rt.record();
+        workload.run(&mut rt, ops).unwrap();
+        rt.take_trace().unwrap()
+    }
+
+    #[test]
+    fn two_strands_are_created() {
+        let trace = record(&SynthStrand::default(), 20);
+        let strands: Vec<StrandId> = trace
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                PmEvent::StrandBegin { strand, .. } => Some(*strand),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(strands.len(), 2);
+        assert_ne!(strands[0], strands[1]);
+    }
+
+    #[test]
+    fn barriers_are_persist_barriers_inside_strands() {
+        let trace = record(&SynthStrand::default(), 10);
+        for e in trace.events() {
+            if let PmEvent::Fence { kind, strand, .. } = e {
+                if *kind == FenceKind::PersistBarrier {
+                    assert!(strand.is_some());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn join_strand_present() {
+        let trace = record(&SynthStrand::default(), 10);
+        assert!(trace
+            .events()
+            .iter()
+            .any(|e| matches!(e, PmEvent::JoinStrand { .. })));
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            record(&SynthStrand::default(), 16),
+            record(&SynthStrand::default(), 16)
+        );
+    }
+}

@@ -1,0 +1,287 @@
+//! A PMDK-style undo-log transaction layer (the epoch persistency model).
+//!
+//! PMDK bases its transactions on the epoch model (paper §2.3): stores
+//! between `TX_BEGIN` and `TX_END` may persist in any order, but all must be
+//! durable by `TX_END`. Before a tracked range is modified it is logged
+//! (`pmemobj_tx_add_range`), and the log record itself is written to PM.
+//!
+//! The event pattern this layer produces per transaction — log-record
+//! stores + flushes, data stores, a commit-time flush of every modified
+//! range, one fence, then the epoch-end marker — is what gives the PMDK
+//! micro-benchmarks their characteristic store-heavy, mostly-collective,
+//! distance-1 profile (Figure 2).
+
+use std::collections::HashSet;
+
+use pm_trace::{Addr, PmRuntime, RuntimeError};
+use pmem_sim::{FlushKind, CACHE_LINE_SIZE};
+
+/// Size of one undo-log record header (metadata word in the log).
+const LOG_HEADER: u64 = 16;
+
+/// An open PMDK-style transaction.
+///
+/// Created by [`Tx::begin`]; must be finished with [`Tx::commit`] (dropping
+/// an uncommitted transaction emits nothing further, modelling an abort
+/// whose stores were never made durable).
+#[derive(Debug)]
+pub struct Tx {
+    /// Modified ranges to flush at commit, in insertion order.
+    modified: Vec<(Addr, u32)>,
+    /// Ranges already added to the undo log in this transaction
+    /// (`pmemobj_tx_add_range` is idempotent per range in PMDK).
+    added: HashSet<(Addr, u64)>,
+    /// Next free offset in the undo-log region.
+    log_cursor: Addr,
+    /// End of the undo-log region (wraps when full, like a circular log).
+    log_base: Addr,
+    log_size: u64,
+}
+
+impl Tx {
+    /// Opens a transaction; emits the epoch-begin marker.
+    ///
+    /// `log_base`/`log_size` locate this transaction's undo-log region in
+    /// the pool.
+    pub fn begin(rt: &mut PmRuntime, log_base: Addr, log_size: u64) -> Tx {
+        rt.epoch_begin();
+        Tx {
+            modified: Vec::new(),
+            added: HashSet::new(),
+            log_cursor: log_base,
+            log_base,
+            log_size,
+        }
+    }
+
+    /// Logs `[addr, addr+size)` before modification
+    /// (`pmemobj_tx_add_range`): emits the `TxLog` marker and writes the
+    /// log record (header + snapshot) to the log region with a flush.
+    pub fn add(&mut self, rt: &mut PmRuntime, addr: Addr, size: u32) {
+        // PMDK skips ranges already snapshotted in this transaction.
+        if !self.added.insert((addr, u64::from(size))) {
+            return;
+        }
+        rt.tx_log(addr, size);
+        let record_len = LOG_HEADER + u64::from(size);
+        if self.log_cursor + record_len > self.log_base + self.log_size {
+            self.log_cursor = self.log_base; // circular log wrap
+        }
+        // Log record: header + data snapshot, written in 16-byte chunks
+        // (the vectorized memcpy the real library performs) and persisted
+        // immediately so the log is valid before the data is touched.
+        let mut written = 0u64;
+        while written < record_len {
+            let chunk = (record_len - written).min(16) as u32;
+            rt.store_untyped(self.log_cursor + written, chunk);
+            written += u64::from(chunk);
+        }
+        rt.flush_range(FlushKind::Clwb, self.log_cursor, record_len as u32)
+            .ok();
+        self.log_cursor += record_len.next_multiple_of(CACHE_LINE_SIZE);
+    }
+
+    /// A tracked store: forwards to the runtime and remembers the range for
+    /// the commit-time flush.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RuntimeError`] from the runtime (pool-backed runtimes
+    /// reject out-of-bounds stores).
+    pub fn store(&mut self, rt: &mut PmRuntime, addr: Addr, data: &[u8]) -> Result<(), RuntimeError> {
+        rt.store(addr, data)?;
+        self.modified.push((addr, data.len() as u32));
+        Ok(())
+    }
+
+    /// A tracked store without data bytes (trace-only runtimes).
+    pub fn store_untyped(&mut self, rt: &mut PmRuntime, addr: Addr, size: u32) {
+        rt.store_untyped(addr, size);
+        self.modified.push((addr, size));
+    }
+
+    /// Commits: flushes every modified range (deduplicated by cache line),
+    /// issues the `TX_END` fence, and closes the epoch section.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RuntimeError`] from the runtime.
+    pub fn commit(self, rt: &mut PmRuntime) -> Result<(), RuntimeError> {
+        let mut flushed_lines: HashSet<Addr> = HashSet::with_capacity(self.modified.len());
+        // Most-recent range first: the open CLF interval (the tail of the
+        // transaction's stores) is persisted by its covering flush, which
+        // is what makes transactional intervals collective (Figure 2b).
+        for (addr, size) in self.modified.iter().rev() {
+            // One flush event per contiguous modified range; skip ranges
+            // whose lines were all already flushed in this commit.
+            let first_line = pmem_sim::line_base(*addr);
+            let last_line = pmem_sim::line_base(*addr + u64::from(*size) - 1);
+            let fresh = (first_line..=last_line)
+                .step_by(CACHE_LINE_SIZE as usize)
+                .any(|line| !flushed_lines.contains(&line));
+            if fresh {
+                rt.flush_range(FlushKind::Clwb, *addr, *size)?;
+                let mut line = first_line;
+                while line <= last_line {
+                    flushed_lines.insert(line);
+                    line += CACHE_LINE_SIZE;
+                }
+            }
+        }
+        // The TX_END fence, inside the section (PMDK's tx commit drains
+        // before the transaction is marked complete).
+        rt.sfence();
+        rt.epoch_end()?;
+        Ok(())
+    }
+}
+
+/// `pmemobj_persist`: flush a range and fence, outside or inside
+/// transactions (the atomic-API persistence primitive).
+///
+/// # Errors
+///
+/// Propagates [`RuntimeError`] from the runtime.
+pub fn pmemobj_persist(rt: &mut PmRuntime, addr: Addr, size: u32) -> Result<(), RuntimeError> {
+    rt.flush_range(FlushKind::Clwb, addr, size)?;
+    rt.sfence();
+    Ok(())
+}
+
+/// `pmemobj_flush`: flush a range without fencing.
+///
+/// # Errors
+///
+/// Propagates [`RuntimeError`] from the runtime.
+pub fn pmemobj_flush(rt: &mut PmRuntime, addr: Addr, size: u32) -> Result<(), RuntimeError> {
+    rt.flush_range(FlushKind::Clwb, addr, size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_trace::PmEvent;
+
+    fn trace_of(f: impl FnOnce(&mut PmRuntime)) -> Vec<PmEvent> {
+        let mut rt = PmRuntime::trace_only();
+        rt.record();
+        f(&mut rt);
+        rt.take_trace().unwrap().into_iter().collect()
+    }
+
+    #[test]
+    fn transaction_emits_epoch_markers_and_fence() {
+        let events = trace_of(|rt| {
+            let mut tx = Tx::begin(rt, 0, 4096);
+            tx.add(rt, 8192, 8);
+            tx.store_untyped(rt, 8192, 8);
+            tx.commit(rt).unwrap();
+        });
+        assert!(matches!(events.first(), Some(PmEvent::EpochBegin { .. })));
+        assert!(matches!(events.last(), Some(PmEvent::EpochEnd { .. })));
+        let fences = events
+            .iter()
+            .filter(|e| matches!(e, PmEvent::Fence { .. }))
+            .count();
+        assert_eq!(fences, 1, "exactly the TX_END fence");
+        // The fence is inside the epoch section.
+        match events
+            .iter()
+            .find(|e| matches!(e, PmEvent::Fence { .. }))
+            .unwrap()
+        {
+            PmEvent::Fence { in_epoch, .. } => assert!(in_epoch),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn add_emits_txlog_and_log_write() {
+        let events = trace_of(|rt| {
+            let mut tx = Tx::begin(rt, 0, 4096);
+            tx.add(rt, 8192, 32);
+            tx.commit(rt).unwrap();
+        });
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, PmEvent::TxLog { obj_addr: 8192, .. })));
+        // Log record (16B header + 32B data) written word by word and
+        // flushed once.
+        let log_stores = events
+            .iter()
+            .filter(|e| matches!(e, PmEvent::Store { addr, .. } if *addr < 4096))
+            .count();
+        assert_eq!(log_stores, 3, "48-byte record = three 16-byte chunks");
+        let log_flushes = events
+            .iter()
+            .filter(|e| matches!(e, PmEvent::Flush { addr, .. } if *addr < 4096))
+            .count();
+        assert_eq!(log_flushes, 1);
+    }
+
+    #[test]
+    fn commit_flushes_each_modified_line_once() {
+        let events = trace_of(|rt| {
+            let mut tx = Tx::begin(rt, 0, 4096);
+            // Two stores in the same line: one commit flush.
+            tx.store_untyped(rt, 8192, 8);
+            tx.store_untyped(rt, 8200, 8);
+            tx.commit(rt).unwrap();
+        });
+        let data_flushes = events
+            .iter()
+            .filter(|e| matches!(e, PmEvent::Flush { addr, .. } if *addr >= 8192))
+            .count();
+        assert_eq!(data_flushes, 1);
+    }
+
+    #[test]
+    fn clean_transaction_passes_pmdebugger() {
+        // Checked in the integration tests too; here just assert the shape
+        // is fence-terminated (all durability guaranteed by TX_END).
+        let events = trace_of(|rt| {
+            let mut tx = Tx::begin(rt, 0, 4096);
+            tx.add(rt, 8192, 8);
+            tx.store_untyped(rt, 8192, 8);
+            tx.commit(rt).unwrap();
+        });
+        let last_fence = events
+            .iter()
+            .rposition(|e| matches!(e, PmEvent::Fence { .. }))
+            .unwrap();
+        let last_store = events
+            .iter()
+            .rposition(|e| matches!(e, PmEvent::Store { .. }))
+            .unwrap();
+        assert!(last_fence > last_store);
+    }
+
+    #[test]
+    fn log_wraps_when_full() {
+        let events = trace_of(|rt| {
+            let mut tx = Tx::begin(rt, 0, 128);
+            for _ in 0..10 {
+                tx.add(rt, 8192, 32);
+            }
+            tx.commit(rt).unwrap();
+        });
+        // All log writes stay inside [0, 128).
+        for event in &events {
+            if let PmEvent::Store { addr, .. } = event {
+                if *addr < 8192 {
+                    assert!(*addr < 128);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pmemobj_persist_is_flush_plus_fence() {
+        let events = trace_of(|rt| {
+            rt.store_untyped(8192, 8);
+            pmemobj_persist(rt, 8192, 8).unwrap();
+        });
+        assert!(matches!(events[1], PmEvent::Flush { .. }));
+        assert!(matches!(events[2], PmEvent::Fence { .. }));
+    }
+}

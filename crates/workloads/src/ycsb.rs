@@ -1,0 +1,314 @@
+//! YCSB workload generators (loads A–F) driving the memcached analogue.
+//!
+//! The paper runs YCSB loads A–F against memcached to cover various
+//! read/write patterns for the characterization (§3, Figure 2). Each load
+//! is its standard mix:
+//!
+//! | load | mix |
+//! |------|-----|
+//! | A | 50% read / 50% update |
+//! | B | 95% read / 5% update |
+//! | C | 100% read |
+//! | D | 95% read / 5% insert (latest-biased reads) |
+//! | E | 95% scan / 5% insert |
+//! | F | 50% read / 50% read-modify-write |
+//!
+//! Keys are drawn from a zipfian distribution (θ = 0.99), implemented with
+//! the standard Gray et al. rejection-free construction.
+
+use pm_trace::{PmRuntime, RuntimeError};
+use pmem_sim::FlushKind;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::heap::{Model, PmHeap, Workload, DEFAULT_POOL};
+
+/// The six standard YCSB core workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum YcsbLoad {
+    /// 50% read / 50% update.
+    A,
+    /// 95% read / 5% update.
+    B,
+    /// 100% read.
+    C,
+    /// 95% read / 5% insert, latest distribution.
+    D,
+    /// 95% scan / 5% insert.
+    E,
+    /// 50% read / 50% read-modify-write.
+    F,
+}
+
+impl YcsbLoad {
+    /// All six loads in order.
+    pub const ALL: [YcsbLoad; 6] = [
+        YcsbLoad::A,
+        YcsbLoad::B,
+        YcsbLoad::C,
+        YcsbLoad::D,
+        YcsbLoad::E,
+        YcsbLoad::F,
+    ];
+
+    /// Figure 2 label (e.g. `a_YCSB`).
+    pub fn label(self) -> &'static str {
+        match self {
+            YcsbLoad::A => "a_YCSB",
+            YcsbLoad::B => "b_YCSB",
+            YcsbLoad::C => "c_YCSB",
+            YcsbLoad::D => "d_YCSB",
+            YcsbLoad::E => "e_YCSB",
+            YcsbLoad::F => "f_YCSB",
+        }
+    }
+}
+
+/// Zipfian generator over `[0, n)` with the YCSB default θ = 0.99.
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    zeta2: f64,
+}
+
+impl Zipfian {
+    /// Creates a generator over `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` is zero.
+    pub fn new(n: u64) -> Self {
+        assert!(n > 0, "zipfian needs a non-empty range");
+        let theta = 0.99;
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipfian {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            zeta2,
+        }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // Direct sum for small n; sampled approximation above a cutoff to
+        // keep construction O(1)-ish for huge keyspaces.
+        if n <= 10_000 {
+            (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+        } else {
+            let head: f64 = (1..=10_000u64).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+            // Integral approximation of the tail.
+            let tail = ((n as f64).powf(1.0 - theta) - 10_000f64.powf(1.0 - theta)) / (1.0 - theta);
+            head + tail
+        }
+    }
+
+    /// Draws the next zipfian value.
+    pub fn next<R: Rng>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let spread = self.eta.mul_add(u, 1.0 - self.eta);
+        ((self.n as f64) * spread.powf(self.alpha)) as u64 % self.n
+    }
+
+    /// ζ(2, θ) — exposed for tests.
+    #[doc(hidden)]
+    pub fn zeta2(&self) -> f64 {
+        self.zeta2
+    }
+}
+
+/// A YCSB run against a memcached-style PM store.
+#[derive(Debug, Clone)]
+pub struct Ycsb {
+    /// Which core workload to run.
+    pub load: YcsbLoad,
+    seed: u64,
+    /// Number of records preloaded and addressed.
+    pub records: u64,
+    /// Value size in bytes.
+    pub value_size: u32,
+}
+
+impl Ycsb {
+    /// Creates the given load with a deterministic seed.
+    pub fn new(load: YcsbLoad, seed: u64) -> Self {
+        Ycsb {
+            load,
+            seed,
+            records: 4_096,
+            value_size: 100,
+        }
+    }
+}
+
+impl Workload for Ycsb {
+    fn name(&self) -> &'static str {
+        self.load.label()
+    }
+
+    fn model(&self) -> Model {
+        Model::Strict
+    }
+
+    fn run(&self, rt: &mut PmRuntime, ops: usize) -> Result<(), RuntimeError> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let zipf = Zipfian::new(self.records);
+        let mut heap = PmHeap::new(DEFAULT_POOL);
+        let record_len = 24 + u64::from(self.value_size);
+
+        // Load phase: preallocate records (persisted in bulk).
+        let mut addrs = Vec::with_capacity(self.records as usize);
+        for _ in 0..self.records {
+            let addr = heap
+                .alloc(record_len as usize)
+                .map_err(pm_trace::RuntimeError::Pmem)?;
+            addrs.push(addr);
+        }
+        // Initialization writes and flushes each record, fencing once per
+        // 64-record batch (the standard streaming-init pattern).
+        for chunk in addrs.chunks(64) {
+            for &addr in chunk {
+                rt.store_untyped(addr, record_len as u32);
+                rt.flush_range(FlushKind::Clflushopt, addr, record_len as u32)?;
+            }
+            rt.sfence();
+        }
+
+        let mut next_insert = 0usize;
+        for _ in 0..ops {
+            let r: u32 = rng.gen_range(0..100);
+            let key_idx = (zipf.next(&mut rng) as usize).min(addrs.len() - 1);
+            let addr = addrs[key_idx];
+            let update = |rt: &mut PmRuntime| -> Result<(), RuntimeError> {
+                rt.store_untyped(addr + 24, self.value_size);
+                rt.flush_range(FlushKind::Clflushopt, addr + 24, self.value_size)?;
+                rt.sfence();
+                Ok(())
+            };
+            let insert = |rt: &mut PmRuntime,
+                          heap: &mut PmHeap,
+                          next: &mut usize|
+             -> Result<u64, RuntimeError> {
+                let addr = heap
+                    .alloc(record_len as usize)
+                    .map_err(pm_trace::RuntimeError::Pmem)?;
+                rt.store_untyped(addr, record_len as u32);
+                rt.flush_range(FlushKind::Clflushopt, addr, record_len as u32)?;
+                rt.sfence();
+                *next += 1;
+                Ok(addr)
+            };
+            match self.load {
+                YcsbLoad::A => {
+                    if r < 50 {
+                        update(rt)?;
+                    }
+                }
+                YcsbLoad::B => {
+                    if r < 5 {
+                        update(rt)?;
+                    }
+                }
+                YcsbLoad::C => { /* pure reads: no PM traffic */ }
+                YcsbLoad::D => {
+                    if r < 5 {
+                        let addr = insert(rt, &mut heap, &mut next_insert)?;
+                        addrs.push(addr);
+                    }
+                }
+                YcsbLoad::E => {
+                    if r < 5 {
+                        let addr = insert(rt, &mut heap, &mut next_insert)?;
+                        addrs.push(addr);
+                    }
+                    // Scans read a range: no PM writes.
+                }
+                YcsbLoad::F => {
+                    if r < 50 {
+                        // Read-modify-write = read (free) + update.
+                        update(rt)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(load: YcsbLoad, ops: usize) -> pm_trace::Trace {
+        let mut rt = PmRuntime::trace_only();
+        rt.record();
+        Ycsb::new(load, 42).run(&mut rt, ops).unwrap();
+        rt.take_trace().unwrap()
+    }
+
+    #[test]
+    fn zipfian_is_skewed() {
+        let zipf = Zipfian::new(1000);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut low = 0u64;
+        for _ in 0..10_000 {
+            if zipf.next(&mut rng) < 100 {
+                low += 1;
+            }
+        }
+        // Top 10% of keys take well over half the draws under θ=0.99.
+        assert!(low > 5_000, "low draws = {low}");
+    }
+
+    #[test]
+    fn zipfian_stays_in_range() {
+        let zipf = Zipfian::new(50);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            assert!(zipf.next(&mut rng) < 50);
+        }
+    }
+
+    #[test]
+    fn load_c_writes_only_in_load_phase() {
+        let trace = record(YcsbLoad::C, 1000);
+        let stats = trace.stats();
+        assert_eq!(stats.stores, 4096, "only the preload writes");
+    }
+
+    #[test]
+    fn load_a_writes_more_than_b() {
+        let a = record(YcsbLoad::A, 1000).stats().stores;
+        let b = record(YcsbLoad::B, 1000).stats().stores;
+        assert!(a > b, "A={a} B={b}");
+    }
+
+    #[test]
+    fn inserts_grow_keyspace_in_d() {
+        let d = record(YcsbLoad::D, 2000);
+        // Insert ops allocate new records beyond the preload.
+        assert!(d.stats().stores > 4096);
+    }
+
+    #[test]
+    fn all_loads_have_labels() {
+        let labels: Vec<&str> = YcsbLoad::ALL.iter().map(|l| l.label()).collect();
+        assert_eq!(labels.len(), 6);
+        assert!(labels.contains(&"f_YCSB"));
+    }
+}

@@ -1,0 +1,41 @@
+//! Debugging the memcached analogue — reproducing the paper's Figure 9a.
+//!
+//! Runs the memcached workload twice: once as shipped (with the
+//! `ITEM_set_cas` durability bug the paper reported) and once fixed, and
+//! shows PMDebugger flagging only the buggy run.
+//!
+//! Run with: `cargo run --example memcached_debug`
+
+use pm_trace::{replay_finish, BugKind};
+use pm_workloads::{record_trace, Memcached, Workload};
+use pmdebugger::PmDebugger;
+
+fn main() {
+    let ops = 500;
+
+    let buggy = Memcached::default().with_set_percent(20).with_cas_bug();
+    let fixed = Memcached::default().with_set_percent(20);
+
+    for (label, workload) in [("buggy (Figure 9a)", &buggy), ("fixed", &fixed)] {
+        let trace = record_trace(workload as &dyn Workload, ops);
+        let mut detector = PmDebugger::strict();
+        let reports = replay_finish(&trace, &mut detector);
+
+        let cas_bugs = reports
+            .iter()
+            .filter(|r| r.kind == BugKind::NoDurabilityGuarantee)
+            .count();
+        println!("memcached {label}: {} unpersisted location(s)", cas_bugs);
+        if let Some(first) = reports.first() {
+            println!("  e.g. {first}");
+        }
+
+        match label {
+            "fixed" => assert_eq!(cas_bugs, 0, "fixed memcached must be clean"),
+            _ => assert!(cas_bugs > 0, "the CAS bug must be detected"),
+        }
+    }
+
+    println!("\nThe CAS id written by ITEM_set_cas in do_item_link is modified but");
+    println!("never persisted — one of the 19 new memcached bugs the paper found.");
+}

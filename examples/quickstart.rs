@@ -1,0 +1,35 @@
+//! Quickstart: attach PMDebugger to a runtime, write persistent data with a
+//! missing fence, and read the bug report.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use pm_trace::PmRuntime;
+use pmdebugger::PmDebugger;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 4 KiB simulated persistent-memory pool, registered for debugging.
+    let mut rt = PmRuntime::with_pool(4096)?;
+    rt.attach(Box::new(PmDebugger::strict()));
+
+    // A correct persist: store, cache-line write-back, fence.
+    rt.store(0, &1234u64.to_le_bytes())?;
+    rt.clwb(0)?;
+    rt.sfence();
+
+    // A buggy persist: the flush is there, the fence is not.
+    rt.store(64, &5678u64.to_le_bytes())?;
+    rt.clwb(64)?;
+    // ... missing sfence!
+
+    // And a store that is never flushed at all.
+    rt.store(128, &9999u64.to_le_bytes())?;
+
+    let reports = rt.finish();
+    println!("PMDebugger found {} bug(s):", reports.len());
+    for report in &reports {
+        println!("  {report}");
+    }
+
+    assert_eq!(reports.len(), 2);
+    Ok(())
+}

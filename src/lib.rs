@@ -1,0 +1,12 @@
+//! Umbrella crate for the PMDebugger reproduction workspace.
+//!
+//! The actual functionality lives in the member crates; this package hosts
+//! the cross-crate integration tests (`tests/`) and the runnable examples
+//! (`examples/`). Re-exports below give examples and tests one import root.
+
+pub use pm_baselines as baselines;
+pub use pm_bugs as bugs;
+pub use pm_trace as trace;
+pub use pm_workloads as workloads;
+pub use pmdebugger as debugger;
+pub use pmem_sim as pmem;

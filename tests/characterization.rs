@@ -1,0 +1,78 @@
+//! Integration check of the §3 characterization patterns on the actual
+//! evaluation workloads (the claims Figure 2 makes).
+
+use pm_trace::characterize::characterize;
+use pm_workloads::{record_trace, Workload, Ycsb, YcsbLoad};
+
+fn figure2_workloads() -> Vec<Box<dyn Workload>> {
+    let mut v: Vec<Box<dyn Workload>> = vec![
+        Box::new(pm_workloads::BTree::default()),
+        Box::new(pm_workloads::CTree::default()),
+        Box::new(pm_workloads::RbTree::default()),
+        Box::new(pm_workloads::HashmapTx::default()),
+        Box::new(pm_workloads::HashmapAtomic::default()),
+    ];
+    for load in YcsbLoad::ALL {
+        v.push(Box::new(Ycsb::new(load, 42)));
+    }
+    v
+}
+
+#[test]
+fn pattern1_most_stores_persist_at_the_nearest_fence() {
+    // Paper: >=77.7% of stores have distance 1.
+    for workload in figure2_workloads() {
+        let trace = record_trace(workload.as_ref(), 2_000);
+        let report = characterize(&trace);
+        if report.distances.total() == 0 {
+            continue; // YCSB C after the load phase
+        }
+        assert!(
+            report.distances.fraction(1) > 0.75,
+            "{}: distance-1 fraction {:.2}",
+            workload.name(),
+            report.distances.fraction(1)
+        );
+    }
+}
+
+#[test]
+fn pattern2_writebacks_are_mostly_collective_overall() {
+    // Paper: >71% of CLF intervals have collective writeback. Individual
+    // benchmarks vary; the aggregate must be majority-collective.
+    let mut collective = 0u64;
+    let mut dispersed = 0u64;
+    for workload in figure2_workloads() {
+        let trace = record_trace(workload.as_ref(), 2_000);
+        let report = characterize(&trace);
+        collective += report.collective_intervals;
+        dispersed += report.dispersed_intervals;
+    }
+    let fraction = collective as f64 / (collective + dispersed).max(1) as f64;
+    assert!(fraction > 0.6, "aggregate collective fraction {fraction:.2}");
+}
+
+#[test]
+fn pattern3_stores_dominate_or_at_least_lead() {
+    // Paper: store accounts for at least 40.2% of the three instructions.
+    for workload in figure2_workloads() {
+        let trace = record_trace(workload.as_ref(), 2_000);
+        let report = characterize(&trace);
+        assert!(
+            report.store_fraction() > 0.40,
+            "{}: store fraction {:.2}",
+            workload.name(),
+            report.store_fraction()
+        );
+    }
+}
+
+#[test]
+fn hashmap_tx_shows_deferred_durability() {
+    // The Figure 11 outlier: hashmap_tx keeps locations alive past the
+    // nearest fence (distance > 5 mass), unlike e.g. b_tree.
+    let tx = characterize(&record_trace(&pm_workloads::HashmapTx::default(), 3_000));
+    let btree = characterize(&record_trace(&pm_workloads::BTree::default(), 3_000));
+    assert!(tx.distances.over_five > 0, "hashmap_tx has late persists");
+    assert_eq!(btree.distances.over_five, 0, "b_tree persists at TX_END");
+}

@@ -1,0 +1,119 @@
+//! Cross-failure integration: pool-backed crash images + recovery checks
+//! (the XFDetector methodology over the pmem-sim substrate).
+
+use pm_trace::{BugKind, PmRuntime};
+use pmdebugger::PmDebugger;
+use pmem_sim::{CrashImage, CrashPolicy, FlushKind, PmPool};
+
+/// A tiny crash-consistent key-value commit: value, then flag, each
+/// persisted in order.
+fn committed_write(pool: &mut PmPool, value: u64) {
+    pool.store(0, &value.to_le_bytes()).unwrap();
+    pool.flush(FlushKind::Clwb, 0).unwrap();
+    pool.sfence();
+    pool.store(64, &1u64.to_le_bytes()).unwrap(); // commit flag
+    pool.flush(FlushKind::Clwb, 64).unwrap();
+    pool.sfence();
+}
+
+/// The buggy variant: flag persisted before the value.
+fn buggy_write(pool: &mut PmPool, value: u64) {
+    pool.store(64, &1u64.to_le_bytes()).unwrap(); // commit flag first!
+    pool.flush(FlushKind::Clwb, 64).unwrap();
+    pool.sfence();
+    pool.store(0, &value.to_le_bytes()).unwrap();
+    pool.flush(FlushKind::Clwb, 0).unwrap();
+    // crash happens before the fence
+}
+
+fn read_u64(image: &CrashImage, addr: u64) -> u64 {
+    u64::from_le_bytes(image.read(addr, 8).try_into().unwrap())
+}
+
+#[test]
+fn correct_commit_is_consistent_in_every_crash_image() {
+    let mut pool = PmPool::new(4096).unwrap();
+    committed_write(&mut pool, 42);
+    for image in CrashImage::enumerate(&pool, 64) {
+        let flag = read_u64(&image, 64);
+        if flag == 1 {
+            assert_eq!(read_u64(&image, 0), 42, "flag set but value missing");
+        }
+    }
+}
+
+#[test]
+fn buggy_commit_exposes_inconsistent_crash_image() {
+    let mut pool = PmPool::new(4096).unwrap();
+    buggy_write(&mut pool, 42);
+    // The worst-case image (no pending line survives) has the flag set but
+    // not the value — the cross-failure inconsistency.
+    let image = CrashImage::capture(&pool, CrashPolicy::NoneSurvive);
+    assert_eq!(read_u64(&image, 64), 1);
+    assert_eq!(read_u64(&image, 0), 0, "value lost despite flag");
+}
+
+#[test]
+fn pmdebugger_flags_recovery_reading_lost_data() {
+    let mut rt = PmRuntime::with_pool(4096).unwrap();
+    rt.attach(Box::new(PmDebugger::strict()));
+
+    // Pre-failure: durable value, volatile index entry.
+    rt.store(0, &7u64.to_le_bytes()).unwrap();
+    rt.clwb(0).unwrap();
+    rt.sfence();
+    rt.store(64, &7u64.to_le_bytes()).unwrap(); // never persisted
+
+    rt.crash();
+    // Recovery walks both; only the second read is a bug.
+    rt.recovery_read(0, 8);
+    rt.recovery_read(64, 8);
+
+    let reports = rt.finish();
+    let cross: Vec<_> = reports
+        .iter()
+        .filter(|r| r.kind == BugKind::CrossFailureSemantic)
+        .collect();
+    assert_eq!(cross.len(), 1);
+    assert_eq!(cross[0].addr, Some(64));
+}
+
+#[test]
+fn recovery_after_clean_shutdown_reports_nothing() {
+    let mut rt = PmRuntime::with_pool(4096).unwrap();
+    rt.attach(Box::new(PmDebugger::strict()));
+    rt.store(0, &7u64.to_le_bytes()).unwrap();
+    rt.clwb(0).unwrap();
+    rt.sfence();
+    rt.crash();
+    rt.recovery_read(0, 8);
+    assert!(rt.finish().is_empty());
+}
+
+#[test]
+fn crash_image_matches_runtime_pool_state() {
+    // The recovery reads the same bytes the crash image exposes.
+    let mut rt = PmRuntime::with_pool(4096).unwrap();
+    rt.store(0, b"durable!").unwrap();
+    rt.clwb(0).unwrap();
+    rt.sfence();
+    rt.store(64, b"volatile").unwrap();
+
+    let pool = rt.pool().unwrap();
+    let image = CrashImage::capture(pool, CrashPolicy::NoneSurvive);
+    assert_eq!(image.read(0, 8), b"durable!");
+    assert_eq!(image.read(64, 8), &[0u8; 8], "volatile data lost");
+}
+
+#[test]
+fn pending_lines_may_or_may_not_survive() {
+    let mut rt = PmRuntime::with_pool(4096).unwrap();
+    rt.store(0, b"pending!").unwrap();
+    rt.clwb(0).unwrap(); // flushed, not fenced
+
+    let pool = rt.pool().unwrap();
+    let none = CrashImage::capture(pool, CrashPolicy::NoneSurvive);
+    let all = CrashImage::capture(pool, CrashPolicy::AllSurvive);
+    assert_eq!(none.read(0, 8), &[0u8; 8]);
+    assert_eq!(all.read(0, 8), b"pending!");
+}

@@ -1,0 +1,205 @@
+//! Cross-crate property tests: detector agreement and absence of false
+//! positives on randomly generated programs.
+
+use pm_baselines::PmemcheckLike;
+use pm_trace::{replay_finish, BugKind, FenceKind, PmEvent, ThreadId, Trace};
+use pmdebugger::{DebuggerConfig, PersistencyModel, PmDebugger, RuleSet};
+use proptest::prelude::*;
+
+const LINES: u64 = 32;
+
+/// A random (possibly buggy) PM program over a small line set.
+#[derive(Debug, Clone)]
+enum Op {
+    Store(u64),
+    Flush(u64),
+    Fence,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0..LINES).prop_map(|l| Op::Store(l * 64)),
+        2 => (0..LINES).prop_map(|l| Op::Flush(l * 64)),
+        2 => Just(Op::Fence),
+    ]
+}
+
+fn to_trace(ops: &[Op]) -> Trace {
+    ops.iter()
+        .map(|op| match op {
+            Op::Store(addr) => PmEvent::Store {
+                addr: *addr,
+                size: 8,
+                tid: ThreadId(0),
+                strand: None,
+                in_epoch: false,
+            },
+            Op::Flush(addr) => PmEvent::Flush {
+                kind: pmem_sim::FlushKind::Clwb,
+                addr: *addr,
+                size: 64,
+                tid: ThreadId(0),
+                strand: None,
+            },
+            Op::Fence => PmEvent::Fence {
+                kind: FenceKind::Sfence,
+                tid: ThreadId(0),
+                strand: None,
+                in_epoch: false,
+            },
+        })
+        .collect()
+}
+
+/// A trivially correct program: after the random prefix, flush every line
+/// and fence, making everything durable.
+fn make_correct(ops: Vec<Op>) -> Vec<Op> {
+    let mut fixed = ops;
+    for line in 0..LINES {
+        fixed.push(Op::Flush(line * 64));
+    }
+    fixed.push(Op::Fence);
+    fixed
+}
+
+/// Model-based oracle: per-line dirty/pending/durable state machine.
+fn oracle_undurable_lines(ops: &[Op]) -> Vec<u64> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum S {
+        Durable,
+        Dirty,
+        Pending,
+    }
+    let mut state = vec![S::Durable; LINES as usize];
+    let mut touched = vec![false; LINES as usize];
+    for op in ops {
+        match op {
+            Op::Store(addr) => {
+                state[(addr / 64) as usize] = S::Dirty;
+                touched[(addr / 64) as usize] = true;
+            }
+            Op::Flush(addr) => {
+                let slot = &mut state[(addr / 64) as usize];
+                if *slot == S::Dirty {
+                    *slot = S::Pending;
+                }
+            }
+            Op::Fence => {
+                for slot in state.iter_mut() {
+                    if *slot == S::Pending {
+                        *slot = S::Durable;
+                    }
+                }
+            }
+        }
+    }
+    (0..LINES)
+        .filter(|&l| touched[l as usize] && state[l as usize] != S::Durable)
+        .map(|l| l * 64)
+        .collect()
+}
+
+fn durability_debugger() -> PmDebugger {
+    // Only the no-durability rule: the oracle models durability, not the
+    // performance rules.
+    let mut rules = RuleSet::none();
+    rules.no_durability = true;
+    let mut config = DebuggerConfig::for_model(PersistencyModel::Epoch);
+    config.rules = rules;
+    PmDebugger::new(config)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// PMDebugger's no-durability reports agree exactly with the per-line
+    /// oracle on arbitrary programs.
+    #[test]
+    fn no_durability_matches_oracle(ops in proptest::collection::vec(op_strategy(), 0..200)) {
+        let trace = to_trace(&ops);
+        let mut det = durability_debugger();
+        let reports = replay_finish(&trace, &mut det);
+        let mut reported_lines: Vec<u64> = reports
+            .iter()
+            .filter(|r| r.kind == BugKind::NoDurabilityGuarantee)
+            .map(|r| pmem_sim::line_base(r.addr.expect("range attached")))
+            .collect();
+        reported_lines.sort_unstable();
+        reported_lines.dedup();
+        let expected = oracle_undurable_lines(&ops);
+        prop_assert_eq!(reported_lines, expected);
+    }
+
+    /// On corrected programs, neither PMDebugger nor the Pmemcheck baseline
+    /// reports durability bugs.
+    #[test]
+    fn corrected_programs_have_no_durability_reports(
+        ops in proptest::collection::vec(op_strategy(), 0..150)
+    ) {
+        let trace = to_trace(&make_correct(ops));
+        let mut pmd = durability_debugger();
+        prop_assert!(replay_finish(&trace, &mut pmd).is_empty());
+
+        let mut pmc = PmemcheckLike::new();
+        let reports = replay_finish(&trace, &mut pmc);
+        prop_assert!(!reports
+            .iter()
+            .any(|r| r.kind == BugKind::NoDurabilityGuarantee));
+    }
+
+    /// PMDebugger and the Pmemcheck baseline agree on no-durability
+    /// verdicts for arbitrary programs (per line).
+    #[test]
+    fn pmdebugger_and_pmemcheck_agree_on_durability(
+        ops in proptest::collection::vec(op_strategy(), 0..150)
+    ) {
+        let trace = to_trace(&ops);
+        let collect = |reports: Vec<pm_trace::BugReport>| {
+            let mut lines: Vec<u64> = reports
+                .iter()
+                .filter(|r| r.kind == BugKind::NoDurabilityGuarantee)
+                .map(|r| pmem_sim::line_base(r.addr.expect("range attached")))
+                .collect();
+            lines.sort_unstable();
+            lines.dedup();
+            lines
+        };
+        let mut pmd = durability_debugger();
+        let pmd_lines = collect(replay_finish(&trace, &mut pmd));
+        let mut pmc = PmemcheckLike::new();
+        let pmc_lines = collect(replay_finish(&trace, &mut pmc));
+        prop_assert_eq!(pmd_lines, pmc_lines);
+    }
+
+    /// Replay through a detector twice gives identical reports (detectors
+    /// are deterministic).
+    #[test]
+    fn detection_is_deterministic(ops in proptest::collection::vec(op_strategy(), 0..120)) {
+        let trace = to_trace(&ops);
+        let run = || {
+            let mut det = PmDebugger::strict();
+            replay_finish(&trace, &mut det)
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// The bookkeeping space never loses a tracked location: every stored
+    /// line is either durable (per oracle) or still reported at finish.
+    #[test]
+    fn no_tracked_location_is_lost(ops in proptest::collection::vec(op_strategy(), 0..200)) {
+        let trace = to_trace(&ops);
+        let mut det = durability_debugger();
+        let reports = replay_finish(&trace, &mut det);
+        let expected = oracle_undurable_lines(&ops);
+        // Completeness direction: every oracle-undurable line is reported.
+        for line in expected {
+            prop_assert!(
+                reports.iter().any(|r| {
+                    r.kind == BugKind::NoDurabilityGuarantee
+                        && pmem_sim::line_base(r.addr.expect("range")) == line
+                }),
+                "line {line:#x} lost"
+            );
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Integration check of the full Table 6 reproduction.
+
+use pm_bugs::{clean_traces, corpus, detects, evaluate, Tool, CASE_COUNTS, TOTAL_CASES};
+use pm_trace::BugKind;
+
+#[test]
+fn table6_detection_matrix_matches_paper() {
+    let evaluation = evaluate(&[]);
+
+    // Table 6 per-tool totals and type counts.
+    let expect = [
+        (Tool::Pmemcheck, 55, 4),
+        (Tool::Pmtest, 61, 5),
+        (Tool::Xfdetector, 65, 6),
+        (Tool::Pmdebugger, TOTAL_CASES, 10),
+    ];
+    for (tool, total, types) in expect {
+        let result = evaluation.tool(tool);
+        assert_eq!(result.detected_total, total, "{tool} total");
+        assert_eq!(result.types_detected(), types, "{tool} types");
+    }
+}
+
+#[test]
+fn per_type_support_matches_table6_checkmarks() {
+    let evaluation = evaluate(&[]);
+    // (kind, pmemcheck, pmtest, xfdetector) — PMDebugger detects all.
+    let marks = [
+        (BugKind::NoDurabilityGuarantee, true, true, true),
+        (BugKind::MultipleOverwrites, true, true, true),
+        (BugKind::NoOrderGuarantee, false, true, true),
+        (BugKind::RedundantFlushes, true, true, true),
+        (BugKind::FlushNothing, true, false, false),
+        (BugKind::RedundantLogging, false, true, true),
+        (BugKind::LackDurabilityInEpoch, false, false, false),
+        (BugKind::RedundantEpochFence, false, false, false),
+        (BugKind::LackOrderingInStrands, false, false, false),
+        (BugKind::CrossFailureSemantic, false, false, true),
+    ];
+    for (kind, pmc, pmt, xf) in marks {
+        let count = CASE_COUNTS
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, n)| *n)
+            .unwrap();
+        let check = |tool: Tool, supported: bool| {
+            let detected = evaluation.tool(tool).detected_by_kind[&kind];
+            if supported {
+                assert_eq!(detected, count, "{tool} on {kind}");
+            } else {
+                assert_eq!(detected, 0, "{tool} on {kind}");
+            }
+        };
+        check(Tool::Pmemcheck, pmc);
+        check(Tool::Pmtest, pmt);
+        check(Tool::Xfdetector, xf);
+        assert_eq!(
+            evaluation.tool(Tool::Pmdebugger).detected_by_kind[&kind],
+            count,
+            "PMDebugger on {kind}"
+        );
+    }
+}
+
+#[test]
+fn clean_workloads_produce_no_false_positives_anywhere() {
+    let clean = clean_traces(150);
+    let evaluation = evaluate(&clean);
+    for tool in Tool::ALL {
+        assert_eq!(
+            evaluation.tool(tool).false_positives,
+            0,
+            "{tool} false positives"
+        );
+    }
+}
+
+#[test]
+fn every_case_description_names_its_defect() {
+    for case in corpus() {
+        assert!(!case.description.is_empty(), "{}", case.id);
+        assert!(
+            detects(Tool::Pmdebugger, &case),
+            "PMDebugger must detect {}",
+            case.id
+        );
+    }
+}
