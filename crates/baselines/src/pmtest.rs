@@ -161,9 +161,10 @@ impl Detector for PmtestLike {
             PmEvent::Store { addr, size, .. } => {
                 let size = u64::from(*size);
                 if self.in_checker {
-                    let overlap = self.checker_stores.iter().any(|(sa, sl)| {
-                        pm_trace::events::ranges_overlap(*sa, *sl, *addr, size)
-                    });
+                    let overlap = self
+                        .checker_stores
+                        .iter()
+                        .any(|(sa, sl)| pm_trace::events::ranges_overlap(*sa, *sl, *addr, size));
                     if overlap {
                         self.reports.push(
                             BugReport::new(
@@ -231,9 +232,7 @@ impl Detector for PmtestLike {
                     }
                 }
             }
-            PmEvent::TxLog {
-                obj_addr, size, ..
-            } => {
+            PmEvent::TxLog { obj_addr, size, .. } => {
                 let size = u64::from(*size);
                 for (la, ll, logged) in self.tracked_logs.iter_mut() {
                     if pm_trace::events::ranges_overlap(*la, *ll, *obj_addr, size) {
@@ -342,8 +341,8 @@ mod tests {
     #[test]
     fn ordered_assertion_detects_reversal() {
         let events = vec![
-            store(0),   // first
-            store(64),  // second
+            store(0),  // first
+            store(64), // second
             flush(64),
             fence(), // second durable first
             flush(0),

@@ -358,7 +358,8 @@ mod tests {
         let mut spec = OrderSpec::new();
         spec.add_rule("a", "b", None);
         let mut det = XfdetectorLike::new(spec);
-        let events = [PmEvent::NameRange {
+        let events = [
+            PmEvent::NameRange {
                 name: "a".into(),
                 addr: 0,
                 size: 8,
@@ -373,7 +374,8 @@ mod tests {
             flush(64),
             fence(),
             flush(0),
-            fence()];
+            fence(),
+        ];
         for (seq, e) in events.iter().enumerate() {
             det.on_event(seq as u64, e);
         }
@@ -462,8 +464,6 @@ mod tests {
         ];
         let r = run(events);
         assert!(!r.iter().any(|b| b.kind == BugKind::RedundantEpochFence));
-        assert!(!r
-            .iter()
-            .any(|b| b.kind == BugKind::LackDurabilityInEpoch));
+        assert!(!r.iter().any(|b| b.kind == BugKind::LackDurabilityInEpoch));
     }
 }

@@ -55,13 +55,16 @@ fn pmemcheck_tree_insert_count_equals_store_count() {
     let stores = trace.stats().stores;
     let mut det = PmemcheckLike::new();
     replay(&trace, &mut det);
-    assert!(det.tree_stats().inserts >= stores, "every store hits the tree");
+    assert!(
+        det.tree_stats().inserts >= stores,
+        "every store hits the tree"
+    );
 }
 
 #[test]
 fn capped_xfdetector_never_reports_more_than_uncapped() {
     for cap in [0u64, 1, 5, 50] {
-        let trace = pm_workloads::faults::memcached_cas_bug_trace(100);
+        let trace = pm_workloads::faults::memcached_cas_bug_trace(100).unwrap();
         let mut capped = XfdetectorLike::new(OrderSpec::new()).with_max_failure_points(cap);
         let capped_reports = replay_finish(&trace, &mut capped).len();
         let mut full = XfdetectorLike::new(OrderSpec::new());

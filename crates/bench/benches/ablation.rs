@@ -50,7 +50,10 @@ fn main() {
 
     println!("\n(1) hybrid array+tree vs tree-only (array capacity 1)");
     let mut table = TextTable::new(vec![
-        "benchmark", "hybrid ms", "tree-only ms", "hybrid/tree-only",
+        "benchmark",
+        "hybrid ms",
+        "tree-only ms",
+        "hybrid/tree-only",
     ]);
     for workload in &workloads {
         let trace = record_trace(workload.as_ref(), ops);

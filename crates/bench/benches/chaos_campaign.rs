@@ -1,0 +1,69 @@
+//! Criterion benchmarks for the torture-campaign engine: crash-point sweep
+//! throughput over a recorded workload trace, and perturbation-oracle
+//! throughput (enumerate + fingerprint + detector differential).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pm_chaos::{apply, perturbations, semantic_fingerprint, Budget, Campaign};
+use pm_workloads::faults;
+use pmdebugger::PersistencyModel;
+
+fn campaign_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chaos_campaign");
+
+    let trace = faults::memcached_cas_fixed_trace(30).unwrap();
+    let budget = Budget::default()
+        .with_crash_points(64)
+        .with_images_per_point(8);
+    group.bench_function("memcached_fixed_64_points", |b| {
+        b.iter_batched(
+            || Campaign::new(PersistencyModel::Strict).with_budget(budget.clone()),
+            |campaign| campaign.run("memcached", &trace).unwrap(),
+            BatchSize::SmallInput,
+        );
+    });
+
+    let buggy = faults::memcached_cas_bug_trace(30).unwrap();
+    group.bench_function("memcached_bug_64_points_with_minimization", |b| {
+        b.iter_batched(
+            || Campaign::new(PersistencyModel::Strict).with_budget(budget.clone()),
+            |campaign| campaign.run("memcached-bug", &buggy).unwrap(),
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.finish();
+}
+
+fn perturbation_oracle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("perturbation_oracle");
+
+    let trace = faults::memcached_cas_fixed_trace(12).unwrap();
+    group.bench_function("enumerate_and_fingerprint", |b| {
+        b.iter(|| {
+            let mut semantic = 0usize;
+            let base = semantic_fingerprint(&trace);
+            for p in perturbations(&trace) {
+                if let Some(mutated) = apply(&trace, &p) {
+                    if semantic_fingerprint(&mutated) != base {
+                        semantic += 1;
+                    }
+                }
+            }
+            semantic
+        });
+    });
+
+    let budget = Budget::default().with_perturbations(64);
+    group.bench_function("sensitivity_matrix_64", |b| {
+        b.iter(|| pm_chaos::sensitivity_matrix(&trace, PersistencyModel::Strict, &budget));
+    });
+
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = campaign_sweep, perturbation_oracle
+);
+criterion_main!(benches);

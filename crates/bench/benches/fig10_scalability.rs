@@ -17,7 +17,10 @@ use pmdebugger::{DebuggerConfig, PersistencyModel, PmDebugger};
 use std::time::Instant;
 
 fn main() {
-    banner("Figure 10 — memcached thread scalability", "Figure 10, Section 7.5");
+    banner(
+        "Figure 10 — memcached thread scalability",
+        "Figure 10, Section 7.5",
+    );
 
     let full = std::env::var_os("PM_BENCH_FULL").is_some();
     let ops_per_thread = if full { 40_000 } else { 10_000 };
@@ -25,7 +28,12 @@ fn main() {
     let repeats = 3;
 
     let mut table = TextTable::new(vec![
-        "threads", "events", "pmdebugger ms", "pmemcheck ms", "pmdebugger x", "pmemcheck x",
+        "threads",
+        "events",
+        "pmdebugger ms",
+        "pmemcheck ms",
+        "pmdebugger x",
+        "pmemcheck x",
     ]);
     let mut base: Option<(f64, f64)> = None; // per-event ns at 1 thread
 

@@ -11,7 +11,10 @@ use pm_trace::characterize::characterize;
 use pm_workloads::{record_trace, Memcached, Workload, Ycsb, YcsbLoad};
 
 fn main() {
-    banner("Figure 2 — PM program characterization", "Figure 2a/2b/2c, Section 3");
+    banner(
+        "Figure 2 — PM program characterization",
+        "Figure 2a/2b/2c, Section 3",
+    );
 
     let ops = if std::env::var_os("PM_BENCH_FULL").is_some() {
         20_000
@@ -35,7 +38,14 @@ fn main() {
     workloads.push(Box::new(Memcached::default().with_set_percent(5)));
 
     let mut dist = TextTable::new(vec![
-        "benchmark", "d=1 %", "d=2 %", "d=3 %", "d=4 %", "d=5 %", ">5 %", "cum<=3 %",
+        "benchmark",
+        "d=1 %",
+        "d=2 %",
+        "d=3 %",
+        "d=4 %",
+        "d=5 %",
+        ">5 %",
+        "cum<=3 %",
     ]);
     let mut wb = TextTable::new(vec!["benchmark", "collective %", "dispersed %"]);
     let mut mix = TextTable::new(vec!["benchmark", "store %", "writeback %", "fence %"]);

@@ -12,7 +12,9 @@
 //! instrumentation time is excluded.
 
 use pm_bench::{banner, slowdown, time_tool, TextTable, ToolKind};
-use pm_workloads::{BTree, CTree, HashmapAtomic, HashmapTx, Memcached, RTree, RbTree, Redis, SynthStrand, Workload};
+use pm_workloads::{
+    BTree, CTree, HashmapAtomic, HashmapTx, Memcached, RTree, RbTree, Redis, SynthStrand, Workload,
+};
 
 fn main() {
     banner(
@@ -48,7 +50,13 @@ fn main() {
     ];
 
     let mut table = TextTable::new(vec![
-        "benchmark", "ops", "nulgrind x", "pmdebugger x", "pmemcheck x", "speedup w/", "speedup w/o",
+        "benchmark",
+        "ops",
+        "nulgrind x",
+        "pmdebugger x",
+        "pmemcheck x",
+        "speedup w/",
+        "speedup w/o",
     ]);
     let mut speedups_with = Vec::new();
     let mut speedups_without = Vec::new();

@@ -21,8 +21,7 @@ use pm_baselines::{PmemcheckLike, PmtestLike, XfdetectorLike};
 use pm_bench::{banner, TextTable};
 use pm_trace::{replay_finish, BugKind, Detector, OrderSpec, Trace};
 use pm_workloads::faults::{
-    hashmap_atomic_redundant_fence_trace, memcached_cas_bug_trace,
-    pmdk_array_lack_durability_trace,
+    hashmap_atomic_redundant_fence_trace, memcached_cas_bug_trace, pmdk_array_lack_durability_trace,
 };
 use pmdebugger::{DebuggerConfig, PersistencyModel, PmDebugger};
 
@@ -33,20 +32,23 @@ fn detect(trace: &Trace, kind: BugKind, mut detector: Box<dyn Detector>) -> bool
 }
 
 fn main() {
-    banner("Section 7.4 — new bugs found by PMDebugger", "Figure 9, Section 7.4");
+    banner(
+        "Section 7.4 — new bugs found by PMDebugger",
+        "Figure 9, Section 7.4",
+    );
 
     let cases: Vec<(&str, BugKind, PersistencyModel, Trace)> = vec![
         (
             "memcached ITEM_set_cas (9a)",
             BugKind::NoDurabilityGuarantee,
             PersistencyModel::Strict,
-            memcached_cas_bug_trace(200),
+            memcached_cas_bug_trace(200).expect("trace-only"),
         ),
         (
             "hashmap_atomic create (9b)",
             BugKind::RedundantEpochFence,
             PersistencyModel::Epoch,
-            hashmap_atomic_redundant_fence_trace(200),
+            hashmap_atomic_redundant_fence_trace(200).expect("trace-only"),
         ),
         (
             "PMDK array do_alloc (9c)",
@@ -57,7 +59,11 @@ fn main() {
     ];
 
     let mut table = TextTable::new(vec![
-        "bug", "pmdebugger", "pmemcheck", "pmtest", "xfdetector*",
+        "bug",
+        "pmdebugger",
+        "pmemcheck",
+        "pmtest",
+        "xfdetector*",
     ]);
     for (name, kind, model, trace) in &cases {
         let pmd = detect(

@@ -40,14 +40,21 @@ fn main() {
     println!("\n(1) deferred-durability sweep (pattern 1: fraction of stores");
     println!("    NOT persisted by the nearest fence)");
     let mut table = TextTable::new(vec![
-        "deferred", "pmdebugger ms", "pmemcheck ms", "advantage",
+        "deferred",
+        "pmdebugger ms",
+        "pmemcheck ms",
+        "advantage",
     ]);
     for &deferred in &[0.0, 0.1, 0.3, 0.5, 0.8] {
         let mix = SynthMix::default().with_deferred(deferred);
         let trace = record_trace(&mix, ops);
         let t_pmd = time_detector(
             &trace,
-            &|| Box::new(PmDebugger::new(DebuggerConfig::for_model(PersistencyModel::Strict))),
+            &|| {
+                Box::new(PmDebugger::new(DebuggerConfig::for_model(
+                    PersistencyModel::Strict,
+                )))
+            },
             repeats,
         );
         let t_pmc = time_detector(&trace, &|| Box::new(PmemcheckLike::new()), repeats);
@@ -67,14 +74,23 @@ fn main() {
     println!("\n(2) dispersed-writeback sweep (pattern 2: fraction of CLF intervals");
     println!("    needing multiple writebacks)");
     let mut table = TextTable::new(vec![
-        "dispersed", "pmdebugger ms", "pmemcheck ms", "advantage",
+        "dispersed",
+        "pmdebugger ms",
+        "pmemcheck ms",
+        "advantage",
     ]);
     for &dispersed in &[0.0, 0.25, 0.5, 1.0] {
-        let mix = SynthMix::default().with_deferred(0.0).with_dispersed(dispersed);
+        let mix = SynthMix::default()
+            .with_deferred(0.0)
+            .with_dispersed(dispersed);
         let trace = record_trace(&mix, ops);
         let t_pmd = time_detector(
             &trace,
-            &|| Box::new(PmDebugger::new(DebuggerConfig::for_model(PersistencyModel::Strict))),
+            &|| {
+                Box::new(PmDebugger::new(DebuggerConfig::for_model(
+                    PersistencyModel::Strict,
+                )))
+            },
             repeats,
         );
         let t_pmc = time_detector(&trace, &|| Box::new(PmemcheckLike::new()), repeats);

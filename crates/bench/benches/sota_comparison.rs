@@ -10,7 +10,9 @@
 //! sessions) and its slowdown is reported at that size.
 
 use pm_bench::{banner, slowdown, time_tool, TextTable, ToolKind};
-use pm_workloads::{BTree, CTree, HashmapAtomic, HashmapTx, Memcached, RbTree, Redis, SynthStrand, Workload};
+use pm_workloads::{
+    BTree, CTree, HashmapAtomic, HashmapTx, Memcached, RbTree, Redis, SynthStrand, Workload,
+};
 
 fn main() {
     banner(
@@ -36,7 +38,11 @@ fn main() {
     ];
 
     let mut table = TextTable::new(vec![
-        "benchmark", "pmtest x", "pmdebugger x", "pmemcheck x", "xfdetector x*",
+        "benchmark",
+        "pmtest x",
+        "pmdebugger x",
+        "pmemcheck x",
+        "xfdetector x*",
     ]);
     let mut sums = [0.0f64; 4];
 

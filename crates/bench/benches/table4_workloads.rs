@@ -9,7 +9,10 @@ use pm_bench::{banner, TextTable};
 use pm_workloads::{all_benchmarks, record_trace, Ycsb, YcsbLoad};
 
 fn main() {
-    banner("Table 4 — PM programs for evaluation", "Table 4, Section 7.1");
+    banner(
+        "Table 4 — PM programs for evaluation",
+        "Table 4, Section 7.1",
+    );
 
     let ops = 1_000;
     let mut table = TextTable::new(vec![

@@ -246,7 +246,10 @@ fn redundant_logging_cases() -> Vec<BugCase> {
         let obj = HEAP + i as u64 * 4096;
         let duplicates = 1 + i % 2;
         let mut b = CaseBuilder::new();
-        b.annotate(Annotation::TrackLogging { addr: obj, size: 64 });
+        b.annotate(Annotation::TrackLogging {
+            addr: obj,
+            size: 64,
+        });
         b.epoch_begin();
         b.tx_log(obj, 64);
         for _ in 0..duplicates {

@@ -44,13 +44,15 @@ impl Tool {
 
     /// Instantiates the tool for one case (configured with the case's
     /// model and order specification where the tool accepts one).
-    pub fn instantiate(self, model: pmdebugger::PersistencyModel, spec: Option<&OrderSpec>) -> Box<dyn Detector> {
+    pub fn instantiate(
+        self,
+        model: pmdebugger::PersistencyModel,
+        spec: Option<&OrderSpec>,
+    ) -> Box<dyn Detector> {
         match self {
             Tool::Pmemcheck => Box::new(PmemcheckLike::new()),
             Tool::Pmtest => Box::new(PmtestLike::new()),
-            Tool::Xfdetector => Box::new(XfdetectorLike::new(
-                spec.cloned().unwrap_or_default(),
-            )),
+            Tool::Xfdetector => Box::new(XfdetectorLike::new(spec.cloned().unwrap_or_default())),
             Tool::Pmdebugger => {
                 let mut config = DebuggerConfig::for_model(model);
                 if let Some(spec) = spec {
@@ -139,7 +141,10 @@ pub fn evaluate(clean_traces: &[(String, pm_workloads::Model, Trace)]) -> Evalua
         }
         for case in &cases {
             if detects(tool, case) {
-                *result.detected_by_kind.get_mut(&case.kind).expect("kind present") += 1;
+                *result
+                    .detected_by_kind
+                    .get_mut(&case.kind)
+                    .expect("kind present") += 1;
                 result.detected_total += 1;
             } else {
                 result.missed.push(case.id.clone());
@@ -221,11 +226,7 @@ mod tests {
     fn pmdebugger_detects_full_corpus() {
         let evaluation = evaluate(&[]);
         let result = evaluation.tool(Tool::Pmdebugger);
-        assert_eq!(
-            result.detected_total, 78,
-            "missed: {:?}",
-            result.missed
-        );
+        assert_eq!(result.detected_total, 78, "missed: {:?}", result.missed);
         assert_eq!(result.types_detected(), 10);
         assert!(result.false_negative_rate().abs() < 1e-12);
     }
@@ -234,7 +235,11 @@ mod tests {
     fn baseline_totals_match_paper() {
         let evaluation = evaluate(&[]);
         let pmemcheck = evaluation.tool(Tool::Pmemcheck);
-        assert_eq!(pmemcheck.detected_total, 55, "missed: {:?}", pmemcheck.missed);
+        assert_eq!(
+            pmemcheck.detected_total, 55,
+            "missed: {:?}",
+            pmemcheck.missed
+        );
         assert_eq!(pmemcheck.types_detected(), 4);
 
         let pmtest = evaluation.tool(Tool::Pmtest);

@@ -45,7 +45,10 @@ fn xfdetector_budget_trades_coverage() {
         }
     }
     assert_eq!(full, cases.len(), "unlimited budget finds all");
-    assert!(capped < full, "a 1-point budget must miss some ({capped}/{full})");
+    assert!(
+        capped < full,
+        "a 1-point budget must miss some ({capped}/{full})"
+    );
 }
 
 #[test]

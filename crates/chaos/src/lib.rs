@@ -1,0 +1,43 @@
+//! Crash-point torture campaigns for the PMDebugger reproduction.
+//!
+//! The paper validates detectors against *known* bug injections (§7.4); this
+//! crate turns the question around and stress-tests both the detectors and
+//! the recovery story of every workload:
+//!
+//! * [`Campaign`] replays any [`pm_trace::Trace`] prefix into a simulated
+//!   [`pmem_sim::PmPool`], crashes at every fence/flush/store boundary
+//!   (exhaustively below a budget threshold, by deterministic seeded
+//!   sampling above it), enumerates the post-crash images the hardware
+//!   could produce, and runs per-workload recovery validators over each
+//!   image. Unrecoverable states come back with a minimized reproducing
+//!   trace prefix.
+//! * [`perturb`] mutates a clean trace one event at a time — dropped or
+//!   duplicated flushes and fences, reordered flush/fence pairs, torn
+//!   stores, swapped epoch markers — and cross-checks every injected fault
+//!   class against PMDebugger and the pmemcheck/PMTest/XFDetector baselines,
+//!   producing a [`SensitivityMatrix`].
+//! * Everything degrades gracefully: budgets ([`Budget`]) bound crash
+//!   points, images per point, replayed trace length, pool size and wall
+//!   clock, and exceeding any of them yields a partial report carrying
+//!   explicit [`Truncation`] markers instead of a panic.
+
+pub mod budget;
+pub mod error;
+pub mod perturb;
+pub mod replay;
+pub mod report;
+pub mod scheduler;
+pub mod validate;
+
+pub use budget::{Budget, Truncation};
+pub use error::ChaosError;
+pub use perturb::{
+    apply, perturbations, sensitivity_matrix, ClassRow, FaultClass, Perturbation, SensitivityMatrix,
+};
+pub use replay::ReplayContext;
+pub use report::{CampaignReport, UnrecoverableState};
+pub use scheduler::Campaign;
+pub use validate::{
+    semantic_fingerprint, EpochCommitValidator, Fingerprint, RecoveryValidator,
+    StrictOverwriteValidator, TxLogValidator, ValidatorSet, Violation,
+};

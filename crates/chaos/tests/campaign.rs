@@ -1,0 +1,176 @@
+//! Acceptance tests for the torture-campaign engine over the bug corpus's
+//! showcased workload variants (Figure 9): every buggy variant must score
+//! ≥ 1 issue (recovery bugs via crash-image validators, performance bugs
+//! via the detector differential), every fixed variant must score 0, and
+//! starving the budget must yield a partial report, not a panic.
+
+use std::time::Duration;
+
+use pm_chaos::{sensitivity_matrix, Budget, Campaign, Truncation};
+use pm_workloads::faults;
+use pmdebugger::PersistencyModel;
+
+fn quick_budget() -> Budget {
+    Budget::default()
+        .with_crash_points(96)
+        .with_images_per_point(8)
+}
+
+#[test]
+fn memcached_cas_bug_yields_unrecoverable_states() {
+    let trace = faults::memcached_cas_bug_trace(40).unwrap();
+    let report = Campaign::new(PersistencyModel::Strict)
+        .with_budget(quick_budget())
+        .run("memcached-cas-bug", &trace)
+        .unwrap();
+    assert!(
+        report
+            .unrecoverable
+            .iter()
+            .any(|s| s.validator == "strict-overwrite"),
+        "the unpersisted CAS id must surface as an unrecoverable state: {report:?}"
+    );
+    assert!(report.issues() >= 1);
+    // The first finding carries a minimized reproducing prefix.
+    let first = &report.unrecoverable[0];
+    let minimized = first.minimized_prefix.expect("first finding is minimized");
+    assert!(minimized <= first.boundary);
+    assert!(minimized > 0);
+}
+
+#[test]
+fn memcached_cas_fixed_is_issue_free() {
+    let trace = faults::memcached_cas_fixed_trace(40).unwrap();
+    let report = Campaign::new(PersistencyModel::Strict)
+        .with_budget(quick_budget())
+        .run("memcached-cas-fixed", &trace)
+        .unwrap();
+    assert_eq!(report.issues(), 0, "{report:?}");
+    assert!(report.unrecoverable.is_empty());
+}
+
+#[test]
+fn pmdk_array_bug_breaks_the_epoch_commit_contract() {
+    let trace = faults::pmdk_array_lack_durability_trace().unwrap();
+    let report = Campaign::new(PersistencyModel::Epoch)
+        .run("pmdk-array-bug", &trace)
+        .unwrap();
+    assert!(
+        report
+            .unrecoverable
+            .iter()
+            .any(|s| s.validator == "epoch-commit"),
+        "the unflushed info struct must surface: {report:?}"
+    );
+    assert!(report.issues() >= 1);
+    // Small trace: the sweep is exhaustive.
+    assert!(report.complete(), "{report:?}");
+}
+
+#[test]
+fn pmdk_array_fixed_is_issue_free() {
+    let trace = faults::pmdk_array_fixed_trace().unwrap();
+    let report = Campaign::new(PersistencyModel::Epoch)
+        .run("pmdk-array-fixed", &trace)
+        .unwrap();
+    assert_eq!(report.issues(), 0, "{report:?}");
+}
+
+#[test]
+fn redundant_fence_bug_is_a_detector_side_issue() {
+    // The Figure 9b fence is a performance bug: recovery is correct (no
+    // unrecoverable state), but the campaign still scores it via the
+    // detector differential.
+    let trace = faults::hashmap_atomic_redundant_fence_trace(20).unwrap();
+    let report = Campaign::new(PersistencyModel::Epoch)
+        .with_budget(quick_budget())
+        .run("hashmap-redundant-fence", &trace)
+        .unwrap();
+    assert!(report.unrecoverable.is_empty(), "{report:?}");
+    assert!(report.issues() >= 1, "{report:?}");
+
+    let fixed = faults::hashmap_atomic_fixed_trace(20).unwrap();
+    let fixed_report = Campaign::new(PersistencyModel::Epoch)
+        .with_budget(quick_budget())
+        .run("hashmap-fixed", &fixed)
+        .unwrap();
+    assert_eq!(fixed_report.issues(), 0, "{fixed_report:?}");
+}
+
+#[test]
+fn campaign_report_serializes_to_json() {
+    let trace = faults::memcached_cas_bug_trace(10).unwrap();
+    let report = Campaign::new(PersistencyModel::Strict)
+        .with_budget(quick_budget())
+        .run("memcached-cas-bug", &trace)
+        .unwrap();
+    let json = report.to_json();
+    assert!(json.contains("\"workload\":\"memcached-cas-bug\""));
+    assert!(json.contains("\"unrecoverable\":["));
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+}
+
+#[test]
+fn starved_budget_returns_partial_report_not_panic() {
+    let trace = faults::memcached_cas_bug_trace(40).unwrap();
+    let budget = quick_budget().with_wall_clock(Duration::ZERO);
+    let report = Campaign::new(PersistencyModel::Strict)
+        .with_budget(budget)
+        .run("starved", &trace)
+        .unwrap();
+    assert!(!report.complete());
+    assert!(report
+        .truncations
+        .iter()
+        .any(|t| matches!(t, Truncation::WallClockExpired { .. })));
+    // The detector differential still ran, so the bug is still visible.
+    assert!(report.issues() >= 1);
+}
+
+#[test]
+fn crash_point_sampling_kicks_in_on_long_traces() {
+    let trace = faults::memcached_cas_fixed_trace(40).unwrap();
+    let budget = Budget::default()
+        .with_crash_points(16)
+        .with_images_per_point(4);
+    let report = Campaign::new(PersistencyModel::Strict)
+        .with_budget(budget)
+        .run("sampled", &trace)
+        .unwrap();
+    assert!(report.boundaries_tested <= 16);
+    assert!(report
+        .truncations
+        .iter()
+        .any(|t| matches!(t, Truncation::CrashPointsSampled { .. })));
+    // Sampling must not invent issues on the fixed variant.
+    assert_eq!(report.issues(), 0, "{report:?}");
+}
+
+#[test]
+fn sensitivity_matrix_covers_the_fault_classes() {
+    let trace = faults::memcached_cas_fixed_trace(12).unwrap();
+    let budget = Budget::default();
+    let matrix = sensitivity_matrix(&trace, PersistencyModel::Strict, &budget);
+
+    let drop_flush = &matrix.rows["drop-flush"];
+    assert!(drop_flush.injected > 0);
+    assert!(
+        drop_flush.detected.get("pmdebugger").copied().unwrap_or(0) > 0,
+        "dropped flushes must be caught: {matrix:?}"
+    );
+    let tear = &matrix.rows["tear-store"];
+    assert!(tear.injected > 0);
+    for class in [
+        "drop-fence",
+        "duplicate-flush",
+        "duplicate-fence",
+        "reorder-flush-fence",
+    ] {
+        assert!(matrix.rows[class].injected > 0, "{class} never injected");
+    }
+
+    let json = matrix.to_json();
+    assert!(json.contains("\"rows\""));
+    assert!(json.contains("\"drop-flush\""));
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+}

@@ -52,6 +52,26 @@ pub enum Command {
         /// Optional order-spec file.
         order: Option<String>,
     },
+    /// `pmdbg chaos --workload <name> [--ops <n>] [--points <n>]
+    /// [--images <n>] [--budget-ms <n>] [--matrix] [--json]` — run a
+    /// crash-point torture campaign (and optionally the perturbation
+    /// sensitivity matrix) over a recorded workload trace.
+    Chaos {
+        /// Workload name.
+        workload: String,
+        /// Operation count.
+        ops: usize,
+        /// Crash-point budget (sampled above this).
+        points: usize,
+        /// Post-crash images per crash point.
+        images: usize,
+        /// Optional wall-clock budget in milliseconds.
+        budget_ms: Option<u64>,
+        /// Also compute the perturbation sensitivity matrix.
+        matrix: bool,
+        /// Emit JSON instead of the human summary.
+        json: bool,
+    },
     /// `pmdbg characterize --workload <name> --ops <n>` — Figure 2 stats.
     Characterize {
         /// Workload name.
@@ -85,6 +105,8 @@ USAGE:
   pmdbg run --workload <name> [--ops <n>] [--tool <name>] [--order <file>]
   pmdbg record --workload <name> [--ops <n>] --out <file>
   pmdbg replay --trace <file> [--tool <name>] [--model strict|epoch|strand]
+  pmdbg chaos --workload <name> [--ops <n>] [--points <n>] [--images <n>]
+              [--budget-ms <n>] [--matrix] [--json]
   pmdbg characterize --workload <name> [--ops <n>]
   pmdbg corpus
   pmdbg list
@@ -123,8 +145,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                     other => return Err(UsageError(format!("unknown flag `{other}`"))),
                 }
             }
-            let workload =
-                workload.ok_or_else(|| UsageError("--workload is required".into()))?;
+            let workload = workload.ok_or_else(|| UsageError("--workload is required".into()))?;
             if sub == "run" {
                 Ok(Command::Run {
                     workload,
@@ -187,6 +208,45 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                 tool,
                 model,
                 order,
+            })
+        }
+        "chaos" => {
+            let mut workload: Option<String> = None;
+            let mut ops = 256usize;
+            let mut points = 256usize;
+            let mut images = 16usize;
+            let mut budget_ms: Option<u64> = None;
+            let mut matrix = false;
+            let mut json = false;
+            while let Some(flag) = it.next() {
+                let mut value = |name: &str| {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| UsageError(format!("missing value for {name}")))
+                };
+                let number = |name: &str, text: String| {
+                    text.parse::<usize>()
+                        .map_err(|_| UsageError(format!("{name} expects a number")))
+                };
+                match flag.as_str() {
+                    "--workload" | "-w" => workload = Some(value(flag)?),
+                    "--ops" | "-n" => ops = number(flag, value(flag)?)?,
+                    "--points" => points = number(flag, value(flag)?)?,
+                    "--images" => images = number(flag, value(flag)?)?,
+                    "--budget-ms" => budget_ms = Some(number(flag, value(flag)?)? as u64),
+                    "--matrix" => matrix = true,
+                    "--json" => json = true,
+                    other => return Err(UsageError(format!("unknown flag `{other}`"))),
+                }
+            }
+            Ok(Command::Chaos {
+                workload: workload.ok_or_else(|| UsageError("--workload is required".into()))?,
+                ops,
+                points,
+                images,
+                budget_ms,
+                matrix,
+                json,
             })
         }
         "corpus" => Ok(Command::Corpus),
@@ -256,20 +316,109 @@ pub fn execute(command: Command, out: &mut dyn fmt::Write) -> Result<(), String>
         Command::List => {
             writeln!(out, "workloads:").map_err(|e| e.to_string())?;
             for workload in pm_workloads::all_benchmarks() {
-                writeln!(out, "  {:<16} ({})", workload.name(), workload.model().name())
-                    .map_err(|e| e.to_string())?;
+                writeln!(
+                    out,
+                    "  {:<16} ({})",
+                    workload.name(),
+                    workload.model().name()
+                )
+                .map_err(|e| e.to_string())?;
             }
             for load in pm_workloads::YcsbLoad::ALL {
                 writeln!(out, "  {:<16} (strict)", load.label()).map_err(|e| e.to_string())?;
             }
-            writeln!(out, "tools: pmdebugger pmemcheck pmtest xfdetector nulgrind")
-                .map_err(|e| e.to_string())?;
+            writeln!(
+                out,
+                "tools: pmdebugger pmemcheck pmtest xfdetector nulgrind"
+            )
+            .map_err(|e| e.to_string())?;
             Ok(())
         }
         Command::Corpus => {
             let clean = pm_bugs::clean_traces(100);
             let evaluation = pm_bugs::evaluate(&clean);
             write!(out, "{}", pm_bugs::render_table6(&evaluation)).map_err(|e| e.to_string())?;
+            Ok(())
+        }
+        Command::Chaos {
+            workload,
+            ops,
+            points,
+            images,
+            budget_ms,
+            matrix,
+            json,
+        } => {
+            let workload = workload_by_name(&workload)
+                .ok_or_else(|| format!("unknown workload `{workload}` (try `pmdbg list`)"))?;
+            let trace = pm_workloads::record_trace(workload.as_ref(), ops);
+            let model = persistency(workload.model());
+            let mut budget = pm_chaos::Budget::default()
+                .with_crash_points(points)
+                .with_images_per_point(images);
+            if let Some(ms) = budget_ms {
+                budget = budget.with_wall_clock(std::time::Duration::from_millis(ms));
+            }
+            let report = pm_chaos::Campaign::new(model)
+                .with_budget(budget.clone())
+                .run(workload.name(), &trace)
+                .map_err(|e| format!("campaign failed: {e}"))?;
+            if json {
+                writeln!(out, "{}", report.to_json()).map_err(|e| e.to_string())?;
+            } else {
+                writeln!(
+                    out,
+                    "{} x{}: {} crash points ({} tested), {} images, {} issue(s) in {} ms",
+                    workload.name(),
+                    ops,
+                    report.boundaries_total,
+                    report.boundaries_tested,
+                    report.images_tested,
+                    report.issues(),
+                    report.wall_ms
+                )
+                .map_err(|e| e.to_string())?;
+                for state in &report.unrecoverable {
+                    writeln!(
+                        out,
+                        "  unrecoverable [{}] addr={:#x} size={} at boundary {}{}: {}",
+                        state.validator,
+                        state.addr,
+                        state.size,
+                        state.boundary,
+                        match state.minimized_prefix {
+                            Some(p) => format!(" (minimized to {p})"),
+                            None => String::new(),
+                        },
+                        state.detail
+                    )
+                    .map_err(|e| e.to_string())?;
+                }
+                for (kind, count) in &report.detector_findings {
+                    writeln!(out, "  detector {kind}: {count}").map_err(|e| e.to_string())?;
+                }
+                for truncation in &report.truncations {
+                    writeln!(out, "  truncated: {truncation}").map_err(|e| e.to_string())?;
+                }
+                if report.complete() && report.issues() == 0 {
+                    writeln!(out, "  no issues; sweep exhaustive").map_err(|e| e.to_string())?;
+                }
+            }
+            if matrix {
+                let sensitivity = pm_chaos::sensitivity_matrix(&trace, model, &budget);
+                if json {
+                    writeln!(out, "{}", sensitivity.to_json()).map_err(|e| e.to_string())?;
+                } else {
+                    for (class, row) in &sensitivity.rows {
+                        writeln!(
+                            out,
+                            "  {class}: injected={} benign={} detected={:?}",
+                            row.injected, row.benign, row.detected
+                        )
+                        .map_err(|e| e.to_string())?;
+                    }
+                }
+            }
             Ok(())
         }
         Command::Characterize { workload, ops } => {
@@ -306,7 +455,11 @@ pub fn execute(command: Command, out: &mut dyn fmt::Write) -> Result<(), String>
             .map_err(|e| e.to_string())?;
             Ok(())
         }
-        Command::Record { workload, ops, out: path } => {
+        Command::Record {
+            workload,
+            ops,
+            out: path,
+        } => {
             let workload = workload_by_name(&workload)
                 .ok_or_else(|| format!("unknown workload `{workload}` (try `pmdbg list`)"))?;
             let trace = pm_workloads::record_trace(workload.as_ref(), ops);
@@ -328,8 +481,8 @@ pub fn execute(command: Command, out: &mut dyn fmt::Write) -> Result<(), String>
             model,
             order,
         } => {
-            let text = std::fs::read_to_string(&path)
-                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            let text =
+                std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
             let trace = pm_trace::from_text(&text).map_err(|e| e.to_string())?;
             let model = match model.as_str() {
                 "strict" => PersistencyModel::Strict,
@@ -438,7 +591,15 @@ mod tests {
     #[test]
     fn parses_all_flags() {
         let cmd = parse(&args(&[
-            "run", "-w", "redis", "-n", "50", "-t", "pmemcheck", "-o", "/tmp/x",
+            "run",
+            "-w",
+            "redis",
+            "-n",
+            "50",
+            "-t",
+            "pmemcheck",
+            "-o",
+            "/tmp/x",
         ]))
         .unwrap();
         assert_eq!(
@@ -487,7 +648,13 @@ mod tests {
 
     #[test]
     fn tool_lookup_covers_all_five() {
-        for name in ["pmdebugger", "pmemcheck", "pmtest", "xfdetector", "nulgrind"] {
+        for name in [
+            "pmdebugger",
+            "pmemcheck",
+            "pmtest",
+            "xfdetector",
+            "nulgrind",
+        ] {
             assert!(tool_by_name(name, PersistencyModel::Epoch, None).is_some());
         }
         assert!(tool_by_name("gdb", PersistencyModel::Epoch, None).is_none());
@@ -535,7 +702,13 @@ mod tests {
     #[test]
     fn parses_record_and_replay() {
         let cmd = parse(&args(&[
-            "record", "--workload", "c_tree", "--ops", "10", "--out", "/tmp/t",
+            "record",
+            "--workload",
+            "c_tree",
+            "--ops",
+            "10",
+            "--out",
+            "/tmp/t",
         ]))
         .unwrap();
         assert_eq!(
@@ -556,7 +729,10 @@ mod tests {
                 order: None,
             }
         );
-        assert!(parse(&args(&["record", "--workload", "x"])).is_err(), "--out required");
+        assert!(
+            parse(&args(&["record", "--workload", "x"])).is_err(),
+            "--out required"
+        );
         assert!(parse(&args(&["replay"])).is_err(), "--trace required");
     }
 
@@ -603,6 +779,100 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.contains("cannot read"));
+    }
+
+    #[test]
+    fn parses_chaos_with_defaults() {
+        let cmd = parse(&args(&["chaos", "--workload", "hashmap_atomic"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Chaos {
+                workload: "hashmap_atomic".into(),
+                ops: 256,
+                points: 256,
+                images: 16,
+                budget_ms: None,
+                matrix: false,
+                json: false,
+            }
+        );
+    }
+
+    #[test]
+    fn parses_chaos_with_all_flags() {
+        let cmd = parse(&args(&[
+            "chaos",
+            "--workload",
+            "memcached",
+            "--ops",
+            "32",
+            "--points",
+            "64",
+            "--images",
+            "8",
+            "--budget-ms",
+            "500",
+            "--matrix",
+            "--json",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Chaos {
+                workload: "memcached".into(),
+                ops: 32,
+                points: 64,
+                images: 8,
+                budget_ms: Some(500),
+                matrix: true,
+                json: true,
+            }
+        );
+        assert!(parse(&args(&["chaos"])).is_err());
+        assert!(parse(&args(&["chaos", "--workload", "x", "--points", "y"])).is_err());
+    }
+
+    #[test]
+    fn chaos_campaign_runs_and_summarizes() {
+        let mut out = String::new();
+        execute(
+            Command::Chaos {
+                workload: "hashmap_atomic".into(),
+                ops: 16,
+                points: 48,
+                images: 4,
+                budget_ms: None,
+                matrix: false,
+                json: false,
+            },
+            &mut out,
+        )
+        .unwrap();
+        assert!(out.contains("crash points"), "{out}");
+        assert!(out.contains("issue(s)"), "{out}");
+    }
+
+    #[test]
+    fn chaos_json_and_matrix_emit_json() {
+        let mut out = String::new();
+        execute(
+            Command::Chaos {
+                workload: "hashmap_atomic".into(),
+                ops: 8,
+                points: 24,
+                images: 4,
+                budget_ms: None,
+                matrix: true,
+                json: true,
+            },
+            &mut out,
+        )
+        .unwrap();
+        let mut lines = out.lines();
+        let report = lines.next().unwrap();
+        let matrix = lines.next().unwrap();
+        assert!(report.starts_with('{') && report.contains("\"workload\":\"hashmap_atomic\""));
+        assert!(matrix.starts_with('{') && matrix.contains("\"rows\""));
     }
 
     #[test]

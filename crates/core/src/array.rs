@@ -65,7 +65,10 @@ impl MemLocArray {
     ///
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
-        assert!(capacity > 0, "memory location array capacity must be positive");
+        assert!(
+            capacity > 0,
+            "memory location array capacity must be positive"
+        );
         MemLocArray {
             entries: Vec::with_capacity(capacity.min(4096)),
             capacity,

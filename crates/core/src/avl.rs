@@ -212,7 +212,13 @@ impl AvlTree {
         node.update();
         let bf = node.balance_factor();
         if bf > 1 {
-            if node.left.as_ref().expect("bf > 1 implies left").balance_factor() < 0 {
+            if node
+                .left
+                .as_ref()
+                .expect("bf > 1 implies left")
+                .balance_factor()
+                < 0
+            {
                 node.left = Some(Self::rotate_left(node.left.take().expect("checked")));
                 *rotations += 1;
             }
@@ -390,7 +396,8 @@ impl AvlTree {
         if self.flushed_len == 0 {
             return 0;
         }
-        self.drain_matching(|r| r.state == FlushState::Flushed).len()
+        self.drain_matching(|r| r.state == FlushState::Flushed)
+            .len()
     }
 
     /// Clears the epoch flag on every record, skipping the rebuild when no

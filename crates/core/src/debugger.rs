@@ -102,6 +102,9 @@ pub struct PmDebugger {
     crash_residuals: Option<Vec<(Addr, u64)>>,
     events_processed: u64,
     strand_seen: bool,
+    /// Structurally invalid events tolerated during the run (e.g. a persist
+    /// barrier outside any strand in a perturbed stream).
+    malformed_events: u64,
 }
 
 impl std::fmt::Debug for PmDebugger {
@@ -129,7 +132,15 @@ impl PmDebugger {
             crash_residuals: None,
             events_processed: 0,
             strand_seen: false,
+            malformed_events: 0,
         }
+    }
+
+    /// Number of structurally invalid events tolerated so far. Non-zero on
+    /// malformed (e.g. fault-injected) streams; the debugger keeps running
+    /// and reporting rather than aborting on them.
+    pub fn malformed_events(&self) -> u64 {
+        self.malformed_events
     }
 
     /// Debugger with paper defaults for strict persistency.
@@ -203,8 +214,8 @@ impl PmDebugger {
         strand: Option<StrandId>,
         in_epoch: bool,
     ) {
-        let check = self.config.rules.multiple_overwrites
-            && self.config.model == PersistencyModel::Strict;
+        let check =
+            self.config.rules.multiple_overwrites && self.config.model == PersistencyModel::Strict;
         let outcome = self
             .space_for(tid, strand)
             .on_store(addr, size, in_epoch, seq, check);
@@ -416,10 +427,13 @@ impl Detector for PmDebugger {
                 strand,
                 in_epoch,
             } => {
-                debug_assert!(
-                    *kind != FenceKind::PersistBarrier || strand.is_some() || !self.strand_seen,
-                    "persist barriers belong inside strands"
-                );
+                // A persist barrier outside any strand is a malformed stream
+                // (e.g. a perturbed torture trace); tolerate it — counting it
+                // for diagnostics — rather than asserting, so adversarial
+                // inputs degrade gracefully.
+                if *kind == FenceKind::PersistBarrier && strand.is_none() && self.strand_seen {
+                    self.malformed_events += 1;
+                }
                 self.handle_fence(seq, *tid, *strand, *in_epoch);
             }
             PmEvent::EpochBegin { tid } => {
@@ -571,10 +585,7 @@ mod tests {
 
     #[test]
     fn clean_program_yields_no_reports() {
-        let reports = run(
-            vec![store(0, 8), flush(0), fence()],
-            PmDebugger::strict(),
-        );
+        let reports = run(vec![store(0, 8), flush(0), fence()], PmDebugger::strict());
         assert!(reports.is_empty(), "unexpected: {reports:?}");
     }
 
@@ -632,8 +643,7 @@ mod tests {
     fn order_violation_detected_via_spec() {
         let mut spec = pm_trace::OrderSpec::new();
         spec.add_rule("value", "key", None);
-        let config =
-            DebuggerConfig::for_model(PersistencyModel::Strict).with_order_spec(spec);
+        let config = DebuggerConfig::for_model(PersistencyModel::Strict).with_order_spec(spec);
         let events = vec![
             PmEvent::NameRange {
                 name: "value".into(),
@@ -887,10 +897,10 @@ mod tests {
         let events = vec![
             store(0, 8),
             flush(0),
-            fence(), // durable
+            fence(),      // durable
             store(64, 8), // volatile at crash
             PmEvent::Crash,
-            PmEvent::RecoveryRead { addr: 0, size: 8 },  // fine
+            PmEvent::RecoveryRead { addr: 0, size: 8 }, // fine
             PmEvent::RecoveryRead { addr: 64, size: 8 }, // inconsistent
         ];
         let reports = run(events, PmDebugger::strict());
@@ -932,10 +942,7 @@ mod tests {
             fences: 0,
             budget: 1,
         }));
-        let reports = run(
-            vec![store(0, 8), flush(0), fence(), fence()],
-            debugger,
-        );
+        let reports = run(vec![store(0, 8), flush(0), fence(), fence()], debugger);
         assert!(reports.iter().any(|r| r.message.contains("fence budget")));
     }
 

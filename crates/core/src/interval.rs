@@ -66,7 +66,9 @@ impl IntervalMeta {
     /// address range.
     #[inline]
     pub fn covered_by(&self, addr: Addr, len: u64) -> bool {
-        addr <= self.min_addr && self.min_addr < self.max_end && self.max_end <= addr.saturating_add(len)
+        addr <= self.min_addr
+            && self.min_addr < self.max_end
+            && self.max_end <= addr.saturating_add(len)
     }
 
     /// Returns `true` when `[addr, addr+len)` overlaps the interval's

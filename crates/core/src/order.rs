@@ -137,7 +137,9 @@ impl OrderTracker {
             let Some(second) = self.vars.get(&rule.second) else {
                 continue;
             };
-            let Some((sa, sl)) = second.range else { continue };
+            let Some((sa, sl)) = second.range else {
+                continue;
+            };
             if !pm_trace::events::ranges_overlap(sa, sl, addr, len) {
                 continue;
             }

@@ -260,7 +260,9 @@ mod tests {
         let reports = run_with_rule(events.clone(), Box::new(EpochSizeRule::new(3)));
         assert!(reports.iter().any(|r| r.message.contains("stores 5")));
         let reports = run_with_rule(events, Box::new(EpochSizeRule::new(5)));
-        assert!(!reports.iter().any(|r| r.message.contains("consider splitting")));
+        assert!(!reports
+            .iter()
+            .any(|r| r.message.contains("consider splitting")));
     }
 
     #[test]

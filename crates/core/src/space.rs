@@ -261,7 +261,8 @@ impl BookkeepingSpace {
                     }
                     IntervalState::PartiallyFlushed => {
                         // Elements carry their own states; settle individually.
-                        let (newly, already) = self.flush_elements(meta.start, meta.end, addr, size);
+                        let (newly, already) =
+                            self.flush_elements(meta.start, meta.end, addr, size);
                         outcome.newly_flushed += newly;
                         outcome.already_flushed += already;
                         self.intervals.intervals_mut()[i].state = IntervalState::AllFlushed;
@@ -280,7 +281,8 @@ impl BookkeepingSpace {
                         outcome.already_flushed += hits;
                     }
                     _ => {
-                        let (newly, already) = self.flush_elements(meta.start, meta.end, addr, size);
+                        let (newly, already) =
+                            self.flush_elements(meta.start, meta.end, addr, size);
                         outcome.newly_flushed += newly;
                         outcome.already_flushed += already;
                         if newly + already > 0 {

@@ -95,7 +95,10 @@ impl PmAllocator {
     ///
     /// Returns [`PmemError::InvalidObject`] if `id` is not live.
     pub fn free(&mut self, id: ObjectId) -> Result<(), PmemError> {
-        let block = self.live.remove(&id).ok_or(PmemError::InvalidObject(id.0))?;
+        let block = self
+            .live
+            .remove(&id)
+            .ok_or(PmemError::InvalidObject(id.0))?;
         // Insert sorted by offset, then coalesce neighbours.
         let pos = self
             .free

@@ -98,12 +98,8 @@ impl CacheModel {
     /// Returns `true` if every line overlapping `[addr, addr + len)` is
     /// persisted (or was never stored to).
     pub fn range_persisted(&self, addr: u64, len: usize) -> bool {
-        crate::cacheline::lines_covering(addr, len).all(|base| {
-            matches!(
-                self.lines.get(&base),
-                None | Some(LineState::Persisted)
-            )
-        })
+        crate::cacheline::lines_covering(addr, len)
+            .all(|base| matches!(self.lines.get(&base), None | Some(LineState::Persisted)))
     }
 
     /// Iterates over `(line_base, state)` pairs for all tracked lines.

@@ -9,6 +9,11 @@
 
 use crate::pool::PmPool;
 
+/// Maximum number of pending lines a [`CrashPolicy::Subset`] bitmask can
+/// address. Lines beyond this bound never survive a simulated crash; an
+/// enumeration over such a pool is reported as truncated.
+pub const SUBSET_LINE_BOUND: usize = 63;
+
 /// Policy selecting which pending lines survive a simulated crash.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CrashPolicy {
@@ -28,6 +33,38 @@ pub struct CrashImage {
     pub image: Vec<u8>,
     /// Base addresses of the pending lines that survived.
     pub survivors: Vec<u64>,
+}
+
+/// Result of [`CrashImage::enumerate`]: the distinct images produced plus an
+/// explicit marker for whether the walk covered the full image space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrashEnumeration {
+    /// Distinct crash images, deduplicated by survivor set.
+    pub images: Vec<CrashImage>,
+    /// True when the enumeration is incomplete — either the caller's `limit`
+    /// was reached or the pool had more than [`SUBSET_LINE_BOUND`] pending
+    /// lines, which a 64-bit subset mask cannot address.
+    pub truncated: bool,
+}
+
+impl CrashEnumeration {
+    /// Number of distinct images produced.
+    pub fn len(&self) -> usize {
+        self.images.len()
+    }
+
+    /// Whether no image was produced at all.
+    pub fn is_empty(&self) -> bool {
+        self.images.is_empty()
+    }
+}
+
+impl IntoIterator for CrashEnumeration {
+    type Item = CrashImage;
+    type IntoIter = std::vec::IntoIter<CrashImage>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.images.into_iter()
+    }
 }
 
 impl CrashImage {
@@ -50,24 +87,45 @@ impl CrashImage {
         }
     }
 
-    /// Enumerates every distinct crash image of `pool`, up to `limit` images.
+    /// Enumerates distinct crash images of `pool`, up to `limit` images,
+    /// deduplicated by survivor set.
     ///
-    /// With `n` pending lines there are `2^n` images; callers bound the walk
-    /// with `limit` (the paper's XFDetector similarly restricts the number of
-    /// instrumented failure points to stay tractable).
-    pub fn enumerate(pool: &PmPool, limit: usize) -> Vec<CrashImage> {
+    /// With `n` pending lines there are `2^n` possible images; callers bound
+    /// the walk with `limit` (the paper's XFDetector similarly restricts the
+    /// number of instrumented failure points to stay tractable). Because
+    /// [`CrashPolicy::Subset`] encodes survivors in a 64-bit mask, at most
+    /// the first [`SUBSET_LINE_BOUND`] pending lines (in address order) can
+    /// ever survive; pools with more pending lines are enumerable only over
+    /// that prefix. Both forms of incompleteness — hitting `limit` and
+    /// exceeding the line bound — set [`CrashEnumeration::truncated`] instead
+    /// of being dropped silently.
+    pub fn enumerate(pool: &PmPool, limit: usize) -> CrashEnumeration {
         let pending = pool.pending_lines();
-        let n = pending.len().min(63);
+        let n = pending.len().min(SUBSET_LINE_BOUND);
+        let mut truncated = pending.len() > SUBSET_LINE_BOUND;
         let total = 1u64 << n;
-        (0..total)
-            .take(limit)
-            .map(|mask| CrashImage::capture(pool, CrashPolicy::Subset(mask)))
-            .collect()
+        let mut seen = std::collections::HashSet::new();
+        let mut images = Vec::new();
+        for mask in 0..total {
+            if images.len() >= limit {
+                truncated = true;
+                break;
+            }
+            let image = CrashImage::capture(pool, CrashPolicy::Subset(mask));
+            if seen.insert(image.survivors.clone()) {
+                images.push(image);
+            }
+        }
+        CrashEnumeration { images, truncated }
     }
 
     /// Draws `count` random crash images using the caller-provided `next_u64`
     /// source (kept generic so the crate itself stays RNG-free).
-    pub fn sample<F: FnMut() -> u64>(pool: &PmPool, count: usize, mut next_u64: F) -> Vec<CrashImage> {
+    pub fn sample<F: FnMut() -> u64>(
+        pool: &PmPool,
+        count: usize,
+        mut next_u64: F,
+    ) -> Vec<CrashImage> {
         (0..count)
             .map(|_| CrashImage::capture(pool, CrashPolicy::Subset(next_u64())))
             .collect()
@@ -77,9 +135,17 @@ impl CrashImage {
     ///
     /// # Panics
     ///
-    /// Panics if the range escapes the image.
+    /// Panics if the range escapes the image. Prefer [`CrashImage::try_read`]
+    /// when the range comes from untrusted input (e.g. a perturbed trace).
     pub fn read(&self, addr: u64, len: usize) -> &[u8] {
         &self.image[addr as usize..addr as usize + len]
+    }
+
+    /// Reads `len` bytes at `addr`, or `None` if the range escapes the image.
+    pub fn try_read(&self, addr: u64, len: usize) -> Option<&[u8]> {
+        let start = usize::try_from(addr).ok()?;
+        let end = start.checked_add(len)?;
+        self.image.get(start..end)
     }
 }
 
@@ -126,18 +192,32 @@ mod tests {
     #[test]
     fn enumerate_yields_all_subsets() {
         let pool = pool_with_two_pending();
-        let images = CrashImage::enumerate(&pool, 100);
-        assert_eq!(images.len(), 4);
+        let enumeration = CrashImage::enumerate(&pool, 100);
+        assert_eq!(enumeration.len(), 4);
+        assert!(!enumeration.truncated);
         // All four subsets are distinct.
-        let distinct: std::collections::HashSet<Vec<u64>> =
-            images.iter().map(|i| i.survivors.clone()).collect();
+        let distinct: std::collections::HashSet<Vec<u64>> = enumeration
+            .images
+            .iter()
+            .map(|i| i.survivors.clone())
+            .collect();
         assert_eq!(distinct.len(), 4);
     }
 
     #[test]
-    fn enumerate_respects_limit() {
+    fn enumerate_respects_limit_and_reports_truncation() {
         let pool = pool_with_two_pending();
-        assert_eq!(CrashImage::enumerate(&pool, 3).len(), 3);
+        let enumeration = CrashImage::enumerate(&pool, 3);
+        assert_eq!(enumeration.len(), 3);
+        assert!(enumeration.truncated);
+    }
+
+    #[test]
+    fn enumerate_exact_limit_is_not_truncated() {
+        let pool = pool_with_two_pending();
+        let enumeration = CrashImage::enumerate(&pool, 4);
+        assert_eq!(enumeration.len(), 4);
+        assert!(!enumeration.truncated);
     }
 
     #[test]
@@ -157,6 +237,15 @@ mod tests {
         for img in CrashImage::enumerate(&pool, 100) {
             assert_eq!(img.read(0, 8), &[0; 8]);
         }
+    }
+
+    #[test]
+    fn try_read_rejects_out_of_bounds() {
+        let pool = pool_with_two_pending();
+        let img = CrashImage::capture(&pool, CrashPolicy::AllSurvive);
+        assert_eq!(img.try_read(0, 8), Some(&[1u8; 8][..]));
+        assert_eq!(img.try_read(250, 16), None);
+        assert_eq!(img.try_read(u64::MAX, 1), None);
     }
 
     #[test]

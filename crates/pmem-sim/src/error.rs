@@ -43,7 +43,9 @@ impl fmt::Display for PmemError {
             PmemError::OutOfMemory { requested } => {
                 write!(f, "allocation of {requested} bytes exhausts the pool")
             }
-            PmemError::InvalidObject(id) => write!(f, "object id {id} does not name a live allocation"),
+            PmemError::InvalidObject(id) => {
+                write!(f, "object id {id} does not name a live allocation")
+            }
             PmemError::EmptyAccess => write!(f, "zero-length persistent memory access"),
         }
     }

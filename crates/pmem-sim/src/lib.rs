@@ -49,6 +49,6 @@ pub mod pool;
 pub use alloc::{ObjectId, PmAllocator};
 pub use cache::{CacheModel, LineState};
 pub use cacheline::{line_base, line_range, lines_covering, CACHE_LINE_SIZE};
-pub use crash::{CrashImage, CrashPolicy};
+pub use crash::{CrashEnumeration, CrashImage, CrashPolicy, SUBSET_LINE_BOUND};
 pub use error::PmemError;
 pub use pool::{FlushKind, PmPool};

@@ -11,7 +11,7 @@
 //!   *dispersed* writeback.
 //! * **Figure 2c** — instruction mix among store / CLF / fence.
 
-use crate::events::{ranges_overlap, range_contains, PmEvent};
+use crate::events::{range_contains, ranges_overlap, PmEvent};
 use crate::recorder::Trace;
 
 /// Histogram over store→fence distances (Figure 2a).
@@ -212,9 +212,7 @@ impl TraceCharacterizer {
             }
             PmEvent::Fence { .. } => {
                 self.report.fences += 1;
-                self.report
-                    .fence_intervals
-                    .record(self.stores_since_fence);
+                self.report.fence_intervals.record(self.stores_since_fence);
                 self.stores_since_fence = 0;
                 // Flushed stores are durable at this fence: distance =
                 // fences seen since the store + this one.

@@ -197,8 +197,9 @@ impl PmEvent {
             }
             PmEvent::TxLog { obj_addr, size, .. } => Some((*obj_addr, u64::from(*size))),
             PmEvent::RegisterPmem { base, size } => Some((*base, *size)),
-            PmEvent::NameRange { addr, size, .. }
-            | PmEvent::RecoveryRead { addr, size } => Some((*addr, u64::from(*size))),
+            PmEvent::NameRange { addr, size, .. } | PmEvent::RecoveryRead { addr, size } => {
+                Some((*addr, u64::from(*size)))
+            }
             _ => None,
         }
     }
@@ -262,10 +263,7 @@ mod tests {
     #[test]
     fn range_extraction() {
         assert_eq!(store(16).range(), Some((16, 8)));
-        assert_eq!(
-            PmEvent::JoinStrand { tid: ThreadId(1) }.range(),
-            None
-        );
+        assert_eq!(PmEvent::JoinStrand { tid: ThreadId(1) }.range(), None);
         assert_eq!(
             PmEvent::TxLog {
                 obj_addr: 128,

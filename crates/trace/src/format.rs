@@ -386,7 +386,10 @@ mod tests {
 
     fn sample_trace() -> Trace {
         vec![
-            PmEvent::RegisterPmem { base: 0, size: 4096 },
+            PmEvent::RegisterPmem {
+                base: 0,
+                size: 4096,
+            },
             PmEvent::Store {
                 addr: 0x40,
                 size: 8,

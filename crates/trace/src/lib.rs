@@ -54,7 +54,9 @@ pub mod runtime;
 pub mod summary;
 
 pub use annotations::Annotation;
-pub use characterize::{CharacterizationReport, DistanceHistogram, FenceIntervalHistogram, TraceCharacterizer};
+pub use characterize::{
+    CharacterizationReport, DistanceHistogram, FenceIntervalHistogram, TraceCharacterizer,
+};
 pub use detector::{BugKind, BugReport, CountingDetector, Detector, NopDetector, Severity};
 pub use events::{Addr, FenceKind, PmEvent, StrandId, ThreadId};
 pub use format::{from_text, to_text, ParseTraceError};

@@ -234,11 +234,7 @@ mod tests {
         let t0: Trace = vec![store(0), store(8)].into_iter().collect();
         let t1: Trace = vec![store(64), store(72)].into_iter().collect();
         let merged = interleave_round_robin(vec![t0, t1], 1);
-        let tids: Vec<u32> = merged
-            .events()
-            .iter()
-            .map(|e| e.tid().unwrap().0)
-            .collect();
+        let tids: Vec<u32> = merged.events().iter().map(|e| e.tid().unwrap().0).collect();
         assert_eq!(tids, vec![0, 1, 0, 1]);
     }
 

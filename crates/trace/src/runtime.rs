@@ -24,6 +24,8 @@ pub enum RuntimeError {
     Pmem(PmemError),
     /// Epoch/strand markers were not properly nested.
     RegionMismatch(&'static str),
+    /// A recorded trace was requested but recording was never enabled.
+    NotRecording,
 }
 
 impl fmt::Display for RuntimeError {
@@ -31,6 +33,9 @@ impl fmt::Display for RuntimeError {
         match self {
             RuntimeError::Pmem(e) => write!(f, "pmem: {e}"),
             RuntimeError::RegionMismatch(what) => write!(f, "region mismatch: {what}"),
+            RuntimeError::NotRecording => {
+                write!(f, "trace requested but recording was never enabled")
+            }
         }
     }
 }
@@ -39,7 +44,7 @@ impl Error for RuntimeError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             RuntimeError::Pmem(e) => Some(e),
-            RuntimeError::RegionMismatch(_) => None,
+            RuntimeError::RegionMismatch(_) | RuntimeError::NotRecording => None,
         }
     }
 }
@@ -197,7 +202,9 @@ impl PmRuntime {
     /// Returns [`RuntimeError::RegionMismatch`] when no epoch is open.
     pub fn epoch_end(&mut self) -> Result<(), RuntimeError> {
         if self.epoch_depth == 0 {
-            return Err(RuntimeError::RegionMismatch("epoch_end without epoch_begin"));
+            return Err(RuntimeError::RegionMismatch(
+                "epoch_end without epoch_begin",
+            ));
         }
         self.epoch_depth -= 1;
         if self.epoch_depth == 0 {
@@ -228,10 +235,9 @@ impl PmRuntime {
     ///
     /// Returns [`RuntimeError::RegionMismatch`] when no strand is open.
     pub fn strand_end(&mut self) -> Result<(), RuntimeError> {
-        let id = self
-            .strand_stack
-            .pop()
-            .ok_or(RuntimeError::RegionMismatch("strand_end without strand_begin"))?;
+        let id = self.strand_stack.pop().ok_or(RuntimeError::RegionMismatch(
+            "strand_end without strand_begin",
+        ))?;
         let tid = self.tid;
         self.emit(PmEvent::StrandEnd { strand: id, tid });
         Ok(())
@@ -316,7 +322,9 @@ impl PmRuntime {
         }
         let base = pmem_sim::line_base(addr);
         let end = addr + u64::from(len);
-        let size = (end - base).max(CACHE_LINE_SIZE).next_multiple_of(CACHE_LINE_SIZE) as u32;
+        let size = (end - base)
+            .max(CACHE_LINE_SIZE)
+            .next_multiple_of(CACHE_LINE_SIZE) as u32;
         let (tid, strand) = (self.tid, self.current_strand());
         self.emit(PmEvent::Flush {
             kind,
@@ -362,7 +370,12 @@ impl PmRuntime {
     /// # Errors
     ///
     /// Returns [`RuntimeError::Pmem`] on out-of-pool ranges.
-    pub fn flush_range(&mut self, kind: FlushKind, addr: Addr, len: u32) -> Result<(), RuntimeError> {
+    pub fn flush_range(
+        &mut self,
+        kind: FlushKind,
+        addr: Addr,
+        len: u32,
+    ) -> Result<(), RuntimeError> {
         self.flush_impl(kind, addr, len)
     }
 
@@ -454,6 +467,17 @@ impl PmRuntime {
     /// Detaches and returns the recorded trace, if recording was enabled.
     pub fn take_trace(&mut self) -> Option<Trace> {
         self.trace.take()
+    }
+
+    /// Like [`PmRuntime::take_trace`], but with a typed error instead of an
+    /// `Option` — for call sites that propagate `Result`s.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::NotRecording`] when [`PmRuntime::record`] was
+    /// never called (or the trace was already taken).
+    pub fn try_take_trace(&mut self) -> Result<Trace, RuntimeError> {
+        self.trace.take().ok_or(RuntimeError::NotRecording)
     }
 }
 

@@ -136,7 +136,10 @@ mod tests {
     fn empty_summary_is_clean() {
         let summary = BugSummary::from_reports(Vec::new());
         assert!(summary.is_clean());
-        assert_eq!(summary.to_string().trim(), "no crash-consistency bugs detected");
+        assert_eq!(
+            summary.to_string().trim(),
+            "no crash-consistency bugs detected"
+        );
     }
 
     #[test]

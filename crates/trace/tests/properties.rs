@@ -62,7 +62,13 @@ fn build_trace(kinds: &[(Kind, u64)], tid: u32) -> Trace {
 
 fn any_event() -> impl Strategy<Value = PmEvent> {
     prop_oneof![
-        (0u64..1 << 20, 1u32..256, 0u32..4, proptest::option::of(0u32..4), any::<bool>())
+        (
+            0u64..1 << 20,
+            1u32..256,
+            0u32..4,
+            proptest::option::of(0u32..4),
+            any::<bool>()
+        )
             .prop_map(|(addr, size, tid, strand, in_epoch)| PmEvent::Store {
                 addr,
                 size,
@@ -95,8 +101,7 @@ fn any_event() -> impl Strategy<Value = PmEvent> {
         ("[a-z][a-z0-9_]{0,12}", 0u64..1 << 20, 1u32..64)
             .prop_map(|(name, addr, size)| PmEvent::NameRange { name, addr, size }),
         Just(PmEvent::Crash),
-        (0u64..1 << 20, 1u32..64)
-            .prop_map(|(addr, size)| PmEvent::RecoveryRead { addr, size }),
+        (0u64..1 << 20, 1u32..64).prop_map(|(addr, size)| PmEvent::RecoveryRead { addr, size }),
     ]
 }
 

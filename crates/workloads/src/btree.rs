@@ -54,7 +54,9 @@ struct BTreeState {
 impl BTreeState {
     fn new() -> Result<Self, RuntimeError> {
         let mut heap = PmHeap::new(DEFAULT_POOL);
-        let root_addr = heap.alloc(NODE_SIZE).map_err(pm_trace::RuntimeError::Pmem)?;
+        let root_addr = heap
+            .alloc(NODE_SIZE)
+            .map_err(pm_trace::RuntimeError::Pmem)?;
         Ok(BTreeState {
             arena: vec![Node {
                 addr: root_addr,
@@ -275,7 +277,11 @@ mod tests {
             .collect();
         addrs.sort_unstable();
         addrs.dedup();
-        assert!(addrs.len() > 3, "expected splits, got {} nodes", addrs.len());
+        assert!(
+            addrs.len() > 3,
+            "expected splits, got {} nodes",
+            addrs.len()
+        );
     }
 
     #[test]

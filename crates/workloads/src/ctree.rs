@@ -21,8 +21,16 @@ const INTERNAL_SIZE: usize = 24;
 
 #[derive(Debug, Clone)]
 enum CNode {
-    Leaf { addr: u64, key: u64 },
-    Internal { addr: u64, bit: u32, left: usize, right: usize },
+    Leaf {
+        addr: u64,
+        key: u64,
+    },
+    Internal {
+        addr: u64,
+        bit: u32,
+        left: usize,
+        right: usize,
+    },
 }
 
 /// The persistent crit-bit tree workload.
@@ -54,7 +62,9 @@ struct CTreeState {
 impl CTreeState {
     fn new() -> Self {
         let mut heap = PmHeap::new(DEFAULT_POOL);
-        let root_slot = heap.alloc(8).expect("fresh heap has room for the root slot");
+        let root_slot = heap
+            .alloc(8)
+            .expect("fresh heap has room for the root slot");
         CTreeState {
             arena: Vec::new(),
             root: None,
@@ -92,7 +102,11 @@ impl CTreeState {
                         CNode::Internal {
                             bit, left, right, ..
                         } => {
-                            probe = if key & (1u64 << bit) == 0 { *left } else { *right };
+                            probe = if key & (1u64 << bit) == 0 {
+                                *left
+                            } else {
+                                *right
+                            };
                         }
                     }
                 }

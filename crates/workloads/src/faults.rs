@@ -11,23 +11,61 @@ use crate::Workload;
 
 /// Figure 9a — memcached `ITEM_set_cas`: the CAS id is modified inside
 /// `do_item_link` but never persisted. Returns the buggy trace.
-pub fn memcached_cas_bug_trace(ops: usize) -> Trace {
+///
+/// # Errors
+///
+/// Propagates [`RuntimeError`] from the workload run (the trace-only runtime
+/// cannot actually fail; the `Result` keeps the call shape uniform with
+/// workload runs).
+pub fn memcached_cas_bug_trace(ops: usize) -> Result<Trace, RuntimeError> {
     let workload = Memcached::default().with_set_percent(100).with_cas_bug();
     let mut rt = PmRuntime::trace_only();
     rt.record();
-    workload.run(&mut rt, ops).expect("trace-only run");
-    rt.take_trace().expect("recording enabled")
+    workload.run(&mut rt, ops)?;
+    rt.try_take_trace()
+}
+
+/// The corrected Figure 9a flow (the CAS id is flushed with the item); used
+/// to check detectors and torture campaigns stay silent on the fixed code.
+///
+/// # Errors
+///
+/// Propagates [`RuntimeError`] like [`memcached_cas_bug_trace`].
+pub fn memcached_cas_fixed_trace(ops: usize) -> Result<Trace, RuntimeError> {
+    let workload = Memcached::default().with_set_percent(100);
+    let mut rt = PmRuntime::trace_only();
+    rt.record();
+    workload.run(&mut rt, ops)?;
+    rt.try_take_trace()
 }
 
 /// Figure 9b — PMDK `hashmap_atomic`/`data_store`: `map_create` redirects to
 /// `create_hashmap`, which issues `pmemobj_persist` (with its fence) inside
 /// the surrounding `TX_BEGIN`/`TX_END` epoch. Returns the buggy trace.
-pub fn hashmap_atomic_redundant_fence_trace(ops: usize) -> Trace {
+///
+/// # Errors
+///
+/// Propagates [`RuntimeError`] like [`memcached_cas_bug_trace`].
+pub fn hashmap_atomic_redundant_fence_trace(ops: usize) -> Result<Trace, RuntimeError> {
     let workload = crate::hashmap::HashmapAtomic::default().with_redundant_fence_bug();
     let mut rt = PmRuntime::trace_only();
     rt.record();
-    workload.run(&mut rt, ops).expect("trace-only run");
-    rt.take_trace().expect("recording enabled")
+    workload.run(&mut rt, ops)?;
+    rt.try_take_trace()
+}
+
+/// The corrected Figure 9b flow (no fence inside the epoch); used to check
+/// detectors and torture campaigns stay silent on the fixed code.
+///
+/// # Errors
+///
+/// Propagates [`RuntimeError`] like [`memcached_cas_bug_trace`].
+pub fn hashmap_atomic_fixed_trace(ops: usize) -> Result<Trace, RuntimeError> {
+    let workload = crate::hashmap::HashmapAtomic::default();
+    let mut rt = PmRuntime::trace_only();
+    rt.record();
+    workload.run(&mut rt, ops)?;
+    rt.try_take_trace()
 }
 
 /// Figure 9c — PMDK `array` example: `do_alloc` writes the info struct
@@ -63,7 +101,7 @@ pub fn pmdk_array_lack_durability_trace() -> Result<Trace, RuntimeError> {
     rt.epoch_end()?;
     drop(tx);
 
-    Ok(rt.take_trace().expect("recording enabled"))
+    rt.try_take_trace()
 }
 
 /// The corrected Figure 9c flow (persists the info struct too); used to
@@ -86,7 +124,7 @@ pub fn pmdk_array_fixed_trace() -> Result<Trace, RuntimeError> {
     rt.flush_range(FlushKind::Clwb, array_addr, array_len)?;
     tx.commit(&mut rt)?;
 
-    Ok(rt.take_trace().expect("recording enabled"))
+    rt.try_take_trace()
 }
 
 #[cfg(test)]
@@ -96,13 +134,29 @@ mod tests {
 
     #[test]
     fn cas_bug_trace_is_nonempty() {
-        let trace = memcached_cas_bug_trace(10);
+        let trace = memcached_cas_bug_trace(10).unwrap();
         assert!(trace.len() > 30);
     }
 
     #[test]
+    fn fixed_variants_build_and_differ_from_buggy() {
+        let buggy = memcached_cas_bug_trace(10).unwrap();
+        let fixed = memcached_cas_fixed_trace(10).unwrap();
+        assert!(
+            fixed.len() > buggy.len(),
+            "fix adds the missing CAS flushes"
+        );
+        let buggy_fences = hashmap_atomic_redundant_fence_trace(5).unwrap();
+        let fixed_fences = hashmap_atomic_fixed_trace(5).unwrap();
+        assert!(
+            buggy_fences.len() > fixed_fences.len(),
+            "bug adds epoch fences"
+        );
+    }
+
+    #[test]
     fn redundant_fence_trace_has_two_in_epoch_fences() {
-        let trace = hashmap_atomic_redundant_fence_trace(5);
+        let trace = hashmap_atomic_redundant_fence_trace(5).unwrap();
         let in_epoch = trace
             .events()
             .iter()

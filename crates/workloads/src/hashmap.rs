@@ -57,7 +57,7 @@ impl Default for HashmapTx {
 const STATS_SLOTS: u64 = 512;
 
 struct TxState {
-    heads: Vec<Option<usize>>, // bucket -> entry arena index
+    heads: Vec<Option<usize>>,               // bucket -> entry arena index
     entries: Vec<(u64, u64, Option<usize>)>, // (addr, key, next)
     heads_addr: u64,
     stats_addr: u64,
@@ -251,7 +251,7 @@ impl HashmapAtomic {
 
 impl Default for HashmapAtomic {
     fn default() -> Self {
-        Self::new(0xA70,  64)
+        Self::new(0xA70, 64)
     }
 }
 
@@ -323,7 +323,10 @@ mod tests {
             }
             max
         };
-        assert!(max_logs_per_epoch > 50, "rehash logged {max_logs_per_epoch}");
+        assert!(
+            max_logs_per_epoch > 50,
+            "rehash logged {max_logs_per_epoch}"
+        );
     }
 
     #[test]

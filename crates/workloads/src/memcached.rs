@@ -19,7 +19,6 @@ use rand::{Rng, SeedableRng};
 
 use crate::heap::{Model, PmHeap, Workload, DEFAULT_POOL};
 
-
 /// Persistent item layout: header (flags, nbytes, cas) + key + value.
 const ITEM_HEADER: u64 = 24;
 /// Offset of the CAS field inside the item header.
@@ -234,7 +233,10 @@ mod tests {
     fn cas_bug_skips_the_header_reflush() {
         let ops = 20;
         let fixed = record(&Memcached::default().with_set_percent(100), ops);
-        let buggy = record(&Memcached::default().with_set_percent(100).with_cas_bug(), ops);
+        let buggy = record(
+            &Memcached::default().with_set_percent(100).with_cas_bug(),
+            ops,
+        );
         // Same op sequence (same seed): the fixed version issues exactly one
         // extra flush per set — the ITEM_set_cas header re-flush.
         // Each set writes the 16-byte key exactly once.
@@ -261,10 +263,9 @@ mod tests {
                         }
                     }
                 }
-                PmEvent::Fence { .. }
-                    if dirty_cas_line.take().is_some() => {
-                        unpersisted_cas += 1;
-                    }
+                PmEvent::Fence { .. } if dirty_cas_line.take().is_some() => {
+                    unpersisted_cas += 1;
+                }
                 _ => {}
             }
         }
@@ -273,12 +274,8 @@ mod tests {
 
     #[test]
     fn multithread_trace_interleaves_tids() {
-        let trace = memcached_multithread_trace(
-            &Memcached::default().with_set_percent(100),
-            4,
-            50,
-            16,
-        );
+        let trace =
+            memcached_multithread_trace(&Memcached::default().with_set_percent(100), 4, 50, 16);
         let mut tids: Vec<u32> = trace
             .events()
             .iter()
@@ -292,12 +289,8 @@ mod tests {
     #[test]
     fn per_thread_streams_differ() {
         // Different thread seeds produce different op sequences.
-        let trace = memcached_multithread_trace(
-            &Memcached::default().with_set_percent(100),
-            2,
-            50,
-            8,
-        );
+        let trace =
+            memcached_multithread_trace(&Memcached::default().with_set_percent(100), 2, 50, 8);
         assert!(trace.len() > 100);
     }
 }

@@ -75,7 +75,9 @@ impl RbState {
     }
 
     fn rotate_left(&mut self, rt: &mut PmRuntime, tx: &mut Tx, x: usize) {
-        let y = self.arena[x].right.expect("rotate_left requires right child");
+        let y = self.arena[x]
+            .right
+            .expect("rotate_left requires right child");
         self.touch(rt, tx, x);
         self.touch(rt, tx, y);
         let y_left = self.arena[y].left;
@@ -102,7 +104,9 @@ impl RbState {
     }
 
     fn rotate_right(&mut self, rt: &mut PmRuntime, tx: &mut Tx, x: usize) {
-        let y = self.arena[x].left.expect("rotate_right requires left child");
+        let y = self.arena[x]
+            .left
+            .expect("rotate_right requires left child");
         self.touch(rt, tx, x);
         self.touch(rt, tx, y);
         let y_right = self.arena[y].right;

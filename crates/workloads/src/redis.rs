@@ -94,7 +94,11 @@ impl Workload for Redis {
             rt.store_untyped(dirty_addr + slot * 64, 8);
             *writes += 1;
             if slot == DIRTY_SLOTS - 1 {
-                rt.flush_range(pmem_sim::FlushKind::Clwb, dirty_addr, (DIRTY_SLOTS * 64) as u32)?;
+                rt.flush_range(
+                    pmem_sim::FlushKind::Clwb,
+                    dirty_addr,
+                    (DIRTY_SLOTS * 64) as u32,
+                )?;
                 rt.sfence();
             }
             Ok(())
@@ -136,8 +140,10 @@ impl Workload for Redis {
                 tx.add(rt, victim.entry_addr, ENTRY_SIZE as u32);
                 tx.store_untyped(rt, victim.entry_addr, 8); // tombstone word
                 tx.commit(rt)?;
-                heap.free(victim.entry_id).map_err(pm_trace::RuntimeError::Pmem)?;
-                heap.free(victim.value_id).map_err(pm_trace::RuntimeError::Pmem)?;
+                heap.free(victim.entry_id)
+                    .map_err(pm_trace::RuntimeError::Pmem)?;
+                heap.free(victim.value_id)
+                    .map_err(pm_trace::RuntimeError::Pmem)?;
             }
 
             // Transactional insert: entry + value blob.
@@ -165,7 +171,11 @@ impl Workload for Redis {
         }
         // Final save point: settle the volatile tail of the dirty ring.
         if !writes.is_multiple_of(DIRTY_SLOTS) {
-            rt.flush_range(pmem_sim::FlushKind::Clwb, dirty_addr, (DIRTY_SLOTS * 64) as u32)?;
+            rt.flush_range(
+                pmem_sim::FlushKind::Clwb,
+                dirty_addr,
+                (DIRTY_SLOTS * 64) as u32,
+            )?;
             rt.sfence();
         }
         Ok(())
@@ -226,6 +236,9 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        assert_eq!(record(&Redis::default(), 200), record(&Redis::default(), 200));
+        assert_eq!(
+            record(&Redis::default(), 200),
+            record(&Redis::default(), 200)
+        );
     }
 }

@@ -57,7 +57,9 @@ struct RTreeState {
 impl RTreeState {
     fn new() -> Result<Self, RuntimeError> {
         let mut heap = PmHeap::new(DEFAULT_POOL);
-        let root_addr = heap.alloc(NODE_SIZE).map_err(pm_trace::RuntimeError::Pmem)?;
+        let root_addr = heap
+            .alloc(NODE_SIZE)
+            .map_err(pm_trace::RuntimeError::Pmem)?;
         Ok(RTreeState {
             arena: vec![RNode {
                 addr: root_addr,

@@ -88,7 +88,12 @@ impl Tx {
     ///
     /// Propagates [`RuntimeError`] from the runtime (pool-backed runtimes
     /// reject out-of-bounds stores).
-    pub fn store(&mut self, rt: &mut PmRuntime, addr: Addr, data: &[u8]) -> Result<(), RuntimeError> {
+    pub fn store(
+        &mut self,
+        rt: &mut PmRuntime,
+        addr: Addr,
+        data: &[u8],
+    ) -> Result<(), RuntimeError> {
         rt.store(addr, data)?;
         self.modified.push((addr, data.len() as u32));
         Ok(())

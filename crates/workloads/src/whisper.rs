@@ -95,15 +95,10 @@ impl Workload for SynthMix {
         for _ in 0..ops {
             let dispersed = rng.gen_bool(self.dispersed_fraction);
             // One op = one fence interval with one or two CLF intervals.
-            let block = heap
-                .alloc(128)
-                .map_err(pm_trace::RuntimeError::Pmem)?;
+            let block = heap.alloc(128).map_err(pm_trace::RuntimeError::Pmem)?;
             let defer_this = rng.gen_bool(self.deferred_fraction);
             let deferred_addr = if defer_this {
-                Some(
-                    heap.alloc(8)
-                        .map_err(pm_trace::RuntimeError::Pmem)?,
-                )
+                Some(heap.alloc(8).map_err(pm_trace::RuntimeError::Pmem)?)
             } else {
                 None
             };
@@ -185,11 +180,12 @@ mod tests {
     fn deferred_knob_moves_the_distance_tail() {
         let low = report(&SynthMix::default().with_deferred(0.05), 600);
         let high = report(&SynthMix::default().with_deferred(0.5), 600);
-        let tail = |r: &pm_trace::CharacterizationReport| {
-            1.0 - r.distances.fraction(1)
-        };
+        let tail = |r: &pm_trace::CharacterizationReport| 1.0 - r.distances.fraction(1);
+        // Expected tails: deferred stores are p of the p + stores_per_interval
+        // stores an op emits, so ~0.012 at p=0.05 and ~0.111 at p=0.5 — an
+        // expected gap of ~0.099. Assert a margin safely inside that.
         assert!(
-            tail(&high) > tail(&low) + 0.1,
+            tail(&high) > tail(&low) + 0.07,
             "low {} high {}",
             tail(&low),
             tail(&high)
@@ -199,10 +195,12 @@ mod tests {
     #[test]
     fn dispersed_knob_matches_measurement() {
         for target in [0.0, 0.3, 0.8] {
-            let mix = SynthMix::default().with_dispersed(target).with_deferred(0.0);
+            let mix = SynthMix::default()
+                .with_dispersed(target)
+                .with_deferred(0.0);
             let r = report(&mix, 800);
-            let measured =
-                r.dispersed_intervals as f64 / (r.collective_intervals + r.dispersed_intervals) as f64;
+            let measured = r.dispersed_intervals as f64
+                / (r.collective_intervals + r.dispersed_intervals) as f64;
             // Dispersed ops contribute one dispersed interval and one
             // trailing empty interval; measured rate tracks the knob within
             // sampling error.
@@ -220,7 +218,11 @@ mod tests {
             let trace = crate::record_trace(&mix, 300);
             let mut det = PmDebugger::strict();
             let reports = replay_finish(&trace, &mut det);
-            assert!(reports.is_empty(), "deferred={deferred}: {:?}", reports.first());
+            assert!(
+                reports.is_empty(),
+                "deferred={deferred}: {:?}",
+                reports.first()
+            );
         }
     }
 

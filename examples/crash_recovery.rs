@@ -18,7 +18,8 @@ fn append(rt: &mut PmRuntime, slot: u64, payload: &[u8], durable: bool) {
     rt.flush_range(FlushKind::Clwb, base + 8, payload.len() as u32)
         .unwrap();
     rt.sfence();
-    rt.store(base, &(payload.len() as u64).to_le_bytes()).unwrap();
+    rt.store(base, &(payload.len() as u64).to_le_bytes())
+        .unwrap();
     rt.flush_range(FlushKind::Clwb, base, 8).unwrap();
     if durable {
         rt.sfence(); // commit

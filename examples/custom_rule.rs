@@ -82,9 +82,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for report in &reports {
         println!("  {report}");
     }
-    assert!(reports
-        .iter()
-        .any(|r| r.message.contains("still volatile")));
+    assert!(reports.iter().any(|r| r.message.contains("still volatile")));
     assert!(reports
         .iter()
         .any(|r| r.kind == BugKind::NoDurabilityGuarantee));

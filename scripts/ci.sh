@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Repo CI gate: lint, format, test. Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== clippy (all targets, warnings are errors) =="
+cargo clippy --all-targets --offline -- -D warnings
+
+echo "== rustfmt check =="
+cargo fmt --check
+
+echo "== tests =="
+cargo test -q --offline
+
+echo "CI OK"

@@ -1,0 +1,240 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `Bencher::iter` /
+//! `Bencher::iter_batched`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros — backed by a simple median-of-samples timing
+//! loop instead of criterion's statistical machinery. Output is one line per
+//! benchmark: `name ... time: <median> <unit>/iter (<samples> samples)`.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmark
+/// bodies.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    iters_per_sample: u64,
+    recorded: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher {
+            samples,
+            iters_per_sample: 1,
+            recorded: Vec::new(),
+        }
+    }
+
+    /// Times `routine` back to back.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        self.calibrate(|| {
+            black_box(routine());
+        });
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.recorded
+                .push(start.elapsed() / self.iters_per_sample as u32);
+        }
+    }
+
+    /// Times `routine` over fresh inputs built by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.recorded.push(start.elapsed());
+        }
+    }
+
+    /// Picks an iteration count that makes one sample take ≳100µs so that
+    /// sub-microsecond routines still measure above timer resolution.
+    fn calibrate<F: FnMut()>(&mut self, mut routine: F) {
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                routine();
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_micros(100) || iters >= 1 << 20 {
+                self.iters_per_sample = iters;
+                return;
+            }
+            iters *= 4;
+        }
+    }
+
+    fn report(&mut self, name: &str) {
+        if self.recorded.is_empty() {
+            println!("{name:<50} time: (no samples)");
+            return;
+        }
+        self.recorded.sort_unstable();
+        let median = self.recorded[self.recorded.len() / 2];
+        let nanos = median.as_nanos();
+        let pretty = if nanos >= 1_000_000_000 {
+            format!("{:.3} s", nanos as f64 / 1e9)
+        } else if nanos >= 1_000_000 {
+            format!("{:.3} ms", nanos as f64 / 1e6)
+        } else if nanos >= 1_000 {
+            format!("{:.3} µs", nanos as f64 / 1e3)
+        } else {
+            format!("{nanos} ns")
+        };
+        println!(
+            "{name:<50} time: {pretty}/iter ({} samples)",
+            self.recorded.len()
+        );
+    }
+}
+
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, samples: usize) -> Self {
+        assert!(samples >= 2, "criterion requires at least 2 samples");
+        self.sample_size = samples;
+        self
+    }
+
+    /// Upstream API compatibility; this shim has no measurement-time knob.
+    pub fn measurement_time(self, _duration: Duration) -> Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut body: F) -> &mut Self {
+        let mut bencher = Bencher::new(self.sample_size);
+        body(&mut bencher);
+        bencher.report(name);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            group: name.to_string(),
+        }
+    }
+
+    /// Called by `criterion_main!` after all groups run.
+    pub fn final_summary(&mut self) {}
+}
+
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    group: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        assert!(samples >= 2, "criterion requires at least 2 samples");
+        self.criterion.sample_size = samples;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut body: F) -> &mut Self {
+        let full = format!("{}/{}", self.group, name);
+        let mut bencher = Bencher::new(self.criterion.sample_size);
+        body(&mut bencher);
+        bencher.report(&full);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group; both the positional and the
+/// `name = ...; config = ...; targets = ...` forms are supported.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut runs = 0u32;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                runs += 1;
+            });
+        });
+        assert!(runs >= 2);
+    }
+
+    #[test]
+    fn iter_batched_uses_fresh_inputs() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut group = c.benchmark_group("g");
+        let mut setups = 0u32;
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![0u8; 16]
+                },
+                |v| v.len(),
+                BatchSize::SmallInput,
+            );
+        });
+        group.finish();
+        assert_eq!(setups, 3);
+    }
+}

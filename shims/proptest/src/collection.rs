@@ -1,0 +1,79 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+use std::ops::Range;
+
+/// Length specification for collection strategies: a fixed size or a
+/// half-open range, as in upstream proptest.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    start: usize,
+    end: usize, // exclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        SizeRange {
+            start: exact,
+            end: exact + 1,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(range: Range<usize>) -> Self {
+        assert!(range.start < range.end, "empty collection size range");
+        SizeRange {
+            start: range.start,
+            end: range.end,
+        }
+    }
+}
+
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// Vectors of `size` elements drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        let span = (self.size.end - self.size.start) as u64;
+        let len = self.size.start + rng.below(span) as usize;
+        (0..len).map(|_| self.element.new_value(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_lengths_span_range() {
+        let mut rng = TestRng::from_seed(5);
+        let strat = vec(0u8..10, 2..5);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            let v = strat.new_value(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            seen.insert(v.len());
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn exact_size_from_usize() {
+        let mut rng = TestRng::from_seed(6);
+        let strat = vec(0u8..10, 4);
+        assert_eq!(strat.new_value(&mut rng).len(), 4);
+    }
+}

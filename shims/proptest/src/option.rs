@@ -1,0 +1,39 @@
+//! `proptest::option::of` — optional values, biased toward `Some` like
+//! upstream (9:1).
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        if rng.below(10) == 0 {
+            None
+        } else {
+            Some(self.inner.new_value(rng))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_both_variants() {
+        let mut rng = TestRng::from_seed(7);
+        let strat = of(0u32..4);
+        let somes = (0..200)
+            .filter(|_| strat.new_value(&mut rng).is_some())
+            .count();
+        assert!(somes > 100 && somes < 200);
+    }
+}

@@ -1,0 +1,150 @@
+//! Regex-pattern string strategy.
+//!
+//! Upstream proptest interprets a `&str` strategy as a full regex. The tests
+//! in this workspace only use simple shapes like `"[a-z][a-z0-9_]{0,12}"`, so
+//! this module implements exactly that subset: literal characters, character
+//! classes with ranges, and `{n}` / `{n,m}` quantifiers. Unsupported syntax
+//! panics at generation time with a clear message.
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Literal(char),
+    /// Inclusive character spans, e.g. `[a-z0-9_]` → [(a,z),(0,9),(_,_)].
+    Class(Vec<(char, char)>),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: u32,
+    max: u32, // inclusive
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => {
+                let mut spans = Vec::new();
+                loop {
+                    let lo = chars
+                        .next()
+                        .unwrap_or_else(|| panic!("unterminated class in regex {pattern:?}"));
+                    if lo == ']' {
+                        break;
+                    }
+                    if chars.peek() == Some(&'-') {
+                        chars.next();
+                        match chars.next() {
+                            Some(']') => {
+                                // Trailing '-' is a literal, e.g. `[a-z-]`.
+                                spans.push((lo, lo));
+                                spans.push(('-', '-'));
+                                break;
+                            }
+                            Some(hi) => spans.push((lo, hi)),
+                            None => panic!("unterminated class in regex {pattern:?}"),
+                        }
+                    } else {
+                        spans.push((lo, lo));
+                    }
+                }
+                Atom::Class(spans)
+            }
+            '\\' => Atom::Literal(
+                chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in regex {pattern:?}")),
+            ),
+            '.' | '*' | '+' | '?' | '(' | ')' | '|' => {
+                panic!("regex feature {c:?} unsupported by the proptest shim (pattern {pattern:?})")
+            }
+            other => Atom::Literal(other),
+        };
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let spec: String = chars.by_ref().take_while(|c| *c != '}').collect();
+            let mut parts = spec.splitn(2, ',');
+            let min: u32 = parts
+                .next()
+                .and_then(|p| p.trim().parse().ok())
+                .unwrap_or_else(|| panic!("bad quantifier in regex {pattern:?}"));
+            let max = match parts.next() {
+                Some(p) => p
+                    .trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("bad quantifier in regex {pattern:?}")),
+                None => min,
+            };
+            (min, max)
+        } else {
+            (1, 1)
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn gen_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Literal(c) => *c,
+        Atom::Class(spans) => {
+            let total: u64 = spans
+                .iter()
+                .map(|(lo, hi)| (*hi as u64) - (*lo as u64) + 1)
+                .sum();
+            let mut pick = rng.below(total);
+            for (lo, hi) in spans {
+                let span = (*hi as u64) - (*lo as u64) + 1;
+                if pick < span {
+                    return char::from_u32(*lo as u32 + pick as u32).expect("valid span char");
+                }
+                pick -= span;
+            }
+            unreachable!("pick < total")
+        }
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in parse(self) {
+            let count = piece.min + rng.below(u64::from(piece.max - piece.min) + 1) as u32;
+            for _ in 0..count {
+                out.push(gen_atom(&piece.atom, rng));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identifier_pattern_generates_identifiers() {
+        let mut rng = TestRng::from_seed(8);
+        let strat = "[a-z][a-z0-9_]{0,12}";
+        for _ in 0..300 {
+            let s = strat.new_value(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 13, "bad length: {s:?}");
+            let mut chars = s.chars();
+            assert!(chars.next().unwrap().is_ascii_lowercase());
+            assert!(chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn literals_and_exact_counts() {
+        let mut rng = TestRng::from_seed(9);
+        assert_eq!("abc".new_value(&mut rng), "abc");
+        assert_eq!("x{3}".new_value(&mut rng), "xxx");
+    }
+}

@@ -1,0 +1,95 @@
+//! Test-case driver used by the `proptest!` macro.
+
+use crate::TestRng;
+use std::fmt;
+
+/// Subset of upstream's config: only `cases` matters to this shim.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 128 }
+    }
+}
+
+/// Failure (or rejection) of one generated case.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    Fail(String),
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(reason) => write!(f, "{reason}"),
+            TestCaseError::Reject(reason) => write!(f, "rejected: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Deterministic per-test driver: the seed is derived from the test name, so
+/// every run regenerates the identical case sequence.
+pub struct TestRunner {
+    cases: u32,
+    seed: u64,
+}
+
+impl TestRunner {
+    pub fn new(config: &ProptestConfig, name: &str) -> Self {
+        // FNV-1a over the test name.
+        let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.bytes() {
+            seed ^= u64::from(byte);
+            seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRunner {
+            cases: config.cases,
+            seed,
+        }
+    }
+
+    pub fn cases(&self) -> u32 {
+        self.cases
+    }
+
+    pub fn rng_for_case(&self, case: u32) -> TestRng {
+        TestRng::from_seed(self.seed ^ (u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runner_is_deterministic_per_name() {
+        let config = ProptestConfig::default();
+        let a = TestRunner::new(&config, "some_test");
+        let b = TestRunner::new(&config, "some_test");
+        assert_eq!(a.rng_for_case(3).next_u64(), b.rng_for_case(3).next_u64());
+        let c = TestRunner::new(&config, "other_test");
+        assert_ne!(a.rng_for_case(3).next_u64(), c.rng_for_case(3).next_u64());
+    }
+}

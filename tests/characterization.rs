@@ -49,7 +49,10 @@ fn pattern2_writebacks_are_mostly_collective_overall() {
         dispersed += report.dispersed_intervals;
     }
     let fraction = collective as f64 / (collective + dispersed).max(1) as f64;
-    assert!(fraction > 0.6, "aggregate collective fraction {fraction:.2}");
+    assert!(
+        fraction > 0.6,
+        "aggregate collective fraction {fraction:.2}"
+    );
 }
 
 #[test]

@@ -72,7 +72,7 @@ fn injected_bugs_are_found_end_to_end() {
     use pm_trace::BugKind;
 
     // Figure 9a — memcached CAS durability.
-    let trace = pm_workloads::faults::memcached_cas_bug_trace(100);
+    let trace = pm_workloads::faults::memcached_cas_bug_trace(100).unwrap();
     let mut det = PmDebugger::strict();
     let reports = replay_finish(&trace, &mut det);
     assert!(reports
@@ -80,7 +80,7 @@ fn injected_bugs_are_found_end_to_end() {
         .any(|r| r.kind == BugKind::NoDurabilityGuarantee));
 
     // Figure 9b — hashmap_atomic redundant epoch fence.
-    let trace = pm_workloads::faults::hashmap_atomic_redundant_fence_trace(50);
+    let trace = pm_workloads::faults::hashmap_atomic_redundant_fence_trace(50).unwrap();
     let mut det = PmDebugger::epoch();
     let reports = replay_finish(&trace, &mut det);
     assert!(reports
@@ -120,7 +120,11 @@ fn multithreaded_memcached_is_clean_and_scalable() {
     let trace = pm_workloads::memcached_multithread_trace(&workload, 4, 200, 8);
     let mut det = PmDebugger::strict();
     let reports = replay_finish(&trace, &mut det);
-    assert!(reports.is_empty(), "multithreaded FP: {:?}", reports.first());
+    assert!(
+        reports.is_empty(),
+        "multithreaded FP: {:?}",
+        reports.first()
+    );
     let stats = det.stats();
     assert!(stats.fence_intervals > 0);
 }
