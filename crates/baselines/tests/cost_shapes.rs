@@ -3,7 +3,7 @@
 
 use pm_baselines::{PmemcheckLike, XfdetectorLike};
 use pm_trace::{replay, replay_finish, OrderSpec};
-use pm_workloads::{record_trace, BTree, Memcached, Workload};
+use pm_workloads::{record_trace, BTree, Memcached};
 
 #[test]
 fn xfdetector_work_grows_superlinearly_with_program_length() {

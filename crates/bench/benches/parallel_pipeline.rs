@@ -1,0 +1,212 @@
+//! Parallel sharded pipeline — throughput, scaling and report equivalence.
+//!
+//! Replays Figure 10's multi-threaded memcached traces (plus one
+//! single-stream hashmap workload as a low-component contrast) through the
+//! parallel pipeline at 1/2/4/8 detection threads and emits
+//! `BENCH_parallel.json`; `scripts/bench_gate.sh` compares it against the
+//! committed baseline.
+//!
+//! Two timings are recorded per configuration:
+//!
+//! * `wall_ms` — the threaded [`detect_parallel`] run as-is. Only
+//!   meaningful on a machine with at least as many free cores as worker
+//!   threads; on a single-core CI container all workers time-slice one
+//!   CPU and wall clock cannot show a speedup.
+//! * `critical_ms` — the per-stage profile ([`profile_parallel`]): serial
+//!   phases plus the slowest key chunk and slowest detection worker. This
+//!   is the span an unloaded N-core execution converges to, and is the
+//!   number the `speedup` column and the CI gate use, so the gate checks
+//!   partition quality (balance, serial fraction, broadcast duplication)
+//!   rather than the CI host's core count.
+//!
+//! Report equivalence (`equivalent`) is asserted from the real threaded
+//! runs: every thread count must produce the sequential report hash.
+//!
+//! Env knobs: `PM_BENCH_SMOKE` shrinks inputs for the CI smoke stage,
+//! `PM_BENCH_FULL` grows them; `PM_BENCH_JSON` overrides the output path.
+
+use std::time::Instant;
+
+use pm_bench::{banner, TextTable};
+use pm_trace::{report_hash, Trace};
+use pm_workloads::{memcached_multithread_trace, record_trace, HashmapAtomic, Memcached};
+use pmdebugger::{
+    detect_parallel, profile_parallel, DebuggerConfig, ParallelConfig, PersistencyModel,
+};
+
+const THREAD_POINTS: [usize; 4] = [1, 2, 4, 8];
+
+struct Row {
+    threads: usize,
+    wall_ms: f64,
+    critical_ms: f64,
+    events_per_sec: f64,
+    speedup: f64,
+}
+
+struct WorkloadResult {
+    name: &'static str,
+    events: usize,
+    components: usize,
+    report_hash: u64,
+    equivalent: bool,
+    rows: Vec<Row>,
+}
+
+fn measure(
+    name: &'static str,
+    model: PersistencyModel,
+    trace: &Trace,
+    repeats: usize,
+) -> WorkloadResult {
+    let config = DebuggerConfig::for_model(model);
+    let events = trace.len();
+    let mut rows = Vec::new();
+    let mut base_ms = 0.0;
+    let mut base_hash = 0u64;
+    let mut equivalent = true;
+    let mut components = 0;
+
+    for &threads in &THREAD_POINTS {
+        let par = ParallelConfig::with_threads(threads);
+        let mut wall_best = f64::MAX;
+        let mut outcome = None;
+        for _ in 0..repeats {
+            let start = Instant::now();
+            let out = detect_parallel(&config, &par, trace);
+            wall_best = wall_best.min(start.elapsed().as_secs_f64());
+            outcome = Some(out);
+        }
+        let outcome = outcome.expect("at least one repeat");
+        let hash = report_hash(&outcome.reports);
+
+        let critical = if threads == 1 {
+            wall_best
+        } else {
+            let mut best = f64::MAX;
+            for _ in 0..repeats {
+                let profile = profile_parallel(&config, &par, trace);
+                best = best.min(profile.critical_path_secs());
+            }
+            best
+        };
+
+        if threads == 1 {
+            base_ms = wall_best;
+            base_hash = hash;
+        } else {
+            equivalent &= hash == base_hash;
+            components = outcome.components;
+        }
+        rows.push(Row {
+            threads,
+            wall_ms: wall_best * 1e3,
+            critical_ms: critical * 1e3,
+            events_per_sec: events as f64 / critical.max(1e-9),
+            speedup: base_ms / critical.max(1e-9),
+        });
+    }
+
+    WorkloadResult {
+        name,
+        events,
+        components,
+        report_hash: base_hash,
+        equivalent,
+        rows,
+    }
+}
+
+fn to_json(results: &[WorkloadResult], smoke: bool) -> String {
+    let cores = std::thread::available_parallelism().map_or(0, |n| n.get());
+    let mut out = String::from("{\"schema\":\"pmdebugger-parallel-bench-v2\"");
+    out.push_str(&format!(",\"mode\":\"critical-path\",\"cores\":{cores}"));
+    out.push_str(&format!(",\"smoke\":{smoke}"));
+    out.push_str(",\"workloads\":[");
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"events\":{},\"components\":{},\
+             \"report_hash\":\"{:#018x}\",\"equivalent\":{},\"rows\":[",
+            r.name, r.events, r.components, r.report_hash, r.equivalent
+        ));
+        for (j, row) in r.rows.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"threads\":{},\"wall_ms\":{:.3},\"critical_ms\":{:.3},\
+                 \"events_per_sec\":{:.0},\"speedup\":{:.3}}}",
+                row.threads, row.wall_ms, row.critical_ms, row.events_per_sec, row.speedup
+            ));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
+}
+
+fn main() {
+    banner(
+        "Parallel sharded pipeline — throughput & equivalence",
+        "new experiment over Figure 10's workloads, Section 7.5",
+    );
+
+    let smoke = std::env::var_os("PM_BENCH_SMOKE").is_some();
+    let full = std::env::var_os("PM_BENCH_FULL").is_some();
+    // Smoke keeps inputs small but takes best-of-5 so critical-path stage
+    // timings (sub-ms at this size) stay stable enough for the ±10% gate.
+    let (mc_ops, hm_ops, repeats) = if smoke {
+        (5_000, 40_000, 5)
+    } else if full {
+        (60_000, 400_000, 3)
+    } else {
+        (25_000, 150_000, 2)
+    };
+
+    let memcached = Memcached::default().with_set_percent(20);
+    let mc4 = memcached_multithread_trace(&memcached, 4, mc_ops, 8);
+    let mc6 = memcached_multithread_trace(&memcached, 6, mc_ops, 8);
+    let hashmap = record_trace(&HashmapAtomic::default(), hm_ops);
+
+    let results = vec![
+        measure("memcached_mt4", PersistencyModel::Strict, &mc4, repeats),
+        measure("memcached_mt6", PersistencyModel::Strict, &mc6, repeats),
+        measure("hashmap_atomic", PersistencyModel::Epoch, &hashmap, repeats),
+    ];
+
+    let mut table = TextTable::new(vec![
+        "workload", "events", "threads", "wall ms", "crit ms", "Mev/s", "speedup", "equal",
+    ]);
+    for r in &results {
+        for row in &r.rows {
+            table.row(vec![
+                r.name.to_owned(),
+                r.events.to_string(),
+                row.threads.to_string(),
+                format!("{:.1}", row.wall_ms),
+                format!("{:.1}", row.critical_ms),
+                format!("{:.2}", row.events_per_sec / 1e6),
+                format!("{:.2}x", row.speedup),
+                if r.equivalent { "yes" } else { "NO" }.to_owned(),
+            ]);
+        }
+    }
+    print!("{}", table.render());
+    println!("speedup = sequential / critical path (see bench header docs)");
+
+    let path = std::env::var("PM_BENCH_JSON").unwrap_or_else(|_| "BENCH_parallel.json".to_owned());
+    let json = to_json(&results, smoke);
+    std::fs::write(&path, format!("{json}\n")).expect("write bench JSON");
+    println!("wrote {path}");
+
+    for r in &results {
+        assert!(
+            r.equivalent,
+            "{}: parallel reports diverged from sequential",
+            r.name
+        );
+    }
+}

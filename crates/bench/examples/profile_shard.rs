@@ -1,0 +1,36 @@
+//! Stage profiler for the parallel pipeline (see `PipelineProfile`).
+use pm_workloads::{memcached_multithread_trace, record_trace, HashmapAtomic, Memcached};
+use pmdebugger::{profile_parallel, DebuggerConfig, ParallelConfig, PersistencyModel};
+
+fn main() {
+    let threads = 4usize;
+    let mc = Memcached::default().with_set_percent(20);
+    for (name, trace, model) in [
+        (
+            "memcached_mt4",
+            memcached_multithread_trace(&mc, 4, 25_000, 8),
+            PersistencyModel::Strict,
+        ),
+        (
+            "hashmap_atomic",
+            record_trace(&HashmapAtomic::default(), 150_000),
+            PersistencyModel::Epoch,
+        ),
+    ] {
+        let config = DebuggerConfig::for_model(model);
+        let p = profile_parallel(&config, &ParallelConfig::with_threads(threads), &trace);
+        let ms = |s: f64| (s * 1e4).round() / 10.0;
+        println!(
+            "{name}: n={} seq {:.1}ms | observe {:.2}ms keys {:?}ms assign {:.2}ms workers {:?}ms merge {:.2}ms | critical {:.1}ms speedup {:.2}x",
+            p.events,
+            ms(p.sequential_secs),
+            p.observe_secs * 1e3,
+            p.key_chunk_secs.iter().map(|&s| ms(s)).collect::<Vec<_>>(),
+            p.assign_secs * 1e3,
+            p.worker_secs.iter().map(|&s| ms(s)).collect::<Vec<_>>(),
+            p.merge_secs * 1e3,
+            ms(p.critical_path_secs()),
+            p.modeled_speedup(),
+        );
+    }
+}

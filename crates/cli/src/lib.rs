@@ -12,12 +12,13 @@ use std::time::Instant;
 use pm_baselines::{Nulgrind, PmemcheckLike, PmtestLike, XfdetectorLike};
 use pm_trace::{BugSummary, Detector, OrderSpec, PmRuntime};
 use pm_workloads::Workload;
-use pmdebugger::{DebuggerConfig, PersistencyModel, PmDebugger};
+use pmdebugger::{DebuggerConfig, ParallelPmDebugger, PersistencyModel, PmDebugger, MAX_THREADS};
 
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Command {
-    /// `pmdbg run --workload <name> --ops <n> [--tool <name>] [--order <file>]`
+    /// `pmdbg run --workload <name> --ops <n> [--tool <name>] [--order <file>]
+    /// [--threads <n>]`
     Run {
         /// Workload name (see `pmdbg list`).
         workload: String,
@@ -27,6 +28,9 @@ pub enum Command {
         tool: String,
         /// Optional order-spec file path.
         order: Option<String>,
+        /// Detection worker threads (1 = sequential engine; >1 runs the
+        /// sharded parallel pipeline, pmdebugger only).
+        threads: usize,
     },
     /// `pmdbg corpus` — run the 78-case corpus through every tool (Table 6).
     Corpus,
@@ -40,8 +44,8 @@ pub enum Command {
         /// Output file path.
         out: String,
     },
-    /// `pmdbg replay --trace <file> [--tool <name>] [--model <m>]` —
-    /// replay a recorded trace through a detector.
+    /// `pmdbg replay --trace <file> [--tool <name>] [--model <m>]
+    /// [--threads <n>]` — replay a recorded trace through a detector.
     Replay {
         /// Trace file path.
         trace: String,
@@ -51,6 +55,9 @@ pub enum Command {
         model: String,
         /// Optional order-spec file.
         order: Option<String>,
+        /// Detection worker threads (1 = sequential engine; >1 runs the
+        /// sharded parallel pipeline, pmdebugger only).
+        threads: usize,
     },
     /// `pmdbg chaos --workload <name> [--ops <n>] [--points <n>]
     /// [--images <n>] [--budget-ms <n>] [--matrix] [--json]` — run a
@@ -103,8 +110,10 @@ pmdbg — PMDebugger reproduction CLI
 
 USAGE:
   pmdbg run --workload <name> [--ops <n>] [--tool <name>] [--order <file>]
+            [--threads <n>]
   pmdbg record --workload <name> [--ops <n>] --out <file>
   pmdbg replay --trace <file> [--tool <name>] [--model strict|epoch|strand]
+               [--threads <n>]
   pmdbg chaos --workload <name> [--ops <n>] [--points <n>] [--images <n>]
               [--budget-ms <n>] [--matrix] [--json]
   pmdbg characterize --workload <name> [--ops <n>]
@@ -117,6 +126,18 @@ WORKLOADS: b_tree c_tree r_tree rb_tree hashmap_tx hashmap_atomic
            synth_strand memcached redis a_YCSB..f_YCSB
 EXAMPLE:   pmdbg run --workload b_tree --ops 1024 --tool pmdebugger";
 
+fn parse_threads(text: String) -> Result<usize, UsageError> {
+    let threads: usize = text
+        .parse()
+        .map_err(|_| UsageError("--threads expects a number".into()))?;
+    if threads == 0 || threads > MAX_THREADS {
+        return Err(UsageError(format!(
+            "--threads must be between 1 and {MAX_THREADS}"
+        )));
+    }
+    Ok(threads)
+}
+
 /// Parses `args` (without the binary name).
 pub fn parse(args: &[String]) -> Result<Command, UsageError> {
     let mut it = args.iter();
@@ -127,6 +148,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
             let mut ops = 1024usize;
             let mut tool = "pmdebugger".to_owned();
             let mut order: Option<String> = None;
+            let mut threads = 1usize;
             while let Some(flag) = it.next() {
                 let mut value = |name: &str| {
                     it.next()
@@ -142,6 +164,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                     }
                     "--tool" | "-t" => tool = value(flag)?,
                     "--order" | "-o" => order = Some(value(flag)?),
+                    "--threads" | "-j" if sub == "run" => threads = parse_threads(value(flag)?)?,
                     other => return Err(UsageError(format!("unknown flag `{other}`"))),
                 }
             }
@@ -152,6 +175,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                     ops,
                     tool,
                     order,
+                    threads,
                 })
             } else {
                 Ok(Command::Characterize { workload, ops })
@@ -189,6 +213,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
             let mut tool = "pmdebugger".to_owned();
             let mut model = "strict".to_owned();
             let mut order: Option<String> = None;
+            let mut threads = 1usize;
             while let Some(flag) = it.next() {
                 let mut value = |name: &str| {
                     it.next()
@@ -200,6 +225,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                     "--tool" | "-t" => tool = value(flag)?,
                     "--model" | "-m" => model = value(flag)?,
                     "--order" | "-o" => order = Some(value(flag)?),
+                    "--threads" | "-j" => threads = parse_threads(value(flag)?)?,
                     other => return Err(UsageError(format!("unknown flag `{other}`"))),
                 }
             }
@@ -208,6 +234,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                 tool,
                 model,
                 order,
+                threads,
             })
         }
         "chaos" => {
@@ -300,6 +327,35 @@ pub fn tool_by_name(
         "nulgrind" => Some(Box::new(Nulgrind)),
         _ => None,
     }
+}
+
+/// Instantiates a detector, wrapping PMDebugger in the sharded parallel
+/// pipeline ([`ParallelPmDebugger`]) when `threads > 1`.
+///
+/// # Errors
+///
+/// Returns a message for unknown tools, or for `--threads > 1` with a
+/// baseline tool (only the pmdebugger engine shards).
+pub fn tool_with_threads(
+    name: &str,
+    model: PersistencyModel,
+    order: Option<&OrderSpec>,
+    threads: usize,
+) -> Result<Box<dyn Detector>, String> {
+    if threads > 1 {
+        if name != "pmdebugger" {
+            return Err(format!(
+                "--threads requires --tool pmdebugger (`{name}` has no parallel pipeline)"
+            ));
+        }
+        let mut config = DebuggerConfig::for_model(model);
+        if let Some(spec) = order {
+            config = config.with_order_spec(spec.clone());
+        }
+        return Ok(Box::new(ParallelPmDebugger::with_threads(config, threads)));
+    }
+    tool_by_name(name, model, order)
+        .ok_or_else(|| format!("unknown tool `{name}` (try `pmdbg list`)"))
 }
 
 /// Executes a parsed command, writing human output to `out`.
@@ -480,6 +536,7 @@ pub fn execute(command: Command, out: &mut dyn fmt::Write) -> Result<(), String>
             tool,
             model,
             order,
+            threads,
         } => {
             let text =
                 std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -501,15 +558,19 @@ pub fn execute(command: Command, out: &mut dyn fmt::Write) -> Result<(), String>
                     )
                 }
             };
-            let mut detector = tool_by_name(&tool, model, spec.as_ref())
-                .ok_or_else(|| format!("unknown tool `{tool}` (try `pmdbg list`)"))?;
+            let mut detector = tool_with_threads(&tool, model, spec.as_ref(), threads)?;
             let start = Instant::now();
             let reports = pm_trace::replay_finish(&trace, detector.as_mut());
             let elapsed = start.elapsed();
             writeln!(
                 out,
-                "replayed {} events through {tool} in {:.1} ms",
+                "replayed {} events through {tool}{} in {:.1} ms",
                 trace.len(),
+                if threads > 1 {
+                    format!(" [threads={threads}]")
+                } else {
+                    String::new()
+                },
                 elapsed.as_secs_f64() * 1e3
             )
             .map_err(|e| e.to_string())?;
@@ -522,6 +583,7 @@ pub fn execute(command: Command, out: &mut dyn fmt::Write) -> Result<(), String>
             ops,
             tool,
             order,
+            threads,
         } => {
             let workload = workload_by_name(&workload)
                 .ok_or_else(|| format!("unknown workload `{workload}` (try `pmdbg list`)"))?;
@@ -537,8 +599,7 @@ pub fn execute(command: Command, out: &mut dyn fmt::Write) -> Result<(), String>
                 }
             };
             let model = persistency(workload.model());
-            let detector = tool_by_name(&tool, model, spec.as_ref())
-                .ok_or_else(|| format!("unknown tool `{tool}` (try `pmdbg list`)"))?;
+            let detector = tool_with_threads(&tool, model, spec.as_ref(), threads)?;
 
             let mut rt = PmRuntime::trace_only();
             rt.attach(detector);
@@ -551,10 +612,15 @@ pub fn execute(command: Command, out: &mut dyn fmt::Write) -> Result<(), String>
 
             writeln!(
                 out,
-                "{} x{} under {}: {} events in {:.1} ms",
+                "{} x{} under {}{}: {} events in {:.1} ms",
                 workload.name(),
                 ops,
                 tool,
+                if threads > 1 {
+                    format!(" [threads={threads}]")
+                } else {
+                    String::new()
+                },
                 rt.event_count(),
                 elapsed.as_secs_f64() * 1e3
             )
@@ -584,6 +650,7 @@ mod tests {
                 ops: 1024,
                 tool: "pmdebugger".into(),
                 order: None,
+                threads: 1,
             }
         );
     }
@@ -609,6 +676,7 @@ mod tests {
                 ops: 50,
                 tool: "pmemcheck".into(),
                 order: Some("/tmp/x".into()),
+                threads: 1,
             }
         );
     }
@@ -669,6 +737,7 @@ mod tests {
                 ops: 50,
                 tool: "pmdebugger".into(),
                 order: None,
+                threads: 1,
             },
             &mut out,
         )
@@ -727,6 +796,7 @@ mod tests {
                 tool: "pmdebugger".into(),
                 model: "epoch".into(),
                 order: None,
+                threads: 1,
             }
         );
         assert!(
@@ -758,6 +828,7 @@ mod tests {
                 tool: "pmdebugger".into(),
                 model: "epoch".into(),
                 order: None,
+                threads: 1,
             },
             &mut out,
         )
@@ -774,6 +845,7 @@ mod tests {
                 tool: "pmdebugger".into(),
                 model: "strict".into(),
                 order: None,
+                threads: 1,
             },
             &mut String::new(),
         )
@@ -876,6 +948,60 @@ mod tests {
     }
 
     #[test]
+    fn parses_and_validates_threads() {
+        let cmd = parse(&args(&["run", "-w", "b_tree", "--threads", "4"])).unwrap();
+        assert!(matches!(cmd, Command::Run { threads: 4, .. }));
+        let cmd = parse(&args(&["replay", "--trace", "/tmp/t", "-j", "8"])).unwrap();
+        assert!(matches!(cmd, Command::Replay { threads: 8, .. }));
+        assert!(parse(&args(&["run", "-w", "x", "--threads", "0"])).is_err());
+        assert!(parse(&args(&["run", "-w", "x", "--threads", "999"])).is_err());
+        assert!(
+            parse(&args(&["characterize", "-w", "x", "--threads", "2"])).is_err(),
+            "--threads is a run/replay flag"
+        );
+    }
+
+    #[test]
+    fn parallel_run_matches_sequential_run() {
+        let run = |threads: usize| {
+            let mut out = String::new();
+            execute(
+                Command::Run {
+                    workload: "hashmap_atomic".into(),
+                    ops: 64,
+                    tool: "pmdebugger".into(),
+                    order: None,
+                    threads,
+                },
+                &mut out,
+            )
+            .unwrap();
+            // Strip the timing line: wall-clock differs, verdicts must not.
+            out.lines().skip(1).collect::<Vec<_>>().join("\n")
+        };
+        assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn threads_with_baseline_tool_is_a_clean_error() {
+        let err = execute(
+            Command::Run {
+                workload: "b_tree".into(),
+                ops: 8,
+                tool: "pmemcheck".into(),
+                order: None,
+                threads: 4,
+            },
+            &mut String::new(),
+        )
+        .unwrap_err();
+        assert!(
+            err.contains("--threads requires --tool pmdebugger"),
+            "{err}"
+        );
+    }
+
+    #[test]
     fn unknown_workload_is_a_clean_error() {
         let mut out = String::new();
         let err = execute(
@@ -884,6 +1010,7 @@ mod tests {
                 ops: 1,
                 tool: "pmdebugger".into(),
                 order: None,
+                threads: 1,
             },
             &mut out,
         )

@@ -2,7 +2,8 @@
 //! data structures (§4.1), the store/CLF/fence processing algorithms
 //! (§4.2–§4.4), and the detection rules (§4.5, §5.2).
 
-use std::collections::HashMap;
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
 
 use pm_trace::{Addr, BugKind, BugReport, Detector, FenceKind, PmEvent, StrandId, ThreadId};
 
@@ -31,7 +32,11 @@ pub trait CustomRule {
 /// Key of a bookkeeping space: per-strand under strand persistency (§5.1),
 /// per-thread otherwise (an x86 `SFENCE` orders only the issuing thread's
 /// flushes, so threads have independent persistency state).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// `Ord` matters: spaces live in a `BTreeMap` so that every cross-space
+/// walk (flush probing, residual collection) is deterministic — a
+/// prerequisite for the parallel pipeline's byte-identical merge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 enum SpaceKey {
     Thread(ThreadId),
     Strand(StrandId),
@@ -41,7 +46,7 @@ enum SpaceKey {
 /// rules.
 #[derive(Debug)]
 pub struct SpaceView<'a> {
-    spaces: &'a HashMap<SpaceKey, BookkeepingSpace>,
+    spaces: &'a BTreeMap<SpaceKey, BookkeepingSpace>,
 }
 
 impl SpaceView<'_> {
@@ -58,6 +63,15 @@ impl SpaceView<'_> {
             .map(|s| s.array_len() + s.tree_len())
             .sum()
     }
+}
+
+/// Cached per-space stat contributions; `agg` is their running sum (without
+/// `events_processed`, which the debugger tracks directly). Spaces are
+/// never removed from the map, so stale entries cannot linger.
+#[derive(Debug, Default)]
+struct StatsCache {
+    agg: DebuggerStats,
+    per_space: HashMap<SpaceKey, (u64, DebuggerStats)>,
 }
 
 #[derive(Debug, Clone, Default)]
@@ -91,8 +105,13 @@ struct EpochState {
 pub struct PmDebugger {
     config: DebuggerConfig,
     /// Bookkeeping spaces: one per strand section under strand persistency
-    /// (§5.1), one per thread otherwise.
-    spaces: HashMap<SpaceKey, BookkeepingSpace>,
+    /// (§5.1), one per thread otherwise. Ordered map — see [`SpaceKey`].
+    spaces: BTreeMap<SpaceKey, BookkeepingSpace>,
+    /// Incremental aggregate of per-space statistics, refreshed lazily from
+    /// spaces whose version moved (keeps [`PmDebugger::stats`] O(1) per
+    /// event under the pipeline's per-batch polling). Interior mutability
+    /// because `stats()` is a read.
+    stats_cache: RefCell<StatsCache>,
     order: OrderTracker,
     /// Per-thread epoch state.
     epochs: HashMap<ThreadId, EpochState>,
@@ -124,7 +143,8 @@ impl PmDebugger {
         let order = OrderTracker::new(config.order_spec.clone());
         PmDebugger {
             config,
-            spaces: HashMap::new(),
+            spaces: BTreeMap::new(),
+            stats_cache: RefCell::new(StatsCache::default()),
             order,
             epochs: HashMap::new(),
             reports: Vec::new(),
@@ -175,15 +195,28 @@ impl PmDebugger {
     }
 
     /// Aggregated bookkeeping statistics across all spaces.
+    ///
+    /// Incremental: each space's contribution is cached against its
+    /// mutation version and re-absorbed only when the space changed, so
+    /// polling after every event costs O(changed spaces) — in practice the
+    /// one space the event touched — instead of a full recomputation.
     pub fn stats(&self) -> DebuggerStats {
-        let mut stats = DebuggerStats {
-            events_processed: self.events_processed,
-            ..DebuggerStats::default()
-        };
-        for space in self.spaces.values() {
-            stats.absorb_space(space.stats(), space.tree_stats(), space.tree_len());
+        let mut cache = self.stats_cache.borrow_mut();
+        let StatsCache { agg, per_space } = &mut *cache;
+        for (key, space) in &self.spaces {
+            let version = space.version();
+            let entry = per_space.entry(*key).or_default();
+            if entry.0 != version {
+                agg.subtract(&entry.1);
+                let mut fresh = DebuggerStats::default();
+                fresh.absorb_space(space.stats(), space.tree_stats(), space.tree_len());
+                agg.add(&fresh);
+                *entry = (version, fresh);
+            }
         }
-        stats
+        let mut out = *agg;
+        out.events_processed = self.events_processed;
+        out
     }
 
     fn space_key(&self, tid: ThreadId, strand: Option<StrandId>) -> SpaceKey {
@@ -317,13 +350,16 @@ impl PmDebugger {
             );
         }
         if self.config.rules.lack_durability_in_epoch {
-            let residuals: Vec<_> = self
+            let mut residuals: Vec<_> = self
                 .spaces
                 .values()
                 .filter(|s| s.has_epoch_entries())
                 .flat_map(|s| s.residuals())
                 .filter(|r| r.in_epoch)
                 .collect();
+            // Canonical order: reports at one event sort by address range,
+            // so sequential and sharded runs emit identical lists.
+            residuals.sort_by_key(|r| (r.addr, r.size, r.store_seq));
             for residual in residuals {
                 self.reports.push(
                     BugReport::new(
@@ -485,7 +521,11 @@ impl Detector for PmDebugger {
 
     fn finish(&mut self) -> Vec<BugReport> {
         if self.config.rules.no_durability {
-            let residuals: Vec<_> = self.spaces.values().flat_map(|s| s.residuals()).collect();
+            let mut residuals: Vec<_> = self.spaces.values().flat_map(|s| s.residuals()).collect();
+            // Canonical order (originating store, then address range): makes
+            // the end-of-run report list independent of space layout, so the
+            // parallel merge can reproduce it exactly.
+            residuals.sort_by_key(|r| (r.store_seq, r.addr, r.size));
             for residual in residuals {
                 let (what, hint) = match residual.state {
                     crate::array::FlushState::Flushed => {
@@ -516,6 +556,10 @@ impl Detector for PmDebugger {
             self.reports.extend(extra);
         }
         std::mem::take(&mut self.reports)
+    }
+
+    fn malformed_events(&self) -> u64 {
+        self.malformed_events
     }
 }
 

@@ -48,6 +48,7 @@ pub mod cover;
 pub mod debugger;
 pub mod interval;
 pub mod order;
+pub mod parallel;
 pub mod rules;
 pub mod space;
 pub mod stats;
@@ -61,6 +62,10 @@ pub use cover::RangeCover;
 pub use debugger::{CustomRule, PmDebugger, SpaceView};
 pub use interval::{IntervalList, IntervalMeta, IntervalState};
 pub use order::OrderTracker;
+pub use parallel::{
+    detect_parallel, detect_parallel_from, profile_parallel, ParallelConfig, ParallelOutcome,
+    ParallelPmDebugger, PipelineProfile, MAX_THREADS,
+};
 pub use rules::{EpochSizeRule, FailureWindowRule, FlushAmplificationRule};
 pub use space::{BookkeepingSpace, FenceOutcome, FlushOutcome, Residual, SpaceStats, StoreOutcome};
 pub use stats::DebuggerStats;

@@ -1,0 +1,731 @@
+//! Parallel sharded detection pipeline.
+//!
+//! The sequential [`PmDebugger`] already meets the paper's per-event cost
+//! targets; this module scales it across worker threads for heavy traces.
+//! The design exploits the same property WITCHER-style tools use: PM
+//! crash-consistency state is partitionable by address. A
+//! [`pm_trace::ShardPlan`] groups granularity blocks into connected
+//! components (ranges that ever share a block end up together), whole
+//! components are assigned to workers by balanced greedy placement, and
+//! every event of the stream is labeled with a routing key. Workers then
+//! *route themselves*: each scans the shared event slice in lockstep with
+//! the key array, consuming the events whose key maps to it plus every
+//! broadcast event (fences, epoch/strand markers, crash points — the
+//! paper's ordering rules must be observed at the correct stream
+//! position). There is no splitter thread, no channel and no copying: the
+//! only serial work is the two-pass plan build, and the per-event routing
+//! test each worker performs is two array reads.
+//!
+//! Because every pair of events that can interact through a detection rule
+//! shares a component, each worker's verdicts are exactly the sequential
+//! verdicts for its addresses; the merge then reassembles the sequential
+//! report list:
+//!
+//! * mid-stream reports are merged by `(event, intra-event emission rank,
+//!   address, size)` — the order the sequential debugger emits them;
+//! * end-of-run reports (no-durability residuals) are merged by
+//!   `(originating store, address, size)`, matching the sequential
+//!   `finish`'s canonical order;
+//! * reports derived purely from broadcast events (redundant epoch fences
+//!   and redundant logging — tx-log appends broadcast because they feed
+//!   per-thread epoch state) are emitted identically by every worker, so
+//!   only worker 0's copies are kept; the same holds for the
+//!   malformed-event counter.
+//!
+//! The result is byte-identical to the sequential run — property-tested in
+//! `crates/core/tests/parallel_determinism.rs`.
+
+use std::thread;
+use std::time::Instant;
+
+use pm_trace::{
+    BugKind, BugReport, Detector, KeyedChunk, PlanBuilder, PmEvent, ShardPlan, Trace, KEY_BROADCAST,
+};
+
+use crate::config::DebuggerConfig;
+use crate::debugger::PmDebugger;
+use crate::stats::DebuggerStats;
+
+/// Hard ceiling on worker threads (a runaway `--threads` guard).
+pub const MAX_THREADS: usize = 64;
+
+/// Tuning knobs for the parallel pipeline.
+#[derive(Debug, Clone)]
+pub struct ParallelConfig {
+    /// Worker threads (clamped to `1..=`[`MAX_THREADS`]). One thread runs
+    /// the sequential engine inline.
+    pub threads: usize,
+}
+
+impl ParallelConfig {
+    /// Defaults with an explicit thread count.
+    pub fn with_threads(threads: usize) -> Self {
+        ParallelConfig { threads }
+    }
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig {
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get().min(8))
+                .unwrap_or(4),
+        }
+    }
+}
+
+/// Result of one parallel detection run.
+#[derive(Debug, Clone)]
+pub struct ParallelOutcome {
+    /// Merged reports, byte-identical to the sequential run's.
+    pub reports: Vec<BugReport>,
+    /// Merged statistics: `events_processed` is the true input length;
+    /// bookkeeping counters are summed over workers (the work actually
+    /// performed, which differs from the sequential run's because each
+    /// worker's array sees less pressure).
+    pub stats: DebuggerStats,
+    /// Structurally invalid events tolerated (identical on every worker —
+    /// malformedness is a property of the broadcast stream — so reported
+    /// once, not summed).
+    pub malformed_events: u64,
+    /// Worker threads actually used.
+    pub threads: usize,
+    /// Bridged address components discovered by the plan — block groups
+    /// connected by block-crossing spans; singleton blocks are not counted
+    /// (0 on the 1-thread path).
+    pub components: usize,
+    /// Events routed to exactly one worker.
+    pub routed_events: u64,
+    /// Events broadcast to all workers.
+    pub broadcast_events: u64,
+}
+
+/// Emission rank of a report kind within a single event's handler, in the
+/// order the sequential debugger pushes them (e.g. at a flush: redundant
+/// flush, then flush-nothing, then strand-ordering; at an epoch end:
+/// redundant fence, then durability residuals). The merge key uses it so
+/// reports from different workers interleave exactly as sequentially.
+fn intra_event_rank(kind: BugKind) -> u8 {
+    match kind {
+        BugKind::NoDurabilityGuarantee
+        | BugKind::MultipleOverwrites
+        | BugKind::RedundantFlushes
+        | BugKind::RedundantLogging
+        | BugKind::RedundantEpochFence
+        | BugKind::CrossFailureSemantic => 0,
+        BugKind::FlushNothing | BugKind::LackDurabilityInEpoch => 1,
+        BugKind::LackOrderingInStrands => 2,
+        BugKind::NoOrderGuarantee => 3,
+    }
+}
+
+fn mid_key(r: &BugReport) -> (u64, u8, u64, u64) {
+    (
+        r.at_event.unwrap_or(u64::MAX),
+        intra_event_rank(r.kind),
+        r.addr.unwrap_or(0),
+        r.size.unwrap_or(0),
+    )
+}
+
+fn end_key(r: &BugReport) -> (u64, u64, u64) {
+    (
+        r.at_event.unwrap_or(u64::MAX),
+        r.addr.unwrap_or(0),
+        r.size.unwrap_or(0),
+    )
+}
+
+struct WorkerOut {
+    /// Reports pushed while consuming the stream (chronological).
+    mid: Vec<BugReport>,
+    /// Reports appended by `finish` (end-of-run residuals).
+    end: Vec<BugReport>,
+    stats: DebuggerStats,
+    malformed: u64,
+}
+
+/// Runs the full sequential engine inline (the 1-thread path, and the
+/// reference the determinism property compares against).
+fn detect_inline(config: &DebuggerConfig, events: &[PmEvent], base_seq: u64) -> ParallelOutcome {
+    let mut det = PmDebugger::new(config.clone());
+    for (idx, event) in events.iter().enumerate() {
+        det.on_event(base_seq + idx as u64, event);
+    }
+    let malformed_events = det.malformed_events();
+    let reports = det.finish();
+    ParallelOutcome {
+        reports,
+        stats: det.stats(),
+        malformed_events,
+        threads: 1,
+        components: 0,
+        routed_events: events.len() as u64,
+        broadcast_events: 0,
+    }
+}
+
+/// One worker's pass: scan the shared key array, detect over own and
+/// broadcast events.
+fn run_worker(
+    config: &DebuggerConfig,
+    plan: &ShardPlan,
+    events: &[PmEvent],
+    base_seq: u64,
+    me: u32,
+) -> WorkerOut {
+    let mut det = PmDebugger::new(config.clone());
+    let keys = plan.keys();
+    let table = plan.key_workers();
+    for (idx, &key) in keys.iter().enumerate() {
+        if key == KEY_BROADCAST || table[key as usize] == me {
+            det.on_event(base_seq + idx as u64, &events[idx]);
+        }
+    }
+    let mid_len = det.reports().len();
+    let malformed = det.malformed_events();
+    let mut mid = det.finish();
+    let end = mid.split_off(mid_len);
+    WorkerOut {
+        mid,
+        end,
+        stats: det.stats(),
+        malformed,
+    }
+}
+
+/// Reassembles the sequential report list from per-worker outputs.
+fn merge_outputs(
+    results: Vec<WorkerOut>,
+    plan: &ShardPlan,
+    events_len: usize,
+    threads: usize,
+) -> ParallelOutcome {
+    let mut stats = DebuggerStats::default();
+    let mut malformed_events = 0;
+    let mut mid = Vec::new();
+    let mut end = Vec::new();
+    for (worker, out) in results.into_iter().enumerate() {
+        stats.add(&out.stats);
+        if worker == 0 {
+            malformed_events = out.malformed;
+            mid.extend(out.mid);
+        } else {
+            // Redundant-epoch-fence and redundant-logging reports derive
+            // purely from broadcast events (fences, epoch markers, tx-log
+            // appends), so every worker emits identical copies; keep the
+            // set from worker 0 only.
+            mid.extend(out.mid.into_iter().filter(|r| {
+                r.kind != BugKind::RedundantEpochFence && r.kind != BugKind::RedundantLogging
+            }));
+        }
+        end.extend(out.end);
+    }
+    // Stable sorts: ties (possible only within one worker, since components
+    // never split across workers) keep their sequential relative order.
+    mid.sort_by_key(mid_key);
+    end.sort_by_key(end_key);
+    let mut reports = mid;
+    reports.append(&mut end);
+
+    stats.events_processed = events_len as u64;
+    ParallelOutcome {
+        reports,
+        stats,
+        malformed_events,
+        threads,
+        components: plan.component_count(),
+        routed_events: plan.routed_events(),
+        broadcast_events: plan.broadcast_events(),
+    }
+}
+
+/// Plan build with the key pass fanned out over `threads` chunk workers.
+/// Chunking never changes the result (keying is pure per event), so this
+/// equals [`ShardPlan::build`] exactly.
+fn build_plan_parallel(events: &[PmEvent], threads: usize, pin_named: bool) -> ShardPlan {
+    let builder = PlanBuilder::observe(events, threads, pin_named);
+    let size = events.len().div_ceil(threads).max(1);
+    let chunks: Vec<KeyedChunk> = thread::scope(|scope| {
+        let builder = &builder;
+        let handles: Vec<_> = events
+            .chunks(size)
+            .map(|chunk| scope.spawn(move || builder.key_chunk(chunk)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("key-pass worker panicked"))
+            .collect()
+    });
+    builder.finish(chunks)
+}
+
+/// Detects over `events` numbered from `base_seq` (the sequence number the
+/// first event would carry on a live runtime — reports then locate events
+/// exactly as a directly-attached sequential debugger would).
+pub fn detect_parallel_from(
+    config: &DebuggerConfig,
+    par: &ParallelConfig,
+    events: &[PmEvent],
+    base_seq: u64,
+) -> ParallelOutcome {
+    let threads = par.threads.clamp(1, MAX_THREADS);
+    if threads == 1 || events.len() < 2 {
+        return detect_inline(config, events, base_seq);
+    }
+
+    let pin_named = !config.order_spec.is_empty();
+    let plan = build_plan_parallel(events, threads, pin_named);
+
+    let results: Vec<WorkerOut> = thread::scope(|scope| {
+        let plan = &plan;
+        let handles: Vec<_> = (0..threads)
+            .map(|me| scope.spawn(move || run_worker(config, plan, events, base_seq, me as u32)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("detection worker panicked"))
+            .collect()
+    });
+
+    merge_outputs(results, &plan, events.len(), threads)
+}
+
+/// Per-stage timings of one pipeline run, measured with every stage
+/// executed serially on the calling thread.
+///
+/// Wall-clock timing of the threaded pipeline conflates the algorithm with
+/// the machine: on a single-core container (the common CI case) N worker
+/// threads time-slice one CPU and can never show a speedup, no matter how
+/// well the work partitions. This profile instead measures each stage in
+/// isolation — the serial observe/assign phases once, every key chunk and
+/// every worker separately — so [`PipelineProfile::critical_path_secs`]
+/// reconstructs the span an N-core execution would take: serial phases
+/// plus the *slowest* chunk and the *slowest* worker. On an unloaded
+/// N-core machine, wall clock approaches this span; on fewer cores, this
+/// is the number that still reflects partition quality (balance, serial
+/// fraction, broadcast duplication).
+#[derive(Debug, Clone)]
+pub struct PipelineProfile {
+    /// Worker threads the pipeline was planned for.
+    pub threads: usize,
+    /// Events in the stream.
+    pub events: usize,
+    /// One full sequential run (the baseline detector, no planning).
+    pub sequential_secs: f64,
+    /// Observe pass: bridge components over the full stream (serial).
+    pub observe_secs: f64,
+    /// Key pass, per chunk (parallel in the real pipeline).
+    pub key_chunk_secs: Vec<f64>,
+    /// Count merge + greedy worker assignment (serial).
+    pub assign_secs: f64,
+    /// Detection, per worker (parallel in the real pipeline).
+    pub worker_secs: Vec<f64>,
+    /// Report merge and canonical sort (serial).
+    pub merge_secs: f64,
+    /// The merged outcome (byte-identical to the sequential run).
+    pub outcome: ParallelOutcome,
+}
+
+impl PipelineProfile {
+    /// The span of an ideal `threads`-core execution: serial stages plus
+    /// the slowest key chunk and the slowest detection worker.
+    pub fn critical_path_secs(&self) -> f64 {
+        let max = |xs: &[f64]| xs.iter().cloned().fold(0.0, f64::max);
+        self.observe_secs
+            + max(&self.key_chunk_secs)
+            + self.assign_secs
+            + max(&self.worker_secs)
+            + self.merge_secs
+    }
+
+    /// Sequential time over the critical path: the speedup an unloaded
+    /// `threads`-core machine converges to.
+    pub fn modeled_speedup(&self) -> f64 {
+        self.sequential_secs / self.critical_path_secs().max(1e-12)
+    }
+}
+
+/// Profiles one parallel detection run stage by stage (see
+/// [`PipelineProfile`]). Every stage runs serially on the calling thread;
+/// the returned outcome is byte-identical to [`detect_parallel`]'s.
+pub fn profile_parallel(
+    config: &DebuggerConfig,
+    par: &ParallelConfig,
+    trace: &Trace,
+) -> PipelineProfile {
+    let events = trace.events();
+    let threads = par.threads.clamp(1, MAX_THREADS);
+
+    let t = Instant::now();
+    let seq = detect_inline(config, events, 0);
+    let sequential_secs = t.elapsed().as_secs_f64();
+    drop(seq);
+
+    let pin_named = !config.order_spec.is_empty();
+    let t = Instant::now();
+    let builder = PlanBuilder::observe(events, threads, pin_named);
+    let observe_secs = t.elapsed().as_secs_f64();
+
+    let size = events.len().div_ceil(threads).max(1);
+    let mut key_chunk_secs = Vec::new();
+    let mut chunks = Vec::new();
+    for chunk in events.chunks(size) {
+        let t = Instant::now();
+        chunks.push(builder.key_chunk(chunk));
+        key_chunk_secs.push(t.elapsed().as_secs_f64());
+    }
+
+    let t = Instant::now();
+    let plan = builder.finish(chunks);
+    let assign_secs = t.elapsed().as_secs_f64();
+
+    let mut worker_secs = Vec::new();
+    let mut results = Vec::new();
+    for me in 0..threads as u32 {
+        let t = Instant::now();
+        results.push(run_worker(config, &plan, events, 0, me));
+        worker_secs.push(t.elapsed().as_secs_f64());
+    }
+
+    let t = Instant::now();
+    let outcome = merge_outputs(results, &plan, events.len(), threads);
+    let merge_secs = t.elapsed().as_secs_f64();
+
+    PipelineProfile {
+        threads,
+        events: events.len(),
+        sequential_secs,
+        observe_secs,
+        key_chunk_secs,
+        assign_secs,
+        worker_secs,
+        merge_secs,
+        outcome,
+    }
+}
+
+/// Runs parallel detection over a recorded trace.
+///
+/// # Example
+///
+/// ```
+/// use pm_trace::{PmEvent, ThreadId, Trace};
+/// use pmdebugger::{detect_parallel, DebuggerConfig, ParallelConfig, PersistencyModel};
+///
+/// let mut trace = Trace::new();
+/// trace.push(PmEvent::Store { addr: 0, size: 8, tid: ThreadId(0), strand: None, in_epoch: false });
+/// let config = DebuggerConfig::for_model(PersistencyModel::Strict);
+/// let outcome = detect_parallel(&config, &ParallelConfig::with_threads(4), &trace);
+/// assert_eq!(outcome.reports.len(), 1); // the store was never persisted
+/// ```
+pub fn detect_parallel(
+    config: &DebuggerConfig,
+    par: &ParallelConfig,
+    trace: &Trace,
+) -> ParallelOutcome {
+    detect_parallel_from(config, par, trace.events(), 0)
+}
+
+/// [`Detector`]-shaped front end for the parallel pipeline, so it can be
+/// attached to a [`pm_trace::PmRuntime`] like any sequential tool.
+///
+/// Events are buffered as they arrive (detection needs the full stream to
+/// plan the shard assignment); `finish` runs the pipeline and returns the
+/// merged reports. Custom rules are not supported on this path — they see
+/// per-worker sub-streams, not the merged state, so [`PmDebugger`] remains
+/// the engine for rule development.
+pub struct ParallelPmDebugger {
+    config: DebuggerConfig,
+    par: ParallelConfig,
+    buffer: Vec<PmEvent>,
+    base_seq: u64,
+    outcome: Option<ParallelOutcome>,
+}
+
+impl std::fmt::Debug for ParallelPmDebugger {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ParallelPmDebugger")
+            .field("threads", &self.par.threads)
+            .field("buffered", &self.buffer.len())
+            .field("finished", &self.outcome.is_some())
+            .finish()
+    }
+}
+
+impl ParallelPmDebugger {
+    /// Creates a pipeline front end with explicit tuning.
+    pub fn new(config: DebuggerConfig, par: ParallelConfig) -> Self {
+        ParallelPmDebugger {
+            config,
+            par,
+            buffer: Vec::new(),
+            base_seq: 0,
+            outcome: None,
+        }
+    }
+
+    /// Creates a pipeline front end with default tuning and `threads`
+    /// workers.
+    pub fn with_threads(config: DebuggerConfig, threads: usize) -> Self {
+        Self::new(config, ParallelConfig::with_threads(threads))
+    }
+
+    /// The outcome of the last `finish`, including merged stats and the
+    /// malformed-event counter.
+    pub fn last_outcome(&self) -> Option<&ParallelOutcome> {
+        self.outcome.as_ref()
+    }
+}
+
+impl Detector for ParallelPmDebugger {
+    fn name(&self) -> &str {
+        "pmdebugger-parallel"
+    }
+
+    fn on_event(&mut self, seq: u64, event: &PmEvent) {
+        if self.buffer.is_empty() {
+            self.base_seq = seq;
+        }
+        self.buffer.push(event.clone());
+    }
+
+    fn finish(&mut self) -> Vec<BugReport> {
+        let events = std::mem::take(&mut self.buffer);
+        let outcome = detect_parallel_from(&self.config, &self.par, &events, self.base_seq);
+        let reports = outcome.reports.clone();
+        self.outcome = Some(outcome);
+        reports
+    }
+
+    fn malformed_events(&self) -> u64 {
+        self.outcome.as_ref().map_or(0, |o| o.malformed_events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PersistencyModel;
+    use pm_trace::{FenceKind, FlushKind, PmRuntime, StrandId, ThreadId};
+
+    fn store(addr: u64, size: u32, tid: u32, in_epoch: bool) -> PmEvent {
+        PmEvent::Store {
+            addr,
+            size,
+            tid: ThreadId(tid),
+            strand: None,
+            in_epoch,
+        }
+    }
+
+    fn flush(addr: u64, size: u32, tid: u32) -> PmEvent {
+        PmEvent::Flush {
+            kind: FlushKind::Clwb,
+            addr,
+            size,
+            tid: ThreadId(tid),
+            strand: None,
+        }
+    }
+
+    fn fence(tid: u32) -> PmEvent {
+        PmEvent::Fence {
+            kind: FenceKind::Sfence,
+            tid: ThreadId(tid),
+            strand: None,
+            in_epoch: false,
+        }
+    }
+
+    /// A messy multi-thread trace that exercises most mid-stream and
+    /// end-of-run rules across many address components.
+    fn messy_trace() -> Trace {
+        let mut t = Trace::new();
+        for i in 0..40u64 {
+            let tid = (i % 3) as u32;
+            let addr = (i % 8) * 4096 + (i % 5) * 64;
+            t.push(store(addr, 16, tid, false));
+            t.push(store(addr + 8, 16, tid, false)); // overlap: overwrites
+            if i % 3 != 0 {
+                t.push(flush(addr & !63, 64, tid));
+            }
+            if i % 4 == 0 {
+                t.push(flush(addr & !63, 64, tid)); // sometimes redundant
+            }
+            if i % 2 == 0 {
+                t.push(fence(tid));
+            }
+        }
+        t.push(PmEvent::Crash);
+        t.push(PmEvent::RecoveryRead {
+            addr: 4096,
+            size: 64,
+        });
+        t
+    }
+
+    fn assert_matches_sequential(trace: &Trace, config: &DebuggerConfig, threads: usize) {
+        let seq = detect_inline(config, trace.events(), 0);
+        let par = detect_parallel(config, &ParallelConfig::with_threads(threads), trace);
+        assert_eq!(
+            par.reports, seq.reports,
+            "{threads}-thread run diverged from sequential"
+        );
+        assert_eq!(par.malformed_events, seq.malformed_events);
+        assert_eq!(par.stats.events_processed, trace.len() as u64);
+    }
+
+    #[test]
+    fn strict_reports_match_sequential() {
+        let trace = messy_trace();
+        let config = DebuggerConfig::for_model(PersistencyModel::Strict);
+        for threads in [2, 3, 4, 8] {
+            assert_matches_sequential(&trace, &config, threads);
+        }
+    }
+
+    #[test]
+    fn epoch_reports_match_sequential_without_duplicated_fence_reports() {
+        let mut t = Trace::new();
+        t.push(PmEvent::EpochBegin { tid: ThreadId(0) });
+        for i in 0..4u64 {
+            t.push(store(i * 4096, 8, 0, true));
+            t.push(flush(i * 4096, 64, 0));
+            t.push(PmEvent::Fence {
+                kind: FenceKind::Sfence,
+                tid: ThreadId(0),
+                strand: None,
+                in_epoch: true,
+            });
+        }
+        t.push(store(9 * 4096, 8, 0, true)); // left undurable in epoch
+        t.push(PmEvent::EpochEnd { tid: ThreadId(0) });
+        let config = DebuggerConfig::for_model(PersistencyModel::Epoch);
+        let seq = detect_inline(&config, t.events(), 0);
+        let par = detect_parallel(&config, &ParallelConfig::with_threads(4), &t);
+        assert_eq!(par.reports, seq.reports);
+        let fence_reports = par
+            .reports
+            .iter()
+            .filter(|r| r.kind == BugKind::RedundantEpochFence)
+            .count();
+        assert_eq!(fence_reports, 1, "broadcast-derived report duplicated");
+    }
+
+    #[test]
+    fn order_spec_pins_rules_to_one_worker() {
+        let mut spec = pm_trace::OrderSpec::new();
+        spec.add_rule("value", "key", None);
+        let config = DebuggerConfig::for_model(PersistencyModel::Strict).with_order_spec(spec);
+        let mut t = Trace::new();
+        t.push(PmEvent::NameRange {
+            name: "value".into(),
+            addr: 0,
+            size: 8,
+        });
+        t.push(PmEvent::NameRange {
+            name: "key".into(),
+            addr: 1 << 16,
+            size: 8,
+        });
+        t.push(store(0, 8, 0, false));
+        t.push(store(1 << 16, 8, 0, false));
+        t.push(flush(1 << 16, 64, 0));
+        t.push(fence(0)); // key durable before value: order violation
+        t.push(flush(0, 64, 0));
+        t.push(fence(0));
+        for threads in [2, 4, 8] {
+            assert_matches_sequential(&t, &config, threads);
+        }
+        let par = detect_parallel(&config, &ParallelConfig::with_threads(4), &t);
+        assert!(par
+            .reports
+            .iter()
+            .any(|r| r.kind == BugKind::NoOrderGuarantee));
+    }
+
+    #[test]
+    fn malformed_counter_propagates_through_merge() {
+        let mut t = Trace::new();
+        t.push(PmEvent::StrandBegin {
+            strand: StrandId(0),
+            tid: ThreadId(0),
+        });
+        t.push(PmEvent::Store {
+            addr: 0,
+            size: 8,
+            tid: ThreadId(0),
+            strand: Some(StrandId(0)),
+            in_epoch: false,
+        });
+        t.push(PmEvent::StrandEnd {
+            strand: StrandId(0),
+            tid: ThreadId(0),
+        });
+        // Persist barrier outside any strand after strands were seen: one
+        // malformed event, counted once per worker but reported once.
+        t.push(PmEvent::Fence {
+            kind: FenceKind::PersistBarrier,
+            tid: ThreadId(0),
+            strand: None,
+            in_epoch: false,
+        });
+        let config = DebuggerConfig::for_model(PersistencyModel::Strand);
+        let seq = detect_inline(&config, t.events(), 0);
+        assert_eq!(seq.malformed_events, 1);
+        for threads in [2, 4] {
+            let par = detect_parallel(&config, &ParallelConfig::with_threads(threads), &t);
+            assert_eq!(par.malformed_events, 1, "counter lost or multiplied");
+            assert_eq!(par.reports, seq.reports);
+        }
+    }
+
+    #[test]
+    fn detector_front_end_matches_attached_sequential_run() {
+        // Same workload driven twice through a pool-backed runtime (where
+        // RegisterPmem precedes attachment, so sequence numbers start at 1).
+        let drive = |det: Box<dyn Detector>| -> (Vec<BugReport>, u64) {
+            let mut rt = PmRuntime::with_pool(1 << 16).unwrap();
+            rt.attach(det);
+            for i in 0..32u64 {
+                rt.store(i * 128, &[7; 16]).unwrap();
+                if i % 2 == 0 {
+                    rt.clwb(i * 128).unwrap();
+                }
+                if i % 4 == 0 {
+                    rt.sfence();
+                }
+            }
+            let summary = rt.finish_summary();
+            (summary.reports, summary.malformed_events)
+        };
+        let (seq_reports, seq_malformed) = drive(Box::new(PmDebugger::strict()));
+        let (par_reports, par_malformed) = drive(Box::new(ParallelPmDebugger::with_threads(
+            DebuggerConfig::for_model(PersistencyModel::Strict),
+            4,
+        )));
+        assert_eq!(par_reports, seq_reports);
+        assert_eq!(par_malformed, seq_malformed);
+    }
+
+    #[test]
+    fn outcome_counts_routing() {
+        let trace = messy_trace();
+        let config = DebuggerConfig::for_model(PersistencyModel::Strict);
+        let par = detect_parallel(&config, &ParallelConfig::with_threads(4), &trace);
+        assert_eq!(par.threads, 4);
+        assert_eq!(par.routed_events + par.broadcast_events, trace.len() as u64);
+        assert!(par.broadcast_events > 0); // the fences and the crash
+    }
+
+    #[test]
+    fn single_thread_path_is_sequential() {
+        let trace = messy_trace();
+        let config = DebuggerConfig::for_model(PersistencyModel::Strict);
+        let one = detect_parallel(&config, &ParallelConfig::with_threads(1), &trace);
+        let seq = detect_inline(&config, trace.events(), 0);
+        assert_eq!(one.reports, seq.reports);
+        assert_eq!(one.threads, 1);
+    }
+}

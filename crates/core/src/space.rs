@@ -124,6 +124,10 @@ pub struct BookkeepingSpace {
     /// In-epoch entries currently staged in the array (lets epoch-end
     /// checks skip scanning when zero).
     array_epoch: usize,
+    /// Monotone mutation counter: bumped by every state-changing operation,
+    /// so aggregate-stat callers can cache per-space contributions and
+    /// refresh only spaces that actually changed.
+    version: u64,
 }
 
 impl BookkeepingSpace {
@@ -136,7 +140,14 @@ impl BookkeepingSpace {
             merge_threshold,
             stats: SpaceStats::default(),
             array_epoch: 0,
+            version: 0,
         }
+    }
+
+    /// Current mutation version (see the `version` field). A space whose
+    /// version is unchanged has unchanged stats, tree stats and tree size.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Current tree size.
@@ -182,6 +193,7 @@ impl BookkeepingSpace {
         seq: u64,
         check_existing: bool,
     ) -> StoreOutcome {
+        self.version += 1;
         let mut outcome = StoreOutcome::default();
         if check_existing {
             outcome.already_tracked = self.contains_overlap(addr, size);
@@ -240,6 +252,7 @@ impl BookkeepingSpace {
 
     /// §4.3: processes a CLF persisting `[addr, addr+size)`.
     pub fn on_flush(&mut self, addr: Addr, size: u64) -> FlushOutcome {
+        self.version += 1;
         let mut outcome = FlushOutcome::default();
 
         // Array first, at CLF-interval granularity. Only intervals that
@@ -382,6 +395,7 @@ impl BookkeepingSpace {
     /// elements dropped, surviving unflushed elements migrated to the tree.
     /// Ends the fence interval.
     pub fn on_fence(&mut self) -> FenceOutcome {
+        self.version += 1;
         let mut outcome = FenceOutcome::default();
 
         // 1. Tree: remove persisted records (skipped outright when the
@@ -468,6 +482,7 @@ impl BookkeepingSpace {
     /// Clears the epoch flag on every tracked location (after an epoch-end
     /// check, so the next epoch's check starts clean).
     pub fn clear_epoch_flags(&mut self) {
+        self.version += 1;
         if self.array_epoch > 0 {
             for entry in self.array.entries_mut() {
                 entry.in_epoch = false;
@@ -480,6 +495,7 @@ impl BookkeepingSpace {
     /// Drops every tracked location (used when a simulated crash wipes
     /// volatile state).
     pub fn reset(&mut self) {
+        self.version += 1;
         self.array.clear();
         self.intervals.clear();
         self.array_epoch = 0;

@@ -49,6 +49,44 @@ impl DebuggerStats {
         self.tree_len_now += tree_len;
     }
 
+    /// Adds every counter of `other` into `self` (used by the incremental
+    /// stats cache and by the parallel merge; `events_processed` is summed
+    /// like the rest — parallel callers overwrite it with the true input
+    /// length afterwards, since broadcast events are observed once per
+    /// worker).
+    pub fn add(&mut self, other: &DebuggerStats) {
+        self.events_processed += other.events_processed;
+        self.array_stores += other.array_stores;
+        self.array_spills += other.array_spills;
+        self.splits += other.splits;
+        self.fence_intervals += other.fence_intervals;
+        self.tree_node_sum += other.tree_node_sum;
+        self.migrations += other.migrations;
+        self.rotations += other.rotations;
+        self.merges += other.merges;
+        self.tree_inserts += other.tree_inserts;
+        self.tree_removals += other.tree_removals;
+        self.tree_len_now += other.tree_len_now;
+    }
+
+    /// Removes a previously [`DebuggerStats::add`]ed contribution. Callers
+    /// must only subtract exact prior contributions; anything else
+    /// underflows (and panics in debug builds).
+    pub fn subtract(&mut self, other: &DebuggerStats) {
+        self.events_processed -= other.events_processed;
+        self.array_stores -= other.array_stores;
+        self.array_spills -= other.array_spills;
+        self.splits -= other.splits;
+        self.fence_intervals -= other.fence_intervals;
+        self.tree_node_sum -= other.tree_node_sum;
+        self.migrations -= other.migrations;
+        self.rotations -= other.rotations;
+        self.merges -= other.merges;
+        self.tree_inserts -= other.tree_inserts;
+        self.tree_removals -= other.tree_removals;
+        self.tree_len_now -= other.tree_len_now;
+    }
+
     /// Average tree node count per fence interval (Figure 11).
     pub fn avg_tree_nodes(&self) -> f64 {
         if self.fence_intervals == 0 {
@@ -98,5 +136,35 @@ mod tests {
     #[test]
     fn empty_stats_avg_is_zero() {
         assert_eq!(DebuggerStats::default().avg_tree_nodes(), 0.0);
+    }
+
+    #[test]
+    fn add_then_subtract_roundtrips() {
+        let mut agg = DebuggerStats::default();
+        let mut contrib = DebuggerStats::default();
+        contrib.absorb_space(
+            SpaceStats {
+                array_stores: 10,
+                array_spills: 1,
+                splits: 2,
+                fence_intervals: 4,
+                tree_node_sum: 20,
+                migrations: 3,
+            },
+            TreeOpStats {
+                rotations: 5,
+                merges: 1,
+                inserts: 6,
+                removals: 2,
+            },
+            7,
+        );
+        contrib.events_processed = 11;
+        agg.add(&contrib);
+        agg.add(&contrib);
+        agg.subtract(&contrib);
+        assert_eq!(agg, contrib);
+        agg.subtract(&contrib);
+        assert_eq!(agg, DebuggerStats::default());
     }
 }

@@ -174,6 +174,40 @@ pub trait Detector {
     /// Runs end-of-program checks (e.g. the no-durability-guarantee rule)
     /// and returns all reports accumulated over the whole run.
     fn finish(&mut self) -> Vec<BugReport>;
+
+    /// Structurally invalid events the detector tolerated (e.g. a persist
+    /// barrier outside any strand in a perturbed stream). Merge paths must
+    /// carry this alongside the reports — a stream that was partly
+    /// nonsensical weakens every "no bugs found" verdict.
+    fn malformed_events(&self) -> u64 {
+        0
+    }
+
+    /// Events the detector dropped without processing (truncated input,
+    /// exhausted budgets). Like [`Detector::malformed_events`], this must
+    /// survive report merging.
+    fn truncated_events(&self) -> u64 {
+        0
+    }
+}
+
+/// Order-independent-free (position-sensitive) hash of a report list: FNV-1a
+/// over each report's display form. Two runs produce the same hash iff they
+/// produced byte-identical report lists in the same order — the equivalence
+/// check recorded by the parallel bench gate.
+pub fn report_hash(reports: &[BugReport]) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = FNV_OFFSET;
+    for report in reports {
+        for byte in report.to_string().bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+        hash ^= 0xff; // record separator
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
 }
 
 /// A detector that does nothing — the paper's "Nulgrind" configuration

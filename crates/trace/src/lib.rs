@@ -51,18 +51,24 @@ pub mod format;
 pub mod orderspec;
 pub mod recorder;
 pub mod runtime;
+pub mod shard;
 pub mod summary;
 
 pub use annotations::Annotation;
 pub use characterize::{
     CharacterizationReport, DistanceHistogram, FenceIntervalHistogram, TraceCharacterizer,
 };
-pub use detector::{BugKind, BugReport, CountingDetector, Detector, NopDetector, Severity};
+pub use detector::{
+    report_hash, BugKind, BugReport, CountingDetector, Detector, NopDetector, Severity,
+};
 pub use events::{Addr, FenceKind, PmEvent, StrandId, ThreadId};
 pub use format::{from_text, to_text, ParseTraceError};
 pub use orderspec::{OrderRule, OrderSpec, ParseOrderSpecError};
 pub use recorder::{interleave_round_robin, replay, replay_finish, Trace, TraceStats};
-pub use runtime::{PmRuntime, RuntimeError};
+pub use runtime::{PmRuntime, RunSummary, RuntimeError};
+pub use shard::{
+    KeyedChunk, PlanBuilder, Route, RouteCursor, ShardPlan, KEY_BROADCAST, SHARD_BLOCK,
+};
 pub use summary::BugSummary;
 
 pub use pmem_sim::FlushKind;

@@ -55,6 +55,18 @@ impl From<PmemError> for RuntimeError {
     }
 }
 
+/// End-of-run result of a runtime with every diagnostic counter preserved
+/// across the detector merge.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunSummary {
+    /// All reports, grouped in detector attachment order.
+    pub reports: Vec<BugReport>,
+    /// Sum of [`Detector::malformed_events`] over attached detectors.
+    pub malformed_events: u64,
+    /// Sum of [`Detector::truncated_events`] over attached detectors.
+    pub truncated_events: u64,
+}
+
 /// The instrumentation runtime workloads program against.
 ///
 /// Mirrors the paper's software interface (Table 2): `register_pmem`,
@@ -456,12 +468,25 @@ impl PmRuntime {
 
     /// Finishes the run: every attached detector runs its end-of-program
     /// checks; all reports are returned, grouped in attachment order.
+    ///
+    /// Diagnostic counters (malformed/truncated events) are dropped by this
+    /// merge; use [`PmRuntime::finish_summary`] when they matter.
     pub fn finish(&mut self) -> Vec<BugReport> {
-        let mut all = Vec::new();
+        self.finish_summary().reports
+    }
+
+    /// Like [`PmRuntime::finish`], but also carries each detector's
+    /// malformed/truncated event counters through the merge instead of
+    /// silently dropping them.
+    pub fn finish_summary(&mut self) -> RunSummary {
+        let mut summary = RunSummary::default();
         for det in &mut self.detectors {
-            all.extend(det.finish());
+            // Counters first: `finish` may consume internal state.
+            summary.malformed_events += det.malformed_events();
+            summary.truncated_events += det.truncated_events();
+            summary.reports.extend(det.finish());
         }
-        all
+        summary
     }
 
     /// Detaches and returns the recorded trace, if recording was enabled.

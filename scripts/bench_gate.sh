@@ -1,0 +1,107 @@
+#!/usr/bin/env bash
+# Perf-regression gate for the parallel sharded pipeline.
+#
+# Runs the parallel_pipeline bench in smoke mode, then compares the fresh
+# numbers against the committed baseline (scripts/bench_baseline.json):
+#
+#   * every workload must be report-equivalent (parallel == sequential hash)
+#   * for every (workload, threads>1) row whose baseline speedup is at
+#     least 1.25x, the fresh critical-path speedup must be within 10% of
+#     the baseline (improvements always pass); a small absolute margin
+#     (0.12x) is subtracted from the floor to absorb scheduler noise.
+#     Rows below 1.25x baseline (the low-parallelism contrast workloads)
+#     hover around 1.0x, where run-to-run noise exceeds any real signal —
+#     they are printed for information but not gated
+#
+# Speedups are derived from the critical-path profile rather than wall
+# clock so the gate measures partition quality, not the CI host's core
+# count (see crates/bench/benches/parallel_pipeline.rs for the rationale).
+#
+# Usage:
+#   scripts/bench_gate.sh                   # gate against the baseline
+#   scripts/bench_gate.sh --update-baseline # refresh scripts/bench_baseline.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE="scripts/bench_baseline.json"
+FRESH="target/bench_smoke.json"
+TOLERANCE="0.10"
+ABS_MARGIN="0.12"
+GATE_MIN_SPEEDUP="1.25"
+
+mkdir -p target
+PM_BENCH_SMOKE=1 PM_BENCH_JSON="$(pwd)/${FRESH}" \
+  cargo bench -q --offline -p pm-bench --bench parallel_pipeline
+
+if [ "${1:-}" = "--update-baseline" ]; then
+  cp "${FRESH}" "${BASELINE}"
+  echo "bench_gate: baseline updated (${BASELINE})"
+  exit 0
+fi
+
+if [ ! -f "${BASELINE}" ]; then
+  echo "bench_gate: missing ${BASELINE}; run with --update-baseline" >&2
+  exit 1
+fi
+
+python3 - "${BASELINE}" "${FRESH}" "${TOLERANCE}" "${ABS_MARGIN}" "${GATE_MIN_SPEEDUP}" <<'PY'
+import json
+import sys
+
+baseline_path, fresh_path = sys.argv[1], sys.argv[2]
+tol, abs_margin, gate_min = (float(a) for a in sys.argv[3:6])
+baseline = json.load(open(baseline_path))
+fresh = json.load(open(fresh_path))
+
+def rows_by_workload(doc):
+    out = {}
+    for w in doc["workloads"]:
+        out[w["name"]] = {
+            "equivalent": w["equivalent"],
+            "rows": {r["threads"]: r for r in w["rows"]},
+        }
+    return out
+
+base = rows_by_workload(baseline)
+cur = rows_by_workload(fresh)
+failures = []
+
+for name, b in sorted(base.items()):
+    c = cur.get(name)
+    if c is None:
+        failures.append(f"{name}: missing from fresh run")
+        continue
+    if not c["equivalent"]:
+        failures.append(f"{name}: parallel reports diverged from sequential")
+    for threads, brow in sorted(b["rows"].items()):
+        if threads == 1:
+            continue
+        crow = c["rows"].get(threads)
+        if crow is None:
+            failures.append(f"{name} t={threads}: row missing from fresh run")
+            continue
+        if brow["speedup"] < gate_min:
+            print(
+                f"  {name:<16} t={threads}  baseline {brow['speedup']:.2f}x  "
+                f"fresh {crow['speedup']:.2f}x  info (below {gate_min:.2f}x, not gated)"
+            )
+            continue
+        floor = brow["speedup"] * (1.0 - tol) - abs_margin
+        status = "ok" if crow["speedup"] >= floor else "FAIL"
+        print(
+            f"  {name:<16} t={threads}  baseline {brow['speedup']:.2f}x  "
+            f"fresh {crow['speedup']:.2f}x  floor {floor:.2f}x  {status}"
+        )
+        if crow["speedup"] < floor:
+            failures.append(
+                f"{name} t={threads}: speedup {crow['speedup']:.2f}x "
+                f"below floor {floor:.2f}x (baseline {brow['speedup']:.2f}x)"
+            )
+
+if failures:
+    print("bench_gate: FAIL")
+    for f in failures:
+        print(f"  {f}")
+    sys.exit(1)
+print("bench_gate: OK (within ±{:.0f}% of baseline)".format(tol * 100))
+PY

@@ -1,15 +1,74 @@
 #!/usr/bin/env bash
-# Repo CI gate: lint, format, test. Run from the repo root.
+# Repo CI gate: staged pipeline with per-stage timing. Run from anywhere.
+#
+#   lint -> fmt -> unit -> integration -> docs -> bench-smoke
+#
+# lint        clippy over all targets, warnings are errors
+# fmt         rustfmt check
+# unit        library unit tests
+# integration integration-test binaries (includes the parallel-determinism
+#             property suite)
+# docs        doc tests, then rustdoc with warnings as errors
+# bench-smoke regenerates the parallel-pipeline benchmark in smoke mode and
+#             gates on the committed baseline (scripts/bench_gate.sh)
+#
+# Select a subset of stages by name: `scripts/ci.sh lint fmt unit`.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== clippy (all targets, warnings are errors) =="
-cargo clippy --all-targets --offline -- -D warnings
+STAGES=("$@")
+if [ ${#STAGES[@]} -eq 0 ]; then
+  STAGES=(lint fmt unit integration docs bench-smoke)
+fi
 
-echo "== rustfmt check =="
-cargo fmt --check
+declare -a TIMINGS=()
 
-echo "== tests =="
-cargo test -q --offline
+run_stage() {
+  local name="$1"
+  shift
+  echo "== ${name} =="
+  local start end
+  start=$(date +%s)
+  "$@"
+  end=$(date +%s)
+  TIMINGS+=("$(printf '%-12s %4ds' "${name}" $((end - start)))")
+}
 
+docs_stage() {
+  cargo test -q --offline --workspace --doc
+  RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace -q
+}
+
+for stage in "${STAGES[@]}"; do
+  case "${stage}" in
+    lint)
+      run_stage lint cargo clippy --workspace --all-targets --offline -- -D warnings
+      ;;
+    fmt)
+      run_stage fmt cargo fmt --check
+      ;;
+    unit)
+      run_stage unit cargo test -q --offline --workspace --lib
+      ;;
+    integration)
+      run_stage integration cargo test -q --offline --workspace --tests
+      ;;
+    docs)
+      run_stage docs docs_stage
+      ;;
+    bench-smoke)
+      run_stage bench-smoke scripts/bench_gate.sh
+      ;;
+    *)
+      echo "unknown stage: ${stage}" >&2
+      exit 2
+      ;;
+  esac
+done
+
+echo
+echo "stage timings:"
+for t in "${TIMINGS[@]}"; do
+  echo "  ${t}"
+done
 echo "CI OK"

@@ -2,7 +2,7 @@
 //!
 //! The build environment cannot reach a crates.io mirror, so this crate
 //! vendors the subset of proptest's API the workspace's property tests use:
-//! [`Strategy`] with `prop_map`, integer-range / tuple / `Just` / regex-string
+//! [`strategy::Strategy`] with `prop_map`, integer-range / tuple / `Just` / regex-string
 //! strategies, `any::<T>()`, `proptest::collection::vec`,
 //! `proptest::option::of`, weighted `prop_oneof!`, the `proptest!` test macro,
 //! and the `prop_assert*` family.
