@@ -1,0 +1,192 @@
+//! Observability overhead — metrics-on vs metrics-off detection runs.
+//!
+//! The pm-obs layer claims "always-on" cost: relaxed-atomic counter bumps
+//! on the event hot path plus an end-of-run snapshot. This bench measures
+//! that claim on the two live-run workloads EXPERIMENTS.md quotes
+//! (memcached and YCSB-A) by running the sequential PMDebugger engine with
+//! and without a [`MetricsRegistry`] attached (runtime event tap + engine
+//! instrumentation, the full `pmdbg run --metrics` wiring) and reporting
+//! the slowdown. Measurements interleave the two variants so drift hits
+//! both equally, compute an on/off ratio per adjacent pair, and report the
+//! median pair (headline) and the best pair (gate lower bound).
+//!
+//! Env knobs: `PM_BENCH_SMOKE` shrinks inputs for the CI smoke stage,
+//! `PM_BENCH_FULL` grows them; `PM_BENCH_JSON` overrides the output path;
+//! `PM_OBS_MAX_OVERHEAD_PCT` turns the run into a gate that fails when any
+//! workload's overhead exceeds the given percentage.
+
+use std::time::{Duration, Instant};
+
+use pm_bench::{banner, persistency_of, TextTable};
+use pm_obs::{MetricsRegistry, RunManifest};
+use pm_trace::PmRuntime;
+use pm_workloads::{Memcached, Workload, Ycsb, YcsbLoad};
+use pmdebugger::{DebuggerConfig, PmDebugger};
+
+struct Row {
+    name: &'static str,
+    events: u64,
+    off: Duration,
+    on: Duration,
+    /// Per-pair on/off time ratios from the interleaved repeats.
+    ratios: Vec<f64>,
+}
+
+impl Row {
+    /// Median paired overhead — the headline number. Pairing adjacent
+    /// runs cancels machine-wide drift (frequency shifts, co-tenants).
+    fn median_pct(&self) -> f64 {
+        let mut sorted = self.ratios.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let mid = sorted.len() / 2;
+        let median = if sorted.len().is_multiple_of(2) {
+            (sorted[mid - 1] + sorted[mid]) / 2.0
+        } else {
+            sorted[mid]
+        };
+        (median - 1.0) * 100.0
+    }
+
+    /// Best (smallest) paired overhead — what the CI gate checks. If even
+    /// the quietest pair shows a slowdown above the limit, the cost is
+    /// real and not a noise spike.
+    fn best_pct(&self) -> f64 {
+        let best = self.ratios.iter().copied().fold(f64::MAX, f64::min);
+        (best - 1.0) * 100.0
+    }
+}
+
+fn one_run(workload: &dyn Workload, ops: usize, registry: Option<&MetricsRegistry>) -> Duration {
+    let model = persistency_of(workload);
+    let config = DebuggerConfig::for_model(model);
+    let mut rt = PmRuntime::trace_only();
+    if let Some(registry) = registry {
+        rt.observe(registry);
+        rt.attach(Box::new(PmDebugger::with_metrics(config, registry)));
+    } else {
+        rt.attach(Box::new(PmDebugger::new(config)));
+    }
+    let start = Instant::now();
+    workload.run(&mut rt, ops).expect("trace-only run");
+    let _ = rt.finish();
+    start.elapsed()
+}
+
+fn measure(name: &'static str, workload: &dyn Workload, ops: usize, repeats: usize) -> Row {
+    // Warm up both variants once so neither pays first-touch costs.
+    let _ = one_run(workload, ops, None);
+    let warm_registry = MetricsRegistry::new();
+    let _ = one_run(workload, ops, Some(&warm_registry));
+
+    let mut off = Duration::MAX;
+    let mut on = Duration::MAX;
+    let mut events = 0u64;
+    let mut ratios = Vec::with_capacity(repeats);
+    for _ in 0..repeats.max(1) {
+        let off_run = one_run(workload, ops, None);
+        let registry = MetricsRegistry::new();
+        let on_run = one_run(workload, ops, Some(&registry));
+        off = off.min(off_run);
+        on = on.min(on_run);
+        ratios.push(on_run.as_secs_f64() / off_run.as_secs_f64().max(1e-9));
+        // Sanity: the tap must actually have observed the run, otherwise
+        // "overhead" would be measuring nothing.
+        let mut manifest = RunManifest::new("pmdebugger", name, "any");
+        manifest.absorb_snapshot(&registry.snapshot());
+        assert!(manifest.events_total > 0, "{name}: event tap saw no events");
+        events = manifest.events_total;
+    }
+    Row {
+        name,
+        events,
+        off,
+        on,
+        ratios,
+    }
+}
+
+fn to_json(rows: &[Row], smoke: bool) -> String {
+    let mut out = String::from("{\"schema\":\"pmdebugger-metrics-overhead-v1\"");
+    out.push_str(&format!(",\"smoke\":{smoke},\"workloads\":["));
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"events\":{},\"off_ms\":{:.3},\"on_ms\":{:.3},\
+             \"overhead_pct\":{:.2},\"best_overhead_pct\":{:.2}}}",
+            row.name,
+            row.events,
+            row.off.as_secs_f64() * 1e3,
+            row.on.as_secs_f64() * 1e3,
+            row.median_pct(),
+            row.best_pct()
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+fn main() {
+    banner(
+        "Observability overhead — metrics-on vs metrics-off",
+        "new experiment; supports the pm-obs \"always-on\" cost claim",
+    );
+
+    let smoke = std::env::var_os("PM_BENCH_SMOKE").is_some();
+    let full = std::env::var_os("PM_BENCH_FULL").is_some();
+    // Smoke keeps runs short but not *too* short: below ~10 ms per run,
+    // scheduler noise swamps the per-event cost being measured.
+    let (ops, repeats) = if smoke {
+        (80_000, 7)
+    } else if full {
+        (400_000, 7)
+    } else {
+        (150_000, 5)
+    };
+
+    let memcached = Memcached::default().with_set_percent(20);
+    let ycsb = Ycsb::new(YcsbLoad::ALL[0], 42);
+    let rows = vec![
+        measure("memcached", &memcached, ops, repeats),
+        measure("a_YCSB", &ycsb, ops, repeats),
+    ];
+
+    let mut table = TextTable::new(vec![
+        "workload", "events", "off ms", "on ms", "median", "best",
+    ]);
+    for row in &rows {
+        table.row(vec![
+            row.name.to_owned(),
+            row.events.to_string(),
+            format!("{:.1}", row.off.as_secs_f64() * 1e3),
+            format!("{:.1}", row.on.as_secs_f64() * 1e3),
+            format!("{:+.2}%", row.median_pct()),
+            format!("{:+.2}%", row.best_pct()),
+        ]);
+    }
+    print!("{}", table.render());
+
+    let path =
+        std::env::var("PM_BENCH_JSON").unwrap_or_else(|_| "BENCH_metrics_overhead.json".to_owned());
+    let json = to_json(&rows, smoke);
+    std::fs::write(&path, format!("{json}\n")).expect("write bench JSON");
+    println!("wrote {path}");
+
+    if let Ok(limit) = std::env::var("PM_OBS_MAX_OVERHEAD_PCT") {
+        let limit: f64 = limit
+            .parse()
+            .expect("PM_OBS_MAX_OVERHEAD_PCT expects a number");
+        // Gate on the best pair: a noise spike slows one pair, but only a
+        // real per-event cost slows every pair including the quietest one.
+        for row in &rows {
+            assert!(
+                row.best_pct() <= limit,
+                "{}: metrics overhead {:.2}% (best pair) exceeds the {limit}% gate",
+                row.name,
+                row.best_pct()
+            );
+        }
+        println!("overhead gate passed (limit {limit}%)");
+    }
+}

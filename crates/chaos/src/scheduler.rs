@@ -11,6 +11,7 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashSet};
 
+use pm_obs::MetricsRegistry;
 use pm_trace::{PmEvent, Trace};
 use pmdebugger::{DebuggerConfig, PersistencyModel, PmDebugger};
 use pmem_sim::CrashImage;
@@ -31,6 +32,7 @@ const MINIMIZE_LIMIT: usize = 3;
 pub struct Campaign {
     model: PersistencyModel,
     budget: Budget,
+    metrics: Option<MetricsRegistry>,
 }
 
 impl Campaign {
@@ -39,12 +41,22 @@ impl Campaign {
         Campaign {
             model,
             budget: Budget::default(),
+            metrics: None,
         }
     }
 
     /// Replaces the budget.
     pub fn with_budget(mut self, budget: Budget) -> Campaign {
         self.budget = budget;
+        self
+    }
+
+    /// Attaches a metrics registry. Each [`Campaign::run`] then exports
+    /// campaign progress under the `chaos.*` prefix (boundaries tested,
+    /// crash images enumerated, unrecoverable states, truncations) and
+    /// records the sweep's wall time in the `stage.chaos_sweep` histogram.
+    pub fn with_metrics(mut self, registry: MetricsRegistry) -> Campaign {
+        self.metrics = Some(registry);
         self
     }
 
@@ -62,6 +74,9 @@ impl Campaign {
     /// budget. Resource exhaustion *during* the sweep is not an error: the
     /// report comes back partial with explicit [`Truncation`] markers.
     pub fn run(&self, workload: &str, trace: &Trace) -> Result<CampaignReport, ChaosError> {
+        // Span guard: drops (and records `stage.chaos_sweep`) on every exit
+        // path, including the early `?` errors.
+        let _sweep = self.metrics.as_ref().map(|r| r.span("stage.chaos_sweep"));
         let clock = self.budget.start_clock();
         let mut truncations = Vec::new();
 
@@ -183,7 +198,7 @@ impl Campaign {
                 .or_insert(0) += 1;
         }
 
-        Ok(CampaignReport {
+        let report = CampaignReport {
             workload: workload.to_owned(),
             model: model_name(self.model),
             events_replayed: replay_len,
@@ -195,7 +210,11 @@ impl Campaign {
             malformed_events,
             truncations,
             wall_ms: clock.elapsed_ms(),
-        })
+        };
+        if let Some(registry) = &self.metrics {
+            export_campaign(registry, &report);
+        }
+        Ok(report)
     }
 
     /// Finds the shortest boundary at which `(validator, addr)` already
@@ -236,6 +255,33 @@ impl Campaign {
             }
         }
         Some(found_at)
+    }
+}
+
+/// Exports a finished campaign's progress counters under the `chaos.*`
+/// prefix. Counters add, so several campaigns sharing one registry (e.g.
+/// one per persistency model) accumulate into a combined total.
+fn export_campaign(registry: &MetricsRegistry, report: &CampaignReport) {
+    let counters = [
+        ("chaos.campaigns", 1),
+        ("chaos.events_replayed", report.events_replayed as u64),
+        ("chaos.boundaries_total", report.boundaries_total as u64),
+        ("chaos.boundaries_tested", report.boundaries_tested as u64),
+        ("chaos.images_tested", report.images_tested),
+        (
+            "chaos.unrecoverable_states",
+            report.unrecoverable.len() as u64,
+        ),
+        (
+            "chaos.detector_findings",
+            report.detector_findings.values().map(|&n| n as u64).sum(),
+        ),
+        ("chaos.truncations", report.truncations.len() as u64),
+    ];
+    for (name, value) in counters {
+        if value > 0 {
+            registry.counter(name).add(value);
+        }
     }
 }
 
@@ -387,6 +433,29 @@ mod tests {
             .iter()
             .any(|t| matches!(t, Truncation::WallClockExpired { .. })));
         assert_eq!(report.boundaries_tested, 0);
+    }
+
+    #[test]
+    fn metrics_export_campaign_progress() {
+        let trace = clean_trace(4);
+        let registry = pm_obs::MetricsRegistry::new();
+        let campaign = Campaign::new(PersistencyModel::Strict).with_metrics(registry.clone());
+        let report = campaign.run("observed", &trace).unwrap();
+        let report2 = campaign.run("observed-again", &trace).unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("chaos.campaigns"), 2);
+        assert_eq!(
+            snap.counter("chaos.boundaries_tested"),
+            (report.boundaries_tested + report2.boundaries_tested) as u64
+        );
+        assert_eq!(
+            snap.counter("chaos.images_tested"),
+            report.images_tested + report2.images_tested
+        );
+        // Clean trace: zero-valued counters are never created.
+        assert!(!snap.counters.contains_key("chaos.unrecoverable_states"));
+        let sweep = &snap.histograms["stage.chaos_sweep"];
+        assert_eq!(sweep.count, 2, "one sweep span per run");
     }
 
     #[test]

@@ -6,11 +6,13 @@
 //! parsing and command execution so they are unit-testable; `main.rs` is a
 //! thin shell.
 
+use std::collections::BTreeMap;
 use std::fmt;
 use std::time::Instant;
 
 use pm_baselines::{Nulgrind, PmemcheckLike, PmtestLike, XfdetectorLike};
-use pm_trace::{BugSummary, Detector, OrderSpec, PmRuntime};
+use pm_obs::{BugDigest, MetricsRegistry, RunManifest};
+use pm_trace::{BugKind, BugReport, BugSummary, Detector, OrderSpec, PmRuntime, Severity, Trace};
 use pm_workloads::Workload;
 use pmdebugger::{DebuggerConfig, ParallelPmDebugger, PersistencyModel, PmDebugger, MAX_THREADS};
 
@@ -31,6 +33,8 @@ pub enum Command {
         /// Detection worker threads (1 = sequential engine; >1 runs the
         /// sharded parallel pipeline, pmdebugger only).
         threads: usize,
+        /// Write a [`RunManifest`] (JSON) to this path after the run.
+        metrics: Option<String>,
     },
     /// `pmdbg corpus` — run the 78-case corpus through every tool (Table 6).
     Corpus,
@@ -58,6 +62,8 @@ pub enum Command {
         /// Detection worker threads (1 = sequential engine; >1 runs the
         /// sharded parallel pipeline, pmdebugger only).
         threads: usize,
+        /// Write a [`RunManifest`] (JSON) to this path after the replay.
+        metrics: Option<String>,
     },
     /// `pmdbg chaos --workload <name> [--ops <n>] [--points <n>]
     /// [--images <n>] [--budget-ms <n>] [--matrix] [--json]` — run a
@@ -78,6 +84,13 @@ pub enum Command {
         matrix: bool,
         /// Emit JSON instead of the human summary.
         json: bool,
+        /// Write a [`RunManifest`] (JSON) to this path after the campaign.
+        metrics: Option<String>,
+    },
+    /// `pmdbg stats <manifest.json>` — render a run manifest as a table.
+    Stats {
+        /// Manifest file path (written by `--metrics`).
+        file: String,
     },
     /// `pmdbg characterize --workload <name> --ops <n>` — Figure 2 stats.
     Characterize {
@@ -110,12 +123,13 @@ pmdbg — PMDebugger reproduction CLI
 
 USAGE:
   pmdbg run --workload <name> [--ops <n>] [--tool <name>] [--order <file>]
-            [--threads <n>]
+            [--threads <n>] [--metrics <file>]
   pmdbg record --workload <name> [--ops <n>] --out <file>
   pmdbg replay --trace <file> [--tool <name>] [--model strict|epoch|strand]
-               [--threads <n>]
+               [--threads <n>] [--metrics <file>]
   pmdbg chaos --workload <name> [--ops <n>] [--points <n>] [--images <n>]
-              [--budget-ms <n>] [--matrix] [--json]
+              [--budget-ms <n>] [--matrix] [--json] [--metrics <file>]
+  pmdbg stats <manifest.json>
   pmdbg characterize --workload <name> [--ops <n>]
   pmdbg corpus
   pmdbg list
@@ -149,6 +163,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
             let mut tool = "pmdebugger".to_owned();
             let mut order: Option<String> = None;
             let mut threads = 1usize;
+            let mut metrics: Option<String> = None;
             while let Some(flag) = it.next() {
                 let mut value = |name: &str| {
                     it.next()
@@ -165,6 +180,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                     "--tool" | "-t" => tool = value(flag)?,
                     "--order" | "-o" => order = Some(value(flag)?),
                     "--threads" | "-j" if sub == "run" => threads = parse_threads(value(flag)?)?,
+                    "--metrics" if sub == "run" => metrics = Some(value(flag)?),
                     other => return Err(UsageError(format!("unknown flag `{other}`"))),
                 }
             }
@@ -176,6 +192,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                     tool,
                     order,
                     threads,
+                    metrics,
                 })
             } else {
                 Ok(Command::Characterize { workload, ops })
@@ -214,6 +231,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
             let mut model = "strict".to_owned();
             let mut order: Option<String> = None;
             let mut threads = 1usize;
+            let mut metrics: Option<String> = None;
             while let Some(flag) = it.next() {
                 let mut value = |name: &str| {
                     it.next()
@@ -226,6 +244,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                     "--model" | "-m" => model = value(flag)?,
                     "--order" | "-o" => order = Some(value(flag)?),
                     "--threads" | "-j" => threads = parse_threads(value(flag)?)?,
+                    "--metrics" => metrics = Some(value(flag)?),
                     other => return Err(UsageError(format!("unknown flag `{other}`"))),
                 }
             }
@@ -235,6 +254,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                 model,
                 order,
                 threads,
+                metrics,
             })
         }
         "chaos" => {
@@ -245,6 +265,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
             let mut budget_ms: Option<u64> = None;
             let mut matrix = false;
             let mut json = false;
+            let mut metrics: Option<String> = None;
             while let Some(flag) = it.next() {
                 let mut value = |name: &str| {
                     it.next()
@@ -263,6 +284,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                     "--budget-ms" => budget_ms = Some(number(flag, value(flag)?)? as u64),
                     "--matrix" => matrix = true,
                     "--json" => json = true,
+                    "--metrics" => metrics = Some(value(flag)?),
                     other => return Err(UsageError(format!("unknown flag `{other}`"))),
                 }
             }
@@ -274,7 +296,18 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                 budget_ms,
                 matrix,
                 json,
+                metrics,
             })
+        }
+        "stats" => {
+            let file = it
+                .next()
+                .cloned()
+                .ok_or_else(|| UsageError("stats expects a manifest file path".into()))?;
+            if let Some(extra) = it.next() {
+                return Err(UsageError(format!("unexpected argument `{extra}`")));
+            }
+            Ok(Command::Stats { file })
         }
         "corpus" => Ok(Command::Corpus),
         "list" => Ok(Command::List),
@@ -342,6 +375,21 @@ pub fn tool_with_threads(
     order: Option<&OrderSpec>,
     threads: usize,
 ) -> Result<Box<dyn Detector>, String> {
+    tool_with_metrics(name, model, order, threads, None).map(|(detector, _)| detector)
+}
+
+/// Like [`tool_with_threads`], additionally attaching `registry` to the
+/// pmdebugger engines. The second half of the result says whether the
+/// detector self-counts its `rule.*` firings at finish (the sequential
+/// engine does); otherwise the caller derives them from the final reports
+/// with [`count_rule_firings`].
+fn tool_with_metrics(
+    name: &str,
+    model: PersistencyModel,
+    order: Option<&OrderSpec>,
+    threads: usize,
+    registry: Option<&MetricsRegistry>,
+) -> Result<(Box<dyn Detector>, bool), String> {
     if threads > 1 {
         if name != "pmdebugger" {
             return Err(format!(
@@ -352,10 +400,96 @@ pub fn tool_with_threads(
         if let Some(spec) = order {
             config = config.with_order_spec(spec.clone());
         }
-        return Ok(Box::new(ParallelPmDebugger::with_threads(config, threads)));
+        let mut detector = ParallelPmDebugger::with_threads(config, threads);
+        if let Some(registry) = registry {
+            detector.attach_metrics(registry);
+        }
+        return Ok((Box::new(detector), false));
+    }
+    if name == "pmdebugger" {
+        if let Some(registry) = registry {
+            let mut config = DebuggerConfig::for_model(model);
+            if let Some(spec) = order {
+                config = config.with_order_spec(spec.clone());
+            }
+            return Ok((Box::new(PmDebugger::with_metrics(config, registry)), true));
+        }
     }
     tool_by_name(name, model, order)
+        .map(|detector| (detector, false))
         .ok_or_else(|| format!("unknown tool `{name}` (try `pmdbg list`)"))
+}
+
+/// Adds `rule.<kind>` counters from a run's final reports, for detectors
+/// that do not self-count firings (baselines and the parallel pipeline).
+fn count_rule_firings(registry: &MetricsRegistry, reports: &[BugReport]) {
+    let mut by_kind: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for report in reports {
+        *by_kind.entry(report.kind.name()).or_insert(0) += 1;
+    }
+    for (kind, count) in by_kind {
+        registry.counter(&format!("rule.{kind}")).add(count);
+    }
+}
+
+/// Summarizes a run's reports into a manifest [`BugDigest`].
+fn bug_digest(reports: &[BugReport]) -> BugDigest {
+    let mut digest = BugDigest {
+        total: reports.len() as u64,
+        report_hash: format!("{:016x}", pm_trace::report_hash(reports)),
+        ..BugDigest::default()
+    };
+    for report in reports {
+        if report.severity == Severity::Correctness {
+            digest.correctness += 1;
+        } else {
+            digest.performance += 1;
+        }
+        *digest
+            .kinds
+            .entry(report.kind.name().to_owned())
+            .or_insert(0) += 1;
+    }
+    digest
+}
+
+/// Counts a pre-recorded trace's events into `events.<kind>` counters, for
+/// commands that consume a [`Trace`] instead of a live runtime tap.
+fn count_trace_kinds(registry: &MetricsRegistry, trace: &Trace) {
+    for (kind, count) in trace.kind_counts() {
+        registry.counter(&format!("events.{kind}")).add(count);
+    }
+}
+
+fn model_label(model: PersistencyModel) -> &'static str {
+    match model {
+        PersistencyModel::Strict => "strict",
+        PersistencyModel::Epoch => "epoch",
+        PersistencyModel::Strand => "strand",
+    }
+}
+
+/// Absorbs `registry` into a fresh manifest and writes it to `path`,
+/// noting the destination on `out`.
+#[allow(clippy::too_many_arguments)]
+fn write_manifest(
+    path: &str,
+    tool: &str,
+    workload: &str,
+    model: &str,
+    ops: usize,
+    threads: usize,
+    registry: &MetricsRegistry,
+    bugs: BugDigest,
+    out: &mut dyn fmt::Write,
+) -> Result<(), String> {
+    let mut manifest = RunManifest::new(tool, workload, model);
+    manifest.ops = ops as u64;
+    manifest.threads = threads as u64;
+    manifest.absorb_snapshot(&registry.snapshot());
+    manifest.bugs = bugs;
+    std::fs::write(path, manifest.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
+    writeln!(out, "metrics manifest -> {path}").map_err(|e| e.to_string())
 }
 
 /// Executes a parsed command, writing human output to `out`.
@@ -404,6 +538,7 @@ pub fn execute(command: Command, out: &mut dyn fmt::Write) -> Result<(), String>
             budget_ms,
             matrix,
             json,
+            metrics,
         } => {
             let workload = workload_by_name(&workload)
                 .ok_or_else(|| format!("unknown workload `{workload}` (try `pmdbg list`)"))?;
@@ -415,8 +550,12 @@ pub fn execute(command: Command, out: &mut dyn fmt::Write) -> Result<(), String>
             if let Some(ms) = budget_ms {
                 budget = budget.with_wall_clock(std::time::Duration::from_millis(ms));
             }
-            let report = pm_chaos::Campaign::new(model)
-                .with_budget(budget.clone())
+            let registry = metrics.as_ref().map(|_| MetricsRegistry::new());
+            let mut campaign = pm_chaos::Campaign::new(model).with_budget(budget.clone());
+            if let Some(registry) = &registry {
+                campaign = campaign.with_metrics(registry.clone());
+            }
+            let report = campaign
                 .run(workload.name(), &trace)
                 .map_err(|e| format!("campaign failed: {e}"))?;
             if json {
@@ -475,6 +614,45 @@ pub fn execute(command: Command, out: &mut dyn fmt::Write) -> Result<(), String>
                     }
                 }
             }
+            if let (Some(registry), Some(path)) = (&registry, &metrics) {
+                count_trace_kinds(registry, &trace);
+                // The campaign's differential detector pass yields kind
+                // counts, not reports: digest those (no report hash).
+                let mut digest = BugDigest::default();
+                for (name, &count) in &report.detector_findings {
+                    let n = count as u64;
+                    registry.counter(&format!("rule.{name}")).add(n);
+                    digest.total += n;
+                    let correctness = BugKind::ALL
+                        .iter()
+                        .find(|k| k.name() == name)
+                        .is_none_or(|k| k.is_correctness());
+                    if correctness {
+                        digest.correctness += n;
+                    } else {
+                        digest.performance += n;
+                    }
+                    digest.kinds.insert(name.clone(), n);
+                }
+                write_manifest(
+                    path,
+                    "chaos",
+                    workload.name(),
+                    model_label(model),
+                    ops,
+                    1,
+                    registry,
+                    digest,
+                    out,
+                )?;
+            }
+            Ok(())
+        }
+        Command::Stats { file } => {
+            let text =
+                std::fs::read_to_string(&file).map_err(|e| format!("cannot read {file}: {e}"))?;
+            let manifest = RunManifest::from_json(&text).map_err(|e| format!("{file}: {e}"))?;
+            write!(out, "{}", manifest.render_table()).map_err(|e| e.to_string())?;
             Ok(())
         }
         Command::Characterize { workload, ops } => {
@@ -537,6 +715,7 @@ pub fn execute(command: Command, out: &mut dyn fmt::Write) -> Result<(), String>
             model,
             order,
             threads,
+            metrics,
         } => {
             let text =
                 std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -558,9 +737,13 @@ pub fn execute(command: Command, out: &mut dyn fmt::Write) -> Result<(), String>
                     )
                 }
             };
-            let mut detector = tool_with_threads(&tool, model, spec.as_ref(), threads)?;
+            let registry = metrics.as_ref().map(|_| MetricsRegistry::new());
+            let (mut detector, rules_self_counted) =
+                tool_with_metrics(&tool, model, spec.as_ref(), threads, registry.as_ref())?;
             let start = Instant::now();
+            let span = registry.as_ref().map(|r| r.span("stage.replay"));
             let reports = pm_trace::replay_finish(&trace, detector.as_mut());
+            drop(span);
             let elapsed = start.elapsed();
             writeln!(
                 out,
@@ -574,8 +757,25 @@ pub fn execute(command: Command, out: &mut dyn fmt::Write) -> Result<(), String>
                 elapsed.as_secs_f64() * 1e3
             )
             .map_err(|e| e.to_string())?;
-            let summary = BugSummary::from_reports(reports);
+            let summary = BugSummary::from_reports(reports.clone());
             write!(out, "{summary}").map_err(|e| e.to_string())?;
+            if let (Some(registry), Some(manifest_path)) = (&registry, &metrics) {
+                count_trace_kinds(registry, &trace);
+                if !rules_self_counted {
+                    count_rule_firings(registry, &reports);
+                }
+                write_manifest(
+                    manifest_path,
+                    &tool,
+                    &path,
+                    model_label(model),
+                    0,
+                    threads,
+                    registry,
+                    bug_digest(&reports),
+                    out,
+                )?;
+            }
             Ok(())
         }
         Command::Run {
@@ -584,6 +784,7 @@ pub fn execute(command: Command, out: &mut dyn fmt::Write) -> Result<(), String>
             tool,
             order,
             threads,
+            metrics,
         } => {
             let workload = workload_by_name(&workload)
                 .ok_or_else(|| format!("unknown workload `{workload}` (try `pmdbg list`)"))?;
@@ -599,15 +800,22 @@ pub fn execute(command: Command, out: &mut dyn fmt::Write) -> Result<(), String>
                 }
             };
             let model = persistency(workload.model());
-            let detector = tool_with_threads(&tool, model, spec.as_ref(), threads)?;
+            let registry = metrics.as_ref().map(|_| MetricsRegistry::new());
+            let (detector, rules_self_counted) =
+                tool_with_metrics(&tool, model, spec.as_ref(), threads, registry.as_ref())?;
 
             let mut rt = PmRuntime::trace_only();
+            if let Some(registry) = &registry {
+                rt.observe(registry);
+            }
             rt.attach(detector);
             let start = Instant::now();
+            let span = registry.as_ref().map(|r| r.span("stage.run"));
             workload
                 .run(&mut rt, ops)
                 .map_err(|e| format!("workload failed: {e}"))?;
             let reports = rt.finish();
+            drop(span);
             let elapsed = start.elapsed();
 
             writeln!(
@@ -625,8 +833,24 @@ pub fn execute(command: Command, out: &mut dyn fmt::Write) -> Result<(), String>
                 elapsed.as_secs_f64() * 1e3
             )
             .map_err(|e| e.to_string())?;
-            let summary = BugSummary::from_reports(reports);
+            let summary = BugSummary::from_reports(reports.clone());
             write!(out, "{summary}").map_err(|e| e.to_string())?;
+            if let (Some(registry), Some(path)) = (&registry, &metrics) {
+                if !rules_self_counted {
+                    count_rule_firings(registry, &reports);
+                }
+                write_manifest(
+                    path,
+                    &tool,
+                    workload.name(),
+                    model_label(model),
+                    ops,
+                    threads,
+                    registry,
+                    bug_digest(&reports),
+                    out,
+                )?;
+            }
             Ok(())
         }
     }
@@ -651,6 +875,7 @@ mod tests {
                 tool: "pmdebugger".into(),
                 order: None,
                 threads: 1,
+                metrics: None,
             }
         );
     }
@@ -677,6 +902,7 @@ mod tests {
                 tool: "pmemcheck".into(),
                 order: Some("/tmp/x".into()),
                 threads: 1,
+                metrics: None,
             }
         );
     }
@@ -738,6 +964,7 @@ mod tests {
                 tool: "pmdebugger".into(),
                 order: None,
                 threads: 1,
+                metrics: None,
             },
             &mut out,
         )
@@ -797,6 +1024,7 @@ mod tests {
                 model: "epoch".into(),
                 order: None,
                 threads: 1,
+                metrics: None,
             }
         );
         assert!(
@@ -829,6 +1057,7 @@ mod tests {
                 model: "epoch".into(),
                 order: None,
                 threads: 1,
+                metrics: None,
             },
             &mut out,
         )
@@ -846,6 +1075,7 @@ mod tests {
                 model: "strict".into(),
                 order: None,
                 threads: 1,
+                metrics: None,
             },
             &mut String::new(),
         )
@@ -866,6 +1096,7 @@ mod tests {
                 budget_ms: None,
                 matrix: false,
                 json: false,
+                metrics: None,
             }
         );
     }
@@ -898,6 +1129,7 @@ mod tests {
                 budget_ms: Some(500),
                 matrix: true,
                 json: true,
+                metrics: None,
             }
         );
         assert!(parse(&args(&["chaos"])).is_err());
@@ -916,6 +1148,7 @@ mod tests {
                 budget_ms: None,
                 matrix: false,
                 json: false,
+                metrics: None,
             },
             &mut out,
         )
@@ -936,6 +1169,7 @@ mod tests {
                 budget_ms: None,
                 matrix: true,
                 json: true,
+                metrics: None,
             },
             &mut out,
         )
@@ -972,6 +1206,7 @@ mod tests {
                     tool: "pmdebugger".into(),
                     order: None,
                     threads,
+                    metrics: None,
                 },
                 &mut out,
             )
@@ -991,6 +1226,7 @@ mod tests {
                 tool: "pmemcheck".into(),
                 order: None,
                 threads: 4,
+                metrics: None,
             },
             &mut String::new(),
         )
@@ -1011,10 +1247,221 @@ mod tests {
                 tool: "pmdebugger".into(),
                 order: None,
                 threads: 1,
+                metrics: None,
             },
             &mut out,
         )
         .unwrap_err();
         assert!(err.contains("unknown workload"));
+    }
+
+    #[test]
+    fn parses_metrics_flag_and_stats_command() {
+        let cmd = parse(&args(&["run", "-w", "b_tree", "--metrics", "/tmp/m.json"])).unwrap();
+        assert!(matches!(cmd, Command::Run { metrics: Some(ref p), .. } if p == "/tmp/m.json"));
+        let cmd = parse(&args(&[
+            "replay",
+            "--trace",
+            "/tmp/t",
+            "--metrics",
+            "m.json",
+        ]))
+        .unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Replay {
+                metrics: Some(_),
+                ..
+            }
+        ));
+        let cmd = parse(&args(&["chaos", "-w", "b_tree", "--metrics", "m.json"])).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Chaos {
+                metrics: Some(_),
+                ..
+            }
+        ));
+        assert_eq!(
+            parse(&args(&["stats", "m.json"])).unwrap(),
+            Command::Stats {
+                file: "m.json".into()
+            }
+        );
+        assert!(parse(&args(&["stats"])).is_err(), "file required");
+        assert!(parse(&args(&["stats", "a", "b"])).is_err(), "one file only");
+        assert!(
+            parse(&args(&["characterize", "-w", "x", "--metrics", "m"])).is_err(),
+            "--metrics is a run/replay/chaos flag"
+        );
+    }
+
+    #[test]
+    fn run_with_metrics_writes_manifest_and_stats_renders_it() {
+        let path = std::env::temp_dir().join("pmdbg_cli_manifest_run.json");
+        let path_str = path.to_str().unwrap().to_owned();
+        let mut out = String::new();
+        execute(
+            Command::Run {
+                workload: "hashmap_atomic".into(),
+                ops: 64,
+                tool: "pmdebugger".into(),
+                order: None,
+                threads: 1,
+                metrics: Some(path_str.clone()),
+            },
+            &mut out,
+        )
+        .unwrap();
+        assert!(out.contains("metrics manifest ->"), "{out}");
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let manifest = RunManifest::from_json(&text).unwrap();
+        assert_eq!(manifest.tool, "pmdebugger");
+        assert_eq!(manifest.workload, "hashmap_atomic");
+        assert_eq!(manifest.ops, 64);
+        assert_eq!(manifest.threads, 1);
+        assert!(manifest.events_total > 0);
+        let kind_sum: u64 = manifest.event_kinds.values().sum();
+        assert_eq!(kind_sum, manifest.events_total);
+        // The sequential engine self-counts: its event counter and
+        // bookkeeping must agree with the tap.
+        assert_eq!(manifest.counters["engine.events"], manifest.events_total);
+        assert_eq!(
+            manifest.bookkeeping["events_processed"],
+            manifest.events_total
+        );
+        assert!(manifest.stages.contains_key("run"), "{:?}", manifest.stages);
+        assert!(!manifest.bugs.report_hash.is_empty());
+
+        let mut table = String::new();
+        execute(Command::Stats { file: path_str }, &mut table).unwrap();
+        assert!(table.contains("run manifest"), "{table}");
+        assert!(table.contains("hashmap_atomic"), "{table}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn parallel_run_manifest_matches_sequential_event_totals() {
+        let run = |threads: usize, name: &str| {
+            let path = std::env::temp_dir().join(name);
+            let mut out = String::new();
+            execute(
+                Command::Run {
+                    workload: "hashmap_atomic".into(),
+                    ops: 64,
+                    tool: "pmdebugger".into(),
+                    order: None,
+                    threads,
+                    metrics: Some(path.to_str().unwrap().to_owned()),
+                },
+                &mut out,
+            )
+            .unwrap();
+            let manifest =
+                RunManifest::from_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+            std::fs::remove_file(path).ok();
+            manifest
+        };
+        let seq = run(1, "pmdbg_cli_manifest_seq.json");
+        let par = run(4, "pmdbg_cli_manifest_par.json");
+        assert_eq!(par.events_total, seq.events_total);
+        assert_eq!(par.event_kinds, seq.event_kinds);
+        assert_eq!(par.rule_firings, seq.rule_firings);
+        assert_eq!(par.bugs, seq.bugs, "verdicts and hash must match");
+        assert_eq!(par.threads, 4);
+        assert_eq!(par.gauges["parallel.threads"], 4);
+        assert_eq!(
+            par.counters["parallel.routed_events"] + par.counters["parallel.broadcast_events"],
+            par.events_total
+        );
+    }
+
+    #[test]
+    fn replay_with_metrics_counts_trace_kinds() {
+        let trace_path = std::env::temp_dir().join("pmdbg_cli_replay_metrics.trace");
+        let manifest_path = std::env::temp_dir().join("pmdbg_cli_replay_metrics.json");
+        let mut out = String::new();
+        execute(
+            Command::Record {
+                workload: "c_tree".into(),
+                ops: 20,
+                out: trace_path.to_str().unwrap().to_owned(),
+            },
+            &mut out,
+        )
+        .unwrap();
+        execute(
+            Command::Replay {
+                trace: trace_path.to_str().unwrap().to_owned(),
+                tool: "pmemcheck".into(),
+                model: "epoch".into(),
+                order: None,
+                threads: 1,
+                metrics: Some(manifest_path.to_str().unwrap().to_owned()),
+            },
+            &mut out,
+        )
+        .unwrap();
+        let manifest =
+            RunManifest::from_json(&std::fs::read_to_string(&manifest_path).unwrap()).unwrap();
+        assert_eq!(manifest.tool, "pmemcheck");
+        assert_eq!(manifest.ops, 0, "replay has no op count");
+        assert!(manifest.events_total > 0);
+        assert!(manifest.stages.contains_key("replay"));
+        std::fs::remove_file(trace_path).ok();
+        std::fs::remove_file(manifest_path).ok();
+    }
+
+    #[test]
+    fn chaos_with_metrics_exports_campaign_counters() {
+        let path = std::env::temp_dir().join("pmdbg_cli_chaos_metrics.json");
+        let mut out = String::new();
+        execute(
+            Command::Chaos {
+                workload: "hashmap_atomic".into(),
+                ops: 16,
+                points: 48,
+                images: 4,
+                budget_ms: None,
+                matrix: false,
+                json: false,
+                metrics: Some(path.to_str().unwrap().to_owned()),
+            },
+            &mut out,
+        )
+        .unwrap();
+        let manifest = RunManifest::from_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(manifest.tool, "chaos");
+        assert_eq!(manifest.counters["chaos.campaigns"], 1);
+        assert!(manifest.counters["chaos.boundaries_tested"] > 0);
+        assert!(manifest.counters["chaos.images_tested"] > 0);
+        assert!(manifest.events_total > 0);
+        assert!(manifest.stages.contains_key("chaos_sweep"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn stats_rejects_missing_and_malformed_files() {
+        let err = execute(
+            Command::Stats {
+                file: "/nonexistent/m.json".into(),
+            },
+            &mut String::new(),
+        )
+        .unwrap_err();
+        assert!(err.contains("cannot read"));
+
+        let path = std::env::temp_dir().join("pmdbg_cli_bad_manifest.json");
+        std::fs::write(&path, "{\"schema\":\"wrong\"}").unwrap();
+        let err = execute(
+            Command::Stats {
+                file: path.to_str().unwrap().to_owned(),
+            },
+            &mut String::new(),
+        )
+        .unwrap_err();
+        assert!(err.contains("schema") || err.contains("field"), "{err}");
+        std::fs::remove_file(path).ok();
     }
 }

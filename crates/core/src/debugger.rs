@@ -5,6 +5,7 @@
 use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
 
+use pm_obs::{Counter, MetricsRegistry};
 use pm_trace::{Addr, BugKind, BugReport, Detector, FenceKind, PmEvent, StrandId, ThreadId};
 
 use crate::config::{DebuggerConfig, PersistencyModel};
@@ -124,6 +125,19 @@ pub struct PmDebugger {
     /// Structurally invalid events tolerated during the run (e.g. a persist
     /// barrier outside any strand in a perturbed stream).
     malformed_events: u64,
+    /// Optional observability hookup (see [`PmDebugger::attach_metrics`]).
+    metrics: Option<DebuggerMetrics>,
+}
+
+/// Pre-resolved handles for the instrumented engine. The hot path pays
+/// nothing: the engine already counts events for its own statistics, and
+/// everything (event total, rule firing counts, bookkeeping export) is
+/// flushed once, in `finish`. `events_exported` makes that flush a delta
+/// so a second `finish` cannot double-count.
+struct DebuggerMetrics {
+    registry: MetricsRegistry,
+    events: Counter,
+    events_exported: u64,
 }
 
 impl std::fmt::Debug for PmDebugger {
@@ -153,7 +167,30 @@ impl PmDebugger {
             events_processed: 0,
             strand_seen: false,
             malformed_events: 0,
+            metrics: None,
         }
+    }
+
+    /// Attaches a metrics registry: on `finish` the engine exports its
+    /// processed-event total (`engine.events`), per-rule firing counts
+    /// (`rule.<bug-kind>`, `custom_rule.<name>`) and the bookkeeping
+    /// statistics (`bookkeeping.*`, see [`DebuggerStats::export`]). The
+    /// event hot path is untouched — live per-event counting belongs to
+    /// the runtime tap (`PmRuntime::observe`), not the engine.
+    pub fn attach_metrics(&mut self, registry: &MetricsRegistry) -> &mut Self {
+        self.metrics = Some(DebuggerMetrics {
+            registry: registry.clone(),
+            events: registry.counter("engine.events"),
+            events_exported: 0,
+        });
+        self
+    }
+
+    /// [`PmDebugger::new`] plus [`PmDebugger::attach_metrics`] in one call.
+    pub fn with_metrics(config: DebuggerConfig, registry: &MetricsRegistry) -> Self {
+        let mut det = Self::new(config);
+        det.attach_metrics(registry);
+        det
     }
 
     /// Number of structurally invalid events tolerated so far. Non-zero on
@@ -513,7 +550,16 @@ impl Detector for PmDebugger {
             };
             let mut extra = Vec::new();
             for rule in &mut self.custom_rules {
-                extra.extend(rule.on_event(seq, event, &view));
+                let fired = rule.on_event(seq, event, &view);
+                if !fired.is_empty() {
+                    if let Some(metrics) = &self.metrics {
+                        metrics
+                            .registry
+                            .counter(&format!("custom_rule.{}", rule.name()))
+                            .add(fired.len() as u64);
+                    }
+                }
+                extra.extend(fired);
             }
             self.reports.extend(extra);
         }
@@ -551,9 +597,37 @@ impl Detector for PmDebugger {
             };
             let mut extra = Vec::new();
             for rule in &mut self.custom_rules {
-                extra.extend(rule.finish(&view));
+                let fired = rule.finish(&view);
+                if !fired.is_empty() {
+                    if let Some(metrics) = &self.metrics {
+                        metrics
+                            .registry
+                            .counter(&format!("custom_rule.{}", rule.name()))
+                            .add(fired.len() as u64);
+                    }
+                }
+                extra.extend(fired);
             }
             self.reports.extend(extra);
+        }
+        if self.metrics.is_some() {
+            // Computed before the mutable borrow of `self.metrics` below.
+            let stats = self.stats();
+            let events_processed = self.events_processed;
+            let mut by_kind: BTreeMap<&'static str, u64> = BTreeMap::new();
+            for report in &self.reports {
+                *by_kind.entry(report.kind.name()).or_default() += 1;
+            }
+            if let Some(metrics) = self.metrics.as_mut() {
+                for (kind, fired) in by_kind {
+                    metrics.registry.counter(&format!("rule.{kind}")).add(fired);
+                }
+                metrics
+                    .events
+                    .add(events_processed - metrics.events_exported);
+                metrics.events_exported = events_processed;
+                stats.export(&metrics.registry);
+            }
         }
         std::mem::take(&mut self.reports)
     }
@@ -988,6 +1062,62 @@ mod tests {
         }));
         let reports = run(vec![store(0, 8), flush(0), fence(), fence()], debugger);
         assert!(reports.iter().any(|r| r.message.contains("fence budget")));
+    }
+
+    #[test]
+    fn metrics_count_events_rules_and_bookkeeping() {
+        let registry = pm_obs::MetricsRegistry::new();
+        let mut debugger = PmDebugger::with_metrics(
+            DebuggerConfig::for_model(PersistencyModel::Strict),
+            &registry,
+        );
+        // One never-persisted store and one redundant flush.
+        let events = [store(0, 8), store(64, 8), flush(64), flush(64), fence()];
+        for (seq, event) in events.iter().enumerate() {
+            debugger.on_event(seq as u64, event);
+        }
+        let reports = debugger.finish();
+        assert_eq!(reports.len(), 2);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("engine.events"), events.len() as u64);
+        assert_eq!(snap.counter("rule.no-durability-guarantee"), 1);
+        assert_eq!(snap.counter("rule.redundant-flushes"), 1);
+        assert_eq!(
+            snap.counter("bookkeeping.events_processed"),
+            events.len() as u64
+        );
+        assert!(snap.counter("bookkeeping.array_stores") > 0);
+    }
+
+    #[test]
+    fn metrics_count_custom_rule_firings() {
+        struct EveryFence;
+        impl CustomRule for EveryFence {
+            fn name(&self) -> &str {
+                "every-fence"
+            }
+            fn on_event(
+                &mut self,
+                seq: u64,
+                event: &PmEvent,
+                _view: &SpaceView<'_>,
+            ) -> Vec<BugReport> {
+                if matches!(event, PmEvent::Fence { .. }) {
+                    vec![BugReport::new(BugKind::RedundantFlushes, "fence seen").with_event(seq)]
+                } else {
+                    Vec::new()
+                }
+            }
+        }
+        let registry = pm_obs::MetricsRegistry::new();
+        let mut debugger = PmDebugger::with_metrics(
+            DebuggerConfig::for_model(PersistencyModel::Strict),
+            &registry,
+        );
+        debugger.add_custom_rule(Box::new(EveryFence));
+        let _ = run(vec![store(0, 8), flush(0), fence(), fence()], debugger);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("custom_rule.every-fence"), 2);
     }
 
     #[test]

@@ -38,6 +38,7 @@
 use std::thread;
 use std::time::Instant;
 
+use pm_obs::{MetricsRegistry, MetricsSnapshot};
 use pm_trace::{
     BugKind, BugReport, Detector, KeyedChunk, PlanBuilder, PmEvent, ShardPlan, Trace, KEY_BROADCAST,
 };
@@ -98,6 +99,15 @@ pub struct ParallelOutcome {
     pub routed_events: u64,
     /// Events broadcast to all workers.
     pub broadcast_events: u64,
+    /// One metric snapshot per worker, in worker order. Event counters
+    /// (`events.<kind>`) attribute each event to exactly one worker — its
+    /// routing owner, or worker 0 for broadcast events — so the per-kind
+    /// sums across workers equal a sequential run's counts at any thread
+    /// count (property-tested in `metrics_differential.rs`).
+    pub worker_metrics: Vec<MetricsSnapshot>,
+    /// The worker snapshots merged in worker order (merging is commutative,
+    /// so the order is presentational only).
+    pub metrics: MetricsSnapshot,
 }
 
 /// Emission rank of a report kind within a single event's handler, in the
@@ -143,17 +153,35 @@ struct WorkerOut {
     end: Vec<BugReport>,
     stats: DebuggerStats,
     malformed: u64,
+    metrics: MetricsSnapshot,
+}
+
+/// Converts a flat per-kind count array (indexed like
+/// [`PmEvent::KIND_NAMES`]) into `events.<kind>` counters. Workers count
+/// into plain local `u64`s while scanning — zero atomics on the hot path —
+/// and convert once here.
+fn kind_counts_snapshot(counts: &[u64; PmEvent::KIND_NAMES.len()]) -> MetricsSnapshot {
+    let mut snap = MetricsSnapshot::new();
+    for (i, &n) in counts.iter().enumerate() {
+        if n > 0 {
+            snap.set_counter(&format!("events.{}", PmEvent::KIND_NAMES[i]), n);
+        }
+    }
+    snap
 }
 
 /// Runs the full sequential engine inline (the 1-thread path, and the
 /// reference the determinism property compares against).
 fn detect_inline(config: &DebuggerConfig, events: &[PmEvent], base_seq: u64) -> ParallelOutcome {
     let mut det = PmDebugger::new(config.clone());
+    let mut kind_counts = [0u64; PmEvent::KIND_NAMES.len()];
     for (idx, event) in events.iter().enumerate() {
+        kind_counts[event.kind_index()] += 1;
         det.on_event(base_seq + idx as u64, event);
     }
     let malformed_events = det.malformed_events();
     let reports = det.finish();
+    let metrics = kind_counts_snapshot(&kind_counts);
     ParallelOutcome {
         reports,
         stats: det.stats(),
@@ -162,6 +190,8 @@ fn detect_inline(config: &DebuggerConfig, events: &[PmEvent], base_seq: u64) -> 
         components: 0,
         routed_events: events.len() as u64,
         broadcast_events: 0,
+        worker_metrics: vec![metrics.clone()],
+        metrics,
     }
 }
 
@@ -177,8 +207,17 @@ fn run_worker(
     let mut det = PmDebugger::new(config.clone());
     let keys = plan.keys();
     let table = plan.key_workers();
+    let mut kind_counts = [0u64; PmEvent::KIND_NAMES.len()];
     for (idx, &key) in keys.iter().enumerate() {
-        if key == KEY_BROADCAST || table[key as usize] == me {
+        let broadcast = key == KEY_BROADCAST;
+        if broadcast || table[key as usize] == me {
+            // Every event is *attributed* to exactly one worker — its
+            // routing owner, or worker 0 for broadcasts — even though all
+            // workers observe broadcasts. Per-kind sums across workers
+            // therefore equal the sequential run's counts.
+            if !broadcast || me == 0 {
+                kind_counts[events[idx].kind_index()] += 1;
+            }
             det.on_event(base_seq + idx as u64, &events[idx]);
         }
     }
@@ -191,6 +230,7 @@ fn run_worker(
         end,
         stats: det.stats(),
         malformed,
+        metrics: kind_counts_snapshot(&kind_counts),
     }
 }
 
@@ -205,8 +245,12 @@ fn merge_outputs(
     let mut malformed_events = 0;
     let mut mid = Vec::new();
     let mut end = Vec::new();
+    let mut worker_metrics = Vec::new();
+    let mut metrics = MetricsSnapshot::new();
     for (worker, out) in results.into_iter().enumerate() {
         stats.add(&out.stats);
+        metrics.merge(&out.metrics);
+        worker_metrics.push(out.metrics);
         if worker == 0 {
             malformed_events = out.malformed;
             mid.extend(out.mid);
@@ -237,6 +281,8 @@ fn merge_outputs(
         components: plan.component_count(),
         routed_events: plan.routed_events(),
         broadcast_events: plan.broadcast_events(),
+        worker_metrics,
+        metrics,
     }
 }
 
@@ -441,6 +487,7 @@ pub struct ParallelPmDebugger {
     buffer: Vec<PmEvent>,
     base_seq: u64,
     outcome: Option<ParallelOutcome>,
+    registry: Option<MetricsRegistry>,
 }
 
 impl std::fmt::Debug for ParallelPmDebugger {
@@ -462,7 +509,23 @@ impl ParallelPmDebugger {
             buffer: Vec::new(),
             base_seq: 0,
             outcome: None,
+            registry: None,
         }
+    }
+
+    /// Attaches a metrics registry. After `finish`, the pipeline exports
+    /// its routing counters (`parallel.routed_events`,
+    /// `parallel.broadcast_events`, `parallel.components`), the thread
+    /// count as the `parallel.threads` gauge, and the merged bookkeeping
+    /// statistics (`bookkeeping.*`).
+    ///
+    /// The per-worker `events.<kind>` snapshots are deliberately *not*
+    /// absorbed here: the runtime's event tap ([`pm_trace::PmRuntime::observe`])
+    /// owns those names, and absorbing both would double-count. They stay
+    /// available through [`ParallelPmDebugger::last_outcome`].
+    pub fn attach_metrics(&mut self, registry: &MetricsRegistry) -> &mut Self {
+        self.registry = Some(registry.clone());
+        self
     }
 
     /// Creates a pipeline front end with default tuning and `threads`
@@ -493,6 +556,21 @@ impl Detector for ParallelPmDebugger {
     fn finish(&mut self) -> Vec<BugReport> {
         let events = std::mem::take(&mut self.buffer);
         let outcome = detect_parallel_from(&self.config, &self.par, &events, self.base_seq);
+        if let Some(registry) = &self.registry {
+            registry
+                .counter("parallel.routed_events")
+                .add(outcome.routed_events);
+            registry
+                .counter("parallel.broadcast_events")
+                .add(outcome.broadcast_events);
+            registry
+                .counter("parallel.components")
+                .add(outcome.components as u64);
+            registry
+                .gauge("parallel.threads")
+                .set(outcome.threads as i64);
+            outcome.stats.export(registry);
+        }
         let reports = outcome.reports.clone();
         self.outcome = Some(outcome);
         reports
@@ -717,6 +795,55 @@ mod tests {
         assert_eq!(par.threads, 4);
         assert_eq!(par.routed_events + par.broadcast_events, trace.len() as u64);
         assert!(par.broadcast_events > 0); // the fences and the crash
+    }
+
+    #[test]
+    fn worker_metrics_sum_to_sequential_counts() {
+        let trace = messy_trace();
+        let config = DebuggerConfig::for_model(PersistencyModel::Strict);
+        let seq = detect_inline(&config, trace.events(), 0);
+        for threads in [2, 4, 8] {
+            let par = detect_parallel(&config, &ParallelConfig::with_threads(threads), &trace);
+            assert_eq!(par.worker_metrics.len(), threads);
+            let mut summed = pm_obs::MetricsSnapshot::new();
+            for worker in &par.worker_metrics {
+                summed.merge(worker);
+            }
+            assert_eq!(
+                summed, seq.metrics,
+                "{threads}-thread worker metrics diverged from sequential"
+            );
+            assert_eq!(par.metrics, seq.metrics);
+            let total: u64 = par.metrics.counters.values().sum();
+            assert_eq!(total, trace.len() as u64);
+        }
+    }
+
+    #[test]
+    fn front_end_exports_parallel_counters() {
+        let registry = pm_obs::MetricsRegistry::new();
+        let trace = messy_trace();
+        let mut det = ParallelPmDebugger::with_threads(
+            DebuggerConfig::for_model(PersistencyModel::Strict),
+            4,
+        );
+        det.attach_metrics(&registry);
+        for (seq, event) in trace.events().iter().enumerate() {
+            det.on_event(seq as u64, event);
+        }
+        let _ = det.finish();
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter("parallel.routed_events") + snap.counter("parallel.broadcast_events"),
+            trace.len() as u64
+        );
+        assert_eq!(snap.gauges["parallel.threads"], 4);
+        assert_eq!(
+            snap.counter("bookkeeping.events_processed"),
+            trace.len() as u64
+        );
+        // The runtime tap owns `events.*`; the front end must not write it.
+        assert!(snap.counters.keys().all(|k| !k.starts_with("events.")));
     }
 
     #[test]

@@ -101,6 +101,34 @@ impl DebuggerStats {
     pub fn reorganizations(&self) -> u64 {
         self.rotations + self.merges
     }
+
+    /// Exports every counter into `registry` under the `bookkeeping.*`
+    /// prefix a [`pm_obs::RunManifest`] routes into its `bookkeeping`
+    /// field. Counters add (so repeated exports accumulate); the current
+    /// tree size is a gauge and is overwritten.
+    pub fn export(&self, registry: &pm_obs::MetricsRegistry) {
+        let counters = [
+            ("events_processed", self.events_processed),
+            ("array_stores", self.array_stores),
+            ("array_spills", self.array_spills),
+            ("splits", self.splits),
+            ("fence_intervals", self.fence_intervals),
+            ("tree_node_sum", self.tree_node_sum),
+            ("migrations", self.migrations),
+            ("rotations", self.rotations),
+            ("merges", self.merges),
+            ("tree_inserts", self.tree_inserts),
+            ("tree_removals", self.tree_removals),
+        ];
+        for (name, value) in counters {
+            if value > 0 {
+                registry.counter(&format!("bookkeeping.{name}")).add(value);
+            }
+        }
+        registry
+            .gauge("bookkeeping.tree_len_now")
+            .set(self.tree_len_now as i64);
+    }
 }
 
 #[cfg(test)]
@@ -131,6 +159,24 @@ mod tests {
         assert_eq!(stats.tree_len_now, 10);
         assert_eq!(stats.reorganizations(), 12);
         assert!((stats.avg_tree_nodes() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn export_routes_to_bookkeeping_prefix() {
+        let stats = DebuggerStats {
+            events_processed: 9,
+            rotations: 4,
+            tree_len_now: 3,
+            ..Default::default()
+        };
+        let registry = pm_obs::MetricsRegistry::new();
+        stats.export(&registry);
+        stats.export(&registry); // counters accumulate, gauge overwrites
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("bookkeeping.events_processed"), 18);
+        assert_eq!(snap.counter("bookkeeping.rotations"), 8);
+        assert_eq!(snap.counter("bookkeeping.merges"), 0); // zero: not created
+        assert_eq!(snap.gauges["bookkeeping.tree_len_now"], 3);
     }
 
     #[test]

@@ -1,0 +1,255 @@
+//! Differential property for per-worker metrics: for arbitrary recorded
+//! traces, the per-worker metric snapshots produced by `detect_parallel`
+//! at 1/2/4/8 threads must (a) merge to exactly the pipeline's combined
+//! snapshot and (b) sum to the per-kind event counts a sequential pass
+//! over the trace observes — broadcast events are attributed to worker 0
+//! only, so the sum never double-counts. Mirrors the trace generator of
+//! `parallel_determinism.rs`.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use pm_obs::MetricsSnapshot;
+use pm_trace::{FenceKind, FlushKind, PmEvent, StrandId, ThreadId, Trace};
+use pmdebugger::{detect_parallel, DebuggerConfig, ParallelConfig, PersistencyModel};
+
+/// Addresses live on a small set of cache lines so shard components
+/// collide and the routing table actually splits work across workers.
+const LINES: u64 = 24;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Store {
+        line: u64,
+        offset: u64,
+        size: u32,
+        tid: u32,
+        strand: Option<u32>,
+        in_epoch: bool,
+    },
+    Flush {
+        line: u64,
+        lines: u32,
+        tid: u32,
+        strand: Option<u32>,
+    },
+    Fence {
+        kind: FenceKind,
+        tid: u32,
+        strand: Option<u32>,
+        in_epoch: bool,
+    },
+    EpochBegin(u32),
+    EpochEnd(u32),
+    StrandBegin(u32, u32),
+    StrandEnd(u32, u32),
+    JoinStrand(u32),
+    TxLog {
+        line: u64,
+        size: u32,
+        tid: u32,
+    },
+    Crash,
+    RecoveryRead {
+        line: u64,
+        size: u32,
+    },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let strand = || proptest::option::of(0u32..3);
+    prop_oneof![
+        8 => (0..LINES, 0u64..56, 1u32..100, 0u32..3, strand(), any::<bool>()).prop_map(
+            |(line, offset, size, tid, strand, in_epoch)| Op::Store {
+                line,
+                offset,
+                size,
+                tid,
+                strand,
+                in_epoch,
+            }
+        ),
+        5 => (0..LINES, 1u32..3, 0u32..3, strand()).prop_map(|(line, lines, tid, strand)| {
+            Op::Flush {
+                line,
+                lines,
+                tid,
+                strand,
+            }
+        }),
+        3 => (any::<bool>(), 0u32..3, strand(), any::<bool>()).prop_map(
+            |(sfence, tid, strand, in_epoch)| Op::Fence {
+                kind: if sfence {
+                    FenceKind::Sfence
+                } else {
+                    FenceKind::PersistBarrier
+                },
+                tid,
+                strand,
+                in_epoch,
+            }
+        ),
+        1 => (0u32..3).prop_map(Op::EpochBegin),
+        1 => (0u32..3).prop_map(Op::EpochEnd),
+        1 => (0u32..3, 0u32..3).prop_map(|(s, t)| Op::StrandBegin(s, t)),
+        1 => (0u32..3, 0u32..3).prop_map(|(s, t)| Op::StrandEnd(s, t)),
+        1 => (0u32..3).prop_map(Op::JoinStrand),
+        1 => (0..LINES, 1u32..80, 0u32..3).prop_map(|(line, size, tid)| Op::TxLog {
+            line,
+            size,
+            tid
+        }),
+        1 => Just(Op::Crash),
+        1 => (0..LINES, 1u32..80).prop_map(|(line, size)| Op::RecoveryRead { line, size }),
+    ]
+}
+
+fn to_event(op: &Op) -> PmEvent {
+    let strand = |s: &Option<u32>| s.map(StrandId);
+    match op {
+        Op::Store {
+            line,
+            offset,
+            size,
+            tid,
+            strand: s,
+            in_epoch,
+        } => PmEvent::Store {
+            addr: line * 64 + offset,
+            size: *size,
+            tid: ThreadId(*tid),
+            strand: strand(s),
+            in_epoch: *in_epoch,
+        },
+        Op::Flush {
+            line,
+            lines,
+            tid,
+            strand: s,
+        } => PmEvent::Flush {
+            kind: FlushKind::Clwb,
+            addr: line * 64,
+            size: lines * 64,
+            tid: ThreadId(*tid),
+            strand: strand(s),
+        },
+        Op::Fence {
+            kind,
+            tid,
+            strand: s,
+            in_epoch,
+        } => PmEvent::Fence {
+            kind: *kind,
+            tid: ThreadId(*tid),
+            strand: strand(s),
+            in_epoch: *in_epoch,
+        },
+        Op::EpochBegin(tid) => PmEvent::EpochBegin {
+            tid: ThreadId(*tid),
+        },
+        Op::EpochEnd(tid) => PmEvent::EpochEnd {
+            tid: ThreadId(*tid),
+        },
+        Op::StrandBegin(s, tid) => PmEvent::StrandBegin {
+            strand: StrandId(*s),
+            tid: ThreadId(*tid),
+        },
+        Op::StrandEnd(s, tid) => PmEvent::StrandEnd {
+            strand: StrandId(*s),
+            tid: ThreadId(*tid),
+        },
+        Op::JoinStrand(tid) => PmEvent::JoinStrand {
+            tid: ThreadId(*tid),
+        },
+        Op::TxLog { line, size, tid } => PmEvent::TxLog {
+            obj_addr: line * 64,
+            size: *size,
+            tid: ThreadId(*tid),
+        },
+        Op::Crash => PmEvent::Crash,
+        Op::RecoveryRead { line, size } => PmEvent::RecoveryRead {
+            addr: line * 64,
+            size: *size,
+        },
+    }
+}
+
+fn build_trace(ops: &[Op]) -> Trace {
+    ops.iter().map(to_event).collect()
+}
+
+/// Sequential oracle: per-kind event counts from one pass over the trace,
+/// under the same `events.<kind>` names the pipeline emits.
+fn sequential_counts(trace: &Trace) -> BTreeMap<String, u64> {
+    let mut counts: BTreeMap<String, u64> = BTreeMap::new();
+    for event in trace.events() {
+        *counts
+            .entry(format!("events.{}", event.kind_name()))
+            .or_insert(0) += 1;
+    }
+    counts
+}
+
+fn assert_worker_metrics_sum(config: &DebuggerConfig, trace: &Trace) -> Result<(), TestCaseError> {
+    let expected = sequential_counts(trace);
+    for threads in [1usize, 2, 4, 8] {
+        let outcome = detect_parallel(config, &ParallelConfig::with_threads(threads), trace);
+
+        // (a) The per-worker snapshots merge to the combined snapshot.
+        let mut merged = MetricsSnapshot::new();
+        for worker in &outcome.worker_metrics {
+            merged.merge(worker);
+        }
+        prop_assert_eq!(
+            &merged.counters,
+            &outcome.metrics.counters,
+            "combined snapshot is not the worker sum at {} threads",
+            threads
+        );
+
+        // (b) The sum equals the sequential per-kind counts exactly:
+        // routed events are counted by their owning worker, broadcast
+        // events by worker 0 only.
+        prop_assert_eq!(
+            &merged.counters,
+            &expected,
+            "worker metrics diverged from the sequential counts at {} threads",
+            threads
+        );
+        let total: u64 = merged.counters.values().sum();
+        prop_assert_eq!(total, trace.len() as u64);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn strict_worker_metrics_sum_to_sequential(
+        ops in proptest::collection::vec(op_strategy(), 0..140)
+    ) {
+        let trace = build_trace(&ops);
+        let config = DebuggerConfig::for_model(PersistencyModel::Strict);
+        assert_worker_metrics_sum(&config, &trace)?;
+    }
+
+    #[test]
+    fn epoch_worker_metrics_sum_to_sequential(
+        ops in proptest::collection::vec(op_strategy(), 0..140)
+    ) {
+        let trace = build_trace(&ops);
+        let config = DebuggerConfig::for_model(PersistencyModel::Epoch);
+        assert_worker_metrics_sum(&config, &trace)?;
+    }
+
+    #[test]
+    fn strand_worker_metrics_sum_to_sequential(
+        ops in proptest::collection::vec(op_strategy(), 0..140)
+    ) {
+        let trace = build_trace(&ops);
+        let config = DebuggerConfig::for_model(PersistencyModel::Strand);
+        assert_worker_metrics_sum(&config, &trace)?;
+    }
+}

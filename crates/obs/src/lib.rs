@@ -1,0 +1,52 @@
+//! `pm-obs`: the workspace's always-on observability layer.
+//!
+//! Zero-dependency metrics registry (monotonic [`Counter`]s, [`Gauge`]s,
+//! log2-bucket [`Histogram`]s), lightweight [`Span`] timing, NDJSON/JSON
+//! export, and the end-of-run [`RunManifest`] every `pmdbg` invocation can
+//! emit with `--metrics out.json`.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Hot-path cost**: handles are `Arc`-wrapped relaxed atomics; an
+//!    instrumented event costs one predictable relaxed RMW. The registry
+//!    mutex is touched only on handle creation and snapshotting.
+//! 2. **No dependencies**: the crate must be attachable from every layer
+//!    (trace runtime, detection engine, parallel pipeline, chaos
+//!    campaigns, CLI) without cycles, so it depends on nothing.
+//! 3. **Determinism**: [`MetricsSnapshot`] and [`RunManifest`] serialize
+//!    with sorted keys; snapshot [merge](MetricsSnapshot::merge) is
+//!    commutative so the parallel pipeline's per-worker metrics aggregate
+//!    identically at any thread count.
+//!
+//! # Example
+//!
+//! ```
+//! use pm_obs::{MetricsRegistry, RunManifest};
+//!
+//! let registry = MetricsRegistry::new();
+//! let stores = registry.counter("events.store");
+//! for _ in 0..3 {
+//!     stores.inc(); // what an instrumented hot loop does
+//! }
+//! {
+//!     let _span = registry.span("stage.detect"); // records ns on drop
+//! }
+//!
+//! let mut manifest = RunManifest::new("pmdebugger", "memcached", "epoch");
+//! manifest.absorb_snapshot(&registry.snapshot());
+//! assert_eq!(manifest.events_total, 3);
+//! assert!(manifest.to_json().starts_with('{'));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod manifest;
+pub mod metrics;
+
+pub use manifest::{BugDigest, ManifestError, RunManifest, MANIFEST_SCHEMA};
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, Span,
+    HISTOGRAM_BUCKETS,
+};

@@ -1,0 +1,573 @@
+//! The metrics registry: monotonic counters, gauges, log2-bucket
+//! histograms and span timing.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are cheap `Arc` clones
+//! over relaxed atomics, so instrumented hot paths pay one predictable
+//! relaxed RMW per update and never touch the registry lock. The registry
+//! itself is only locked on handle creation and snapshotting.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Number of histogram buckets: bucket 0 holds zero values, bucket `b ≥ 1`
+/// holds values in `[2^(b-1), 2^b)`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A monotonic counter.
+///
+/// Cloning yields another handle to the same underlying cell, which is how
+/// instrumented code keeps a hot handle while the registry retains the
+/// canonical one for snapshots.
+///
+/// # Example
+///
+/// ```
+/// use pm_obs::Counter;
+///
+/// let c = Counter::default();
+/// let same = c.clone();
+/// c.inc();
+/// same.add(4);
+/// assert_eq!(c.get(), 5);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Increments by one (relaxed).
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (relaxed).
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a signed value that can move both ways (e.g. current tree
+/// size, in-flight work).
+///
+/// # Example
+///
+/// ```
+/// use pm_obs::Gauge;
+///
+/// let g = Gauge::default();
+/// g.set(10);
+/// g.add(-3);
+/// assert_eq!(g.get(), 7);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Sets the value (relaxed).
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `delta`, which may be negative (relaxed).
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for HistogramInner {
+    fn default() -> Self {
+        HistogramInner {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// Bucket index for a recorded value: 0 for 0, otherwise
+/// `floor(log2(v)) + 1`.
+fn bucket_of(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// A log2-bucket histogram (count, sum, and 65 power-of-two buckets).
+///
+/// Designed for latency-in-nanoseconds and size distributions where an
+/// order-of-magnitude profile is enough and recording must stay O(1) with
+/// no allocation.
+///
+/// # Example
+///
+/// ```
+/// use pm_obs::Histogram;
+///
+/// let h = Histogram::default();
+/// h.record(0);
+/// h.record(5); // bucket [4, 8)
+/// h.record(7); // same bucket
+/// let snap = h.snapshot();
+/// assert_eq!(snap.count, 3);
+/// assert_eq!(snap.sum, 12);
+/// assert_eq!(snap.buckets, vec![(0, 1), (3, 2)]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Histogram {
+    /// Records one value (relaxed).
+    pub fn record(&self, v: u64) {
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+        self.0.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded values.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Adds every observation of a snapshot into this histogram (used when
+    /// folding per-worker snapshots back into a live registry).
+    pub fn absorb(&self, snap: &HistogramSnapshot) {
+        self.0.count.fetch_add(snap.count, Ordering::Relaxed);
+        self.0.sum.fetch_add(snap.sum, Ordering::Relaxed);
+        for &(bucket, n) in &snap.buckets {
+            if let Some(cell) = self.0.buckets.get(bucket as usize) {
+                cell.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// A point-in-time copy with sparse buckets.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets = self
+            .0
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then_some((i as u32, n))
+            })
+            .collect();
+        HistogramSnapshot {
+            count: self.count(),
+            sum: self.sum(),
+            buckets,
+        }
+    }
+}
+
+/// Immutable copy of a histogram: total count, total sum, and the occupied
+/// buckets as `(bucket index, count)` pairs sorted by index.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Sparse `(bucket, count)` pairs; bucket `b ≥ 1` covers
+    /// `[2^(b-1), 2^b)`, bucket 0 covers the value 0.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean recorded value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Adds another snapshot's observations into this one.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count += other.count;
+        self.sum += other.sum;
+        let mut merged: BTreeMap<u32, u64> = self.buckets.iter().copied().collect();
+        for &(bucket, n) in &other.buckets {
+            *merged.entry(bucket).or_default() += n;
+        }
+        self.buckets = merged.into_iter().collect();
+    }
+}
+
+/// Timing guard returned by [`MetricsRegistry::span`]: records the elapsed
+/// wall-clock nanoseconds into the named histogram when dropped.
+#[derive(Debug)]
+pub struct Span {
+    histogram: Histogram,
+    start: Instant,
+}
+
+impl Span {
+    /// Ends the span now (equivalent to dropping it).
+    pub fn finish(self) {}
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let nanos = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.histogram.record(nanos);
+    }
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// A process-local metrics registry.
+///
+/// Cloning yields another handle to the same registry, so one registry can
+/// be threaded through the runtime, the detection engine and the CLI
+/// without lifetimes. Metric names are free-form, but the manifest layer
+/// gives meaning to a few prefixes (see
+/// [`RunManifest`](crate::RunManifest)): `events.*`, `rule.*`,
+/// `bookkeeping.*` and `stage.*`.
+///
+/// # Example
+///
+/// ```
+/// use pm_obs::MetricsRegistry;
+///
+/// let registry = MetricsRegistry::new();
+/// let stores = registry.counter("events.store");
+/// stores.inc();
+/// stores.inc();
+/// {
+///     let _span = registry.span("stage.detect");
+///     // ... timed work ...
+/// }
+/// let snap = registry.snapshot();
+/// assert_eq!(snap.counter("events.store"), 2);
+/// assert_eq!(snap.histograms["stage.detect"].count, 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<Mutex<RegistryInner>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns (creating if absent) the counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        inner.counters.entry(name.to_owned()).or_default().clone()
+    }
+
+    /// Returns (creating if absent) the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        inner.gauges.entry(name.to_owned()).or_default().clone()
+    }
+
+    /// Returns (creating if absent) the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        inner.histograms.entry(name.to_owned()).or_default().clone()
+    }
+
+    /// Starts a timing span whose elapsed nanoseconds are recorded into
+    /// the histogram `name` when the returned guard drops.
+    pub fn span(&self, name: &str) -> Span {
+        Span {
+            histogram: self.histogram(name),
+            start: Instant::now(),
+        }
+    }
+
+    /// Adds every metric of a snapshot into this registry: counters and
+    /// gauges add, histograms absorb bucket-wise. The inverse direction of
+    /// [`MetricsRegistry::snapshot`], used to fold per-worker or
+    /// per-subsystem snapshots into the run's main registry.
+    pub fn absorb(&self, snap: &MetricsSnapshot) {
+        for (name, &value) in &snap.counters {
+            self.counter(name).add(value);
+        }
+        for (name, &value) in &snap.gauges {
+            self.gauge(name).add(value);
+        }
+        for (name, hist) in &snap.histograms {
+            self.histogram(name).absorb(hist);
+        }
+    }
+
+    /// Point-in-time copy of every metric, sorted by name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().expect("metrics registry poisoned");
+        MetricsSnapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// Immutable, mergeable copy of a registry's metrics.
+///
+/// Snapshots are the unit of cross-thread aggregation: the parallel
+/// pipeline takes one per worker and [merges](MetricsSnapshot::merge) them
+/// deterministically (worker order, commutative sums) next to the report
+/// merge.
+///
+/// # Example
+///
+/// ```
+/// use pm_obs::MetricsSnapshot;
+///
+/// let mut a = MetricsSnapshot::new();
+/// a.set_counter("events.store", 3);
+/// let mut b = MetricsSnapshot::new();
+/// b.set_counter("events.store", 4);
+/// b.set_counter("events.fence", 1);
+/// a.merge(&b);
+/// assert_eq!(a.counter("events.store"), 7);
+/// assert_eq!(a.counter("events.fence"), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Creates an empty snapshot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The value of counter `name` (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets counter `name` to `value` (creating it if absent).
+    pub fn set_counter(&mut self, name: &str, value: u64) {
+        self.counters.insert(name.to_owned(), value);
+    }
+
+    /// Adds every metric of `other` into `self`: counters and gauges sum,
+    /// histograms merge bucket-wise. Missing names are created, so merging
+    /// is total and order-independent.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (name, value) in &other.counters {
+            *self.counters.entry(name.clone()).or_default() += value;
+        }
+        for (name, value) in &other.gauges {
+            *self.gauges.entry(name.clone()).or_default() += value;
+        }
+        for (name, hist) in &other.histograms {
+            self.histograms.entry(name.clone()).or_default().merge(hist);
+        }
+    }
+
+    /// Serializes to one JSON object (deterministic: names sorted).
+    pub fn to_json(&self) -> String {
+        crate::json::Value::from_snapshot(self).to_string()
+    }
+
+    /// Serializes to NDJSON: one `{"metric": ..., "type": ..., ...}` line
+    /// per metric, suitable for appending to an event/metric stream file.
+    pub fn to_ndjson(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let _ = writeln!(
+                out,
+                "{{\"metric\":{},\"type\":\"counter\",\"value\":{value}}}",
+                crate::json::escape(name)
+            );
+        }
+        for (name, value) in &self.gauges {
+            let _ = writeln!(
+                out,
+                "{{\"metric\":{},\"type\":\"gauge\",\"value\":{value}}}",
+                crate::json::escape(name)
+            );
+        }
+        for (name, hist) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "{{\"metric\":{},\"type\":\"histogram\",{}}}",
+                crate::json::escape(name),
+                crate::json::histogram_fields(hist)
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let registry = MetricsRegistry::new();
+        let c = registry.counter("a");
+        c.add(2);
+        registry.counter("a").inc(); // same cell via name
+        let g = registry.gauge("g");
+        g.set(5);
+        g.add(-2);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("a"), 3);
+        assert_eq!(snap.gauges["g"], 3);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        let h = Histogram::default();
+        for v in [0, 1, 2, 3, 4, u64::MAX] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 6);
+        assert_eq!(snap.buckets, vec![(0, 1), (1, 1), (2, 2), (3, 1), (64, 1)]);
+    }
+
+    #[test]
+    fn span_records_into_histogram() {
+        let registry = MetricsRegistry::new();
+        registry.span("stage.x").finish();
+        {
+            let _span = registry.span("stage.x");
+        }
+        let snap = registry.snapshot();
+        assert_eq!(snap.histograms["stage.x"].count, 2);
+    }
+
+    #[test]
+    fn snapshot_merge_sums_everything() {
+        let a_reg = MetricsRegistry::new();
+        a_reg.counter("c").add(3);
+        a_reg.gauge("g").set(1);
+        a_reg.histogram("h").record(5);
+        let b_reg = MetricsRegistry::new();
+        b_reg.counter("c").add(4);
+        b_reg.counter("only_b").inc();
+        b_reg.histogram("h").record(5);
+        b_reg.histogram("h").record(1000);
+
+        let mut merged = a_reg.snapshot();
+        merged.merge(&b_reg.snapshot());
+        assert_eq!(merged.counter("c"), 7);
+        assert_eq!(merged.counter("only_b"), 1);
+        assert_eq!(merged.gauges["g"], 1);
+        let h = &merged.histograms["h"];
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 1010);
+    }
+
+    #[test]
+    fn registry_absorb_inverts_snapshot() {
+        let source = MetricsRegistry::new();
+        source.counter("c").add(5);
+        source.gauge("g").set(-2);
+        source.histogram("h").record(9);
+        source.histogram("h").record(0);
+        let target = MetricsRegistry::new();
+        target.counter("c").add(1);
+        target.absorb(&source.snapshot());
+        let snap = target.snapshot();
+        assert_eq!(snap.counter("c"), 6);
+        assert_eq!(snap.gauges["g"], -2);
+        assert_eq!(snap.histograms["h"], source.snapshot().histograms["h"]);
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let mut a = MetricsSnapshot::new();
+        a.set_counter("x", 1);
+        let mut b = MetricsSnapshot::new();
+        b.set_counter("y", 2);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn handles_are_send_and_shared_across_threads() {
+        let registry = MetricsRegistry::new();
+        let c = registry.counter("threads");
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let c = c.clone();
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(registry.snapshot().counter("threads"), 4000);
+    }
+
+    #[test]
+    fn ndjson_emits_one_line_per_metric() {
+        let registry = MetricsRegistry::new();
+        registry.counter("a").inc();
+        registry.gauge("b").set(-1);
+        registry.histogram("c").record(7);
+        let ndjson = registry.snapshot().to_ndjson();
+        assert_eq!(ndjson.lines().count(), 3);
+        assert!(ndjson.contains("\"type\":\"counter\""));
+        assert!(ndjson.contains("\"type\":\"gauge\""));
+        assert!(ndjson.contains("\"type\":\"histogram\""));
+    }
+}

@@ -189,6 +189,54 @@ impl PmEvent {
         }
     }
 
+    /// Stable lowercase names for every event kind, indexed by
+    /// [`kind_index`](Self::kind_index). These are the `events.<kind>`
+    /// metric suffixes and the `event_kinds` keys in run manifests.
+    pub const KIND_NAMES: [&'static str; 15] = [
+        "register_pmem",
+        "store",
+        "flush",
+        "fence",
+        "epoch_begin",
+        "epoch_end",
+        "strand_begin",
+        "strand_end",
+        "join_strand",
+        "tx_log",
+        "func_enter",
+        "annotation",
+        "name_range",
+        "crash",
+        "recovery_read",
+    ];
+
+    /// Dense index of the event's kind into [`Self::KIND_NAMES`] — lets
+    /// per-kind bookkeeping use a flat array instead of a map.
+    pub fn kind_index(&self) -> usize {
+        match self {
+            PmEvent::RegisterPmem { .. } => 0,
+            PmEvent::Store { .. } => 1,
+            PmEvent::Flush { .. } => 2,
+            PmEvent::Fence { .. } => 3,
+            PmEvent::EpochBegin { .. } => 4,
+            PmEvent::EpochEnd { .. } => 5,
+            PmEvent::StrandBegin { .. } => 6,
+            PmEvent::StrandEnd { .. } => 7,
+            PmEvent::JoinStrand { .. } => 8,
+            PmEvent::TxLog { .. } => 9,
+            PmEvent::FuncEnter { .. } => 10,
+            PmEvent::Annotation(_) => 11,
+            PmEvent::NameRange { .. } => 12,
+            PmEvent::Crash => 13,
+            PmEvent::RecoveryRead { .. } => 14,
+        }
+    }
+
+    /// Stable lowercase kind name (see [`Self::KIND_NAMES`]).
+    pub fn kind_name(&self) -> &'static str {
+        Self::KIND_NAMES[self.kind_index()]
+    }
+
     /// The address range `[addr, addr + size)` the event touches, if any.
     pub fn range(&self) -> Option<(Addr, u64)> {
         match self {

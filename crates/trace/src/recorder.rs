@@ -72,6 +72,17 @@ impl Trace {
         }
         stats
     }
+
+    /// Per-kind event counts keyed by [`PmEvent::kind_name`] — the same
+    /// keys a run manifest's `event_kinds` field uses, so a replayed
+    /// trace's composition can be checked against a recorded manifest.
+    pub fn kind_counts(&self) -> std::collections::BTreeMap<&'static str, u64> {
+        let mut counts = std::collections::BTreeMap::new();
+        for event in &self.events {
+            *counts.entry(event.kind_name()).or_default() += 1;
+        }
+        counts
+    }
 }
 
 impl FromIterator<PmEvent> for Trace {
@@ -217,6 +228,18 @@ mod tests {
         assert_eq!(stats.fences, 1);
         assert_eq!(stats.flushes, 0);
         assert_eq!(stats.fundamental_total(), 3);
+    }
+
+    #[test]
+    fn kind_counts_match_manifest_keys() {
+        let trace: Trace = vec![store(0), store(8), fence(), PmEvent::Crash]
+            .into_iter()
+            .collect();
+        let counts = trace.kind_counts();
+        assert_eq!(counts["store"], 2);
+        assert_eq!(counts["fence"], 1);
+        assert_eq!(counts["crash"], 1);
+        assert_eq!(counts.values().sum::<u64>(), trace.len() as u64);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use std::error::Error;
 use std::fmt;
 
+use pm_obs::{Counter, MetricsRegistry};
 use pmem_sim::{FlushKind, PmPool, PmemError, CACHE_LINE_SIZE};
 
 use crate::annotations::Annotation;
@@ -80,11 +81,19 @@ pub struct PmRuntime {
     pool: Option<PmPool>,
     detectors: Vec<Box<dyn Detector>>,
     trace: Option<Trace>,
+    tap: Option<Box<EventTap>>,
     seq: u64,
     tid: ThreadId,
     epoch_depth: u32,
     strand_stack: Vec<StrandId>,
     next_strand: u32,
+}
+
+/// Pre-resolved per-kind counter handles: the event tap pays one relaxed
+/// increment per event and never touches the registry lock after
+/// [`PmRuntime::observe`].
+struct EventTap {
+    by_kind: [Counter; PmEvent::KIND_NAMES.len()],
 }
 
 impl fmt::Debug for PmRuntime {
@@ -93,6 +102,7 @@ impl fmt::Debug for PmRuntime {
             .field("pool", &self.pool.as_ref().map(|p| p.size()))
             .field("detectors", &self.detectors.len())
             .field("recording", &self.trace.is_some())
+            .field("observed", &self.tap.is_some())
             .field("seq", &self.seq)
             .field("tid", &self.tid)
             .field("epoch_depth", &self.epoch_depth)
@@ -124,6 +134,7 @@ impl PmRuntime {
             pool: None,
             detectors: Vec::new(),
             trace: None,
+            tap: None,
             seq: 0,
             tid: ThreadId(0),
             epoch_depth: 0,
@@ -137,6 +148,19 @@ impl PmRuntime {
         if self.trace.is_none() {
             self.trace = Some(Trace::new());
         }
+        self
+    }
+
+    /// Attaches an event-stream tap counting every subsequent event into
+    /// `registry` as `events.<kind>` counters (see
+    /// [`PmEvent::KIND_NAMES`]). Counter handles are resolved once here,
+    /// so the per-event cost is a single relaxed increment.
+    pub fn observe(&mut self, registry: &MetricsRegistry) -> &mut Self {
+        self.tap = Some(Box::new(EventTap {
+            by_kind: std::array::from_fn(|i| {
+                registry.counter(&format!("events.{}", PmEvent::KIND_NAMES[i]))
+            }),
+        }));
         self
     }
 
@@ -177,6 +201,9 @@ impl PmRuntime {
     fn emit(&mut self, event: PmEvent) {
         let seq = self.seq;
         self.seq += 1;
+        if let Some(tap) = &self.tap {
+            tap.by_kind[event.kind_index()].inc();
+        }
         for det in &mut self.detectors {
             det.on_event(seq, &event);
         }
@@ -638,6 +665,33 @@ mod tests {
         rt.sfence();
         assert_eq!(rt.event_count(), 5); // register + 2 stores + flush + fence
         assert!(rt.finish().is_empty());
+    }
+
+    #[test]
+    fn observe_counts_events_by_kind() {
+        let registry = MetricsRegistry::new();
+        let mut rt = PmRuntime::trace_only();
+        rt.observe(&registry);
+        rt.store_untyped(0, 8);
+        rt.store_untyped(64, 8);
+        rt.clwb(0).unwrap();
+        rt.sfence();
+        rt.epoch_begin();
+        rt.epoch_end().unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("events.store"), 2);
+        assert_eq!(snap.counter("events.flush"), 1);
+        assert_eq!(snap.counter("events.fence"), 1);
+        assert_eq!(snap.counter("events.epoch_begin"), 1);
+        assert_eq!(snap.counter("events.epoch_end"), 1);
+        assert_eq!(snap.counter("events.crash"), 0);
+        let total: u64 = snap
+            .counters
+            .iter()
+            .filter(|(k, _)| k.starts_with("events."))
+            .map(|(_, v)| v)
+            .sum();
+        assert_eq!(total, rt.event_count());
     }
 
     #[test]

@@ -74,18 +74,54 @@ impl BugSummary {
     /// Deduplicates reports that share kind and affected range, returning
     /// `(representative, occurrence count)` pairs in kind order. Repeated
     /// executions of one buggy code path collapse to a single line.
+    ///
+    /// Ranged reports of one kind whose `[addr, addr+size)` ranges
+    /// *overlap* belong to the same defect site even when the ranges are
+    /// not byte-identical (one buggy code path re-executed with shifted
+    /// offsets, or a store and its line-aligned flush): they are clustered
+    /// by a sweep over the address-sorted ranges, with the lowest-addressed
+    /// report as representative. Touching-but-disjoint ranges (half-open
+    /// semantics) stay separate sites. Reports without a range group by
+    /// exact absence, as before.
     pub fn deduplicated(&self) -> Vec<(&BugReport, usize)> {
-        type SiteKey = (Option<u64>, Option<u64>);
         let mut out: Vec<(&BugReport, usize)> = Vec::new();
         for reports in self.by_kind.values() {
-            let mut groups: BTreeMap<SiteKey, (&BugReport, usize)> = BTreeMap::new();
+            let mut unranged: Option<(&BugReport, usize)> = None;
+            let mut ranged: Vec<(u64, u64, &BugReport)> = Vec::new();
             for report in reports {
-                groups
-                    .entry((report.addr, report.size))
-                    .and_modify(|(_, n)| *n += 1)
-                    .or_insert((report, 1));
+                match (report.addr, report.size) {
+                    (Some(addr), Some(size)) => ranged.push((addr, size, report)),
+                    _ => match &mut unranged {
+                        Some((_, n)) => *n += 1,
+                        None => unranged = Some((report, 1)),
+                    },
+                }
             }
-            out.extend(groups.into_values());
+            out.extend(unranged);
+            // Stable sort, then sweep: a range starting before the current
+            // cluster's end joins it (and may extend it); the first report
+            // of a cluster — the lowest-addressed, earliest-emitted one —
+            // is its representative.
+            ranged.sort_by_key(|&(addr, size, _)| (addr, size));
+            let mut cluster: Option<(&BugReport, usize, u64)> = None;
+            for (addr, size, report) in ranged {
+                let range_end = addr.saturating_add(size);
+                match &mut cluster {
+                    Some((_, n, end)) if addr < *end => {
+                        *n += 1;
+                        *end = (*end).max(range_end);
+                    }
+                    _ => {
+                        if let Some((rep, n, _)) = cluster.take() {
+                            out.push((rep, n));
+                        }
+                        cluster = Some((report, 1, range_end));
+                    }
+                }
+            }
+            if let Some((rep, n, _)) = cluster {
+                out.push((rep, n));
+            }
         }
         out
     }
@@ -170,6 +206,71 @@ mod tests {
         let max = dedup.iter().map(|(_, n)| *n).max().unwrap();
         assert_eq!(max, 3);
         assert!(summary.to_string().contains("(x3)"));
+    }
+
+    fn sized(kind: BugKind, addr: u64, size: u64) -> BugReport {
+        BugReport::new(kind, "test").with_range(addr, size)
+    }
+
+    #[test]
+    fn overlapping_unequal_ranges_are_one_site() {
+        // One buggy code path re-executed with shifted offsets: the ranges
+        // overlap pairwise-transitively and must collapse to one site.
+        let summary = BugSummary::from_reports(vec![
+            sized(BugKind::RedundantFlushes, 0, 8),
+            sized(BugKind::RedundantFlushes, 4, 8),
+            sized(BugKind::RedundantFlushes, 10, 8),
+        ]);
+        let dedup = summary.deduplicated();
+        assert_eq!(dedup.len(), 1, "overlapping ranges must merge: {dedup:?}");
+        assert_eq!(dedup[0].1, 3);
+        assert_eq!(dedup[0].0.addr, Some(0), "lowest-addressed representative");
+    }
+
+    #[test]
+    fn contained_range_merges_into_covering_range() {
+        let summary = BugSummary::from_reports(vec![
+            sized(BugKind::NoDurabilityGuarantee, 0, 64),
+            sized(BugKind::NoDurabilityGuarantee, 16, 8),
+        ]);
+        assert_eq!(summary.deduplicated().len(), 1);
+    }
+
+    #[test]
+    fn touching_ranges_stay_separate_sites() {
+        // Half-open ranges: [0,8) and [8,16) share no byte.
+        let summary = BugSummary::from_reports(vec![
+            sized(BugKind::RedundantFlushes, 0, 8),
+            sized(BugKind::RedundantFlushes, 8, 8),
+        ]);
+        assert_eq!(summary.deduplicated().len(), 2);
+    }
+
+    #[test]
+    fn cluster_extension_is_transitive_through_a_long_range() {
+        // (0,8) and (20,8) are disjoint, but (4,20) bridges them: one site.
+        let summary = BugSummary::from_reports(vec![
+            sized(BugKind::RedundantFlushes, 0, 8),
+            sized(BugKind::RedundantFlushes, 20, 8),
+            sized(BugKind::RedundantFlushes, 4, 20),
+        ]);
+        let dedup = summary.deduplicated();
+        assert_eq!(dedup.len(), 1);
+        assert_eq!(dedup[0].1, 3);
+    }
+
+    #[test]
+    fn unranged_reports_group_together_per_kind() {
+        let summary = BugSummary::from_reports(vec![
+            BugReport::new(BugKind::RedundantEpochFence, "a"),
+            BugReport::new(BugKind::RedundantEpochFence, "b"),
+            sized(BugKind::RedundantEpochFence, 0, 8),
+        ]);
+        let dedup = summary.deduplicated();
+        assert_eq!(dedup.len(), 2);
+        // The unranged group leads (matching the pre-cluster ordering).
+        assert_eq!(dedup[0].0.addr, None);
+        assert_eq!(dedup[0].1, 2);
     }
 
     #[test]

@@ -1,16 +1,20 @@
 #!/usr/bin/env bash
 # Repo CI gate: staged pipeline with per-stage timing. Run from anywhere.
 #
-#   lint -> fmt -> unit -> integration -> docs -> bench-smoke
+#   lint -> fmt -> unit -> integration -> docs -> bench-smoke -> obs-smoke
 #
 # lint        clippy over all targets, warnings are errors
 # fmt         rustfmt check
 # unit        library unit tests
 # integration integration-test binaries (includes the parallel-determinism
-#             property suite)
-# docs        doc tests, then rustdoc with warnings as errors
+#             and metrics-differential property suites and the
+#             golden-snapshot fixtures)
+# docs        doc tests (asserting pm-obs contributes documented examples),
+#             then rustdoc with warnings as errors
 # bench-smoke regenerates the parallel-pipeline benchmark in smoke mode and
 #             gates on the committed baseline (scripts/bench_gate.sh)
+# obs-smoke   metrics-overhead benchmark in smoke mode, failing if the
+#             metrics-on slowdown exceeds PM_OBS_MAX_OVERHEAD_PCT (5%)
 #
 # Select a subset of stages by name: `scripts/ci.sh lint fmt unit`.
 set -euo pipefail
@@ -18,7 +22,7 @@ cd "$(dirname "$0")/.."
 
 STAGES=("$@")
 if [ ${#STAGES[@]} -eq 0 ]; then
-  STAGES=(lint fmt unit integration docs bench-smoke)
+  STAGES=(lint fmt unit integration docs bench-smoke obs-smoke)
 fi
 
 declare -a TIMINGS=()
@@ -36,7 +40,26 @@ run_stage() {
 
 docs_stage() {
   cargo test -q --offline --workspace --doc
+  # The observability crate's public API must stay documented-by-example:
+  # its doctests are the executable half of the manifest schema doc.
+  local obs_doctests
+  obs_doctests=$(cargo test -q --offline -p pm-obs --doc 2>&1 | tee /dev/stderr |
+    sed -n 's/^test result: ok\. \([0-9]*\) passed.*/\1/p' | head -n1)
+  if [ -z "${obs_doctests}" ] || [ "${obs_doctests}" -lt 3 ]; then
+    echo "pm-obs must keep at least 3 passing doctests (found: ${obs_doctests:-none})" >&2
+    exit 1
+  fi
   RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace -q
+}
+
+obs_smoke_stage() {
+  # Metrics-overhead gate: smoke-sized run, fail when metrics-on costs
+  # more than PM_OBS_MAX_OVERHEAD_PCT (default 5% — the smoke inputs are
+  # small enough that scheduler noise dominates below that).
+  PM_BENCH_SMOKE=1 \
+  PM_BENCH_JSON="${PM_OBS_JSON:-$(pwd)/target/obs_smoke.json}" \
+  PM_OBS_MAX_OVERHEAD_PCT="${PM_OBS_MAX_OVERHEAD_PCT:-5}" \
+    cargo bench -q --offline -p pm-bench --bench metrics_overhead
 }
 
 for stage in "${STAGES[@]}"; do
@@ -58,6 +81,9 @@ for stage in "${STAGES[@]}"; do
       ;;
     bench-smoke)
       run_stage bench-smoke scripts/bench_gate.sh
+      ;;
+    obs-smoke)
+      run_stage obs-smoke obs_smoke_stage
       ;;
     *)
       echo "unknown stage: ${stage}" >&2

@@ -1,0 +1,169 @@
+//! Golden-snapshot tests: pinned BugSummary renderings and RunManifest
+//! JSON for a spread of bug-corpus workloads.
+//!
+//! The fixtures live under `tests/golden/` and are compared byte-for-byte
+//! — any change to report wording, deduplication, summary layout, metric
+//! routing or manifest serialization shows up as a readable diff here.
+//! After an intentional change, regenerate with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden_snapshots
+//! ```
+//!
+//! and commit the updated fixtures.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use pm_bugs::{corpus, BugCase};
+use pm_obs::{BugDigest, MetricsRegistry, RunManifest};
+use pm_trace::{BugSummary, Detector};
+use pmdebugger::{DebuggerConfig, PersistencyModel, PmDebugger};
+
+/// The pinned cases: one per bug family across correctness and
+/// performance kinds, strict and relaxed models.
+const GOLDEN_CASES: [&str; 6] = [
+    "no_durability_guarantee/00",
+    "multiple_overwrites/00",
+    "no_order_guarantee/00",
+    "redundant_flushes/00",
+    "flush_nothing/00",
+    "redundant_epoch_fence/00",
+];
+
+fn model_label(model: PersistencyModel) -> &'static str {
+    match model {
+        PersistencyModel::Strict => "strict",
+        PersistencyModel::Epoch => "epoch",
+        PersistencyModel::Strand => "strand",
+    }
+}
+
+/// Replays one corpus case through the instrumented sequential engine and
+/// renders its two golden artifacts: the human bug summary and the
+/// (timing-redacted) run manifest JSON.
+fn render_case(case: &BugCase) -> (String, String) {
+    let registry = MetricsRegistry::new();
+    let mut config = DebuggerConfig::for_model(case.model);
+    if let Some(spec) = &case.order_spec {
+        config = config.with_order_spec(spec.clone());
+    }
+    let mut detector = PmDebugger::with_metrics(config, &registry);
+    for (seq, event) in case.trace.events().iter().enumerate() {
+        detector.on_event(seq as u64, event);
+    }
+    let reports = detector.finish();
+
+    for (kind, count) in case.trace.kind_counts() {
+        registry.counter(&format!("events.{kind}")).add(count);
+    }
+
+    let mut digest = BugDigest {
+        total: reports.len() as u64,
+        report_hash: format!("{:016x}", pm_trace::report_hash(&reports)),
+        ..BugDigest::default()
+    };
+    for report in &reports {
+        if report.severity == pm_trace::Severity::Correctness {
+            digest.correctness += 1;
+        } else {
+            digest.performance += 1;
+        }
+        *digest
+            .kinds
+            .entry(report.kind.name().to_owned())
+            .or_insert(0) += 1;
+    }
+
+    let mut manifest = RunManifest::new("pmdebugger", &case.id, model_label(case.model));
+    manifest.ops = case.trace.len() as u64;
+    manifest.absorb_snapshot(&registry.snapshot());
+    manifest.bugs = digest;
+    manifest.redact_timings();
+
+    let summary = BugSummary::from_reports(reports).to_string();
+    (summary, format!("{}\n", manifest.to_json()))
+}
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn fixture_name(case_id: &str, suffix: &str) -> String {
+    format!("{}.{suffix}", case_id.replace('/', "_"))
+}
+
+fn check_or_update(name: &str, actual: &str, update: bool) -> Result<(), String> {
+    let path = golden_dir().join(name);
+    if update {
+        std::fs::create_dir_all(golden_dir()).expect("create tests/golden");
+        std::fs::write(&path, actual).expect("write fixture");
+        return Ok(());
+    }
+    let expected = std::fs::read_to_string(&path).map_err(|e| {
+        format!("{name}: cannot read fixture ({e}); run UPDATE_GOLDEN=1 to generate")
+    })?;
+    if expected != actual {
+        return Err(format!(
+            "{name}: output diverged from the golden fixture.\n\
+             --- expected ---\n{expected}\n--- actual ---\n{actual}\n\
+             If the change is intentional, regenerate with UPDATE_GOLDEN=1."
+        ));
+    }
+    Ok(())
+}
+
+#[test]
+fn golden_case_list_spans_distinct_kinds() {
+    let cases = corpus();
+    let mut kinds = BTreeMap::new();
+    for id in GOLDEN_CASES {
+        let case = cases
+            .iter()
+            .find(|c| c.id == id)
+            .unwrap_or_else(|| panic!("corpus lost golden case {id}"));
+        *kinds.entry(case.kind).or_insert(0) += 1;
+    }
+    assert_eq!(kinds.len(), GOLDEN_CASES.len(), "one case per kind");
+    assert!(
+        GOLDEN_CASES.len() >= 5,
+        "golden set must cover >=5 workloads"
+    );
+}
+
+#[test]
+fn bug_summaries_and_manifests_match_golden_fixtures() {
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    let cases = corpus();
+    let mut failures = Vec::new();
+    for id in GOLDEN_CASES {
+        let case = cases.iter().find(|c| c.id == id).expect("case exists");
+        let (summary, manifest_json) = render_case(case);
+        for (suffix, actual) in [("summary.txt", &summary), ("manifest.json", &manifest_json)] {
+            if let Err(message) = check_or_update(&fixture_name(id, suffix), actual, update) {
+                failures.push(message);
+            }
+        }
+
+        // Whatever the fixture says, the manifest must round-trip.
+        let parsed = RunManifest::from_json(&manifest_json).expect("manifest parses");
+        assert_eq!(format!("{}\n", parsed.to_json()), manifest_json);
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n\n"));
+}
+
+#[test]
+fn golden_manifests_are_internally_consistent() {
+    let cases = corpus();
+    for id in GOLDEN_CASES {
+        let case = cases.iter().find(|c| c.id == id).expect("case exists");
+        let (_, manifest_json) = render_case(case);
+        let manifest = RunManifest::from_json(&manifest_json).expect("parses");
+        assert_eq!(manifest.events_total, case.trace.len() as u64, "{id}");
+        let kind_sum: u64 = manifest.event_kinds.values().sum();
+        assert_eq!(kind_sum, manifest.events_total, "{id}");
+        assert!(manifest.bugs.total > 0, "{id}: corpus case must report");
+        let rule_sum: u64 = manifest.rule_firings.values().sum();
+        assert_eq!(rule_sum, manifest.bugs.total, "{id}");
+    }
+}
