@@ -16,12 +16,19 @@
 //!   stores, swapped epoch markers — and cross-checks every injected fault
 //!   class against PMDebugger and the pmemcheck/PMTest/XFDetector baselines,
 //!   producing a [`SensitivityMatrix`].
+//! * [`corrupt`] tortures the ingestion layer itself: it sweeps
+//!   deterministic bit-flips, truncations, splices and garbage prefixes
+//!   over a trace's serialized v2 binary image and asserts the salvage
+//!   reader never panics, always terminates in budget, and recovers every
+//!   frame preceding the first corrupted byte (with a sampled detector
+//!   differential over the salvaged prefix).
 //! * Everything degrades gracefully: budgets ([`Budget`]) bound crash
 //!   points, images per point, replayed trace length, pool size and wall
 //!   clock, and exceeding any of them yields a partial report carrying
 //!   explicit [`Truncation`] markers instead of a panic.
 
 pub mod budget;
+pub mod corrupt;
 pub mod error;
 pub mod perturb;
 pub mod replay;
@@ -30,6 +37,7 @@ pub mod scheduler;
 pub mod validate;
 
 pub use budget::{Budget, Truncation};
+pub use corrupt::{corruption_torture, ClassStats, CorruptionClass, CorruptionReport};
 pub use error::ChaosError;
 pub use perturb::{
     apply, perturbations, sensitivity_matrix, ClassRow, FaultClass, Perturbation, SensitivityMatrix,

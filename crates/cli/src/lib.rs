@@ -12,7 +12,10 @@ use std::time::Instant;
 
 use pm_baselines::{Nulgrind, PmemcheckLike, PmtestLike, XfdetectorLike};
 use pm_obs::{BugDigest, MetricsRegistry, RunManifest};
-use pm_trace::{BugKind, BugReport, BugSummary, Detector, OrderSpec, PmRuntime, Severity, Trace};
+use pm_trace::{
+    BugKind, BugReport, BugSummary, Detector, IngestLimits, IngestMode, OrderSpec, PmRuntime,
+    Severity, Trace,
+};
 use pm_workloads::Workload;
 use pmdebugger::{DebuggerConfig, ParallelPmDebugger, PersistencyModel, PmDebugger, MAX_THREADS};
 
@@ -38,18 +41,21 @@ pub enum Command {
     },
     /// `pmdbg corpus` — run the 78-case corpus through every tool (Table 6).
     Corpus,
-    /// `pmdbg record --workload <name> --ops <n> --out <file>` — record a
-    /// trace to the text format.
+    /// `pmdbg record --workload <name> --ops <n> [--format text|bin]
+    /// --out <file>` — record a trace to the v1 text or v2 binary format.
     Record {
         /// Workload name.
         workload: String,
         /// Operation count.
         ops: usize,
+        /// Output format: `text` (pm-trace v1) or `bin` (pm-trace v2).
+        format: String,
         /// Output file path.
         out: String,
     },
-    /// `pmdbg replay --trace <file> [--tool <name>] [--model <m>]
-    /// [--threads <n>]` — replay a recorded trace through a detector.
+    /// `pmdbg replay --trace <file> [--salvage|--strict] [--tool <name>]
+    /// [--model <m>] [--threads <n>]` — replay a recorded trace (either
+    /// format, auto-sniffed) through a detector.
     Replay {
         /// Trace file path.
         trace: String,
@@ -64,6 +70,30 @@ pub enum Command {
         threads: usize,
         /// Write a [`RunManifest`] (JSON) to this path after the replay.
         metrics: Option<String>,
+        /// Skip corrupt frames and replay what survives (`--salvage`)
+        /// instead of aborting on the first corruption (`--strict`).
+        salvage: bool,
+    },
+    /// `pmdbg torture (--trace <file> | --workload <name> [--ops <n>])
+    /// [--images <n>] [--seed <n>] [--budget-ms <n>] [--json]` — sweep
+    /// deterministic corruption over a trace's v2 binary image and check
+    /// the salvage-reader invariants (never panic, terminate in budget,
+    /// recover everything before the first corruption).
+    Torture {
+        /// Pre-recorded trace file (mutually exclusive with `workload`).
+        trace: Option<String>,
+        /// Workload to record a trace from.
+        workload: Option<String>,
+        /// Operation count when recording from a workload.
+        ops: usize,
+        /// Mutated images per corruption class.
+        images: usize,
+        /// Mutation seed.
+        seed: u64,
+        /// Optional wall-clock budget in milliseconds.
+        budget_ms: Option<u64>,
+        /// Emit the JSON report instead of the human summary.
+        json: bool,
     },
     /// `pmdbg chaos --workload <name> [--ops <n>] [--points <n>]
     /// [--images <n>] [--budget-ms <n>] [--matrix] [--json]` — run a
@@ -117,6 +147,59 @@ impl fmt::Display for UsageError {
 
 impl std::error::Error for UsageError {}
 
+/// Result of a successfully executed command, carrying what the process
+/// exit code needs: whether the run surfaced bugs (or, for `torture`,
+/// invariant violations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Outcome {
+    /// The command completed but found bugs (exit code 1).
+    pub bugs_found: bool,
+}
+
+impl Outcome {
+    fn clean() -> Self {
+        Outcome { bugs_found: false }
+    }
+
+    fn from_report_count(n: usize) -> Self {
+        Outcome { bugs_found: n > 0 }
+    }
+}
+
+/// Execution failure, split by whose fault it is — the exit-code contract
+/// distinguishes bad input (exit 2) from our own failures (exit 3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// Unusable input: unknown workload/tool/model, unreadable files,
+    /// trace parse/ingest failures (exit code 2).
+    Input(String),
+    /// The command itself failed: output write errors, campaign crashes
+    /// (exit code 3).
+    Internal(String),
+}
+
+impl ExecError {
+    /// The user-facing message, regardless of classification.
+    pub fn message(&self) -> &str {
+        match self {
+            ExecError::Input(m) | ExecError::Internal(m) => m,
+        }
+    }
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.message())
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Maps output-formatting failures to [`ExecError::Internal`].
+fn wr(e: fmt::Error) -> ExecError {
+    ExecError::Internal(e.to_string())
+}
+
 /// The usage banner.
 pub const USAGE: &str = "\
 pmdbg — PMDebugger reproduction CLI
@@ -124,9 +207,11 @@ pmdbg — PMDebugger reproduction CLI
 USAGE:
   pmdbg run --workload <name> [--ops <n>] [--tool <name>] [--order <file>]
             [--threads <n>] [--metrics <file>]
-  pmdbg record --workload <name> [--ops <n>] --out <file>
-  pmdbg replay --trace <file> [--tool <name>] [--model strict|epoch|strand]
-               [--threads <n>] [--metrics <file>]
+  pmdbg record --workload <name> [--ops <n>] [--format text|bin] --out <file>
+  pmdbg replay --trace <file> [--salvage|--strict] [--tool <name>]
+               [--model strict|epoch|strand] [--threads <n>] [--metrics <file>]
+  pmdbg torture (--trace <file> | --workload <name> [--ops <n>]) [--images <n>]
+                [--seed <n>] [--budget-ms <n>] [--json]
   pmdbg chaos --workload <name> [--ops <n>] [--points <n>] [--images <n>]
               [--budget-ms <n>] [--matrix] [--json] [--metrics <file>]
   pmdbg stats <manifest.json>
@@ -138,6 +223,8 @@ USAGE:
 TOOLS:     pmdebugger (default), pmemcheck, pmtest, xfdetector, nulgrind
 WORKLOADS: b_tree c_tree r_tree rb_tree hashmap_tx hashmap_atomic
            synth_strand memcached redis a_YCSB..f_YCSB
+EXIT CODES: 0 clean run, 1 bugs or torture violations found,
+            2 bad usage or parse/ingest failure, 3 internal error
 EXAMPLE:   pmdbg run --workload b_tree --ops 1024 --tool pmdebugger";
 
 fn parse_threads(text: String) -> Result<usize, UsageError> {
@@ -201,6 +288,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
         "record" => {
             let mut workload: Option<String> = None;
             let mut ops = 1024usize;
+            let mut format = "text".to_owned();
             let mut out_path: Option<String> = None;
             while let Some(flag) = it.next() {
                 let mut value = |name: &str| {
@@ -215,6 +303,14 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                             .parse()
                             .map_err(|_| UsageError("--ops expects a number".into()))?;
                     }
+                    "--format" | "-f" => {
+                        format = value(flag)?;
+                        if format != "text" && format != "bin" {
+                            return Err(UsageError(format!(
+                                "--format expects `text` or `bin`, got `{format}`"
+                            )));
+                        }
+                    }
                     "--out" => out_path = Some(value(flag)?),
                     other => return Err(UsageError(format!("unknown flag `{other}`"))),
                 }
@@ -222,6 +318,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
             Ok(Command::Record {
                 workload: workload.ok_or_else(|| UsageError("--workload is required".into()))?,
                 ops,
+                format,
                 out: out_path.ok_or_else(|| UsageError("--out is required".into()))?,
             })
         }
@@ -232,6 +329,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
             let mut order: Option<String> = None;
             let mut threads = 1usize;
             let mut metrics: Option<String> = None;
+            let mut salvage = false;
             while let Some(flag) = it.next() {
                 let mut value = |name: &str| {
                     it.next()
@@ -245,6 +343,8 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                     "--order" | "-o" => order = Some(value(flag)?),
                     "--threads" | "-j" => threads = parse_threads(value(flag)?)?,
                     "--metrics" => metrics = Some(value(flag)?),
+                    "--salvage" => salvage = true,
+                    "--strict" => salvage = false,
                     other => return Err(UsageError(format!("unknown flag `{other}`"))),
                 }
             }
@@ -255,6 +355,51 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                 order,
                 threads,
                 metrics,
+                salvage,
+            })
+        }
+        "torture" => {
+            let mut trace: Option<String> = None;
+            let mut workload: Option<String> = None;
+            let mut ops = 256usize;
+            let mut images = 125usize;
+            let mut seed = 0xC4A05u64;
+            let mut budget_ms: Option<u64> = None;
+            let mut json = false;
+            while let Some(flag) = it.next() {
+                let mut value = |name: &str| {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| UsageError(format!("missing value for {name}")))
+                };
+                let number = |name: &str, text: String| {
+                    text.parse::<u64>()
+                        .map_err(|_| UsageError(format!("{name} expects a number")))
+                };
+                match flag.as_str() {
+                    "--trace" => trace = Some(value(flag)?),
+                    "--workload" | "-w" => workload = Some(value(flag)?),
+                    "--ops" | "-n" => ops = number(flag, value(flag)?)? as usize,
+                    "--images" => images = number(flag, value(flag)?)? as usize,
+                    "--seed" => seed = number(flag, value(flag)?)?,
+                    "--budget-ms" => budget_ms = Some(number(flag, value(flag)?)?),
+                    "--json" => json = true,
+                    other => return Err(UsageError(format!("unknown flag `{other}`"))),
+                }
+            }
+            if trace.is_some() == workload.is_some() {
+                return Err(UsageError(
+                    "torture expects exactly one of --trace or --workload".into(),
+                ));
+            }
+            Ok(Command::Torture {
+                trace,
+                workload,
+                ops,
+                images,
+                seed,
+                budget_ms,
+                json,
             })
         }
         "chaos" => {
@@ -482,29 +627,51 @@ fn write_manifest(
     registry: &MetricsRegistry,
     bugs: BugDigest,
     out: &mut dyn fmt::Write,
-) -> Result<(), String> {
+) -> Result<(), ExecError> {
     let mut manifest = RunManifest::new(tool, workload, model);
     manifest.ops = ops as u64;
     manifest.threads = threads as u64;
     manifest.absorb_snapshot(&registry.snapshot());
     manifest.bugs = bugs;
-    std::fs::write(path, manifest.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
-    writeln!(out, "metrics manifest -> {path}").map_err(|e| e.to_string())
+    std::fs::write(path, manifest.to_json())
+        .map_err(|e| ExecError::Internal(format!("cannot write {path}: {e}")))?;
+    writeln!(out, "metrics manifest -> {path}").map_err(wr)
 }
 
 /// Executes a parsed command, writing human output to `out`.
+///
+/// Compatibility wrapper over [`execute_outcome`] that flattens the
+/// outcome and the error classification into the original
+/// `Result<(), String>` shape. Callers that need the exit-code contract
+/// (did the run find bugs? was the failure an input or an internal one?)
+/// use [`execute_outcome`] directly.
 ///
 /// # Errors
 ///
 /// Returns a message for unknown workloads/tools or unreadable order files.
 pub fn execute(command: Command, out: &mut dyn fmt::Write) -> Result<(), String> {
+    execute_outcome(command, out)
+        .map(|_| ())
+        .map_err(|e| e.message().to_owned())
+}
+
+/// Executes a parsed command, writing human output to `out` and returning
+/// the exit-code-relevant [`Outcome`].
+///
+/// # Errors
+///
+/// [`ExecError::Input`] for unusable input (unknown workloads/tools,
+/// unreadable or corrupt trace files — exit code 2);
+/// [`ExecError::Internal`] for failures of the command itself (exit
+/// code 3).
+pub fn execute_outcome(command: Command, out: &mut dyn fmt::Write) -> Result<Outcome, ExecError> {
     match command {
         Command::Help => {
-            writeln!(out, "{USAGE}").map_err(|e| e.to_string())?;
-            Ok(())
+            writeln!(out, "{USAGE}").map_err(wr)?;
+            Ok(Outcome::clean())
         }
         Command::List => {
-            writeln!(out, "workloads:").map_err(|e| e.to_string())?;
+            writeln!(out, "workloads:").map_err(wr)?;
             for workload in pm_workloads::all_benchmarks() {
                 writeln!(
                     out,
@@ -512,23 +679,23 @@ pub fn execute(command: Command, out: &mut dyn fmt::Write) -> Result<(), String>
                     workload.name(),
                     workload.model().name()
                 )
-                .map_err(|e| e.to_string())?;
+                .map_err(wr)?;
             }
             for load in pm_workloads::YcsbLoad::ALL {
-                writeln!(out, "  {:<16} (strict)", load.label()).map_err(|e| e.to_string())?;
+                writeln!(out, "  {:<16} (strict)", load.label()).map_err(wr)?;
             }
             writeln!(
                 out,
                 "tools: pmdebugger pmemcheck pmtest xfdetector nulgrind"
             )
-            .map_err(|e| e.to_string())?;
-            Ok(())
+            .map_err(wr)?;
+            Ok(Outcome::clean())
         }
         Command::Corpus => {
             let clean = pm_bugs::clean_traces(100);
             let evaluation = pm_bugs::evaluate(&clean);
-            write!(out, "{}", pm_bugs::render_table6(&evaluation)).map_err(|e| e.to_string())?;
-            Ok(())
+            write!(out, "{}", pm_bugs::render_table6(&evaluation)).map_err(wr)?;
+            Ok(Outcome::clean())
         }
         Command::Chaos {
             workload,
@@ -540,8 +707,9 @@ pub fn execute(command: Command, out: &mut dyn fmt::Write) -> Result<(), String>
             json,
             metrics,
         } => {
-            let workload = workload_by_name(&workload)
-                .ok_or_else(|| format!("unknown workload `{workload}` (try `pmdbg list`)"))?;
+            let workload = workload_by_name(&workload).ok_or_else(|| {
+                ExecError::Input(format!("unknown workload `{workload}` (try `pmdbg list`)"))
+            })?;
             let trace = pm_workloads::record_trace(workload.as_ref(), ops);
             let model = persistency(workload.model());
             let mut budget = pm_chaos::Budget::default()
@@ -557,9 +725,9 @@ pub fn execute(command: Command, out: &mut dyn fmt::Write) -> Result<(), String>
             }
             let report = campaign
                 .run(workload.name(), &trace)
-                .map_err(|e| format!("campaign failed: {e}"))?;
+                .map_err(|e| ExecError::Internal(format!("campaign failed: {e}")))?;
             if json {
-                writeln!(out, "{}", report.to_json()).map_err(|e| e.to_string())?;
+                writeln!(out, "{}", report.to_json()).map_err(wr)?;
             } else {
                 writeln!(
                     out,
@@ -572,7 +740,7 @@ pub fn execute(command: Command, out: &mut dyn fmt::Write) -> Result<(), String>
                     report.issues(),
                     report.wall_ms
                 )
-                .map_err(|e| e.to_string())?;
+                .map_err(wr)?;
                 for state in &report.unrecoverable {
                     writeln!(
                         out,
@@ -587,22 +755,22 @@ pub fn execute(command: Command, out: &mut dyn fmt::Write) -> Result<(), String>
                         },
                         state.detail
                     )
-                    .map_err(|e| e.to_string())?;
+                    .map_err(wr)?;
                 }
                 for (kind, count) in &report.detector_findings {
-                    writeln!(out, "  detector {kind}: {count}").map_err(|e| e.to_string())?;
+                    writeln!(out, "  detector {kind}: {count}").map_err(wr)?;
                 }
                 for truncation in &report.truncations {
-                    writeln!(out, "  truncated: {truncation}").map_err(|e| e.to_string())?;
+                    writeln!(out, "  truncated: {truncation}").map_err(wr)?;
                 }
                 if report.complete() && report.issues() == 0 {
-                    writeln!(out, "  no issues; sweep exhaustive").map_err(|e| e.to_string())?;
+                    writeln!(out, "  no issues; sweep exhaustive").map_err(wr)?;
                 }
             }
             if matrix {
                 let sensitivity = pm_chaos::sensitivity_matrix(&trace, model, &budget);
                 if json {
-                    writeln!(out, "{}", sensitivity.to_json()).map_err(|e| e.to_string())?;
+                    writeln!(out, "{}", sensitivity.to_json()).map_err(wr)?;
                 } else {
                     for (class, row) in &sensitivity.rows {
                         writeln!(
@@ -610,7 +778,7 @@ pub fn execute(command: Command, out: &mut dyn fmt::Write) -> Result<(), String>
                             "  {class}: injected={} benign={} detected={:?}",
                             row.injected, row.benign, row.detected
                         )
-                        .map_err(|e| e.to_string())?;
+                        .map_err(wr)?;
                     }
                 }
             }
@@ -646,35 +814,36 @@ pub fn execute(command: Command, out: &mut dyn fmt::Write) -> Result<(), String>
                     out,
                 )?;
             }
-            Ok(())
+            Ok(Outcome::from_report_count(report.issues()))
         }
         Command::Stats { file } => {
-            let text =
-                std::fs::read_to_string(&file).map_err(|e| format!("cannot read {file}: {e}"))?;
-            let manifest = RunManifest::from_json(&text).map_err(|e| format!("{file}: {e}"))?;
-            write!(out, "{}", manifest.render_table()).map_err(|e| e.to_string())?;
-            Ok(())
+            let text = std::fs::read_to_string(&file)
+                .map_err(|e| ExecError::Input(format!("cannot read {file}: {e}")))?;
+            let manifest = RunManifest::from_json(&text)
+                .map_err(|e| ExecError::Input(format!("{file}: {e}")))?;
+            write!(out, "{}", manifest.render_table()).map_err(wr)?;
+            Ok(Outcome::clean())
         }
         Command::Characterize { workload, ops } => {
-            let workload = workload_by_name(&workload)
-                .ok_or_else(|| format!("unknown workload `{workload}` (try `pmdbg list`)"))?;
+            let workload = workload_by_name(&workload).ok_or_else(|| {
+                ExecError::Input(format!("unknown workload `{workload}` (try `pmdbg list`)"))
+            })?;
             let trace = pm_workloads::record_trace(workload.as_ref(), ops);
             let report = pm_trace::characterize::characterize(&trace);
-            writeln!(out, "{}: {} events", workload.name(), trace.len())
-                .map_err(|e| e.to_string())?;
+            writeln!(out, "{}: {} events", workload.name(), trace.len()).map_err(wr)?;
             writeln!(
                 out,
                 "  distance=1: {:.1}%   <=3: {:.1}%",
                 report.distances.fraction(1) * 100.0,
                 report.distances.cumulative_fraction(3) * 100.0
             )
-            .map_err(|e| e.to_string())?;
+            .map_err(wr)?;
             writeln!(
                 out,
                 "  collective writebacks: {:.1}%",
                 report.collective_fraction() * 100.0
             )
-            .map_err(|e| e.to_string())?;
+            .map_err(wr)?;
             writeln!(
                 out,
                 "  instruction mix: store {:.1}% / writeback {:.1}% / fence {:.1}%",
@@ -686,28 +855,34 @@ pub fn execute(command: Command, out: &mut dyn fmt::Write) -> Result<(), String>
                     / (report.stores + report.flushes + report.fences).max(1) as f64
                     * 100.0
             )
-            .map_err(|e| e.to_string())?;
-            Ok(())
+            .map_err(wr)?;
+            Ok(Outcome::clean())
         }
         Command::Record {
             workload,
             ops,
+            format,
             out: path,
         } => {
-            let workload = workload_by_name(&workload)
-                .ok_or_else(|| format!("unknown workload `{workload}` (try `pmdbg list`)"))?;
+            let workload = workload_by_name(&workload).ok_or_else(|| {
+                ExecError::Input(format!("unknown workload `{workload}` (try `pmdbg list`)"))
+            })?;
             let trace = pm_workloads::record_trace(workload.as_ref(), ops);
-            let text = pm_trace::to_text(&trace);
-            std::fs::write(&path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+            let data = match format.as_str() {
+                "bin" => pm_trace::to_binary(&trace),
+                _ => pm_trace::to_text(&trace).into_bytes(),
+            };
+            std::fs::write(&path, data)
+                .map_err(|e| ExecError::Internal(format!("cannot write {path}: {e}")))?;
             writeln!(
                 out,
-                "recorded {} x{}: {} events -> {path}",
+                "recorded {} x{}: {} events -> {path} [{format}]",
                 workload.name(),
                 ops,
                 trace.len()
             )
-            .map_err(|e| e.to_string())?;
-            Ok(())
+            .map_err(wr)?;
+            Ok(Outcome::clean())
         }
         Command::Replay {
             trace: path,
@@ -716,30 +891,42 @@ pub fn execute(command: Command, out: &mut dyn fmt::Write) -> Result<(), String>
             order,
             threads,
             metrics,
+            salvage,
         } => {
-            let text =
-                std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
-            let trace = pm_trace::from_text(&text).map_err(|e| e.to_string())?;
+            let bytes = std::fs::read(&path)
+                .map_err(|e| ExecError::Input(format!("cannot read {path}: {e}")))?;
+            let mode = if salvage {
+                IngestMode::Salvage
+            } else {
+                IngestMode::Strict
+            };
+            let (trace, ingest) = pm_trace::ingest_bytes(&bytes, mode, &IngestLimits::default())
+                .map_err(|e| ExecError::Input(format!("{path}: {e}")))?;
+            if salvage || !ingest.clean() {
+                writeln!(out, "{}", ingest.summary()).map_err(wr)?;
+            }
             let model = match model.as_str() {
                 "strict" => PersistencyModel::Strict,
                 "epoch" => PersistencyModel::Epoch,
                 "strand" => PersistencyModel::Strand,
-                other => return Err(format!("unknown model `{other}`")),
+                other => return Err(ExecError::Input(format!("unknown model `{other}`"))),
             };
             let spec = match order {
                 None => None,
                 Some(path) => {
-                    let text = std::fs::read_to_string(&path)
-                        .map_err(|e| format!("cannot read order file {path}: {e}"))?;
+                    let text = std::fs::read_to_string(&path).map_err(|e| {
+                        ExecError::Input(format!("cannot read order file {path}: {e}"))
+                    })?;
                     Some(
                         text.parse::<OrderSpec>()
-                            .map_err(|e| format!("order file {path}: {e}"))?,
+                            .map_err(|e| ExecError::Input(format!("order file {path}: {e}")))?,
                     )
                 }
             };
             let registry = metrics.as_ref().map(|_| MetricsRegistry::new());
             let (mut detector, rules_self_counted) =
-                tool_with_metrics(&tool, model, spec.as_ref(), threads, registry.as_ref())?;
+                tool_with_metrics(&tool, model, spec.as_ref(), threads, registry.as_ref())
+                    .map_err(ExecError::Input)?;
             let start = Instant::now();
             let span = registry.as_ref().map(|r| r.span("stage.replay"));
             let reports = pm_trace::replay_finish(&trace, detector.as_mut());
@@ -756,11 +943,19 @@ pub fn execute(command: Command, out: &mut dyn fmt::Write) -> Result<(), String>
                 },
                 elapsed.as_secs_f64() * 1e3
             )
-            .map_err(|e| e.to_string())?;
+            .map_err(wr)?;
             let summary = BugSummary::from_reports(reports.clone());
-            write!(out, "{summary}").map_err(|e| e.to_string())?;
+            write!(out, "{summary}").map_err(wr)?;
             if let (Some(registry), Some(manifest_path)) = (&registry, &metrics) {
                 count_trace_kinds(registry, &trace);
+                registry.counter("ingest.frames_ok").add(ingest.frames_ok);
+                registry
+                    .counter("ingest.frames_skipped")
+                    .add(ingest.frames_skipped);
+                registry.counter("ingest.resyncs").add(ingest.resyncs);
+                registry
+                    .counter("ingest.bytes_salvaged")
+                    .add(ingest.bytes_salvaged);
                 if !rules_self_counted {
                     count_rule_firings(registry, &reports);
                 }
@@ -776,7 +971,7 @@ pub fn execute(command: Command, out: &mut dyn fmt::Write) -> Result<(), String>
                     out,
                 )?;
             }
-            Ok(())
+            Ok(Outcome::from_report_count(reports.len()))
         }
         Command::Run {
             workload,
@@ -786,23 +981,26 @@ pub fn execute(command: Command, out: &mut dyn fmt::Write) -> Result<(), String>
             threads,
             metrics,
         } => {
-            let workload = workload_by_name(&workload)
-                .ok_or_else(|| format!("unknown workload `{workload}` (try `pmdbg list`)"))?;
+            let workload = workload_by_name(&workload).ok_or_else(|| {
+                ExecError::Input(format!("unknown workload `{workload}` (try `pmdbg list`)"))
+            })?;
             let spec = match order {
                 None => None,
                 Some(path) => {
-                    let text = std::fs::read_to_string(&path)
-                        .map_err(|e| format!("cannot read order file {path}: {e}"))?;
+                    let text = std::fs::read_to_string(&path).map_err(|e| {
+                        ExecError::Input(format!("cannot read order file {path}: {e}"))
+                    })?;
                     Some(
                         text.parse::<OrderSpec>()
-                            .map_err(|e| format!("order file {path}: {e}"))?,
+                            .map_err(|e| ExecError::Input(format!("order file {path}: {e}")))?,
                     )
                 }
             };
             let model = persistency(workload.model());
             let registry = metrics.as_ref().map(|_| MetricsRegistry::new());
             let (detector, rules_self_counted) =
-                tool_with_metrics(&tool, model, spec.as_ref(), threads, registry.as_ref())?;
+                tool_with_metrics(&tool, model, spec.as_ref(), threads, registry.as_ref())
+                    .map_err(ExecError::Input)?;
 
             let mut rt = PmRuntime::trace_only();
             if let Some(registry) = &registry {
@@ -813,7 +1011,7 @@ pub fn execute(command: Command, out: &mut dyn fmt::Write) -> Result<(), String>
             let span = registry.as_ref().map(|r| r.span("stage.run"));
             workload
                 .run(&mut rt, ops)
-                .map_err(|e| format!("workload failed: {e}"))?;
+                .map_err(|e| ExecError::Internal(format!("workload failed: {e}")))?;
             let reports = rt.finish();
             drop(span);
             let elapsed = start.elapsed();
@@ -832,9 +1030,9 @@ pub fn execute(command: Command, out: &mut dyn fmt::Write) -> Result<(), String>
                 rt.event_count(),
                 elapsed.as_secs_f64() * 1e3
             )
-            .map_err(|e| e.to_string())?;
+            .map_err(wr)?;
             let summary = BugSummary::from_reports(reports.clone());
-            write!(out, "{summary}").map_err(|e| e.to_string())?;
+            write!(out, "{summary}").map_err(wr)?;
             if let (Some(registry), Some(path)) = (&registry, &metrics) {
                 if !rules_self_counted {
                     count_rule_firings(registry, &reports);
@@ -851,7 +1049,79 @@ pub fn execute(command: Command, out: &mut dyn fmt::Write) -> Result<(), String>
                     out,
                 )?;
             }
-            Ok(())
+            Ok(Outcome::from_report_count(reports.len()))
+        }
+        Command::Torture {
+            trace,
+            workload,
+            ops,
+            images,
+            seed,
+            budget_ms,
+            json,
+        } => {
+            let (label, trace) = match (trace, workload) {
+                (Some(path), _) => {
+                    let bytes = std::fs::read(&path)
+                        .map_err(|e| ExecError::Input(format!("cannot read {path}: {e}")))?;
+                    let (trace, _) = pm_trace::ingest_bytes(
+                        &bytes,
+                        IngestMode::Strict,
+                        &IngestLimits::default(),
+                    )
+                    .map_err(|e| ExecError::Input(format!("{path}: {e}")))?;
+                    (path, trace)
+                }
+                (None, Some(name)) => {
+                    let workload = workload_by_name(&name).ok_or_else(|| {
+                        ExecError::Input(format!("unknown workload `{name}` (try `pmdbg list`)"))
+                    })?;
+                    (name, pm_workloads::record_trace(workload.as_ref(), ops))
+                }
+                (None, None) => unreachable!("parse() requires one of --trace/--workload"),
+            };
+            let mut budget = pm_chaos::Budget::default().with_seed(seed);
+            if let Some(ms) = budget_ms {
+                budget = budget.with_wall_clock(std::time::Duration::from_millis(ms));
+            }
+            let report = pm_chaos::corruption_torture(&trace, &budget, images)
+                .map_err(|e| ExecError::Input(format!("{label}: {e}")))?;
+            if json {
+                writeln!(out, "{}", report.to_json()).map_err(wr)?;
+            } else {
+                writeln!(
+                    out,
+                    "{label}: {} image(s) over {} frames ({} bytes pristine) in {} ms -> {}",
+                    report.images_total(),
+                    report.pristine_frames,
+                    report.pristine_bytes,
+                    report.wall_ms,
+                    if report.ok() { "OK" } else { "VIOLATIONS" },
+                )
+                .map_err(wr)?;
+                for (class, stats) in &report.per_class {
+                    writeln!(
+                        out,
+                        "  {class}: images={} panics={} floor_violations={} \
+                         prefix_mismatches={} detector_mismatches={} salvaged={}/{} rejected={}",
+                        stats.images,
+                        stats.panics,
+                        stats.floor_violations,
+                        stats.prefix_mismatches,
+                        stats.detector_mismatches,
+                        stats.salvaged_frames,
+                        stats.floor_frames,
+                        stats.rejected,
+                    )
+                    .map_err(wr)?;
+                }
+                for truncation in &report.truncations {
+                    writeln!(out, "  truncated: {truncation}").map_err(wr)?;
+                }
+            }
+            Ok(Outcome {
+                bugs_found: !report.ok(),
+            })
         }
     }
 }
@@ -1012,6 +1282,7 @@ mod tests {
             Command::Record {
                 workload: "c_tree".into(),
                 ops: 10,
+                format: "text".into(),
                 out: "/tmp/t".into(),
             }
         );
@@ -1025,6 +1296,7 @@ mod tests {
                 order: None,
                 threads: 1,
                 metrics: None,
+                salvage: false,
             }
         );
         assert!(
@@ -1044,6 +1316,7 @@ mod tests {
                 workload: "c_tree".into(),
                 ops: 20,
                 out: path_str.clone(),
+                format: "text".into(),
             },
             &mut out,
         )
@@ -1058,6 +1331,7 @@ mod tests {
                 order: None,
                 threads: 1,
                 metrics: None,
+                salvage: false,
             },
             &mut out,
         )
@@ -1076,6 +1350,7 @@ mod tests {
                 order: None,
                 threads: 1,
                 metrics: None,
+                salvage: false,
             },
             &mut String::new(),
         )
@@ -1387,6 +1662,7 @@ mod tests {
                 workload: "c_tree".into(),
                 ops: 20,
                 out: trace_path.to_str().unwrap().to_owned(),
+                format: "text".into(),
             },
             &mut out,
         )
@@ -1399,6 +1675,7 @@ mod tests {
                 order: None,
                 threads: 1,
                 metrics: Some(manifest_path.to_str().unwrap().to_owned()),
+                salvage: false,
             },
             &mut out,
         )
@@ -1439,6 +1716,337 @@ mod tests {
         assert!(manifest.events_total > 0);
         assert!(manifest.stages.contains_key("chaos_sweep"));
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn parses_record_format_and_replay_modes() {
+        let cmd = parse(&args(&[
+            "record",
+            "-w",
+            "c_tree",
+            "-f",
+            "bin",
+            "--out",
+            "/tmp/t.pmt",
+        ]))
+        .unwrap();
+        assert!(matches!(cmd, Command::Record { ref format, .. } if format == "bin"));
+        assert!(
+            parse(&args(&[
+                "record", "-w", "x", "-f", "yaml", "--out", "/tmp/t"
+            ]))
+            .is_err(),
+            "--format validates its value"
+        );
+        let cmd = parse(&args(&["replay", "--trace", "/tmp/t", "--salvage"])).unwrap();
+        assert!(matches!(cmd, Command::Replay { salvage: true, .. }));
+        let cmd = parse(&args(&[
+            "replay",
+            "--trace",
+            "/tmp/t",
+            "--salvage",
+            "--strict",
+        ]))
+        .unwrap();
+        assert!(
+            matches!(cmd, Command::Replay { salvage: false, .. }),
+            "last mode flag wins"
+        );
+    }
+
+    #[test]
+    fn parses_torture_and_requires_one_source() {
+        let cmd = parse(&args(&[
+            "torture",
+            "--trace",
+            "/tmp/t.pmt",
+            "--images",
+            "10",
+            "--seed",
+            "7",
+            "--json",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Torture {
+                trace: Some("/tmp/t.pmt".into()),
+                workload: None,
+                ops: 256,
+                images: 10,
+                seed: 7,
+                budget_ms: None,
+                json: true,
+            }
+        );
+        assert!(parse(&args(&["torture"])).is_err(), "needs a source");
+        assert!(
+            parse(&args(&["torture", "--trace", "a", "--workload", "b"])).is_err(),
+            "sources are mutually exclusive"
+        );
+    }
+
+    #[test]
+    fn record_bin_then_replay_autosniffs_and_matches_text() {
+        let dir = std::env::temp_dir();
+        let bin_path = dir.join("pmdbg_cli_fmt.pmt2");
+        let text_path = dir.join("pmdbg_cli_fmt.trace");
+        for (format, path) in [("bin", &bin_path), ("text", &text_path)] {
+            execute(
+                Command::Record {
+                    workload: "c_tree".into(),
+                    ops: 20,
+                    format: format.into(),
+                    out: path.to_str().unwrap().to_owned(),
+                },
+                &mut String::new(),
+            )
+            .unwrap();
+        }
+        let bin_bytes = std::fs::read(&bin_path).unwrap();
+        assert!(bin_bytes.starts_with(b"PMTRACE2"), "binary format on disk");
+        let replay = |path: &std::path::Path| {
+            let mut out = String::new();
+            execute_outcome(
+                Command::Replay {
+                    trace: path.to_str().unwrap().to_owned(),
+                    tool: "pmdebugger".into(),
+                    model: "epoch".into(),
+                    order: None,
+                    threads: 1,
+                    metrics: None,
+                    salvage: false,
+                },
+                &mut out,
+            )
+            .unwrap();
+            // Everything after the timing line must agree across formats.
+            out.lines().skip(1).collect::<Vec<_>>().join("\n")
+        };
+        assert_eq!(replay(&bin_path), replay(&text_path));
+        std::fs::remove_file(bin_path).ok();
+        std::fs::remove_file(text_path).ok();
+    }
+
+    #[test]
+    fn strict_replay_rejects_corrupt_file_salvage_recovers_it() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("pmdbg_cli_corrupt.pmt2");
+        let path_str = path.to_str().unwrap().to_owned();
+        execute(
+            Command::Record {
+                workload: "c_tree".into(),
+                ops: 20,
+                format: "bin".into(),
+                out: path_str.clone(),
+            },
+            &mut String::new(),
+        )
+        .unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x20;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let strict = execute_outcome(
+            Command::Replay {
+                trace: path_str.clone(),
+                tool: "pmdebugger".into(),
+                model: "epoch".into(),
+                order: None,
+                threads: 1,
+                metrics: None,
+                salvage: false,
+            },
+            &mut String::new(),
+        );
+        assert!(
+            matches!(strict, Err(ExecError::Input(ref m)) if m.contains("--salvage")),
+            "{strict:?}"
+        );
+
+        let mut out = String::new();
+        execute_outcome(
+            Command::Replay {
+                trace: path_str,
+                tool: "pmdebugger".into(),
+                model: "epoch".into(),
+                order: None,
+                threads: 1,
+                metrics: None,
+                salvage: true,
+            },
+            &mut out,
+        )
+        .unwrap();
+        assert!(out.contains("skipped"), "salvage summary shown: {out}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn replay_diagnoses_empty_and_headerless_files() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("pmdbg_cli_empty.trace");
+        std::fs::write(&path, "").unwrap();
+        let replay = |salvage: bool| {
+            execute_outcome(
+                Command::Replay {
+                    trace: path.to_str().unwrap().to_owned(),
+                    tool: "pmdebugger".into(),
+                    model: "strict".into(),
+                    order: None,
+                    threads: 1,
+                    metrics: None,
+                    salvage,
+                },
+                &mut String::new(),
+            )
+        };
+        let err = replay(false).unwrap_err();
+        assert!(
+            err.message().contains("empty trace file")
+                && err.message().contains("# pm-trace v1")
+                && err.message().contains("PMTRACE2"),
+            "{err}"
+        );
+        std::fs::write(&path, "not a trace at all\n").unwrap();
+        let err = replay(false).unwrap_err();
+        assert!(
+            err.message().contains("# pm-trace v1") && err.message().contains("PMTRACE2"),
+            "{err}"
+        );
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn replay_manifest_carries_ingest_counters() {
+        let dir = std::env::temp_dir();
+        let trace_path = dir.join("pmdbg_cli_ingest_metrics.pmt2");
+        let manifest_path = dir.join("pmdbg_cli_ingest_metrics.json");
+        execute(
+            Command::Record {
+                workload: "c_tree".into(),
+                ops: 20,
+                format: "bin".into(),
+                out: trace_path.to_str().unwrap().to_owned(),
+            },
+            &mut String::new(),
+        )
+        .unwrap();
+        // Corrupt one mid-file byte so the skip/resync counters move.
+        let mut bytes = std::fs::read(&trace_path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x04;
+        std::fs::write(&trace_path, &bytes).unwrap();
+        execute(
+            Command::Replay {
+                trace: trace_path.to_str().unwrap().to_owned(),
+                tool: "pmdebugger".into(),
+                model: "epoch".into(),
+                order: None,
+                threads: 1,
+                metrics: Some(manifest_path.to_str().unwrap().to_owned()),
+                salvage: true,
+            },
+            &mut String::new(),
+        )
+        .unwrap();
+        let manifest =
+            RunManifest::from_json(&std::fs::read_to_string(&manifest_path).unwrap()).unwrap();
+        assert!(manifest.counters["ingest.frames_ok"] > 0);
+        assert_eq!(manifest.counters["ingest.frames_skipped"], 1);
+        assert_eq!(manifest.counters["ingest.resyncs"], 1);
+        assert!(manifest.counters["ingest.bytes_salvaged"] > 0);
+        assert_eq!(
+            manifest.counters["ingest.frames_ok"], manifest.events_total,
+            "every salvaged frame was replayed"
+        );
+        std::fs::remove_file(trace_path).ok();
+        std::fs::remove_file(manifest_path).ok();
+    }
+
+    #[test]
+    fn torture_command_reports_ok_on_clean_invariants() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("pmdbg_cli_torture.pmt2");
+        execute(
+            Command::Record {
+                workload: "hashmap_atomic".into(),
+                ops: 16,
+                format: "bin".into(),
+                out: path.to_str().unwrap().to_owned(),
+            },
+            &mut String::new(),
+        )
+        .unwrap();
+        let mut out = String::new();
+        let outcome = execute_outcome(
+            Command::Torture {
+                trace: Some(path.to_str().unwrap().to_owned()),
+                workload: None,
+                ops: 256,
+                images: 8,
+                seed: 1,
+                budget_ms: None,
+                json: false,
+            },
+            &mut out,
+        )
+        .unwrap();
+        assert!(!outcome.bugs_found, "{out}");
+        assert!(out.contains("OK"), "{out}");
+        assert!(out.contains("bit_flip"), "{out}");
+
+        let mut json_out = String::new();
+        execute(
+            Command::Torture {
+                trace: None,
+                workload: Some("hashmap_atomic".into()),
+                ops: 16,
+                images: 4,
+                seed: 1,
+                budget_ms: None,
+                json: true,
+            },
+            &mut json_out,
+        )
+        .unwrap();
+        assert!(json_out.trim().starts_with('{'), "{json_out}");
+        assert!(json_out.contains("\"ok\":true"), "{json_out}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn outcome_classification_matches_exit_contract() {
+        // Input problems (exit 2): missing file.
+        let err = execute_outcome(
+            Command::Torture {
+                trace: Some("/nonexistent/x.pmt2".into()),
+                workload: None,
+                ops: 16,
+                images: 4,
+                seed: 1,
+                budget_ms: None,
+                json: false,
+            },
+            &mut String::new(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ExecError::Input(_)), "{err:?}");
+        // Clean run (exit 0): bugs_found is false.
+        let outcome = execute_outcome(
+            Command::Run {
+                workload: "b_tree".into(),
+                ops: 50,
+                tool: "pmdebugger".into(),
+                order: None,
+                threads: 1,
+                metrics: None,
+            },
+            &mut String::new(),
+        )
+        .unwrap();
+        assert!(!outcome.bugs_found);
     }
 
     #[test]

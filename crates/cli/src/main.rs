@@ -1,6 +1,12 @@
 //! `pmdbg` binary entry point; all logic lives in the library for testing.
+//!
+//! Exit-code contract: 0 clean run, 1 bugs (or torture invariant
+//! violations) found, 2 bad usage or parse/ingest failure, 3 internal
+//! error.
 
 use std::process::ExitCode;
+
+use pm_cli::ExecError;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -12,15 +18,22 @@ fn main() -> ExitCode {
         }
     };
     let mut out = String::new();
-    match pm_cli::execute(command, &mut out) {
-        Ok(()) => {
+    match pm_cli::execute_outcome(command, &mut out) {
+        Ok(outcome) => {
             print!("{out}");
-            ExitCode::SUCCESS
+            if outcome.bugs_found {
+                ExitCode::from(1)
+            } else {
+                ExitCode::SUCCESS
+            }
         }
         Err(err) => {
             print!("{out}");
             eprintln!("error: {err}");
-            ExitCode::FAILURE
+            match err {
+                ExecError::Input(_) => ExitCode::from(2),
+                ExecError::Internal(_) => ExitCode::from(3),
+            }
         }
     }
 }

@@ -221,6 +221,22 @@ impl PmDebugger {
         self
     }
 
+    /// Streams an event iterator through the debugger and returns the
+    /// final reports. This is the ingestion-friendly entry point: callers
+    /// holding a salvaged or budget-truncated stream (e.g. from
+    /// `pm_trace::ingest`) can drive detection without first materializing
+    /// a `Trace` slice. Equivalent to `replay_finish` over the same
+    /// events.
+    pub fn detect_stream<'a, I>(&mut self, events: I) -> Vec<BugReport>
+    where
+        I: IntoIterator<Item = &'a PmEvent>,
+    {
+        for (seq, event) in events.into_iter().enumerate() {
+            self.on_event(seq as u64, event);
+        }
+        self.finish()
+    }
+
     /// The active configuration.
     pub fn config(&self) -> &DebuggerConfig {
         &self.config

@@ -172,6 +172,23 @@ impl fmt::Display for PmEvent {
     }
 }
 
+/// Longest slice of the offending line carried inside a
+/// [`ParseTraceError`] before truncation.
+const SNIPPET_MAX: usize = 72;
+
+/// Truncates `line` to [`SNIPPET_MAX`] bytes on a char boundary, marking
+/// the cut with an ellipsis.
+fn snippet_of(line: &str) -> String {
+    if line.len() <= SNIPPET_MAX {
+        return line.to_owned();
+    }
+    let mut end = SNIPPET_MAX;
+    while !line.is_char_boundary(end) {
+        end -= 1;
+    }
+    format!("{}…", &line[..end])
+}
+
 /// Error from parsing the text format.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseTraceError {
@@ -179,11 +196,17 @@ pub struct ParseTraceError {
     pub line: usize,
     /// Explanation.
     pub reason: String,
+    /// Truncated copy of the offending line (empty when not applicable).
+    pub snippet: String,
 }
 
 impl fmt::Display for ParseTraceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "trace line {}: {}", self.line, self.reason)
+        write!(f, "trace line {}: {}", self.line, self.reason)?;
+        if !self.snippet.is_empty() {
+            write!(f, " — `{}`", self.snippet)?;
+        }
+        Ok(())
     }
 }
 
@@ -191,12 +214,13 @@ impl Error for ParseTraceError {}
 
 struct Fields<'a> {
     line_no: usize,
+    line: &'a str,
     pairs: Vec<(&'a str, &'a str)>,
     flags: Vec<&'a str>,
 }
 
 impl<'a> Fields<'a> {
-    fn parse(line_no: usize, tokens: &[&'a str]) -> Self {
+    fn parse(line_no: usize, line: &'a str, tokens: &[&'a str]) -> Self {
         let mut pairs = Vec::new();
         let mut flags = Vec::new();
         for token in tokens {
@@ -207,6 +231,7 @@ impl<'a> Fields<'a> {
         }
         Fields {
             line_no,
+            line,
             pairs,
             flags,
         }
@@ -216,6 +241,7 @@ impl<'a> Fields<'a> {
         ParseTraceError {
             line: self.line_no,
             reason: reason.into(),
+            snippet: snippet_of(self.line),
         }
     }
 
@@ -253,6 +279,134 @@ impl<'a> Fields<'a> {
     }
 }
 
+/// Parses one line of the text format.
+///
+/// Returns `Ok(None)` for blank lines and `#` comments (including the
+/// header). This is the shared per-line core behind [`from_text`],
+/// [`from_text_salvage`] and the streaming text path in [`crate::ingest`].
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError`] carrying the line number and a truncated
+/// copy of the offending line.
+pub fn parse_line(line_no: usize, raw: &str) -> Result<Option<PmEvent>, ParseTraceError> {
+    let line = raw.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(None);
+    }
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    let (head, rest) = tokens.split_first().expect("non-empty line");
+    let fields = Fields::parse(line_no, line, rest);
+    let event = match *head {
+        "register" => PmEvent::RegisterPmem {
+            base: fields.num("base")?,
+            size: fields.num("size")?,
+        },
+        "store" => PmEvent::Store {
+            addr: fields.num("addr")?,
+            size: fields.num("size")? as u32,
+            tid: fields.tid()?,
+            strand: fields.strand()?,
+            in_epoch: fields.has_flag("epoch"),
+        },
+        "flush" => {
+            let kind = match rest.first().copied() {
+                Some("clwb") => FlushKind::Clwb,
+                Some("clflush") => FlushKind::Clflush,
+                Some("clflushopt") => FlushKind::Clflushopt,
+                other => {
+                    return Err(fields.err(format!("unknown flush kind {other:?}")));
+                }
+            };
+            PmEvent::Flush {
+                kind,
+                addr: fields.num("addr")?,
+                size: fields.num("size")? as u32,
+                tid: fields.tid()?,
+                strand: fields.strand()?,
+            }
+        }
+        "fence" => {
+            let kind = match rest.first().copied() {
+                Some("sfence") => FenceKind::Sfence,
+                Some("barrier") => FenceKind::PersistBarrier,
+                other => {
+                    return Err(fields.err(format!("unknown fence kind {other:?}")));
+                }
+            };
+            PmEvent::Fence {
+                kind,
+                tid: fields.tid()?,
+                strand: fields.strand()?,
+                in_epoch: fields.has_flag("epoch"),
+            }
+        }
+        "epoch_begin" => PmEvent::EpochBegin { tid: fields.tid()? },
+        "epoch_end" => PmEvent::EpochEnd { tid: fields.tid()? },
+        "strand_begin" => PmEvent::StrandBegin {
+            strand: StrandId(fields.num("strand")? as u32),
+            tid: fields.tid()?,
+        },
+        "strand_end" => PmEvent::StrandEnd {
+            strand: StrandId(fields.num("strand")? as u32),
+            tid: fields.tid()?,
+        },
+        "join_strand" => PmEvent::JoinStrand { tid: fields.tid()? },
+        "txlog" => PmEvent::TxLog {
+            obj_addr: fields.num("addr")?,
+            size: fields.num("size")? as u32,
+            tid: fields.tid()?,
+        },
+        "func" => PmEvent::FuncEnter {
+            name: fields.get("name")?.to_owned(),
+            tid: fields.tid()?,
+        },
+        "name" => PmEvent::NameRange {
+            name: fields.get("name")?.to_owned(),
+            addr: fields.num("addr")?,
+            size: fields.num("size")? as u32,
+        },
+        "annot" => {
+            let which = rest.first().copied().unwrap_or("");
+            let annotation = match which {
+                "checker_start" => Annotation::CheckerStart,
+                "checker_end" => Annotation::CheckerEnd,
+                "assert_persisted" => Annotation::AssertPersisted {
+                    addr: fields.num("addr")?,
+                    size: fields.num("size")? as u32,
+                },
+                "assert_ordered" => Annotation::AssertOrdered {
+                    first: fields.num("first")?,
+                    first_size: fields.num("first_size")? as u32,
+                    second: fields.num("second")?,
+                    second_size: fields.num("second_size")? as u32,
+                },
+                "track_logging" => Annotation::TrackLogging {
+                    addr: fields.num("addr")?,
+                    size: fields.num("size")? as u32,
+                },
+                other => {
+                    return Err(fields.err(format!("unknown annotation `{other}`")));
+                }
+            };
+            PmEvent::Annotation(annotation)
+        }
+        "crash" => PmEvent::Crash,
+        "recovery_read" => PmEvent::RecoveryRead {
+            addr: fields.num("addr")?,
+            size: fields.num("size")? as u32,
+        },
+        other => {
+            return Err(ParseTraceError {
+                line: line_no,
+                reason: format!("unknown event `{other}`"),
+                snippet: snippet_of(line),
+            });
+        }
+    };
+    Ok(Some(event))
+}
+
 /// Parses the text format back into a trace.
 ///
 /// # Errors
@@ -261,123 +415,28 @@ impl<'a> Fields<'a> {
 pub fn from_text(text: &str) -> Result<Trace, ParseTraceError> {
     let mut trace = Trace::new();
     for (idx, raw) in text.lines().enumerate() {
-        let line_no = idx + 1;
-        let line = raw.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
+        if let Some(event) = parse_line(idx + 1, raw)? {
+            trace.push(event);
         }
-        let tokens: Vec<&str> = line.split_whitespace().collect();
-        let (head, rest) = tokens.split_first().expect("non-empty line");
-        let fields = Fields::parse(line_no, rest);
-        let event = match *head {
-            "register" => PmEvent::RegisterPmem {
-                base: fields.num("base")?,
-                size: fields.num("size")?,
-            },
-            "store" => PmEvent::Store {
-                addr: fields.num("addr")?,
-                size: fields.num("size")? as u32,
-                tid: fields.tid()?,
-                strand: fields.strand()?,
-                in_epoch: fields.has_flag("epoch"),
-            },
-            "flush" => {
-                let kind = match rest.first().copied() {
-                    Some("clwb") => FlushKind::Clwb,
-                    Some("clflush") => FlushKind::Clflush,
-                    Some("clflushopt") => FlushKind::Clflushopt,
-                    other => {
-                        return Err(fields.err(format!("unknown flush kind {other:?}")));
-                    }
-                };
-                PmEvent::Flush {
-                    kind,
-                    addr: fields.num("addr")?,
-                    size: fields.num("size")? as u32,
-                    tid: fields.tid()?,
-                    strand: fields.strand()?,
-                }
-            }
-            "fence" => {
-                let kind = match rest.first().copied() {
-                    Some("sfence") => FenceKind::Sfence,
-                    Some("barrier") => FenceKind::PersistBarrier,
-                    other => {
-                        return Err(fields.err(format!("unknown fence kind {other:?}")));
-                    }
-                };
-                PmEvent::Fence {
-                    kind,
-                    tid: fields.tid()?,
-                    strand: fields.strand()?,
-                    in_epoch: fields.has_flag("epoch"),
-                }
-            }
-            "epoch_begin" => PmEvent::EpochBegin { tid: fields.tid()? },
-            "epoch_end" => PmEvent::EpochEnd { tid: fields.tid()? },
-            "strand_begin" => PmEvent::StrandBegin {
-                strand: StrandId(fields.num("strand")? as u32),
-                tid: fields.tid()?,
-            },
-            "strand_end" => PmEvent::StrandEnd {
-                strand: StrandId(fields.num("strand")? as u32),
-                tid: fields.tid()?,
-            },
-            "join_strand" => PmEvent::JoinStrand { tid: fields.tid()? },
-            "txlog" => PmEvent::TxLog {
-                obj_addr: fields.num("addr")?,
-                size: fields.num("size")? as u32,
-                tid: fields.tid()?,
-            },
-            "func" => PmEvent::FuncEnter {
-                name: fields.get("name")?.to_owned(),
-                tid: fields.tid()?,
-            },
-            "name" => PmEvent::NameRange {
-                name: fields.get("name")?.to_owned(),
-                addr: fields.num("addr")?,
-                size: fields.num("size")? as u32,
-            },
-            "annot" => {
-                let which = rest.first().copied().unwrap_or("");
-                let annotation = match which {
-                    "checker_start" => Annotation::CheckerStart,
-                    "checker_end" => Annotation::CheckerEnd,
-                    "assert_persisted" => Annotation::AssertPersisted {
-                        addr: fields.num("addr")?,
-                        size: fields.num("size")? as u32,
-                    },
-                    "assert_ordered" => Annotation::AssertOrdered {
-                        first: fields.num("first")?,
-                        first_size: fields.num("first_size")? as u32,
-                        second: fields.num("second")?,
-                        second_size: fields.num("second_size")? as u32,
-                    },
-                    "track_logging" => Annotation::TrackLogging {
-                        addr: fields.num("addr")?,
-                        size: fields.num("size")? as u32,
-                    },
-                    other => {
-                        return Err(fields.err(format!("unknown annotation `{other}`")));
-                    }
-                };
-                PmEvent::Annotation(annotation)
-            }
-            "crash" => PmEvent::Crash,
-            "recovery_read" => PmEvent::RecoveryRead {
-                addr: fields.num("addr")?,
-                size: fields.num("size")? as u32,
-            },
-            other => {
-                return Err(ParseTraceError {
-                    line: line_no,
-                    reason: format!("unknown event `{other}`"),
-                });
-            }
-        };
-        trace.push(event);
     }
     Ok(trace)
+}
+
+/// Lenient variant of [`from_text`]: malformed lines are skipped and
+/// collected instead of aborting the parse, mirroring the binary reader's
+/// Salvage mode (the streaming equivalent, with the same
+/// [`crate::ingest::IngestReport`] accounting, lives in [`crate::ingest`]).
+pub fn from_text_salvage(text: &str) -> (Trace, Vec<ParseTraceError>) {
+    let mut trace = Trace::new();
+    let mut errors = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        match parse_line(idx + 1, raw) {
+            Ok(Some(event)) => trace.push(event),
+            Ok(None) => {}
+            Err(err) => errors.push(err),
+        }
+    }
+    (trace, errors)
 }
 
 #[cfg(test)]
@@ -487,6 +546,51 @@ mod tests {
         let err = from_text("store addr=0x0 size=8 tid=0\nwat addr=1").unwrap_err();
         assert_eq!(err.line, 2);
         assert!(err.to_string().contains("unknown event"));
+    }
+
+    #[test]
+    fn errors_carry_a_snippet_of_the_offending_line() {
+        let err = from_text("store addr=0x0 size=8 tid=0\nwat addr=1").unwrap_err();
+        assert_eq!(err.snippet, "wat addr=1");
+        assert!(err.to_string().contains("`wat addr=1`"), "{err}");
+    }
+
+    #[test]
+    fn long_snippets_are_truncated_on_char_boundaries() {
+        let line = format!("wat {}ä", "x".repeat(200));
+        let err = from_text(&line).unwrap_err();
+        assert!(err.snippet.len() < line.len());
+        assert!(err.snippet.ends_with('…'));
+        // Multibyte char straddling the cut must not split.
+        let line = format!("wat {}{}", "x".repeat(67), "äää");
+        let err = from_text(&line).unwrap_err();
+        assert!(err
+            .snippet
+            .is_char_boundary(err.snippet.len() - '…'.len_utf8()));
+    }
+
+    #[test]
+    fn salvage_skips_bad_lines_and_keeps_good_ones() {
+        let text = "# pm-trace v1\n\
+                    store addr=0x0 size=8 tid=0\n\
+                    wat addr=1\n\
+                    fence sfence tid=0\n\
+                    store addr=zz size=8 tid=0\n\
+                    store addr=0x40 size=8 tid=0\n";
+        let (trace, errors) = from_text_salvage(text);
+        assert_eq!(trace.len(), 3);
+        assert_eq!(errors.len(), 2);
+        assert_eq!(errors[0].line, 3);
+        assert_eq!(errors[1].line, 5);
+    }
+
+    #[test]
+    fn salvage_of_clean_text_matches_strict() {
+        let trace = sample_trace();
+        let text = to_text(&trace);
+        let (salvaged, errors) = from_text_salvage(&text);
+        assert!(errors.is_empty());
+        assert_eq!(salvaged, trace);
     }
 
     #[test]

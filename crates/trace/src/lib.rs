@@ -44,10 +44,12 @@
 //! ```
 
 pub mod annotations;
+pub mod binfmt;
 pub mod characterize;
 pub mod detector;
 pub mod events;
 pub mod format;
+pub mod ingest;
 pub mod orderspec;
 pub mod recorder;
 pub mod runtime;
@@ -55,6 +57,7 @@ pub mod shard;
 pub mod summary;
 
 pub use annotations::Annotation;
+pub use binfmt::{crc32, frame_spans, from_binary, to_binary, BinParseError};
 pub use characterize::{
     CharacterizationReport, DistanceHistogram, FenceIntervalHistogram, TraceCharacterizer,
 };
@@ -62,9 +65,16 @@ pub use detector::{
     report_hash, BugKind, BugReport, CountingDetector, Detector, NopDetector, Severity,
 };
 pub use events::{Addr, FenceKind, PmEvent, StrandId, ThreadId};
-pub use format::{from_text, to_text, ParseTraceError};
+pub use format::{from_text, from_text_salvage, parse_line, to_text, ParseTraceError};
+pub use ingest::{
+    ingest_bytes, ingest_reader, sniff_format, FrameError, IngestError, IngestLimits, IngestMode,
+    IngestReport, IngestTruncation, TraceFormat,
+};
 pub use orderspec::{OrderRule, OrderSpec, ParseOrderSpecError};
-pub use recorder::{interleave_round_robin, replay, replay_finish, Trace, TraceStats};
+pub use recorder::{
+    interleave_round_robin, replay, replay_events, replay_finish, replay_finish_events, Trace,
+    TraceStats,
+};
 pub use runtime::{PmRuntime, RunSummary, RuntimeError};
 pub use shard::{
     KeyedChunk, PlanBuilder, Route, RouteCursor, ShardPlan, KEY_BROADCAST, SHARD_BLOCK,

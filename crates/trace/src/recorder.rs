@@ -128,11 +128,34 @@ impl TraceStats {
     }
 }
 
-/// Replays a trace through a detector without running its final checks.
-pub fn replay<D: Detector + ?Sized>(trace: &Trace, detector: &mut D) {
-    for (seq, event) in trace.events().iter().enumerate() {
+/// Feeds an event iterator through a detector without running its final
+/// checks — the streaming entry point: detectors consume events as they
+/// are produced (e.g. by the salvage reader in [`crate::ingest`]) without
+/// requiring the whole trace in memory first.
+pub fn replay_events<'a, D, I>(events: I, detector: &mut D)
+where
+    D: Detector + ?Sized,
+    I: IntoIterator<Item = &'a PmEvent>,
+{
+    for (seq, event) in events.into_iter().enumerate() {
         detector.on_event(seq as u64, event);
     }
+}
+
+/// Feeds an event iterator through a detector and returns its reports
+/// (including end-of-program checks).
+pub fn replay_finish_events<'a, D, I>(events: I, detector: &mut D) -> Vec<BugReport>
+where
+    D: Detector + ?Sized,
+    I: IntoIterator<Item = &'a PmEvent>,
+{
+    replay_events(events, detector);
+    detector.finish()
+}
+
+/// Replays a trace through a detector without running its final checks.
+pub fn replay<D: Detector + ?Sized>(trace: &Trace, detector: &mut D) {
+    replay_events(trace.events(), detector);
 }
 
 /// Replays a trace through a detector and returns its reports (including

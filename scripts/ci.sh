@@ -2,6 +2,7 @@
 # Repo CI gate: staged pipeline with per-stage timing. Run from anywhere.
 #
 #   lint -> fmt -> unit -> integration -> docs -> bench-smoke -> obs-smoke
+#     -> ingest-torture
 #
 # lint        clippy over all targets, warnings are errors
 # fmt         rustfmt check
@@ -15,6 +16,11 @@
 #             gates on the committed baseline (scripts/bench_gate.sh)
 # obs-smoke   metrics-overhead benchmark in smoke mode, failing if the
 #             metrics-on slowdown exceeds PM_OBS_MAX_OVERHEAD_PCT (5%)
+# ingest-torture
+#             corruption sweep (`pmdbg torture`) over both committed
+#             fixture traces: >=500 mutated images each, gated on exit
+#             code 0 and "ok":true in the JSON report (zero panics,
+#             salvage floor intact, detector differential clean)
 #
 # Select a subset of stages by name: `scripts/ci.sh lint fmt unit`.
 set -euo pipefail
@@ -22,7 +28,7 @@ cd "$(dirname "$0")/.."
 
 STAGES=("$@")
 if [ ${#STAGES[@]} -eq 0 ]; then
-  STAGES=(lint fmt unit integration docs bench-smoke obs-smoke)
+  STAGES=(lint fmt unit integration docs bench-smoke obs-smoke ingest-torture)
 fi
 
 declare -a TIMINGS=()
@@ -50,6 +56,28 @@ docs_stage() {
     exit 1
   fi
   RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace -q
+}
+
+ingest_torture_stage() {
+  # Corruption sweep over both committed fixtures (one v2 binary, one v1
+  # text). 125 images x 4 classes = 500 mutated images per fixture; the
+  # pmdbg exit-code contract turns any invariant violation into exit 1,
+  # and we additionally require the machine-readable verdict.
+  local fixture report
+  for fixture in tests/fixtures/btree_96.pmt2 tests/fixtures/hashmap_atomic_48.trace; do
+    report=$(cargo run -q --offline -p pm-cli -- \
+      torture --trace "${fixture}" --images 125 --seed 806405 --json)
+    if ! grep -q '"ok":true' <<<"${report}"; then
+      echo "ingest-torture: ${fixture} reported violations:" >&2
+      echo "${report}" >&2
+      exit 1
+    fi
+    if grep -Eq '"panics":[1-9]' <<<"${report}"; then
+      echo "ingest-torture: ${fixture} reported panics" >&2
+      exit 1
+    fi
+    echo "ingest-torture ${fixture}: ok"
+  done
 }
 
 obs_smoke_stage() {
@@ -84,6 +112,9 @@ for stage in "${STAGES[@]}"; do
       ;;
     obs-smoke)
       run_stage obs-smoke obs_smoke_stage
+      ;;
+    ingest-torture)
+      run_stage ingest-torture ingest_torture_stage
       ;;
     *)
       echo "unknown stage: ${stage}" >&2

@@ -114,6 +114,34 @@ fn injected_bugs_are_found_end_to_end() {
     );
 }
 
+/// The committed ingest-torture fixtures (one v2 binary, one v1 text)
+/// must keep parsing strictly and replaying clean — they feed the
+/// `ingest-torture` CI stage, and a stale fixture would silently shrink
+/// that sweep's coverage.
+#[test]
+fn committed_fixture_traces_ingest_strictly_and_replay_clean() {
+    use pm_trace::{ingest_bytes, IngestLimits, IngestMode, TraceFormat};
+    let dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    for (file, format, min_events) in [
+        ("btree_96.pmt2", TraceFormat::BinV2, 2_000),
+        ("hashmap_atomic_48.trace", TraceFormat::TextV1, 300),
+    ] {
+        let bytes = std::fs::read(dir.join(file)).unwrap();
+        let (trace, report) = ingest_bytes(&bytes, IngestMode::Strict, &IngestLimits::default())
+            .unwrap_or_else(|e| panic!("{file}: {e}"));
+        assert_eq!(report.format, format, "{file}");
+        assert!(report.clean(), "{file}: {}", report.summary());
+        assert!(
+            trace.len() >= min_events,
+            "{file}: fixture shrank to {} events",
+            trace.len()
+        );
+        let mut det = PmDebugger::new(DebuggerConfig::for_model(PersistencyModel::Epoch));
+        let reports = replay_finish(&trace, &mut det);
+        assert!(reports.is_empty(), "{file}: {:?}", reports.first());
+    }
+}
+
 #[test]
 fn multithreaded_memcached_is_clean_and_scalable() {
     let workload = pm_workloads::Memcached::default().with_set_percent(20);

@@ -152,6 +152,69 @@ fn bug_summaries_and_manifests_match_golden_fixtures() {
     assert!(failures.is_empty(), "{}", failures.join("\n\n"));
 }
 
+/// Hex dump with 32 bytes per line — the committed form of a binary
+/// fixture, so diffs stay reviewable in a text-only golden directory.
+fn hex_dump(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2 + bytes.len() / 16);
+    for chunk in bytes.chunks(32) {
+        for byte in chunk {
+            out.push_str(&format!("{byte:02x}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn hex_parse(text: &str) -> Vec<u8> {
+    let digits: Vec<u8> = text.bytes().filter(|b| !b.is_ascii_whitespace()).collect();
+    assert!(
+        digits.len().is_multiple_of(2),
+        "hex fixture has an odd digit count"
+    );
+    digits
+        .chunks(2)
+        .map(|pair| {
+            let hi = (pair[0] as char).to_digit(16).expect("hex digit");
+            let lo = (pair[1] as char).to_digit(16).expect("hex digit");
+            (hi * 16 + lo) as u8
+        })
+        .collect()
+}
+
+/// Pins the pm-trace v2 binary encoding of one corpus trace. Any change
+/// to the frame layout (magic, length, CRC, payload varints) shows up as
+/// a hex diff here, and the committed bytes must keep decoding to the
+/// exact original trace.
+#[test]
+fn v2_binary_encoding_matches_golden_fixture() {
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    let cases = corpus();
+    let case = cases
+        .iter()
+        .find(|c| c.id == "no_durability_guarantee/00")
+        .expect("case exists");
+    let bytes = pm_trace::to_binary(&case.trace);
+    let name = "no_durability_guarantee_00.pmt2.hex";
+    if let Err(message) = check_or_update(name, &hex_dump(&bytes), update) {
+        panic!("{message}");
+    }
+    // The committed fixture itself must stay a decodable v2 image that
+    // down-converts losslessly to the v1 text form.
+    let committed = hex_parse(&std::fs::read_to_string(golden_dir().join(name)).unwrap());
+    let decoded = pm_trace::from_binary(&committed).expect("golden v2 image decodes");
+    assert_eq!(
+        decoded, case.trace,
+        "v2 fixture decodes to the source trace"
+    );
+    assert_eq!(
+        pm_trace::to_text(&decoded),
+        pm_trace::to_text(&case.trace),
+        "down-conversion to v1 text is lossless"
+    );
+    let spans = pm_trace::frame_spans(&committed).expect("frame walk succeeds");
+    assert_eq!(spans.len(), case.trace.len(), "one frame per event");
+}
+
 #[test]
 fn golden_manifests_are_internally_consistent() {
     let cases = corpus();
