@@ -22,6 +22,11 @@
 //!   reader never panics, always terminates in budget, and recovers every
 //!   frame preceding the first corrupted byte (with a sampled detector
 //!   differential over the salvaged prefix).
+//! * [`supervise`] tortures the detection engine itself: seeded
+//!   [`pmdebugger::FaultPlan`]s inject panics, delays and alloc pressure
+//!   into the supervised parallel pipeline's workers, and the sweep asserts
+//!   zero aborts, byte-identical verdicts from fault-free shards, and
+//!   precisely named casualties in every degradation report.
 //! * Everything degrades gracefully: budgets ([`Budget`]) bound crash
 //!   points, images per point, replayed trace length, pool size and wall
 //!   clock, and exceeding any of them yields a partial report carrying
@@ -34,6 +39,7 @@ pub mod perturb;
 pub mod replay;
 pub mod report;
 pub mod scheduler;
+pub mod supervise;
 pub mod validate;
 
 pub use budget::{Budget, Truncation};
@@ -45,6 +51,9 @@ pub use perturb::{
 pub use replay::ReplayContext;
 pub use report::{CampaignReport, UnrecoverableState};
 pub use scheduler::Campaign;
+pub use supervise::{
+    supervisor_sweep, SupervisorSweepOptions, SupervisorSweepReport, SweepViolation,
+};
 pub use validate::{
     semantic_fingerprint, EpochCommitValidator, Fingerprint, RecoveryValidator,
     StrictOverwriteValidator, TxLogValidator, ValidatorSet, Violation,

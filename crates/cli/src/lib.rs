@@ -17,7 +17,52 @@ use pm_trace::{
     Severity, Trace,
 };
 use pm_workloads::Workload;
-use pmdebugger::{DebuggerConfig, ParallelPmDebugger, PersistencyModel, PmDebugger, MAX_THREADS};
+use pmdebugger::{
+    detect_supervised, DebuggerConfig, FailMode, FaultPlan, ParallelConfig, ParallelPmDebugger,
+    PersistencyModel, PmDebugger, SupervisorConfig, MAX_THREADS,
+};
+
+/// Supervision flags shared by `run` and `replay`. Any present flag
+/// routes detection through the supervised pipeline
+/// ([`pmdebugger::detect_supervised`]) instead of the plain engines.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SuperviseArgs {
+    /// `--max-retries <n>`: threaded re-attempts per failed shard.
+    pub max_retries: Option<u32>,
+    /// `--shard-deadline-ms <n>`: wall-clock ceiling per shard attempt.
+    pub shard_deadline_ms: Option<u64>,
+    /// `--fail-mode strict|degrade`.
+    pub fail_mode: Option<FailMode>,
+    /// `--fault-seed <n>`: inject a seeded detector [`FaultPlan`]
+    /// (testing/chaos aid — faults detection, not the workload).
+    pub fault_seed: Option<u64>,
+}
+
+impl SuperviseArgs {
+    /// Whether any supervision flag was given explicitly.
+    pub fn engaged(&self) -> bool {
+        self.max_retries.is_some()
+            || self.shard_deadline_ms.is_some()
+            || self.fail_mode.is_some()
+            || self.fault_seed.is_some()
+    }
+
+    /// The [`SupervisorConfig`] these flags describe. Unset flags keep the
+    /// library defaults (one retry, sequential fallback, strict).
+    fn config(&self) -> SupervisorConfig {
+        let mut sup = SupervisorConfig::default();
+        if let Some(retries) = self.max_retries {
+            sup = sup.with_max_retries(retries);
+        }
+        if let Some(ms) = self.shard_deadline_ms {
+            sup = sup.with_shard_deadline(std::time::Duration::from_millis(ms));
+        }
+        if let Some(mode) = self.fail_mode {
+            sup = sup.with_fail_mode(mode);
+        }
+        sup
+    }
+}
 
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -38,6 +83,9 @@ pub enum Command {
         threads: usize,
         /// Write a [`RunManifest`] (JSON) to this path after the run.
         metrics: Option<String>,
+        /// Supervision flags; any present flag engages the supervised
+        /// pipeline (pmdebugger only).
+        supervise: SuperviseArgs,
     },
     /// `pmdbg corpus` — run the 78-case corpus through every tool (Table 6).
     Corpus,
@@ -73,6 +121,28 @@ pub enum Command {
         /// Skip corrupt frames and replay what survives (`--salvage`)
         /// instead of aborting on the first corruption (`--strict`).
         salvage: bool,
+        /// Supervision flags; any present flag engages the supervised
+        /// pipeline (pmdebugger only).
+        supervise: SuperviseArgs,
+    },
+    /// `pmdbg supervise --workload <name> [--ops <n>] [--plans <n>]
+    /// [--seed <n>] [--budget-ms <n>] [--json]` — run the detector-fault
+    /// chaos sweep: seeded fault plans injected into the supervised
+    /// pipeline's workers, asserting zero aborts, byte-identical verdicts
+    /// from fault-free shards, and precisely named casualties.
+    Supervise {
+        /// Workload name.
+        workload: String,
+        /// Operation count for the recorded trace.
+        ops: usize,
+        /// Seeded fault plans to run.
+        plans: usize,
+        /// Base sweep seed.
+        seed: u64,
+        /// Optional wall-clock budget in milliseconds.
+        budget_ms: Option<u64>,
+        /// Emit the JSON report instead of the human summary.
+        json: bool,
     },
     /// `pmdbg torture (--trace <file> | --workload <name> [--ops <n>])
     /// [--images <n>] [--seed <n>] [--budget-ms <n>] [--json]` — sweep
@@ -154,15 +224,24 @@ impl std::error::Error for UsageError {}
 pub struct Outcome {
     /// The command completed but found bugs (exit code 1).
     pub bugs_found: bool,
+    /// A supervised run completed with quarantined shards (exit code 4
+    /// when no bugs were found; bugs dominate).
+    pub degraded: bool,
 }
 
 impl Outcome {
     fn clean() -> Self {
-        Outcome { bugs_found: false }
+        Outcome {
+            bugs_found: false,
+            degraded: false,
+        }
     }
 
     fn from_report_count(n: usize) -> Self {
-        Outcome { bugs_found: n > 0 }
+        Outcome {
+            bugs_found: n > 0,
+            degraded: false,
+        }
     }
 }
 
@@ -206,10 +285,16 @@ pmdbg — PMDebugger reproduction CLI
 
 USAGE:
   pmdbg run --workload <name> [--ops <n>] [--tool <name>] [--order <file>]
-            [--threads <n>] [--metrics <file>]
+            [--threads <n>] [--metrics <file>] [--max-retries <n>]
+            [--shard-deadline-ms <n>] [--fail-mode strict|degrade]
+            [--fault-seed <n>]
   pmdbg record --workload <name> [--ops <n>] [--format text|bin] --out <file>
   pmdbg replay --trace <file> [--salvage|--strict] [--tool <name>]
                [--model strict|epoch|strand] [--threads <n>] [--metrics <file>]
+               [--max-retries <n>] [--shard-deadline-ms <n>]
+               [--fail-mode strict|degrade] [--fault-seed <n>]
+  pmdbg supervise --workload <name> [--ops <n>] [--plans <n>] [--seed <n>]
+                  [--budget-ms <n>] [--json]
   pmdbg torture (--trace <file> | --workload <name> [--ops <n>]) [--images <n>]
                 [--seed <n>] [--budget-ms <n>] [--json]
   pmdbg chaos --workload <name> [--ops <n>] [--points <n>] [--images <n>]
@@ -223,8 +308,10 @@ USAGE:
 TOOLS:     pmdebugger (default), pmemcheck, pmtest, xfdetector, nulgrind
 WORKLOADS: b_tree c_tree r_tree rb_tree hashmap_tx hashmap_atomic
            synth_strand memcached redis a_YCSB..f_YCSB
-EXIT CODES: 0 clean run, 1 bugs or torture violations found,
+EXIT CODES: 0 clean run, 1 bugs or torture/supervise violations found,
             2 bad usage or parse/ingest failure, 3 internal error
+            (incl. strict-mode shard failure), 4 degraded-but-clean
+            supervised run (shards quarantined, no bugs in survivors)
 EXAMPLE:   pmdbg run --workload b_tree --ops 1024 --tool pmdebugger";
 
 fn parse_threads(text: String) -> Result<usize, UsageError> {
@@ -239,6 +326,21 @@ fn parse_threads(text: String) -> Result<usize, UsageError> {
     Ok(threads)
 }
 
+fn parse_fail_mode(text: String) -> Result<FailMode, UsageError> {
+    match text.as_str() {
+        "strict" => Ok(FailMode::Strict),
+        "degrade" => Ok(FailMode::Degrade),
+        other => Err(UsageError(format!(
+            "--fail-mode expects `strict` or `degrade`, got `{other}`"
+        ))),
+    }
+}
+
+fn parse_number<T: std::str::FromStr>(name: &str, text: String) -> Result<T, UsageError> {
+    text.parse()
+        .map_err(|_| UsageError(format!("{name} expects a number")))
+}
+
 /// Parses `args` (without the binary name).
 pub fn parse(args: &[String]) -> Result<Command, UsageError> {
     let mut it = args.iter();
@@ -251,6 +353,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
             let mut order: Option<String> = None;
             let mut threads = 1usize;
             let mut metrics: Option<String> = None;
+            let mut supervise = SuperviseArgs::default();
             while let Some(flag) = it.next() {
                 let mut value = |name: &str| {
                     it.next()
@@ -268,6 +371,18 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                     "--order" | "-o" => order = Some(value(flag)?),
                     "--threads" | "-j" if sub == "run" => threads = parse_threads(value(flag)?)?,
                     "--metrics" if sub == "run" => metrics = Some(value(flag)?),
+                    "--max-retries" if sub == "run" => {
+                        supervise.max_retries = Some(parse_number(flag, value(flag)?)?);
+                    }
+                    "--shard-deadline-ms" if sub == "run" => {
+                        supervise.shard_deadline_ms = Some(parse_number(flag, value(flag)?)?);
+                    }
+                    "--fail-mode" if sub == "run" => {
+                        supervise.fail_mode = Some(parse_fail_mode(value(flag)?)?);
+                    }
+                    "--fault-seed" if sub == "run" => {
+                        supervise.fault_seed = Some(parse_number(flag, value(flag)?)?);
+                    }
                     other => return Err(UsageError(format!("unknown flag `{other}`"))),
                 }
             }
@@ -280,6 +395,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                     order,
                     threads,
                     metrics,
+                    supervise,
                 })
             } else {
                 Ok(Command::Characterize { workload, ops })
@@ -330,6 +446,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
             let mut threads = 1usize;
             let mut metrics: Option<String> = None;
             let mut salvage = false;
+            let mut supervise = SuperviseArgs::default();
             while let Some(flag) = it.next() {
                 let mut value = |name: &str| {
                     it.next()
@@ -345,6 +462,16 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                     "--metrics" => metrics = Some(value(flag)?),
                     "--salvage" => salvage = true,
                     "--strict" => salvage = false,
+                    "--max-retries" => {
+                        supervise.max_retries = Some(parse_number(flag, value(flag)?)?);
+                    }
+                    "--shard-deadline-ms" => {
+                        supervise.shard_deadline_ms = Some(parse_number(flag, value(flag)?)?);
+                    }
+                    "--fail-mode" => supervise.fail_mode = Some(parse_fail_mode(value(flag)?)?),
+                    "--fault-seed" => {
+                        supervise.fault_seed = Some(parse_number(flag, value(flag)?)?);
+                    }
                     other => return Err(UsageError(format!("unknown flag `{other}`"))),
                 }
             }
@@ -356,6 +483,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                 threads,
                 metrics,
                 salvage,
+                supervise,
             })
         }
         "torture" => {
@@ -442,6 +570,38 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                 matrix,
                 json,
                 metrics,
+            })
+        }
+        "supervise" => {
+            let mut workload: Option<String> = None;
+            let mut ops = 64usize;
+            let mut plans = 200usize;
+            let mut seed = 0x5AFE_0001u64;
+            let mut budget_ms: Option<u64> = None;
+            let mut json = false;
+            while let Some(flag) = it.next() {
+                let mut value = |name: &str| {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| UsageError(format!("missing value for {name}")))
+                };
+                match flag.as_str() {
+                    "--workload" | "-w" => workload = Some(value(flag)?),
+                    "--ops" | "-n" => ops = parse_number(flag, value(flag)?)?,
+                    "--plans" => plans = parse_number(flag, value(flag)?)?,
+                    "--seed" => seed = parse_number(flag, value(flag)?)?,
+                    "--budget-ms" => budget_ms = Some(parse_number(flag, value(flag)?)?),
+                    "--json" => json = true,
+                    other => return Err(UsageError(format!("unknown flag `{other}`"))),
+                }
+            }
+            Ok(Command::Supervise {
+                workload: workload.ok_or_else(|| UsageError("--workload is required".into()))?,
+                ops,
+                plans,
+                seed,
+                budget_ms,
+                json,
             })
         }
         "stats" => {
@@ -636,6 +796,110 @@ fn write_manifest(
     std::fs::write(path, manifest.to_json())
         .map_err(|e| ExecError::Internal(format!("cannot write {path}: {e}")))?;
     writeln!(out, "metrics manifest -> {path}").map_err(wr)
+}
+
+/// Runs the supervised detection pipeline over a recorded trace and
+/// reports the outcome: timing header, a degradation block naming every
+/// quarantined shard (with its failure history and what may under-report),
+/// the bug summary, and — with `--metrics` — a manifest carrying the
+/// `supervisor.*` counters.
+///
+/// Strict-mode shard exhaustion comes back as [`ExecError::Internal`]
+/// (exit code 3); a degraded-but-successful run sets
+/// [`Outcome::degraded`] (exit code 4 unless bugs dominate).
+#[allow(clippy::too_many_arguments)]
+fn execute_supervised(
+    trace: &Trace,
+    label: &str,
+    ops: usize,
+    model: PersistencyModel,
+    spec: Option<&OrderSpec>,
+    threads: usize,
+    args: &SuperviseArgs,
+    metrics: Option<&String>,
+    stage: &str,
+    out: &mut dyn fmt::Write,
+) -> Result<Outcome, ExecError> {
+    let mut config = DebuggerConfig::for_model(model);
+    if let Some(spec) = spec {
+        config = config.with_order_spec(spec.clone());
+    }
+    let sup = args.config();
+    let faults = args
+        .fault_seed
+        .map(|seed| FaultPlan::seeded(seed, threads, sup.total_attempts()));
+    let registry = metrics.map(|_| MetricsRegistry::new());
+
+    let start = Instant::now();
+    let span = registry.as_ref().map(|r| r.span(&format!("stage.{stage}")));
+    let result = detect_supervised(
+        &config,
+        &ParallelConfig::with_threads(threads),
+        &sup,
+        faults.as_ref(),
+        trace,
+    );
+    drop(span);
+    let elapsed = start.elapsed();
+    let result = result.map_err(|e| ExecError::Internal(format!("supervised detection: {e}")))?;
+
+    writeln!(
+        out,
+        "{label} under pmdebugger [threads={threads} supervised]: {} events in {:.1} ms",
+        trace.len(),
+        elapsed.as_secs_f64() * 1e3
+    )
+    .map_err(wr)?;
+    if let Some(degraded) = &result.degraded {
+        writeln!(out, "degraded: {}", degraded.summary()).map_err(wr)?;
+        for shard in &degraded.quarantined {
+            let causes: Vec<String> = shard
+                .failures
+                .iter()
+                .map(|f| format!("attempt {}: {}", f.attempt, f.failure))
+                .collect();
+            writeln!(
+                out,
+                "  shard {} quarantined after {} attempt(s) ({} routed events lost): {}",
+                shard.worker,
+                shard.failures.len(),
+                shard.lost_events,
+                causes.join("; ")
+            )
+            .map_err(wr)?;
+        }
+        if !degraded.underreporting_rules.is_empty() {
+            writeln!(
+                out,
+                "  may under-report: {}",
+                degraded.underreporting_rules.join(" ")
+            )
+            .map_err(wr)?;
+        }
+    }
+    let reports = &result.outcome.reports;
+    let summary = BugSummary::from_reports(reports.clone());
+    write!(out, "{summary}").map_err(wr)?;
+    if let (Some(registry), Some(path)) = (&registry, metrics) {
+        count_trace_kinds(registry, trace);
+        result.export_metrics(registry);
+        count_rule_firings(registry, reports);
+        write_manifest(
+            path,
+            "pmdebugger",
+            label,
+            model_label(model),
+            ops,
+            threads,
+            registry,
+            bug_digest(reports),
+            out,
+        )?;
+    }
+    Ok(Outcome {
+        bugs_found: !reports.is_empty(),
+        degraded: result.is_degraded(),
+    })
 }
 
 /// Executes a parsed command, writing human output to `out`.
@@ -892,6 +1156,7 @@ pub fn execute_outcome(command: Command, out: &mut dyn fmt::Write) -> Result<Out
             threads,
             metrics,
             salvage,
+            supervise,
         } => {
             let bytes = std::fs::read(&path)
                 .map_err(|e| ExecError::Input(format!("cannot read {path}: {e}")))?;
@@ -923,6 +1188,26 @@ pub fn execute_outcome(command: Command, out: &mut dyn fmt::Write) -> Result<Out
                     )
                 }
             };
+            if supervise.engaged() {
+                if tool != "pmdebugger" {
+                    return Err(ExecError::Input(format!(
+                        "supervision flags require --tool pmdebugger (`{tool}` has no \
+                         supervised pipeline)"
+                    )));
+                }
+                return execute_supervised(
+                    &trace,
+                    &path,
+                    0,
+                    model,
+                    spec.as_ref(),
+                    threads,
+                    &supervise,
+                    metrics.as_ref(),
+                    "replay",
+                    out,
+                );
+            }
             let registry = metrics.as_ref().map(|_| MetricsRegistry::new());
             let (mut detector, rules_self_counted) =
                 tool_with_metrics(&tool, model, spec.as_ref(), threads, registry.as_ref())
@@ -980,6 +1265,7 @@ pub fn execute_outcome(command: Command, out: &mut dyn fmt::Write) -> Result<Out
             order,
             threads,
             metrics,
+            supervise,
         } => {
             let workload = workload_by_name(&workload).ok_or_else(|| {
                 ExecError::Input(format!("unknown workload `{workload}` (try `pmdbg list`)"))
@@ -997,6 +1283,27 @@ pub fn execute_outcome(command: Command, out: &mut dyn fmt::Write) -> Result<Out
                 }
             };
             let model = persistency(workload.model());
+            if supervise.engaged() {
+                if tool != "pmdebugger" {
+                    return Err(ExecError::Input(format!(
+                        "supervision flags require --tool pmdebugger (`{tool}` has no \
+                         supervised pipeline)"
+                    )));
+                }
+                let trace = pm_workloads::record_trace(workload.as_ref(), ops);
+                return execute_supervised(
+                    &trace,
+                    workload.name(),
+                    ops,
+                    model,
+                    spec.as_ref(),
+                    threads,
+                    &supervise,
+                    metrics.as_ref(),
+                    "run",
+                    out,
+                );
+            }
             let registry = metrics.as_ref().map(|_| MetricsRegistry::new());
             let (detector, rules_self_counted) =
                 tool_with_metrics(&tool, model, spec.as_ref(), threads, registry.as_ref())
@@ -1121,6 +1428,68 @@ pub fn execute_outcome(command: Command, out: &mut dyn fmt::Write) -> Result<Out
             }
             Ok(Outcome {
                 bugs_found: !report.ok(),
+                degraded: false,
+            })
+        }
+        Command::Supervise {
+            workload,
+            ops,
+            plans,
+            seed,
+            budget_ms,
+            json,
+        } => {
+            let workload = workload_by_name(&workload).ok_or_else(|| {
+                ExecError::Input(format!("unknown workload `{workload}` (try `pmdbg list`)"))
+            })?;
+            let trace = pm_workloads::record_trace(workload.as_ref(), ops);
+            let model = persistency(workload.model());
+            let opts = pm_chaos::SupervisorSweepOptions {
+                plans,
+                seed,
+                wall_clock: budget_ms.map(std::time::Duration::from_millis),
+                ..pm_chaos::SupervisorSweepOptions::default()
+            };
+            let report = pm_chaos::supervisor_sweep(&trace, model, &opts);
+            if json {
+                writeln!(out, "{}", report.to_json()).map_err(wr)?;
+            } else {
+                writeln!(
+                    out,
+                    "{} x{}: {}/{} fault plan(s), {} fault(s) injected, {} degraded run(s), \
+                     {} shard(s) quarantined, {} retries, {} event(s) lost in {} ms -> {}",
+                    workload.name(),
+                    ops,
+                    report.plans_run,
+                    report.plans_planned,
+                    report.faults_injected,
+                    report.degraded_runs,
+                    report.quarantined_shards,
+                    report.retries,
+                    report.lost_events,
+                    report.wall_ms,
+                    if report.ok() { "OK" } else { "VIOLATIONS" },
+                )
+                .map_err(wr)?;
+                for violation in &report.violations {
+                    writeln!(
+                        out,
+                        "  violation [{}] plan {} (seed {}, {} threads): {}",
+                        violation.kind,
+                        violation.plan_index,
+                        violation.plan_seed,
+                        violation.threads,
+                        violation.detail
+                    )
+                    .map_err(wr)?;
+                }
+                for truncation in &report.truncations {
+                    writeln!(out, "  truncated: {truncation}").map_err(wr)?;
+                }
+            }
+            Ok(Outcome {
+                bugs_found: !report.ok(),
+                degraded: false,
             })
         }
     }
@@ -1146,6 +1515,7 @@ mod tests {
                 order: None,
                 threads: 1,
                 metrics: None,
+                supervise: SuperviseArgs::default(),
             }
         );
     }
@@ -1173,6 +1543,7 @@ mod tests {
                 order: Some("/tmp/x".into()),
                 threads: 1,
                 metrics: None,
+                supervise: SuperviseArgs::default(),
             }
         );
     }
@@ -1235,6 +1606,7 @@ mod tests {
                 order: None,
                 threads: 1,
                 metrics: None,
+                supervise: SuperviseArgs::default(),
             },
             &mut out,
         )
@@ -1297,6 +1669,7 @@ mod tests {
                 threads: 1,
                 metrics: None,
                 salvage: false,
+                supervise: SuperviseArgs::default(),
             }
         );
         assert!(
@@ -1332,6 +1705,7 @@ mod tests {
                 threads: 1,
                 metrics: None,
                 salvage: false,
+                supervise: SuperviseArgs::default(),
             },
             &mut out,
         )
@@ -1351,6 +1725,7 @@ mod tests {
                 threads: 1,
                 metrics: None,
                 salvage: false,
+                supervise: SuperviseArgs::default(),
             },
             &mut String::new(),
         )
@@ -1482,6 +1857,7 @@ mod tests {
                     order: None,
                     threads,
                     metrics: None,
+                    supervise: SuperviseArgs::default(),
                 },
                 &mut out,
             )
@@ -1502,6 +1878,7 @@ mod tests {
                 order: None,
                 threads: 4,
                 metrics: None,
+                supervise: SuperviseArgs::default(),
             },
             &mut String::new(),
         )
@@ -1523,6 +1900,7 @@ mod tests {
                 order: None,
                 threads: 1,
                 metrics: None,
+                supervise: SuperviseArgs::default(),
             },
             &mut out,
         )
@@ -1584,6 +1962,7 @@ mod tests {
                 order: None,
                 threads: 1,
                 metrics: Some(path_str.clone()),
+                supervise: SuperviseArgs::default(),
             },
             &mut out,
         )
@@ -1629,6 +2008,7 @@ mod tests {
                     order: None,
                     threads,
                     metrics: Some(path.to_str().unwrap().to_owned()),
+                    supervise: SuperviseArgs::default(),
                 },
                 &mut out,
             )
@@ -1676,6 +2056,7 @@ mod tests {
                 threads: 1,
                 metrics: Some(manifest_path.to_str().unwrap().to_owned()),
                 salvage: false,
+                supervise: SuperviseArgs::default(),
             },
             &mut out,
         )
@@ -1816,6 +2197,7 @@ mod tests {
                     threads: 1,
                     metrics: None,
                     salvage: false,
+                    supervise: SuperviseArgs::default(),
                 },
                 &mut out,
             )
@@ -1857,6 +2239,7 @@ mod tests {
                 threads: 1,
                 metrics: None,
                 salvage: false,
+                supervise: SuperviseArgs::default(),
             },
             &mut String::new(),
         );
@@ -1875,6 +2258,7 @@ mod tests {
                 threads: 1,
                 metrics: None,
                 salvage: true,
+                supervise: SuperviseArgs::default(),
             },
             &mut out,
         )
@@ -1898,6 +2282,7 @@ mod tests {
                     threads: 1,
                     metrics: None,
                     salvage,
+                    supervise: SuperviseArgs::default(),
                 },
                 &mut String::new(),
             )
@@ -1947,6 +2332,7 @@ mod tests {
                 threads: 1,
                 metrics: Some(manifest_path.to_str().unwrap().to_owned()),
                 salvage: true,
+                supervise: SuperviseArgs::default(),
             },
             &mut String::new(),
         )
@@ -2042,11 +2428,328 @@ mod tests {
                 order: None,
                 threads: 1,
                 metrics: None,
+                supervise: SuperviseArgs::default(),
             },
             &mut String::new(),
         )
         .unwrap();
         assert!(!outcome.bugs_found);
+    }
+
+    /// Smallest seed whose seeded fault plan dooms at least one shard
+    /// under `sup` at `threads` workers — found by the same oracle the
+    /// supervisor uses, so the test never guesses.
+    fn dooming_seed(threads: usize, sup: &SupervisorConfig) -> u64 {
+        (0..500u64)
+            .find(|&seed| {
+                let plan = FaultPlan::seeded(seed, threads, sup.total_attempts());
+                !plan.doomed_workers(threads, sup).is_empty()
+            })
+            .expect("one of 500 seeds must doom a shard")
+    }
+
+    #[test]
+    fn parses_supervision_flags_on_run_and_replay() {
+        let cmd = parse(&args(&[
+            "run",
+            "-w",
+            "b_tree",
+            "--threads",
+            "4",
+            "--max-retries",
+            "2",
+            "--shard-deadline-ms",
+            "5000",
+            "--fail-mode",
+            "degrade",
+            "--fault-seed",
+            "7",
+        ]))
+        .unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Run {
+                supervise: SuperviseArgs {
+                    max_retries: Some(2),
+                    shard_deadline_ms: Some(5000),
+                    fail_mode: Some(FailMode::Degrade),
+                    fault_seed: Some(7),
+                },
+                ..
+            }
+        ));
+        let cmd = parse(&args(&[
+            "replay",
+            "--trace",
+            "/tmp/t",
+            "--fail-mode",
+            "strict",
+        ]))
+        .unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Replay {
+                supervise: SuperviseArgs {
+                    fail_mode: Some(FailMode::Strict),
+                    ..
+                },
+                ..
+            }
+        ));
+        assert!(
+            parse(&args(&["run", "-w", "x", "--fail-mode", "maybe"])).is_err(),
+            "--fail-mode validates its value"
+        );
+        assert!(
+            parse(&args(&["run", "-w", "x", "--max-retries", "NaN"])).is_err(),
+            "--max-retries validates its value"
+        );
+        assert!(
+            parse(&args(&["characterize", "-w", "x", "--fault-seed", "1"])).is_err(),
+            "supervision flags are run/replay flags"
+        );
+    }
+
+    #[test]
+    fn parses_supervise_subcommand() {
+        let cmd = parse(&args(&["supervise", "--workload", "b_tree"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Supervise {
+                workload: "b_tree".into(),
+                ops: 64,
+                plans: 200,
+                seed: 0x5AFE_0001,
+                budget_ms: None,
+                json: false,
+            }
+        );
+        let cmd = parse(&args(&[
+            "supervise",
+            "-w",
+            "redis",
+            "-n",
+            "32",
+            "--plans",
+            "50",
+            "--seed",
+            "9",
+            "--budget-ms",
+            "800",
+            "--json",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Supervise {
+                workload: "redis".into(),
+                ops: 32,
+                plans: 50,
+                seed: 9,
+                budget_ms: Some(800),
+                json: true,
+            }
+        );
+        assert!(parse(&args(&["supervise"])).is_err(), "--workload required");
+    }
+
+    #[test]
+    fn supervised_run_without_faults_matches_plain_verdicts_and_is_not_degraded() {
+        let run = |supervise: SuperviseArgs| {
+            let mut out = String::new();
+            let outcome = execute_outcome(
+                Command::Run {
+                    workload: "hashmap_atomic".into(),
+                    ops: 64,
+                    tool: "pmdebugger".into(),
+                    order: None,
+                    threads: 4,
+                    metrics: None,
+                    supervise,
+                },
+                &mut out,
+            )
+            .unwrap();
+            // Everything after the timing line: the bug summary.
+            (outcome, out.lines().skip(1).collect::<Vec<_>>().join("\n"))
+        };
+        let (plain_outcome, plain) = run(SuperviseArgs::default());
+        let (sup_outcome, supervised) = run(SuperviseArgs {
+            max_retries: Some(1),
+            ..SuperviseArgs::default()
+        });
+        assert_eq!(plain, supervised, "verdicts must not change");
+        assert_eq!(plain_outcome.bugs_found, sup_outcome.bugs_found);
+        assert!(!sup_outcome.degraded);
+    }
+
+    #[test]
+    fn degrade_mode_reports_casualties_and_exports_supervisor_counters() {
+        let threads = 4;
+        let supervise = SuperviseArgs {
+            fail_mode: Some(FailMode::Degrade),
+            fault_seed: None,
+            max_retries: Some(1),
+            shard_deadline_ms: None,
+        };
+        let seed = dooming_seed(threads, &supervise.config());
+        let supervise = SuperviseArgs {
+            fault_seed: Some(seed),
+            ..supervise
+        };
+        let path = std::env::temp_dir().join("pmdbg_cli_supervised_degraded.json");
+        let mut out = String::new();
+        let outcome = execute_outcome(
+            Command::Run {
+                workload: "hashmap_atomic".into(),
+                ops: 64,
+                tool: "pmdebugger".into(),
+                order: None,
+                threads,
+                metrics: Some(path.to_str().unwrap().to_owned()),
+                supervise,
+            },
+            &mut out,
+        )
+        .unwrap();
+        assert!(outcome.degraded, "{out}");
+        assert!(out.contains("degraded:"), "{out}");
+        assert!(out.contains("quarantined"), "{out}");
+        let manifest = RunManifest::from_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert!(manifest.counters["supervisor.quarantined"] > 0);
+        assert_eq!(manifest.counters["supervisor.degraded"], 1);
+        assert!(manifest.counters.contains_key("supervisor.retries"));
+        assert!(manifest.counters["supervisor.lost_events"] > 0);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn strict_mode_surfaces_a_typed_internal_error() {
+        let threads = 4;
+        let supervise = SuperviseArgs {
+            fail_mode: Some(FailMode::Strict),
+            fault_seed: None,
+            max_retries: Some(0),
+            shard_deadline_ms: None,
+        };
+        let seed = dooming_seed(threads, &supervise.config());
+        let err = execute_outcome(
+            Command::Run {
+                workload: "hashmap_atomic".into(),
+                ops: 64,
+                tool: "pmdebugger".into(),
+                order: None,
+                threads,
+                metrics: None,
+                supervise: SuperviseArgs {
+                    fault_seed: Some(seed),
+                    ..supervise
+                },
+            },
+            &mut String::new(),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, ExecError::Internal(ref m) if m.contains("shard")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn supervision_flags_with_baseline_tool_are_a_clean_error() {
+        let err = execute_outcome(
+            Command::Run {
+                workload: "b_tree".into(),
+                ops: 8,
+                tool: "pmemcheck".into(),
+                order: None,
+                threads: 1,
+                metrics: None,
+                supervise: SuperviseArgs {
+                    max_retries: Some(1),
+                    ..SuperviseArgs::default()
+                },
+            },
+            &mut String::new(),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, ExecError::Input(ref m) if m.contains("pmdebugger")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn supervised_replay_works_from_a_recorded_trace() {
+        let path = std::env::temp_dir().join("pmdbg_cli_supervised_replay.trace");
+        let path_str = path.to_str().unwrap().to_owned();
+        execute(
+            Command::Record {
+                workload: "c_tree".into(),
+                ops: 20,
+                format: "text".into(),
+                out: path_str.clone(),
+            },
+            &mut String::new(),
+        )
+        .unwrap();
+        let mut out = String::new();
+        let outcome = execute_outcome(
+            Command::Replay {
+                trace: path_str,
+                tool: "pmdebugger".into(),
+                model: "epoch".into(),
+                order: None,
+                threads: 2,
+                metrics: None,
+                salvage: false,
+                supervise: SuperviseArgs {
+                    max_retries: Some(1),
+                    ..SuperviseArgs::default()
+                },
+            },
+            &mut out,
+        )
+        .unwrap();
+        assert!(out.contains("supervised"), "{out}");
+        assert!(!outcome.degraded);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn supervise_command_sweeps_cleanly_and_emits_json() {
+        let mut out = String::new();
+        let outcome = execute_outcome(
+            Command::Supervise {
+                workload: "hashmap_atomic".into(),
+                ops: 24,
+                plans: 12,
+                seed: 0x5AFE_0001,
+                budget_ms: None,
+                json: false,
+            },
+            &mut out,
+        )
+        .unwrap();
+        assert!(!outcome.bugs_found, "{out}");
+        assert!(out.contains("OK"), "{out}");
+        assert!(out.contains("fault plan(s)"), "{out}");
+
+        let mut json_out = String::new();
+        execute(
+            Command::Supervise {
+                workload: "hashmap_atomic".into(),
+                ops: 24,
+                plans: 8,
+                seed: 3,
+                budget_ms: None,
+                json: true,
+            },
+            &mut json_out,
+        )
+        .unwrap();
+        assert!(json_out.trim().starts_with('{'), "{json_out}");
+        assert!(json_out.contains("\"ok\":true"), "{json_out}");
     }
 
     #[test]

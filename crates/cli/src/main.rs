@@ -1,8 +1,10 @@
 //! `pmdbg` binary entry point; all logic lives in the library for testing.
 //!
-//! Exit-code contract: 0 clean run, 1 bugs (or torture invariant
-//! violations) found, 2 bad usage or parse/ingest failure, 3 internal
-//! error.
+//! Exit-code contract: 0 clean run, 1 bugs (or torture/supervise
+//! invariant violations) found, 2 bad usage or parse/ingest failure,
+//! 3 internal error (including a strict-mode shard failure), 4 a
+//! supervised run that completed degraded — shards quarantined — without
+//! finding bugs in the survivors (bugs dominate: 1 wins over 4).
 
 use std::process::ExitCode;
 
@@ -23,6 +25,8 @@ fn main() -> ExitCode {
             print!("{out}");
             if outcome.bugs_found {
                 ExitCode::from(1)
+            } else if outcome.degraded {
+                ExitCode::from(4)
             } else {
                 ExitCode::SUCCESS
             }

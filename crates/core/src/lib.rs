@@ -52,6 +52,7 @@ pub mod parallel;
 pub mod rules;
 pub mod space;
 pub mod stats;
+pub mod supervisor;
 
 pub use array::{FlushState, LocEntry, MemLocArray};
 pub use avl::{AvlTree, TreeOpStats, TreeRecord};
@@ -69,3 +70,9 @@ pub use parallel::{
 pub use rules::{EpochSizeRule, FailureWindowRule, FlushAmplificationRule};
 pub use space::{BookkeepingSpace, FenceOutcome, FlushOutcome, Residual, SpaceStats, StoreOutcome};
 pub use stats::DebuggerStats;
+pub use supervisor::{
+    detect_supervised, detect_supervised_from, expected_surviving_reports, AttemptFailure,
+    DegradedReport, FailMode, FaultKind, FaultPlan, InjectedFault, QuarantinedShard, ShardFailure,
+    SupervisedOutcome, SupervisorConfig, SupervisorError, BENIGN_ALLOC_BYTES, FATAL_ALLOC_BYTES,
+    FATAL_DELAY,
+};

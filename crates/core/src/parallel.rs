@@ -46,6 +46,9 @@ use pm_trace::{
 use crate::config::DebuggerConfig;
 use crate::debugger::PmDebugger;
 use crate::stats::DebuggerStats;
+use crate::supervisor::{
+    detect_supervised_from, DegradedReport, FaultPlan, ShardFailure, ShardGuard, SupervisorConfig,
+};
 
 /// Hard ceiling on worker threads (a runaway `--threads` guard).
 pub const MAX_THREADS: usize = 64;
@@ -146,7 +149,7 @@ fn end_key(r: &BugReport) -> (u64, u64, u64) {
     )
 }
 
-struct WorkerOut {
+pub(crate) struct WorkerOut {
     /// Reports pushed while consuming the stream (chronological).
     mid: Vec<BugReport>,
     /// Reports appended by `finish` (end-of-run residuals).
@@ -195,15 +198,19 @@ fn detect_inline(config: &DebuggerConfig, events: &[PmEvent], base_seq: u64) -> 
     }
 }
 
-/// One worker's pass: scan the shared key array, detect over own and
-/// broadcast events.
-fn run_worker(
+/// One worker's pass behind a [`ShardGuard`]: scan the shared key array,
+/// detect over own and broadcast events, firing injected faults and
+/// checking the deadline and event/memory budgets as it goes. With
+/// [`ShardGuard::none`] the per-event overhead is one increment and a few
+/// always-false branches.
+pub(crate) fn run_worker_guarded(
     config: &DebuggerConfig,
     plan: &ShardPlan,
     events: &[PmEvent],
     base_seq: u64,
     me: u32,
-) -> WorkerOut {
+    mut guard: ShardGuard,
+) -> Result<WorkerOut, ShardFailure> {
     let mut det = PmDebugger::new(config.clone());
     let keys = plan.keys();
     let table = plan.key_workers();
@@ -211,6 +218,7 @@ fn run_worker(
     for (idx, &key) in keys.iter().enumerate() {
         let broadcast = key == KEY_BROADCAST;
         if broadcast || table[key as usize] == me {
+            guard.before_consume(&det)?;
             // Every event is *attributed* to exactly one worker — its
             // routing owner, or worker 0 for broadcasts — even though all
             // workers observe broadcasts. Per-kind sums across workers
@@ -221,44 +229,70 @@ fn run_worker(
             det.on_event(base_seq + idx as u64, &events[idx]);
         }
     }
+    guard.finish_scan(&det)?;
     let mid_len = det.reports().len();
     let malformed = det.malformed_events();
     let mut mid = det.finish();
     let end = mid.split_off(mid_len);
-    WorkerOut {
+    Ok(WorkerOut {
         mid,
         end,
         stats: det.stats(),
         malformed,
         metrics: kind_counts_snapshot(&kind_counts),
+    })
+}
+
+/// Unguarded worker pass for the profiler; a [`ShardGuard::none`] guard
+/// never trips, so the scan cannot fail.
+fn run_worker(
+    config: &DebuggerConfig,
+    plan: &ShardPlan,
+    events: &[PmEvent],
+    base_seq: u64,
+    me: u32,
+) -> WorkerOut {
+    match run_worker_guarded(config, plan, events, base_seq, me, ShardGuard::none()) {
+        Ok(out) => out,
+        Err(failure) => unreachable!("unguarded shard scan reported {failure}"),
     }
 }
 
-/// Reassembles the sequential report list from per-worker outputs.
-fn merge_outputs(
-    results: Vec<WorkerOut>,
+/// Reassembles the sequential report list from the outputs of the workers
+/// that survived, tagged with their worker index. With every worker
+/// present the result is byte-identical to the sequential run; with
+/// survivors missing it is exactly the sequential list minus the lost
+/// shards' reports (the supervisor's degradation contract).
+pub(crate) fn merge_survivors(
+    results: Vec<(usize, WorkerOut)>,
     plan: &ShardPlan,
     events_len: usize,
     threads: usize,
 ) -> ParallelOutcome {
+    // Broadcast-derived reports and the malformed counter are identical on
+    // every worker; keep them from the lowest survivor (worker 0 when
+    // nothing was lost, preserving the historical merge exactly).
+    let representative = results.iter().map(|(w, _)| *w).min();
     let mut stats = DebuggerStats::default();
     let mut malformed_events = 0;
     let mut mid = Vec::new();
     let mut end = Vec::new();
-    let mut worker_metrics = Vec::new();
+    let mut worker_metrics = vec![MetricsSnapshot::new(); threads];
     let mut metrics = MetricsSnapshot::new();
-    for (worker, out) in results.into_iter().enumerate() {
+    for (worker, out) in results {
         stats.add(&out.stats);
         metrics.merge(&out.metrics);
-        worker_metrics.push(out.metrics);
-        if worker == 0 {
+        if let Some(slot) = worker_metrics.get_mut(worker) {
+            *slot = out.metrics;
+        }
+        if Some(worker) == representative {
             malformed_events = out.malformed;
             mid.extend(out.mid);
         } else {
             // Redundant-epoch-fence and redundant-logging reports derive
             // purely from broadcast events (fences, epoch markers, tx-log
             // appends), so every worker emits identical copies; keep the
-            // set from worker 0 only.
+            // set from the representative only.
             mid.extend(out.mid.into_iter().filter(|r| {
                 r.kind != BugKind::RedundantEpochFence && r.kind != BugKind::RedundantLogging
             }));
@@ -286,10 +320,33 @@ fn merge_outputs(
     }
 }
 
+/// Full-complement merge (every worker present, in order).
+fn merge_outputs(
+    results: Vec<WorkerOut>,
+    plan: &ShardPlan,
+    events_len: usize,
+    threads: usize,
+) -> ParallelOutcome {
+    merge_survivors(
+        results.into_iter().enumerate().collect(),
+        plan,
+        events_len,
+        threads,
+    )
+}
+
 /// Plan build with the key pass fanned out over `threads` chunk workers.
 /// Chunking never changes the result (keying is pure per event), so this
-/// equals [`ShardPlan::build`] exactly.
-fn build_plan_parallel(events: &[PmEvent], threads: usize, pin_named: bool) -> ShardPlan {
+/// equals [`ShardPlan::build`] exactly. A panicked chunk worker is
+/// tolerated by re-keying its chunk on the calling thread — keying is a
+/// pure function of the frozen segments, so the retry is exact (and if the
+/// re-key panics too, the panic unwinds into the supervisor's plan-build
+/// `catch_unwind` instead of aborting the process).
+pub(crate) fn build_plan_parallel(
+    events: &[PmEvent],
+    threads: usize,
+    pin_named: bool,
+) -> ShardPlan {
     let builder = PlanBuilder::observe(events, threads, pin_named);
     let size = events.len().div_ceil(threads).max(1);
     let chunks: Vec<KeyedChunk> = thread::scope(|scope| {
@@ -300,7 +357,11 @@ fn build_plan_parallel(events: &[PmEvent], threads: usize, pin_named: bool) -> S
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("key-pass worker panicked"))
+            .zip(events.chunks(size))
+            .map(|(h, chunk)| match h.join() {
+                Ok(keyed) => keyed,
+                Err(_) => builder.key_chunk(chunk),
+            })
             .collect()
     });
     builder.finish(chunks)
@@ -309,6 +370,13 @@ fn build_plan_parallel(events: &[PmEvent], threads: usize, pin_named: bool) -> S
 /// Detects over `events` numbered from `base_seq` (the sequence number the
 /// first event would carry on a live runtime — reports then locate events
 /// exactly as a directly-attached sequential debugger would).
+///
+/// Multi-threaded runs go through the supervisor with the
+/// [`SupervisorConfig::lenient`] policy: a genuinely poisoned worker is
+/// retried and, at worst, quarantined — it degrades the verdict set
+/// instead of aborting the process. Callers that need to *observe*
+/// degradation (or configure budgets and fail modes) use
+/// [`crate::detect_supervised`] directly.
 pub fn detect_parallel_from(
     config: &DebuggerConfig,
     par: &ParallelConfig,
@@ -320,21 +388,20 @@ pub fn detect_parallel_from(
         return detect_inline(config, events, base_seq);
     }
 
-    let pin_named = !config.order_spec.is_empty();
-    let plan = build_plan_parallel(events, threads, pin_named);
-
-    let results: Vec<WorkerOut> = thread::scope(|scope| {
-        let plan = &plan;
-        let handles: Vec<_> = (0..threads)
-            .map(|me| scope.spawn(move || run_worker(config, plan, events, base_seq, me as u32)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("detection worker panicked"))
-            .collect()
-    });
-
-    merge_outputs(results, &plan, events.len(), threads)
+    match detect_supervised_from(
+        config,
+        par,
+        &SupervisorConfig::lenient(),
+        None,
+        events,
+        base_seq,
+    ) {
+        Ok(result) => result.outcome,
+        // Only a plan-build panic lands here (lenient mode never returns a
+        // shard error); the engine is deterministic, so fall back to the
+        // sequential path rather than guessing at a plan.
+        Err(_) => detect_inline(config, events, base_seq),
+    }
 }
 
 /// Per-stage timings of one pipeline run, measured with every stage
@@ -484,9 +551,13 @@ pub fn detect_parallel(
 pub struct ParallelPmDebugger {
     config: DebuggerConfig,
     par: ParallelConfig,
+    sup: SupervisorConfig,
+    fault: Option<FaultPlan>,
     buffer: Vec<PmEvent>,
     base_seq: u64,
     outcome: Option<ParallelOutcome>,
+    degraded: Option<DegradedReport>,
+    retries: u64,
     registry: Option<MetricsRegistry>,
 }
 
@@ -501,16 +572,40 @@ impl std::fmt::Debug for ParallelPmDebugger {
 }
 
 impl ParallelPmDebugger {
-    /// Creates a pipeline front end with explicit tuning.
+    /// Creates a pipeline front end with explicit tuning. Detection runs
+    /// under [`SupervisorConfig::lenient`] unless
+    /// [`ParallelPmDebugger::with_supervisor`] overrides it.
     pub fn new(config: DebuggerConfig, par: ParallelConfig) -> Self {
         ParallelPmDebugger {
             config,
             par,
+            sup: SupervisorConfig::lenient(),
+            fault: None,
             buffer: Vec::new(),
             base_seq: 0,
             outcome: None,
+            degraded: None,
+            retries: 0,
             registry: None,
         }
+    }
+
+    /// Overrides the supervision policy (budgets, deadlines, retries).
+    ///
+    /// The [`Detector`] trait has no error channel, so the fail mode is
+    /// coerced to [`crate::FailMode::Degrade`] on this path; callers that
+    /// need strict typed failures use [`crate::detect_supervised`].
+    pub fn with_supervisor(mut self, sup: SupervisorConfig) -> Self {
+        self.sup = sup;
+        self.sup.fail_mode = crate::supervisor::FailMode::Degrade;
+        self
+    }
+
+    /// Compiles an injected fault schedule into the worker loop (testing
+    /// and chaos sweeps only).
+    pub fn with_fault_plan(mut self, fault: FaultPlan) -> Self {
+        self.fault = Some(fault);
+        self
     }
 
     /// Attaches a metrics registry. After `finish`, the pipeline exports
@@ -539,6 +634,17 @@ impl ParallelPmDebugger {
     pub fn last_outcome(&self) -> Option<&ParallelOutcome> {
         self.outcome.as_ref()
     }
+
+    /// The degradation report of the last `finish`, if any shard was
+    /// quarantined.
+    pub fn last_degraded(&self) -> Option<&DegradedReport> {
+        self.degraded.as_ref()
+    }
+
+    /// Shard re-attempts performed by the last `finish`.
+    pub fn last_retries(&self) -> u64 {
+        self.retries
+    }
 }
 
 impl Detector for ParallelPmDebugger {
@@ -555,24 +661,44 @@ impl Detector for ParallelPmDebugger {
 
     fn finish(&mut self) -> Vec<BugReport> {
         let events = std::mem::take(&mut self.buffer);
-        let outcome = detect_parallel_from(&self.config, &self.par, &events, self.base_seq);
-        if let Some(registry) = &self.registry {
-            registry
-                .counter("parallel.routed_events")
-                .add(outcome.routed_events);
-            registry
-                .counter("parallel.broadcast_events")
-                .add(outcome.broadcast_events);
-            registry
-                .counter("parallel.components")
-                .add(outcome.components as u64);
-            registry
-                .gauge("parallel.threads")
-                .set(outcome.threads as i64);
-            outcome.stats.export(registry);
-        }
+        let result = detect_supervised_from(
+            &self.config,
+            &self.par,
+            &self.sup,
+            self.fault.as_ref(),
+            &events,
+            self.base_seq,
+        );
+        let (outcome, degraded, retries) = match result {
+            Ok(supervised) => {
+                if let Some(registry) = &self.registry {
+                    supervised.export_metrics(registry);
+                }
+                (supervised.outcome, supervised.degraded, supervised.retries)
+            }
+            // Degrade mode only fails if the plan build itself panicked;
+            // the sequential path needs no plan, so fall back to it.
+            Err(_) => {
+                let outcome = detect_inline(&self.config, &events, self.base_seq);
+                if let Some(registry) = &self.registry {
+                    registry
+                        .counter("parallel.routed_events")
+                        .add(outcome.routed_events);
+                    registry
+                        .counter("parallel.broadcast_events")
+                        .add(outcome.broadcast_events);
+                    registry
+                        .gauge("parallel.threads")
+                        .set(outcome.threads as i64);
+                    outcome.stats.export(registry);
+                }
+                (outcome, None, 0)
+            }
+        };
         let reports = outcome.reports.clone();
         self.outcome = Some(outcome);
+        self.degraded = degraded;
+        self.retries = retries;
         reports
     }
 
@@ -764,12 +890,14 @@ mod tests {
         // Same workload driven twice through a pool-backed runtime (where
         // RegisterPmem precedes attachment, so sequence numbers start at 1).
         let drive = |det: Box<dyn Detector>| -> (Vec<BugReport>, u64) {
-            let mut rt = PmRuntime::with_pool(1 << 16).unwrap();
+            let mut rt = PmRuntime::with_pool(1 << 16)
+                .expect("64 KiB pool allocation must succeed in tests");
             rt.attach(det);
             for i in 0..32u64 {
-                rt.store(i * 128, &[7; 16]).unwrap();
+                rt.store(i * 128, &[7; 16])
+                    .expect("store lies inside the 64 KiB pool");
                 if i % 2 == 0 {
-                    rt.clwb(i * 128).unwrap();
+                    rt.clwb(i * 128).expect("clwb targets a mapped line");
                 }
                 if i % 4 == 0 {
                     rt.sfence();

@@ -313,6 +313,29 @@ impl RunManifest {
         })
     }
 
+    /// Whether this manifest came from a supervised run that quarantined
+    /// at least one shard (the `supervisor.degraded` counter supervised
+    /// runs always export, even at 0). `false` for unsupervised runs,
+    /// which carry no supervisor counters at all.
+    pub fn is_degraded(&self) -> bool {
+        self.counters
+            .get("supervisor.degraded")
+            .copied()
+            .unwrap_or(0)
+            > 0
+    }
+
+    /// The supervision counter block `(retries, quarantined, lost_events)`
+    /// — `None` when the run did not go through the supervised pipeline.
+    pub fn supervision(&self) -> Option<(u64, u64, u64)> {
+        let get = |name: &str| self.counters.get(name).copied();
+        Some((
+            get("supervisor.retries")?,
+            get("supervisor.quarantined")?,
+            get("supervisor.lost_events")?,
+        ))
+    }
+
     /// Renders the manifest as the human-readable table `pmdbg stats`
     /// prints.
     pub fn render_table(&self) -> String {
@@ -363,6 +386,18 @@ impl RunManifest {
                     hist.mean()
                 );
             }
+        }
+        if let Some((retries, quarantined, lost_events)) = self.supervision() {
+            let _ = writeln!(
+                out,
+                "\nsupervision: {} (retries={retries} quarantined={quarantined} \
+                 lost_events={lost_events})",
+                if self.is_degraded() {
+                    "DEGRADED"
+                } else {
+                    "healthy"
+                }
+            );
         }
         let _ = writeln!(
             out,
@@ -553,5 +588,39 @@ mod tests {
         ] {
             assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
         }
+        assert!(
+            !text.contains("supervision:"),
+            "unsupervised manifests have no supervision line:\n{text}"
+        );
+    }
+
+    #[test]
+    fn supervision_accessors_read_the_counter_block() {
+        let mut manifest = sample();
+        assert!(!manifest.is_degraded());
+        assert_eq!(manifest.supervision(), None);
+
+        manifest.counters.insert("supervisor.retries".into(), 2);
+        manifest.counters.insert("supervisor.quarantined".into(), 0);
+        manifest.counters.insert("supervisor.lost_events".into(), 0);
+        manifest.counters.insert("supervisor.degraded".into(), 0);
+        assert!(!manifest.is_degraded(), "quarantine-free run is healthy");
+        assert_eq!(manifest.supervision(), Some((2, 0, 0)));
+        assert!(manifest.render_table().contains("supervision: healthy"));
+
+        manifest.counters.insert("supervisor.quarantined".into(), 1);
+        manifest
+            .counters
+            .insert("supervisor.lost_events".into(), 96);
+        manifest.counters.insert("supervisor.degraded".into(), 1);
+        assert!(manifest.is_degraded());
+        assert_eq!(manifest.supervision(), Some((2, 1, 96)));
+        let text = manifest.render_table();
+        assert!(
+            text.contains("supervision: DEGRADED")
+                && text.contains("quarantined=1")
+                && text.contains("lost_events=96"),
+            "{text}"
+        );
     }
 }

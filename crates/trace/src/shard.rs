@@ -296,6 +296,12 @@ pub struct ShardPlan {
     components: usize,
     routed: u64,
     broadcast: u64,
+    /// Routed events owned by each worker (length `shards`). Broadcast
+    /// events are not counted — every worker observes those. This is the
+    /// quarantine ledger: when a supervisor gives up on a shard, the
+    /// worker's load here is exactly the number of stream events whose
+    /// verdicts are lost with it.
+    worker_loads: Vec<u64>,
 }
 
 impl std::fmt::Debug for ShardPlan {
@@ -307,6 +313,7 @@ impl std::fmt::Debug for ShardPlan {
             .field("events", &self.keys.len())
             .field("routed", &self.routed)
             .field("broadcast", &self.broadcast)
+            .field("worker_loads", &self.worker_loads)
             .finish()
     }
 }
@@ -487,6 +494,7 @@ impl PlanBuilder {
             components: self.components,
             routed,
             broadcast,
+            worker_loads: load,
         }
     }
 }
@@ -535,6 +543,14 @@ impl ShardPlan {
     /// Events broadcast to all workers in the build stream.
     pub fn broadcast_events(&self) -> u64 {
         self.broadcast
+    }
+
+    /// Routed events owned by each worker, in worker order (length
+    /// [`ShardPlan::shard_count`]). Sums to [`ShardPlan::routed_events`].
+    /// Supervised pipelines use this as quarantine metadata: losing worker
+    /// `w` loses exactly `worker_loads()[w]` events' worth of verdicts.
+    pub fn worker_loads(&self) -> &[u64] {
+        &self.worker_loads
     }
 
     /// The bridge segment covering `block`, if any.
@@ -899,5 +915,38 @@ mod tests {
         }
         assert_eq!(a.keys(), b.keys());
         assert_eq!(a.key_workers(), b.key_workers());
+    }
+
+    #[test]
+    fn worker_loads_account_for_every_routed_event() {
+        let events: Vec<PmEvent> = (0..300)
+            .map(|i| {
+                if i % 9 == 0 {
+                    PmEvent::Fence {
+                        kind: FenceKind::Sfence,
+                        tid: ThreadId(0),
+                        strand: None,
+                        in_epoch: false,
+                    }
+                } else {
+                    store((i * 53) % 512 * 160, 16)
+                }
+            })
+            .collect();
+        let plan = ShardPlan::build(&events, 4, false);
+        assert_eq!(plan.worker_loads().len(), plan.shard_count());
+        assert_eq!(
+            plan.worker_loads().iter().sum::<u64>(),
+            plan.routed_events()
+        );
+        // Cross-check the ledger against an explicit per-event routing walk:
+        // every routed event must be billed to the worker its key maps to.
+        let mut walked = vec![0u64; plan.shard_count()];
+        for &key in plan.keys() {
+            if key != KEY_BROADCAST {
+                walked[plan.key_workers()[key as usize] as usize] += 1;
+            }
+        }
+        assert_eq!(plan.worker_loads(), &walked[..]);
     }
 }

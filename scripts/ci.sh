@@ -2,7 +2,7 @@
 # Repo CI gate: staged pipeline with per-stage timing. Run from anywhere.
 #
 #   lint -> fmt -> unit -> integration -> docs -> bench-smoke -> obs-smoke
-#     -> ingest-torture
+#     -> ingest-torture -> supervisor-chaos
 #
 # lint        clippy over all targets, warnings are errors
 # fmt         rustfmt check
@@ -21,6 +21,12 @@
 #             fixture traces: >=500 mutated images each, gated on exit
 #             code 0 and "ok":true in the JSON report (zero panics,
 #             salvage floor intact, detector differential clean)
+# supervisor-chaos
+#             detector-fault sweep (`pmdbg supervise`): >=200 seeded fault
+#             plans injected into the supervised parallel pipeline under a
+#             wall-clock budget, gated on exit code 0 and "ok":true
+#             (zero process aborts, fault-free shards byte-identical to
+#             sequential, every casualty named exactly)
 #
 # Select a subset of stages by name: `scripts/ci.sh lint fmt unit`.
 set -euo pipefail
@@ -28,7 +34,7 @@ cd "$(dirname "$0")/.."
 
 STAGES=("$@")
 if [ ${#STAGES[@]} -eq 0 ]; then
-  STAGES=(lint fmt unit integration docs bench-smoke obs-smoke ingest-torture)
+  STAGES=(lint fmt unit integration docs bench-smoke obs-smoke ingest-torture supervisor-chaos)
 fi
 
 declare -a TIMINGS=()
@@ -80,6 +86,34 @@ ingest_torture_stage() {
   done
 }
 
+supervisor_chaos_stage() {
+  # Detector-fault sweep: 200 seeded fault plans (panic / delay /
+  # alloc-pressure faults at varied retry, fallback, deadline and budget
+  # policies, cycling 2/3/4/8 worker threads) against one recorded
+  # workload trace, under a 120 s wall-clock budget. The sweep's own
+  # oracles enforce the supervision contract; here we gate on the
+  # machine-readable verdict and explicitly on the zero-abort count.
+  local report
+  report=$(cargo run -q --offline -p pm-cli -- \
+    supervise --workload hashmap_atomic --ops 64 --plans 200 \
+    --budget-ms 120000 --json)
+  if ! grep -q '"ok":true' <<<"${report}"; then
+    echo "supervisor-chaos: sweep reported violations:" >&2
+    echo "${report}" >&2
+    exit 1
+  fi
+  if grep -Eq '"aborts":[1-9]' <<<"${report}"; then
+    echo "supervisor-chaos: sweep reported process aborts" >&2
+    exit 1
+  fi
+  if ! grep -q '"plans_run":200' <<<"${report}"; then
+    echo "supervisor-chaos: sweep did not complete all 200 plans in budget:" >&2
+    echo "${report}" >&2
+    exit 1
+  fi
+  echo "supervisor-chaos: ok"
+}
+
 obs_smoke_stage() {
   # Metrics-overhead gate: smoke-sized run, fail when metrics-on costs
   # more than PM_OBS_MAX_OVERHEAD_PCT (default 5% — the smoke inputs are
@@ -115,6 +149,9 @@ for stage in "${STAGES[@]}"; do
       ;;
     ingest-torture)
       run_stage ingest-torture ingest_torture_stage
+      ;;
+    supervisor-chaos)
+      run_stage supervisor-chaos supervisor_chaos_stage
       ;;
     *)
       echo "unknown stage: ${stage}" >&2

@@ -17,8 +17,11 @@ use std::path::PathBuf;
 
 use pm_bugs::{corpus, BugCase};
 use pm_obs::{BugDigest, MetricsRegistry, RunManifest};
-use pm_trace::{BugSummary, Detector};
-use pmdebugger::{DebuggerConfig, PersistencyModel, PmDebugger};
+use pm_trace::{BugReport, BugSummary, Detector};
+use pmdebugger::{
+    detect_supervised, DebuggerConfig, FailMode, FaultKind, FaultPlan, InjectedFault,
+    ParallelConfig, PersistencyModel, PmDebugger, SupervisorConfig,
+};
 
 /// The pinned cases: one per bug family across correctness and
 /// performance kinds, strict and relaxed models.
@@ -42,6 +45,26 @@ fn model_label(model: PersistencyModel) -> &'static str {
 /// Replays one corpus case through the instrumented sequential engine and
 /// renders its two golden artifacts: the human bug summary and the
 /// (timing-redacted) run manifest JSON.
+fn bug_digest(reports: &[BugReport]) -> BugDigest {
+    let mut digest = BugDigest {
+        total: reports.len() as u64,
+        report_hash: format!("{:016x}", pm_trace::report_hash(reports)),
+        ..BugDigest::default()
+    };
+    for report in reports {
+        if report.severity == pm_trace::Severity::Correctness {
+            digest.correctness += 1;
+        } else {
+            digest.performance += 1;
+        }
+        *digest
+            .kinds
+            .entry(report.kind.name().to_owned())
+            .or_insert(0) += 1;
+    }
+    digest
+}
+
 fn render_case(case: &BugCase) -> (String, String) {
     let registry = MetricsRegistry::new();
     let mut config = DebuggerConfig::for_model(case.model);
@@ -58,22 +81,7 @@ fn render_case(case: &BugCase) -> (String, String) {
         registry.counter(&format!("events.{kind}")).add(count);
     }
 
-    let mut digest = BugDigest {
-        total: reports.len() as u64,
-        report_hash: format!("{:016x}", pm_trace::report_hash(&reports)),
-        ..BugDigest::default()
-    };
-    for report in &reports {
-        if report.severity == pm_trace::Severity::Correctness {
-            digest.correctness += 1;
-        } else {
-            digest.performance += 1;
-        }
-        *digest
-            .kinds
-            .entry(report.kind.name().to_owned())
-            .or_insert(0) += 1;
-    }
+    let digest = bug_digest(&reports);
 
     let mut manifest = RunManifest::new("pmdebugger", &case.id, model_label(case.model));
     manifest.ops = case.trace.len() as u64;
@@ -213,6 +221,82 @@ fn v2_binary_encoding_matches_golden_fixture() {
     );
     let spans = pm_trace::frame_spans(&committed).expect("frame walk succeeds");
     assert_eq!(spans.len(), case.trace.len(), "one frame per event");
+}
+
+/// Renders the degraded-run golden artifact: a supervised detection run
+/// over the `hashmap_atomic` workload trace at 4 threads, degrade mode,
+/// with an explicit fault plan that panics worker 1 on every attempt slot
+/// — so exactly that shard is quarantined, deterministically. The
+/// manifest pins the `supervisor.*` counter block next to the usual
+/// routing, bookkeeping and verdict counters.
+fn render_degraded_run() -> String {
+    let workload = pm_workloads::HashmapAtomic::default();
+    let trace = pm_workloads::record_trace(&workload, 64);
+    let config = DebuggerConfig::for_model(PersistencyModel::Epoch);
+    let sup = SupervisorConfig::default()
+        .with_max_retries(1)
+        .with_fail_mode(FailMode::Degrade);
+    let faults = FaultPlan::new(
+        (0..sup.total_attempts())
+            .map(|attempt| InjectedFault {
+                worker: 1,
+                attempt,
+                after_events: 0,
+                kind: FaultKind::Panic,
+            })
+            .collect(),
+    );
+    let result = detect_supervised(
+        &config,
+        &ParallelConfig::with_threads(4),
+        &sup,
+        Some(&faults),
+        &trace,
+    )
+    .expect("degrade mode completes");
+    assert!(result.is_degraded(), "worker 1 must be quarantined");
+
+    let registry = MetricsRegistry::new();
+    for (kind, count) in trace.kind_counts() {
+        registry.counter(&format!("events.{kind}")).add(count);
+    }
+    result.export_metrics(&registry);
+    let reports = &result.outcome.reports;
+    let mut by_kind = BTreeMap::new();
+    for report in reports {
+        *by_kind.entry(report.kind.name()).or_insert(0u64) += 1;
+    }
+    for (kind, count) in by_kind {
+        registry.counter(&format!("rule.{kind}")).add(count);
+    }
+
+    let mut manifest = RunManifest::new("pmdebugger-supervised", "hashmap_atomic", "epoch");
+    manifest.ops = 64;
+    manifest.threads = 4;
+    manifest.absorb_snapshot(&registry.snapshot());
+    manifest.bugs = bug_digest(reports);
+    manifest.redact_timings();
+    format!("{}\n", manifest.to_json())
+}
+
+/// Pins the manifest a degraded supervised run produces. Any change to
+/// the supervision counters, quarantine accounting or merge behavior of
+/// surviving shards shows up as a readable JSON diff here.
+#[test]
+fn degraded_run_manifest_matches_golden_fixture() {
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    let manifest_json = render_degraded_run();
+    if let Err(message) = check_or_update("degraded_run_00.manifest.json", &manifest_json, update) {
+        panic!("{message}");
+    }
+    // Whatever the fixture says, the manifest must round-trip and carry
+    // the full supervisor counter block.
+    let manifest = RunManifest::from_json(&manifest_json).expect("manifest parses");
+    assert_eq!(format!("{}\n", manifest.to_json()), manifest_json);
+    assert_eq!(manifest.counters["supervisor.quarantined"], 1);
+    assert_eq!(manifest.counters["supervisor.degraded"], 1);
+    assert!(manifest.counters["supervisor.lost_events"] > 0);
+    assert!(manifest.counters.contains_key("supervisor.retries"));
 }
 
 #[test]
