@@ -39,6 +39,7 @@ pub mod perturb;
 pub mod replay;
 pub mod report;
 pub mod scheduler;
+pub mod serve_sweep;
 pub mod supervise;
 pub mod validate;
 
@@ -51,6 +52,9 @@ pub use perturb::{
 pub use replay::ReplayContext;
 pub use report::{CampaignReport, UnrecoverableState};
 pub use scheduler::Campaign;
+pub use serve_sweep::{
+    plan_for, serve_sweep, ServeSweepOptions, ServeSweepReport, ServeViolation, SessionPlan,
+};
 pub use supervise::{
     supervisor_sweep, SupervisorSweepOptions, SupervisorSweepReport, SweepViolation,
 };

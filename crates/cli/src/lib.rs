@@ -8,10 +8,12 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
 
 use pm_baselines::{Nulgrind, PmemcheckLike, PmtestLike, XfdetectorLike};
 use pm_obs::{BugDigest, MetricsRegistry, RunManifest};
+use pm_serve::{push_bytes, Listen, PushResponse, ServeConfig, Server, SessionStatus};
 use pm_trace::{
     BugKind, BugReport, BugSummary, Detector, IngestLimits, IngestMode, OrderSpec, PmRuntime,
     Severity, Trace,
@@ -199,6 +201,63 @@ pub enum Command {
         /// Operation count.
         ops: usize,
     },
+    /// `pmdbg serve --listen <addr> [--model <m>] [--strict]
+    /// [--max-sessions <n>] [--max-events <n>] [--session-deadline-ms <n>]
+    /// [--max-retries <n>] [--fail-mode strict|degrade] [--drain-ms <n>]
+    /// [--metrics <file>]` — run the streaming detection service until
+    /// SIGINT/SIGTERM, then drain and write the final manifest.
+    Serve {
+        /// Listen address: a unix-socket path (contains `/`) or TCP
+        /// `host:port`.
+        listen: String,
+        /// Persistency model sessions detect under (strict/epoch/strand).
+        model: String,
+        /// Salvage corrupt frames (default) instead of failing the
+        /// session on the first corruption (`--strict`).
+        salvage: bool,
+        /// Concurrent sessions before shedding.
+        max_sessions: usize,
+        /// Per-session decoded-event budget.
+        max_events: Option<u64>,
+        /// Per-session wall-clock deadline; 0 disables it.
+        session_deadline_ms: Option<u64>,
+        /// Session re-feeds from checkpoint after a panic before
+        /// quarantining.
+        max_retries: Option<u32>,
+        /// Degrade (quarantine with partials) or strict (typed error)
+        /// on retry exhaustion.
+        fail_mode: Option<FailMode>,
+        /// Drain budget on shutdown before in-flight sessions are
+        /// hard-stopped.
+        drain_ms: u64,
+        /// Write the final [`RunManifest`] (JSON) here on shutdown.
+        metrics: Option<String>,
+    },
+    /// `pmdbg push --addr <addr> --trace <file> [--json]` — stream a
+    /// recorded trace to a running server and report its verdict.
+    Push {
+        /// Server address (same syntax as `serve --listen`).
+        addr: String,
+        /// Trace file (v2 binary) to push.
+        trace: String,
+        /// Emit the raw JSON response line instead of the human summary.
+        json: bool,
+    },
+    /// `pmdbg serve-chaos [--sessions <n>] [--seed <n>] [--budget-ms <n>]
+    /// [--json]` — run the hostile-client sweep against a live server:
+    /// randomized corrupt/truncated/slow/panicking sessions, asserting
+    /// zero server aborts, batch-identical verdicts for survivors, and
+    /// exact lost-frame accounting for quarantined sessions.
+    ServeChaos {
+        /// Hostile sessions to run.
+        sessions: usize,
+        /// Base sweep seed.
+        seed: u64,
+        /// Optional wall-clock budget in milliseconds.
+        budget_ms: Option<u64>,
+        /// Emit the JSON report instead of the human summary.
+        json: bool,
+    },
     /// `pmdbg list` — list workloads and tools.
     List,
     /// `pmdbg help`.
@@ -299,6 +358,12 @@ USAGE:
                 [--seed <n>] [--budget-ms <n>] [--json]
   pmdbg chaos --workload <name> [--ops <n>] [--points <n>] [--images <n>]
               [--budget-ms <n>] [--matrix] [--json] [--metrics <file>]
+  pmdbg serve --listen <addr> [--model strict|epoch|strand] [--strict]
+              [--max-sessions <n>] [--max-events <n>]
+              [--session-deadline-ms <n>] [--max-retries <n>]
+              [--fail-mode strict|degrade] [--drain-ms <n>] [--metrics <file>]
+  pmdbg push --addr <addr> --trace <file> [--json]
+  pmdbg serve-chaos [--sessions <n>] [--seed <n>] [--budget-ms <n>] [--json]
   pmdbg stats <manifest.json>
   pmdbg characterize --workload <name> [--ops <n>]
   pmdbg corpus
@@ -308,10 +373,11 @@ USAGE:
 TOOLS:     pmdebugger (default), pmemcheck, pmtest, xfdetector, nulgrind
 WORKLOADS: b_tree c_tree r_tree rb_tree hashmap_tx hashmap_atomic
            synth_strand memcached redis a_YCSB..f_YCSB
-EXIT CODES: 0 clean run, 1 bugs or torture/supervise violations found,
-            2 bad usage or parse/ingest failure, 3 internal error
-            (incl. strict-mode shard failure), 4 degraded-but-clean
-            supervised run (shards quarantined, no bugs in survivors)
+EXIT CODES: 0 clean run, 1 bugs or torture/supervise/serve-chaos violations
+            found, 2 bad usage or parse/ingest failure, 3 internal error
+            (incl. strict-mode shard or session failure), 4 degraded-but-
+            clean run (shards or serve sessions quarantined, no bugs in
+            survivors)
 EXAMPLE:   pmdbg run --workload b_tree --ops 1024 --tool pmdebugger";
 
 fn parse_threads(text: String) -> Result<usize, UsageError> {
@@ -599,6 +665,102 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                 workload: workload.ok_or_else(|| UsageError("--workload is required".into()))?,
                 ops,
                 plans,
+                seed,
+                budget_ms,
+                json,
+            })
+        }
+        "serve" => {
+            let mut listen: Option<String> = None;
+            let mut model = "strict".to_owned();
+            let mut salvage = true;
+            let mut max_sessions = 64usize;
+            let mut max_events: Option<u64> = None;
+            let mut session_deadline_ms: Option<u64> = None;
+            let mut max_retries: Option<u32> = None;
+            let mut fail_mode: Option<FailMode> = None;
+            let mut drain_ms = 5000u64;
+            let mut metrics: Option<String> = None;
+            while let Some(flag) = it.next() {
+                let mut value = |name: &str| {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| UsageError(format!("missing value for {name}")))
+                };
+                match flag.as_str() {
+                    "--listen" | "-l" => listen = Some(value(flag)?),
+                    "--model" | "-m" => model = value(flag)?,
+                    "--strict" => salvage = false,
+                    "--salvage" => salvage = true,
+                    "--max-sessions" => max_sessions = parse_number(flag, value(flag)?)?,
+                    "--max-events" => max_events = Some(parse_number(flag, value(flag)?)?),
+                    "--session-deadline-ms" => {
+                        session_deadline_ms = Some(parse_number(flag, value(flag)?)?);
+                    }
+                    "--max-retries" => max_retries = Some(parse_number(flag, value(flag)?)?),
+                    "--fail-mode" => fail_mode = Some(parse_fail_mode(value(flag)?)?),
+                    "--drain-ms" => drain_ms = parse_number(flag, value(flag)?)?,
+                    "--metrics" => metrics = Some(value(flag)?),
+                    other => return Err(UsageError(format!("unknown flag `{other}`"))),
+                }
+            }
+            Ok(Command::Serve {
+                listen: listen.ok_or_else(|| UsageError("--listen is required".into()))?,
+                model,
+                salvage,
+                max_sessions,
+                max_events,
+                session_deadline_ms,
+                max_retries,
+                fail_mode,
+                drain_ms,
+                metrics,
+            })
+        }
+        "push" => {
+            let mut addr: Option<String> = None;
+            let mut trace: Option<String> = None;
+            let mut json = false;
+            while let Some(flag) = it.next() {
+                let mut value = |name: &str| {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| UsageError(format!("missing value for {name}")))
+                };
+                match flag.as_str() {
+                    "--addr" | "-a" => addr = Some(value(flag)?),
+                    "--trace" => trace = Some(value(flag)?),
+                    "--json" => json = true,
+                    other => return Err(UsageError(format!("unknown flag `{other}`"))),
+                }
+            }
+            Ok(Command::Push {
+                addr: addr.ok_or_else(|| UsageError("--addr is required".into()))?,
+                trace: trace.ok_or_else(|| UsageError("--trace is required".into()))?,
+                json,
+            })
+        }
+        "serve-chaos" => {
+            let mut sessions = 200usize;
+            let mut seed = 0x5E55_1085u64;
+            let mut budget_ms: Option<u64> = None;
+            let mut json = false;
+            while let Some(flag) = it.next() {
+                let mut value = |name: &str| {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| UsageError(format!("missing value for {name}")))
+                };
+                match flag.as_str() {
+                    "--sessions" => sessions = parse_number(flag, value(flag)?)?,
+                    "--seed" => seed = parse_number(flag, value(flag)?)?,
+                    "--budget-ms" => budget_ms = Some(parse_number(flag, value(flag)?)?),
+                    "--json" => json = true,
+                    other => return Err(UsageError(format!("unknown flag `{other}`"))),
+                }
+            }
+            Ok(Command::ServeChaos {
+                sessions,
                 seed,
                 budget_ms,
                 json,
@@ -900,6 +1062,82 @@ fn execute_supervised(
         bugs_found: !reports.is_empty(),
         degraded: result.is_degraded(),
     })
+}
+
+/// Process-wide stop flag for `pmdbg serve`. Signal handlers in
+/// `main.rs` (SIGINT/SIGTERM) call [`request_serve_stop`]; the serve
+/// loop polls the flag and begins its drain. The flag is re-armed every
+/// time a serve loop starts, so tests can run several servers in one
+/// process.
+static SERVE_STOP: AtomicBool = AtomicBool::new(false);
+
+/// Asks a running `pmdbg serve` loop to drain and exit. Async-signal-safe
+/// (a single relaxed atomic store), so `main.rs` may call it directly
+/// from a SIGINT/SIGTERM handler.
+pub fn request_serve_stop() {
+    SERVE_STOP.store(true, Ordering::Relaxed);
+}
+
+fn parse_model(text: &str) -> Result<PersistencyModel, ExecError> {
+    match text {
+        "strict" => Ok(PersistencyModel::Strict),
+        "epoch" => Ok(PersistencyModel::Epoch),
+        "strand" => Ok(PersistencyModel::Strand),
+        other => Err(ExecError::Input(format!("unknown model `{other}`"))),
+    }
+}
+
+/// Renders a push response the way `replay` renders a local run: ingest
+/// accounting first, then the bug verdict.
+fn write_push_response(
+    trace: &str,
+    response: &PushResponse,
+    out: &mut dyn fmt::Write,
+) -> Result<(), ExecError> {
+    writeln!(
+        out,
+        "{trace}: session {} {} — {} frame(s) ok ({} clean, {} resynced), \
+         {} skipped, {} resync(s), {} byte(s) read in {} ms",
+        response.session,
+        response.status.name(),
+        response.frames_ok,
+        response.frames_clean,
+        response.frames_resynced,
+        response.frames_skipped,
+        response.resyncs,
+        response.bytes_read,
+        response.elapsed_ms,
+    )
+    .map_err(wr)?;
+    if response.events_committed != response.frames_ok || response.retries > 0 {
+        writeln!(
+            out,
+            "  committed {} of {} decoded event(s) ({} lost, {} retrie(s))",
+            response.events_committed, response.frames_ok, response.frames_lost, response.retries,
+        )
+        .map_err(wr)?;
+    }
+    if let Some(truncated) = &response.truncated {
+        writeln!(out, "  truncated: {truncated}").map_err(wr)?;
+    }
+    if let Some(error) = &response.error {
+        writeln!(
+            out,
+            "  error[{}]: {error}",
+            response.error_kind.as_deref().unwrap_or("unknown")
+        )
+        .map_err(wr)?;
+    }
+    writeln!(
+        out,
+        "  bugs: {} (report hash {})",
+        response.bugs_total, response.report_hash
+    )
+    .map_err(wr)?;
+    for (kind, count) in &response.bug_kinds {
+        writeln!(out, "    {kind}: {count}").map_err(wr)?;
+    }
+    Ok(())
 }
 
 /// Executes a parsed command, writing human output to `out`.
@@ -1235,12 +1473,21 @@ pub fn execute_outcome(command: Command, out: &mut dyn fmt::Write) -> Result<Out
                 count_trace_kinds(registry, &trace);
                 registry.counter("ingest.frames_ok").add(ingest.frames_ok);
                 registry
+                    .counter("ingest.frames_clean")
+                    .add(ingest.frames_clean);
+                registry
+                    .counter("ingest.frames_resynced")
+                    .add(ingest.frames_resynced);
+                registry
                     .counter("ingest.frames_skipped")
                     .add(ingest.frames_skipped);
                 registry.counter("ingest.resyncs").add(ingest.resyncs);
                 registry
                     .counter("ingest.bytes_salvaged")
                     .add(ingest.bytes_salvaged);
+                registry
+                    .counter("ingest.elapsed_ms")
+                    .add(ingest.elapsed.as_millis() as u64);
                 if !rules_self_counted {
                     count_rule_firings(registry, &reports);
                 }
@@ -1480,6 +1727,184 @@ pub fn execute_outcome(command: Command, out: &mut dyn fmt::Write) -> Result<Out
                         violation.plan_seed,
                         violation.threads,
                         violation.detail
+                    )
+                    .map_err(wr)?;
+                }
+                for truncation in &report.truncations {
+                    writeln!(out, "  truncated: {truncation}").map_err(wr)?;
+                }
+            }
+            Ok(Outcome {
+                bugs_found: !report.ok(),
+                degraded: false,
+            })
+        }
+        Command::Serve {
+            listen,
+            model,
+            salvage,
+            max_sessions,
+            max_events,
+            session_deadline_ms,
+            max_retries,
+            fail_mode,
+            drain_ms,
+            metrics,
+        } => {
+            let listen = Listen::parse(&listen).map_err(ExecError::Input)?;
+            let mut cfg = ServeConfig::new(listen);
+            cfg.model = parse_model(&model)?;
+            cfg.mode = if salvage {
+                IngestMode::Salvage
+            } else {
+                IngestMode::Strict
+            };
+            cfg.max_sessions = max_sessions;
+            if let Some(n) = max_events {
+                cfg.limits = cfg.limits.with_max_events(n);
+            }
+            if let Some(ms) = session_deadline_ms {
+                cfg.session_deadline = (ms > 0).then(|| Duration::from_millis(ms));
+            }
+            if let Some(n) = max_retries {
+                cfg.max_retries = n;
+            }
+            if let Some(mode) = fail_mode {
+                cfg.fail_mode = mode;
+            }
+            SERVE_STOP.store(false, Ordering::Relaxed);
+            let server =
+                Server::start(cfg).map_err(|e| ExecError::Input(format!("cannot listen: {e}")))?;
+            // Live progress goes to stderr: `out` is buffered until the
+            // command returns, which for a daemon is shutdown.
+            eprintln!(
+                "pmdbg serve: listening on {} (pid {}); SIGINT/SIGTERM drains and exits",
+                server.local_listen(),
+                std::process::id()
+            );
+            while !SERVE_STOP.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            eprintln!("pmdbg serve: shutdown requested, draining up to {drain_ms} ms");
+            let summary = server.shutdown(Duration::from_millis(drain_ms));
+            writeln!(
+                out,
+                "served {} session(s): {} ok, {} quarantined, {} errored, {} stats, \
+                 {} shed, {} host panic(s)",
+                summary.sessions(),
+                summary.ok,
+                summary.quarantined,
+                summary.errored,
+                summary.stats,
+                summary.shed,
+                summary.host_panics,
+            )
+            .map_err(wr)?;
+            let manifest = RunManifest::from_json(&summary.manifest_json)
+                .map_err(|e| ExecError::Internal(format!("final manifest: {e}")))?;
+            let bugs = manifest.counters.get("serve.bugs").copied().unwrap_or(0);
+            writeln!(
+                out,
+                "{} event(s) committed, {} frame(s) lost, {} bug(s) across sessions",
+                manifest
+                    .counters
+                    .get("serve.events_committed")
+                    .copied()
+                    .unwrap_or(0),
+                manifest
+                    .counters
+                    .get("serve.frames_lost")
+                    .copied()
+                    .unwrap_or(0),
+                bugs,
+            )
+            .map_err(wr)?;
+            if let Some(path) = metrics {
+                std::fs::write(&path, &summary.manifest_json)
+                    .map_err(|e| ExecError::Internal(format!("cannot write {path}: {e}")))?;
+                writeln!(out, "metrics manifest -> {path}").map_err(wr)?;
+            }
+            Ok(Outcome {
+                bugs_found: bugs > 0,
+                degraded: summary.quarantined + summary.errored + summary.host_panics > 0,
+            })
+        }
+        Command::Push { addr, trace, json } => {
+            let listen = Listen::parse(&addr).map_err(ExecError::Input)?;
+            let bytes = std::fs::read(&trace)
+                .map_err(|e| ExecError::Input(format!("cannot read {trace}: {e}")))?;
+            let response = push_bytes(&listen, &bytes)
+                .map_err(|e| ExecError::Input(format!("push to {listen}: {e}")))?;
+            if json {
+                writeln!(out, "{}", response.to_json_line()).map_err(wr)?;
+            } else {
+                write_push_response(&trace, &response, out)?;
+            }
+            match response.status {
+                SessionStatus::Ok => Ok(Outcome {
+                    bugs_found: response.bugs_total > 0,
+                    degraded: false,
+                }),
+                SessionStatus::Quarantined => Ok(Outcome {
+                    bugs_found: response.bugs_total > 0,
+                    degraded: true,
+                }),
+                SessionStatus::Error => Err(ExecError::Internal(format!(
+                    "session failed [{}]: {}",
+                    response.error_kind.as_deref().unwrap_or("unknown"),
+                    response.error.as_deref().unwrap_or("unspecified"),
+                ))),
+                SessionStatus::Busy => Err(ExecError::Internal(format!(
+                    "server busy{}",
+                    response
+                        .retry_after_ms
+                        .map(|ms| format!(", retry after {ms} ms"))
+                        .unwrap_or_default(),
+                ))),
+            }
+        }
+        Command::ServeChaos {
+            sessions,
+            seed,
+            budget_ms,
+            json,
+        } => {
+            let opts = pm_chaos::ServeSweepOptions {
+                sessions,
+                seed,
+                wall_clock: budget_ms.map(Duration::from_millis),
+            };
+            let report = pm_chaos::serve_sweep(&opts);
+            if json {
+                writeln!(out, "{}", report.to_json()).map_err(wr)?;
+            } else {
+                writeln!(
+                    out,
+                    "{}/{} hostile session(s): {} ok, {} quarantined, {} errored, \
+                     {} shed, {} hash check(s), {} frame(s) lost, {} retrie(s), \
+                     {} abort(s) in {} ms -> {}",
+                    report.sessions_run,
+                    report.sessions_planned,
+                    report.ok_sessions,
+                    report.quarantined_sessions,
+                    report.errored_sessions,
+                    report.shed,
+                    report.hash_checks,
+                    report.frames_lost_total,
+                    report.retries_total,
+                    report.aborts,
+                    report.wall_ms,
+                    if report.ok() { "OK" } else { "VIOLATIONS" },
+                )
+                .map_err(wr)?;
+                for (plan, count) in &report.plan_mix {
+                    writeln!(out, "  plan {plan}: {count}").map_err(wr)?;
+                }
+                for violation in &report.violations {
+                    writeln!(
+                        out,
+                        "  violation [{}] session {} ({}): {}",
+                        violation.kind, violation.index, violation.plan, violation.detail
                     )
                     .map_err(wr)?;
                 }
@@ -2067,6 +2492,15 @@ mod tests {
         assert_eq!(manifest.ops, 0, "replay has no op count");
         assert!(manifest.events_total > 0);
         assert!(manifest.stages.contains_key("replay"));
+        assert_eq!(
+            manifest.counters["ingest.frames_clean"] + manifest.counters["ingest.frames_resynced"],
+            manifest.counters["ingest.frames_ok"],
+            "per-mode frame counters partition frames_ok"
+        );
+        assert!(
+            manifest.counters.contains_key("ingest.elapsed_ms"),
+            "ingest timing exported"
+        );
         std::fs::remove_file(trace_path).ok();
         std::fs::remove_file(manifest_path).ok();
     }
@@ -2774,5 +3208,231 @@ mod tests {
         .unwrap_err();
         assert!(err.contains("schema") || err.contains("field"), "{err}");
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn parses_serve_push_and_serve_chaos() {
+        let cmd = parse(&args(&["serve", "--listen", "/tmp/pmdbg.sock"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve {
+                listen: "/tmp/pmdbg.sock".into(),
+                model: "strict".into(),
+                salvage: true,
+                max_sessions: 64,
+                max_events: None,
+                session_deadline_ms: None,
+                max_retries: None,
+                fail_mode: None,
+                drain_ms: 5000,
+                metrics: None,
+            }
+        );
+        let cmd = parse(&args(&[
+            "serve",
+            "--listen",
+            "127.0.0.1:7070",
+            "--model",
+            "epoch",
+            "--strict",
+            "--max-sessions",
+            "4",
+            "--max-events",
+            "1000",
+            "--session-deadline-ms",
+            "0",
+            "--max-retries",
+            "1",
+            "--fail-mode",
+            "strict",
+            "--drain-ms",
+            "100",
+            "--metrics",
+            "/tmp/m.json",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve {
+                listen: "127.0.0.1:7070".into(),
+                model: "epoch".into(),
+                salvage: false,
+                max_sessions: 4,
+                max_events: Some(1000),
+                session_deadline_ms: Some(0),
+                max_retries: Some(1),
+                fail_mode: Some(FailMode::Strict),
+                drain_ms: 100,
+                metrics: Some("/tmp/m.json".into()),
+            }
+        );
+        assert!(parse(&args(&["serve"])).is_err(), "--listen required");
+
+        let cmd = parse(&args(&[
+            "push",
+            "--addr",
+            "/tmp/a.sock",
+            "--trace",
+            "t.pmt2",
+            "--json",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Push {
+                addr: "/tmp/a.sock".into(),
+                trace: "t.pmt2".into(),
+                json: true,
+            }
+        );
+        assert!(parse(&args(&["push", "--trace", "t"])).is_err(), "--addr");
+
+        let cmd = parse(&args(&["serve-chaos"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::ServeChaos {
+                sessions: 200,
+                seed: 0x5E55_1085,
+                budget_ms: None,
+                json: false,
+            }
+        );
+        let cmd = parse(&args(&[
+            "serve-chaos",
+            "--sessions",
+            "12",
+            "--seed",
+            "7",
+            "--budget-ms",
+            "500",
+            "--json",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::ServeChaos {
+                sessions: 12,
+                seed: 7,
+                budget_ms: Some(500),
+                json: true,
+            }
+        );
+    }
+
+    #[test]
+    fn push_to_dead_address_is_an_input_error() {
+        let err = execute_outcome(
+            Command::Push {
+                addr: std::env::temp_dir()
+                    .join("pmdbg-cli-no-such-server.sock")
+                    .to_str()
+                    .unwrap()
+                    .to_owned(),
+                trace: "/nonexistent/trace.pmt2".into(),
+                json: false,
+            },
+            &mut String::new(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ExecError::Input(_)), "{err:?}");
+    }
+
+    /// The daemon lifecycle end to end, in-process: serve on a unix
+    /// socket, push a recorded trace, stop via the same flag the signal
+    /// handlers flip, and check the drained summary plus final manifest.
+    /// The only test touching [`SERVE_STOP`] — keep it that way, the
+    /// flag is process-global.
+    #[test]
+    fn serve_command_drains_on_stop_and_writes_manifest() {
+        let dir = std::env::temp_dir();
+        let socket = dir.join(format!("pmdbg-cli-serve-{}.sock", std::process::id()));
+        let trace_path = dir.join("pmdbg_cli_serve.pmt2");
+        let manifest_path = dir.join("pmdbg_cli_serve_manifest.json");
+        let mut out = String::new();
+        execute(
+            Command::Record {
+                workload: "b_tree".into(),
+                ops: 24,
+                format: "bin".into(),
+                out: trace_path.to_str().unwrap().to_owned(),
+            },
+            &mut out,
+        )
+        .unwrap();
+
+        let serve_socket = socket.to_str().unwrap().to_owned();
+        let serve_manifest = manifest_path.to_str().unwrap().to_owned();
+        let server = std::thread::spawn(move || {
+            let mut out = String::new();
+            let outcome = execute_outcome(
+                Command::Serve {
+                    listen: serve_socket,
+                    model: "strict".into(),
+                    salvage: true,
+                    max_sessions: 8,
+                    max_events: None,
+                    session_deadline_ms: None,
+                    max_retries: None,
+                    fail_mode: None,
+                    drain_ms: 2000,
+                    metrics: Some(serve_manifest),
+                },
+                &mut out,
+            );
+            (outcome, out)
+        });
+
+        // Wait for the listener, then push.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !socket.exists() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let mut push_out = String::new();
+        let outcome = execute_outcome(
+            Command::Push {
+                addr: socket.to_str().unwrap().to_owned(),
+                trace: trace_path.to_str().unwrap().to_owned(),
+                json: false,
+            },
+            &mut push_out,
+        )
+        .unwrap();
+        assert!(!outcome.degraded, "{push_out}");
+        assert!(push_out.contains("session 1 ok"), "{push_out}");
+        assert!(push_out.contains("report hash"), "{push_out}");
+
+        request_serve_stop();
+        let (outcome, serve_out) = server.join().unwrap();
+        let outcome = outcome.unwrap();
+        assert!(!outcome.degraded, "{serve_out}");
+        assert!(
+            serve_out.contains("served 1 session(s): 1 ok"),
+            "{serve_out}"
+        );
+        let manifest =
+            RunManifest::from_json(&std::fs::read_to_string(&manifest_path).unwrap()).unwrap();
+        assert_eq!(manifest.tool, "pmdbg-serve");
+        assert_eq!(manifest.counters.get("serve.sessions"), Some(&1));
+        assert!(!socket.exists(), "socket unlinked after drain");
+        std::fs::remove_file(trace_path).ok();
+        std::fs::remove_file(manifest_path).ok();
+    }
+
+    #[test]
+    fn serve_chaos_command_runs_a_small_sweep() {
+        let mut out = String::new();
+        let outcome = execute_outcome(
+            Command::ServeChaos {
+                sessions: 12,
+                seed: 0x5E55_1085,
+                budget_ms: None,
+                json: true,
+            },
+            &mut out,
+        )
+        .unwrap();
+        assert!(!outcome.bugs_found, "{out}");
+        assert!(out.contains("\"ok\":true"), "{out}");
+        assert!(out.contains("\"aborts\":0"), "{out}");
     }
 }

@@ -231,10 +231,57 @@ impl PmDebugger {
     where
         I: IntoIterator<Item = &'a PmEvent>,
     {
-        for (seq, event) in events.into_iter().enumerate() {
-            self.on_event(seq as u64, event);
-        }
+        self.feed_events(0, events);
         self.finish()
+    }
+
+    /// Runs a chunk of events through the detector starting at sequence
+    /// number `start_seq`, returning how many were processed. Shared by
+    /// [`PmDebugger::detect_stream`] (one chunk from 0) and
+    /// [`crate::session::DetectSession::feed`] (many chunks, resuming
+    /// sequence numbers across them) so both paths are the same code.
+    pub(crate) fn feed_events<'a, I>(&mut self, start_seq: u64, events: I) -> u64
+    where
+        I: IntoIterator<Item = &'a PmEvent>,
+    {
+        let mut n = 0;
+        for event in events {
+            self.on_event(start_seq + n, event);
+            n += 1;
+        }
+        n
+    }
+
+    /// Takes the reports accumulated so far, leaving the detector running.
+    /// Incremental counterpart of the drain at the end of
+    /// [`Detector::finish`]: the concatenation of every drain plus the
+    /// final `finish` output reproduces the batch report list exactly.
+    pub(crate) fn drain_reports(&mut self) -> Vec<BugReport> {
+        std::mem::take(&mut self.reports)
+    }
+
+    /// Deep-copies the detection state: bookkeeping spaces, order tracker,
+    /// epoch state, pending reports and event counters. The copy starts
+    /// with a cold stats cache, no metrics hookup, and — because
+    /// `Box<dyn CustomRule>` is not clonable — no custom rules; callers
+    /// that need checkpointing (the serve sessions) must not register
+    /// custom rules on the source, which [`crate::session::DetectSession`]
+    /// enforces by never exposing them.
+    pub(crate) fn fork_state(&self) -> PmDebugger {
+        PmDebugger {
+            config: self.config.clone(),
+            spaces: self.spaces.clone(),
+            stats_cache: RefCell::new(StatsCache::default()),
+            order: self.order.clone(),
+            epochs: self.epochs.clone(),
+            reports: self.reports.clone(),
+            custom_rules: Vec::new(),
+            crash_residuals: self.crash_residuals.clone(),
+            events_processed: self.events_processed,
+            strand_seen: self.strand_seen,
+            malformed_events: self.malformed_events,
+            metrics: None,
+        }
     }
 
     /// The active configuration.

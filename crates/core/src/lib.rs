@@ -50,6 +50,7 @@ pub mod interval;
 pub mod order;
 pub mod parallel;
 pub mod rules;
+pub mod session;
 pub mod space;
 pub mod stats;
 pub mod supervisor;
@@ -68,6 +69,7 @@ pub use parallel::{
     ParallelPmDebugger, PipelineProfile, MAX_THREADS,
 };
 pub use rules::{EpochSizeRule, FailureWindowRule, FlushAmplificationRule};
+pub use session::{DetectSession, SessionCheckpoint};
 pub use space::{BookkeepingSpace, FenceOutcome, FlushOutcome, Residual, SpaceStats, StoreOutcome};
 pub use stats::DebuggerStats;
 pub use supervisor::{

@@ -1,0 +1,126 @@
+//! Client-side helpers: connect to a running server, push trace bytes,
+//! fetch live stats. Used by `pmdbg push` and by the chaos sweep (which
+//! needs raw control of write pacing and half-closes).
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::time::Duration;
+
+use crate::config::Listen;
+use crate::protocol::{PushResponse, STATS_REQUEST};
+
+/// One client connection, unix or TCP, with explicit half-close so the
+/// server sees end-of-stream while the response can still come back.
+pub enum ClientConn {
+    /// Unix-domain stream.
+    Unix(UnixStream),
+    /// TCP stream.
+    Tcp(TcpStream),
+}
+
+impl ClientConn {
+    /// Half-closes the write side, signalling end-of-stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket shutdown error.
+    pub fn shutdown_write(&mut self) -> std::io::Result<()> {
+        match self {
+            ClientConn::Unix(s) => s.shutdown(std::net::Shutdown::Write),
+            ClientConn::Tcp(s) => s.shutdown(std::net::Shutdown::Write),
+        }
+    }
+
+    /// Sets the read timeout (used by the sweep to bound response
+    /// waits).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket option error.
+    pub fn set_read_timeout(&mut self, d: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            ClientConn::Unix(s) => s.set_read_timeout(d),
+            ClientConn::Tcp(s) => s.set_read_timeout(d),
+        }
+    }
+}
+
+impl Read for ClientConn {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            ClientConn::Unix(s) => s.read(buf),
+            ClientConn::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for ClientConn {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            ClientConn::Unix(s) => s.write(buf),
+            ClientConn::Tcp(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            ClientConn::Unix(s) => s.flush(),
+            ClientConn::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// Connects to a listening server.
+///
+/// # Errors
+///
+/// Propagates the connect error (server not running, bad address).
+pub fn connect_stream(listen: &Listen) -> std::io::Result<ClientConn> {
+    match listen {
+        Listen::Unix(path) => Ok(ClientConn::Unix(UnixStream::connect(path)?)),
+        Listen::Tcp(addr) => Ok(ClientConn::Tcp(TcpStream::connect(addr)?)),
+    }
+}
+
+/// Pushes one complete trace image and waits for the response line.
+///
+/// # Errors
+///
+/// Socket errors, or `InvalidData` when the response does not parse.
+pub fn push_bytes(listen: &Listen, bytes: &[u8]) -> std::io::Result<PushResponse> {
+    let mut conn = connect_stream(listen)?;
+    conn.set_read_timeout(Some(Duration::from_secs(60)))?;
+    // A shed (busy) server answers without reading the stream and
+    // closes, so the push write can fail mid-stream with the response
+    // already sitting in the receive buffer. Surface the write error
+    // only when no parsable response arrived.
+    let sent = conn.write_all(bytes).and_then(|()| conn.shutdown_write());
+    let mut text = String::new();
+    let received = conn.read_to_string(&mut text);
+    match PushResponse::from_json(&text) {
+        Ok(response) => Ok(response),
+        Err(parse_error) => {
+            sent?;
+            received?;
+            Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                parse_error,
+            ))
+        }
+    }
+}
+
+/// Requests the server's live run-manifest snapshot (`STATS\n`).
+///
+/// # Errors
+///
+/// Propagates socket errors.
+pub fn fetch_stats(listen: &Listen) -> std::io::Result<String> {
+    let mut conn = connect_stream(listen)?;
+    conn.set_read_timeout(Some(Duration::from_secs(10)))?;
+    conn.write_all(STATS_REQUEST)?;
+    conn.shutdown_write()?;
+    let mut text = String::new();
+    conn.read_to_string(&mut text)?;
+    Ok(text.trim_end().to_owned())
+}

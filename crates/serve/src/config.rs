@@ -1,0 +1,171 @@
+//! Server configuration: where to listen, per-session budgets, and the
+//! supervision policy every session runs under.
+
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use pm_trace::{IngestLimits, IngestMode};
+use pmdebugger::{FailMode, PersistencyModel};
+
+/// Where the server listens (and where clients connect).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Listen {
+    /// A unix-domain socket at this path.
+    Unix(PathBuf),
+    /// A TCP address, e.g. `127.0.0.1:7070`.
+    Tcp(String),
+}
+
+impl Listen {
+    /// Parses an address: anything containing a `/` (or ending in
+    /// `.sock`) is a unix-socket path, everything else a TCP
+    /// `host:port`.
+    pub fn parse(s: &str) -> Result<Listen, String> {
+        if s.is_empty() {
+            return Err("empty listen address".to_owned());
+        }
+        if s.contains('/') || s.ends_with(".sock") {
+            Ok(Listen::Unix(PathBuf::from(s)))
+        } else if s.contains(':') {
+            Ok(Listen::Tcp(s.to_owned()))
+        } else {
+            Err(format!(
+                "`{s}` is neither a unix-socket path (contains `/`) nor a TCP host:port"
+            ))
+        }
+    }
+}
+
+impl fmt::Display for Listen {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Listen::Unix(p) => write!(f, "unix:{}", p.display()),
+            Listen::Tcp(a) => write!(f, "tcp:{a}"),
+        }
+    }
+}
+
+/// Where a fault-injection hook is consulted (see [`FaultHook`]).
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPoint {
+    /// Session id the event belongs to.
+    pub session: u64,
+    /// Attempt number (0 = first try, n = n-th retry).
+    pub attempt: u32,
+    /// Events fed to the detection state machine so far.
+    pub events_fed: u64,
+    /// `true` at the end-of-stream `finish` step, `false` during `feed`.
+    pub at_finish: bool,
+}
+
+/// Test-only fault injection: consulted inside every session's
+/// `catch_unwind` boundary; returning `true` panics the guarded region.
+/// The chaos sweep uses this to stage transient (succeed-on-retry) and
+/// permanent (quarantine) session faults.
+pub type FaultHook = Arc<dyn Fn(FaultPoint) -> bool + Send + Sync>;
+
+/// Full server configuration. [`ServeConfig::new`] picks production-ish
+/// defaults; the chaos sweep and tests tighten them.
+#[derive(Clone)]
+pub struct ServeConfig {
+    /// Listen address.
+    pub listen: Listen,
+    /// Persistency model sessions detect under.
+    pub model: PersistencyModel,
+    /// How sessions treat corrupt frames (default [`IngestMode::Salvage`]:
+    /// a hostile stream degrades, it does not kill the session).
+    pub mode: IngestMode,
+    /// Per-session decode budgets (events, bytes, decode deadline).
+    pub limits: IngestLimits,
+    /// Concurrent sessions accepted before shedding (default 64).
+    pub max_sessions: usize,
+    /// Total undecoded bytes buffered across all sessions before new
+    /// connections are shed (default 64 MiB).
+    pub max_bytes_in_flight: u64,
+    /// Events fed per commit batch: the session checkpoints (and its
+    /// reports become durable against retries) every this many events
+    /// (default 4096). Also the in-flight frame-queue bound that
+    /// backpressures the socket read loop.
+    pub checkpoint_every: usize,
+    /// Re-feeds from the last checkpoint after a session panic before
+    /// quarantining (default 2).
+    pub max_retries: u32,
+    /// Sleep before retry `n` is `retry_backoff * n` (linear, like the
+    /// shard supervisor; default 5 ms).
+    pub retry_backoff: Duration,
+    /// Wall-clock ceiling per session, covering socket time — this is
+    /// what bounds slow-loris clients (default 30 s).
+    pub session_deadline: Option<Duration>,
+    /// Advertised `retry_after_ms` on shed connections (default 250 ms).
+    pub retry_after: Duration,
+    /// Degrade (quarantine with partial results) or strict (typed error)
+    /// when a session exhausts its retries.
+    pub fail_mode: FailMode,
+    /// Test-only fault injection (see [`FaultHook`]).
+    pub fault_hook: Option<FaultHook>,
+}
+
+impl fmt::Debug for ServeConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServeConfig")
+            .field("listen", &self.listen)
+            .field("model", &self.model)
+            .field("mode", &self.mode)
+            .field("max_sessions", &self.max_sessions)
+            .field("max_bytes_in_flight", &self.max_bytes_in_flight)
+            .field("checkpoint_every", &self.checkpoint_every)
+            .field("max_retries", &self.max_retries)
+            .field("session_deadline", &self.session_deadline)
+            .field("fail_mode", &self.fail_mode)
+            .field("fault_hook", &self.fault_hook.is_some())
+            .finish()
+    }
+}
+
+impl ServeConfig {
+    /// Defaults for the given listen address: salvage mode, strict
+    /// persistency, 64 sessions / 64 MiB in flight, 4096-event commit
+    /// batches, 2 retries, 30 s session deadline, degrade on fault.
+    pub fn new(listen: Listen) -> Self {
+        ServeConfig {
+            listen,
+            model: PersistencyModel::Strict,
+            mode: IngestMode::Salvage,
+            limits: IngestLimits::default(),
+            max_sessions: 64,
+            max_bytes_in_flight: 64 << 20,
+            checkpoint_every: 4096,
+            max_retries: 2,
+            retry_backoff: Duration::from_millis(5),
+            session_deadline: Some(Duration::from_secs(30)),
+            retry_after: Duration::from_millis(250),
+            fail_mode: FailMode::Degrade,
+            fault_hook: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_unix_and_tcp_addresses() {
+        assert_eq!(
+            Listen::parse("/tmp/pmdbg.sock").unwrap(),
+            Listen::Unix(PathBuf::from("/tmp/pmdbg.sock"))
+        );
+        assert_eq!(
+            Listen::parse("pmdbg.sock").unwrap(),
+            Listen::Unix(PathBuf::from("pmdbg.sock"))
+        );
+        assert_eq!(
+            Listen::parse("127.0.0.1:7070").unwrap(),
+            Listen::Tcp("127.0.0.1:7070".to_owned())
+        );
+        assert!(Listen::parse("").is_err());
+        assert!(Listen::parse("not-an-address").is_err());
+    }
+}

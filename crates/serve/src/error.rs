@@ -1,0 +1,63 @@
+//! Typed session failures: every way a session can end other than a
+//! clean end-of-stream, with enough detail for exact accounting.
+
+use std::fmt;
+
+/// Why a session was quarantined (degrade mode) or errored (strict
+/// mode). Carried verbatim into the client response's `error` field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionError {
+    /// The detection state machine panicked and every retry from the
+    /// last checkpoint panicked too.
+    Faulted {
+        /// Attempts made (1 + retries).
+        attempts: u32,
+        /// The last panic's message.
+        message: String,
+    },
+    /// The per-session wall-clock deadline expired (covers slow-loris
+    /// clients that trickle bytes forever).
+    Deadline {
+        /// The configured ceiling, in milliseconds.
+        limit_ms: u64,
+    },
+    /// The socket failed mid-stream (client disconnect, reset).
+    Io {
+        /// The I/O error text.
+        message: String,
+    },
+    /// The server was asked to shut down and the drain deadline passed
+    /// before this session finished.
+    Drained,
+}
+
+impl SessionError {
+    /// Stable machine-readable tag for the response JSON.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            SessionError::Faulted { .. } => "faulted",
+            SessionError::Deadline { .. } => "deadline",
+            SessionError::Io { .. } => "io",
+            SessionError::Drained => "drained",
+        }
+    }
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Faulted { attempts, message } => {
+                write!(f, "session faulted after {attempts} attempt(s): {message}")
+            }
+            SessionError::Deadline { limit_ms } => {
+                write!(f, "session exceeded its {limit_ms} ms deadline")
+            }
+            SessionError::Io { message } => write!(f, "session socket failed: {message}"),
+            SessionError::Drained => {
+                write!(f, "server shut down before the session completed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}

@@ -1,0 +1,29 @@
+//! `pmdbg serve`: a fault-isolated streaming detection service.
+//!
+//! The server accepts many concurrent trace streams over a unix-domain
+//! socket or TCP. Each connection becomes a *session*: frames are pulled
+//! incrementally through the salvage-mode [`pm_trace::StreamDecoder`],
+//! fed in bounded batches into a checkpointable
+//! [`pmdebugger::DetectSession`], and guarded by the same supervision
+//! envelope the batch pipeline uses — panic isolation, retry from the
+//! last checkpoint with linear backoff, per-session deadlines and decode
+//! budgets, and quarantine-with-exact-loss-accounting when the retry
+//! budget runs out. Overload (too many sessions or too many buffered
+//! bytes) sheds new connections with a structured retry-after answer
+//! instead of degrading running sessions.
+//!
+//! Wire protocol and response schema live in [`protocol`]; client-side
+//! helpers (used by `pmdbg push` and the chaos sweep) in [`client`].
+
+pub mod client;
+pub mod config;
+pub mod error;
+pub mod protocol;
+mod server;
+mod session;
+
+pub use client::{fetch_stats, push_bytes, ClientConn};
+pub use config::{FaultHook, FaultPoint, Listen, ServeConfig};
+pub use error::SessionError;
+pub use protocol::{PushResponse, SessionStatus, RESPONSE_SCHEMA, STATS_REQUEST};
+pub use server::{ServeSummary, Server};

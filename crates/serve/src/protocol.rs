@@ -1,0 +1,302 @@
+//! The wire protocol: what clients send and what the server answers.
+//!
+//! A connection carries exactly one request:
+//!
+//! * **Push** — the client streams a raw `PMTRACE2` v2 binary trace
+//!   (file header + frames, exactly the bytes `pmdbg record --format
+//!   bin` writes) and half-closes its write side. The server detects
+//!   incrementally as frames arrive and answers with one JSON line — a
+//!   [`PushResponse`] — then closes.
+//! * **Stats** — the client sends the 6 bytes `STATS\n`. The server
+//!   answers with a live run-manifest JSON snapshot (schema
+//!   `pm-obs-run-manifest-v1`) of its `serve.*` metrics and closes.
+//!
+//! Overloaded servers answer a push with `status:"busy"` and a
+//! `retry_after_ms` hint instead of reading the stream.
+
+use std::collections::BTreeMap;
+
+use pm_obs::json::{escape, Value};
+
+/// Leader bytes of a stats request.
+pub const STATS_REQUEST: &[u8] = b"STATS\n";
+
+/// Response schema identifier.
+pub const RESPONSE_SCHEMA: &str = "pmdbg-serve-v1";
+
+/// Terminal status of one push.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionStatus {
+    /// Stream fully detected (salvage skips included); results complete.
+    Ok,
+    /// The session failed mid-stream in degrade mode: results cover the
+    /// committed prefix, `frames_lost` counts the rest exactly.
+    Quarantined,
+    /// The session failed in strict mode (or before detection started);
+    /// no results.
+    Error,
+    /// The server is overloaded and did not read the stream; retry after
+    /// `retry_after_ms`.
+    Busy,
+}
+
+impl SessionStatus {
+    /// Stable wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SessionStatus::Ok => "ok",
+            SessionStatus::Quarantined => "quarantined",
+            SessionStatus::Error => "error",
+            SessionStatus::Busy => "busy",
+        }
+    }
+
+    fn parse(s: &str) -> Option<SessionStatus> {
+        match s {
+            "ok" => Some(SessionStatus::Ok),
+            "quarantined" => Some(SessionStatus::Quarantined),
+            "error" => Some(SessionStatus::Error),
+            "busy" => Some(SessionStatus::Busy),
+            _ => None,
+        }
+    }
+}
+
+/// The one-line JSON answer to a push. Every counter is exact — the
+/// chaos sweep's oracles reconcile them against an offline batch run of
+/// the same bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PushResponse {
+    /// Terminal status.
+    pub status: SessionStatus,
+    /// Server-assigned session id (0 for busy responses).
+    pub session: u64,
+    /// Frames decoded into events.
+    pub frames_ok: u64,
+    /// Frames decoded before any corruption (see `IngestReport`).
+    pub frames_clean: u64,
+    /// Frames decoded after salvage re-locked onto the stream.
+    pub frames_resynced: u64,
+    /// Corrupt frames skipped by salvage.
+    pub frames_skipped: u64,
+    /// Salvage resynchronizations.
+    pub resyncs: u64,
+    /// Bytes consumed from the socket.
+    pub bytes_read: u64,
+    /// Events whose detection results are committed (survived
+    /// checkpointing). Equals `frames_ok` on a clean session.
+    pub events_committed: u64,
+    /// Decoded frames whose detection results were lost to a quarantine:
+    /// exactly `frames_ok - events_committed`. Always 0 unless
+    /// quarantined.
+    pub frames_lost: u64,
+    /// Session retries consumed.
+    pub retries: u32,
+    /// Total bug reports across the committed prefix.
+    pub bugs_total: u64,
+    /// Reports per bug kind (stable rule names).
+    pub bug_kinds: BTreeMap<String, u64>,
+    /// `pm_trace::report_hash` over the committed report list, as a
+    /// 16-hex-digit string (strings survive JSON number precision).
+    pub report_hash: String,
+    /// Wall-clock session time in milliseconds.
+    pub elapsed_ms: u64,
+    /// Decode budget that bit, if any (display form).
+    pub truncated: Option<String>,
+    /// Error detail for quarantined/error/busy responses.
+    pub error: Option<String>,
+    /// Error tag (`faulted`/`deadline`/`io`/`drained`) when errored.
+    pub error_kind: Option<String>,
+    /// Back-off hint on busy responses.
+    pub retry_after_ms: Option<u64>,
+}
+
+impl PushResponse {
+    /// An all-zero response with the given status.
+    pub fn empty(status: SessionStatus) -> Self {
+        PushResponse {
+            status,
+            session: 0,
+            frames_ok: 0,
+            frames_clean: 0,
+            frames_resynced: 0,
+            frames_skipped: 0,
+            resyncs: 0,
+            bytes_read: 0,
+            events_committed: 0,
+            frames_lost: 0,
+            retries: 0,
+            bugs_total: 0,
+            bug_kinds: BTreeMap::new(),
+            report_hash: format!("{:016x}", pm_trace::report_hash(&[])),
+            elapsed_ms: 0,
+            truncated: None,
+            error: None,
+            error_kind: None,
+            retry_after_ms: None,
+        }
+    }
+
+    /// Serializes to the single-line wire form (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(512);
+        out.push_str(&format!(
+            "{{\"schema\":\"{RESPONSE_SCHEMA}\",\"status\":\"{}\",\"session\":{},\
+             \"frames_ok\":{},\"frames_clean\":{},\"frames_resynced\":{},\
+             \"frames_skipped\":{},\"resyncs\":{},\"bytes_read\":{},\
+             \"events_committed\":{},\"frames_lost\":{},\"retries\":{},\
+             \"bugs\":{{\"total\":{},\"kinds\":{{",
+            self.status.name(),
+            self.session,
+            self.frames_ok,
+            self.frames_clean,
+            self.frames_resynced,
+            self.frames_skipped,
+            self.resyncs,
+            self.bytes_read,
+            self.events_committed,
+            self.frames_lost,
+            self.retries,
+            self.bugs_total,
+        ));
+        for (i, (kind, count)) in self.bug_kinds.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{count}", escape(kind)));
+        }
+        out.push_str(&format!(
+            "}}}},\"report_hash\":\"{}\",\"elapsed_ms\":{}",
+            self.report_hash, self.elapsed_ms
+        ));
+        if let Some(t) = &self.truncated {
+            out.push_str(&format!(",\"truncated\":{}", escape(t)));
+        }
+        if let Some(e) = &self.error {
+            out.push_str(&format!(",\"error\":{}", escape(e)));
+        }
+        if let Some(k) = &self.error_kind {
+            out.push_str(&format!(",\"error_kind\":{}", escape(k)));
+        }
+        if let Some(ms) = self.retry_after_ms {
+            out.push_str(&format!(",\"retry_after_ms\":{ms}"));
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parses the wire form back (client side).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description when the text is not a valid
+    /// `pmdbg-serve-v1` response.
+    pub fn from_json(text: &str) -> Result<PushResponse, String> {
+        let value = Value::parse(text.trim()).map_err(|e| e.to_string())?;
+        let schema = value
+            .get("schema")
+            .and_then(Value::as_str)
+            .ok_or("response has no schema field")?;
+        if schema != RESPONSE_SCHEMA {
+            return Err(format!("unexpected response schema `{schema}`"));
+        }
+        let status = value
+            .get("status")
+            .and_then(Value::as_str)
+            .and_then(SessionStatus::parse)
+            .ok_or("response has no valid status")?;
+        let num = |key: &str| -> u64 { value.get(key).and_then(Value::as_u64).unwrap_or(0) };
+        let bugs = value.get("bugs");
+        let mut bug_kinds = BTreeMap::new();
+        if let Some(kinds) = bugs.and_then(|b| b.get("kinds")).and_then(Value::as_obj) {
+            for (k, v) in kinds {
+                bug_kinds.insert(k.clone(), v.as_u64().unwrap_or(0));
+            }
+        }
+        Ok(PushResponse {
+            status,
+            session: num("session"),
+            frames_ok: num("frames_ok"),
+            frames_clean: num("frames_clean"),
+            frames_resynced: num("frames_resynced"),
+            frames_skipped: num("frames_skipped"),
+            resyncs: num("resyncs"),
+            bytes_read: num("bytes_read"),
+            events_committed: num("events_committed"),
+            frames_lost: num("frames_lost"),
+            retries: num("retries") as u32,
+            bugs_total: bugs
+                .and_then(|b| b.get("total"))
+                .and_then(Value::as_u64)
+                .unwrap_or(0),
+            bug_kinds,
+            report_hash: value
+                .get("report_hash")
+                .and_then(Value::as_str)
+                .unwrap_or_default()
+                .to_owned(),
+            elapsed_ms: num("elapsed_ms"),
+            truncated: value
+                .get("truncated")
+                .and_then(Value::as_str)
+                .map(str::to_owned),
+            error: value
+                .get("error")
+                .and_then(Value::as_str)
+                .map(str::to_owned),
+            error_kind: value
+                .get("error_kind")
+                .and_then(Value::as_str)
+                .map(str::to_owned),
+            retry_after_ms: value.get("retry_after_ms").and_then(Value::as_u64),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn response_roundtrips_through_json() {
+        let mut resp = PushResponse::empty(SessionStatus::Quarantined);
+        resp.session = 17;
+        resp.frames_ok = 96;
+        resp.frames_clean = 90;
+        resp.frames_resynced = 6;
+        resp.frames_skipped = 2;
+        resp.resyncs = 2;
+        resp.bytes_read = 4096;
+        resp.events_committed = 64;
+        resp.frames_lost = 32;
+        resp.retries = 3;
+        resp.bugs_total = 5;
+        resp.bug_kinds
+            .insert("no-durability-guarantee".to_owned(), 5);
+        resp.report_hash = "00dead00beef0000".to_owned();
+        resp.elapsed_ms = 12;
+        resp.truncated = Some("stopped at the 10-event budget".to_owned());
+        resp.error = Some("session faulted after 4 attempt(s): boom".to_owned());
+        resp.error_kind = Some("faulted".to_owned());
+        let line = resp.to_json_line();
+        assert!(!line.contains('\n'));
+        let back = PushResponse::from_json(&line).unwrap();
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn busy_response_carries_retry_after() {
+        let mut resp = PushResponse::empty(SessionStatus::Busy);
+        resp.retry_after_ms = Some(250);
+        resp.error = Some("server at max sessions".to_owned());
+        let back = PushResponse::from_json(&resp.to_json_line()).unwrap();
+        assert_eq!(back.status, SessionStatus::Busy);
+        assert_eq!(back.retry_after_ms, Some(250));
+    }
+
+    #[test]
+    fn junk_is_rejected_with_detail() {
+        assert!(PushResponse::from_json("not json").is_err());
+        assert!(PushResponse::from_json("{\"schema\":\"other\"}").is_err());
+    }
+}

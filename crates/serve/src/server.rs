@@ -1,0 +1,436 @@
+//! The listener: accept loop, session registry, overload shedding, and
+//! drain-then-hard-stop shutdown.
+
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, Once};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use pm_obs::{MetricsRegistry, RunManifest};
+
+use crate::config::{Listen, ServeConfig};
+use crate::protocol::{PushResponse, SessionStatus};
+use crate::session::{handle_conn, SessionCtx, SessionEnd, SessionIo, ShutdownFlags};
+
+/// Name prefix of session host threads. A process-global panic hook
+/// suppresses backtrace spew from these threads: their panics are caught
+/// (twice over — per batch and around the whole host) and accounted.
+pub const SESSION_THREAD_PREFIX: &str = "pm-serve-session";
+
+/// Accept-loop poll granularity.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// How one accepted socket reaches the generic session host.
+enum Conn {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl std::io::Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Unix(s) => s.read(buf),
+            Conn::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Unix(s) => s.write(buf),
+            Conn::Tcp(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Conn::Unix(s) => s.flush(),
+            Conn::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+impl SessionIo for Conn {
+    fn set_read_timeout_ms(&mut self, ms: Option<u64>) -> std::io::Result<()> {
+        let d = ms.map(Duration::from_millis);
+        match self {
+            Conn::Unix(s) => s.set_read_timeout(d),
+            Conn::Tcp(s) => s.set_read_timeout(d),
+        }
+    }
+    fn set_write_timeout_ms(&mut self, ms: Option<u64>) -> std::io::Result<()> {
+        let d = ms.map(Duration::from_millis);
+        match self {
+            Conn::Unix(s) => s.set_write_timeout(d),
+            Conn::Tcp(s) => s.set_write_timeout(d),
+        }
+    }
+}
+
+enum AnyListener {
+    Unix(UnixListener),
+    Tcp(TcpListener),
+}
+
+impl AnyListener {
+    /// Non-blocking accept: `Ok(None)` when no connection is pending.
+    fn accept(&self) -> std::io::Result<Option<Conn>> {
+        match self {
+            AnyListener::Unix(l) => match l.accept() {
+                Ok((s, _)) => Ok(Some(Conn::Unix(s))),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(None),
+                Err(e) => Err(e),
+            },
+            AnyListener::Tcp(l) => match l.accept() {
+                Ok((s, _)) => Ok(Some(Conn::Tcp(s))),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(None),
+                Err(e) => Err(e),
+            },
+        }
+    }
+}
+
+/// One live (or finished, not yet reaped) session in the registry.
+struct SessionSlot {
+    buffered: Arc<AtomicU64>,
+    done: Arc<AtomicBool>,
+    handle: JoinHandle<SessionEnd>,
+}
+
+/// What every session thread shares.
+struct Shared {
+    cfg: ServeConfig,
+    flags: Arc<ShutdownFlags>,
+    registry: MetricsRegistry,
+    slots: Mutex<Vec<SessionSlot>>,
+    started: Instant,
+}
+
+impl Shared {
+    /// Live run-manifest snapshot of the `serve.*` metrics (what a
+    /// `STATS\n` request is answered with).
+    fn manifest(&self) -> RunManifest {
+        let model = match self.cfg.model {
+            pmdebugger::PersistencyModel::Strict => "strict",
+            pmdebugger::PersistencyModel::Epoch => "epoch",
+            pmdebugger::PersistencyModel::Strand => "strand",
+        };
+        let mut manifest = RunManifest::new("pmdbg-serve", &self.cfg.listen.to_string(), model);
+        manifest.absorb_snapshot(&self.registry.snapshot());
+        manifest
+    }
+}
+
+/// Final shutdown accounting, after every session thread has been
+/// joined.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Sessions that completed cleanly.
+    pub ok: u64,
+    /// Sessions quarantined (degrade mode, partial results delivered).
+    pub quarantined: u64,
+    /// Sessions that ended in a typed error (strict mode or pre-decode
+    /// failures).
+    pub errored: u64,
+    /// Stats requests answered.
+    pub stats: u64,
+    /// Connections shed for overload.
+    pub shed: u64,
+    /// Last-resort host panics (a bug in the host itself — the session
+    /// envelope should absorb everything else). Always 0 in the chaos
+    /// sweep's zero-abort oracle.
+    pub host_panics: u64,
+    /// Final manifest JSON (deterministic key order).
+    pub manifest_json: String,
+}
+
+impl ServeSummary {
+    /// Total sessions that carried trace pushes.
+    pub fn sessions(&self) -> u64 {
+        self.ok + self.quarantined + self.errored
+    }
+}
+
+/// A running server. Dropping it without calling [`Server::shutdown`]
+/// detaches the accept loop (the threads keep the process alive);
+/// call `shutdown` for the drain contract.
+pub struct Server {
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    local: Listen,
+    /// Unix-socket path to unlink on shutdown.
+    unlink: Option<PathBuf>,
+}
+
+impl Server {
+    /// Binds the configured address and starts the accept loop.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind errors (address in use, bad permissions).
+    pub fn start(cfg: ServeConfig) -> std::io::Result<Server> {
+        install_session_panic_silencer();
+        let (listener, local, unlink) = match &cfg.listen {
+            Listen::Unix(path) => {
+                // A stale socket file from a dead server would make bind
+                // fail; connect() distinguishes live from stale.
+                if path.exists() && UnixStream::connect(path).is_err() {
+                    let _ = std::fs::remove_file(path);
+                }
+                let l = UnixListener::bind(path)?;
+                l.set_nonblocking(true)?;
+                (
+                    AnyListener::Unix(l),
+                    Listen::Unix(path.clone()),
+                    Some(path.clone()),
+                )
+            }
+            Listen::Tcp(addr) => {
+                let l = TcpListener::bind(addr)?;
+                l.set_nonblocking(true)?;
+                let local = l.local_addr()?;
+                (AnyListener::Tcp(l), Listen::Tcp(local.to_string()), None)
+            }
+        };
+        let shared = Arc::new(Shared {
+            cfg,
+            flags: Arc::new(ShutdownFlags::default()),
+            registry: MetricsRegistry::new(),
+            slots: Mutex::new(Vec::new()),
+            started: Instant::now(),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = thread::Builder::new()
+            .name("pm-serve-accept".to_owned())
+            .spawn(move || accept_loop(&accept_shared, listener))?;
+        Ok(Server {
+            shared,
+            accept: Some(accept),
+            local,
+            unlink,
+        })
+    }
+
+    /// The bound address — for TCP with port 0, the actual port.
+    pub fn local_listen(&self) -> &Listen {
+        &self.local
+    }
+
+    /// Live run-manifest snapshot of the server's metrics.
+    pub fn manifest(&self) -> RunManifest {
+        self.shared.manifest()
+    }
+
+    /// Seconds the server has been up.
+    pub fn uptime(&self) -> Duration {
+        self.shared.started.elapsed()
+    }
+
+    /// Flags the accept loop to stop taking connections (sessions keep
+    /// running). Safe to call from a signal-notified thread.
+    pub fn request_shutdown(&self) {
+        self.shared.flags.drain.store(true, Ordering::Relaxed);
+    }
+
+    /// Drains and stops: stop accepting, give running sessions up to
+    /// `drain` to finish, then hard-stop the rest (they answer their
+    /// clients with a `drained` error). Returns only after every thread
+    /// is joined.
+    pub fn shutdown(mut self, drain: Duration) -> ServeSummary {
+        self.request_shutdown();
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        let deadline = Instant::now() + drain;
+        loop {
+            let all_done = {
+                let slots = self.shared.slots.lock().expect("slots poisoned");
+                slots.iter().all(|s| s.done.load(Ordering::Relaxed))
+            };
+            if all_done || Instant::now() >= deadline {
+                break;
+            }
+            thread::sleep(Duration::from_millis(5));
+        }
+        self.shared.flags.hard.store(true, Ordering::Relaxed);
+        let slots = std::mem::take(&mut *self.shared.slots.lock().expect("slots poisoned"));
+        for slot in slots {
+            if slot.handle.join().is_err() {
+                // Double-caught: handle_conn already runs under
+                // catch_unwind; this is unreachable paranoia.
+                self.shared
+                    .registry
+                    .counter("serve.session_host_panics")
+                    .inc();
+            }
+        }
+        if let Some(path) = &self.unlink {
+            let _ = std::fs::remove_file(path);
+        }
+        let snap = self.shared.registry.snapshot();
+        let counter = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+        ServeSummary {
+            ok: counter("serve.sessions_ok"),
+            quarantined: counter("serve.sessions_quarantined"),
+            errored: counter("serve.sessions_errored"),
+            stats: counter("serve.stats_requests"),
+            shed: counter("serve.shed"),
+            host_panics: counter("serve.session_host_panics"),
+            manifest_json: self.shared.manifest().to_json(),
+        }
+    }
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: AnyListener) {
+    let mut next_id: u64 = 0;
+    while !shared.flags.drain.load(Ordering::Relaxed) {
+        let conn = match listener.accept() {
+            Ok(Some(conn)) => conn,
+            Ok(None) => {
+                reap_finished(shared);
+                thread::sleep(ACCEPT_POLL);
+                continue;
+            }
+            Err(_) => {
+                thread::sleep(ACCEPT_POLL);
+                continue;
+            }
+        };
+        reap_finished(shared);
+        if let Some(reason) = overloaded(shared) {
+            shed(shared, conn, &reason);
+            continue;
+        }
+        next_id += 1;
+        spawn_session(shared, conn, next_id);
+    }
+}
+
+/// Joins finished session threads so the registry only holds live ones
+/// (and `max_sessions` counts active sessions, not historical ones).
+fn reap_finished(shared: &Arc<Shared>) {
+    let mut slots = shared.slots.lock().expect("slots poisoned");
+    let mut kept = Vec::with_capacity(slots.len());
+    for slot in slots.drain(..) {
+        if slot.done.load(Ordering::Relaxed) {
+            if slot.handle.join().is_err() {
+                shared.registry.counter("serve.session_host_panics").inc();
+            }
+        } else {
+            kept.push(slot);
+        }
+    }
+    *slots = kept;
+}
+
+/// The global overload decision: too many live sessions, or too many
+/// undecoded bytes buffered across them.
+fn overloaded(shared: &Arc<Shared>) -> Option<String> {
+    let slots = shared.slots.lock().expect("slots poisoned");
+    let live = slots
+        .iter()
+        .filter(|s| !s.done.load(Ordering::Relaxed))
+        .count();
+    if live >= shared.cfg.max_sessions {
+        return Some(format!(
+            "server at max sessions ({}/{})",
+            live, shared.cfg.max_sessions
+        ));
+    }
+    let in_flight: u64 = slots
+        .iter()
+        .map(|s| s.buffered.load(Ordering::Relaxed))
+        .sum();
+    shared
+        .registry
+        .gauge("serve.bytes_in_flight_last")
+        .set(in_flight as i64);
+    if in_flight >= shared.cfg.max_bytes_in_flight {
+        return Some(format!(
+            "server at max bytes in flight ({in_flight}/{})",
+            shared.cfg.max_bytes_in_flight
+        ));
+    }
+    None
+}
+
+/// Answers an overload connection with a busy response without reading
+/// its stream.
+fn shed(shared: &Arc<Shared>, mut conn: Conn, reason: &str) {
+    shared.registry.counter("serve.shed").inc();
+    let _ = conn.set_write_timeout_ms(Some(1_000));
+    let mut response = PushResponse::empty(SessionStatus::Busy);
+    response.error = Some(reason.to_owned());
+    response.retry_after_ms = Some(shared.cfg.retry_after.as_millis() as u64);
+    let _ = conn.write_all(response.to_json_line().as_bytes());
+    let _ = conn.write_all(b"\n");
+}
+
+fn spawn_session(shared: &Arc<Shared>, conn: Conn, id: u64) {
+    let buffered = Arc::new(AtomicU64::new(0));
+    let done = Arc::new(AtomicBool::new(false));
+    let ctx = SessionCtx {
+        id,
+        flags: Arc::clone(&shared.flags),
+        buffered: Arc::clone(&buffered),
+        registry: shared.registry.clone(),
+    };
+    let session_shared = Arc::clone(shared);
+    let session_done = Arc::clone(&done);
+    let spawned = thread::Builder::new()
+        .name(format!("{SESSION_THREAD_PREFIX}-{id}"))
+        .spawn(move || {
+            session_shared.registry.gauge("serve.active").add(1);
+            let end = catch_unwind(AssertUnwindSafe(|| {
+                handle_conn(conn, &session_shared.cfg, &ctx, &|| {
+                    session_shared.manifest().to_json()
+                })
+            }))
+            .unwrap_or_else(|_| {
+                session_shared
+                    .registry
+                    .counter("serve.session_host_panics")
+                    .inc();
+                SessionEnd::Errored
+            });
+            session_shared.registry.gauge("serve.active").add(-1);
+            session_done.store(true, Ordering::Relaxed);
+            end
+        });
+    match spawned {
+        Ok(handle) => {
+            let mut slots = shared.slots.lock().expect("slots poisoned");
+            slots.push(SessionSlot {
+                buffered,
+                done,
+                handle,
+            });
+        }
+        Err(_) => {
+            shared.registry.counter("serve.spawn_failures").inc();
+        }
+    }
+}
+
+/// Installs (once per process) a panic hook that suppresses default
+/// backtrace printing for session host threads — their panics are caught
+/// and accounted — and forwards everything else to the previous hook.
+fn install_session_panic_silencer() {
+    static SILENCER: Once = Once::new();
+    SILENCER.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let hosted = thread::current()
+                .name()
+                .is_some_and(|name| name.starts_with(SESSION_THREAD_PREFIX));
+            if !hosted {
+                previous(info);
+            }
+        }));
+    });
+}

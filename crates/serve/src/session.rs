@@ -1,0 +1,667 @@
+//! Per-connection session host: the supervision envelope around one
+//! streaming detection run.
+//!
+//! Each connection gets one host running on its own thread. The host
+//! pulls socket chunks through a [`StreamDecoder`], feeds decoded events
+//! into a [`DetectSession`] in bounded batches, and commits results by
+//! checkpointing after every successful batch. All detection work runs
+//! behind [`std::panic::catch_unwind`]; a panic rolls the session back
+//! to its last checkpoint and re-feeds the in-flight batch (linear
+//! backoff), so transient faults are invisible to the client. When the
+//! retry budget is exhausted the session is quarantined: the response
+//! still carries every committed result plus an *exact* lost-frame
+//! count (`frames_ok - events_committed`).
+//!
+//! Backpressure is structural: the host never reads the next socket
+//! chunk while a full batch is waiting to be fed, so per-session memory
+//! is bounded by one read chunk + one decode buffer + one batch of
+//! events, regardless of how fast the client pushes.
+
+use std::io::{Read, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use pm_obs::MetricsRegistry;
+use pm_trace::{report_hash, BugReport, IngestError, PmEvent, StreamDecoder};
+use pmdebugger::{DebuggerConfig, DetectSession, FailMode, SessionCheckpoint};
+
+use crate::config::{FaultPoint, ServeConfig};
+use crate::error::SessionError;
+use crate::protocol::{PushResponse, SessionStatus, STATS_REQUEST};
+
+/// Socket read size.
+const READ_CHUNK: usize = 8 * 1024;
+
+/// Poll granularity for read timeouts (lets the host notice deadlines,
+/// drain requests and hard stops while a slow client stalls).
+const POLL_MS: u64 = 25;
+
+/// The socket operations the host needs, implemented by both
+/// `UnixStream` and `TcpStream`.
+pub(crate) trait SessionIo: Read + Write {
+    /// Read timeout (`None` blocks forever).
+    fn set_read_timeout_ms(&mut self, ms: Option<u64>) -> std::io::Result<()>;
+    /// Write timeout (`None` blocks forever).
+    fn set_write_timeout_ms(&mut self, ms: Option<u64>) -> std::io::Result<()>;
+}
+
+impl SessionIo for std::os::unix::net::UnixStream {
+    fn set_read_timeout_ms(&mut self, ms: Option<u64>) -> std::io::Result<()> {
+        self.set_read_timeout(ms.map(Duration::from_millis))
+    }
+    fn set_write_timeout_ms(&mut self, ms: Option<u64>) -> std::io::Result<()> {
+        self.set_write_timeout(ms.map(Duration::from_millis))
+    }
+}
+
+impl SessionIo for std::net::TcpStream {
+    fn set_read_timeout_ms(&mut self, ms: Option<u64>) -> std::io::Result<()> {
+        self.set_read_timeout(ms.map(Duration::from_millis))
+    }
+    fn set_write_timeout_ms(&mut self, ms: Option<u64>) -> std::io::Result<()> {
+        self.set_write_timeout(ms.map(Duration::from_millis))
+    }
+}
+
+/// Server-wide shutdown state shared with every session host.
+#[derive(Debug, Default)]
+pub(crate) struct ShutdownFlags {
+    /// Stop accepting; let running sessions finish.
+    pub drain: AtomicBool,
+    /// Drain deadline passed: sessions abandon their sockets now.
+    pub hard: AtomicBool,
+}
+
+/// Per-session wiring handed to the host by the accept loop.
+pub(crate) struct SessionCtx {
+    /// Server-assigned session id (1-based).
+    pub id: u64,
+    pub flags: Arc<ShutdownFlags>,
+    /// This session's undecoded buffered bytes, summed by the accept
+    /// loop for the global bytes-in-flight shed decision.
+    pub buffered: Arc<AtomicU64>,
+    pub registry: MetricsRegistry,
+}
+
+/// How one session ended, for the server's summary accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SessionEnd {
+    Ok,
+    Quarantined,
+    Errored,
+    Stats,
+}
+
+/// The detection half of the host: decoder → batches → checkpointed
+/// session, with the retry envelope. Socket-free so it can be driven by
+/// unit tests directly.
+struct DetectPump<'a> {
+    cfg: &'a ServeConfig,
+    session_id: u64,
+    session: Option<DetectSession>,
+    checkpoint: SessionCheckpoint,
+    pending: Vec<PmEvent>,
+    committed: Vec<BugReport>,
+    /// Events whose results are committed (mirrors the checkpoint).
+    events_committed: u64,
+    /// Total panics absorbed (attempt n is the n-th panic).
+    attempts: u32,
+    failure: Option<SessionError>,
+}
+
+impl<'a> DetectPump<'a> {
+    fn new(cfg: &'a ServeConfig, session_id: u64) -> Self {
+        let session = DetectSession::new(DebuggerConfig::for_model(cfg.model));
+        let checkpoint = session.checkpoint();
+        DetectPump {
+            cfg,
+            session_id,
+            session: Some(session),
+            checkpoint,
+            pending: Vec::new(),
+            committed: Vec::new(),
+            events_committed: 0,
+            attempts: 0,
+            failure: None,
+        }
+    }
+
+    fn failed(&self) -> bool {
+        self.failure.is_some()
+    }
+
+    /// Queues one decoded event, flushing a full batch through the
+    /// detector first when the in-flight queue is at capacity.
+    fn push_event(&mut self, event: PmEvent) {
+        if self.pending.len() >= self.cfg.checkpoint_every.max(1) {
+            self.run_batch(false);
+        }
+        if !self.failed() {
+            self.pending.push(event);
+        }
+    }
+
+    /// Feeds the pending batch (and on `at_finish` the end-of-stream
+    /// rules) through the guarded detector, committing on success and
+    /// retrying from the last checkpoint on panic. The batch is cloned
+    /// per attempt: a panic destroys the in-flight copy, and the retry
+    /// must replay exactly the same events.
+    fn run_batch(&mut self, at_finish: bool) {
+        if self.failed() || (self.pending.is_empty() && !at_finish) {
+            return;
+        }
+        loop {
+            let session = match self.session.take() {
+                Some(s) => s,
+                None => DetectSession::resume(self.checkpoint.clone()),
+            };
+            let hook = self.cfg.fault_hook.clone();
+            let point = FaultPoint {
+                session: self.session_id,
+                attempt: self.attempts,
+                events_fed: session.events_fed(),
+                at_finish,
+            };
+            let batch = self.pending.clone();
+            let outcome = catch_unwind(AssertUnwindSafe(move || {
+                if let Some(hook) = hook {
+                    if hook(point) {
+                        panic!("injected session fault");
+                    }
+                }
+                let mut session = session;
+                let mut reports = session.feed(&batch);
+                if at_finish {
+                    reports.extend(session.finish());
+                }
+                (session, reports)
+            }));
+            match outcome {
+                Ok((session, reports)) => {
+                    self.committed.extend(reports);
+                    self.events_committed = session.events_fed();
+                    if !at_finish {
+                        self.checkpoint = session.checkpoint();
+                    }
+                    self.session = Some(session);
+                    self.pending.clear();
+                    return;
+                }
+                Err(payload) => {
+                    // The in-flight session died inside the closure; roll
+                    // back to the checkpoint and replay the same batch.
+                    self.attempts += 1;
+                    if self.attempts > self.cfg.max_retries {
+                        self.failure = Some(SessionError::Faulted {
+                            attempts: self.attempts,
+                            message: panic_message(payload),
+                        });
+                        self.pending.clear();
+                        return;
+                    }
+                    if !self.cfg.retry_backoff.is_zero() {
+                        thread::sleep(self.cfg.retry_backoff * self.attempts);
+                    }
+                    self.session = Some(DetectSession::resume(self.checkpoint.clone()));
+                }
+            }
+        }
+    }
+
+    /// Marks the session failed with a non-panic cause (deadline, socket
+    /// loss, drain) unless a failure is already recorded.
+    fn fail(&mut self, error: SessionError) {
+        if self.failure.is_none() {
+            self.failure = Some(error);
+            self.pending.clear();
+        }
+    }
+
+    /// Decoded-but-uncommitted frames: the exact loss a quarantine
+    /// response must report. `frames_decoded` is the decoder's
+    /// `frames_ok`.
+    fn frames_lost(&self, frames_decoded: u64) -> u64 {
+        frames_decoded.saturating_sub(self.events_committed)
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Handles one accepted connection end to end: sniffs push vs stats,
+/// runs the detection pump, writes the one-line response. Never panics
+/// out (the server additionally wraps it in `catch_unwind` as a
+/// last-resort zero-abort guarantee).
+pub(crate) fn handle_conn<S: SessionIo>(
+    mut stream: S,
+    cfg: &ServeConfig,
+    ctx: &SessionCtx,
+    stats_snapshot: &dyn Fn() -> String,
+) -> SessionEnd {
+    let start = Instant::now();
+    let _ = stream.set_read_timeout_ms(Some(POLL_MS));
+    let _ = stream.set_write_timeout_ms(Some(2_000));
+
+    let mut decoder = StreamDecoder::new(cfg.mode, cfg.limits.clone());
+    let mut pump = DetectPump::new(cfg, ctx.id);
+    let mut head: Vec<u8> = Vec::with_capacity(STATS_REQUEST.len());
+    let mut sniffing = true;
+    let mut eof = false;
+    let mut chunk = [0u8; READ_CHUNK];
+
+    while !eof && !pump.failed() {
+        // Deadline / shutdown checks happen between reads, so even a
+        // client that trickles one byte per poll cannot pin the session.
+        if let Some(limit) = cfg.session_deadline {
+            if start.elapsed() >= limit {
+                pump.fail(SessionError::Deadline {
+                    limit_ms: limit.as_millis() as u64,
+                });
+                break;
+            }
+        }
+        if ctx.flags.hard.load(Ordering::Relaxed) {
+            pump.fail(SessionError::Drained);
+            break;
+        }
+        let n = match stream.read(&mut chunk) {
+            Ok(0) => {
+                eof = true;
+                0
+            }
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => {
+                pump.fail(SessionError::Io {
+                    message: e.to_string(),
+                });
+                break;
+            }
+        };
+        if sniffing {
+            head.extend_from_slice(&chunk[..n]);
+            if head.len() < STATS_REQUEST.len() && !eof {
+                continue;
+            }
+            sniffing = false;
+            if head.starts_with(STATS_REQUEST) {
+                ctx.registry.counter("serve.stats_requests").inc();
+                let _ = stream.write_all(stats_snapshot().as_bytes());
+                let _ = stream.write_all(b"\n");
+                return SessionEnd::Stats;
+            }
+            let sniffed = std::mem::take(&mut head);
+            decoder.push(&sniffed);
+        } else {
+            decoder.push(&chunk[..n]);
+        }
+        if let Err(e) = drain_decoder(&mut decoder, &mut pump, cfg) {
+            return respond_decode_error(&mut stream, ctx, &mut decoder, &pump, start, e);
+        }
+        ctx.buffered
+            .store(decoder.buffered_bytes() as u64, Ordering::Relaxed);
+    }
+
+    if sniffing && !head.is_empty() {
+        // Stream shorter than a STATS leader: it is a (tiny) push.
+        if head.starts_with(STATS_REQUEST) {
+            ctx.registry.counter("serve.stats_requests").inc();
+            let _ = stream.write_all(stats_snapshot().as_bytes());
+            let _ = stream.write_all(b"\n");
+            return SessionEnd::Stats;
+        }
+        let sniffed = std::mem::take(&mut head);
+        decoder.push(&sniffed);
+    }
+
+    if !pump.failed() {
+        decoder.finish();
+        if let Err(e) = drain_decoder(&mut decoder, &mut pump, cfg) {
+            return respond_decode_error(&mut stream, ctx, &mut decoder, &pump, start, e);
+        }
+        // End-of-stream rules (no-durability residuals) under the same
+        // retry envelope as every other batch.
+        pump.run_batch(true);
+    }
+    ctx.buffered.store(0, Ordering::Relaxed);
+
+    let response = build_response(cfg, ctx, &mut decoder, &pump, start);
+    let end = match response.status {
+        SessionStatus::Ok => SessionEnd::Ok,
+        SessionStatus::Quarantined => SessionEnd::Quarantined,
+        _ => SessionEnd::Errored,
+    };
+    export_metrics(ctx, &response);
+    let _ = stream.write_all(response.to_json_line().as_bytes());
+    let _ = stream.write_all(b"\n");
+    end
+}
+
+/// Pulls every currently decodable event into the pump. Only strict
+/// ingest mode can return an error.
+fn drain_decoder(
+    decoder: &mut StreamDecoder,
+    pump: &mut DetectPump<'_>,
+    _cfg: &ServeConfig,
+) -> Result<(), IngestError> {
+    loop {
+        if pump.failed() {
+            return Ok(());
+        }
+        match decoder.next_event()? {
+            Some(event) => pump.push_event(event),
+            None => return Ok(()),
+        }
+    }
+}
+
+fn respond_decode_error<S: SessionIo>(
+    stream: &mut S,
+    ctx: &SessionCtx,
+    decoder: &mut StreamDecoder,
+    pump: &DetectPump<'_>,
+    start: Instant,
+    error: IngestError,
+) -> SessionEnd {
+    let mut response = PushResponse::empty(SessionStatus::Error);
+    let report = decoder.report();
+    response.session = ctx.id;
+    response.frames_ok = report.frames_ok;
+    response.frames_clean = report.frames_clean;
+    response.frames_resynced = report.frames_resynced;
+    response.frames_skipped = report.frames_skipped;
+    response.resyncs = report.resyncs;
+    response.bytes_read = report.bytes_read;
+    response.frames_lost = pump.frames_lost(report.frames_ok);
+    response.retries = pump.attempts;
+    response.elapsed_ms = start.elapsed().as_millis() as u64;
+    response.error = Some(error.to_string());
+    response.error_kind = Some("corrupt".to_owned());
+    export_metrics(ctx, &response);
+    let _ = stream.write_all(response.to_json_line().as_bytes());
+    let _ = stream.write_all(b"\n");
+    SessionEnd::Errored
+}
+
+fn build_response(
+    cfg: &ServeConfig,
+    ctx: &SessionCtx,
+    decoder: &mut StreamDecoder,
+    pump: &DetectPump<'_>,
+    start: Instant,
+) -> PushResponse {
+    let report = decoder.report().clone();
+    let status = match (&pump.failure, cfg.fail_mode) {
+        (None, _) => SessionStatus::Ok,
+        (Some(_), FailMode::Degrade) => SessionStatus::Quarantined,
+        (Some(_), FailMode::Strict) => SessionStatus::Error,
+    };
+    let mut response = PushResponse::empty(status);
+    response.session = ctx.id;
+    response.frames_ok = report.frames_ok;
+    response.frames_clean = report.frames_clean;
+    response.frames_resynced = report.frames_resynced;
+    response.frames_skipped = report.frames_skipped;
+    response.resyncs = report.resyncs;
+    response.bytes_read = report.bytes_read;
+    response.events_committed = pump.events_committed;
+    response.frames_lost = pump.frames_lost(report.frames_ok);
+    response.retries = pump.attempts;
+    response.elapsed_ms = start.elapsed().as_millis() as u64;
+    response.truncated = report.truncated.map(|t| t.to_string());
+    if let Some(error) = &pump.failure {
+        response.error = Some(error.to_string());
+        response.error_kind = Some(error.tag().to_owned());
+    }
+    if status != SessionStatus::Error {
+        // Committed results travel even on quarantine (degrade mode's
+        // whole point); strict mode withholds partial results.
+        response.bugs_total = pump.committed.len() as u64;
+        for report in &pump.committed {
+            *response
+                .bug_kinds
+                .entry(report.kind.name().to_owned())
+                .or_default() += 1;
+        }
+        response.report_hash = format!("{:016x}", report_hash(&pump.committed));
+    }
+    response
+}
+
+fn export_metrics(ctx: &SessionCtx, response: &PushResponse) {
+    let m = &ctx.registry;
+    m.counter("serve.sessions").inc();
+    let status_counter = match response.status {
+        SessionStatus::Ok => "serve.sessions_ok",
+        SessionStatus::Quarantined => "serve.sessions_quarantined",
+        _ => "serve.sessions_errored",
+    };
+    m.counter(status_counter).inc();
+    m.counter("serve.frames_ok").add(response.frames_ok);
+    m.counter("serve.frames_clean").add(response.frames_clean);
+    m.counter("serve.frames_resynced")
+        .add(response.frames_resynced);
+    m.counter("serve.frames_skipped")
+        .add(response.frames_skipped);
+    m.counter("serve.resyncs").add(response.resyncs);
+    m.counter("serve.bytes_read").add(response.bytes_read);
+    m.counter("serve.events_committed")
+        .add(response.events_committed);
+    m.counter("serve.frames_lost").add(response.frames_lost);
+    m.counter("serve.retries").add(u64::from(response.retries));
+    m.counter("serve.bugs").add(response.bugs_total);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Listen;
+    use pm_trace::{to_binary, FenceKind, FlushKind, ThreadId, Trace};
+
+    /// In-memory duplex: the test writes the request up front; the host
+    /// reads it, then writes its response into `out`.
+    struct Loopback {
+        input: std::io::Cursor<Vec<u8>>,
+        out: Vec<u8>,
+    }
+
+    impl Read for Loopback {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            self.input.read(buf)
+        }
+    }
+    impl Write for Loopback {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.out.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+    impl SessionIo for Loopback {
+        fn set_read_timeout_ms(&mut self, _ms: Option<u64>) -> std::io::Result<()> {
+            Ok(())
+        }
+        fn set_write_timeout_ms(&mut self, _ms: Option<u64>) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn sample_bytes() -> Vec<u8> {
+        // 48 events: 16 × (store, flush, fence) — fully persisted, so a
+        // clean run reports zero bugs.
+        let trace: Trace = (0..16u64)
+            .flat_map(|i| {
+                [
+                    PmEvent::Store {
+                        addr: i * 64,
+                        size: 8,
+                        tid: ThreadId(0),
+                        strand: None,
+                        in_epoch: false,
+                    },
+                    PmEvent::Flush {
+                        kind: FlushKind::Clwb,
+                        addr: i * 64,
+                        size: 64,
+                        tid: ThreadId(0),
+                        strand: None,
+                    },
+                    PmEvent::Fence {
+                        kind: FenceKind::Sfence,
+                        tid: ThreadId(0),
+                        strand: None,
+                        in_epoch: false,
+                    },
+                ]
+            })
+            .collect();
+        to_binary(&trace)
+    }
+
+    fn run(cfg: &ServeConfig, input: Vec<u8>) -> (SessionEnd, PushResponse) {
+        let ctx = SessionCtx {
+            id: 1,
+            flags: Arc::new(ShutdownFlags::default()),
+            buffered: Arc::new(AtomicU64::new(0)),
+            registry: MetricsRegistry::new(),
+        };
+        let mut io = Loopback {
+            input: std::io::Cursor::new(input),
+            out: Vec::new(),
+        };
+        let end = handle_conn(&mut io, cfg, &ctx, &|| "{}".to_owned());
+        let text = String::from_utf8(io.out).unwrap();
+        (end, PushResponse::from_json(&text).unwrap())
+    }
+
+    impl<S: SessionIo> SessionIo for &mut S {
+        fn set_read_timeout_ms(&mut self, ms: Option<u64>) -> std::io::Result<()> {
+            (**self).set_read_timeout_ms(ms)
+        }
+        fn set_write_timeout_ms(&mut self, ms: Option<u64>) -> std::io::Result<()> {
+            (**self).set_write_timeout_ms(ms)
+        }
+    }
+
+    fn test_config() -> ServeConfig {
+        let mut cfg = ServeConfig::new(Listen::Tcp("127.0.0.1:0".into()));
+        cfg.checkpoint_every = 8;
+        cfg.retry_backoff = Duration::from_millis(0);
+        cfg
+    }
+
+    #[test]
+    fn clean_push_is_ok_with_exact_counts() {
+        let bytes = sample_bytes();
+        let (end, resp) = run(&test_config(), bytes.clone());
+        assert_eq!(end, SessionEnd::Ok);
+        assert_eq!(resp.status, SessionStatus::Ok);
+        assert_eq!(resp.frames_ok, 48);
+        assert_eq!(resp.events_committed, 48);
+        assert_eq!(resp.frames_lost, 0);
+        assert_eq!(resp.bytes_read, bytes.len() as u64);
+        assert_eq!(resp.bugs_total, 0);
+    }
+
+    #[test]
+    fn transient_fault_retries_and_matches_clean_run() {
+        let (_, clean) = run(&test_config(), sample_bytes());
+        let mut cfg = test_config();
+        // Panic on the first attempt of every batch; retries succeed.
+        cfg.fault_hook = Some(Arc::new(|p: FaultPoint| p.attempt == 0 && !p.at_finish));
+        let (end, resp) = run(&cfg, sample_bytes());
+        assert_eq!(end, SessionEnd::Ok);
+        assert_eq!(resp.status, SessionStatus::Ok);
+        assert!(resp.retries >= 1);
+        assert_eq!(resp.frames_lost, 0);
+        assert_eq!(resp.report_hash, clean.report_hash);
+        assert_eq!(resp.events_committed, clean.events_committed);
+    }
+
+    #[test]
+    fn permanent_fault_quarantines_with_exact_loss() {
+        let mut cfg = test_config();
+        cfg.max_retries = 2;
+        // Always panic once 16 events have been committed.
+        cfg.fault_hook = Some(Arc::new(|p: FaultPoint| p.events_fed >= 16));
+        let (end, resp) = run(&cfg, sample_bytes());
+        assert_eq!(end, SessionEnd::Quarantined);
+        assert_eq!(resp.status, SessionStatus::Quarantined);
+        assert_eq!(resp.retries, 3, "1 attempt + 2 retries");
+        assert_eq!(resp.events_committed, 16);
+        // Backpressure stops decoding once the session fails: the third
+        // batch's trigger event (25 = 3*8 + 1) is the last one decoded.
+        assert_eq!(resp.frames_ok, 25);
+        assert_eq!(resp.frames_lost, 9, "exact loss accounting");
+        assert_eq!(resp.error_kind.as_deref(), Some("faulted"));
+    }
+
+    #[test]
+    fn strict_fail_mode_withholds_partial_results() {
+        let mut cfg = test_config();
+        cfg.fail_mode = FailMode::Strict;
+        cfg.fault_hook = Some(Arc::new(|p: FaultPoint| p.events_fed >= 16));
+        let (end, resp) = run(&cfg, sample_bytes());
+        assert_eq!(end, SessionEnd::Errored);
+        assert_eq!(resp.status, SessionStatus::Error);
+        assert_eq!(resp.bugs_total, 0);
+    }
+
+    #[test]
+    fn corrupt_stream_salvages_and_stays_ok() {
+        let mut bytes = sample_bytes();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        let (end, resp) = run(&test_config(), bytes);
+        assert_eq!(end, SessionEnd::Ok, "salvage mode keeps the session ok");
+        assert!(resp.frames_skipped >= 1);
+        assert!(resp.frames_clean > 0);
+        assert_eq!(resp.frames_lost, 0);
+    }
+
+    #[test]
+    fn stats_request_returns_snapshot_not_push_response() {
+        let ctx = SessionCtx {
+            id: 9,
+            flags: Arc::new(ShutdownFlags::default()),
+            buffered: Arc::new(AtomicU64::new(0)),
+            registry: MetricsRegistry::new(),
+        };
+        let mut io = Loopback {
+            input: std::io::Cursor::new(STATS_REQUEST.to_vec()),
+            out: Vec::new(),
+        };
+        let end = handle_conn(&mut io, &test_config(), &ctx, &|| {
+            "{\"live\":true}".to_owned()
+        });
+        assert_eq!(end, SessionEnd::Stats);
+        assert_eq!(String::from_utf8(io.out).unwrap(), "{\"live\":true}\n");
+    }
+
+    #[test]
+    fn tiny_garbage_push_is_answered_not_hung() {
+        let (end, resp) = run(&test_config(), b"xy".to_vec());
+        // Salvage mode: nothing decodable, zero frames, still a clean
+        // (empty) session — the server answers rather than aborting.
+        assert_eq!(end, SessionEnd::Ok);
+        assert_eq!(resp.frames_ok, 0);
+    }
+}

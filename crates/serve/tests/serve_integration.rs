@@ -1,0 +1,173 @@
+//! End-to-end service tests: concurrent unix-socket clients, TCP,
+//! overload shedding, live stats, and the drain contract. Every client
+//! response is reconciled against an offline batch run of the exact
+//! bytes pushed — the service must be detection-equivalent to `pmdbg
+//! replay`.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::thread;
+use std::time::Duration;
+
+use pm_serve::{fetch_stats, push_bytes, Listen, PushResponse, ServeConfig, Server, SessionStatus};
+use pm_trace::{ingest_bytes, report_hash, to_binary, IngestLimits, IngestMode};
+use pm_workloads::{record_trace, BTree, Workload};
+use pmdebugger::{DebuggerConfig, PersistencyModel, PmDebugger};
+
+/// A fresh unix-socket path per test (the kernel namespace is shared
+/// across tests in one binary).
+fn socket_path(tag: &str) -> PathBuf {
+    static NEXT: AtomicU32 = AtomicU32::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("pmdbg-it-{}-{tag}-{n}.sock", std::process::id()))
+}
+
+fn workload_bytes(seed: u64, ops: usize) -> Vec<u8> {
+    let tree = BTree::new(seed);
+    to_binary(&record_trace(&tree as &dyn Workload, ops))
+}
+
+/// The offline reference: batch-ingest the same bytes, batch-detect,
+/// hash the reports.
+fn batch_hash(bytes: &[u8], model: PersistencyModel) -> (String, u64) {
+    let (trace, report) =
+        ingest_bytes(bytes, IngestMode::Salvage, &IngestLimits::default()).unwrap();
+    let mut debugger = PmDebugger::new(DebuggerConfig::for_model(model));
+    let reports = debugger.detect_stream(trace.events().iter());
+    (format!("{:016x}", report_hash(&reports)), report.frames_ok)
+}
+
+#[test]
+fn eight_concurrent_unix_clients_match_batch() {
+    let path = socket_path("fanout");
+    let server = Server::start(ServeConfig::new(Listen::Unix(path.clone()))).unwrap();
+    let listen = server.local_listen().clone();
+
+    let handles: Vec<_> = (0..8u64)
+        .map(|seed| {
+            let listen = listen.clone();
+            thread::spawn(move || {
+                let bytes = workload_bytes(seed, 40 + 10 * seed as usize);
+                let response = push_bytes(&listen, &bytes).unwrap();
+                (bytes, response)
+            })
+        })
+        .collect();
+
+    for handle in handles {
+        let (bytes, response) = handle.join().unwrap();
+        assert_eq!(response.status, SessionStatus::Ok, "{:?}", response.error);
+        let (expect_hash, expect_frames) = batch_hash(&bytes, PersistencyModel::Strict);
+        assert_eq!(response.report_hash, expect_hash, "byte-identical to batch");
+        assert_eq!(response.frames_ok, expect_frames);
+        assert_eq!(response.events_committed, expect_frames);
+        assert_eq!(response.frames_lost, 0);
+        assert_eq!(response.bytes_read, bytes.len() as u64);
+    }
+
+    let summary = server.shutdown(Duration::from_secs(5));
+    assert_eq!(summary.ok, 8);
+    assert_eq!(summary.quarantined, 0);
+    assert_eq!(summary.errored, 0);
+    assert_eq!(summary.host_panics, 0);
+    assert!(!path.exists(), "socket file unlinked on shutdown");
+}
+
+#[test]
+fn tcp_push_matches_batch() {
+    let server = Server::start(ServeConfig::new(Listen::Tcp("127.0.0.1:0".into()))).unwrap();
+    let listen = server.local_listen().clone();
+    assert!(matches!(&listen, Listen::Tcp(a) if !a.ends_with(":0")));
+
+    let bytes = workload_bytes(99, 64);
+    let response = push_bytes(&listen, &bytes).unwrap();
+    assert_eq!(response.status, SessionStatus::Ok);
+    let (expect_hash, _) = batch_hash(&bytes, PersistencyModel::Strict);
+    assert_eq!(response.report_hash, expect_hash);
+
+    let summary = server.shutdown(Duration::from_secs(5));
+    assert_eq!(summary.ok, 1);
+}
+
+#[test]
+fn overload_sheds_new_connections_with_retry_after() {
+    let path = socket_path("shed");
+    let mut cfg = ServeConfig::new(Listen::Unix(path));
+    cfg.max_sessions = 1;
+    let server = Server::start(cfg).unwrap();
+    let listen = server.local_listen().clone();
+
+    // Occupy the only session slot with a connection that stays open.
+    let mut hog = pm_serve::client::connect_stream(&listen).unwrap();
+    std::io::Write::write_all(&mut hog, b"PMTRACE2").unwrap();
+    // Let the accept loop register the hog before the next connect.
+    thread::sleep(Duration::from_millis(300));
+
+    let bytes = workload_bytes(7, 16);
+    let shed = push_bytes(&listen, &bytes).unwrap();
+    assert_eq!(shed.status, SessionStatus::Busy);
+    assert_eq!(shed.retry_after_ms, Some(250));
+    assert!(shed.error.is_some());
+
+    // Release the slot; a retry now succeeds.
+    hog.shutdown_write().unwrap();
+    let mut line = String::new();
+    std::io::Read::read_to_string(&mut hog, &mut line).unwrap();
+    assert!(PushResponse::from_json(&line).is_ok());
+    thread::sleep(Duration::from_millis(100));
+    let retried = push_bytes(&listen, &bytes).unwrap();
+    assert_eq!(retried.status, SessionStatus::Ok);
+
+    let summary = server.shutdown(Duration::from_secs(5));
+    assert_eq!(summary.shed, 1);
+    assert_eq!(summary.ok, 2);
+}
+
+#[test]
+fn stats_request_serves_live_manifest() {
+    let path = socket_path("stats");
+    let server = Server::start(ServeConfig::new(Listen::Unix(path))).unwrap();
+    let listen = server.local_listen().clone();
+
+    let bytes = workload_bytes(3, 32);
+    push_bytes(&listen, &bytes).unwrap();
+
+    let stats = fetch_stats(&listen).unwrap();
+    let manifest = pm_obs::RunManifest::from_json(&stats).unwrap();
+    assert_eq!(manifest.tool, "pmdbg-serve");
+    assert_eq!(manifest.model, "strict");
+    assert_eq!(manifest.counters.get("serve.sessions"), Some(&1));
+    assert_eq!(manifest.counters.get("serve.sessions_ok"), Some(&1));
+    assert_eq!(
+        manifest.counters.get("serve.events_committed"),
+        manifest.counters.get("serve.frames_ok")
+    );
+
+    let summary = server.shutdown(Duration::from_secs(5));
+    assert_eq!(summary.stats, 1);
+}
+
+#[test]
+fn hard_stop_answers_drained_sessions() {
+    let path = socket_path("drain");
+    let mut cfg = ServeConfig::new(Listen::Unix(path));
+    cfg.session_deadline = None;
+    let server = Server::start(cfg).unwrap();
+    let listen = server.local_listen().clone();
+
+    // A session that never finishes its stream.
+    let mut stuck = pm_serve::client::connect_stream(&listen).unwrap();
+    std::io::Write::write_all(&mut stuck, b"PMTRACE2").unwrap();
+    thread::sleep(Duration::from_millis(300));
+
+    // Zero drain budget: the server hard-stops the stuck session, which
+    // must still answer its client with a typed `drained` error.
+    let summary = server.shutdown(Duration::from_millis(0));
+    let mut line = String::new();
+    std::io::Read::read_to_string(&mut stuck, &mut line).unwrap();
+    let response = PushResponse::from_json(&line).unwrap();
+    assert_eq!(response.status, SessionStatus::Quarantined);
+    assert_eq!(response.error_kind.as_deref(), Some("drained"));
+    assert_eq!(summary.quarantined, 1);
+    assert_eq!(summary.host_panics, 0);
+}

@@ -30,6 +30,7 @@ use std::io::Read;
 use std::time::{Duration, Instant};
 
 use crate::binfmt::{self, FrameStep, FILE_MAGIC, FRAME_MAGIC};
+use crate::events::PmEvent;
 use crate::format;
 use crate::recorder::Trace;
 
@@ -179,6 +180,15 @@ pub struct IngestReport {
     pub mode: IngestMode,
     /// Frames (binary) or event lines (text) decoded successfully.
     pub frames_ok: u64,
+    /// Frames/lines decoded before any corruption was observed — the
+    /// stream's pristine prefix. `frames_ok = frames_clean +
+    /// frames_resynced`, so a session's salvage decisions are auditable
+    /// from the report alone.
+    pub frames_clean: u64,
+    /// Frames/lines decoded *after* at least one corruption, i.e. frames
+    /// that exist in the output only because salvage mode re-locked onto
+    /// the stream instead of aborting.
+    pub frames_resynced: u64,
     /// Corrupt frames/lines skipped (Salvage mode only).
     pub frames_skipped: u64,
     /// Times the binary reader re-locked onto a frame magic after
@@ -189,6 +199,8 @@ pub struct IngestReport {
     pub bytes_read: u64,
     /// Bytes of frames/lines successfully decoded into events.
     pub bytes_salvaged: u64,
+    /// Wall-clock time the ingestion took.
+    pub elapsed: Duration,
     /// The budget that stopped the read early, if any.
     pub truncated: Option<IngestTruncation>,
     /// First corruption observed.
@@ -203,10 +215,13 @@ impl IngestReport {
             format,
             mode,
             frames_ok: 0,
+            frames_clean: 0,
+            frames_resynced: 0,
             frames_skipped: 0,
             resyncs: 0,
             bytes_read: 0,
             bytes_salvaged: 0,
+            elapsed: Duration::ZERO,
             truncated: None,
             first_error: None,
             last_error: None,
@@ -219,6 +234,18 @@ impl IngestReport {
             self.first_error = Some(err.clone());
         }
         self.last_error = Some(err);
+    }
+
+    /// Counts one successfully decoded frame/line of `bytes` bytes,
+    /// attributing it to the clean prefix or the post-corruption tail.
+    fn record_frame(&mut self, bytes: u64) {
+        self.frames_ok += 1;
+        self.bytes_salvaged += bytes;
+        if self.first_error.is_none() {
+            self.frames_clean += 1;
+        } else {
+            self.frames_resynced += 1;
+        }
     }
 
     /// `true` when nothing was skipped or truncated — the input was
@@ -589,8 +616,7 @@ fn ingest_binary<R: Read>(
         }
         match binfmt::step_frame(&pump.buf, pos, pump.at_end()) {
             FrameStep::Ok { event, end } => {
-                report.frames_ok += 1;
-                report.bytes_salvaged += (end - pos) as u64;
+                report.record_frame((end - pos) as u64);
                 trace.push(event);
                 pos = end;
                 if pos >= CHUNK {
@@ -626,6 +652,7 @@ fn ingest_binary<R: Read>(
         });
     }
     report.bytes_read = pump.bytes_read;
+    report.elapsed = clock.start.elapsed();
     Ok((trace, report))
 }
 
@@ -709,8 +736,7 @@ fn ingest_text<R: Read>(
         };
         match parsed {
             Ok(Some(event)) => {
-                report.frames_ok += 1;
-                report.bytes_salvaged += consumed as u64;
+                report.record_frame(consumed as u64);
                 trace.push(event);
             }
             Ok(None) => {}
@@ -735,7 +761,232 @@ fn ingest_text<R: Read>(
         });
     }
     report.bytes_read = pump.bytes_read;
+    report.elapsed = clock.start.elapsed();
     Ok((trace, report))
+}
+
+/// Push-based incremental decoder for the v2 binary frame stream — the
+/// frame-pull half of [`ingest_reader`] for callers that do not own the
+/// read loop (the `pmdbg serve` session host feeds it socket chunks as
+/// they arrive and drains events into the detection state machine between
+/// reads, so per-session memory stays bounded by the decoder's rolling
+/// buffer plus one read chunk).
+///
+/// The decoder mirrors the batch reader's salvage semantics exactly:
+/// feeding the same byte stream through [`StreamDecoder::push`] /
+/// [`StreamDecoder::next_event`] — under any chunking whatsoever — yields
+/// the same events and the same [`IngestReport`] accounting as
+/// [`ingest_bytes`] over the whole image (property-tested in
+/// `crates/trace/tests/ingest_properties.rs`). Budgets behave like the
+/// batch reader's too: bytes past `max_bytes` are dropped at the door,
+/// events past `max_events` stop decoding, and both mark the report
+/// truncated instead of erroring.
+#[derive(Debug)]
+pub struct StreamDecoder {
+    mode: IngestMode,
+    limits: IngestLimits,
+    buf: Vec<u8>,
+    /// Absolute stream offset of `buf[0]`.
+    base: u64,
+    /// Parse cursor within `buf`.
+    pos: usize,
+    /// Still waiting for (and validating) the 8-byte `PMTRACE2` header.
+    expect_header: bool,
+    /// Skipping forward to the next frame magic after corruption.
+    resyncing: bool,
+    /// [`StreamDecoder::finish`] was called: the buffer end is final.
+    eof: bool,
+    /// The byte budget dropped input (mirrors the pump's `capped`).
+    capped: bool,
+    start: Instant,
+    report: IngestReport,
+}
+
+impl StreamDecoder {
+    /// A decoder for one v2 binary stream. The deadline in `limits`
+    /// starts counting immediately.
+    pub fn new(mode: IngestMode, limits: IngestLimits) -> Self {
+        StreamDecoder {
+            mode,
+            limits: limits.clone(),
+            buf: Vec::with_capacity(CHUNK),
+            base: 0,
+            pos: 0,
+            expect_header: true,
+            resyncing: false,
+            eof: false,
+            capped: false,
+            start: Instant::now(),
+            report: IngestReport::new(TraceFormat::BinV2, mode),
+        }
+    }
+
+    /// Appends a chunk of the stream. Bytes beyond the `max_bytes` budget
+    /// are dropped (and the report marked truncated) rather than buffered;
+    /// pushing after [`StreamDecoder::finish`] is ignored.
+    pub fn push(&mut self, bytes: &[u8]) {
+        if self.eof || self.capped {
+            return;
+        }
+        let room = (self.limits.max_bytes - self.report.bytes_read).min(bytes.len() as u64);
+        self.buf.extend_from_slice(&bytes[..room as usize]);
+        self.report.bytes_read += room;
+        if room < bytes.len() as u64 || self.report.bytes_read >= self.limits.max_bytes {
+            self.capped = true;
+        }
+    }
+
+    /// Declares end of stream: a trailing partial frame becomes corruption
+    /// (truncation) on the next [`StreamDecoder::next_event`] drain.
+    pub fn finish(&mut self) {
+        self.eof = true;
+    }
+
+    /// Bytes currently buffered but not yet consumed — the session host's
+    /// backpressure signal.
+    pub fn buffered_bytes(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Live accounting so far. `elapsed` is refreshed on every call.
+    pub fn report(&mut self) -> &IngestReport {
+        if self.report.truncated.is_none() && self.capped {
+            self.report.truncated = Some(IngestTruncation::Bytes {
+                limit: self.limits.max_bytes,
+            });
+        }
+        self.report.elapsed = self.start.elapsed();
+        &self.report
+    }
+
+    fn expired(&self) -> bool {
+        self.limits
+            .deadline
+            .is_some_and(|d| self.start.elapsed() >= d)
+    }
+
+    fn truncate(&mut self, t: IngestTruncation) {
+        if self.report.truncated.is_none() {
+            self.report.truncated = Some(t);
+        }
+    }
+
+    /// Pulls the next decoded event. `Ok(None)` means "need more input"
+    /// (or, after [`StreamDecoder::finish`] / a budget stop, "stream
+    /// drained").
+    ///
+    /// # Errors
+    ///
+    /// In [`IngestMode::Strict`] only: [`IngestError::Corrupt`] at the
+    /// first bad frame, [`IngestError::UnknownFormat`] / [`IngestError::Empty`]
+    /// when the stream does not open with the `PMTRACE2` magic.
+    pub fn next_event(&mut self) -> Result<Option<PmEvent>, IngestError> {
+        loop {
+            if self.expired() {
+                let t = IngestTruncation::Deadline {
+                    limit_ms: self.limits.deadline.map_or(0, |d| d.as_millis() as u64),
+                };
+                self.truncate(t);
+                return Ok(None);
+            }
+            if self.report.frames_ok >= self.limits.max_events {
+                self.truncate(IngestTruncation::Events {
+                    limit: self.limits.max_events,
+                });
+                return Ok(None);
+            }
+            if self.expect_header {
+                if self.buf.len() < FILE_MAGIC.len() {
+                    if !self.at_end() {
+                        return Ok(None);
+                    }
+                    if self.buf.is_empty() {
+                        return if self.mode == IngestMode::Strict {
+                            Err(IngestError::Empty)
+                        } else {
+                            Ok(None)
+                        };
+                    }
+                }
+                if self.buf.starts_with(&FILE_MAGIC) {
+                    self.consume_to(FILE_MAGIC.len());
+                } else {
+                    if self.mode == IngestMode::Strict {
+                        return Err(IngestError::UnknownFormat {
+                            detail: "stream does not start with `PMTRACE2` binary magic".to_owned(),
+                        });
+                    }
+                    // Damaged stream header: lock onto the first frame
+                    // magic instead (mirrors the batch reader's salvage
+                    // entry for headerless binary images).
+                    self.report
+                        .record_error(0, "missing/damaged `PMTRACE2` file header".to_owned());
+                    self.report.frames_skipped += 1;
+                    self.resyncing = true;
+                }
+                self.expect_header = false;
+                continue;
+            }
+            if self.resyncing {
+                match contains_frame_magic(&self.buf[self.pos..]) {
+                    Some(j) => {
+                        self.pos += j;
+                        self.resyncing = false;
+                        self.report.resyncs += 1;
+                    }
+                    None => {
+                        // Keep a 3-byte tail in case a magic straddles the
+                        // next chunk.
+                        let keep = (self.buf.len() - self.pos).min(3);
+                        self.consume_to(self.buf.len() - keep);
+                        return Ok(None);
+                    }
+                }
+            }
+            if self.pos >= self.buf.len() && self.at_end() {
+                return Ok(None);
+            }
+            match binfmt::step_frame(&self.buf, self.pos, self.at_end()) {
+                FrameStep::Ok { event, end } => {
+                    self.report.record_frame((end - self.pos) as u64);
+                    self.pos = end;
+                    if self.pos >= CHUNK {
+                        self.consume_to(self.pos);
+                    }
+                    return Ok(Some(event));
+                }
+                FrameStep::Incomplete => {
+                    self.consume_to(self.pos);
+                    return Ok(None);
+                }
+                FrameStep::Corrupt { reason } => {
+                    let locus = self.base + self.pos as u64;
+                    if self.mode == IngestMode::Strict {
+                        return Err(IngestError::Corrupt {
+                            format: TraceFormat::BinV2,
+                            locus,
+                            frames_ok: self.report.frames_ok,
+                            reason,
+                        });
+                    }
+                    self.report.record_error(locus, reason);
+                    self.report.frames_skipped += 1;
+                    self.pos += 1;
+                    self.resyncing = true;
+                }
+            }
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.eof || self.capped
+    }
+
+    fn consume_to(&mut self, n: usize) {
+        self.buf.drain(..n);
+        self.base += n as u64;
+        self.pos = self.pos.saturating_sub(n);
+    }
 }
 
 #[cfg(test)]

@@ -68,7 +68,7 @@ pub use events::{Addr, FenceKind, PmEvent, StrandId, ThreadId};
 pub use format::{from_text, from_text_salvage, parse_line, to_text, ParseTraceError};
 pub use ingest::{
     ingest_bytes, ingest_reader, sniff_format, FrameError, IngestError, IngestLimits, IngestMode,
-    IngestReport, IngestTruncation, TraceFormat,
+    IngestReport, IngestTruncation, StreamDecoder, TraceFormat,
 };
 pub use orderspec::{OrderRule, OrderSpec, ParseOrderSpecError};
 pub use recorder::{

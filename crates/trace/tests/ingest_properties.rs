@@ -2,7 +2,7 @@
 
 use std::time::Duration;
 
-use pm_trace::{FenceKind, IngestLimits, IngestMode, PmEvent, ThreadId, Trace};
+use pm_trace::{FenceKind, IngestLimits, IngestMode, PmEvent, StreamDecoder, ThreadId, Trace};
 use pmem_sim::FlushKind;
 use proptest::prelude::*;
 
@@ -85,6 +85,35 @@ fn apply_mutation(bytes: &mut Vec<u8>, mutation: Mutation) {
     }
 }
 
+/// Feeds `bytes` through a [`StreamDecoder`] in the given chunk sizes
+/// (cycled), draining events between pushes, and returns the decoded
+/// events plus the final report.
+fn stream_decode(
+    bytes: &[u8],
+    mode: IngestMode,
+    limits: &IngestLimits,
+    chunks: &[usize],
+) -> Result<(Vec<PmEvent>, pm_trace::IngestReport), pm_trace::IngestError> {
+    let mut dec = StreamDecoder::new(mode, limits.clone());
+    let mut events = Vec::new();
+    let mut off = 0usize;
+    let mut i = 0usize;
+    while off < bytes.len() {
+        let n = chunks[i % chunks.len()].max(1).min(bytes.len() - off);
+        i += 1;
+        dec.push(&bytes[off..off + n]);
+        off += n;
+        while let Some(ev) = dec.next_event()? {
+            events.push(ev);
+        }
+    }
+    dec.finish();
+    while let Some(ev) = dec.next_event()? {
+        events.push(ev);
+    }
+    Ok((events, dec.report().clone()))
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
@@ -164,5 +193,87 @@ proptest! {
             report.frames_ok
         );
         prop_assert_eq!(&salvaged.events()[..floor], &trace.events()[..floor]);
+    }
+
+    /// The push-based [`StreamDecoder`] is byte-identical to the batch
+    /// reader on clean images, no matter how the input is chunked.
+    #[test]
+    fn stream_decoder_matches_batch_on_clean_images(
+        events in proptest::collection::vec(any_event(), 1..60),
+        chunks in proptest::collection::vec(1usize..97, 1..8),
+    ) {
+        let trace: Trace = events.into_iter().collect();
+        let bytes = pm_trace::to_binary(&trace);
+        let limits = IngestLimits::default();
+        let (batch, batch_report) =
+            pm_trace::ingest_bytes(&bytes, IngestMode::Strict, &limits).unwrap();
+        let (streamed, stream_report) =
+            stream_decode(&bytes, IngestMode::Strict, &limits, &chunks).unwrap();
+        prop_assert_eq!(batch.events(), &streamed[..]);
+        prop_assert_eq!(batch_report.frames_ok, stream_report.frames_ok);
+        prop_assert_eq!(batch_report.frames_clean, stream_report.frames_clean);
+        prop_assert_eq!(batch_report.bytes_read, stream_report.bytes_read);
+        prop_assert_eq!(batch_report.bytes_salvaged, stream_report.bytes_salvaged);
+        prop_assert!(stream_report.clean());
+    }
+
+    /// Salvage-mode stream decoding of corrupt images recovers exactly the
+    /// same events with the same accounting as the batch salvage reader,
+    /// under adversarial chunk splits (including 1-byte pushes).
+    #[test]
+    fn stream_decoder_matches_batch_salvage_on_mutated_images(
+        events in proptest::collection::vec(any_event(), 1..40),
+        mutations in proptest::collection::vec(mutation_strategy(), 1..6),
+        chunks in proptest::collection::vec(1usize..53, 1..8),
+    ) {
+        let trace: Trace = events.into_iter().collect();
+        let mut bytes = pm_trace::to_binary(&trace);
+        for mutation in mutations {
+            apply_mutation(&mut bytes, mutation);
+        }
+        let limits = IngestLimits::default().with_max_events(10_000);
+        // Only compare where the batch reader takes the binary path at
+        // all: a destroyed header with no frame magic in the sniff window
+        // makes the batch reader refuse the input outright, while the
+        // push decoder (which is told the format up front) salvages it.
+        let batch = match pm_trace::ingest_bytes(&bytes, IngestMode::Salvage, &limits) {
+            Ok(r) => r,
+            Err(_) => return Ok(()),
+        };
+        if batch.1.format != pm_trace::TraceFormat::BinV2 {
+            return Ok(());
+        }
+        let (batch_trace, batch_report) = batch;
+        let (streamed, stream_report) =
+            stream_decode(&bytes, IngestMode::Salvage, &limits, &chunks).unwrap();
+        prop_assert_eq!(batch_trace.events(), &streamed[..]);
+        prop_assert_eq!(batch_report.frames_ok, stream_report.frames_ok);
+        prop_assert_eq!(batch_report.frames_clean, stream_report.frames_clean);
+        prop_assert_eq!(batch_report.frames_resynced, stream_report.frames_resynced);
+        prop_assert_eq!(batch_report.frames_skipped, stream_report.frames_skipped);
+        prop_assert_eq!(batch_report.resyncs, stream_report.resyncs);
+        prop_assert_eq!(batch_report.bytes_salvaged, stream_report.bytes_salvaged);
+        prop_assert_eq!(batch_report.bytes_read, stream_report.bytes_read);
+        prop_assert_eq!(
+            batch_report.first_error.clone(), stream_report.first_error.clone()
+        );
+    }
+
+    /// Event budgets bite identically in streaming and batch mode.
+    #[test]
+    fn stream_decoder_event_budget_matches_batch(
+        events in proptest::collection::vec(any_event(), 2..60),
+        cap in 1u64..30,
+        chunks in proptest::collection::vec(1usize..97, 1..6),
+    ) {
+        let trace: Trace = events.into_iter().collect();
+        let bytes = pm_trace::to_binary(&trace);
+        let limits = IngestLimits::default().with_max_events(cap);
+        let (batch, batch_report) =
+            pm_trace::ingest_bytes(&bytes, IngestMode::Salvage, &limits).unwrap();
+        let (streamed, stream_report) =
+            stream_decode(&bytes, IngestMode::Salvage, &limits, &chunks).unwrap();
+        prop_assert_eq!(batch.events(), &streamed[..]);
+        prop_assert_eq!(batch_report.truncated, stream_report.truncated);
     }
 }

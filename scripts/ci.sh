@@ -2,7 +2,7 @@
 # Repo CI gate: staged pipeline with per-stage timing. Run from anywhere.
 #
 #   lint -> fmt -> unit -> integration -> docs -> bench-smoke -> obs-smoke
-#     -> ingest-torture -> supervisor-chaos
+#     -> ingest-torture -> supervisor-chaos -> serve-chaos
 #
 # lint        clippy over all targets, warnings are errors
 # fmt         rustfmt check
@@ -27,6 +27,16 @@
 #             wall-clock budget, gated on exit code 0 and "ok":true
 #             (zero process aborts, fault-free shards byte-identical to
 #             sequential, every casualty named exactly)
+# serve-chaos hostile-client sweep (`pmdbg serve-chaos`): >=200 randomized
+#             sessions (truncations, bit flips, disconnects, slow-loris,
+#             injected panics) against a live server under a wall-clock
+#             budget, gated on exit code 0 and "ok":true (zero server
+#             aborts, survivors byte-identical to batch detection, exact
+#             lost-frame accounting), followed by a daemon smoke test:
+#             start `pmdbg serve` as a real process, push the committed
+#             btree fixture, assert the bug summary matches the golden
+#             batch verdict, SIGTERM-drain, and check the exit-code
+#             contract end to end
 #
 # Select a subset of stages by name: `scripts/ci.sh lint fmt unit`.
 set -euo pipefail
@@ -34,7 +44,7 @@ cd "$(dirname "$0")/.."
 
 STAGES=("$@")
 if [ ${#STAGES[@]} -eq 0 ]; then
-  STAGES=(lint fmt unit integration docs bench-smoke obs-smoke ingest-torture supervisor-chaos)
+  STAGES=(lint fmt unit integration docs bench-smoke obs-smoke ingest-torture supervisor-chaos serve-chaos)
 fi
 
 declare -a TIMINGS=()
@@ -114,6 +124,86 @@ supervisor_chaos_stage() {
   echo "supervisor-chaos: ok"
 }
 
+serve_chaos_stage() {
+  # Hostile-client sweep against a live in-process server: 200 randomized
+  # sessions mixing clean pushes with truncations, bit flips, abrupt
+  # disconnects, slow-loris pacing, tiny garbage, injected session panics
+  # (transient and permanent) and budget overruns. The sweep's own
+  # oracles enforce the service contract — zero server aborts, surviving
+  # sessions byte-identical to batch detection on the same frames, exact
+  # lost-frame accounting for quarantined sessions; here we gate on the
+  # machine-readable verdict plus the abort and completion counts.
+  local report
+  report=$(cargo run -q --offline -p pm-cli -- \
+    serve-chaos --sessions 200 --budget-ms 120000 --json)
+  if ! grep -q '"ok":true' <<<"${report}"; then
+    echo "serve-chaos: sweep reported violations:" >&2
+    echo "${report}" >&2
+    exit 1
+  fi
+  if grep -Eq '"aborts":[1-9]' <<<"${report}"; then
+    echo "serve-chaos: sweep reported server aborts" >&2
+    exit 1
+  fi
+  if ! grep -q '"sessions_run":200' <<<"${report}"; then
+    echo "serve-chaos: sweep did not complete all 200 sessions in budget:" >&2
+    echo "${report}" >&2
+    exit 1
+  fi
+  echo "serve-chaos: sweep ok"
+
+  # Daemon smoke test: a real `pmdbg serve` process with real signals.
+  # Push the committed fixture, check the bug summary against the golden
+  # batch verdict (26 multiple-overwrites, the `pmdbg replay` hash), then
+  # SIGTERM and check the drain and the exit-code contract (1 = bugs).
+  cargo build -q --offline -p pm-cli
+  local sock manifest response push_rc=0 serve_rc=0 serve_pid
+  sock="/tmp/pmdbg-ci-$$.sock"
+  manifest="/tmp/pmdbg-ci-$$.manifest.json"
+  rm -f "${sock}" "${manifest}"
+  target/debug/pmdbg serve --listen "${sock}" --metrics "${manifest}" &
+  serve_pid=$!
+  for _ in $(seq 1 100); do
+    [ -S "${sock}" ] && break
+    sleep 0.1
+  done
+  if [ ! -S "${sock}" ]; then
+    echo "serve-chaos: daemon never bound ${sock}" >&2
+    kill "${serve_pid}" 2>/dev/null || true
+    exit 1
+  fi
+  response=$(target/debug/pmdbg push --addr "${sock}" \
+    --trace tests/fixtures/btree_96.pmt2 --json) || push_rc=$?
+  if [ "${push_rc}" -ne 1 ]; then
+    echo "serve-chaos: push should exit 1 (bugs found), got ${push_rc}" >&2
+    kill "${serve_pid}" 2>/dev/null || true
+    exit 1
+  fi
+  if ! grep -q '"report_hash":"4fc95a913f0f9819"' <<<"${response}" ||
+    ! grep -q '"kinds":{"multiple-overwrites":26}' <<<"${response}"; then
+    echo "serve-chaos: bug summary drifted from the golden batch verdict:" >&2
+    echo "${response}" >&2
+    kill "${serve_pid}" 2>/dev/null || true
+    exit 1
+  fi
+  kill -TERM "${serve_pid}"
+  wait "${serve_pid}" || serve_rc=$?
+  if [ "${serve_rc}" -ne 1 ]; then
+    echo "serve-chaos: serve should exit 1 (bugs across sessions), got ${serve_rc}" >&2
+    exit 1
+  fi
+  if ! grep -q '"tool":"pmdbg-serve"' "${manifest}"; then
+    echo "serve-chaos: final manifest missing or malformed: ${manifest}" >&2
+    exit 1
+  fi
+  if [ -S "${sock}" ]; then
+    echo "serve-chaos: socket not unlinked after drain" >&2
+    exit 1
+  fi
+  rm -f "${manifest}"
+  echo "serve-chaos: daemon smoke ok"
+}
+
 obs_smoke_stage() {
   # Metrics-overhead gate: smoke-sized run, fail when metrics-on costs
   # more than PM_OBS_MAX_OVERHEAD_PCT (default 5% — the smoke inputs are
@@ -152,6 +242,9 @@ for stage in "${STAGES[@]}"; do
       ;;
     supervisor-chaos)
       run_stage supervisor-chaos supervisor_chaos_stage
+      ;;
+    serve-chaos)
+      run_stage serve-chaos serve_chaos_stage
       ;;
     *)
       echo "unknown stage: ${stage}" >&2
