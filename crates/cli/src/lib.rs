@@ -123,6 +123,11 @@ pub enum Command {
         /// Skip corrupt frames and replay what survives (`--salvage`)
         /// instead of aborting on the first corruption (`--strict`).
         salvage: bool,
+        /// Zero-copy ingestion: `Some(true)` forces it (`--zero-copy`),
+        /// `Some(false)` disables it (`--no-zero-copy`), `None` auto-enables
+        /// it for v2 binary traces replayed through the sequential
+        /// pmdebugger engine.
+        zero_copy: Option<bool>,
         /// Supervision flags; any present flag engages the supervised
         /// pipeline (pmdebugger only).
         supervise: SuperviseArgs,
@@ -512,6 +517,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
             let mut threads = 1usize;
             let mut metrics: Option<String> = None;
             let mut salvage = false;
+            let mut zero_copy: Option<bool> = None;
             let mut supervise = SuperviseArgs::default();
             while let Some(flag) = it.next() {
                 let mut value = |name: &str| {
@@ -528,6 +534,8 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                     "--metrics" => metrics = Some(value(flag)?),
                     "--salvage" => salvage = true,
                     "--strict" => salvage = false,
+                    "--zero-copy" => zero_copy = Some(true),
+                    "--no-zero-copy" => zero_copy = Some(false),
                     "--max-retries" => {
                         supervise.max_retries = Some(parse_number(flag, value(flag)?)?);
                     }
@@ -549,6 +557,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                 threads,
                 metrics,
                 salvage,
+                zero_copy,
                 supervise,
             })
         }
@@ -958,6 +967,110 @@ fn write_manifest(
     std::fs::write(path, manifest.to_json())
         .map_err(|e| ExecError::Internal(format!("cannot write {path}: {e}")))?;
     writeln!(out, "metrics manifest -> {path}").map_err(wr)
+}
+
+/// Replays a v2 binary image through the sequential pmdebugger engine with
+/// zero-copy ingestion: frames are CRC-checked and decoded in place into
+/// borrowed events ([`pm_trace::PmEventRef`]) fed straight to the engine —
+/// no owned [`Trace`], no per-event allocation. Reports, salvage/ingest
+/// accounting and the metrics manifest are byte-identical to the owned
+/// replay path over the same image.
+#[allow(clippy::too_many_arguments)]
+fn execute_replay_zero_copy(
+    bytes: &[u8],
+    path: &str,
+    tool: &str,
+    mode: IngestMode,
+    salvage: bool,
+    model: PersistencyModel,
+    spec: Option<&OrderSpec>,
+    metrics: Option<&String>,
+    out: &mut dyn fmt::Write,
+) -> Result<Outcome, ExecError> {
+    let registry = metrics.map(|_| MetricsRegistry::new());
+    let mut config = DebuggerConfig::for_model(model);
+    if let Some(spec) = spec {
+        config = config.with_order_spec(spec.clone());
+    }
+    let mut engine = match &registry {
+        Some(registry) => PmDebugger::with_metrics(config, registry),
+        None => PmDebugger::new(config),
+    };
+    let start = Instant::now();
+    let span = registry.as_ref().map(|r| r.span("stage.replay"));
+    let walker = pm_trace::zero_copy(bytes, mode, &IngestLimits::default())
+        .map_err(|e| ExecError::Input(format!("{path}: {e}")))?;
+    let mut walker = match walker {
+        pm_trace::ZeroCopy::Binary(walker) => walker,
+        // The caller only routes here after sniffing the v2 file magic.
+        pm_trace::ZeroCopy::Text => {
+            return Err(ExecError::Internal(format!(
+                "{path}: sniffed as v2 binary but classified as text"
+            )))
+        }
+    };
+    let mut kind_counts = [0u64; pm_trace::PmEvent::KIND_NAMES.len()];
+    let mut events = 0u64;
+    walker
+        .for_each_ref(|event| {
+            kind_counts[event.kind_index()] += 1;
+            engine.on_event_ref(events, &event);
+            events += 1;
+        })
+        .map_err(|e| ExecError::Input(format!("{path}: {e}")))?;
+    let reports = engine.finish();
+    drop(span);
+    let elapsed = start.elapsed();
+    let ingest = walker.into_report();
+    if salvage || !ingest.clean() {
+        writeln!(out, "{}", ingest.summary()).map_err(wr)?;
+    }
+    writeln!(
+        out,
+        "replayed {events} events through {tool} [zero-copy] in {:.1} ms",
+        elapsed.as_secs_f64() * 1e3
+    )
+    .map_err(wr)?;
+    let summary = BugSummary::from_reports(reports.clone());
+    write!(out, "{summary}").map_err(wr)?;
+    if let (Some(registry), Some(manifest_path)) = (&registry, metrics) {
+        for (i, &count) in kind_counts.iter().enumerate() {
+            if count > 0 {
+                registry
+                    .counter(&format!("events.{}", pm_trace::PmEvent::KIND_NAMES[i]))
+                    .add(count);
+            }
+        }
+        registry.counter("ingest.frames_ok").add(ingest.frames_ok);
+        registry
+            .counter("ingest.frames_clean")
+            .add(ingest.frames_clean);
+        registry
+            .counter("ingest.frames_resynced")
+            .add(ingest.frames_resynced);
+        registry
+            .counter("ingest.frames_skipped")
+            .add(ingest.frames_skipped);
+        registry.counter("ingest.resyncs").add(ingest.resyncs);
+        registry
+            .counter("ingest.bytes_salvaged")
+            .add(ingest.bytes_salvaged);
+        registry
+            .counter("ingest.elapsed_ms")
+            .add(ingest.elapsed.as_millis() as u64);
+        write_manifest(
+            manifest_path,
+            tool,
+            path,
+            model_label(model),
+            0,
+            1,
+            registry,
+            bug_digest(&reports),
+            out,
+        )?;
+    }
+    Ok(Outcome::from_report_count(reports.len()))
 }
 
 /// Runs the supervised detection pipeline over a recorded trace and
@@ -1394,20 +1507,26 @@ pub fn execute_outcome(command: Command, out: &mut dyn fmt::Write) -> Result<Out
             threads,
             metrics,
             salvage,
+            zero_copy,
             supervise,
         } => {
-            let bytes = std::fs::read(&path)
+            // A flag contradiction is diagnosable without touching the file.
+            let engine_eligible = tool == "pmdebugger" && threads == 1 && !supervise.engaged();
+            if zero_copy == Some(true) && !engine_eligible {
+                return Err(ExecError::Input(
+                    "--zero-copy requires the sequential pmdebugger engine \
+                     (--tool pmdebugger --threads 1, no supervision flags)"
+                        .into(),
+                ));
+            }
+            let mapped = pm_trace::MappedTrace::open(std::path::Path::new(&path))
                 .map_err(|e| ExecError::Input(format!("cannot read {path}: {e}")))?;
+            let bytes = mapped.bytes();
             let mode = if salvage {
                 IngestMode::Salvage
             } else {
                 IngestMode::Strict
             };
-            let (trace, ingest) = pm_trace::ingest_bytes(&bytes, mode, &IngestLimits::default())
-                .map_err(|e| ExecError::Input(format!("{path}: {e}")))?;
-            if salvage || !ingest.clean() {
-                writeln!(out, "{}", ingest.summary()).map_err(wr)?;
-            }
             let model = match model.as_str() {
                 "strict" => PersistencyModel::Strict,
                 "epoch" => PersistencyModel::Epoch,
@@ -1426,6 +1545,34 @@ pub fn execute_outcome(command: Command, out: &mut dyn fmt::Write) -> Result<Out
                     )
                 }
             };
+            // Zero-copy ingestion drives the sequential pmdebugger engine
+            // straight off the mapped v2 image: borrowed events, no owned
+            // `Trace`. Auto-on for that configuration; `--no-zero-copy`
+            // falls back to the owned path, `--zero-copy` insists.
+            let is_binary = pm_trace::sniff_format(bytes) == Some(pm_trace::TraceFormat::BinV2);
+            if zero_copy == Some(true) && !is_binary {
+                return Err(ExecError::Input(format!(
+                    "{path}: --zero-copy requires a pm-trace v2 binary trace"
+                )));
+            }
+            if engine_eligible && is_binary && zero_copy.unwrap_or(true) {
+                return execute_replay_zero_copy(
+                    bytes,
+                    &path,
+                    &tool,
+                    mode,
+                    salvage,
+                    model,
+                    spec.as_ref(),
+                    metrics.as_ref(),
+                    out,
+                );
+            }
+            let (trace, ingest) = pm_trace::ingest_bytes(bytes, mode, &IngestLimits::default())
+                .map_err(|e| ExecError::Input(format!("{path}: {e}")))?;
+            if salvage || !ingest.clean() {
+                writeln!(out, "{}", ingest.summary()).map_err(wr)?;
+            }
             if supervise.engaged() {
                 if tool != "pmdebugger" {
                     return Err(ExecError::Input(format!(
@@ -2094,6 +2241,7 @@ mod tests {
                 threads: 1,
                 metrics: None,
                 salvage: false,
+                zero_copy: None,
                 supervise: SuperviseArgs::default(),
             }
         );
@@ -2130,6 +2278,7 @@ mod tests {
                 threads: 1,
                 metrics: None,
                 salvage: false,
+                zero_copy: None,
                 supervise: SuperviseArgs::default(),
             },
             &mut out,
@@ -2150,6 +2299,7 @@ mod tests {
                 threads: 1,
                 metrics: None,
                 salvage: false,
+                zero_copy: None,
                 supervise: SuperviseArgs::default(),
             },
             &mut String::new(),
@@ -2481,6 +2631,7 @@ mod tests {
                 threads: 1,
                 metrics: Some(manifest_path.to_str().unwrap().to_owned()),
                 salvage: false,
+                zero_copy: None,
                 supervise: SuperviseArgs::default(),
             },
             &mut out,
@@ -2631,6 +2782,7 @@ mod tests {
                     threads: 1,
                     metrics: None,
                     salvage: false,
+                    zero_copy: None,
                     supervise: SuperviseArgs::default(),
                 },
                 &mut out,
@@ -2673,6 +2825,7 @@ mod tests {
                 threads: 1,
                 metrics: None,
                 salvage: false,
+                zero_copy: None,
                 supervise: SuperviseArgs::default(),
             },
             &mut String::new(),
@@ -2692,6 +2845,7 @@ mod tests {
                 threads: 1,
                 metrics: None,
                 salvage: true,
+                zero_copy: None,
                 supervise: SuperviseArgs::default(),
             },
             &mut out,
@@ -2699,6 +2853,115 @@ mod tests {
         .unwrap();
         assert!(out.contains("skipped"), "salvage summary shown: {out}");
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn parses_zero_copy_flags() {
+        let cmd = parse(&args(&["replay", "--trace", "/tmp/t", "--zero-copy"])).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Replay {
+                zero_copy: Some(true),
+                ..
+            }
+        ));
+        let cmd = parse(&args(&["replay", "--trace", "/tmp/t", "--no-zero-copy"])).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Replay {
+                zero_copy: Some(false),
+                ..
+            }
+        ));
+        let cmd = parse(&args(&["replay", "--trace", "/tmp/t"])).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Replay {
+                zero_copy: None,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn zero_copy_requires_sequential_pmdebugger() {
+        let err = execute_outcome(
+            Command::Replay {
+                trace: "/tmp/whatever".into(),
+                tool: "pmdebugger".into(),
+                model: "strict".into(),
+                order: None,
+                threads: 4,
+                metrics: None,
+                salvage: false,
+                zero_copy: Some(true),
+                supervise: SuperviseArgs::default(),
+            },
+            &mut String::new(),
+        )
+        .unwrap_err();
+        assert!(
+            err.message().contains("--zero-copy requires"),
+            "{}",
+            err.message()
+        );
+    }
+
+    #[test]
+    fn zero_copy_replay_matches_owned_replay() {
+        let dir = std::env::temp_dir();
+        let trace_path = dir.join("pmdbg_cli_zcp.pmt2");
+        execute(
+            Command::Record {
+                workload: "b_tree".into(),
+                ops: 96,
+                format: "bin".into(),
+                out: trace_path.to_str().unwrap().to_owned(),
+            },
+            &mut String::new(),
+        )
+        .unwrap();
+        let replay = |zero_copy: Option<bool>, manifest: &std::path::Path| {
+            let mut out = String::new();
+            execute_outcome(
+                Command::Replay {
+                    trace: trace_path.to_str().unwrap().to_owned(),
+                    tool: "pmdebugger".into(),
+                    model: "strict".into(),
+                    order: None,
+                    threads: 1,
+                    metrics: Some(manifest.to_str().unwrap().to_owned()),
+                    salvage: false,
+                    zero_copy,
+                    supervise: SuperviseArgs::default(),
+                },
+                &mut out,
+            )
+            .unwrap();
+            out
+        };
+        let owned_manifest = dir.join("pmdbg_cli_zcp_owned.json");
+        let zc_manifest = dir.join("pmdbg_cli_zcp_zc.json");
+        let owned_out = replay(Some(false), &owned_manifest);
+        let zc_out = replay(None, &zc_manifest); // auto-on for v2 binary
+        assert!(!owned_out.contains("[zero-copy]"), "{owned_out}");
+        assert!(zc_out.contains("[zero-copy]"), "{zc_out}");
+
+        let load = |path: &std::path::Path| {
+            let text = std::fs::read_to_string(path).unwrap();
+            RunManifest::from_json(&text).unwrap()
+        };
+        let (mut owned, mut zc) = (load(&owned_manifest), load(&zc_manifest));
+        // Everything but wall-clock must agree: bug digest (including the
+        // report hash), event-kind counters and ingest accounting.
+        assert_eq!(owned.bugs, zc.bugs);
+        owned.counters.remove("ingest.elapsed_ms");
+        zc.counters.remove("ingest.elapsed_ms");
+        assert_eq!(owned.counters, zc.counters);
+        assert!(zc.bugs.total > 0, "workload should fire rules");
+        std::fs::remove_file(&trace_path).ok();
+        std::fs::remove_file(&owned_manifest).ok();
+        std::fs::remove_file(&zc_manifest).ok();
     }
 
     #[test]
@@ -2716,6 +2979,7 @@ mod tests {
                     threads: 1,
                     metrics: None,
                     salvage,
+                    zero_copy: None,
                     supervise: SuperviseArgs::default(),
                 },
                 &mut String::new(),
@@ -2766,6 +3030,7 @@ mod tests {
                 threads: 1,
                 metrics: Some(manifest_path.to_str().unwrap().to_owned()),
                 salvage: true,
+                zero_copy: None,
                 supervise: SuperviseArgs::default(),
             },
             &mut String::new(),
@@ -3137,6 +3402,7 @@ mod tests {
                 threads: 2,
                 metrics: None,
                 salvage: false,
+                zero_copy: None,
                 supervise: SuperviseArgs {
                     max_retries: Some(1),
                     ..SuperviseArgs::default()

@@ -6,7 +6,9 @@ use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
 
 use pm_obs::{Counter, MetricsRegistry};
-use pm_trace::{Addr, BugKind, BugReport, Detector, FenceKind, PmEvent, StrandId, ThreadId};
+use pm_trace::{
+    Addr, BugKind, BugReport, Detector, FenceKind, PmEvent, PmEventRef, StrandId, ThreadId,
+};
 
 use crate::config::{DebuggerConfig, PersistencyModel};
 use crate::order::OrderTracker;
@@ -235,6 +237,20 @@ impl PmDebugger {
         self.finish()
     }
 
+    /// [`PmDebugger::detect_stream`] over borrowed events — the zero-copy
+    /// entry point. The detector never retains any part of an event (names
+    /// are interned into the order tracker's own storage), so callers can
+    /// stream [`PmEventRef`]s decoded straight out of a mapped trace file.
+    /// Produces reports byte-identical to the owned path over the same
+    /// stream.
+    pub fn detect_stream_ref<'a, I>(&mut self, events: I) -> Vec<BugReport>
+    where
+        I: IntoIterator<Item = PmEventRef<'a>>,
+    {
+        self.feed_events_ref(0, events);
+        self.finish()
+    }
+
     /// Runs a chunk of events through the detector starting at sequence
     /// number `start_seq`, returning how many were processed. Shared by
     /// [`PmDebugger::detect_stream`] (one chunk from 0) and
@@ -250,6 +266,33 @@ impl PmDebugger {
             n += 1;
         }
         n
+    }
+
+    /// [`PmDebugger::feed_events`] over borrowed events; shared by
+    /// [`PmDebugger::detect_stream_ref`] and
+    /// [`crate::session::DetectSession::feed_ref`].
+    pub(crate) fn feed_events_ref<'a, I>(&mut self, start_seq: u64, events: I) -> u64
+    where
+        I: IntoIterator<Item = PmEventRef<'a>>,
+    {
+        let mut n = 0;
+        for event in events {
+            self.on_event_ref(start_seq + n, &event);
+            n += 1;
+        }
+        n
+    }
+
+    /// Processes one borrowed event. Identical detection semantics to
+    /// [`Detector::on_event`]; an owned event is materialized only when
+    /// custom rules are registered (their trait observes `&PmEvent`).
+    pub fn on_event_ref(&mut self, seq: u64, event: &PmEventRef<'_>) {
+        self.events_processed += 1;
+        self.dispatch(seq, event);
+        if !self.custom_rules.is_empty() {
+            let owned = event.to_owned();
+            self.run_custom_rules(seq, &owned);
+        }
     }
 
     /// Takes the reports accumulated so far, leaving the detector running.
@@ -533,31 +576,28 @@ impl PmDebugger {
             );
         }
     }
-}
 
-impl Detector for PmDebugger {
-    fn name(&self) -> &str {
-        "pmdebugger"
-    }
-
-    fn on_event(&mut self, seq: u64, event: &PmEvent) {
-        self.events_processed += 1;
+    /// Core event dispatch, shared verbatim by the owned
+    /// ([`Detector::on_event`]) and borrowed ([`PmDebugger::on_event_ref`])
+    /// paths: every handler takes scalars, and the two string-carrying
+    /// variants reach the order tracker as `&str` either way.
+    fn dispatch(&mut self, seq: u64, event: &PmEventRef<'_>) {
         match event {
-            PmEvent::Store {
+            PmEventRef::Store {
                 addr,
                 size,
                 tid,
                 strand,
                 in_epoch,
             } => self.handle_store(seq, *addr, u64::from(*size), *tid, *strand, *in_epoch),
-            PmEvent::Flush {
+            PmEventRef::Flush {
                 addr,
                 size,
                 kind: _,
                 tid,
                 strand,
             } => self.handle_flush(seq, *addr, u64::from(*size), *tid, *strand),
-            PmEvent::Fence {
+            PmEventRef::Fence {
                 kind,
                 tid,
                 strand,
@@ -572,15 +612,15 @@ impl Detector for PmDebugger {
                 }
                 self.handle_fence(seq, *tid, *strand, *in_epoch);
             }
-            PmEvent::EpochBegin { tid } => {
+            PmEventRef::EpochBegin { tid } => {
                 self.epochs.insert(*tid, EpochState::default());
             }
-            PmEvent::EpochEnd { tid } => self.handle_epoch_end(seq, *tid),
-            PmEvent::StrandBegin { .. } => {
+            PmEventRef::EpochEnd { tid } => self.handle_epoch_end(seq, *tid),
+            PmEventRef::StrandBegin { .. } => {
                 self.strand_seen = true;
             }
-            PmEvent::StrandEnd { .. } => {}
-            PmEvent::JoinStrand { .. } => {
+            PmEventRef::StrandEnd { .. } => {}
+            PmEventRef::JoinStrand { .. } => {
                 // Explicit cross-strand ordering point: order all persists
                 // issued so far (acts as a fence over every space).
                 for space in self.spaces.values_mut() {
@@ -591,40 +631,56 @@ impl Detector for PmDebugger {
                     self.reports.extend(order_reports);
                 }
             }
-            PmEvent::TxLog {
+            PmEventRef::TxLog {
                 obj_addr,
                 size,
                 tid,
             } => self.handle_tx_log(seq, *tid, *obj_addr, u64::from(*size)),
-            PmEvent::FuncEnter { name, .. } => self.order.func_enter(name),
-            PmEvent::NameRange { name, addr, size } => {
+            PmEventRef::FuncEnter { name, .. } => self.order.func_enter(name),
+            PmEventRef::NameRange { name, addr, size } => {
                 self.order.bind(name, *addr, u64::from(*size));
             }
-            PmEvent::Crash => self.handle_crash(),
-            PmEvent::RecoveryRead { addr, size } => {
+            PmEventRef::Crash => self.handle_crash(),
+            PmEventRef::RecoveryRead { addr, size } => {
                 self.handle_recovery_read(seq, *addr, u64::from(*size));
             }
-            PmEvent::RegisterPmem { .. } | PmEvent::Annotation(_) => {}
+            PmEventRef::RegisterPmem { .. } | PmEventRef::Annotation(_) => {}
         }
+    }
 
-        if !self.custom_rules.is_empty() {
-            let view = SpaceView {
-                spaces: &self.spaces,
-            };
-            let mut extra = Vec::new();
-            for rule in &mut self.custom_rules {
-                let fired = rule.on_event(seq, event, &view);
-                if !fired.is_empty() {
-                    if let Some(metrics) = &self.metrics {
-                        metrics
-                            .registry
-                            .counter(&format!("custom_rule.{}", rule.name()))
-                            .add(fired.len() as u64);
-                    }
+    /// Runs every registered custom rule over one event, crediting firings
+    /// to the metrics registry when one is attached.
+    fn run_custom_rules(&mut self, seq: u64, event: &PmEvent) {
+        let view = SpaceView {
+            spaces: &self.spaces,
+        };
+        let mut extra = Vec::new();
+        for rule in &mut self.custom_rules {
+            let fired = rule.on_event(seq, event, &view);
+            if !fired.is_empty() {
+                if let Some(metrics) = &self.metrics {
+                    metrics
+                        .registry
+                        .counter(&format!("custom_rule.{}", rule.name()))
+                        .add(fired.len() as u64);
                 }
-                extra.extend(fired);
             }
-            self.reports.extend(extra);
+            extra.extend(fired);
+        }
+        self.reports.extend(extra);
+    }
+}
+
+impl Detector for PmDebugger {
+    fn name(&self) -> &str {
+        "pmdebugger"
+    }
+
+    fn on_event(&mut self, seq: u64, event: &PmEvent) {
+        self.events_processed += 1;
+        self.dispatch(seq, &event.as_ref());
+        if !self.custom_rules.is_empty() {
+            self.run_custom_rules(seq, event);
         }
     }
 
@@ -1181,6 +1237,83 @@ mod tests {
         let _ = run(vec![store(0, 8), flush(0), fence(), fence()], debugger);
         let snap = registry.snapshot();
         assert_eq!(snap.counter("custom_rule.every-fence"), 2);
+    }
+
+    #[test]
+    fn ref_stream_reports_match_owned_stream_reports() {
+        // A stream firing several rules (multiple-overwrites, redundant
+        // flush, no-order via named ranges, end-of-run durability): the
+        // borrowed path must reproduce the owned path's report list and
+        // counters exactly.
+        let mut spec = pm_trace::OrderSpec::new();
+        spec.add_rule("value", "key", None);
+        let config = DebuggerConfig::for_model(PersistencyModel::Strict).with_order_spec(spec);
+        let events = vec![
+            PmEvent::NameRange {
+                name: "value".into(),
+                addr: 0,
+                size: 8,
+            },
+            PmEvent::NameRange {
+                name: "key".into(),
+                addr: 64,
+                size: 8,
+            },
+            PmEvent::FuncEnter {
+                name: "insert".into(),
+                tid: ThreadId(0),
+            },
+            store(0, 8),
+            store(0, 8), // multiple overwrites
+            store(64, 8),
+            flush(64),
+            fence(), // key durable before value: no-order
+            flush(0),
+            flush(0), // redundant flush
+            fence(),
+            store(128, 8), // left undurable
+        ];
+        let mut owned = PmDebugger::new(config.clone());
+        let owned_reports = owned.detect_stream(&events);
+        let mut borrowed = PmDebugger::new(config);
+        let ref_reports = borrowed.detect_stream_ref(events.iter().map(|e| e.as_ref()));
+        assert_eq!(owned_reports, ref_reports);
+        assert!(!owned_reports.is_empty());
+        assert_eq!(owned.events_processed, borrowed.events_processed);
+        assert_eq!(owned.malformed_events(), borrowed.malformed_events());
+    }
+
+    #[test]
+    fn custom_rules_fire_on_the_ref_path() {
+        struct EveryFence;
+        impl CustomRule for EveryFence {
+            fn name(&self) -> &str {
+                "every-fence"
+            }
+            fn on_event(
+                &mut self,
+                seq: u64,
+                event: &PmEvent,
+                _view: &SpaceView<'_>,
+            ) -> Vec<BugReport> {
+                if matches!(event, PmEvent::Fence { .. }) {
+                    vec![BugReport::new(BugKind::RedundantFlushes, "fence seen").with_event(seq)]
+                } else {
+                    Vec::new()
+                }
+            }
+        }
+        let events = [store(0, 8), flush(0), fence(), fence()];
+        let mut debugger = PmDebugger::strict();
+        debugger.add_custom_rule(Box::new(EveryFence));
+        let reports = debugger.detect_stream_ref(events.iter().map(|e| e.as_ref()));
+        assert_eq!(
+            reports
+                .iter()
+                .filter(|r| r.message.contains("fence seen"))
+                .count(),
+            2
+        );
     }
 
     #[test]

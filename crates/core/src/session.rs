@@ -25,7 +25,7 @@
 //! `feed` result plus the final [`DetectSession::finish`] result is
 //! identical to [`PmDebugger::detect_stream`] over the whole stream.
 
-use pm_trace::{BugReport, Detector, PmEvent};
+use pm_trace::{BugReport, Detector, PmEvent, PmEventRef};
 
 use crate::config::DebuggerConfig;
 use crate::debugger::PmDebugger;
@@ -137,6 +137,26 @@ impl DetectSession {
     pub fn feed(&mut self, events: &[PmEvent]) -> Vec<BugReport> {
         assert!(!self.finished, "DetectSession::feed after finish");
         self.events_fed += self.inner.feed_events(self.events_fed, events);
+        let out = self.inner.drain_reports();
+        self.reports_emitted += out.len() as u64;
+        out
+    }
+
+    /// [`DetectSession::feed`] over borrowed events — the zero-copy form.
+    /// Chunks of [`PmEventRef`]s decoded straight out of a mapped trace
+    /// flow through the same engine code; the byte-identity invariant
+    /// extends to mixing `feed` and `feed_ref` chunks over one stream.
+    ///
+    /// # Panics
+    ///
+    /// If called after [`DetectSession::finish`], like
+    /// [`DetectSession::feed`].
+    pub fn feed_ref<'a, I>(&mut self, events: I) -> Vec<BugReport>
+    where
+        I: IntoIterator<Item = PmEventRef<'a>>,
+    {
+        assert!(!self.finished, "DetectSession::feed after finish");
+        self.events_fed += self.inner.feed_events_ref(self.events_fed, events);
         let out = self.inner.drain_reports();
         self.reports_emitted += out.len() as u64;
         out
@@ -336,6 +356,25 @@ mod tests {
         assert_eq!(a_out, expect);
         assert_eq!(head, expect);
         assert_eq!(report_hash(&a_out), report_hash(&expect));
+    }
+
+    #[test]
+    fn mixed_feed_and_feed_ref_chunks_match_batch() {
+        let events = sample_stream();
+        let mut session = DetectSession::new(DebuggerConfig::for_model(PersistencyModel::Strict));
+        let mut got = Vec::new();
+        for (i, chunk) in events.chunks(3).enumerate() {
+            if i % 2 == 0 {
+                got.extend(session.feed_ref(chunk.iter().map(|e| e.as_ref())));
+            } else {
+                got.extend(session.feed(chunk));
+            }
+        }
+        got.extend(session.finish());
+        let expect = batch(&events);
+        assert_eq!(got, expect);
+        assert_eq!(report_hash(&got), report_hash(&expect));
+        assert_eq!(session.events_fed(), events.len() as u64);
     }
 
     #[test]

@@ -44,6 +44,10 @@ fn any_event() -> impl Strategy<Value = PmEvent> {
         }),
         1 => Just(PmEvent::Crash),
         1 => (0u64..512, 1u32..64).prop_map(|(addr, size)| PmEvent::RecoveryRead { addr, size }),
+        1 => ("[a-c]", 0u64..512, 1u32..64)
+            .prop_map(|(name, addr, size)| PmEvent::NameRange { name, addr, size }),
+        1 => ("fn_[a-c]", 0u32..3)
+            .prop_map(|(name, tid)| PmEvent::FuncEnter { name, tid: ThreadId(tid) }),
     ]
 }
 
@@ -163,5 +167,43 @@ proptest! {
         prop_assert_eq!(session.events_fed(), events.len() as u64);
         prop_assert_eq!(session.reports_emitted(), got.len() as u64);
         prop_assert_eq!(got, expect);
+    }
+
+    /// The borrowed-event entry point is byte-identical to the owned one:
+    /// `detect_stream_ref` over `PmEvent::as_ref` views reproduces the
+    /// `detect_stream` report list (and hash) exactly, for every model.
+    #[test]
+    fn ref_path_is_byte_identical_to_owned_path(
+        events in proptest::collection::vec(any_event(), 1..120),
+        model in models(),
+    ) {
+        let expect = batch(model, &events);
+        let got = PmDebugger::new(DebuggerConfig::for_model(model))
+            .detect_stream_ref(events.iter().map(PmEvent::as_ref));
+        prop_assert_eq!(&got, &expect);
+        prop_assert_eq!(report_hash(&got), report_hash(&expect));
+    }
+
+    /// A session fed through an arbitrary interleaving of owned `feed`
+    /// and borrowed `feed_ref` chunks still matches the batch run.
+    #[test]
+    fn mixed_owned_and_ref_chunks_are_byte_identical(
+        events in proptest::collection::vec(any_event(), 1..100),
+        splits in proptest::collection::vec(1usize..13, 1..5),
+        model in models(),
+    ) {
+        let expect = batch(model, &events);
+        let mut session = DetectSession::new(DebuggerConfig::for_model(model));
+        let mut got = Vec::new();
+        for (i, chunk) in chunked(&events, &splits).into_iter().enumerate() {
+            if i % 2 == 0 {
+                got.extend(session.feed_ref(chunk.iter().map(PmEvent::as_ref)));
+            } else {
+                got.extend(session.feed(chunk));
+            }
+        }
+        got.extend(session.finish());
+        prop_assert_eq!(&got, &expect);
+        prop_assert_eq!(report_hash(&got), report_hash(&expect));
     }
 }

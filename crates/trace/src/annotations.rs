@@ -9,7 +9,7 @@
 use crate::events::Addr;
 
 /// An assertion the programmer embedded in the PM program.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Annotation {
     /// `TX_CHECKER_START`-style: begin a checked transaction region.
     CheckerStart,

@@ -27,7 +27,7 @@ use std::error::Error;
 use std::fmt;
 
 use crate::annotations::Annotation;
-use crate::events::{FenceKind, PmEvent, StrandId, ThreadId};
+use crate::events::{FenceKind, PmEvent, PmEventRef, StrandId, ThreadId};
 use crate::recorder::Trace;
 use pmem_sim::FlushKind;
 
@@ -72,6 +72,67 @@ const fn build_crc_table() -> [u32; 256] {
 pub fn crc32(bytes: &[u8]) -> u32 {
     let mut c = 0xFFFF_FFFFu32;
     for &b in bytes {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Eight CRC tables for the slicing-by-8 kernel: `CRC_TABLES[k][b]` is the
+/// CRC contribution of byte `b` seen `k` bytes before the end of an 8-byte
+/// block.
+const CRC_TABLES: [[u32; 256]; 8] = build_crc_tables();
+
+const fn build_crc_tables() -> [[u32; 256]; 8] {
+    let base = build_crc_table();
+    let mut tables = [[0u32; 256]; 8];
+    tables[0] = base;
+    let mut t = 1;
+    while t < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[t - 1][i];
+            tables[t][i] = base[(prev & 0xFF) as usize] ^ (prev >> 8);
+            i += 1;
+        }
+        t += 1;
+    }
+    tables
+}
+
+/// CRC32 (IEEE) of `bytes` via slicing-by-8: the hot loop folds eight bytes
+/// per iteration through eight precomputed tables, giving word-at-a-time
+/// throughput while producing bit-identical results to [`crc32`]
+/// (equivalence is unit-tested below and property-tested in
+/// `crates/trace/tests/zerocopy_properties.rs`).
+#[inline(always)]
+pub fn crc32_fast(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let lo = u32::from_le_bytes(chunk[..4].try_into().expect("4 bytes")) ^ c;
+        let hi = u32::from_le_bytes(chunk[4..].try_into().expect("4 bytes"));
+        c = CRC_TABLES[7][(lo & 0xFF) as usize]
+            ^ CRC_TABLES[6][((lo >> 8) & 0xFF) as usize]
+            ^ CRC_TABLES[5][((lo >> 16) & 0xFF) as usize]
+            ^ CRC_TABLES[4][(lo >> 24) as usize]
+            ^ CRC_TABLES[3][(hi & 0xFF) as usize]
+            ^ CRC_TABLES[2][((hi >> 8) & 0xFF) as usize]
+            ^ CRC_TABLES[1][((hi >> 16) & 0xFF) as usize]
+            ^ CRC_TABLES[0][(hi >> 24) as usize];
+    }
+    // Typical v2 payloads are shorter than 8 bytes, so the remainder *is*
+    // the hot path: fold one 4-byte block (slicing-by-4, four independent
+    // lookups) before falling back to the serial byte loop.
+    let mut rem = chunks.remainder();
+    if rem.len() >= 4 {
+        let lo = u32::from_le_bytes(rem[..4].try_into().expect("4 bytes")) ^ c;
+        c = CRC_TABLES[3][(lo & 0xFF) as usize]
+            ^ CRC_TABLES[2][((lo >> 8) & 0xFF) as usize]
+            ^ CRC_TABLES[1][((lo >> 16) & 0xFF) as usize]
+            ^ CRC_TABLES[0][(lo >> 24) as usize];
+        rem = &rem[4..];
+    }
+    for &b in rem {
         c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
     }
     c ^ 0xFFFF_FFFF
@@ -231,64 +292,212 @@ pub fn to_binary(trace: &Trace) -> Vec<u8> {
     out
 }
 
+// Error-string constructors for the decode hot path. Formatting machinery
+// is heavyweight relative to the few-cycle accessors it sits in; hoisting
+// it into `#[cold]` never-inlined helpers keeps the Ok paths small enough
+// to inline end-to-end, and sharing one helper between the owned and
+// borrowed decoders guarantees the strings stay byte-identical.
+#[cold]
+#[inline(never)]
+fn err_payload_ends_early() -> String {
+    "payload ends early".to_owned()
+}
+
+#[cold]
+#[inline(never)]
+fn err_varint_overflow() -> String {
+    "varint overflows u64".to_owned()
+}
+
+#[cold]
+#[inline(never)]
+fn err_exceeds_u32(what: &str, v: u64) -> String {
+    format!("{what} {v} exceeds u32")
+}
+
+#[cold]
+#[inline(never)]
+fn err_strand_exceeds_u32(n: u64) -> String {
+    format!("strand id {n} exceeds u32")
+}
+
+#[cold]
+#[inline(never)]
+fn err_invalid_byte(what: &str, byte: u8) -> String {
+    format!("invalid {what} byte {byte:#04x}")
+}
+
+/// Single-byte `Option<StrandId>` decode: 0 is `None`, n is `Some(n - 1)`
+/// — the byte-sized case of [`Cursor::strand`]'s mapping.
+#[inline(always)]
+fn small_strand(b: u8) -> Option<StrandId> {
+    if b == 0 {
+        None
+    } else {
+        Some(StrandId(u32::from(b) - 1))
+    }
+}
+
 struct Cursor<'a> {
     bytes: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Cursor<'a> {
+    #[inline]
     fn u8(&mut self) -> Result<u8, String> {
         let b = *self
             .bytes
             .get(self.pos)
-            .ok_or_else(|| "payload ends early".to_owned())?;
+            .ok_or_else(err_payload_ends_early)?;
         self.pos += 1;
         Ok(b)
     }
 
+    #[inline]
     fn varint(&mut self) -> Result<u64, String> {
-        let mut v: u64 = 0;
-        let mut shift = 0u32;
-        loop {
-            let byte = self.u8()?;
-            if shift >= 64 || (shift == 63 && byte > 1) {
-                return Err("varint overflows u64".to_owned());
+        // Single-byte fast path: tids, sizes, strand slots and small
+        // addresses — the dominant case in every workload mix. A set high
+        // bit (or a short payload) falls through to the general loop,
+        // which re-reads from the same position and reports the same
+        // errors, so the two paths accept identical byte strings.
+        if let Some(&b) = self.bytes.get(self.pos) {
+            if b & 0x80 == 0 {
+                self.pos += 1;
+                return Ok(u64::from(b));
             }
-            v |= u64::from(byte & 0x7F) << shift;
+            // SWAR multi-byte path: load eight bytes at once, locate the
+            // terminator (first byte with a clear continuation bit) with
+            // one trailing_zeros, and gather the 7-bit groups with three
+            // shift-mask folds — no per-byte dependent loads. Values up to
+            // 2^56 (every pool address) decode here; longer varints, and
+            // varints within 8 bytes of the payload end, fall through to
+            // the general loop, which accepts identical byte strings and
+            // reports identical errors.
+            if let Some(chunk) = self.bytes.get(self.pos..self.pos + 8) {
+                let w = u64::from_le_bytes(chunk.try_into().expect("8 bytes"));
+                let stops = !w & 0x8080_8080_8080_8080;
+                if stops != 0 {
+                    let n = stops.trailing_zeros() as usize / 8 + 1;
+                    let data = w & (u64::MAX >> (8 * (8 - n))) & 0x7F7F_7F7F_7F7F_7F7F;
+                    let x = (data & 0x007F_007F_007F_007F) | ((data & 0x7F00_7F00_7F00_7F00) >> 1);
+                    let x = (x & 0x0000_3FFF_0000_3FFF) | ((x & 0x3FFF_0000_3FFF_0000) >> 2);
+                    let x = (x & 0x0000_0000_0FFF_FFFF) | ((x & 0x0FFF_FFFF_0000_0000) >> 4);
+                    self.pos += n;
+                    return Ok(x);
+                }
+            }
+        }
+        self.varint_slow()
+    }
+
+    /// General LEB128 decode, unrolled over the 10-byte maximum so each
+    /// step has a constant shift. Accepts exactly the byte strings the
+    /// classic shift-loop accepts: a tenth byte above 1 (>= 2^64) or a
+    /// continuation bit there is an overflow, and running out of payload
+    /// mid-varint reports the same short-read error.
+    fn varint_slow(&mut self) -> Result<u64, String> {
+        let bytes = self.bytes.get(self.pos..).unwrap_or(&[]);
+        let mut v: u64 = 0;
+        for i in 0..10usize {
+            let Some(&byte) = bytes.get(i) else {
+                self.pos = self.bytes.len();
+                return Err(err_payload_ends_early());
+            };
+            if i == 9 && byte > 1 {
+                return Err(err_varint_overflow());
+            }
+            v |= u64::from(byte & 0x7F) << (7 * i as u32);
             if byte & 0x80 == 0 {
+                self.pos += i + 1;
                 return Ok(v);
             }
-            shift += 7;
         }
+        unreachable!("ten-byte varints always return above")
     }
 
+    /// Gathered fast path for the `size, tid, strand, in_epoch` tail of a
+    /// store frame: one 4-byte load instead of four dependent
+    /// read-test-advance steps. Engages only when every field is a
+    /// single-byte varint and the flag is a valid bool — any other shape
+    /// returns `None` with the cursor untouched, and the caller re-reads
+    /// the same bytes through the general accessors (identical acceptance,
+    /// identical values, identical errors).
+    #[inline(always)]
+    fn store_tail(&mut self) -> Option<(u32, ThreadId, Option<StrandId>, bool)> {
+        let b = self.bytes.get(self.pos..self.pos + 4)?;
+        if (b[0] | b[1] | b[2]) & 0x80 != 0 || b[3] > 1 {
+            return None;
+        }
+        self.pos += 4;
+        Some((
+            u32::from(b[0]),
+            ThreadId(u32::from(b[1])),
+            small_strand(b[2]),
+            b[3] == 1,
+        ))
+    }
+
+    /// Gathered `size, tid, strand` tail of a flush frame; see
+    /// [`Cursor::store_tail`].
+    #[inline(always)]
+    fn flush_tail(&mut self) -> Option<(u32, ThreadId, Option<StrandId>)> {
+        let b = self.bytes.get(self.pos..self.pos + 3)?;
+        if (b[0] | b[1] | b[2]) & 0x80 != 0 {
+            return None;
+        }
+        self.pos += 3;
+        Some((
+            u32::from(b[0]),
+            ThreadId(u32::from(b[1])),
+            small_strand(b[2]),
+        ))
+    }
+
+    /// Gathered `tid, strand, in_epoch` tail of a fence frame; see
+    /// [`Cursor::store_tail`].
+    #[inline(always)]
+    fn fence_tail(&mut self) -> Option<(ThreadId, Option<StrandId>, bool)> {
+        let b = self.bytes.get(self.pos..self.pos + 3)?;
+        if (b[0] | b[1]) & 0x80 != 0 || b[2] > 1 {
+            return None;
+        }
+        self.pos += 3;
+        Some((ThreadId(u32::from(b[0])), small_strand(b[1]), b[2] == 1))
+    }
+
+    #[inline]
     fn u32_field(&mut self, what: &str) -> Result<u32, String> {
         let v = self.varint()?;
-        u32::try_from(v).map_err(|_| format!("{what} {v} exceeds u32"))
+        u32::try_from(v).map_err(|_| err_exceeds_u32(what, v))
     }
 
+    #[inline]
     fn strand(&mut self) -> Result<Option<StrandId>, String> {
         match self.varint()? {
             0 => Ok(None),
             n => Ok(Some(StrandId(
-                u32::try_from(n - 1).map_err(|_| format!("strand id {n} exceeds u32"))?,
+                u32::try_from(n - 1).map_err(|_| err_strand_exceeds_u32(n))?,
             ))),
         }
     }
 
+    #[inline]
     fn bool(&mut self) -> Result<bool, String> {
         match self.u8()? {
             0 => Ok(false),
             1 => Ok(true),
-            other => Err(format!("invalid bool byte {other:#04x}")),
+            other => Err(err_invalid_byte("bool", other)),
         }
     }
 
+    #[inline]
     fn tid(&mut self) -> Result<ThreadId, String> {
         Ok(ThreadId(self.u32_field("tid")?))
     }
 
-    fn string(&mut self) -> Result<String, String> {
+    #[inline]
+    fn string(&mut self) -> Result<&'a str, String> {
         let len = self.varint()? as usize;
         let end = self
             .pos
@@ -296,14 +505,15 @@ impl<'a> Cursor<'a> {
             .filter(|&e| e <= self.bytes.len())
             .ok_or_else(|| "string length exceeds payload".to_owned())?;
         let s = std::str::from_utf8(&self.bytes[self.pos..end])
-            .map_err(|_| "string is not UTF-8".to_owned())?
-            .to_owned();
+            .map_err(|_| "string is not UTF-8".to_owned())?;
         self.pos = end;
         Ok(s)
     }
 }
 
-/// Decodes one event from its v2 payload.
+/// Decodes one event from its v2 payload into a borrowed
+/// [`PmEventRef`] — the zero-copy form of [`decode_payload`]. Name strings
+/// borrow from `payload`; nothing is allocated.
 ///
 /// Total over arbitrary input: any byte string either yields an event that
 /// consumed the payload exactly, or an error string — never a panic.
@@ -312,69 +522,103 @@ impl<'a> Cursor<'a> {
 ///
 /// Returns a description of the first structural problem (bad tag, short
 /// payload, invalid enum byte, trailing bytes, non-UTF-8 string).
-pub fn decode_payload(payload: &[u8]) -> Result<PmEvent, String> {
+#[inline(always)]
+pub fn decode_payload_ref(payload: &[u8]) -> Result<PmEventRef<'_>, String> {
     let mut c = Cursor {
         bytes: payload,
         pos: 0,
     };
     let tag = c.u8().map_err(|_| "empty payload".to_owned())?;
     let event = match tag {
-        0 => PmEvent::RegisterPmem {
+        0 => PmEventRef::RegisterPmem {
             base: c.varint()?,
             size: c.varint()?,
         },
-        1 => PmEvent::Store {
-            addr: c.varint()?,
-            size: c.u32_field("size")?,
-            tid: c.tid()?,
-            strand: c.strand()?,
-            in_epoch: c.bool()?,
-        },
+        1 => {
+            let addr = c.varint()?;
+            if let Some((size, tid, strand, in_epoch)) = c.store_tail() {
+                PmEventRef::Store {
+                    addr,
+                    size,
+                    tid,
+                    strand,
+                    in_epoch,
+                }
+            } else {
+                PmEventRef::Store {
+                    addr,
+                    size: c.u32_field("size")?,
+                    tid: c.tid()?,
+                    strand: c.strand()?,
+                    in_epoch: c.bool()?,
+                }
+            }
+        }
         2 => {
             let kind = match c.u8()? {
                 0 => FlushKind::Clwb,
                 1 => FlushKind::Clflush,
                 2 => FlushKind::Clflushopt,
-                other => return Err(format!("invalid flush kind byte {other:#04x}")),
+                other => return Err(err_invalid_byte("flush kind", other)),
             };
-            PmEvent::Flush {
-                kind,
-                addr: c.varint()?,
-                size: c.u32_field("size")?,
-                tid: c.tid()?,
-                strand: c.strand()?,
+            let addr = c.varint()?;
+            if let Some((size, tid, strand)) = c.flush_tail() {
+                PmEventRef::Flush {
+                    kind,
+                    addr,
+                    size,
+                    tid,
+                    strand,
+                }
+            } else {
+                PmEventRef::Flush {
+                    kind,
+                    addr,
+                    size: c.u32_field("size")?,
+                    tid: c.tid()?,
+                    strand: c.strand()?,
+                }
             }
         }
         3 => {
             let kind = match c.u8()? {
                 0 => FenceKind::Sfence,
                 1 => FenceKind::PersistBarrier,
-                other => return Err(format!("invalid fence kind byte {other:#04x}")),
+                other => return Err(err_invalid_byte("fence kind", other)),
             };
-            PmEvent::Fence {
-                kind,
-                tid: c.tid()?,
-                strand: c.strand()?,
-                in_epoch: c.bool()?,
+            if let Some((tid, strand, in_epoch)) = c.fence_tail() {
+                PmEventRef::Fence {
+                    kind,
+                    tid,
+                    strand,
+                    in_epoch,
+                }
+            } else {
+                PmEventRef::Fence {
+                    kind,
+                    tid: c.tid()?,
+                    strand: c.strand()?,
+                    in_epoch: c.bool()?,
+                }
             }
         }
-        4 => PmEvent::EpochBegin { tid: c.tid()? },
-        5 => PmEvent::EpochEnd { tid: c.tid()? },
-        6 => PmEvent::StrandBegin {
+        4 => PmEventRef::EpochBegin { tid: c.tid()? },
+        5 => PmEventRef::EpochEnd { tid: c.tid()? },
+        6 => PmEventRef::StrandBegin {
             strand: StrandId(c.u32_field("strand")?),
             tid: c.tid()?,
         },
-        7 => PmEvent::StrandEnd {
+        7 => PmEventRef::StrandEnd {
             strand: StrandId(c.u32_field("strand")?),
             tid: c.tid()?,
         },
-        8 => PmEvent::JoinStrand { tid: c.tid()? },
-        9 => PmEvent::TxLog {
+        8 => PmEventRef::JoinStrand { tid: c.tid()? },
+        9 => PmEventRef::TxLog {
             obj_addr: c.varint()?,
             size: c.u32_field("size")?,
             tid: c.tid()?,
         },
-        10 => PmEvent::FuncEnter {
+        10 => PmEventRef::FuncEnter {
             name: c.string()?,
             tid: c.tid()?,
         },
@@ -396,17 +640,17 @@ pub fn decode_payload(payload: &[u8]) -> Result<PmEvent, String> {
                     addr: c.varint()?,
                     size: c.u32_field("size")?,
                 },
-                other => return Err(format!("invalid annotation byte {other:#04x}")),
+                other => return Err(err_invalid_byte("annotation", other)),
             };
-            PmEvent::Annotation(annotation)
+            PmEventRef::Annotation(annotation)
         }
-        12 => PmEvent::NameRange {
+        12 => PmEventRef::NameRange {
             name: c.string()?,
             addr: c.varint()?,
             size: c.u32_field("size")?,
         },
-        13 => PmEvent::Crash,
-        14 => PmEvent::RecoveryRead {
+        13 => PmEventRef::Crash,
+        14 => PmEventRef::RecoveryRead {
             addr: c.varint()?,
             size: c.u32_field("size")?,
         },
@@ -419,6 +663,20 @@ pub fn decode_payload(payload: &[u8]) -> Result<PmEvent, String> {
         ));
     }
     Ok(event)
+}
+
+/// Decodes one event from its v2 payload.
+///
+/// Implemented on top of [`decode_payload_ref`], so the owned and borrowed
+/// decoders accept exactly the same byte strings and report exactly the
+/// same error messages by construction.
+///
+/// # Errors
+///
+/// Returns a description of the first structural problem (bad tag, short
+/// payload, invalid enum byte, trailing bytes, non-UTF-8 string).
+pub fn decode_payload(payload: &[u8]) -> Result<PmEvent, String> {
+    decode_payload_ref(payload).map(|event| event.to_owned())
 }
 
 /// Outcome of attempting to read one frame at a buffer position.
@@ -441,9 +699,109 @@ pub(crate) enum FrameStep {
     },
 }
 
+/// Outcome of attempting to read one frame, with the event borrowed from
+/// the buffer — the zero-copy form of [`FrameStep`].
+#[derive(Debug)]
+pub(crate) enum FrameStepRef<'a> {
+    /// A valid frame: the borrowed event and the buffer position just past
+    /// the frame.
+    Ok {
+        /// Decoded event borrowing from the buffer.
+        event: PmEventRef<'a>,
+        /// Position just past the frame.
+        end: usize,
+    },
+    /// The buffer ends before the frame does; more input is needed.
+    Incomplete,
+    /// The bytes at this position are not a valid frame.
+    Corrupt {
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+/// Attempts to read one frame starting exactly at `pos`, yielding a
+/// borrowed event. With `eof` set, a frame running past the buffer is
+/// corruption (truncation) instead of [`FrameStepRef::Incomplete`].
+///
+/// CRC verification uses the slicing-by-8 kernel ([`crc32_fast`]), which is
+/// bit-identical to the byte-at-a-time [`crc32`]; every other check (and
+/// every error string) is shared with the owned [`step_frame`], which is a
+/// thin wrapper over this function.
+#[inline(always)]
+pub(crate) fn step_frame_ref(buf: &[u8], pos: usize, eof: bool) -> FrameStepRef<'_> {
+    let avail = buf.len().saturating_sub(pos);
+    if avail < FRAME_HEADER_LEN {
+        if !eof {
+            return FrameStepRef::Incomplete;
+        }
+        return FrameStepRef::Corrupt {
+            reason: format!("truncated frame header ({avail} of {FRAME_HEADER_LEN} bytes)"),
+        };
+    }
+    // A 4-byte word compare; slice equality on so short a range can lower
+    // to a libc bcmp call, which costs more than the compare itself.
+    let magic = u32::from_le_bytes(buf[pos..pos + 4].try_into().expect("4 bytes"));
+    if magic != u32::from_le_bytes(FRAME_MAGIC) {
+        return FrameStepRef::Corrupt {
+            reason: format!(
+                "bad frame magic {:02x}{:02x}{:02x}{:02x}",
+                buf[pos],
+                buf[pos + 1],
+                buf[pos + 2],
+                buf[pos + 3]
+            ),
+        };
+    }
+    let len = u32::from_le_bytes(buf[pos + 4..pos + 8].try_into().expect("4 bytes")) as usize;
+    if len > MAX_FRAME_LEN {
+        return FrameStepRef::Corrupt {
+            reason: format!("frame length {len} exceeds the {MAX_FRAME_LEN}-byte cap"),
+        };
+    }
+    let want = FRAME_HEADER_LEN + len;
+    if avail < want {
+        if !eof {
+            return FrameStepRef::Incomplete;
+        }
+        return FrameStepRef::Corrupt {
+            reason: format!(
+                "truncated frame payload ({} of {len} bytes)",
+                avail - FRAME_HEADER_LEN
+            ),
+        };
+    }
+    let crc_stored = u32::from_le_bytes(buf[pos + 8..pos + 12].try_into().expect("4 bytes"));
+    let payload = &buf[pos + FRAME_HEADER_LEN..pos + want];
+    let crc_actual = crc32_fast(payload);
+    if crc_stored != crc_actual {
+        return FrameStepRef::Corrupt {
+            reason: format!(
+                "CRC mismatch (stored {crc_stored:#010x}, computed {crc_actual:#010x})"
+            ),
+        };
+    }
+    match decode_payload_ref(payload) {
+        Ok(event) => FrameStepRef::Ok {
+            event,
+            end: pos + want,
+        },
+        Err(reason) => FrameStepRef::Corrupt {
+            reason: format!("undecodable payload: {reason}"),
+        },
+    }
+}
+
 /// Attempts to read one frame starting exactly at `pos`. With `eof` set, a
 /// frame running past the buffer is corruption (truncation) instead of
 /// [`FrameStep::Incomplete`].
+///
+/// This is the owned-event baseline the ingest-throughput benchmark
+/// measures against; it deliberately keeps the byte-at-a-time [`crc32`]
+/// (the zero-copy [`step_frame_ref`] uses the bit-identical [`crc32_fast`]
+/// kernel). Both verify the same checks in the same order and share
+/// [`decode_payload_ref`] for payload decoding, so they accept exactly the
+/// same byte strings with exactly the same error strings.
 pub(crate) fn step_frame(buf: &[u8], pos: usize, eof: bool) -> FrameStep {
     let avail = buf.len().saturating_sub(pos);
     if avail < FRAME_HEADER_LEN {
@@ -454,7 +812,10 @@ pub(crate) fn step_frame(buf: &[u8], pos: usize, eof: bool) -> FrameStep {
             reason: format!("truncated frame header ({avail} of {FRAME_HEADER_LEN} bytes)"),
         };
     }
-    if buf[pos..pos + 4] != FRAME_MAGIC {
+    // A 4-byte word compare; slice equality on so short a range can lower
+    // to a libc bcmp call, which costs more than the compare itself.
+    let magic = u32::from_le_bytes(buf[pos..pos + 4].try_into().expect("4 bytes"));
+    if magic != u32::from_le_bytes(FRAME_MAGIC) {
         return FrameStep::Corrupt {
             reason: format!(
                 "bad frame magic {:02x}{:02x}{:02x}{:02x}",
@@ -679,6 +1040,56 @@ mod tests {
         // IEEE CRC32 of "123456789" is the classic check value.
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn crc32_fast_is_bit_identical_to_crc32() {
+        assert_eq!(crc32_fast(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32_fast(b""), 0);
+        // Every length from 0 to a few multiples of the 8-byte block, so
+        // both the sliced loop and the remainder loop are exercised at
+        // every alignment.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let noise: Vec<u8> = (0..64)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 33) as u8
+            })
+            .collect();
+        for cut in 0..=noise.len() {
+            assert_eq!(crc32_fast(&noise[..cut]), crc32(&noise[..cut]), "len {cut}");
+        }
+    }
+
+    #[test]
+    fn ref_decode_matches_owned_decode_for_every_kind() {
+        for event in sample_events() {
+            let payload = encode_payload(&event);
+            let as_ref = decode_payload_ref(&payload).expect("ref decodes");
+            assert_eq!(as_ref.to_owned(), event);
+            assert_eq!(as_ref, event.as_ref());
+            assert_eq!(as_ref.kind_index(), event.kind_index());
+            assert_eq!(as_ref.range(), event.range());
+        }
+    }
+
+    #[test]
+    fn ref_decode_borrows_names_from_the_payload() {
+        let payload = encode_payload(&PmEvent::FuncEnter {
+            name: "btree_insert".into(),
+            tid: ThreadId(0),
+        });
+        let event = decode_payload_ref(&payload).expect("decodes");
+        match event {
+            PmEventRef::FuncEnter { name, .. } => {
+                // The borrowed name points into the payload buffer itself.
+                let payload_range =
+                    payload.as_ptr() as usize..payload.as_ptr() as usize + payload.len();
+                assert!(payload_range.contains(&(name.as_ptr() as usize)));
+                assert_eq!(name, "btree_insert");
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
     }
 
     #[test]

@@ -212,6 +212,7 @@ impl PmEvent {
 
     /// Dense index of the event's kind into [`Self::KIND_NAMES`] — lets
     /// per-kind bookkeeping use a flat array instead of a map.
+    #[inline]
     pub fn kind_index(&self) -> usize {
         match self {
             PmEvent::RegisterPmem { .. } => 0,
@@ -238,6 +239,7 @@ impl PmEvent {
     }
 
     /// The address range `[addr, addr + size)` the event touches, if any.
+    #[inline]
     pub fn range(&self) -> Option<(Addr, u64)> {
         match self {
             PmEvent::Store { addr, size, .. } | PmEvent::Flush { addr, size, .. } => {
@@ -249,6 +251,324 @@ impl PmEvent {
                 Some((*addr, u64::from(*size)))
             }
             _ => None,
+        }
+    }
+}
+
+/// A borrowed view of one intercepted persistent-memory operation.
+///
+/// Mirrors [`PmEvent`] variant-for-variant, but the two string-carrying
+/// variants ([`PmEventRef::FuncEnter`] and [`PmEventRef::NameRange`])
+/// borrow their names from the underlying trace bytes instead of owning
+/// them. This is the event type of the zero-copy ingestion hot path
+/// ([`crate::zerocopy`]): decoding a frame into a `PmEventRef` allocates
+/// nothing, so a detector that consumes borrowed events touches the heap
+/// only when it must retain a name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PmEventRef<'a> {
+    /// See [`PmEvent::RegisterPmem`].
+    RegisterPmem {
+        /// Base address of the region.
+        base: Addr,
+        /// Region length in bytes.
+        size: u64,
+    },
+    /// See [`PmEvent::Store`].
+    Store {
+        /// First byte written.
+        addr: Addr,
+        /// Number of bytes written.
+        size: u32,
+        /// Issuing thread.
+        tid: ThreadId,
+        /// Strand the store belongs to, when inside a strand section.
+        strand: Option<StrandId>,
+        /// Whether the store was issued inside an epoch section.
+        in_epoch: bool,
+    },
+    /// See [`PmEvent::Flush`].
+    Flush {
+        /// Flush instruction variant.
+        kind: FlushKind,
+        /// Base address of the flushed cache line.
+        addr: Addr,
+        /// Flushed length.
+        size: u32,
+        /// Issuing thread.
+        tid: ThreadId,
+        /// Strand the flush belongs to, when inside a strand section.
+        strand: Option<StrandId>,
+    },
+    /// See [`PmEvent::Fence`].
+    Fence {
+        /// Fence variant.
+        kind: FenceKind,
+        /// Issuing thread.
+        tid: ThreadId,
+        /// Strand the fence belongs to, when inside a strand section.
+        strand: Option<StrandId>,
+        /// Whether the fence was issued inside an epoch section.
+        in_epoch: bool,
+    },
+    /// See [`PmEvent::EpochBegin`].
+    EpochBegin {
+        /// Issuing thread.
+        tid: ThreadId,
+    },
+    /// See [`PmEvent::EpochEnd`].
+    EpochEnd {
+        /// Issuing thread.
+        tid: ThreadId,
+    },
+    /// See [`PmEvent::StrandBegin`].
+    StrandBegin {
+        /// The strand being started.
+        strand: StrandId,
+        /// Issuing thread.
+        tid: ThreadId,
+    },
+    /// See [`PmEvent::StrandEnd`].
+    StrandEnd {
+        /// The strand being ended.
+        strand: StrandId,
+        /// Issuing thread.
+        tid: ThreadId,
+    },
+    /// See [`PmEvent::JoinStrand`].
+    JoinStrand {
+        /// Issuing thread.
+        tid: ThreadId,
+    },
+    /// See [`PmEvent::TxLog`].
+    TxLog {
+        /// Address of the data object being logged.
+        obj_addr: Addr,
+        /// Size of the logged range.
+        size: u32,
+        /// Issuing thread.
+        tid: ThreadId,
+    },
+    /// See [`PmEvent::FuncEnter`]; the name borrows from the trace bytes.
+    FuncEnter {
+        /// Function name as used in the order-spec configuration.
+        name: &'a str,
+        /// Issuing thread.
+        tid: ThreadId,
+    },
+    /// See [`PmEvent::Annotation`]. [`Annotation`] is all-numeric, so it is
+    /// carried by value.
+    Annotation(Annotation),
+    /// See [`PmEvent::NameRange`]; the name borrows from the trace bytes.
+    NameRange {
+        /// Variable name as used in the order-spec configuration.
+        name: &'a str,
+        /// Base address of the variable.
+        addr: Addr,
+        /// Variable size in bytes.
+        size: u32,
+    },
+    /// See [`PmEvent::Crash`].
+    Crash,
+    /// See [`PmEvent::RecoveryRead`].
+    RecoveryRead {
+        /// First byte read.
+        addr: Addr,
+        /// Number of bytes read.
+        size: u32,
+    },
+}
+
+impl<'a> PmEventRef<'a> {
+    /// Materializes an owned [`PmEvent`], copying any borrowed name.
+    #[inline]
+    pub fn to_owned(&self) -> PmEvent {
+        match *self {
+            PmEventRef::RegisterPmem { base, size } => PmEvent::RegisterPmem { base, size },
+            PmEventRef::Store {
+                addr,
+                size,
+                tid,
+                strand,
+                in_epoch,
+            } => PmEvent::Store {
+                addr,
+                size,
+                tid,
+                strand,
+                in_epoch,
+            },
+            PmEventRef::Flush {
+                kind,
+                addr,
+                size,
+                tid,
+                strand,
+            } => PmEvent::Flush {
+                kind,
+                addr,
+                size,
+                tid,
+                strand,
+            },
+            PmEventRef::Fence {
+                kind,
+                tid,
+                strand,
+                in_epoch,
+            } => PmEvent::Fence {
+                kind,
+                tid,
+                strand,
+                in_epoch,
+            },
+            PmEventRef::EpochBegin { tid } => PmEvent::EpochBegin { tid },
+            PmEventRef::EpochEnd { tid } => PmEvent::EpochEnd { tid },
+            PmEventRef::StrandBegin { strand, tid } => PmEvent::StrandBegin { strand, tid },
+            PmEventRef::StrandEnd { strand, tid } => PmEvent::StrandEnd { strand, tid },
+            PmEventRef::JoinStrand { tid } => PmEvent::JoinStrand { tid },
+            PmEventRef::TxLog {
+                obj_addr,
+                size,
+                tid,
+            } => PmEvent::TxLog {
+                obj_addr,
+                size,
+                tid,
+            },
+            PmEventRef::FuncEnter { name, tid } => PmEvent::FuncEnter {
+                name: name.to_owned(),
+                tid,
+            },
+            PmEventRef::Annotation(annotation) => PmEvent::Annotation(annotation),
+            PmEventRef::NameRange { name, addr, size } => PmEvent::NameRange {
+                name: name.to_owned(),
+                addr,
+                size,
+            },
+            PmEventRef::Crash => PmEvent::Crash,
+            PmEventRef::RecoveryRead { addr, size } => PmEvent::RecoveryRead { addr, size },
+        }
+    }
+
+    /// Dense kind index, identical to [`PmEvent::kind_index`] on the
+    /// corresponding owned event.
+    #[inline(always)]
+    pub fn kind_index(&self) -> usize {
+        match self {
+            PmEventRef::RegisterPmem { .. } => 0,
+            PmEventRef::Store { .. } => 1,
+            PmEventRef::Flush { .. } => 2,
+            PmEventRef::Fence { .. } => 3,
+            PmEventRef::EpochBegin { .. } => 4,
+            PmEventRef::EpochEnd { .. } => 5,
+            PmEventRef::StrandBegin { .. } => 6,
+            PmEventRef::StrandEnd { .. } => 7,
+            PmEventRef::JoinStrand { .. } => 8,
+            PmEventRef::TxLog { .. } => 9,
+            PmEventRef::FuncEnter { .. } => 10,
+            PmEventRef::Annotation(_) => 11,
+            PmEventRef::NameRange { .. } => 12,
+            PmEventRef::Crash => 13,
+            PmEventRef::RecoveryRead { .. } => 14,
+        }
+    }
+
+    /// The address range `[addr, addr + size)` the event touches, if any.
+    /// Identical to [`PmEvent::range`] on the corresponding owned event.
+    #[inline(always)]
+    pub fn range(&self) -> Option<(Addr, u64)> {
+        match self {
+            PmEventRef::Store { addr, size, .. } | PmEventRef::Flush { addr, size, .. } => {
+                Some((*addr, u64::from(*size)))
+            }
+            PmEventRef::TxLog { obj_addr, size, .. } => Some((*obj_addr, u64::from(*size))),
+            PmEventRef::RegisterPmem { base, size } => Some((*base, *size)),
+            PmEventRef::NameRange { addr, size, .. } | PmEventRef::RecoveryRead { addr, size } => {
+                Some((*addr, u64::from(*size)))
+            }
+            _ => None,
+        }
+    }
+}
+
+impl PmEvent {
+    /// A borrowed view of this event; names borrow from `self`.
+    #[inline]
+    pub fn as_ref(&self) -> PmEventRef<'_> {
+        match self {
+            PmEvent::RegisterPmem { base, size } => PmEventRef::RegisterPmem {
+                base: *base,
+                size: *size,
+            },
+            PmEvent::Store {
+                addr,
+                size,
+                tid,
+                strand,
+                in_epoch,
+            } => PmEventRef::Store {
+                addr: *addr,
+                size: *size,
+                tid: *tid,
+                strand: *strand,
+                in_epoch: *in_epoch,
+            },
+            PmEvent::Flush {
+                kind,
+                addr,
+                size,
+                tid,
+                strand,
+            } => PmEventRef::Flush {
+                kind: *kind,
+                addr: *addr,
+                size: *size,
+                tid: *tid,
+                strand: *strand,
+            },
+            PmEvent::Fence {
+                kind,
+                tid,
+                strand,
+                in_epoch,
+            } => PmEventRef::Fence {
+                kind: *kind,
+                tid: *tid,
+                strand: *strand,
+                in_epoch: *in_epoch,
+            },
+            PmEvent::EpochBegin { tid } => PmEventRef::EpochBegin { tid: *tid },
+            PmEvent::EpochEnd { tid } => PmEventRef::EpochEnd { tid: *tid },
+            PmEvent::StrandBegin { strand, tid } => PmEventRef::StrandBegin {
+                strand: *strand,
+                tid: *tid,
+            },
+            PmEvent::StrandEnd { strand, tid } => PmEventRef::StrandEnd {
+                strand: *strand,
+                tid: *tid,
+            },
+            PmEvent::JoinStrand { tid } => PmEventRef::JoinStrand { tid: *tid },
+            PmEvent::TxLog {
+                obj_addr,
+                size,
+                tid,
+            } => PmEventRef::TxLog {
+                obj_addr: *obj_addr,
+                size: *size,
+                tid: *tid,
+            },
+            PmEvent::FuncEnter { name, tid } => PmEventRef::FuncEnter { name, tid: *tid },
+            PmEvent::Annotation(annotation) => PmEventRef::Annotation(*annotation),
+            PmEvent::NameRange { name, addr, size } => PmEventRef::NameRange {
+                name,
+                addr: *addr,
+                size: *size,
+            },
+            PmEvent::Crash => PmEventRef::Crash,
+            PmEvent::RecoveryRead { addr, size } => PmEventRef::RecoveryRead {
+                addr: *addr,
+                size: *size,
+            },
         }
     }
 }

@@ -34,8 +34,9 @@ use crate::events::PmEvent;
 use crate::format;
 use crate::recorder::Trace;
 
-/// Read chunk size for the rolling buffer.
-const CHUNK: usize = 64 * 1024;
+/// Read chunk size for the rolling buffer (shared with the zero-copy
+/// walker, which simulates these refills for bit-identical accounting).
+pub(crate) const CHUNK: usize = 64 * 1024;
 
 /// Longest text line the streaming reader accepts before declaring the
 /// line corrupt (the text format's analogue of [`binfmt::MAX_FRAME_LEN`]).
@@ -210,7 +211,7 @@ pub struct IngestReport {
 }
 
 impl IngestReport {
-    fn new(format: TraceFormat, mode: IngestMode) -> Self {
+    pub(crate) fn new(format: TraceFormat, mode: IngestMode) -> Self {
         IngestReport {
             format,
             mode,
@@ -228,7 +229,7 @@ impl IngestReport {
         }
     }
 
-    fn record_error(&mut self, locus: u64, reason: String) {
+    pub(crate) fn record_error(&mut self, locus: u64, reason: String) {
         let err = FrameError { locus, reason };
         if self.first_error.is_none() {
             self.first_error = Some(err.clone());
@@ -238,7 +239,7 @@ impl IngestReport {
 
     /// Counts one successfully decoded frame/line of `bytes` bytes,
     /// attributing it to the clean prefix or the post-corruption tail.
-    fn record_frame(&mut self, bytes: u64) {
+    pub(crate) fn record_frame(&mut self, bytes: u64) {
         self.frames_ok += 1;
         self.bytes_salvaged += bytes;
         if self.first_error.is_none() {
@@ -246,6 +247,16 @@ impl IngestReport {
         } else {
             self.frames_resynced += 1;
         }
+    }
+
+    /// Shared end-of-read bookkeeping: total bytes pulled from the input
+    /// and wall-clock elapsed since `start`. Every ingestion path — batch
+    /// binary, batch text, the streaming decoder's report refresh, and the
+    /// zero-copy walker — funnels through this, so `elapsed` is always
+    /// populated no matter which reader ran.
+    pub(crate) fn finalize(&mut self, bytes_read: u64, start: Instant) {
+        self.bytes_read = bytes_read;
+        self.elapsed = start.elapsed();
     }
 
     /// `true` when nothing was skipped or truncated — the input was
@@ -372,7 +383,7 @@ pub fn sniff_format(head: &[u8]) -> Option<TraceFormat> {
     None
 }
 
-fn first_line_of(head: &[u8]) -> String {
+pub(crate) fn first_line_of(head: &[u8]) -> String {
     let window = &head[..head.len().min(SNIFF_LEN)];
     let line = match window.iter().position(|&b| b == b'\n') {
         Some(idx) => &window[..idx],
@@ -381,7 +392,7 @@ fn first_line_of(head: &[u8]) -> String {
     String::from_utf8_lossy(line).trim_end_matches('\r').into()
 }
 
-fn looks_textual(head: &[u8]) -> bool {
+pub(crate) fn looks_textual(head: &[u8]) -> bool {
     let window = &head[..head.len().min(SNIFF_LEN)];
     if window.is_empty() {
         return false;
@@ -393,7 +404,7 @@ fn looks_textual(head: &[u8]) -> bool {
     printable * 10 >= window.len() * 9
 }
 
-fn contains_frame_magic(haystack: &[u8]) -> Option<usize> {
+pub(crate) fn contains_frame_magic(haystack: &[u8]) -> Option<usize> {
     haystack
         .windows(FRAME_MAGIC.len())
         .position(|w| w == FRAME_MAGIC)
@@ -651,8 +662,7 @@ fn ingest_binary<R: Read>(
             limit: limits.max_bytes,
         });
     }
-    report.bytes_read = pump.bytes_read;
-    report.elapsed = clock.start.elapsed();
+    report.finalize(pump.bytes_read, clock.start);
     Ok((trace, report))
 }
 
@@ -760,8 +770,7 @@ fn ingest_text<R: Read>(
             limit: limits.max_bytes,
         });
     }
-    report.bytes_read = pump.bytes_read;
-    report.elapsed = clock.start.elapsed();
+    report.finalize(pump.bytes_read, clock.start);
     Ok((trace, report))
 }
 
@@ -855,7 +864,8 @@ impl StreamDecoder {
                 limit: self.limits.max_bytes,
             });
         }
-        self.report.elapsed = self.start.elapsed();
+        let bytes_read = self.report.bytes_read;
+        self.report.finalize(bytes_read, self.start);
         &self.report
     }
 

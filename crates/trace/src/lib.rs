@@ -55,16 +55,20 @@ pub mod recorder;
 pub mod runtime;
 pub mod shard;
 pub mod summary;
+pub mod zerocopy;
 
 pub use annotations::Annotation;
-pub use binfmt::{crc32, frame_spans, from_binary, to_binary, BinParseError};
+pub use binfmt::{
+    crc32, crc32_fast, decode_payload, decode_payload_ref, encode_payload, frame_spans,
+    from_binary, to_binary, BinParseError,
+};
 pub use characterize::{
     CharacterizationReport, DistanceHistogram, FenceIntervalHistogram, TraceCharacterizer,
 };
 pub use detector::{
     report_hash, BugKind, BugReport, CountingDetector, Detector, NopDetector, Severity,
 };
-pub use events::{Addr, FenceKind, PmEvent, StrandId, ThreadId};
+pub use events::{Addr, FenceKind, PmEvent, PmEventRef, StrandId, ThreadId};
 pub use format::{from_text, from_text_salvage, parse_line, to_text, ParseTraceError};
 pub use ingest::{
     ingest_bytes, ingest_reader, sniff_format, FrameError, IngestError, IngestLimits, IngestMode,
@@ -77,8 +81,10 @@ pub use recorder::{
 };
 pub use runtime::{PmRuntime, RunSummary, RuntimeError};
 pub use shard::{
-    KeyedChunk, PlanBuilder, Route, RouteCursor, ShardPlan, KEY_BROADCAST, SHARD_BLOCK,
+    EventColumns, KeyedChunk, PlanBuilder, Route, RouteCursor, ShardPlan, KEY_BROADCAST,
+    SHARD_BLOCK,
 };
 pub use summary::BugSummary;
+pub use zerocopy::{zero_copy, FrameWalker, MappedTrace, ZeroCopy};
 
 pub use pmem_sim::FlushKind;

@@ -1,8 +1,16 @@
 #!/usr/bin/env bash
 # Repo CI gate: staged pipeline with per-stage timing. Run from anywhere.
 #
-#   lint -> fmt -> unit -> integration -> docs -> bench-smoke -> obs-smoke
-#     -> ingest-torture -> supervisor-chaos -> serve-chaos
+#   lint -> fmt -> unit -> integration -> docs -> bench-smoke -> ingest-bench
+#     -> obs-smoke -> ingest-torture -> supervisor-chaos -> serve-chaos
+#
+# Every run writes target/ci_timings.json (override: PM_CI_TIMINGS_JSON), a
+# machine-readable ledger of {stage, seconds, status} rows plus an overall
+# verdict — on early exit the in-flight stage is recorded as "fail" and its
+# name printed, so a red pipeline names its culprit without log spelunking.
+# The three wall-clock-budgeted sweeps (ingest-torture, supervisor-chaos,
+# serve-chaos) share one knob: PM_CI_BUDGET_SECS (default 120) — turn it
+# down for a quick local pass, up for a soak run.
 #
 # lint        clippy over all targets, warnings are errors
 # fmt         rustfmt check
@@ -14,6 +22,12 @@
 #             then rustdoc with warnings as errors
 # bench-smoke regenerates the parallel-pipeline benchmark in smoke mode and
 #             gates on the committed baseline (scripts/bench_gate.sh)
+# ingest-bench
+#             regenerates the ingest-throughput benchmark (owned reader vs
+#             zero-copy walker) in smoke mode and gates on the committed
+#             baseline (scripts/bench_gate.sh ingest): identical=true on
+#             every workload, stable report hashes, and the zero-copy
+#             speedup within tolerance of scripts/ingest_baseline.json
 # obs-smoke   metrics-overhead benchmark in smoke mode, failing if the
 #             metrics-on slowdown exceeds PM_OBS_MAX_OVERHEAD_PCT (5%)
 # ingest-torture
@@ -44,20 +58,61 @@ cd "$(dirname "$0")/.."
 
 STAGES=("$@")
 if [ ${#STAGES[@]} -eq 0 ]; then
-  STAGES=(lint fmt unit integration docs bench-smoke obs-smoke ingest-torture supervisor-chaos serve-chaos)
+  STAGES=(lint fmt unit integration docs bench-smoke ingest-bench obs-smoke ingest-torture supervisor-chaos serve-chaos)
 fi
 
+# Shared wall-clock budget for the chaos/torture sweeps, in seconds.
+PM_CI_BUDGET_SECS="${PM_CI_BUDGET_SECS:-120}"
+BUDGET_MS=$((PM_CI_BUDGET_SECS * 1000))
+
+TIMINGS_JSON="${PM_CI_TIMINGS_JSON:-target/ci_timings.json}"
 declare -a TIMINGS=()
+declare -a STAGE_NAMES=()
+declare -a STAGE_SECS=()
+declare -a STAGE_STATUS=()
+CURRENT_STAGE=""
+CURRENT_START=0
+
+# Written on every exit path: one row per stage that ran, in order, with
+# the in-flight stage (if the pipeline died mid-stage) recorded as "fail".
+write_timings() {
+  local code=$?
+  if [ -n "${CURRENT_STAGE}" ]; then
+    STAGE_NAMES+=("${CURRENT_STAGE}")
+    STAGE_SECS+=($(($(date +%s) - CURRENT_START)))
+    STAGE_STATUS+=("fail")
+    echo "CI FAILED in stage: ${CURRENT_STAGE}" >&2
+  fi
+  mkdir -p "$(dirname "${TIMINGS_JSON}")"
+  local ok="true"
+  [ "${code}" -eq 0 ] || ok="false"
+  {
+    printf '{"schema":"pmdebugger-ci-timings-v1","ok":%s,"stages":[' "${ok}"
+    local i
+    for i in "${!STAGE_NAMES[@]}"; do
+      [ "${i}" -gt 0 ] && printf ','
+      printf '{"stage":"%s","seconds":%d,"status":"%s"}' \
+        "${STAGE_NAMES[$i]}" "${STAGE_SECS[$i]}" "${STAGE_STATUS[$i]}"
+    done
+    printf ']}\n'
+  } >"${TIMINGS_JSON}"
+  echo "stage timings written to ${TIMINGS_JSON}"
+}
+trap write_timings EXIT
 
 run_stage() {
   local name="$1"
   shift
   echo "== ${name} =="
-  local start end
-  start=$(date +%s)
+  CURRENT_STAGE="${name}"
+  CURRENT_START=$(date +%s)
   "$@"
-  end=$(date +%s)
-  TIMINGS+=("$(printf '%-12s %4ds' "${name}" $((end - start)))")
+  local secs=$(($(date +%s) - CURRENT_START))
+  CURRENT_STAGE=""
+  STAGE_NAMES+=("${name}")
+  STAGE_SECS+=("${secs}")
+  STAGE_STATUS+=("pass")
+  TIMINGS+=("$(printf '%-14s %4ds' "${name}" "${secs}")")
 }
 
 docs_stage() {
@@ -82,7 +137,8 @@ ingest_torture_stage() {
   local fixture report
   for fixture in tests/fixtures/btree_96.pmt2 tests/fixtures/hashmap_atomic_48.trace; do
     report=$(cargo run -q --offline -p pm-cli -- \
-      torture --trace "${fixture}" --images 125 --seed 806405 --json)
+      torture --trace "${fixture}" --images 125 --seed 806405 \
+      --budget-ms "${BUDGET_MS}" --json)
     if ! grep -q '"ok":true' <<<"${report}"; then
       echo "ingest-torture: ${fixture} reported violations:" >&2
       echo "${report}" >&2
@@ -100,13 +156,14 @@ supervisor_chaos_stage() {
   # Detector-fault sweep: 200 seeded fault plans (panic / delay /
   # alloc-pressure faults at varied retry, fallback, deadline and budget
   # policies, cycling 2/3/4/8 worker threads) against one recorded
-  # workload trace, under a 120 s wall-clock budget. The sweep's own
+  # workload trace, under the shared PM_CI_BUDGET_SECS wall-clock budget
+  # (default 120 s). The sweep's own
   # oracles enforce the supervision contract; here we gate on the
   # machine-readable verdict and explicitly on the zero-abort count.
   local report
   report=$(cargo run -q --offline -p pm-cli -- \
     supervise --workload hashmap_atomic --ops 64 --plans 200 \
-    --budget-ms 120000 --json)
+    --budget-ms "${BUDGET_MS}" --json)
   if ! grep -q '"ok":true' <<<"${report}"; then
     echo "supervisor-chaos: sweep reported violations:" >&2
     echo "${report}" >&2
@@ -135,7 +192,7 @@ serve_chaos_stage() {
   # machine-readable verdict plus the abort and completion counts.
   local report
   report=$(cargo run -q --offline -p pm-cli -- \
-    serve-chaos --sessions 200 --budget-ms 120000 --json)
+    serve-chaos --sessions 200 --budget-ms "${BUDGET_MS}" --json)
   if ! grep -q '"ok":true' <<<"${report}"; then
     echo "serve-chaos: sweep reported violations:" >&2
     echo "${report}" >&2
@@ -232,7 +289,10 @@ for stage in "${STAGES[@]}"; do
       run_stage docs docs_stage
       ;;
     bench-smoke)
-      run_stage bench-smoke scripts/bench_gate.sh
+      run_stage bench-smoke scripts/bench_gate.sh parallel
+      ;;
+    ingest-bench)
+      run_stage ingest-bench scripts/bench_gate.sh ingest
       ;;
     obs-smoke)
       run_stage obs-smoke obs_smoke_stage

@@ -223,6 +223,46 @@ fn v2_binary_encoding_matches_golden_fixture() {
     assert_eq!(spans.len(), case.trace.len(), "one frame per event");
 }
 
+/// The batch and streaming ingest paths share one `IngestReport`
+/// finalizer, so both must populate wall-clock `elapsed` while agreeing
+/// on every other accounting field over the committed v2 fixture. The
+/// goldens themselves stay timing-redacted — `elapsed` never reaches
+/// fixture bytes — so this is the programmatic half of that contract.
+#[test]
+fn ingest_elapsed_is_populated_identically_across_batch_and_streaming() {
+    use std::time::Duration;
+
+    use pm_trace::{ingest_bytes, IngestLimits, IngestMode, StreamDecoder};
+
+    let name = "no_durability_guarantee_00.pmt2.hex";
+    let bytes = hex_parse(&std::fs::read_to_string(golden_dir().join(name)).unwrap());
+
+    let limits = IngestLimits::default();
+    let (trace, mut batch) =
+        ingest_bytes(&bytes, IngestMode::Strict, &limits).expect("batch ingest succeeds");
+
+    let mut decoder = StreamDecoder::new(IngestMode::Strict, limits);
+    for chunk in bytes.chunks(7) {
+        decoder.push(chunk);
+    }
+    decoder.finish();
+    let mut events = Vec::new();
+    while let Some(event) = decoder.next_event().expect("stream decode succeeds") {
+        events.push(event);
+    }
+    assert_eq!(events, trace.events(), "paths decode the same events");
+
+    let mut streaming = decoder.report().clone();
+    assert!(batch.elapsed > Duration::ZERO, "batch elapsed populated");
+    assert!(
+        streaming.elapsed > Duration::ZERO,
+        "streaming elapsed populated"
+    );
+    batch.elapsed = Duration::ZERO;
+    streaming.elapsed = Duration::ZERO;
+    assert_eq!(batch, streaming, "accounting identical modulo wall-clock");
+}
+
 /// Renders the degraded-run golden artifact: a supervised detection run
 /// over the `hashmap_atomic` workload trace at 4 threads, degrade mode,
 /// with an explicit fault plan that panics worker 1 on every attempt slot
