@@ -27,6 +27,12 @@
 //!   into the supervised parallel pipeline's workers, and the sweep asserts
 //!   zero aborts, byte-identical verdicts from fault-free shards, and
 //!   precisely named casualties in every degradation report.
+//! * [`thread_crash`] crashes *thread subsets*: seeded plans build
+//!   interleaved lock-free traces (Treiber stack, Michael-Scott queue,
+//!   CAS-published hash), kill a random set of threads at a crash
+//!   boundary, and assert that all four detection engines agree
+//!   byte-for-byte on the surviving partial-thread-progress stream, with
+//!   zero aborts.
 //! * Everything degrades gracefully: budgets ([`Budget`]) bound crash
 //!   points, images per point, replayed trace length, pool size and wall
 //!   clock, and exceeding any of them yields a partial report carrying
@@ -41,6 +47,7 @@ pub mod report;
 pub mod scheduler;
 pub mod serve_sweep;
 pub mod supervise;
+pub mod thread_crash;
 pub mod validate;
 
 pub use budget::{Budget, Truncation};
@@ -57,6 +64,9 @@ pub use serve_sweep::{
 };
 pub use supervise::{
     supervisor_sweep, SupervisorSweepOptions, SupervisorSweepReport, SweepViolation,
+};
+pub use thread_crash::{
+    crash_threads, thread_crash_sweep, ThreadCrashOptions, ThreadCrashReport, ThreadCrashViolation,
 };
 pub use validate::{
     semantic_fingerprint, EpochCommitValidator, Fingerprint, RecoveryValidator,

@@ -307,8 +307,8 @@ fn record(
     });
 }
 
-/// Crash boundaries of an event slice: after every store, flush, fence and
-/// epoch end, plus the end of the trace.
+/// Crash boundaries of an event slice: after every store, flush, fence,
+/// epoch end and successful CAS publication, plus the end of the trace.
 pub fn crash_boundaries(events: &[PmEvent]) -> Vec<usize> {
     let mut boundaries: Vec<usize> = events
         .iter()
@@ -320,6 +320,7 @@ pub fn crash_boundaries(events: &[PmEvent]) -> Vec<usize> {
                     | PmEvent::Flush { .. }
                     | PmEvent::Fence { .. }
                     | PmEvent::EpochEnd { .. }
+                    | PmEvent::Cas { success: true, .. }
             )
         })
         .map(|(i, _)| i + 1)

@@ -176,10 +176,15 @@ pub enum Command {
     /// [--images <n>] [--budget-ms <n>] [--matrix] [--json]` — run a
     /// crash-point torture campaign (and optionally the perturbation
     /// sensitivity matrix) over a recorded workload trace.
+    ///
+    /// `pmdbg chaos --thread-crash [--plans <n>] [--seed <n>] [--ops <n>]
+    /// [--budget-ms <n>] [--json]` — run the thread-crash sweep instead:
+    /// seeded plans kill thread subsets of interleaved lock-free traces
+    /// and assert all four detection engines agree on the survivors.
     Chaos {
-        /// Workload name.
-        workload: String,
-        /// Operation count.
+        /// Workload name (campaign mode; ignored by `--thread-crash`).
+        workload: Option<String>,
+        /// Operation count (per thread in `--thread-crash` mode).
         ops: usize,
         /// Crash-point budget (sampled above this).
         points: usize,
@@ -193,6 +198,13 @@ pub enum Command {
         json: bool,
         /// Write a [`RunManifest`] (JSON) to this path after the campaign.
         metrics: Option<String>,
+        /// Run the thread-crash sweep over the concurrent lock-free
+        /// workloads instead of the crash-point campaign.
+        thread_crash: bool,
+        /// Thread-crash plans to run.
+        plans: usize,
+        /// Thread-crash sweep seed.
+        seed: u64,
     },
     /// `pmdbg stats <manifest.json>` — render a run manifest as a table.
     Stats {
@@ -363,6 +375,8 @@ USAGE:
                 [--seed <n>] [--budget-ms <n>] [--json]
   pmdbg chaos --workload <name> [--ops <n>] [--points <n>] [--images <n>]
               [--budget-ms <n>] [--matrix] [--json] [--metrics <file>]
+  pmdbg chaos --thread-crash [--plans <n>] [--seed <n>] [--ops <n>]
+              [--budget-ms <n>] [--json]
   pmdbg serve --listen <addr> [--model strict|epoch|strand] [--strict]
               [--max-sessions <n>] [--max-events <n>]
               [--session-deadline-ms <n>] [--max-retries <n>]
@@ -378,7 +392,9 @@ USAGE:
 TOOLS:     pmdebugger (default), pmemcheck, pmtest, xfdetector, nulgrind
 WORKLOADS: b_tree c_tree r_tree rb_tree hashmap_tx hashmap_atomic
            synth_strand memcached redis a_YCSB..f_YCSB
-EXIT CODES: 0 clean run, 1 bugs or torture/supervise/serve-chaos violations
+           treiber_stack ms_queue cas_hash (concurrent)
+EXIT CODES: 0 clean run, 1 bugs or torture/supervise/serve-chaos/
+            thread-crash violations
             found, 2 bad usage or parse/ingest failure, 3 internal error
             (incl. strict-mode shard or session failure), 4 degraded-but-
             clean run (shards or serve sessions quarantined, no bugs in
@@ -614,6 +630,9 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
             let mut matrix = false;
             let mut json = false;
             let mut metrics: Option<String> = None;
+            let mut thread_crash = false;
+            let mut plans = 100usize;
+            let mut seed = 0x7C4A_5AD0u64;
             while let Some(flag) = it.next() {
                 let mut value = |name: &str| {
                     it.next()
@@ -633,11 +652,21 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                     "--matrix" => matrix = true,
                     "--json" => json = true,
                     "--metrics" => metrics = Some(value(flag)?),
+                    "--thread-crash" => thread_crash = true,
+                    "--plans" => plans = number(flag, value(flag)?)?,
+                    "--seed" => {
+                        seed = value(flag)?
+                            .parse::<u64>()
+                            .map_err(|_| UsageError("--seed expects a number".into()))?;
+                    }
                     other => return Err(UsageError(format!("unknown flag `{other}`"))),
                 }
             }
+            if workload.is_none() && !thread_crash {
+                return Err(UsageError("--workload is required".into()));
+            }
             Ok(Command::Chaos {
-                workload: workload.ok_or_else(|| UsageError("--workload is required".into()))?,
+                workload,
                 ops,
                 points,
                 images,
@@ -645,6 +674,9 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                 matrix,
                 json,
                 metrics,
+                thread_crash,
+                plans,
+                seed,
             })
         }
         "supervise" => {
@@ -792,13 +824,20 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
     }
 }
 
-/// Looks up a workload by its Table 4 name.
+/// Looks up a workload by its Table 4 name (plus the concurrent
+/// lock-free suite).
 pub fn workload_by_name(name: &str) -> Option<Box<dyn Workload>> {
     if let Some(found) = pm_workloads::all_benchmarks()
         .into_iter()
         .find(|w| w.name() == name)
     {
         return Some(found);
+    }
+    match name {
+        "treiber_stack" => return Some(Box::new(pm_workloads::TreiberStack::default())),
+        "ms_queue" => return Some(Box::new(pm_workloads::MsQueue::default())),
+        "cas_hash" => return Some(Box::new(pm_workloads::CasHash::default())),
+        _ => {}
     }
     pm_workloads::YcsbLoad::ALL
         .iter()
@@ -1299,6 +1338,15 @@ pub fn execute_outcome(command: Command, out: &mut dyn fmt::Write) -> Result<Out
             for load in pm_workloads::YcsbLoad::ALL {
                 writeln!(out, "  {:<16} (strict)", load.label()).map_err(wr)?;
             }
+            for workload in pm_workloads::concurrent_benchmarks() {
+                writeln!(
+                    out,
+                    "  {:<16} ({}, concurrent)",
+                    workload.name(),
+                    workload.model().name()
+                )
+                .map_err(wr)?;
+            }
             writeln!(
                 out,
                 "tools: pmdebugger pmemcheck pmtest xfdetector nulgrind"
@@ -1321,7 +1369,59 @@ pub fn execute_outcome(command: Command, out: &mut dyn fmt::Write) -> Result<Out
             matrix,
             json,
             metrics,
+            thread_crash,
+            plans,
+            seed,
         } => {
+            if thread_crash {
+                let opts = pm_chaos::ThreadCrashOptions {
+                    plans,
+                    seed,
+                    ops_per_thread: ops.min(1024),
+                    wall_clock: budget_ms.map(std::time::Duration::from_millis),
+                    ..pm_chaos::ThreadCrashOptions::default()
+                };
+                let report = pm_chaos::thread_crash_sweep(&opts);
+                if json {
+                    writeln!(out, "{}", report.to_json()).map_err(wr)?;
+                } else {
+                    writeln!(
+                        out,
+                        "thread-crash: {}/{} plan(s), {} thread(s) killed, \
+                         {} surviving event(s), {} agreed report(s) in {} ms -> {}",
+                        report.plans_run,
+                        report.plans_planned,
+                        report.killed_threads,
+                        report.surviving_events,
+                        report.reports_agreed,
+                        report.wall_ms,
+                        if report.ok() { "OK" } else { "VIOLATIONS" },
+                    )
+                    .map_err(wr)?;
+                    for violation in &report.violations {
+                        writeln!(
+                            out,
+                            "  violation [{}] plan {} ({}, seed {}, {} threads, killed {:?}): {}",
+                            violation.kind,
+                            violation.plan_index,
+                            violation.workload,
+                            violation.plan_seed,
+                            violation.threads,
+                            violation.killed,
+                            violation.detail
+                        )
+                        .map_err(wr)?;
+                    }
+                    for truncation in &report.truncations {
+                        writeln!(out, "  truncated: {truncation}").map_err(wr)?;
+                    }
+                }
+                return Ok(Outcome {
+                    bugs_found: !report.ok(),
+                    degraded: false,
+                });
+            }
+            let workload = workload.expect("parse requires --workload without --thread-crash");
             let workload = workload_by_name(&workload).ok_or_else(|| {
                 ExecError::Input(format!("unknown workload `{workload}` (try `pmdbg list`)"))
             })?;
@@ -2314,7 +2414,7 @@ mod tests {
         assert_eq!(
             cmd,
             Command::Chaos {
-                workload: "hashmap_atomic".into(),
+                workload: Some("hashmap_atomic".into()),
                 ops: 256,
                 points: 256,
                 images: 16,
@@ -2322,8 +2422,67 @@ mod tests {
                 matrix: false,
                 json: false,
                 metrics: None,
+                thread_crash: false,
+                plans: 100,
+                seed: 0x7C4A_5AD0,
             }
         );
+    }
+
+    #[test]
+    fn parses_chaos_thread_crash() {
+        let cmd = parse(&args(&[
+            "chaos",
+            "--thread-crash",
+            "--plans",
+            "12",
+            "--seed",
+            "9",
+            "--json",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Chaos {
+                workload: None,
+                ops: 256,
+                points: 256,
+                images: 16,
+                budget_ms: None,
+                matrix: false,
+                json: true,
+                metrics: None,
+                thread_crash: true,
+                plans: 12,
+                seed: 9,
+            }
+        );
+    }
+
+    #[test]
+    fn thread_crash_sweep_runs_clean() {
+        let mut out = String::new();
+        let outcome = execute_outcome(
+            Command::Chaos {
+                workload: None,
+                ops: 10,
+                points: 256,
+                images: 16,
+                budget_ms: None,
+                matrix: false,
+                json: true,
+                metrics: None,
+                thread_crash: true,
+                plans: 6,
+                seed: 1,
+            },
+            &mut out,
+        )
+        .unwrap();
+        assert!(!outcome.bugs_found, "{out}");
+        assert!(out.starts_with("{\"ok\":true"), "{out}");
+        assert!(out.contains("\"plans_run\":6"), "{out}");
+        assert!(out.contains("\"aborts\":0"), "{out}");
     }
 
     #[test]
@@ -2347,7 +2506,7 @@ mod tests {
         assert_eq!(
             cmd,
             Command::Chaos {
-                workload: "memcached".into(),
+                workload: Some("memcached".into()),
                 ops: 32,
                 points: 64,
                 images: 8,
@@ -2355,6 +2514,9 @@ mod tests {
                 matrix: true,
                 json: true,
                 metrics: None,
+                thread_crash: false,
+                plans: 100,
+                seed: 0x7C4A_5AD0,
             }
         );
         assert!(parse(&args(&["chaos"])).is_err());
@@ -2366,7 +2528,7 @@ mod tests {
         let mut out = String::new();
         execute(
             Command::Chaos {
-                workload: "hashmap_atomic".into(),
+                workload: Some("hashmap_atomic".into()),
                 ops: 16,
                 points: 48,
                 images: 4,
@@ -2374,6 +2536,9 @@ mod tests {
                 matrix: false,
                 json: false,
                 metrics: None,
+                thread_crash: false,
+                plans: 100,
+                seed: 0x7C4A_5AD0,
             },
             &mut out,
         )
@@ -2387,7 +2552,7 @@ mod tests {
         let mut out = String::new();
         execute(
             Command::Chaos {
-                workload: "hashmap_atomic".into(),
+                workload: Some("hashmap_atomic".into()),
                 ops: 8,
                 points: 24,
                 images: 4,
@@ -2395,6 +2560,9 @@ mod tests {
                 matrix: true,
                 json: true,
                 metrics: None,
+                thread_crash: false,
+                plans: 100,
+                seed: 0x7C4A_5AD0,
             },
             &mut out,
         )
@@ -2662,7 +2830,7 @@ mod tests {
         let mut out = String::new();
         execute(
             Command::Chaos {
-                workload: "hashmap_atomic".into(),
+                workload: Some("hashmap_atomic".into()),
                 ops: 16,
                 points: 48,
                 images: 4,
@@ -2670,6 +2838,9 @@ mod tests {
                 matrix: false,
                 json: false,
                 metrics: Some(path.to_str().unwrap().to_owned()),
+                thread_crash: false,
+                plans: 100,
+                seed: 0x7C4A_5AD0,
             },
             &mut out,
         )

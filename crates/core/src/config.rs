@@ -41,6 +41,9 @@ pub struct RuleSet {
     pub lack_ordering_in_strands: bool,
     /// §7.3 cross-failure-semantic (requires crash/recovery events).
     pub cross_failure: bool,
+    /// Cross-thread persistency ordering at CAS publication points
+    /// (published-but-unflushed / unpublished-but-visible).
+    pub cross_thread: bool,
 }
 
 impl RuleSet {
@@ -57,6 +60,7 @@ impl RuleSet {
             redundant_epoch_fence: true,
             lack_ordering_in_strands: true,
             cross_failure: true,
+            cross_thread: true,
         }
     }
 
@@ -73,6 +77,7 @@ impl RuleSet {
             redundant_epoch_fence: false,
             lack_ordering_in_strands: false,
             cross_failure: false,
+            cross_thread: false,
         }
     }
 

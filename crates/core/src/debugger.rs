@@ -11,7 +11,7 @@ use pm_trace::{
 };
 
 use crate::config::{DebuggerConfig, PersistencyModel};
-use crate::order::OrderTracker;
+use crate::order::{CrossThreadTracker, OrderTracker};
 use crate::space::BookkeepingSpace;
 use crate::stats::DebuggerStats;
 
@@ -116,6 +116,8 @@ pub struct PmDebugger {
     /// because `stats()` is a read.
     stats_cache: RefCell<StatsCache>,
     order: OrderTracker,
+    /// Cross-thread persistency ordering at CAS publication points.
+    cross: CrossThreadTracker,
     /// Per-thread epoch state.
     epochs: HashMap<ThreadId, EpochState>,
     reports: Vec<BugReport>,
@@ -162,6 +164,7 @@ impl PmDebugger {
             spaces: BTreeMap::new(),
             stats_cache: RefCell::new(StatsCache::default()),
             order,
+            cross: CrossThreadTracker::new(),
             epochs: HashMap::new(),
             reports: Vec::new(),
             custom_rules: Vec::new(),
@@ -316,6 +319,7 @@ impl PmDebugger {
             spaces: self.spaces.clone(),
             stats_cache: RefCell::new(StatsCache::default()),
             order: self.order.clone(),
+            cross: self.cross.clone(),
             epochs: self.epochs.clone(),
             reports: self.reports.clone(),
             custom_rules: Vec::new(),
@@ -406,6 +410,32 @@ impl PmDebugger {
             );
         }
         self.order.on_store(addr, size, strand);
+        if self.config.rules.cross_thread {
+            self.cross.on_store(seq, addr, size, tid);
+        }
+    }
+
+    /// A compare-and-swap. A successful CAS is a store to its target for
+    /// regular durability bookkeeping, and a *publication point* for the
+    /// cross-thread rules: the publish window starting at the installed
+    /// value is probed for stores whose durability is not fenced. A failed
+    /// CAS writes nothing and publishes nothing.
+    fn handle_cas(
+        &mut self,
+        seq: u64,
+        addr: Addr,
+        size: u64,
+        tid: ThreadId,
+        new: u64,
+        success: bool,
+    ) {
+        if success {
+            self.handle_store(seq, addr, size, tid, None, false);
+        }
+        if self.config.rules.cross_thread {
+            let reports = self.cross.on_cas(seq, addr, size, tid, new, success);
+            self.reports.extend(reports);
+        }
     }
 
     fn handle_flush(
@@ -463,6 +493,9 @@ impl PmDebugger {
         if self.config.rules.lack_ordering_in_strands {
             self.reports.extend(order_reports);
         }
+        if self.config.rules.cross_thread {
+            self.cross.on_flush(addr, size, tid);
+        }
     }
 
     fn handle_fence(&mut self, seq: u64, tid: ThreadId, strand: Option<StrandId>, in_epoch: bool) {
@@ -475,6 +508,9 @@ impl PmDebugger {
         let order_reports = self.order.on_fence_scoped(seq, strand);
         if self.config.rules.no_order {
             self.reports.extend(order_reports);
+        }
+        if self.config.rules.cross_thread {
+            self.cross.on_fence(tid);
         }
     }
 
@@ -644,6 +680,14 @@ impl PmDebugger {
             PmEventRef::RecoveryRead { addr, size } => {
                 self.handle_recovery_read(seq, *addr, u64::from(*size));
             }
+            PmEventRef::Cas {
+                addr,
+                size,
+                tid,
+                old: _,
+                new,
+                success,
+            } => self.handle_cas(seq, *addr, u64::from(*size), *tid, *new, *success),
             PmEventRef::RegisterPmem { .. } | PmEventRef::Annotation(_) => {}
         }
     }

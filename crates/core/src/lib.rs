@@ -63,12 +63,12 @@ pub use config::{
 pub use cover::RangeCover;
 pub use debugger::{CustomRule, PmDebugger, SpaceView};
 pub use interval::{IntervalList, IntervalMeta, IntervalState};
-pub use order::OrderTracker;
+pub use order::{CrossThreadTracker, OrderTracker};
 pub use parallel::{
     detect_parallel, detect_parallel_from, profile_parallel, ParallelConfig, ParallelOutcome,
     ParallelPmDebugger, PipelineProfile, MAX_THREADS,
 };
-pub use rules::{EpochSizeRule, FailureWindowRule, FlushAmplificationRule};
+pub use rules::{CasContentionRule, EpochSizeRule, FailureWindowRule, FlushAmplificationRule};
 pub use session::{DetectSession, SessionCheckpoint};
 pub use space::{BookkeepingSpace, FenceOutcome, FlushOutcome, Residual, SpaceStats, StoreOutcome};
 pub use stats::DebuggerStats;

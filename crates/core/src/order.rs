@@ -1,5 +1,7 @@
 //! Persist-order tracking for the no-order-guarantee and
-//! lack-ordering-in-strands rules (paper §4.5, §5.2).
+//! lack-ordering-in-strands rules (paper §4.5, §5.2), plus cross-thread
+//! persistency ordering at CAS publication points
+//! ([`CrossThreadTracker`]).
 //!
 //! Order requirements come from the configuration file ([`pm_trace::OrderSpec`]);
 //! variables are bound to address ranges at runtime via `NameRange` events.
@@ -13,9 +15,10 @@
 //!   order within a strand), and the report carries the strand that issued
 //!   the offending flush.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
-use pm_trace::{Addr, BugKind, BugReport, OrderSpec, StrandId};
+use pm_trace::events::ranges_overlap;
+use pm_trace::{Addr, BugKind, BugReport, OrderSpec, StrandId, ThreadId, CAS_PUBLISH_WINDOW};
 
 use crate::cover::RangeCover;
 
@@ -247,6 +250,144 @@ impl OrderTracker {
     }
 }
 
+/// Volatile-but-visible state of one store awaiting durability.
+#[derive(Debug, Clone)]
+struct PendingStore {
+    /// Thread that issued the store.
+    store_tid: ThreadId,
+    /// Stream position of the store.
+    store_seq: u64,
+    /// Thread that flushed the store (and that thread's fence epoch at the
+    /// flush), once some flush covered it. On x86 a fence completes only
+    /// the *issuing* thread's writebacks, so the entry stays pending until
+    /// this exact thread fences.
+    flushed_by: Option<(ThreadId, u64)>,
+    /// A publication bug was already reported for this entry.
+    reported: bool,
+}
+
+/// Cross-thread persistency-ordering tracker for lock-free PM structures.
+///
+/// Lock-free structures publish nodes by swinging a shared pointer with a
+/// CAS: after the swing, other threads (and post-crash recovery) can reach
+/// the node. Correct code makes the node durable *before* the swing —
+/// store, flush, fence on the same thread, then CAS. This tracker keeps a
+/// per-thread fence-epoch vector and the set of stores whose durability is
+/// not yet fenced, and probes the [`CAS_PUBLISH_WINDOW`] starting at the
+/// installed value on every successful CAS:
+///
+/// * a probed store that was never flushed is [`BugKind::PublishedUnflushed`];
+/// * a probed store flushed on thread A whose fence hasn't happened on A —
+///   even if another thread fenced in between — is
+///   [`BugKind::UnpublishedVisible`], carrying the thread pair.
+///
+/// Reports fire only at CAS events (never at end of run), so the tracker
+/// behaves identically under sequential, sharded-parallel, supervised and
+/// streaming execution: a CAS and every store its window can probe always
+/// share a shard (the planner links them), and fences are broadcast.
+#[derive(Debug, Clone, Default)]
+pub struct CrossThreadTracker {
+    /// Fence epoch per thread: incremented at each of the thread's fences.
+    fence_epochs: BTreeMap<ThreadId, u64>,
+    /// Stores (keyed by exact range) that are not yet durably ordered.
+    pending: BTreeMap<(Addr, u64), PendingStore>,
+}
+
+impl CrossThreadTracker {
+    /// A tracker with no pending state.
+    pub fn new() -> Self {
+        CrossThreadTracker::default()
+    }
+
+    /// Current fence epoch of `tid`.
+    fn epoch(&self, tid: ThreadId) -> u64 {
+        self.fence_epochs.get(&tid).copied().unwrap_or(0)
+    }
+
+    /// Observes a store: it is now visible-when-published and not durable.
+    pub fn on_store(&mut self, seq: u64, addr: Addr, size: u64, tid: ThreadId) {
+        self.pending.insert(
+            (addr, size),
+            PendingStore {
+                store_tid: tid,
+                store_seq: seq,
+                flushed_by: None,
+                reported: false,
+            },
+        );
+    }
+
+    /// Observes a flush by `tid` of `[addr, addr+len)`: overlapped pending
+    /// stores now await `tid`'s next fence.
+    pub fn on_flush(&mut self, addr: Addr, len: u64, tid: ThreadId) {
+        let epoch = self.epoch(tid);
+        for (&(sa, sl), entry) in self.pending.iter_mut() {
+            if entry.flushed_by.is_none() && ranges_overlap(sa, sl, addr, len) {
+                entry.flushed_by = Some((tid, epoch));
+            }
+        }
+    }
+
+    /// Observes a fence by `tid`: every store `tid` flushed becomes durably
+    /// ordered and leaves the pending set. Other threads' flushes are
+    /// untouched — that asymmetry is exactly what the rules detect.
+    pub fn on_fence(&mut self, tid: ThreadId) {
+        *self.fence_epochs.entry(tid).or_insert(0) += 1;
+        self.pending
+            .retain(|_, entry| entry.flushed_by.map(|(t, _)| t) != Some(tid));
+    }
+
+    /// Observes a CAS by `tid` at stream position `seq`. On success, probes
+    /// the publish window starting at `new` and reports every pending store
+    /// it exposes (each once), then books the CAS target itself as a store.
+    /// Failed CAS neither publishes nor stores.
+    pub fn on_cas(
+        &mut self,
+        seq: u64,
+        addr: Addr,
+        size: u64,
+        tid: ThreadId,
+        new: u64,
+        success: bool,
+    ) -> Vec<BugReport> {
+        if !success {
+            return Vec::new();
+        }
+        let mut reports = Vec::new();
+        for (&(sa, sl), entry) in self.pending.iter_mut() {
+            if entry.reported
+                || entry.store_seq == seq
+                || !ranges_overlap(sa, sl, new, CAS_PUBLISH_WINDOW)
+            {
+                continue;
+            }
+            entry.reported = true;
+            let report = match entry.flushed_by {
+                None => BugReport::new(
+                    BugKind::PublishedUnflushed,
+                    format!(
+                        "CAS on thread {} publishes {new:#x}, exposing a store by \
+                         thread {} (event #{}) that was never flushed",
+                        tid.0, entry.store_tid.0, entry.store_seq
+                    ),
+                ),
+                Some((flusher, flush_epoch)) => BugReport::new(
+                    BugKind::UnpublishedVisible,
+                    format!(
+                        "CAS on thread {} publishes {new:#x}, exposing a store by \
+                         thread {} (event #{}) flushed by thread {} (fence epoch \
+                         {flush_epoch}) whose fence has not yet happened on thread {}",
+                        tid.0, entry.store_tid.0, entry.store_seq, flusher.0, flusher.0
+                    ),
+                ),
+            };
+            reports.push(report.with_range(sa, sl).with_event(seq));
+        }
+        self.on_store(seq, addr, size, tid);
+        reports
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -382,5 +523,90 @@ mod tests {
         t.on_store(64, 8, Some(StrandId(1)));
         let reports = t.on_flush(64, 64, Some(StrandId(1)), true, 4);
         assert!(reports.is_empty());
+    }
+
+    const A: ThreadId = ThreadId(0);
+    const B: ThreadId = ThreadId(1);
+
+    #[test]
+    fn durable_before_publish_is_clean() {
+        let mut t = CrossThreadTracker::new();
+        t.on_store(0, 0x1000, 8, A);
+        t.on_flush(0x1000, 64, A);
+        t.on_fence(A);
+        assert!(t.on_cas(3, 0x40, 8, A, 0x1000, true).is_empty());
+    }
+
+    #[test]
+    fn never_flushed_store_reports_published_unflushed() {
+        let mut t = CrossThreadTracker::new();
+        t.on_store(0, 0x1000, 8, A);
+        let reports = t.on_cas(1, 0x40, 8, B, 0x1000, true);
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].kind, BugKind::PublishedUnflushed);
+        assert_eq!(reports[0].addr, Some(0x1000));
+        assert_eq!(reports[0].at_event, Some(1));
+        // Reported once: a second publish of the same window is silent.
+        assert!(t.on_cas(2, 0x40, 8, B, 0x1000, true).is_empty());
+    }
+
+    #[test]
+    fn fence_on_wrong_thread_reports_unpublished_visible() {
+        // The acceptance scenario: flush on A, fence on B, publish on B.
+        // B's fence does not complete A's writeback, so the published node
+        // is visible with unordered durability.
+        let mut t = CrossThreadTracker::new();
+        t.on_store(0, 0x1000, 8, A);
+        t.on_flush(0x1000, 64, A);
+        t.on_fence(B);
+        let reports = t.on_cas(3, 0x40, 8, B, 0x1000, true);
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].kind, BugKind::UnpublishedVisible);
+        assert!(reports[0].message.contains("thread 0"));
+        assert!(reports[0].message.contains("thread 1"));
+    }
+
+    #[test]
+    fn flusher_fence_clears_even_across_threads() {
+        // Store on A, flushed by B, fenced by B: durable (B's fence orders
+        // B's flush regardless of who stored).
+        let mut t = CrossThreadTracker::new();
+        t.on_store(0, 0x1000, 8, A);
+        t.on_flush(0x1000, 64, B);
+        t.on_fence(B);
+        assert!(t.on_cas(3, 0x40, 8, A, 0x1000, true).is_empty());
+    }
+
+    #[test]
+    fn failed_cas_neither_probes_nor_stores() {
+        let mut t = CrossThreadTracker::new();
+        t.on_store(0, 0x1000, 8, A);
+        assert!(t.on_cas(1, 0x40, 8, B, 0x1000, false).is_empty());
+        // The pending store is still unreported: a later successful CAS
+        // finds it.
+        assert_eq!(t.on_cas(2, 0x40, 8, B, 0x1000, true).len(), 1);
+    }
+
+    #[test]
+    fn cas_target_itself_becomes_pending() {
+        // A successful CAS writes its target; publishing a pointer *to the
+        // CAS target* before the target's line is fenced is itself a bug.
+        let mut t = CrossThreadTracker::new();
+        assert!(t.on_cas(0, 0x2000, 8, A, 0, true).is_empty());
+        let reports = t.on_cas(1, 0x40, 8, B, 0x2000, true);
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].kind, BugKind::PublishedUnflushed);
+    }
+
+    #[test]
+    fn probe_only_sees_window_overlap() {
+        let mut t = CrossThreadTracker::new();
+        t.on_store(0, 0x1000, 8, A);
+        // Window [0x2000, 0x2040) does not overlap the store at 0x1000.
+        assert!(t.on_cas(1, 0x40, 8, B, 0x2000, true).is_empty());
+        // Window ending exactly at the store is still disjoint.
+        assert!(t
+            .on_cas(2, 0x40, 8, B, 0x1000 - CAS_PUBLISH_WINDOW, true)
+            .is_empty());
     }
 }

@@ -126,7 +126,12 @@ fn intra_event_rank(kind: BugKind) -> u8 {
         | BugKind::RedundantLogging
         | BugKind::RedundantEpochFence
         | BugKind::CrossFailureSemantic => 0,
-        BugKind::FlushNothing | BugKind::LackDurabilityInEpoch => 1,
+        // The cross-thread kinds fire inside the CAS handler *after* its
+        // store bookkeeping may have pushed a multiple-overwrites report.
+        BugKind::FlushNothing
+        | BugKind::LackDurabilityInEpoch
+        | BugKind::PublishedUnflushed
+        | BugKind::UnpublishedVisible => 1,
         BugKind::LackOrderingInStrands => 2,
         BugKind::NoOrderGuarantee => 3,
     }

@@ -183,6 +183,64 @@ impl CustomRule for FailureWindowRule {
     }
 }
 
+/// Reports CAS addresses that fail more than `budget` times over the
+/// run — contention hot spots in lock-free PM code. Every failed CAS in
+/// a publication loop means the node's store/flush/fence prologue is
+/// redone before the republish attempt, so a retry storm is persisted
+/// write amplification the per-fence checks cannot see.
+#[derive(Debug)]
+pub struct CasContentionRule {
+    budget: u64,
+    failures: HashMap<Addr, u64>,
+}
+
+impl CasContentionRule {
+    /// Creates the rule with a per-address whole-run failed-CAS budget.
+    pub fn new(budget: u64) -> Self {
+        CasContentionRule {
+            budget,
+            failures: HashMap::new(),
+        }
+    }
+}
+
+impl CustomRule for CasContentionRule {
+    fn name(&self) -> &str {
+        "cas-contention"
+    }
+
+    fn on_event(&mut self, _seq: u64, event: &PmEvent, _view: &SpaceView<'_>) -> Vec<BugReport> {
+        if let PmEvent::Cas {
+            addr,
+            success: false,
+            ..
+        } = event
+        {
+            *self.failures.entry(*addr).or_default() += 1;
+        }
+        Vec::new()
+    }
+
+    fn finish(&mut self, _view: &SpaceView<'_>) -> Vec<BugReport> {
+        let budget = self.budget;
+        let mut hot: Vec<(&Addr, &u64)> =
+            self.failures.iter().filter(|(_, n)| **n > budget).collect();
+        hot.sort_unstable();
+        hot.iter()
+            .map(|(addr, count)| {
+                BugReport::new(
+                    BugKind::RedundantFlushes,
+                    format!(
+                        "CAS on this address failed {count} times over the run (budget {budget}); \
+                         each retry re-persists its node before republishing"
+                    ),
+                )
+                .with_range(**addr, 8)
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -283,6 +341,64 @@ mod tests {
     fn flush_amplification_quiet_under_budget() {
         let events = vec![store(0), flush(0), fence()];
         let reports = run_with_rule(events, Box::new(FlushAmplificationRule::new(3)));
+        assert!(reports.is_empty());
+    }
+
+    #[test]
+    fn cas_contention_flags_retry_storms() {
+        // A publication loop that loses the race 4 times on one anchor,
+        // next to a second anchor that succeeds first try.
+        let mut events = Vec::new();
+        for _ in 0..4 {
+            events.push(PmEvent::Cas {
+                addr: 0x100,
+                size: 8,
+                tid: ThreadId(0),
+                old: 0,
+                new: 0x2000,
+                success: false,
+            });
+        }
+        events.push(PmEvent::Cas {
+            addr: 0x140,
+            size: 8,
+            tid: ThreadId(1),
+            old: 0,
+            new: 0x3000,
+            success: true,
+        });
+        // Persist the winning publication so the core durability rules
+        // stay quiet and only the contention verdict remains.
+        events.push(PmEvent::Flush {
+            kind: pm_trace::FlushKind::Clwb,
+            addr: 0x140,
+            size: 8,
+            tid: ThreadId(1),
+            strand: None,
+        });
+        events.push(PmEvent::Fence {
+            kind: FenceKind::Sfence,
+            tid: ThreadId(1),
+            strand: None,
+            in_epoch: false,
+        });
+        let reports = run_with_rule(events, Box::new(CasContentionRule::new(3)));
+        assert_eq!(reports.len(), 1);
+        assert!(reports[0].message.contains("failed 4 times"));
+        assert_eq!(reports[0].addr, Some(0x100));
+    }
+
+    #[test]
+    fn cas_contention_quiet_under_budget() {
+        let events = vec![PmEvent::Cas {
+            addr: 0x100,
+            size: 8,
+            tid: ThreadId(0),
+            old: 0,
+            new: 0x2000,
+            success: false,
+        }];
+        let reports = run_with_rule(events, Box::new(CasContentionRule::new(3)));
         assert!(reports.is_empty());
     }
 

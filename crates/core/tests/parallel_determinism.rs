@@ -45,6 +45,15 @@ enum Op {
         size: u32,
         tid: u32,
     },
+    Cas {
+        line: u64,
+        offset: u64,
+        size: u32,
+        tid: u32,
+        old: u64,
+        new_line: u64,
+        success: bool,
+    },
     Crash,
     RecoveryRead {
         line: u64,
@@ -95,6 +104,16 @@ fn op_strategy() -> impl Strategy<Value = Op> {
             size,
             tid
         }),
+        3 => (0..LINES, 0u64..56, 1u32..9, 0u32..3, (any::<u64>(), any::<bool>()), 0..LINES)
+            .prop_map(|(line, offset, size, tid, (old, success), new_line)| Op::Cas {
+                line,
+                offset,
+                size,
+                tid,
+                old,
+                new_line,
+                success,
+            }),
         1 => Just(Op::Crash),
         1 => (0..LINES, 1u32..80).prop_map(|(line, size)| Op::RecoveryRead { line, size }),
     ]
@@ -161,6 +180,24 @@ fn to_event(op: &Op) -> PmEvent {
             obj_addr: line * 64,
             size: *size,
             tid: ThreadId(*tid),
+        },
+        // The published value points at another sampled line so that CAS
+        // publication windows overlap stores routed to other components.
+        Op::Cas {
+            line,
+            offset,
+            size,
+            tid,
+            old,
+            new_line,
+            success,
+        } => PmEvent::Cas {
+            addr: line * 64 + offset,
+            size: *size,
+            tid: ThreadId(*tid),
+            old: *old,
+            new: new_line * 64,
+            success: *success,
         },
         Op::Crash => PmEvent::Crash,
         Op::RecoveryRead { line, size } => PmEvent::RecoveryRead {

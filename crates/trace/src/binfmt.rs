@@ -269,6 +269,21 @@ pub fn encode_payload(event: &PmEvent) -> Vec<u8> {
             put_varint(&mut out, *addr);
             put_varint(&mut out, u64::from(*size));
         }
+        PmEvent::Cas {
+            addr,
+            size,
+            tid,
+            old,
+            new,
+            success,
+        } => {
+            put_varint(&mut out, *addr);
+            put_varint(&mut out, u64::from(*size));
+            put_varint(&mut out, u64::from(tid.0));
+            put_varint(&mut out, *old);
+            put_varint(&mut out, *new);
+            out.push(u8::from(*success));
+        }
     }
     out
 }
@@ -654,6 +669,14 @@ pub fn decode_payload_ref(payload: &[u8]) -> Result<PmEventRef<'_>, String> {
             addr: c.varint()?,
             size: c.u32_field("size")?,
         },
+        15 => PmEventRef::Cas {
+            addr: c.varint()?,
+            size: c.u32_field("size")?,
+            tid: c.tid()?,
+            old: c.varint()?,
+            new: c.varint()?,
+            success: c.bool()?,
+        },
         other => return Err(format!("unknown event tag {other:#04x}")),
     };
     if c.pos != payload.len() {
@@ -1032,6 +1055,22 @@ mod tests {
             PmEvent::Annotation(Annotation::TrackLogging { addr: 0, size: 64 }),
             PmEvent::Crash,
             PmEvent::RecoveryRead { addr: 0, size: 8 },
+            PmEvent::Cas {
+                addr: 0x200,
+                size: 8,
+                tid: ThreadId(2),
+                old: 0,
+                new: 0x1_0040,
+                success: true,
+            },
+            PmEvent::Cas {
+                addr: 0x200,
+                size: 8,
+                tid: ThreadId(3),
+                old: u64::MAX,
+                new: u64::MAX - 1,
+                success: false,
+            },
         ]
     }
 

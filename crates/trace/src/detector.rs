@@ -5,7 +5,9 @@ use std::fmt;
 
 use crate::events::{Addr, PmEvent};
 
-/// The ten bug types of the paper's Table 6.
+/// The ten bug types of the paper's Table 6, plus the two cross-thread
+/// persistency-ordering classes for lock-free PM structures that publish
+/// pointers by CAS.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum BugKind {
     /// A persistent location is not persisted after its last write
@@ -33,11 +35,20 @@ pub enum BugKind {
     /// Post-failure execution reads semantically inconsistent data, §7.3
     /// (XFDetector's bug class).
     CrossFailureSemantic,
+    /// A CAS publishes a pointer to a store that was never flushed: the
+    /// node is reachable after the swing but has no durability path at all.
+    PublishedUnflushed,
+    /// A CAS publishes a pointer to a store that was flushed on one thread
+    /// but not yet fenced by *that* thread — another thread's fence does
+    /// not complete the flusher's writebacks, so the visible node's
+    /// durability is unordered with its publication.
+    UnpublishedVisible,
 }
 
 impl BugKind {
-    /// All ten kinds, in Table 6 column order.
-    pub const ALL: [BugKind; 10] = [
+    /// All kinds: the ten of Table 6 in column order, then the two
+    /// cross-thread classes.
+    pub const ALL: [BugKind; 12] = [
         BugKind::NoDurabilityGuarantee,
         BugKind::MultipleOverwrites,
         BugKind::NoOrderGuarantee,
@@ -48,6 +59,8 @@ impl BugKind {
         BugKind::RedundantEpochFence,
         BugKind::LackOrderingInStrands,
         BugKind::CrossFailureSemantic,
+        BugKind::PublishedUnflushed,
+        BugKind::UnpublishedVisible,
     ];
 
     /// Short, stable name used in reports and tables.
@@ -63,6 +76,8 @@ impl BugKind {
             BugKind::RedundantEpochFence => "redundant-epoch-fence",
             BugKind::LackOrderingInStrands => "lack-ordering-in-strands",
             BugKind::CrossFailureSemantic => "cross-failure-semantic",
+            BugKind::PublishedUnflushed => "published-but-unflushed",
+            BugKind::UnpublishedVisible => "unpublished-but-visible",
         }
     }
 
@@ -270,7 +285,7 @@ mod tests {
         let mut names: Vec<&str> = BugKind::ALL.iter().map(|k| k.name()).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 10);
+        assert_eq!(names.len(), 12);
     }
 
     #[test]
@@ -281,6 +296,8 @@ mod tests {
         assert!(BugKind::LackDurabilityInEpoch.is_correctness());
         assert!(BugKind::LackOrderingInStrands.is_correctness());
         assert!(BugKind::CrossFailureSemantic.is_correctness());
+        assert!(BugKind::PublishedUnflushed.is_correctness());
+        assert!(BugKind::UnpublishedVisible.is_correctness());
         assert!(!BugKind::RedundantFlushes.is_correctness());
         assert!(!BugKind::FlushNothing.is_correctness());
         assert!(!BugKind::RedundantLogging.is_correctness());

@@ -11,6 +11,14 @@ use pmem_sim::FlushKind;
 /// A persistent-memory address (byte offset into the registered PM space).
 pub type Addr = u64;
 
+/// Bytes of persistent state a successful [`PmEvent::Cas`] is assumed to
+/// make reachable starting at the value it installed — one cache line,
+/// the node-header granularity of the lock-free PM structures that publish
+/// pointers by CAS. The cross-thread persistency rules probe this window,
+/// and the shard planner links it to the CAS target so both land on the
+/// same worker.
+pub const CAS_PUBLISH_WINDOW: u64 = 64;
+
 /// Identifier of the thread that issued an event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ThreadId(pub u32);
@@ -156,6 +164,27 @@ pub enum PmEvent {
         /// Number of bytes read.
         size: u32,
     },
+    /// A compare-and-swap on persistent memory — the publication point of
+    /// lock-free PM structures (Treiber stack, Michael-Scott queue). A
+    /// *successful* CAS both writes its target word and makes the value it
+    /// installed (typically a node pointer) visible to every other thread,
+    /// so cross-thread persistency rules anchor on it.
+    Cas {
+        /// First byte of the CAS target word.
+        addr: Addr,
+        /// Width of the target word in bytes (8 for a pointer CAS).
+        size: u32,
+        /// Thread that issued (and on success, published via) the CAS.
+        tid: ThreadId,
+        /// Expected value compared against the target.
+        old: u64,
+        /// Value installed on success (for pointer CAS, the published
+        /// node's address).
+        new: u64,
+        /// Whether the CAS succeeded; a failed CAS writes nothing and
+        /// publishes nothing.
+        success: bool,
+    },
 }
 
 impl PmEvent {
@@ -180,7 +209,8 @@ impl PmEvent {
             | PmEvent::StrandEnd { tid, .. }
             | PmEvent::JoinStrand { tid }
             | PmEvent::TxLog { tid, .. }
-            | PmEvent::FuncEnter { tid, .. } => Some(*tid),
+            | PmEvent::FuncEnter { tid, .. }
+            | PmEvent::Cas { tid, .. } => Some(*tid),
             PmEvent::RegisterPmem { .. }
             | PmEvent::Annotation(_)
             | PmEvent::NameRange { .. }
@@ -192,7 +222,7 @@ impl PmEvent {
     /// Stable lowercase names for every event kind, indexed by
     /// [`kind_index`](Self::kind_index). These are the `events.<kind>`
     /// metric suffixes and the `event_kinds` keys in run manifests.
-    pub const KIND_NAMES: [&'static str; 15] = [
+    pub const KIND_NAMES: [&'static str; 16] = [
         "register_pmem",
         "store",
         "flush",
@@ -208,6 +238,7 @@ impl PmEvent {
         "name_range",
         "crash",
         "recovery_read",
+        "cas",
     ];
 
     /// Dense index of the event's kind into [`Self::KIND_NAMES`] — lets
@@ -230,6 +261,7 @@ impl PmEvent {
             PmEvent::NameRange { .. } => 12,
             PmEvent::Crash => 13,
             PmEvent::RecoveryRead { .. } => 14,
+            PmEvent::Cas { .. } => 15,
         }
     }
 
@@ -250,6 +282,7 @@ impl PmEvent {
             PmEvent::NameRange { addr, size, .. } | PmEvent::RecoveryRead { addr, size } => {
                 Some((*addr, u64::from(*size)))
             }
+            PmEvent::Cas { addr, size, .. } => Some((*addr, u64::from(*size))),
             _ => None,
         }
     }
@@ -376,6 +409,21 @@ pub enum PmEventRef<'a> {
         /// Number of bytes read.
         size: u32,
     },
+    /// See [`PmEvent::Cas`]. All-numeric, carried by value.
+    Cas {
+        /// First byte of the CAS target word.
+        addr: Addr,
+        /// Width of the target word in bytes.
+        size: u32,
+        /// Thread that issued the CAS.
+        tid: ThreadId,
+        /// Expected value compared against the target.
+        old: u64,
+        /// Value installed on success.
+        new: u64,
+        /// Whether the CAS succeeded.
+        success: bool,
+    },
 }
 
 impl<'a> PmEventRef<'a> {
@@ -447,6 +495,21 @@ impl<'a> PmEventRef<'a> {
             },
             PmEventRef::Crash => PmEvent::Crash,
             PmEventRef::RecoveryRead { addr, size } => PmEvent::RecoveryRead { addr, size },
+            PmEventRef::Cas {
+                addr,
+                size,
+                tid,
+                old,
+                new,
+                success,
+            } => PmEvent::Cas {
+                addr,
+                size,
+                tid,
+                old,
+                new,
+                success,
+            },
         }
     }
 
@@ -470,6 +533,7 @@ impl<'a> PmEventRef<'a> {
             PmEventRef::NameRange { .. } => 12,
             PmEventRef::Crash => 13,
             PmEventRef::RecoveryRead { .. } => 14,
+            PmEventRef::Cas { .. } => 15,
         }
     }
 
@@ -486,6 +550,7 @@ impl<'a> PmEventRef<'a> {
             PmEventRef::NameRange { addr, size, .. } | PmEventRef::RecoveryRead { addr, size } => {
                 Some((*addr, u64::from(*size)))
             }
+            PmEventRef::Cas { addr, size, .. } => Some((*addr, u64::from(*size))),
             _ => None,
         }
     }
@@ -568,6 +633,21 @@ impl PmEvent {
             PmEvent::RecoveryRead { addr, size } => PmEventRef::RecoveryRead {
                 addr: *addr,
                 size: *size,
+            },
+            PmEvent::Cas {
+                addr,
+                size,
+                tid,
+                old,
+                new,
+                success,
+            } => PmEventRef::Cas {
+                addr: *addr,
+                size: *size,
+                tid: *tid,
+                old: *old,
+                new: *new,
+                success: *success,
             },
         }
     }

@@ -161,6 +161,23 @@ fn write_event(out: &mut String, event: &PmEvent) {
         PmEvent::RecoveryRead { addr, size } => {
             let _ = write!(out, "recovery_read addr={addr:#x} size={size}");
         }
+        PmEvent::Cas {
+            addr,
+            size,
+            tid,
+            old,
+            new,
+            success,
+        } => {
+            let _ = write!(
+                out,
+                "cas addr={addr:#x} size={size} tid={} old={old:#x} new={new:#x}",
+                tid.0
+            );
+            if *success {
+                out.push_str(" ok");
+            }
+        }
     }
 }
 
@@ -396,6 +413,14 @@ pub fn parse_line(line_no: usize, raw: &str) -> Result<Option<PmEvent>, ParseTra
             addr: fields.num("addr")?,
             size: fields.num("size")? as u32,
         },
+        "cas" => PmEvent::Cas {
+            addr: fields.num("addr")?,
+            size: fields.num("size")? as u32,
+            tid: fields.tid()?,
+            old: fields.num("old")?,
+            new: fields.num("new")?,
+            success: fields.has_flag("ok"),
+        },
         other => {
             return Err(ParseTraceError {
                 line: line_no,
@@ -503,6 +528,22 @@ mod tests {
             PmEvent::Annotation(Annotation::CheckerStart),
             PmEvent::Crash,
             PmEvent::RecoveryRead { addr: 0, size: 8 },
+            PmEvent::Cas {
+                addr: 0x200,
+                size: 8,
+                tid: ThreadId(1),
+                old: 0,
+                new: 0x140,
+                success: true,
+            },
+            PmEvent::Cas {
+                addr: 0x200,
+                size: 8,
+                tid: ThreadId(2),
+                old: 0x140,
+                new: 0x180,
+                success: false,
+            },
         ]
         .into_iter()
         .collect()

@@ -68,7 +68,7 @@ pub use characterize::{
 pub use detector::{
     report_hash, BugKind, BugReport, CountingDetector, Detector, NopDetector, Severity,
 };
-pub use events::{Addr, FenceKind, PmEvent, PmEventRef, StrandId, ThreadId};
+pub use events::{Addr, FenceKind, PmEvent, PmEventRef, StrandId, ThreadId, CAS_PUBLISH_WINDOW};
 pub use format::{from_text, from_text_salvage, parse_line, to_text, ParseTraceError};
 pub use ingest::{
     ingest_bytes, ingest_reader, sniff_format, FrameError, IngestError, IngestLimits, IngestMode,
@@ -76,8 +76,8 @@ pub use ingest::{
 };
 pub use orderspec::{OrderRule, OrderSpec, ParseOrderSpecError};
 pub use recorder::{
-    interleave_round_robin, replay, replay_events, replay_finish, replay_finish_events, Trace,
-    TraceStats,
+    interleave_round_robin, interleave_seeded, replay, replay_events, replay_finish,
+    replay_finish_events, Trace, TraceStats,
 };
 pub use runtime::{PmRuntime, RunSummary, RuntimeError};
 pub use shard::{

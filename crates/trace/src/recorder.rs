@@ -198,6 +198,60 @@ pub fn interleave_round_robin(per_thread: Vec<Trace>, quantum: usize) -> Trace {
     merged
 }
 
+/// Interleaves per-thread traces under a seeded schedule, re-stamping each
+/// event with its source thread id.
+///
+/// Unlike the fixed rotation of [`interleave_round_robin`], each step picks
+/// the next runnable thread and a quantum in `1..=max_quantum` from a
+/// splitmix64 stream seeded by `seed`, producing genuinely irregular —
+/// but fully reproducible — multi-thread event streams. Per-thread event
+/// order is always preserved, so a workload that is crash-consistent
+/// thread-locally stays bug-free under every seed.
+pub fn interleave_seeded(per_thread: Vec<Trace>, seed: u64, max_quantum: usize) -> Trace {
+    assert!(max_quantum > 0, "max_quantum must be positive");
+    let mut sources: Vec<(ThreadId, std::vec::IntoIter<PmEvent>)> = per_thread
+        .into_iter()
+        .enumerate()
+        .map(|(i, t)| (ThreadId(i as u32), t.into_iter()))
+        .collect();
+    let mut merged = Trace::new();
+    let mut state = seed;
+    let mut live: Vec<usize> = (0..sources.len()).collect();
+    while !live.is_empty() {
+        let pick = (splitmix64(&mut state) as usize) % live.len();
+        let slot = live[pick];
+        let quantum = (splitmix64(&mut state) as usize) % max_quantum + 1;
+        let (tid, source) = &mut sources[slot];
+        let mut exhausted = false;
+        for _ in 0..quantum {
+            match source.next() {
+                Some(mut event) => {
+                    restamp(&mut event, *tid);
+                    merged.push(event);
+                }
+                None => {
+                    exhausted = true;
+                    break;
+                }
+            }
+        }
+        if exhausted {
+            live.swap_remove(pick);
+        }
+    }
+    merged
+}
+
+/// splitmix64 step — the same tiny deterministic generator the chaos
+/// harness seeds its plans with.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 fn restamp(event: &mut PmEvent, new_tid: ThreadId) {
     match event {
         PmEvent::Store { tid, .. }
@@ -209,7 +263,8 @@ fn restamp(event: &mut PmEvent, new_tid: ThreadId) {
         | PmEvent::StrandEnd { tid, .. }
         | PmEvent::JoinStrand { tid }
         | PmEvent::TxLog { tid, .. }
-        | PmEvent::FuncEnter { tid, .. } => *tid = new_tid,
+        | PmEvent::FuncEnter { tid, .. }
+        | PmEvent::Cas { tid, .. } => *tid = new_tid,
         PmEvent::RegisterPmem { .. }
         | PmEvent::Annotation(_)
         | PmEvent::NameRange { .. }
@@ -309,6 +364,45 @@ mod tests {
     #[should_panic(expected = "quantum")]
     fn zero_quantum_panics() {
         interleave_round_robin(vec![Trace::new()], 0);
+    }
+
+    #[test]
+    fn seeded_interleave_is_deterministic_and_order_preserving() {
+        let t0: Trace = (0..13).map(|i| store(i * 8)).collect();
+        let t1: Trace = (0..7).map(|i| store(1024 + i * 8)).collect();
+        let a = interleave_seeded(vec![t0.clone(), t1.clone()], 42, 3);
+        let b = interleave_seeded(vec![t0.clone(), t1.clone()], 42, 3);
+        assert_eq!(a, b, "same seed, same schedule");
+        let c = interleave_seeded(vec![t0.clone(), t1.clone()], 43, 3);
+        assert_ne!(a, c, "different seed, different schedule");
+        assert_eq!(a.len(), t0.len() + t1.len());
+        // Per-thread order survives the interleave.
+        for (src, tid) in [(&t0, 0u32), (&t1, 1u32)] {
+            let replayed: Vec<&PmEvent> = a
+                .events()
+                .iter()
+                .filter(|e| e.tid() == Some(ThreadId(tid)))
+                .collect();
+            let addrs: Vec<u64> = replayed.iter().map(|e| e.range().unwrap().0).collect();
+            let expect: Vec<u64> = src.events().iter().map(|e| e.range().unwrap().0).collect();
+            assert_eq!(addrs, expect);
+        }
+    }
+
+    #[test]
+    fn seeded_interleave_restamps_cas_tid() {
+        let t1: Trace = vec![PmEvent::Cas {
+            addr: 0,
+            size: 8,
+            tid: ThreadId(0),
+            old: 0,
+            new: 64,
+            success: true,
+        }]
+        .into_iter()
+        .collect();
+        let merged = interleave_seeded(vec![Trace::new(), t1], 7, 2);
+        assert_eq!(merged.events()[0].tid(), Some(ThreadId(1)));
     }
 
     #[test]

@@ -338,6 +338,31 @@ impl PmRuntime {
         });
     }
 
+    /// A compare-and-swap on persistent memory, as issued by lock-free PM
+    /// structures publishing nodes by pointer swing. On success the
+    /// installed value is written to the backing pool (when one exists);
+    /// a failed CAS writes nothing but is still trace-visible, since the
+    /// cross-thread rules care about the attempt ordering.
+    pub fn cas_untyped(&mut self, addr: Addr, size: u32, old: u64, new: u64, success: bool) {
+        if success {
+            if let Some(pool) = &mut self.pool {
+                let width = (size as usize).min(8);
+                let bytes = new.to_le_bytes();
+                // out-of-pool CAS targets are trace-visible only
+                let _ = pool.store(addr, &bytes[..width]);
+            }
+        }
+        let tid = self.tid;
+        self.emit(PmEvent::Cas {
+            addr,
+            size,
+            tid,
+            old,
+            new,
+            success,
+        });
+    }
+
     /// Reads from the volatile image of the backing pool.
     ///
     /// # Errors
@@ -692,6 +717,26 @@ mod tests {
             .map(|(_, v)| v)
             .sum();
         assert_eq!(total, rt.event_count());
+    }
+
+    #[test]
+    fn cas_untyped_writes_pool_only_on_success() {
+        let mut rt = PmRuntime::with_pool(128).unwrap();
+        rt.record();
+        rt.cas_untyped(0, 8, 0, 0x4142_4344, true);
+        assert_eq!(rt.load(0, 4).unwrap(), [0x44, 0x43, 0x42, 0x41]);
+        rt.cas_untyped(8, 8, 0, u64::MAX, false);
+        assert_eq!(rt.load(8, 8).unwrap(), [0u8; 8]);
+        let trace = rt.take_trace().unwrap();
+        assert_eq!(trace.len(), 2);
+        assert!(matches!(
+            trace.events()[0],
+            PmEvent::Cas { success: true, .. }
+        ));
+        assert!(matches!(
+            trace.events()[1],
+            PmEvent::Cas { success: false, .. }
+        ));
     }
 
     #[test]

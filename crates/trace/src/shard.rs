@@ -40,7 +40,7 @@
 
 use std::collections::BTreeMap;
 
-use crate::events::{Addr, PmEvent, PmEventRef};
+use crate::events::{Addr, PmEvent, PmEventRef, CAS_PUBLISH_WINDOW};
 
 /// Granularity block for shard planning, in bytes. A multiple of the cache
 /// line (64 B): overlap still implies a shared block, while intra-block
@@ -80,6 +80,7 @@ fn routed_range(event: &PmEvent) -> Option<(Addr, u64)> {
         PmEvent::Flush { addr, size, .. } => Some((*addr, u64::from(*size))),
         PmEvent::NameRange { addr, size, .. } => Some((*addr, u64::from(*size))),
         PmEvent::RecoveryRead { addr, size } => Some((*addr, u64::from(*size))),
+        PmEvent::Cas { addr, size, .. } => Some((*addr, u64::from(*size))),
         _ => None,
     }
 }
@@ -91,6 +92,22 @@ fn routed_range_ref(event: &PmEventRef<'_>) -> Option<(Addr, u64)> {
         PmEventRef::Flush { addr, size, .. } => Some((*addr, u64::from(*size))),
         PmEventRef::NameRange { addr, size, .. } => Some((*addr, u64::from(*size))),
         PmEventRef::RecoveryRead { addr, size } => Some((*addr, u64::from(*size))),
+        PmEventRef::Cas { addr, size, .. } => Some((*addr, u64::from(*size))),
+        _ => None,
+    }
+}
+
+/// The secondary range a successful CAS *links* to its target: the
+/// [`CAS_PUBLISH_WINDOW`] starting at the installed value. Publishing a
+/// pointer makes the pointed-to lines reachable, so the cross-thread
+/// persistency rules probe that window at the CAS — the worker owning the
+/// CAS target must therefore also own every block a probed store could
+/// route to. Failed CAS installs nothing and links nothing.
+fn linked_range(event: &PmEvent) -> Option<(Addr, u64)> {
+    match event {
+        PmEvent::Cas {
+            new, success: true, ..
+        } => Some((*new, CAS_PUBLISH_WINDOW)),
         _ => None,
     }
 }
@@ -228,7 +245,24 @@ impl Planner {
         let Some((addr, size)) = routed_range(event) else {
             return;
         };
-        self.observe_range(addr, size, matches!(event, PmEvent::NameRange { .. }));
+        if let Some((link_addr, link_size)) = linked_range(event) {
+            self.observe_link(addr, size, link_addr, link_size);
+        } else {
+            self.observe_range(addr, size, matches!(event, PmEvent::NameRange { .. }));
+        }
+    }
+
+    /// Unions the span of a CAS target with the span of its publish window
+    /// so both land in one component (hence on one worker). Unlike
+    /// [`Planner::observe_range`], intra-block spans are *not* skipped:
+    /// the link itself is the bridge, even when each side sits inside a
+    /// single block.
+    fn observe_link(&mut self, addr: Addr, size: u64, link_addr: Addr, link_size: u64) {
+        let (a_lo, a_hi) = block_span(addr, size);
+        let (b_lo, b_hi) = block_span(link_addr, link_size);
+        let target = self.insert(a_lo, a_hi);
+        let window = self.insert(b_lo, b_hi);
+        self.union(target, window);
     }
 
     fn observe_range(&mut self, addr: Addr, size: u64, named: bool) {
@@ -380,6 +414,11 @@ const TAG_BROADCAST: u8 = 0;
 const TAG_RANGE: u8 = 1;
 /// [`EventColumns`] tag: named range, pinnable by an active order spec.
 const TAG_NAMED: u8 = 2;
+/// [`EventColumns`] tag: successful CAS — a routed range whose block span
+/// is additionally linked with the [`CAS_PUBLISH_WINDOW`] starting at the
+/// event's `links` column entry. Keyed like a plain range (by target
+/// block); the link only matters to the observe pass.
+const TAG_CAS_LINK: u8 = 3;
 
 /// Structure-of-arrays routing view of an event stream.
 ///
@@ -397,9 +436,12 @@ pub struct EventColumns {
     addrs: Vec<Addr>,
     /// Routed range length per event (0 for broadcast events).
     sizes: Vec<u64>,
-    /// Routing class per event: [`TAG_BROADCAST`], [`TAG_RANGE`] or
-    /// [`TAG_NAMED`].
+    /// Routing class per event: [`TAG_BROADCAST`], [`TAG_RANGE`],
+    /// [`TAG_NAMED`] or [`TAG_CAS_LINK`].
     tags: Vec<u8>,
+    /// Linked publish address per event (the CAS's installed value for
+    /// [`TAG_CAS_LINK`] rows, 0 otherwise).
+    links: Vec<Addr>,
 }
 
 impl EventColumns {
@@ -414,6 +456,7 @@ impl EventColumns {
             addrs: Vec::with_capacity(capacity),
             sizes: Vec::with_capacity(capacity),
             tags: Vec::with_capacity(capacity),
+            links: Vec::with_capacity(capacity),
         }
     }
 
@@ -429,30 +472,37 @@ impl EventColumns {
     /// Appends one owned event's routing view.
     pub fn push(&mut self, event: &PmEvent) {
         let (addr, size) = routed_range(event).unwrap_or((0, 0));
-        let tag = match event {
-            PmEvent::NameRange { .. } => TAG_NAMED,
-            _ if routed_range(event).is_some() => TAG_RANGE,
-            _ => TAG_BROADCAST,
+        let (tag, link) = match event {
+            PmEvent::NameRange { .. } => (TAG_NAMED, 0),
+            PmEvent::Cas {
+                new, success: true, ..
+            } => (TAG_CAS_LINK, *new),
+            _ if routed_range(event).is_some() => (TAG_RANGE, 0),
+            _ => (TAG_BROADCAST, 0),
         };
-        self.push_raw(addr, size, tag);
+        self.push_raw(addr, size, tag, link);
     }
 
     /// Appends one borrowed event's routing view — the zero-copy hot path;
     /// no part of the event is retained.
     pub fn push_ref(&mut self, event: &PmEventRef<'_>) {
         let (addr, size) = routed_range_ref(event).unwrap_or((0, 0));
-        let tag = match event {
-            PmEventRef::NameRange { .. } => TAG_NAMED,
-            _ if routed_range_ref(event).is_some() => TAG_RANGE,
-            _ => TAG_BROADCAST,
+        let (tag, link) = match event {
+            PmEventRef::NameRange { .. } => (TAG_NAMED, 0),
+            PmEventRef::Cas {
+                new, success: true, ..
+            } => (TAG_CAS_LINK, *new),
+            _ if routed_range_ref(event).is_some() => (TAG_RANGE, 0),
+            _ => (TAG_BROADCAST, 0),
         };
-        self.push_raw(addr, size, tag);
+        self.push_raw(addr, size, tag, link);
     }
 
-    fn push_raw(&mut self, addr: Addr, size: u64, tag: u8) {
+    fn push_raw(&mut self, addr: Addr, size: u64, tag: u8, link: Addr) {
         self.addrs.push(addr);
         self.sizes.push(size);
         self.tags.push(tag);
+        self.links.push(link);
     }
 
     /// Number of events recorded.
@@ -490,7 +540,16 @@ impl PlanBuilder {
             if tag == TAG_BROADCAST {
                 continue;
             }
-            planner.observe_range(columns.addrs[i], columns.sizes[i], tag == TAG_NAMED);
+            if tag == TAG_CAS_LINK {
+                planner.observe_link(
+                    columns.addrs[i],
+                    columns.sizes[i],
+                    columns.links[i],
+                    CAS_PUBLISH_WINDOW,
+                );
+            } else {
+                planner.observe_range(columns.addrs[i], columns.sizes[i], tag == TAG_NAMED);
+            }
         }
         PlanBuilder::freeze(planner, shards)
     }
@@ -809,7 +868,56 @@ mod tests {
         }
     }
 
+    fn cas(addr: Addr, new: u64, success: bool) -> PmEvent {
+        PmEvent::Cas {
+            addr,
+            size: 8,
+            tid: ThreadId(0),
+            old: 0,
+            new,
+            success,
+        }
+    }
+
     const B: u64 = SHARD_BLOCK;
+
+    #[test]
+    fn successful_cas_links_target_and_publish_window() {
+        // Target (block 0) and published node (block 40) sit in different
+        // blocks; the successful CAS must pull them into one component so
+        // the cross-thread probe at the CAS sees the node's stores.
+        let events = vec![store(0, 8), store(40 * B, 8), cas(0, 40 * B, true)];
+        let plan = ShardPlan::build(&events, 8, false);
+        assert_eq!(plan.component_count(), 1);
+        assert_eq!(plan.shard_of_addr(0), plan.shard_of_addr(40 * B));
+        assert_eq!(
+            plan.route(&events[2]),
+            Route::Shard(plan.shard_of_addr(40 * B))
+        );
+    }
+
+    #[test]
+    fn failed_cas_routes_but_does_not_link() {
+        // A failed CAS installs nothing: it routes by its target block like
+        // a store, and must not bridge the target with the would-be value.
+        let events = vec![store(0, 8), store(40 * B, 8), cas(0, 40 * B, false)];
+        let plan = ShardPlan::build(&events, 8, false);
+        assert_eq!(plan.component_count(), 0);
+        assert_eq!(plan.route(&events[2]), Route::Shard(plan.shard_of_addr(0)));
+    }
+
+    #[test]
+    fn cas_publish_window_spanning_blocks_links_all_of_them() {
+        // A publish window straddling a block boundary bridges both blocks
+        // with the target: a store overlapping the window from the earlier
+        // block must land on the CAS target's worker.
+        let new = 7 * B - 32; // window [7B-32, 7B+32) covers blocks 6 and 7
+        let events = vec![cas(2 * B, new, true), store(new, 8), store(7 * B, 8)];
+        let plan = ShardPlan::build(&events, 8, false);
+        assert_eq!(plan.component_count(), 1);
+        assert_eq!(plan.shard_of_addr(2 * B), plan.shard_of_addr(new));
+        assert_eq!(plan.shard_of_addr(2 * B), plan.shard_of_addr(7 * B));
+    }
 
     #[test]
     fn intra_block_events_bridge_nothing() {
@@ -1156,6 +1264,14 @@ mod tests {
                 3 => PmEvent::RecoveryRead {
                     addr: (i * 37) % 1024 * 96,
                     size: 16,
+                },
+                5 => PmEvent::Cas {
+                    addr: (i * 29) % 1024 * 112,
+                    size: 8,
+                    tid: ThreadId(1),
+                    old: i,
+                    new: (i * 71) % 2048 * 80,
+                    success: i % 2 == 1,
                 },
                 _ => store((i * 53) % 2048 * 96, if i % 7 == 0 { 2048 } else { 16 }),
             });

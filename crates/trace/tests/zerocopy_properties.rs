@@ -61,7 +61,26 @@ fn any_event() -> impl Strategy<Value = PmEvent> {
         }),
         Just(PmEvent::Crash),
         (0u64..1 << 20, 1u32..64).prop_map(|(addr, size)| PmEvent::RecoveryRead { addr, size }),
+        cas_event(),
     ]
+}
+
+fn cas_event() -> impl Strategy<Value = PmEvent> {
+    (
+        0u64..1 << 20,
+        1u32..17,
+        0u32..4,
+        (any::<u64>(), any::<u64>()),
+        any::<bool>(),
+    )
+        .prop_map(|(addr, size, tid, (old, new), success)| PmEvent::Cas {
+            addr,
+            size,
+            tid: ThreadId(tid),
+            old,
+            new,
+            success,
+        })
 }
 
 /// Walks the whole zero-copy view, materializing each borrowed event, and
@@ -311,5 +330,77 @@ proptest! {
         prop_assert_eq!(batch.events(), &walked[..]);
         prop_assert_eq!(batch_report.truncated, walk_report.truncated);
         assert_reports_identical(batch_report, walk_report)?;
+    }
+
+    /// `Cas` survives text-v1 round-trips bit-for-bit: trace → text →
+    /// trace → text yields the identical event list and identical text.
+    #[test]
+    fn cas_round_trips_through_text(
+        events in proptest::collection::vec(cas_event(), 1..60)
+    ) {
+        let trace: Trace = events.into_iter().collect();
+        let text = pm_trace::to_text(&trace);
+        let reparsed = pm_trace::from_text(&text).unwrap();
+        prop_assert_eq!(reparsed.events(), trace.events());
+        prop_assert_eq!(pm_trace::to_text(&reparsed), text);
+    }
+
+    /// `Cas` survives bin-v2 round-trips and the borrowed zero-copy view
+    /// materializes each frame to exactly the original owned event.
+    #[test]
+    fn cas_round_trips_through_binary_and_zero_copy(
+        events in proptest::collection::vec(cas_event(), 1..60)
+    ) {
+        let trace: Trace = events.into_iter().collect();
+        let bytes = pm_trace::to_binary(&trace);
+        let limits = IngestLimits::default();
+        let (batch, report) =
+            pm_trace::ingest_bytes(&bytes, IngestMode::Strict, &limits).unwrap();
+        prop_assert!(report.clean());
+        prop_assert_eq!(batch.events(), trace.events());
+        let (walked, _) = walk_all(&bytes, IngestMode::Strict, &limits).unwrap();
+        prop_assert_eq!(&walked[..], trace.events());
+    }
+
+    /// Crossing formats preserves `Cas`: text → trace → binary → trace →
+    /// text is the identity.
+    #[test]
+    fn cas_crosses_formats_losslessly(
+        events in proptest::collection::vec(cas_event(), 1..40)
+    ) {
+        let trace: Trace = events.into_iter().collect();
+        let text = pm_trace::to_text(&trace);
+        let via_text = pm_trace::from_text(&text).unwrap();
+        let bytes = pm_trace::to_binary(&via_text);
+        let (via_bin, _) =
+            pm_trace::ingest_bytes(&bytes, IngestMode::Strict, &IngestLimits::default()).unwrap();
+        prop_assert_eq!(via_bin.events(), trace.events());
+        prop_assert_eq!(pm_trace::to_text(&via_bin), text);
+    }
+
+    /// A single bit flip anywhere in a CAS-only binary image never panics
+    /// any ingest path — every path returns `Ok` or a proper error.
+    #[test]
+    fn flipped_cas_images_never_panic(
+        events in proptest::collection::vec(cas_event(), 1..40),
+        pos in any::<u64>(),
+        bit in 0u32..8,
+    ) {
+        let trace: Trace = events.into_iter().collect();
+        let mut bytes = pm_trace::to_binary(&trace);
+        let flip_at = (pos % bytes.len() as u64) as usize;
+        bytes[flip_at] ^= 1 << bit;
+        let limits = IngestLimits::default().with_max_events(10_000);
+        let _ = pm_trace::ingest_bytes(&bytes, IngestMode::Strict, &limits);
+        let _ = pm_trace::ingest_bytes(&bytes, IngestMode::Salvage, &limits);
+        // A header flip legitimately reclassifies the image as text, in
+        // which case there is no binary walk to attempt.
+        if matches!(
+            pm_trace::zero_copy(&bytes, IngestMode::Salvage, &limits),
+            Ok(ZeroCopy::Binary(_))
+        ) {
+            let _ = walk_all(&bytes, IngestMode::Salvage, &limits);
+            let _ = stream_decode(&bytes, IngestMode::Salvage, &limits, &[7, 13]);
+        }
     }
 }

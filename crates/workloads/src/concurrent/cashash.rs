@@ -1,0 +1,182 @@
+//! `cas_hash`: a CAS-published open-chaining hash table (strict
+//! persistency).
+//!
+//! Inserts write a node (key + value + next), make it durable, then
+//! CAS-install it as the bucket head; removals CAS-swing the bucket head
+//! to the removed node's successor. Every bucket anchor sits on its own
+//! cache line, and each landed CAS is followed by a flush + fence of that
+//! line.
+
+use pm_trace::{Addr, PmRuntime, RuntimeError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::concurrent::{
+    contended_cas, publish_node, swing_anchor, ConcurrentWorkload, NodeArena, ANCHOR_BASE,
+    ANCHOR_STRIDE,
+};
+use crate::heap::{Model, Workload};
+
+/// Number of buckets (each an 8-byte head on its own line).
+pub const BUCKETS: u64 = 16;
+
+/// The anchor address of bucket `b`.
+pub fn bucket_anchor(b: u64) -> Addr {
+    ANCHOR_BASE + (b % BUCKETS) * ANCHOR_STRIDE
+}
+
+/// The CAS-published hash workload.
+#[derive(Debug, Clone)]
+pub struct CasHash {
+    seed: u64,
+    /// Key cardinality.
+    pub key_space: u64,
+    /// Fraction of operations that remove, in percent.
+    pub remove_percent: u8,
+    /// Fraction of publications preceded by a lost CAS race, in percent.
+    pub contention_percent: u8,
+    /// Append the cross-thread handoff bug after interleaving.
+    pub inject_cross_thread_bug: bool,
+}
+
+impl CasHash {
+    /// Creates the workload with a deterministic RNG seed.
+    pub fn new(seed: u64) -> Self {
+        CasHash {
+            seed,
+            key_space: 256,
+            remove_percent: 30,
+            contention_percent: 10,
+            inject_cross_thread_bug: false,
+        }
+    }
+
+    /// Sets the remove share of the op mix.
+    pub fn with_remove_percent(mut self, percent: u8) -> Self {
+        assert!(percent <= 100, "percentage out of range");
+        self.remove_percent = percent;
+        self
+    }
+
+    /// Enables the seeded cross-thread handoff bug.
+    pub fn with_cross_thread_bug(mut self) -> Self {
+        self.inject_cross_thread_bug = true;
+        self
+    }
+}
+
+impl Default for CasHash {
+    fn default() -> Self {
+        Self::new(0xCA5A5)
+    }
+}
+
+impl Workload for CasHash {
+    fn name(&self) -> &'static str {
+        "cas_hash"
+    }
+
+    fn model(&self) -> Model {
+        Model::Strict
+    }
+
+    fn run(&self, rt: &mut PmRuntime, ops: usize) -> Result<(), RuntimeError> {
+        let tid = rt.thread().0;
+        let mut rng = StdRng::seed_from_u64(self.seed ^ u64::from(tid));
+        let mut arena = NodeArena::for_thread(tid);
+        // Local view of each bucket chain: node addresses, head first.
+        let mut chains: Vec<Vec<Addr>> = vec![Vec::new(); BUCKETS as usize];
+        for _ in 0..ops {
+            let key = rng.gen_range(0..self.key_space);
+            let b = (key % BUCKETS) as usize;
+            let anchor = bucket_anchor(b as u64);
+            let head = chains[b].first().copied().unwrap_or(0);
+            let remove = rng.gen_range(0..100u32) < u32::from(self.remove_percent);
+            if remove && !chains[b].is_empty() {
+                chains[b].remove(0);
+                let next = chains[b].first().copied().unwrap_or(0);
+                swing_anchor(rt, anchor, head, next)?;
+            } else {
+                let node = arena.alloc();
+                rt.store_untyped(node, 8); // key
+                rt.store_untyped(node + 8, 8); // value
+                rt.store_untyped(node + 16, 8); // next = old bucket head
+                if rng.gen_range(0..100u32) < u32::from(self.contention_percent) {
+                    contended_cas(rt, anchor, head);
+                }
+                publish_node(rt, node, 24, anchor, head)?;
+                chains[b].insert(0, node);
+            }
+        }
+        Ok(())
+    }
+}
+
+impl ConcurrentWorkload for CasHash {
+    fn handoff_anchor(&self) -> Addr {
+        bucket_anchor(0)
+    }
+
+    fn inject_cross_thread_bug(&self) -> bool {
+        self.inject_cross_thread_bug
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concurrent::{concurrent_multithread_trace, handoff_event, HANDOFF_NODE};
+    use pm_trace::{replay_finish, BugKind, PmEvent};
+    use pmdebugger::PmDebugger;
+
+    #[test]
+    fn clean_hash_reports_nothing_at_any_width() {
+        for threads in [1usize, 2, 4, 8] {
+            let trace = concurrent_multithread_trace(&CasHash::default(), threads, 25, 29, 4);
+            let reports = replay_finish(&trace, &mut PmDebugger::strict());
+            assert!(
+                reports.is_empty(),
+                "{threads} threads: unexpected {reports:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn seeded_bug_reports_exact_kind_range_and_thread_pair() {
+        let workload = CasHash::default().with_cross_thread_bug();
+        let trace = concurrent_multithread_trace(&workload, 2, 25, 29, 4);
+        let reports = replay_finish(&trace, &mut PmDebugger::strict());
+        assert_eq!(reports.len(), 1, "got {reports:?}");
+        let report = &reports[0];
+        assert_eq!(report.kind, BugKind::UnpublishedVisible);
+        assert_eq!(report.addr, Some(HANDOFF_NODE));
+        assert_eq!(report.size, Some(8));
+        assert_eq!(report.at_event, handoff_event(&trace));
+        assert!(report.message.contains("thread 0"), "{}", report.message);
+        assert!(report.message.contains("thread 1"), "{}", report.message);
+    }
+
+    #[test]
+    fn inserts_spread_over_buckets() {
+        let workload = CasHash::default().with_remove_percent(0);
+        let trace = concurrent_multithread_trace(&workload, 1, 60, 1, 1);
+        let mut anchors: Vec<Addr> = trace
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                PmEvent::Cas {
+                    addr,
+                    success: true,
+                    ..
+                } => Some(*addr),
+                _ => None,
+            })
+            .collect();
+        anchors.sort_unstable();
+        anchors.dedup();
+        assert!(anchors.len() > 4, "only {} buckets touched", anchors.len());
+        for anchor in anchors {
+            assert_eq!((anchor - ANCHOR_BASE) % ANCHOR_STRIDE, 0);
+        }
+    }
+}

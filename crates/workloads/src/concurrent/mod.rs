@@ -1,0 +1,372 @@
+//! Concurrent lock-free PM workloads (cross-thread persistency suite).
+//!
+//! Lock-free persistent structures publish nodes with CAS: a node becomes
+//! reachable the instant the CAS lands, so its contents must be flushed
+//! *and fenced* before publication (the link-and-persist discipline).
+//! These workloads reproduce that protocol over [`pm_trace::PmRuntime`]
+//! for three classic structures:
+//!
+//! | name | structure | publication point |
+//! |------|-----------|-------------------|
+//! | `treiber_stack` | Treiber stack | CAS on the stack head |
+//! | `ms_queue` | Michael-Scott queue | CAS on `pred.next`, then the tail |
+//! | `cas_hash` | CAS-published hash | CAS on the bucket head |
+//!
+//! Each worker thread records its own event stream
+//! ([`pm_trace::PmRuntime::trace_only`] + `set_thread`); the streams are
+//! merged by the seeded deterministic interleaver
+//! ([`pm_trace::interleave_seeded`]), producing a genuinely interleaved
+//! multi-thread trace that is identical for identical seeds.
+//!
+//! # Memory layout
+//!
+//! Shared CAS anchors (stack head, queue head/tail, bucket heads) live in
+//! a dedicated anchor region; every node is carved from the publishing
+//! thread's private arena at a 64-byte stride, so a published node's
+//! [`pm_trace::CAS_PUBLISH_WINDOW`] covers exactly that node and nothing
+//! else. The clean variants are *structurally* race-free under any
+//! interleaving: a thread always flushes and fences its node before the
+//! CAS that publishes it, and no two threads write overlapping lines
+//! except through CAS on the anchors themselves.
+//!
+//! # The seeded cross-thread bug
+//!
+//! [`ConcurrentWorkload::inject_cross_thread_bug`] appends a deterministic
+//! handoff epilogue after the interleaved body: thread 0 stores and
+//! flushes a fresh node, thread 1 fences and CAS-publishes it. Thread 0's
+//! fence has not yet happened when the publication lands, so the store is
+//! visible through the anchor but not yet guaranteed durable — the
+//! unpublished-but-visible bug class, reported at the exact CAS event.
+
+pub mod cashash;
+pub mod msqueue;
+pub mod treiber;
+
+pub use cashash::CasHash;
+pub use msqueue::MsQueue;
+pub use treiber::TreiberStack;
+
+use pm_trace::{interleave_seeded, Addr, PmEvent, PmRuntime, ThreadId, Trace};
+use pmem_sim::FlushKind;
+
+use crate::heap::{Workload, LOG_REGION};
+
+/// Base of the shared CAS-anchor region (stack/queue/bucket heads).
+pub const ANCHOR_BASE: Addr = LOG_REGION;
+
+/// Each anchor gets its own cache line so anchor flushes never overlap.
+pub const ANCHOR_STRIDE: u64 = 64;
+
+/// Base of the per-thread node arenas (above the anchor region).
+pub const ARENA_BASE: Addr = LOG_REGION + 4096;
+
+/// Bytes of private node arena per worker thread.
+pub const ARENA_SIZE: u64 = 1 << 20;
+
+/// Node allocation stride: one publish window per node, so a successful
+/// CAS exposes exactly the node it installs.
+pub const NODE_STRIDE: u64 = pm_trace::CAS_PUBLISH_WINDOW;
+
+/// Maximum worker threads a concurrent workload supports.
+pub const MAX_CONCURRENT_THREADS: usize = 32;
+
+/// The node address used by the cross-thread handoff epilogue. It sits in
+/// the arena slot after [`MAX_CONCURRENT_THREADS`], so no clean-body store
+/// ever touches it.
+pub const HANDOFF_NODE: Addr = ARENA_BASE + MAX_CONCURRENT_THREADS as u64 * ARENA_SIZE;
+
+/// Base address of thread `tid`'s private node arena.
+pub fn arena_base(tid: u32) -> Addr {
+    ARENA_BASE + u64::from(tid) * ARENA_SIZE
+}
+
+/// A bump allocator over one thread's private arena.
+#[derive(Debug)]
+pub struct NodeArena {
+    next: Addr,
+    end: Addr,
+}
+
+impl NodeArena {
+    /// Creates the arena for worker `tid`.
+    pub fn for_thread(tid: u32) -> Self {
+        let base = arena_base(tid);
+        NodeArena {
+            next: base,
+            end: base + ARENA_SIZE,
+        }
+    }
+
+    /// Hands out the next 64-byte node slot.
+    pub fn alloc(&mut self) -> Addr {
+        assert!(self.next < self.end, "node arena exhausted");
+        let node = self.next;
+        self.next += NODE_STRIDE;
+        node
+    }
+}
+
+/// A lock-free workload that can be driven by the seeded interleaver and
+/// can seed the cross-thread handoff bug.
+pub trait ConcurrentWorkload: Workload {
+    /// The anchor the handoff epilogue publishes into.
+    fn handoff_anchor(&self) -> Addr;
+
+    /// Whether the trace builder appends the cross-thread handoff bug.
+    fn inject_cross_thread_bug(&self) -> bool;
+}
+
+/// The three lock-free workloads with default settings.
+pub fn concurrent_benchmarks() -> Vec<Box<dyn ConcurrentWorkload>> {
+    vec![
+        Box::new(TreiberStack::default()),
+        Box::new(MsQueue::default()),
+        Box::new(CasHash::default()),
+    ]
+}
+
+/// Builds the interleaved multi-thread trace for a concurrent workload.
+///
+/// Each of `threads` workers records `ops_per_thread` operations into its
+/// own stream (with its own RNG, derived from the workload seed and the
+/// thread id); the streams are merged by [`interleave_seeded`] under
+/// `seed` with quanta of `1..=max_quantum` events. If the workload has the
+/// cross-thread bug enabled, the handoff epilogue is appended after the
+/// interleaved body (requires `threads >= 2`).
+pub fn concurrent_multithread_trace(
+    workload: &dyn ConcurrentWorkload,
+    threads: usize,
+    ops_per_thread: usize,
+    seed: u64,
+    max_quantum: usize,
+) -> Trace {
+    assert!(
+        (1..=MAX_CONCURRENT_THREADS).contains(&threads),
+        "threads must be in 1..={MAX_CONCURRENT_THREADS}"
+    );
+    let per_thread: Vec<Trace> = (0..threads)
+        .map(|t| {
+            let mut rt = PmRuntime::trace_only();
+            rt.set_thread(ThreadId(t as u32));
+            rt.record();
+            workload
+                .run(&mut rt, ops_per_thread)
+                .expect("trace-only concurrent runs cannot fail");
+            rt.take_trace().expect("recording enabled")
+        })
+        .collect();
+    let mut trace = interleave_seeded(per_thread, seed, max_quantum);
+    if workload.inject_cross_thread_bug() {
+        assert!(threads >= 2, "the cross-thread bug needs a thread pair");
+        append_handoff_epilogue(&mut trace, workload.handoff_anchor());
+    }
+    trace
+}
+
+/// Appends the deterministic cross-thread handoff: thread 0 stores and
+/// flushes [`HANDOFF_NODE`]; thread 1 fences and CAS-publishes it into
+/// `anchor` *before thread 0's fence*. Trailing events settle durability
+/// of everything the epilogue touched, so the only report the epilogue
+/// can produce is the unpublished-but-visible bug at the CAS.
+fn append_handoff_epilogue(trace: &mut Trace, anchor: Addr) {
+    let mut rt = PmRuntime::trace_only();
+    rt.record();
+    rt.set_thread(ThreadId(0));
+    rt.store_untyped(HANDOFF_NODE, 8);
+    rt.flush_range(FlushKind::Clwb, HANDOFF_NODE, 8)
+        .expect("trace-only flush cannot fail");
+    rt.set_thread(ThreadId(1));
+    rt.sfence();
+    rt.cas_untyped(anchor, 8, 0, HANDOFF_NODE, true);
+    rt.flush_range(FlushKind::Clwb, anchor, 8)
+        .expect("trace-only flush cannot fail");
+    rt.sfence();
+    rt.set_thread(ThreadId(0));
+    rt.sfence();
+    for event in rt.take_trace().expect("recording enabled").events() {
+        trace.push(event.clone());
+    }
+}
+
+/// The sequence number of the handoff publication CAS in `trace`, if the
+/// trace carries the epilogue. This is the exact event every engine must
+/// report the cross-thread bug at.
+pub fn handoff_event(trace: &Trace) -> Option<u64> {
+    trace
+        .events()
+        .iter()
+        .position(|e| {
+            matches!(
+                e,
+                PmEvent::Cas {
+                    new: HANDOFF_NODE,
+                    success: true,
+                    ..
+                }
+            )
+        })
+        .map(|i| i as u64)
+}
+
+/// Emits the canonical publication sequence for a freshly written node:
+/// flush the dirty prefix, fence, CAS the anchor to the node, flush the
+/// anchor line, fence. Everything the operation dirtied is durable when
+/// this returns.
+pub(crate) fn publish_node(
+    rt: &mut PmRuntime,
+    node: Addr,
+    dirty: u32,
+    anchor: Addr,
+    old: u64,
+) -> Result<(), pm_trace::RuntimeError> {
+    rt.flush_range(FlushKind::Clwb, node, dirty)?;
+    rt.sfence();
+    rt.cas_untyped(anchor, 8, old, node, true);
+    rt.flush_range(FlushKind::Clwb, anchor, 8)?;
+    rt.sfence();
+    Ok(())
+}
+
+/// Emits a CAS that repoints `anchor` at an already-persisted address
+/// (pop/dequeue paths), plus the flush + fence that persist the swing.
+pub(crate) fn swing_anchor(
+    rt: &mut PmRuntime,
+    anchor: Addr,
+    old: u64,
+    new: u64,
+) -> Result<(), pm_trace::RuntimeError> {
+    rt.cas_untyped(anchor, 8, old, new, true);
+    rt.flush_range(FlushKind::Clwb, anchor, 8)?;
+    rt.sfence();
+    Ok(())
+}
+
+/// Emits a failed CAS (another thread won the race); failed CAS events
+/// carry no store and publish nothing, but still travel the full
+/// text/bin/zero-copy path and exercise routing.
+pub(crate) fn contended_cas(rt: &mut PmRuntime, anchor: Addr, old: u64) {
+    rt.cas_untyped(anchor, 8, old, old, false);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_trace::FenceKind;
+
+    fn is_fence(e: &PmEvent) -> bool {
+        matches!(
+            e,
+            PmEvent::Fence {
+                kind: FenceKind::Sfence,
+                ..
+            }
+        )
+    }
+
+    fn all_defaults() -> Vec<Box<dyn ConcurrentWorkload>> {
+        concurrent_benchmarks()
+    }
+
+    #[test]
+    fn anchors_and_arenas_are_disjoint() {
+        const {
+            assert!(ANCHOR_BASE + 4096 <= ARENA_BASE);
+        }
+        assert!(HANDOFF_NODE >= arena_base(MAX_CONCURRENT_THREADS as u32));
+    }
+
+    #[test]
+    fn trace_is_deterministic_for_a_seed() {
+        for workload in all_defaults() {
+            let a = concurrent_multithread_trace(workload.as_ref(), 4, 20, 7, 8);
+            let b = concurrent_multithread_trace(workload.as_ref(), 4, 20, 7, 8);
+            assert_eq!(a.events(), b.events(), "{}", workload.name());
+        }
+    }
+
+    #[test]
+    fn different_seeds_interleave_differently() {
+        let workload = TreiberStack::default();
+        let a = concurrent_multithread_trace(&workload, 4, 40, 1, 8);
+        let b = concurrent_multithread_trace(&workload, 4, 40, 2, 8);
+        assert_ne!(a.events(), b.events());
+    }
+
+    #[test]
+    fn every_thread_appears_in_the_stream() {
+        for workload in all_defaults() {
+            let trace = concurrent_multithread_trace(workload.as_ref(), 4, 20, 3, 4);
+            let mut tids: Vec<u32> = trace
+                .events()
+                .iter()
+                .filter_map(|e| e.tid().map(|t| t.0))
+                .collect();
+            tids.sort_unstable();
+            tids.dedup();
+            assert_eq!(tids, vec![0, 1, 2, 3], "{}", workload.name());
+        }
+    }
+
+    #[test]
+    fn clean_traces_contain_successful_cas_publications() {
+        for workload in all_defaults() {
+            let trace = concurrent_multithread_trace(workload.as_ref(), 2, 30, 11, 4);
+            let publishes = trace
+                .events()
+                .iter()
+                .filter(|e| matches!(e, PmEvent::Cas { success: true, .. }))
+                .count();
+            assert!(publishes > 0, "{} never published", workload.name());
+            assert!(handoff_event(&trace).is_none());
+        }
+    }
+
+    #[test]
+    fn handoff_epilogue_lands_at_a_known_event() {
+        let workload = TreiberStack::default().with_cross_thread_bug();
+        let trace = concurrent_multithread_trace(&workload, 2, 10, 5, 4);
+        let at = handoff_event(&trace).expect("epilogue present");
+        // store, flush, fence, CAS, flush, fence, fence => CAS is the
+        // fourth event of the seven-event epilogue.
+        assert_eq!(at, trace.len() as u64 - 4);
+        match &trace.events()[at as usize] {
+            PmEvent::Cas {
+                tid,
+                new,
+                success: true,
+                ..
+            } => {
+                assert_eq!(tid.0, 1);
+                assert_eq!(*new, HANDOFF_NODE);
+            }
+            other => panic!("expected the handoff CAS, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn per_op_protocol_fences_before_publishing() {
+        // In every single-thread stream, each successful CAS that installs
+        // a node address is preceded (somewhere earlier) by a fence on the
+        // same thread after the node's last store — spot-check: the event
+        // right before a publication CAS is never a Store.
+        for workload in all_defaults() {
+            let trace = concurrent_multithread_trace(workload.as_ref(), 1, 30, 1, 1);
+            let events = trace.events();
+            for i in 0..events.len() {
+                if let PmEvent::Cas {
+                    new, success: true, ..
+                } = &events[i]
+                {
+                    if *new >= ARENA_BASE {
+                        assert!(
+                            !matches!(events[i - 1], PmEvent::Store { .. }),
+                            "{}: unfenced store right before publication",
+                            workload.name()
+                        );
+                    }
+                }
+            }
+            assert!(events.iter().any(is_fence));
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! `ms_queue`: a persistent Michael-Scott queue (strict persistency).
+//!
+//! Enqueue writes a node (value + null next), makes it durable, links it
+//! with a CAS on the predecessor's `next` field, persists the link, then
+//! swings the tail anchor to the new node. Dequeue CAS-swings the head
+//! anchor to the dequeued node's successor. Each landed CAS is followed by
+//! a flush + fence of the written line, keeping the installed pointer
+//! durable before the operation completes.
+
+use pm_trace::{Addr, PmRuntime, RuntimeError};
+use pmem_sim::FlushKind;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+use crate::concurrent::{
+    contended_cas, publish_node, swing_anchor, ConcurrentWorkload, NodeArena, ANCHOR_BASE,
+    ANCHOR_STRIDE,
+};
+use crate::heap::{Model, Workload};
+
+/// The queue head anchor (dequeue side).
+pub const QUEUE_HEAD: Addr = ANCHOR_BASE;
+
+/// The queue tail anchor (enqueue side), on its own line.
+pub const QUEUE_TAIL: Addr = ANCHOR_BASE + ANCHOR_STRIDE;
+
+/// Offset of a node's `next` pointer.
+const NEXT_OFFSET: u64 = 8;
+
+/// The Michael-Scott queue workload.
+#[derive(Debug, Clone)]
+pub struct MsQueue {
+    seed: u64,
+    /// Fraction of operations that dequeue, in percent.
+    pub dequeue_percent: u8,
+    /// Fraction of publications preceded by a lost CAS race, in percent.
+    pub contention_percent: u8,
+    /// Append the cross-thread handoff bug after interleaving.
+    pub inject_cross_thread_bug: bool,
+}
+
+impl MsQueue {
+    /// Creates the workload with a deterministic RNG seed.
+    pub fn new(seed: u64) -> Self {
+        MsQueue {
+            seed,
+            dequeue_percent: 40,
+            contention_percent: 10,
+            inject_cross_thread_bug: false,
+        }
+    }
+
+    /// Sets the dequeue share of the op mix.
+    pub fn with_dequeue_percent(mut self, percent: u8) -> Self {
+        assert!(percent <= 100, "percentage out of range");
+        self.dequeue_percent = percent;
+        self
+    }
+
+    /// Enables the seeded cross-thread handoff bug.
+    pub fn with_cross_thread_bug(mut self) -> Self {
+        self.inject_cross_thread_bug = true;
+        self
+    }
+}
+
+impl Default for MsQueue {
+    fn default() -> Self {
+        Self::new(0x35C0DE)
+    }
+}
+
+impl Workload for MsQueue {
+    fn name(&self) -> &'static str {
+        "ms_queue"
+    }
+
+    fn model(&self) -> Model {
+        Model::Strict
+    }
+
+    fn run(&self, rt: &mut PmRuntime, ops: usize) -> Result<(), RuntimeError> {
+        let tid = rt.thread().0;
+        let mut rng = StdRng::seed_from_u64(self.seed ^ u64::from(tid));
+        let mut arena = NodeArena::for_thread(tid);
+        // Local view of the queue: node addresses, front first.
+        let mut queue: VecDeque<Addr> = VecDeque::new();
+        let mut head: u64 = 0;
+        let mut tail: u64 = 0;
+        for _ in 0..ops {
+            let dequeue = rng.gen_range(0..100u32) < u32::from(self.dequeue_percent);
+            if dequeue && !queue.is_empty() {
+                queue.pop_front();
+                let next = queue.front().copied().unwrap_or(0);
+                if rng.gen_range(0..100u32) < u32::from(self.contention_percent) {
+                    contended_cas(rt, QUEUE_HEAD, head);
+                }
+                swing_anchor(rt, QUEUE_HEAD, head, next)?;
+                head = next;
+            } else {
+                let node = arena.alloc();
+                rt.store_untyped(node, 8); // value
+                rt.store_untyped(node + NEXT_OFFSET, 8); // next = null
+                if tail != 0 {
+                    // Persist the node, link it with a CAS on the
+                    // predecessor's next pointer, persist the link, then
+                    // swing the tail anchor.
+                    rt.flush_range(FlushKind::Clwb, node, 16)?;
+                    rt.sfence();
+                    rt.cas_untyped(tail + NEXT_OFFSET, 8, 0, node, true);
+                    rt.flush_range(FlushKind::Clwb, tail + NEXT_OFFSET, 8)?;
+                    rt.sfence();
+                    swing_anchor(rt, QUEUE_TAIL, tail, node)?;
+                } else {
+                    if rng.gen_range(0..100u32) < u32::from(self.contention_percent) {
+                        contended_cas(rt, QUEUE_TAIL, tail);
+                    }
+                    publish_node(rt, node, 16, QUEUE_TAIL, tail)?;
+                }
+                if queue.is_empty() {
+                    head = node;
+                }
+                queue.push_back(node);
+                tail = node;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl ConcurrentWorkload for MsQueue {
+    fn handoff_anchor(&self) -> Addr {
+        QUEUE_TAIL
+    }
+
+    fn inject_cross_thread_bug(&self) -> bool {
+        self.inject_cross_thread_bug
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concurrent::{concurrent_multithread_trace, handoff_event, HANDOFF_NODE};
+    use pm_trace::{replay_finish, BugKind, PmEvent};
+    use pmdebugger::PmDebugger;
+
+    #[test]
+    fn clean_queue_reports_nothing_at_any_width() {
+        for threads in [1usize, 2, 4, 8] {
+            let trace = concurrent_multithread_trace(&MsQueue::default(), threads, 25, 23, 4);
+            let reports = replay_finish(&trace, &mut PmDebugger::strict());
+            assert!(
+                reports.is_empty(),
+                "{threads} threads: unexpected {reports:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn seeded_bug_reports_exact_kind_range_and_thread_pair() {
+        let workload = MsQueue::default().with_cross_thread_bug();
+        let trace = concurrent_multithread_trace(&workload, 4, 25, 23, 4);
+        let reports = replay_finish(&trace, &mut PmDebugger::strict());
+        assert_eq!(reports.len(), 1, "got {reports:?}");
+        let report = &reports[0];
+        assert_eq!(report.kind, BugKind::UnpublishedVisible);
+        assert_eq!(report.addr, Some(HANDOFF_NODE));
+        assert_eq!(report.size, Some(8));
+        assert_eq!(report.at_event, handoff_event(&trace));
+        assert!(report.message.contains("thread 0"), "{}", report.message);
+        assert!(report.message.contains("thread 1"), "{}", report.message);
+    }
+
+    #[test]
+    fn enqueues_link_through_the_predecessor() {
+        let workload = MsQueue::default().with_dequeue_percent(0);
+        let trace = concurrent_multithread_trace(&workload, 1, 10, 1, 1);
+        // After the first enqueue, every enqueue CASes pred.next (an
+        // arena address) before swinging the tail anchor.
+        let link_cas = trace
+            .events()
+            .iter()
+            .filter(|e| {
+                matches!(e, PmEvent::Cas { addr, success: true, .. }
+                    if *addr >= crate::concurrent::ARENA_BASE)
+            })
+            .count();
+        assert_eq!(link_cas, 9);
+    }
+}

@@ -1,0 +1,167 @@
+//! `treiber_stack`: a persistent Treiber stack (strict persistency).
+//!
+//! The classic lock-free stack: push writes a node (value + next), makes
+//! it durable, then CAS-installs it as the new head; pop CAS-swings the
+//! head to the popped node's successor. Every CAS that lands is followed
+//! by a flush + fence of the head line, so the installed pointer itself is
+//! durable before the operation returns — the link-and-persist rule.
+
+use pm_trace::{PmRuntime, RuntimeError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::concurrent::{
+    contended_cas, publish_node, swing_anchor, ConcurrentWorkload, NodeArena, ANCHOR_BASE,
+};
+use crate::heap::{Model, Workload};
+use pm_trace::Addr;
+
+/// The stack head anchor.
+pub const STACK_HEAD: Addr = ANCHOR_BASE;
+
+/// The Treiber stack workload.
+#[derive(Debug, Clone)]
+pub struct TreiberStack {
+    seed: u64,
+    /// Fraction of operations that pop, in percent.
+    pub pop_percent: u8,
+    /// Fraction of publications preceded by a lost CAS race, in percent.
+    pub contention_percent: u8,
+    /// Append the cross-thread handoff bug after interleaving.
+    pub inject_cross_thread_bug: bool,
+}
+
+impl TreiberStack {
+    /// Creates the workload with a deterministic RNG seed.
+    pub fn new(seed: u64) -> Self {
+        TreiberStack {
+            seed,
+            pop_percent: 40,
+            contention_percent: 10,
+            inject_cross_thread_bug: false,
+        }
+    }
+
+    /// Sets the pop share of the op mix.
+    pub fn with_pop_percent(mut self, percent: u8) -> Self {
+        assert!(percent <= 100, "percentage out of range");
+        self.pop_percent = percent;
+        self
+    }
+
+    /// Enables the seeded cross-thread handoff bug (flush on thread 0,
+    /// fence and publication on thread 1).
+    pub fn with_cross_thread_bug(mut self) -> Self {
+        self.inject_cross_thread_bug = true;
+        self
+    }
+}
+
+impl Default for TreiberStack {
+    fn default() -> Self {
+        Self::new(0x7E1BE4)
+    }
+}
+
+impl Workload for TreiberStack {
+    fn name(&self) -> &'static str {
+        "treiber_stack"
+    }
+
+    fn model(&self) -> Model {
+        Model::Strict
+    }
+
+    fn run(&self, rt: &mut PmRuntime, ops: usize) -> Result<(), RuntimeError> {
+        let tid = rt.thread().0;
+        let mut rng = StdRng::seed_from_u64(self.seed ^ u64::from(tid));
+        let mut arena = NodeArena::for_thread(tid);
+        // Local view of the stack: node addresses, top last.
+        let mut stack: Vec<Addr> = Vec::new();
+        let mut head: u64 = 0;
+        for _ in 0..ops {
+            let pop = rng.gen_range(0..100u32) < u32::from(self.pop_percent);
+            if pop && !stack.is_empty() {
+                let _top = stack.pop().expect("checked non-empty");
+                let next = stack.last().copied().unwrap_or(0);
+                if rng.gen_range(0..100u32) < u32::from(self.contention_percent) {
+                    contended_cas(rt, STACK_HEAD, head);
+                }
+                swing_anchor(rt, STACK_HEAD, head, next)?;
+                head = next;
+            } else {
+                let node = arena.alloc();
+                rt.store_untyped(node, 8); // value
+                rt.store_untyped(node + 8, 8); // next = old head
+                if rng.gen_range(0..100u32) < u32::from(self.contention_percent) {
+                    contended_cas(rt, STACK_HEAD, head);
+                }
+                publish_node(rt, node, 16, STACK_HEAD, head)?;
+                stack.push(node);
+                head = node;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl ConcurrentWorkload for TreiberStack {
+    fn handoff_anchor(&self) -> Addr {
+        STACK_HEAD
+    }
+
+    fn inject_cross_thread_bug(&self) -> bool {
+        self.inject_cross_thread_bug
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concurrent::{concurrent_multithread_trace, handoff_event, HANDOFF_NODE};
+    use pm_trace::{replay_finish, BugKind, PmEvent};
+    use pmdebugger::PmDebugger;
+
+    #[test]
+    fn clean_stack_reports_nothing_at_any_width() {
+        for threads in [1usize, 2, 4, 8] {
+            let trace = concurrent_multithread_trace(&TreiberStack::default(), threads, 25, 17, 4);
+            let reports = replay_finish(&trace, &mut PmDebugger::strict());
+            assert!(
+                reports.is_empty(),
+                "{threads} threads: unexpected {reports:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn seeded_bug_reports_exact_kind_range_and_thread_pair() {
+        let workload = TreiberStack::default().with_cross_thread_bug();
+        let trace = concurrent_multithread_trace(&workload, 2, 25, 17, 4);
+        let reports = replay_finish(&trace, &mut PmDebugger::strict());
+        assert_eq!(reports.len(), 1, "got {reports:?}");
+        let report = &reports[0];
+        assert_eq!(report.kind, BugKind::UnpublishedVisible);
+        assert_eq!(report.addr, Some(HANDOFF_NODE));
+        assert_eq!(report.size, Some(8));
+        assert_eq!(report.at_event, handoff_event(&trace));
+        assert!(report.message.contains("thread 0"), "{}", report.message);
+        assert!(report.message.contains("thread 1"), "{}", report.message);
+    }
+
+    #[test]
+    fn pops_swing_to_the_previous_top() {
+        let workload = TreiberStack::default().with_pop_percent(100);
+        // All-pop mix on an empty stack degenerates to pushes (pop needs a
+        // non-empty local stack), so pushes and pops alternate.
+        let trace = concurrent_multithread_trace(&workload, 1, 20, 1, 1);
+        let swings = trace
+            .events()
+            .iter()
+            .filter(
+                |e| matches!(e, PmEvent::Cas { new, success: true, .. } if *new == 0 || *new >= crate::concurrent::ARENA_BASE),
+            )
+            .count();
+        assert!(swings >= 10);
+    }
+}

@@ -11,13 +11,22 @@
 //! | `synth_strand` | strand | the paper's synthetic strand benchmark |
 //! | `memcached` | strict | Lenovo memcached-pmem + memslap (+ Figure 9a bug) |
 //! | `redis` | epoch | Intel PM Redis + redis-cli LRU test |
+//! | `synth_mix` | strict | the paper's synthetic store/flush/fence mix |
 //! | `a_YCSB`…`f_YCSB` | strict | YCSB A–F over memcached (Figure 2) |
+//! | `treiber_stack` | strict | lock-free Treiber stack (+ cross-thread bug) |
+//! | `ms_queue` | strict | lock-free Michael-Scott queue (+ cross-thread bug) |
+//! | `cas_hash` | strict | CAS-published hash table (+ cross-thread bug) |
+//!
+//! The last three are the concurrent suite ([`concurrent`]): per-thread
+//! lock-free streams merged by the seeded deterministic interleaver, with
+//! an optional seeded cross-thread persistency bug.
 //!
 //! Every workload implements [`Workload`] and emits its full persistent
 //! event stream through a [`pm_trace::PmRuntime`]; recorded traces replay
 //! identically through any detector.
 
 pub mod btree;
+pub mod concurrent;
 pub mod ctree;
 pub mod faults;
 pub mod hashmap;
@@ -32,6 +41,10 @@ pub mod whisper;
 pub mod ycsb;
 
 pub use btree::BTree;
+pub use concurrent::{
+    concurrent_benchmarks, concurrent_multithread_trace, handoff_event, CasHash,
+    ConcurrentWorkload, MsQueue, TreiberStack, HANDOFF_NODE,
+};
 pub use ctree::CTree;
 pub use hashmap::{HashmapAtomic, HashmapTx};
 pub use heap::{Model, PmHeap, Workload, DEFAULT_POOL, LOG_REGION};

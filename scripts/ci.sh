@@ -3,14 +3,15 @@
 #
 #   lint -> fmt -> unit -> integration -> docs -> bench-smoke -> ingest-bench
 #     -> obs-smoke -> ingest-torture -> supervisor-chaos -> serve-chaos
+#     -> concurrent-chaos
 #
 # Every run writes target/ci_timings.json (override: PM_CI_TIMINGS_JSON), a
 # machine-readable ledger of {stage, seconds, status} rows plus an overall
 # verdict — on early exit the in-flight stage is recorded as "fail" and its
 # name printed, so a red pipeline names its culprit without log spelunking.
-# The three wall-clock-budgeted sweeps (ingest-torture, supervisor-chaos,
-# serve-chaos) share one knob: PM_CI_BUDGET_SECS (default 120) — turn it
-# down for a quick local pass, up for a soak run.
+# The four wall-clock-budgeted sweeps (ingest-torture, supervisor-chaos,
+# serve-chaos, concurrent-chaos) share one knob: PM_CI_BUDGET_SECS
+# (default 120) — turn it down for a quick local pass, up for a soak run.
 #
 # lint        clippy over all targets, warnings are errors
 # fmt         rustfmt check
@@ -51,6 +52,14 @@
 #             btree fixture, assert the bug summary matches the golden
 #             batch verdict, SIGTERM-drain, and check the exit-code
 #             contract end to end
+# concurrent-chaos
+#             thread-crash sweep (`pmdbg chaos --thread-crash`): 100
+#             seeded plans build interleaved lock-free traces (Treiber
+#             stack, MS queue, CAS-published hash), kill a random thread
+#             subset at a crash boundary, and run all four detection
+#             engines over the survivor stream under a wall-clock budget,
+#             gated on exit code 0 and "ok":true (zero process aborts,
+#             zero survivor-stream divergence between engines)
 #
 # Select a subset of stages by name: `scripts/ci.sh lint fmt unit`.
 set -euo pipefail
@@ -58,7 +67,7 @@ cd "$(dirname "$0")/.."
 
 STAGES=("$@")
 if [ ${#STAGES[@]} -eq 0 ]; then
-  STAGES=(lint fmt unit integration docs bench-smoke ingest-bench obs-smoke ingest-torture supervisor-chaos serve-chaos)
+  STAGES=(lint fmt unit integration docs bench-smoke ingest-bench obs-smoke ingest-torture supervisor-chaos serve-chaos concurrent-chaos)
 fi
 
 # Shared wall-clock budget for the chaos/torture sweeps, in seconds.
@@ -261,6 +270,35 @@ serve_chaos_stage() {
   echo "serve-chaos: daemon smoke ok"
 }
 
+concurrent_chaos_stage() {
+  # Thread-crash sweep: 100 seeded plans cycling the three lock-free
+  # workloads at 2/4/8 threads, each crashed at a seeded boundary with a
+  # random subset of threads killed, then replayed through the
+  # sequential, parallel, supervised and streaming engines under the
+  # shared wall-clock budget. The sweep's own oracles enforce zero
+  # aborts and byte-identical survivor verdicts; here we gate on the
+  # machine-readable report plus the abort count explicitly.
+  local report
+  report=$(cargo run -q --offline -p pm-cli -- \
+    chaos --thread-crash --plans 100 --ops 24 \
+    --budget-ms "${BUDGET_MS}" --json)
+  if ! grep -q '"ok":true' <<<"${report}"; then
+    echo "concurrent-chaos: sweep reported violations:" >&2
+    echo "${report}" >&2
+    exit 1
+  fi
+  if grep -Eq '"aborts":[1-9]' <<<"${report}"; then
+    echo "concurrent-chaos: sweep reported process aborts" >&2
+    exit 1
+  fi
+  if ! grep -q '"plans_run":100' <<<"${report}"; then
+    echo "concurrent-chaos: sweep did not complete all 100 plans in budget:" >&2
+    echo "${report}" >&2
+    exit 1
+  fi
+  echo "concurrent-chaos: ok"
+}
+
 obs_smoke_stage() {
   # Metrics-overhead gate: smoke-sized run, fail when metrics-on costs
   # more than PM_OBS_MAX_OVERHEAD_PCT (default 5% — the smoke inputs are
@@ -305,6 +343,9 @@ for stage in "${STAGES[@]}"; do
       ;;
     serve-chaos)
       run_stage serve-chaos serve_chaos_stage
+      ;;
+    concurrent-chaos)
+      run_stage concurrent-chaos concurrent_chaos_stage
       ;;
     *)
       echo "unknown stage: ${stage}" >&2

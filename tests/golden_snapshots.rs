@@ -339,6 +339,149 @@ fn degraded_run_manifest_matches_golden_fixture() {
     assert!(manifest.counters.contains_key("supervisor.retries"));
 }
 
+/// The pinned multi-thread trace: the Treiber stack with the seeded
+/// cross-thread handoff bug, four threads interleaved under a fixed seed.
+/// Every multi-thread golden below derives from this one trace.
+fn treiber_mt_trace() -> pm_trace::Trace {
+    let workload = pm_workloads::TreiberStack::default().with_cross_thread_bug();
+    pm_workloads::concurrent_multithread_trace(&workload, 4, 24, 0x601D, 4)
+}
+
+/// Pins the v2 binary encoding of the interleaved multi-thread trace —
+/// the committed image exercises the `Cas` frame alongside per-thread
+/// stores, flushes and fences — and checks it keeps decoding losslessly.
+#[test]
+fn treiber_mt_v2_encoding_matches_golden_fixture() {
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    let trace = treiber_mt_trace();
+    let bytes = pm_trace::to_binary(&trace);
+    let name = "treiber_stack_mt_00.pmt2.hex";
+    if let Err(message) = check_or_update(name, &hex_dump(&bytes), update) {
+        panic!("{message}");
+    }
+    let committed = hex_parse(&std::fs::read_to_string(golden_dir().join(name)).unwrap());
+    let decoded = pm_trace::from_binary(&committed).expect("golden v2 image decodes");
+    assert_eq!(decoded, trace, "v2 fixture decodes to the source trace");
+    assert_eq!(
+        pm_trace::to_text(&decoded),
+        pm_trace::to_text(&trace),
+        "down-conversion to v1 text is lossless"
+    );
+    let spans = pm_trace::frame_spans(&committed).expect("frame walk succeeds");
+    assert_eq!(spans.len(), trace.len(), "one frame per event");
+}
+
+/// Pins the summary and manifest a strict sequential run produces over
+/// the multi-thread trace: exactly one cross-thread unpublished-visible
+/// report at the handoff CAS, with per-kind event counters covering the
+/// interleaved stream.
+#[test]
+fn treiber_mt_summary_and_manifest_match_golden_fixtures() {
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    let trace = treiber_mt_trace();
+
+    let registry = MetricsRegistry::new();
+    let config = DebuggerConfig::for_model(PersistencyModel::Strict);
+    let mut detector = PmDebugger::with_metrics(config, &registry);
+    for (seq, event) in trace.events().iter().enumerate() {
+        detector.on_event(seq as u64, event);
+    }
+    let reports = detector.finish();
+    assert_eq!(reports.len(), 1, "exactly the seeded handoff bug");
+    assert_eq!(reports[0].kind, pm_trace::BugKind::UnpublishedVisible);
+    assert_eq!(reports[0].at_event, pm_workloads::handoff_event(&trace));
+
+    for (kind, count) in trace.kind_counts() {
+        registry.counter(&format!("events.{kind}")).add(count);
+    }
+    let digest = bug_digest(&reports);
+    let mut manifest = RunManifest::new("pmdebugger", "treiber_stack_mt/00", "strict");
+    manifest.ops = trace.len() as u64;
+    manifest.threads = 4;
+    manifest.absorb_snapshot(&registry.snapshot());
+    manifest.bugs = digest;
+    manifest.redact_timings();
+
+    let summary = BugSummary::from_reports(reports).to_string();
+    let manifest_json = format!("{}\n", manifest.to_json());
+    let mut failures = Vec::new();
+    for (suffix, actual) in [("summary.txt", &summary), ("manifest.json", &manifest_json)] {
+        let name = format!("treiber_stack_mt_00.{suffix}");
+        if let Err(message) = check_or_update(&name, actual, update) {
+            failures.push(message);
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n\n"));
+
+    let parsed = RunManifest::from_json(&manifest_json).expect("manifest parses");
+    assert_eq!(format!("{}\n", parsed.to_json()), manifest_json);
+    assert!(parsed.event_kinds.contains_key("cas"), "cas events counted");
+}
+
+/// Pins the manifest of a degraded supervised run over the multi-thread
+/// trace: worker 0 panics on every attempt slot, so exactly that thread
+/// shard is quarantined while the surviving shards still merge.
+#[test]
+fn treiber_mt_degraded_manifest_matches_golden_fixture() {
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    let trace = treiber_mt_trace();
+    let config = DebuggerConfig::for_model(PersistencyModel::Strict);
+    let sup = SupervisorConfig::default()
+        .with_max_retries(1)
+        .with_fail_mode(FailMode::Degrade);
+    let faults = FaultPlan::new(
+        (0..sup.total_attempts())
+            .map(|attempt| InjectedFault {
+                worker: 0,
+                attempt,
+                after_events: 0,
+                kind: FaultKind::Panic,
+            })
+            .collect(),
+    );
+    let result = detect_supervised(
+        &config,
+        &ParallelConfig::with_threads(4),
+        &sup,
+        Some(&faults),
+        &trace,
+    )
+    .expect("degrade mode completes");
+    assert!(result.is_degraded(), "worker 0 must be quarantined");
+
+    let registry = MetricsRegistry::new();
+    for (kind, count) in trace.kind_counts() {
+        registry.counter(&format!("events.{kind}")).add(count);
+    }
+    result.export_metrics(&registry);
+    let reports = &result.outcome.reports;
+    let mut by_kind = BTreeMap::new();
+    for report in reports {
+        *by_kind.entry(report.kind.name()).or_insert(0u64) += 1;
+    }
+    for (kind, count) in by_kind {
+        registry.counter(&format!("rule.{kind}")).add(count);
+    }
+
+    let mut manifest = RunManifest::new("pmdebugger-supervised", "treiber_stack_mt/00", "strict");
+    manifest.ops = trace.len() as u64;
+    manifest.threads = 4;
+    manifest.absorb_snapshot(&registry.snapshot());
+    manifest.bugs = bug_digest(reports);
+    manifest.redact_timings();
+    let manifest_json = format!("{}\n", manifest.to_json());
+
+    let name = "treiber_stack_mt_degraded_00.manifest.json";
+    if let Err(message) = check_or_update(name, &manifest_json, update) {
+        panic!("{message}");
+    }
+    let parsed = RunManifest::from_json(&manifest_json).expect("manifest parses");
+    assert_eq!(format!("{}\n", parsed.to_json()), manifest_json);
+    assert_eq!(parsed.counters["supervisor.quarantined"], 1);
+    assert_eq!(parsed.counters["supervisor.degraded"], 1);
+    assert!(parsed.counters["supervisor.lost_events"] > 0);
+}
+
 #[test]
 fn golden_manifests_are_internally_consistent() {
     let cases = corpus();
