@@ -1,0 +1,1051 @@
+//! Daemon-crash torture for the crash-durable serving path.
+//!
+//! Where [`mod@crate::serve_sweep`] tortures a *live* server with hostile
+//! clients, this module kills the server itself: seeded plans run keyed
+//! (journaled) sessions against a daemon, crash it mid-stream — an
+//! in-process hard stop plus a simulated power cut on the journal, or a
+//! real `kill -9` of a `pmdbg serve` subprocess — restart it over the
+//! same journal directory, replay the client, and check the crash-
+//! durability contract on every answer:
+//!
+//! * **zero verdict loss**: a verdict the ledger fenced is answered
+//!   from the ledger (`replayed:true`), never silently recomputed;
+//! * **zero verdict duplication**: every re-push of a completed key
+//!   returns the *same* verdict (report hash, bug totals, commit
+//!   counts) — exactly-once emission across crashes;
+//! * **byte-identical recovery**: a session resumed from its last
+//!   durable checkpoint finishes with the same report hash as an
+//!   uninterrupted batch run over the same trace;
+//! * **total recovery**: torn tails, dropped fsyncs, short writes and
+//!   ENOSPC degrade durability, never correctness — the recovery scan
+//!   discards damage and the daemon keeps serving.
+//!
+//! Journal faults are injected through [`FaultFs`], an in-memory
+//! [`JournalEnv`] that models the durable/volatile split of a real
+//! disk: appends land in a volatile tail, `sync` moves it to durable
+//! storage (or lies, under `DropFsync`), and [`FaultFs::crash`] keeps a
+//! seeded prefix of the volatile bytes — a torn write at the exact
+//! granularity a power cut produces.
+
+use std::collections::BTreeMap;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use pm_serve::{
+    client::connect_stream, fetch_stats, push_bytes_keyed, session_preface, JournalEnv, JournalIo,
+    Listen, PushResponse, ServeConfig, Server, SessionStatus, JOURNAL_FILE_MAGIC,
+};
+use pm_trace::{ingest_bytes, report_hash, to_binary, IngestLimits, IngestMode};
+use pm_workloads::{record_trace, BTree};
+use pmdebugger::{DebuggerConfig, PersistencyModel, PmDebugger};
+
+use crate::budget::{splitmix64, Truncation};
+use crate::report::json_escape;
+use crate::serve_sweep::ServeViolation;
+
+/// How the injected journal filesystem misbehaves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSpec {
+    /// Faithful disk: appends land volatile, sync makes them durable.
+    None,
+    /// `sync` reports success but leaves everything volatile — a crash
+    /// loses writes the server believed durable.
+    DropFsync,
+    /// After `after_bytes` total appended bytes, each append lands only
+    /// partially and then errors — a torn record mid-file.
+    ShortWrite {
+        /// Total append budget before writes start tearing.
+        after_bytes: usize,
+    },
+    /// After `after_bytes` total appended bytes, appends fail with
+    /// an out-of-space error (partial landing, like a real ENOSPC).
+    Enospc {
+        /// Total append budget before the device fills.
+        after_bytes: usize,
+    },
+}
+
+#[derive(Default)]
+struct FileBuf {
+    durable: Vec<u8>,
+    volatile: Vec<u8>,
+}
+
+struct FaultFsInner {
+    spec: FaultSpec,
+    seed: u64,
+    state: Mutex<FaultFsState>,
+}
+
+struct FaultFsState {
+    files: BTreeMap<String, FileBuf>,
+    appended: usize,
+}
+
+/// Fault-injecting in-memory [`JournalEnv`] modelling a disk's
+/// durable/volatile split. Reads see both halves (like the OS page
+/// cache); [`FaultFs::crash`] discards the volatile tail at a seeded
+/// byte offset. Cloning yields another handle on the same store.
+#[derive(Clone)]
+pub struct FaultFs {
+    inner: Arc<FaultFsInner>,
+}
+
+impl FaultFs {
+    /// A fresh fault filesystem with the given misbehavior and tear
+    /// seed.
+    pub fn new(spec: FaultSpec, seed: u64) -> FaultFs {
+        FaultFs {
+            inner: Arc::new(FaultFsInner {
+                spec,
+                seed,
+                state: Mutex::new(FaultFsState {
+                    files: BTreeMap::new(),
+                    appended: 0,
+                }),
+            }),
+        }
+    }
+
+    fn append_bytes(&self, key: &str, bytes: &[u8]) -> io::Result<()> {
+        let mut st = self.inner.state.lock().expect("fault fs poisoned");
+        let budget = match self.inner.spec {
+            FaultSpec::ShortWrite { after_bytes } | FaultSpec::Enospc { after_bytes } => {
+                Some(after_bytes)
+            }
+            _ => None,
+        };
+        if let Some(after) = budget {
+            if st.appended + bytes.len() > after {
+                // A torn partial landing, then the error surfaces.
+                let cut = after.saturating_sub(st.appended).min(bytes.len());
+                let file = st.files.entry(key.to_owned()).or_default();
+                file.volatile.extend_from_slice(&bytes[..cut]);
+                st.appended += cut;
+                return Err(match self.inner.spec {
+                    FaultSpec::Enospc { .. } => {
+                        io::Error::other("no space left on device (injected)")
+                    }
+                    _ => io::Error::new(io::ErrorKind::WriteZero, "short write (injected)"),
+                });
+            }
+        }
+        let file = st.files.entry(key.to_owned()).or_default();
+        file.volatile.extend_from_slice(bytes);
+        st.appended += bytes.len();
+        Ok(())
+    }
+
+    fn sync_key(&self, key: &str) -> io::Result<()> {
+        if self.inner.spec == FaultSpec::DropFsync {
+            // The lie: report durability, keep the bytes volatile.
+            return Ok(());
+        }
+        let mut st = self.inner.state.lock().expect("fault fs poisoned");
+        if let Some(file) = st.files.get_mut(key) {
+            let tail = std::mem::take(&mut file.volatile);
+            file.durable.extend_from_slice(&tail);
+        }
+        Ok(())
+    }
+
+    /// Simulated power cut: every file keeps a seeded prefix of its
+    /// volatile tail (the torn write) and loses the rest.
+    pub fn crash(&self) {
+        let mut st = self.inner.state.lock().expect("fault fs poisoned");
+        let mut s = self.inner.seed ^ 0xC4A5_04F5;
+        for file in st.files.values_mut() {
+            if file.volatile.is_empty() {
+                continue;
+            }
+            let keep = (splitmix64(&mut s) as usize) % (file.volatile.len() + 1);
+            file.durable.extend_from_slice(&file.volatile[..keep]);
+            file.volatile.clear();
+        }
+    }
+
+    /// Device-level tail damage *despite* fsync ordering: truncates a
+    /// seeded number of bytes off every durable file (never into the
+    /// file magic), so recovery must resync past a torn final record.
+    pub fn tear_tail(&self) {
+        let mut st = self.inner.state.lock().expect("fault fs poisoned");
+        let mut s = self.inner.seed ^ 0x7EA2_7A11;
+        let keep_at_least = JOURNAL_FILE_MAGIC.len();
+        for file in st.files.values_mut() {
+            if file.durable.len() <= keep_at_least {
+                continue;
+            }
+            let max_cut = file.durable.len() - keep_at_least;
+            let cut = 1 + (splitmix64(&mut s) as usize) % max_cut;
+            let len = file.durable.len();
+            file.durable.truncate(len - cut);
+        }
+    }
+
+    /// Current visible (durable + volatile) size of `key`'s journal.
+    pub fn visible_len(&self, key: &str) -> usize {
+        let st = self.inner.state.lock().expect("fault fs poisoned");
+        st.files
+            .get(key)
+            .map_or(0, |f| f.durable.len() + f.volatile.len())
+    }
+}
+
+struct FaultIo {
+    fs: FaultFs,
+    key: String,
+}
+
+impl JournalIo for FaultIo {
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.fs.append_bytes(&self.key, bytes)
+    }
+    fn sync(&mut self) -> io::Result<()> {
+        self.fs.sync_key(&self.key)
+    }
+}
+
+impl JournalEnv for FaultFs {
+    fn open_append(&self, _dir: &Path, key: &str) -> io::Result<Box<dyn JournalIo>> {
+        let empty = {
+            let st = self.inner.state.lock().expect("fault fs poisoned");
+            st.files
+                .get(key)
+                .is_none_or(|f| f.durable.is_empty() && f.volatile.is_empty())
+        };
+        if empty {
+            self.append_bytes(key, JOURNAL_FILE_MAGIC)?;
+            self.sync_key(key)?;
+        }
+        Ok(Box::new(FaultIo {
+            fs: self.clone(),
+            key: key.to_owned(),
+        }))
+    }
+
+    fn read(&self, _dir: &Path, key: &str) -> io::Result<Vec<u8>> {
+        let st = self.inner.state.lock().expect("fault fs poisoned");
+        Ok(st.files.get(key).map_or_else(Vec::new, |f| {
+            let mut bytes = f.durable.clone();
+            bytes.extend_from_slice(&f.volatile);
+            bytes
+        }))
+    }
+
+    fn list_keys(&self, _dir: &Path) -> io::Result<Vec<String>> {
+        let st = self.inner.state.lock().expect("fault fs poisoned");
+        Ok(st.files.keys().cloned().collect())
+    }
+}
+
+/// One daemon-crash scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPlan {
+    /// No crash: complete push, duplicate push must replay, and the
+    /// replay fence must survive a clean restart.
+    CleanRun,
+    /// Hard-kill the daemon mid-stream after at least one committed
+    /// batch boundary; the resumed session must finish batch-identical.
+    KillMidStream,
+    /// Kill mid-stream *and* tear bytes off the durable journal tail.
+    TornTail,
+    /// Kill mid-stream with every fsync silently dropped.
+    DroppedFsync,
+    /// Kill mid-stream with appends tearing after a byte budget.
+    ShortWrite,
+    /// Kill mid-stream with the journal device filling up.
+    Enospc,
+    /// `kill -9` a *real* `pmdbg serve` subprocess mid-stream (runs
+    /// in-process with a faithful fault-fs when no binary is given).
+    Kill9Subprocess,
+}
+
+impl CrashPlan {
+    /// Stable lowercase name (JSON key in the plan-mix object).
+    pub fn name(self) -> &'static str {
+        match self {
+            CrashPlan::CleanRun => "clean_run",
+            CrashPlan::KillMidStream => "kill_mid_stream",
+            CrashPlan::TornTail => "torn_tail",
+            CrashPlan::DroppedFsync => "dropped_fsync",
+            CrashPlan::ShortWrite => "short_write",
+            CrashPlan::Enospc => "enospc",
+            CrashPlan::Kill9Subprocess => "kill9_subprocess",
+        }
+    }
+
+    /// Every plan, in the order `plan_mix` reports them.
+    pub const ALL: [CrashPlan; 7] = [
+        CrashPlan::CleanRun,
+        CrashPlan::KillMidStream,
+        CrashPlan::TornTail,
+        CrashPlan::DroppedFsync,
+        CrashPlan::ShortWrite,
+        CrashPlan::Enospc,
+        CrashPlan::Kill9Subprocess,
+    ];
+}
+
+/// The plan for sweep index `i` under `seed` — a pure function, so a
+/// failing index replays in isolation.
+pub fn crash_plan_for(seed: u64, index: u64) -> CrashPlan {
+    let mut s = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    match splitmix64(&mut s) % 100 {
+        0..=14 => CrashPlan::CleanRun,
+        15..=39 => CrashPlan::KillMidStream,
+        40..=54 => CrashPlan::TornTail,
+        55..=69 => CrashPlan::DroppedFsync,
+        70..=79 => CrashPlan::ShortWrite,
+        80..=89 => CrashPlan::Enospc,
+        _ => CrashPlan::Kill9Subprocess,
+    }
+}
+
+/// Tuning for one [`daemon_crash_sweep`].
+#[derive(Debug, Clone)]
+pub struct DaemonCrashOptions {
+    /// Crash plans to run.
+    pub plans: usize,
+    /// Base seed; plan `i` derives its scenario and payload from it.
+    pub seed: u64,
+    /// Wall-clock ceiling for the whole sweep (`None` = unbounded).
+    pub wall_clock: Option<Duration>,
+    /// Path to a `pmdbg` binary for the real `kill -9` subprocess
+    /// plans; `None` runs those plans in-process instead.
+    pub pmdbg_exe: Option<PathBuf>,
+}
+
+impl Default for DaemonCrashOptions {
+    fn default() -> Self {
+        DaemonCrashOptions {
+            plans: 100,
+            seed: 0xD0_0D1E,
+            wall_clock: None,
+            pmdbg_exe: None,
+        }
+    }
+}
+
+/// Outcome of one daemon-crash sweep.
+#[derive(Debug, Clone, Default)]
+pub struct DaemonCrashReport {
+    /// Plans the sweep was asked to run.
+    pub plans_planned: usize,
+    /// Plans actually run (less only under truncation).
+    pub plans_run: usize,
+    /// Host panics plus unrecoverable sweep-side failures — the
+    /// zero-abort oracle.
+    pub aborts: u64,
+    /// Fenced verdicts a later push recomputed instead of replaying.
+    pub verdicts_lost: u64,
+    /// Re-pushes of a completed key that returned a *different* verdict.
+    pub verdicts_duplicated: u64,
+    /// Responses answered from the verdict ledger (`replayed:true`).
+    pub replayed_from_ledger: u64,
+    /// Sessions the restarted daemon resumed from a durable checkpoint.
+    pub resumed_from_checkpoint: u64,
+    /// Torn/corrupt journal regions recovery discarded, across all
+    /// restarts.
+    pub torn_discarded_total: u64,
+    /// Plans run per kind, in [`CrashPlan::ALL`] order.
+    pub plan_mix: Vec<(&'static str, u64)>,
+    /// Every broken invariant.
+    pub violations: Vec<ServeViolation>,
+    /// Budget bounds that were hit.
+    pub truncations: Vec<Truncation>,
+    /// Sweep wall time in milliseconds.
+    pub wall_ms: u128,
+}
+
+impl DaemonCrashReport {
+    /// The sweep's verdict: no aborts, no verdict loss or duplication,
+    /// no broken invariants.
+    pub fn ok(&self) -> bool {
+        self.aborts == 0
+            && self.verdicts_lost == 0
+            && self.verdicts_duplicated == 0
+            && self.violations.is_empty()
+    }
+
+    /// Serializes the report as one JSON object (hand-rolled like the
+    /// other chaos reports; no serde in the workspace).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"ok\":{},", self.ok()));
+        out.push_str(&format!("\"plans_planned\":{},", self.plans_planned));
+        out.push_str(&format!("\"plans_run\":{},", self.plans_run));
+        out.push_str(&format!("\"aborts\":{},", self.aborts));
+        out.push_str(&format!("\"verdicts_lost\":{},", self.verdicts_lost));
+        out.push_str(&format!(
+            "\"verdicts_duplicated\":{},",
+            self.verdicts_duplicated
+        ));
+        out.push_str(&format!(
+            "\"replayed_from_ledger\":{},",
+            self.replayed_from_ledger
+        ));
+        out.push_str(&format!(
+            "\"resumed_from_checkpoint\":{},",
+            self.resumed_from_checkpoint
+        ));
+        out.push_str(&format!(
+            "\"torn_discarded_total\":{},",
+            self.torn_discarded_total
+        ));
+        out.push_str(&format!("\"wall_ms\":{},", self.wall_ms));
+        out.push_str("\"plan_mix\":{");
+        for (i, (name, count)) in self.plan_mix.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{name}\":{count}"));
+        }
+        out.push_str("},\"violations\":[");
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"index\":{},\"plan\":\"{}\",\"kind\":\"{}\",\"detail\":\"{}\"}}",
+                v.index,
+                v.plan,
+                json_escape(v.kind),
+                json_escape(&v.detail),
+            ));
+        }
+        out.push_str("],\"truncations\":[");
+        for (i, t) in self.truncations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\"", json_escape(&t.to_string())));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Commit batch size the sweep serves under: small, so a mid-stream
+/// kill lands between many checkpointed boundaries.
+const SWEEP_CHECKPOINT_EVERY: usize = 16;
+
+/// Server policy for one sweep daemon incarnation.
+fn crash_config(listen: Listen, dir: PathBuf, env: Option<FaultFs>) -> ServeConfig {
+    let mut cfg = ServeConfig::new(listen);
+    cfg.checkpoint_every = SWEEP_CHECKPOINT_EVERY;
+    cfg.retry_backoff = Duration::from_millis(1);
+    cfg.session_deadline = Some(Duration::from_secs(10));
+    cfg.journal_dir = Some(dir);
+    cfg.journal_env = env.map(|fs| Arc::new(fs) as Arc<dyn JournalEnv>);
+    cfg
+}
+
+/// The trace a plan pushes: a clean BTree workload, long enough for
+/// several commit batches.
+fn payload(seed: u64, index: u64) -> Vec<u8> {
+    let mut s = seed ^ index.wrapping_mul(0xA076_1D64_78BD_642F);
+    let trace_seed = splitmix64(&mut s);
+    let ops = 48 + (splitmix64(&mut s) % 32) as usize;
+    to_binary(&record_trace(&BTree::new(trace_seed), ops))
+}
+
+/// Offline reference: the report hash of an uninterrupted batch run
+/// over the exact bytes a plan pushes.
+fn batch_hash(bytes: &[u8]) -> String {
+    let events = ingest_bytes(bytes, IngestMode::Salvage, &IngestLimits::default())
+        .map(|(trace, _)| trace.events().to_vec())
+        .unwrap_or_default();
+    let mut det = PmDebugger::new(DebuggerConfig::for_model(PersistencyModel::Strict));
+    format!("{:016x}", report_hash(&det.detect_stream(events.iter())))
+}
+
+/// Polls `pred` every 5 ms until it holds or `timeout` passes.
+fn wait_for(pred: impl Fn() -> bool, timeout: Duration) -> bool {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if pred() {
+            return true;
+        }
+        if Instant::now() >= deadline {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// The stable verdict subset compared across replays: anything that
+/// differs here means two different verdicts were emitted for one key.
+fn verdict_fingerprint(r: &PushResponse) -> (String, u64, u64, String) {
+    (
+        r.report_hash.clone(),
+        r.bugs_total,
+        r.events_committed,
+        format!("{:?}", r.status),
+    )
+}
+
+/// Pushes keyed bytes, absorbing one busy answer.
+fn push_keyed_retry(listen: &Listen, key: &str, bytes: &[u8]) -> io::Result<PushResponse> {
+    let response = push_bytes_keyed(listen, key, bytes)?;
+    if response.status != SessionStatus::Busy {
+        return Ok(response);
+    }
+    std::thread::sleep(Duration::from_millis(
+        response.retry_after_ms.unwrap_or(100),
+    ));
+    push_bytes_keyed(listen, key, bytes)
+}
+
+/// Counter value from a live server's stats manifest (0 when stats are
+/// unavailable — tallies degrade, oracles never depend on them alone).
+fn stats_counter(listen: &Listen, name: &str) -> u64 {
+    fetch_stats(listen)
+        .ok()
+        .and_then(|text| pm_obs::RunManifest::from_json(&text).ok())
+        .and_then(|manifest| manifest.counters.get(name).copied())
+        .unwrap_or(0)
+}
+
+fn next_socket(tag: &str) -> PathBuf {
+    static NEXT: AtomicU32 = AtomicU32::new(0);
+    std::env::temp_dir().join(format!(
+        "pmdbg-dcrash-{tag}-{}-{}.sock",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn next_dir(tag: &str) -> PathBuf {
+    static NEXT: AtomicU32 = AtomicU32::new(0);
+    std::env::temp_dir().join(format!(
+        "pmdbg-dcrash-jrnl-{tag}-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Context shared by the per-plan runners.
+struct PlanRun<'a> {
+    report: &'a mut DaemonCrashReport,
+    index: usize,
+    plan: CrashPlan,
+}
+
+impl PlanRun<'_> {
+    fn violation(&mut self, kind: &'static str, detail: String) {
+        self.report.violations.push(ServeViolation {
+            index: self.index,
+            plan: self.plan.name(),
+            kind,
+            detail,
+        });
+    }
+
+    /// Checks the final (post-restart) completed response against the
+    /// batch reference.
+    fn check_final(&mut self, response: &PushResponse, expected_hash: &str) {
+        if response.status != SessionStatus::Ok {
+            self.violation(
+                "final-not-ok",
+                format!("status {:?} ({:?})", response.status, response.error),
+            );
+            return;
+        }
+        if response.report_hash != expected_hash {
+            self.violation(
+                "hash-divergence",
+                format!(
+                    "recovered hash {} != batch hash {expected_hash}",
+                    response.report_hash
+                ),
+            );
+        }
+    }
+
+    /// The exactly-once oracle: a re-push of a completed key must come
+    /// back from the ledger, with an identical verdict.
+    fn check_replay(&mut self, first: &PushResponse, again: &PushResponse) {
+        if !again.replayed {
+            self.report.verdicts_lost += 1;
+            self.violation(
+                "verdict-recomputed",
+                "completed key was recomputed instead of replayed from the ledger".to_owned(),
+            );
+        } else {
+            self.report.replayed_from_ledger += 1;
+        }
+        if verdict_fingerprint(first) != verdict_fingerprint(again) {
+            self.report.verdicts_duplicated += 1;
+            self.violation(
+                "verdict-diverged",
+                format!(
+                    "re-push verdict {:?} != original {:?}",
+                    verdict_fingerprint(again),
+                    verdict_fingerprint(first)
+                ),
+            );
+        }
+    }
+}
+
+/// Runs one in-process plan: daemon A (maybe killed mid-stream), a
+/// simulated power cut on the journal, daemon B recovering over the
+/// same store, then the exactly-once and byte-identity oracles.
+fn run_in_process(run: &mut PlanRun<'_>, seed: u64, index: u64) {
+    let key = format!("plan-{index}");
+    let bytes = payload(seed, index);
+    let expected = batch_hash(&bytes);
+    let mut s = seed ^ index.wrapping_mul(0x2545_F491_4F6C_DD1D);
+    let spec = match run.plan {
+        CrashPlan::ShortWrite => FaultSpec::ShortWrite {
+            after_bytes: 1024 + (splitmix64(&mut s) % 4096) as usize,
+        },
+        CrashPlan::Enospc => FaultSpec::Enospc {
+            after_bytes: 1024 + (splitmix64(&mut s) % 4096) as usize,
+        },
+        CrashPlan::DroppedFsync => FaultSpec::DropFsync,
+        _ => FaultSpec::None,
+    };
+    let fs = FaultFs::new(spec, splitmix64(&mut s));
+    let dir = next_dir("mem");
+    let kill_mid = run.plan != CrashPlan::CleanRun;
+
+    // Daemon A.
+    let cfg = crash_config(
+        Listen::Unix(next_socket("a")),
+        dir.clone(),
+        Some(fs.clone()),
+    );
+    let server = match Server::start(cfg) {
+        Ok(server) => server,
+        Err(e) => {
+            run.report.aborts += 1;
+            run.violation("start-failure", e.to_string());
+            return;
+        }
+    };
+    let listen = server.local_listen().clone();
+
+    let mut completed_on_a: Option<PushResponse> = None;
+    if kill_mid {
+        // Push a prefix, hold the connection open, and wait for at
+        // least one committed batch boundary to reach the journal
+        // before pulling the plug.
+        let cut = bytes.len() * 7 / 10;
+        let conn = connect_stream(&listen).and_then(|mut conn| {
+            conn.write_all(&session_preface(&key))?;
+            conn.write_all(&bytes[..cut])?;
+            conn.flush()?;
+            Ok(conn)
+        });
+        match conn {
+            Ok(conn) => {
+                let committed = wait_for(
+                    || fs.visible_len(&key) > JOURNAL_FILE_MAGIC.len(),
+                    Duration::from_secs(3),
+                );
+                if !committed && run.plan == CrashPlan::KillMidStream {
+                    run.violation(
+                        "no-commit-before-kill",
+                        "no journal record appeared within 3 s of a mid-stream push".to_owned(),
+                    );
+                }
+                // Hard kill: zero drain, sessions abandoned mid-flight.
+                let summary = server.shutdown(Duration::ZERO);
+                run.report.aborts += summary.host_panics;
+                drop(conn);
+            }
+            Err(e) => {
+                run.violation("push-io", e.to_string());
+                let summary = server.shutdown(Duration::from_secs(2));
+                run.report.aborts += summary.host_panics;
+            }
+        }
+        // Power cut: lose the un-synced tail at a seeded byte offset.
+        fs.crash();
+        if run.plan == CrashPlan::TornTail {
+            fs.tear_tail();
+        }
+    } else {
+        match push_keyed_retry(&listen, &key, &bytes) {
+            Ok(response) => {
+                run.check_final(&response, &expected);
+                // Exactly-once within one daemon lifetime.
+                match push_keyed_retry(&listen, &key, &bytes) {
+                    Ok(again) => run.check_replay(&response, &again),
+                    Err(e) => run.violation("push-io", e.to_string()),
+                }
+                completed_on_a = Some(response);
+            }
+            Err(e) => run.violation("push-io", e.to_string()),
+        }
+        let summary = server.shutdown(Duration::from_secs(2));
+        run.report.aborts += summary.host_panics;
+    }
+
+    // Daemon B: recover over the same journal store.
+    let cfg = crash_config(
+        Listen::Unix(next_socket("b")),
+        dir.clone(),
+        Some(fs.clone()),
+    );
+    let server = match Server::start(cfg) {
+        Ok(server) => server,
+        Err(e) => {
+            run.report.aborts += 1;
+            run.violation("restart-failure", e.to_string());
+            let _ = std::fs::remove_dir_all(&dir);
+            return;
+        }
+    };
+    let listen = server.local_listen().clone();
+    run.report.torn_discarded_total += stats_counter(&listen, "journal.torn_discarded");
+
+    match push_keyed_retry(&listen, &key, &bytes) {
+        Ok(response) => {
+            if let Some(first) = &completed_on_a {
+                // The verdict was fenced before the (clean) restart:
+                // this push must come back from the durable ledger.
+                run.check_replay(first, &response);
+                if response.replayed {
+                    // Replayed lines skip check_final (already checked
+                    // on daemon A); nothing more to assert.
+                } else {
+                    run.check_final(&response, &expected);
+                }
+            } else {
+                // Interrupted session: recovery + client re-push must
+                // finish byte-identical to the uninterrupted batch run,
+                // and must NOT claim a replay (no verdict ever landed).
+                if response.replayed {
+                    run.report.verdicts_duplicated += 1;
+                    run.violation(
+                        "phantom-verdict",
+                        "interrupted session replayed a verdict that was never emitted".to_owned(),
+                    );
+                }
+                run.check_final(&response, &expected);
+                match push_keyed_retry(&listen, &key, &bytes) {
+                    Ok(again) => run.check_replay(&response, &again),
+                    Err(e) => run.violation("push-io", e.to_string()),
+                }
+            }
+        }
+        Err(e) => run.violation("push-io", e.to_string()),
+    }
+    run.report.resumed_from_checkpoint += stats_counter(&listen, "journal.sessions_resumed");
+    let summary = server.shutdown(Duration::from_secs(2));
+    run.report.aborts += summary.host_panics;
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Spawns a real `pmdbg serve` daemon on `sock`/`dir` and waits until
+/// it accepts connections.
+fn spawn_daemon(exe: &Path, sock: &Path, dir: &Path) -> io::Result<std::process::Child> {
+    let child = std::process::Command::new(exe)
+        .args([
+            "serve",
+            "--listen",
+            &sock.to_string_lossy(),
+            "--journal-dir",
+            &dir.to_string_lossy(),
+        ])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()?;
+    let listen = Listen::Unix(sock.to_path_buf());
+    if !wait_for(|| connect_stream(&listen).is_ok(), Duration::from_secs(10)) {
+        return Err(io::Error::new(
+            io::ErrorKind::TimedOut,
+            "daemon did not start accepting within 10 s",
+        ));
+    }
+    Ok(child)
+}
+
+/// Runs one real-subprocess plan: spawn `pmdbg serve --journal-dir`,
+/// `kill -9` it mid-stream, restart it over the same directory, replay
+/// the client, and run the same oracles as the in-process plans.
+fn run_subprocess(run: &mut PlanRun<'_>, exe: &Path, seed: u64, index: u64) {
+    let key = format!("plan-{index}");
+    let bytes = payload(seed, index);
+    let expected = batch_hash(&bytes);
+    let dir = next_dir("proc");
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        run.violation("setup-failure", e.to_string());
+        return;
+    }
+    let wal = dir.join(format!("{key}.wal"));
+
+    // Daemon A: killed -9 mid-stream.
+    let sock = next_socket("pa");
+    let mut child = match spawn_daemon(exe, &sock, &dir) {
+        Ok(child) => child,
+        Err(e) => {
+            run.report.aborts += 1;
+            run.violation("spawn-failure", e.to_string());
+            let _ = std::fs::remove_dir_all(&dir);
+            return;
+        }
+    };
+    let listen = Listen::Unix(sock.clone());
+    let cut = bytes.len() * 7 / 10;
+    let conn = connect_stream(&listen).and_then(|mut conn| {
+        conn.write_all(&session_preface(&key))?;
+        conn.write_all(&bytes[..cut])?;
+        conn.flush()?;
+        Ok(conn)
+    });
+    match conn {
+        Ok(conn) => {
+            // The default 4096-event commit batch won't trip on this
+            // small trace, so accept "journal file exists" as the
+            // commit signal and kill on a short fuse either way.
+            let _ = wait_for(
+                || {
+                    std::fs::metadata(&wal)
+                        .map(|m| m.len() > JOURNAL_FILE_MAGIC.len() as u64)
+                        .unwrap_or(false)
+                },
+                Duration::from_millis(500),
+            );
+            let _ = child.kill();
+            let _ = child.wait();
+            drop(conn);
+        }
+        Err(e) => {
+            run.violation("push-io", e.to_string());
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+    let _ = std::fs::remove_file(&sock);
+
+    // Daemon B: recovers the journal directory on startup.
+    let sock = next_socket("pb");
+    let mut child = match spawn_daemon(exe, &sock, &dir) {
+        Ok(child) => child,
+        Err(e) => {
+            run.report.aborts += 1;
+            run.violation("respawn-failure", e.to_string());
+            let _ = std::fs::remove_dir_all(&dir);
+            return;
+        }
+    };
+    let listen = Listen::Unix(sock.clone());
+    run.report.torn_discarded_total += stats_counter(&listen, "journal.torn_discarded");
+    match push_keyed_retry(&listen, &key, &bytes) {
+        Ok(response) => {
+            if response.replayed {
+                run.report.verdicts_duplicated += 1;
+                run.violation(
+                    "phantom-verdict",
+                    "interrupted session replayed a verdict that was never emitted".to_owned(),
+                );
+            }
+            run.check_final(&response, &expected);
+            match push_keyed_retry(&listen, &key, &bytes) {
+                Ok(again) => run.check_replay(&response, &again),
+                Err(e) => run.violation("push-io", e.to_string()),
+            }
+        }
+        Err(e) => run.violation("push-io", e.to_string()),
+    }
+    run.report.resumed_from_checkpoint += stats_counter(&listen, "journal.sessions_resumed");
+    let _ = child.kill();
+    let _ = child.wait();
+    let _ = std::fs::remove_file(&sock);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Runs `opts.plans` seeded daemon-crash scenarios and checks the
+/// crash-durability contract on every one (see the module docs). Never
+/// panics the sweep: a plan whose I/O fails unexpectedly records a
+/// violation, not a crash.
+pub fn daemon_crash_sweep(opts: &DaemonCrashOptions) -> DaemonCrashReport {
+    let started = Instant::now();
+    let mut report = DaemonCrashReport {
+        plans_planned: opts.plans,
+        plan_mix: CrashPlan::ALL.iter().map(|p| (p.name(), 0)).collect(),
+        ..DaemonCrashReport::default()
+    };
+    for index in 0..opts.plans {
+        if let Some(limit) = opts.wall_clock {
+            if started.elapsed() >= limit {
+                report.truncations.push(Truncation::WallClockExpired {
+                    tested: index,
+                    total: opts.plans,
+                });
+                break;
+            }
+        }
+        let plan = crash_plan_for(opts.seed, index as u64);
+        report.plans_run += 1;
+        if let Some(slot) = report.plan_mix.iter_mut().find(|(n, _)| *n == plan.name()) {
+            slot.1 += 1;
+        }
+        let mut run = PlanRun {
+            report: &mut report,
+            index,
+            plan,
+        };
+        match (plan, &opts.pmdbg_exe) {
+            (CrashPlan::Kill9Subprocess, Some(exe)) => {
+                let exe = exe.clone();
+                run_subprocess(&mut run, &exe, opts.seed, index as u64);
+            }
+            _ => run_in_process(&mut run, opts.seed, index as u64),
+        }
+    }
+    report.wall_ms = started.elapsed().as_millis();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_fs_models_durable_volatile_split() {
+        let fs = FaultFs::new(FaultSpec::None, 7);
+        fs.append_bytes("k", b"abc").unwrap();
+        assert_eq!(fs.read(Path::new("."), "k").unwrap(), b"abc".to_vec());
+        // Crash before sync: a seeded prefix of the volatile tail
+        // survives, never more.
+        fs.crash();
+        let after = fs.read(Path::new("."), "k").unwrap();
+        assert!(after.len() <= 3);
+        assert_eq!(after, b"abc"[..after.len()].to_vec());
+
+        let fs = FaultFs::new(FaultSpec::None, 7);
+        fs.append_bytes("k", b"abc").unwrap();
+        fs.sync_key("k").unwrap();
+        fs.crash();
+        assert_eq!(
+            fs.read(Path::new("."), "k").unwrap(),
+            b"abc".to_vec(),
+            "synced bytes survive a crash"
+        );
+    }
+
+    #[test]
+    fn dropped_fsync_loses_believed_durable_bytes() {
+        let fs = FaultFs::new(FaultSpec::DropFsync, 1);
+        fs.append_bytes("k", &[0xAA; 64]).unwrap();
+        fs.sync_key("k").unwrap();
+        fs.crash();
+        assert!(
+            fs.read(Path::new("."), "k").unwrap().len() < 64,
+            "a dropped fsync must be able to lose data (seeded cut < full length)"
+        );
+    }
+
+    #[test]
+    fn byte_budget_faults_tear_and_error() {
+        let fs = FaultFs::new(FaultSpec::Enospc { after_bytes: 10 }, 3);
+        fs.append_bytes("k", &[1; 8]).unwrap();
+        let err = fs.append_bytes("k", &[2; 8]).unwrap_err();
+        assert!(err.to_string().contains("no space"));
+        // The torn partial landing is visible.
+        assert_eq!(fs.visible_len("k"), 10);
+    }
+
+    #[test]
+    fn tear_tail_never_cuts_into_the_magic() {
+        let fs = FaultFs::new(FaultSpec::None, 11);
+        fs.append_bytes("k", JOURNAL_FILE_MAGIC).unwrap();
+        fs.append_bytes("k", &[9; 40]).unwrap();
+        fs.sync_key("k").unwrap();
+        fs.tear_tail();
+        let bytes = fs.read(Path::new("."), "k").unwrap();
+        assert!(bytes.len() >= JOURNAL_FILE_MAGIC.len());
+        assert!(bytes.len() < JOURNAL_FILE_MAGIC.len() + 40);
+        assert!(bytes.starts_with(JOURNAL_FILE_MAGIC));
+    }
+
+    #[test]
+    fn small_sweep_is_clean_across_all_plans() {
+        // Seed chosen so 14 indices cover several distinct plans.
+        let opts = DaemonCrashOptions {
+            plans: 14,
+            seed: 0xD00D_1E5E,
+            wall_clock: None,
+            pmdbg_exe: None,
+        };
+        let report = daemon_crash_sweep(&opts);
+        assert!(report.ok(), "{}", report.to_json());
+        assert_eq!(report.plans_run, 14);
+        assert!(
+            report.replayed_from_ledger > 0,
+            "no replay was exercised: {}",
+            report.to_json()
+        );
+        assert!(
+            report.resumed_from_checkpoint > 0,
+            "no resume was exercised: {}",
+            report.to_json()
+        );
+        let count = |name: &str| {
+            report
+                .plan_mix
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map_or(0, |(_, c)| *c)
+        };
+        assert!(count("kill_mid_stream") > 0, "{}", report.to_json());
+    }
+
+    #[test]
+    fn zero_wall_clock_truncates_cleanly() {
+        let opts = DaemonCrashOptions {
+            plans: 10,
+            seed: 1,
+            wall_clock: Some(Duration::ZERO),
+            pmdbg_exe: None,
+        };
+        let report = daemon_crash_sweep(&opts);
+        assert_eq!(report.plans_run, 0);
+        assert!(matches!(
+            report.truncations.first(),
+            Some(Truncation::WallClockExpired {
+                tested: 0,
+                total: 10
+            })
+        ));
+        assert!(report.ok());
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let opts = DaemonCrashOptions {
+            plans: 3,
+            seed: 2,
+            wall_clock: None,
+            pmdbg_exe: None,
+        };
+        let json = daemon_crash_sweep(&opts).to_json();
+        assert!(json.starts_with("{\"ok\":"));
+        for key in [
+            "plans_planned",
+            "plans_run",
+            "aborts",
+            "verdicts_lost",
+            "verdicts_duplicated",
+            "replayed_from_ledger",
+            "resumed_from_checkpoint",
+            "torn_discarded_total",
+            "plan_mix",
+            "violations",
+            "truncations",
+            "wall_ms",
+        ] {
+            assert!(
+                json.contains(&format!("\"{key}\"")),
+                "missing {key}: {json}"
+            );
+        }
+    }
+}

@@ -33,6 +33,13 @@
 //!   boundary, and assert that all four detection engines agree
 //!   byte-for-byte on the surviving partial-thread-progress stream, with
 //!   zero aborts.
+//! * [`daemon_crash`] crashes the *serving daemon*: seeded plans run
+//!   keyed (journaled) sessions, kill the server mid-stream — in-process
+//!   hard stops over a fault-injecting journal filesystem ([`FaultFs`]:
+//!   torn writes, dropped fsyncs, short writes, ENOSPC) or a real
+//!   `kill -9` of a `pmdbg serve` subprocess — restart it over the same
+//!   journal directory, and assert zero verdict loss, zero duplication,
+//!   and byte-identical recovery against an uninterrupted batch run.
 //! * Everything degrades gracefully: budgets ([`Budget`]) bound crash
 //!   points, images per point, replayed trace length, pool size and wall
 //!   clock, and exceeding any of them yields a partial report carrying
@@ -40,6 +47,7 @@
 
 pub mod budget;
 pub mod corrupt;
+pub mod daemon_crash;
 pub mod error;
 pub mod perturb;
 pub mod replay;
@@ -52,6 +60,10 @@ pub mod validate;
 
 pub use budget::{Budget, Truncation};
 pub use corrupt::{corruption_torture, ClassStats, CorruptionClass, CorruptionReport};
+pub use daemon_crash::{
+    crash_plan_for, daemon_crash_sweep, CrashPlan, DaemonCrashOptions, DaemonCrashReport, FaultFs,
+    FaultSpec,
+};
 pub use error::ChaosError;
 pub use perturb::{
     apply, perturbations, sensitivity_matrix, ClassRow, FaultClass, Perturbation, SensitivityMatrix,

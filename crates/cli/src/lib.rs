@@ -13,7 +13,10 @@ use std::time::{Duration, Instant};
 
 use pm_baselines::{Nulgrind, PmemcheckLike, PmtestLike, XfdetectorLike};
 use pm_obs::{BugDigest, MetricsRegistry, RunManifest};
-use pm_serve::{push_bytes, Listen, PushResponse, ServeConfig, Server, SessionStatus};
+use pm_serve::{
+    push_bytes, push_bytes_keyed, recover_dir, Listen, PushResponse, ServeConfig, Server,
+    SessionStatus,
+};
 use pm_trace::{
     BugKind, BugReport, BugSummary, Detector, IngestLimits, IngestMode, OrderSpec, PmRuntime,
     Severity, Trace,
@@ -181,6 +184,14 @@ pub enum Command {
     /// [--budget-ms <n>] [--json]` — run the thread-crash sweep instead:
     /// seeded plans kill thread subsets of interleaved lock-free traces
     /// and assert all four detection engines agree on the survivors.
+    ///
+    /// `pmdbg chaos --daemon-crash [--plans <n>] [--seed <n>]
+    /// [--budget-ms <n>] [--json]` — run the daemon-crash sweep: seeded
+    /// plans kill the serving daemon mid-stream (in-process hard stops
+    /// over a fault-injecting journal, or `kill -9` of a real `pmdbg
+    /// serve` subprocess), restart it over the same journal directory,
+    /// and assert zero verdict loss, zero duplication, and
+    /// byte-identical recovery.
     Chaos {
         /// Workload name (campaign mode; ignored by `--thread-crash`).
         workload: Option<String>,
@@ -201,9 +212,13 @@ pub enum Command {
         /// Run the thread-crash sweep over the concurrent lock-free
         /// workloads instead of the crash-point campaign.
         thread_crash: bool,
-        /// Thread-crash plans to run.
+        /// Run the daemon-crash sweep (kill the serving daemon
+        /// mid-stream, recover the journal, check exactly-once
+        /// verdicts) instead of the crash-point campaign.
+        daemon_crash: bool,
+        /// Thread-crash / daemon-crash plans to run.
         plans: usize,
-        /// Thread-crash sweep seed.
+        /// Sweep seed (thread-crash / daemon-crash modes).
         seed: u64,
     },
     /// `pmdbg stats <manifest.json>` — render a run manifest as a table.
@@ -249,15 +264,33 @@ pub enum Command {
         drain_ms: u64,
         /// Write the final [`RunManifest`] (JSON) here on shutdown.
         metrics: Option<String>,
+        /// Write-ahead journal directory: keyed sessions become
+        /// crash-durable, and the directory is recovered on startup.
+        journal_dir: Option<String>,
     },
-    /// `pmdbg push --addr <addr> --trace <file> [--json]` — stream a
-    /// recorded trace to a running server and report its verdict.
+    /// `pmdbg push --addr <addr> --trace <file> [--session <key>]
+    /// [--json]` — stream a recorded trace to a running server and
+    /// report its verdict. With `--session`, the push is keyed: against
+    /// a journaling server it becomes crash-durable (resume or replay
+    /// after a daemon restart).
     Push {
         /// Server address (same syntax as `serve --listen`).
         addr: String,
         /// Trace file (v2 binary) to push.
         trace: String,
+        /// Session key for a crash-durable (journaled) push.
+        session: Option<String>,
         /// Emit the raw JSON response line instead of the human summary.
+        json: bool,
+    },
+    /// `pmdbg recover <dir> [--json]` — offline recovery scan of a
+    /// journal directory: per-key durable state (completed verdict or
+    /// checkpoint), torn-tail damage, and replayable record counts,
+    /// without starting a server.
+    Recover {
+        /// Journal directory to scan.
+        dir: String,
+        /// Emit the JSON summary instead of the human table.
         json: bool,
     },
     /// `pmdbg serve-chaos [--sessions <n>] [--seed <n>] [--budget-ms <n>]
@@ -377,11 +410,15 @@ USAGE:
               [--budget-ms <n>] [--matrix] [--json] [--metrics <file>]
   pmdbg chaos --thread-crash [--plans <n>] [--seed <n>] [--ops <n>]
               [--budget-ms <n>] [--json]
+  pmdbg chaos --daemon-crash [--plans <n>] [--seed <n>] [--budget-ms <n>]
+              [--json]
   pmdbg serve --listen <addr> [--model strict|epoch|strand] [--strict]
               [--max-sessions <n>] [--max-events <n>]
               [--session-deadline-ms <n>] [--max-retries <n>]
               [--fail-mode strict|degrade] [--drain-ms <n>] [--metrics <file>]
-  pmdbg push --addr <addr> --trace <file> [--json]
+              [--journal-dir <dir> | --no-journal]
+  pmdbg push --addr <addr> --trace <file> [--session <key>] [--json]
+  pmdbg recover <journal-dir> [--json]
   pmdbg serve-chaos [--sessions <n>] [--seed <n>] [--budget-ms <n>] [--json]
   pmdbg stats <manifest.json>
   pmdbg characterize --workload <name> [--ops <n>]
@@ -394,10 +431,10 @@ WORKLOADS: b_tree c_tree r_tree rb_tree hashmap_tx hashmap_atomic
            synth_strand memcached redis a_YCSB..f_YCSB
            treiber_stack ms_queue cas_hash (concurrent)
 EXIT CODES: 0 clean run, 1 bugs or torture/supervise/serve-chaos/
-            thread-crash violations
-            found, 2 bad usage or parse/ingest failure, 3 internal error
-            (incl. strict-mode shard or session failure), 4 degraded-but-
-            clean run (shards or serve sessions quarantined, no bugs in
+            thread-crash/daemon-crash violations found, 2 bad usage or
+            parse/ingest/recover failure, 3 internal error (incl.
+            strict-mode shard or session failure), 4 degraded-but-clean
+            run (shards or serve sessions quarantined, no bugs in
             survivors)
 EXAMPLE:   pmdbg run --workload b_tree --ops 1024 --tool pmdebugger";
 
@@ -631,6 +668,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
             let mut json = false;
             let mut metrics: Option<String> = None;
             let mut thread_crash = false;
+            let mut daemon_crash = false;
             let mut plans = 100usize;
             let mut seed = 0x7C4A_5AD0u64;
             while let Some(flag) = it.next() {
@@ -653,6 +691,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                     "--json" => json = true,
                     "--metrics" => metrics = Some(value(flag)?),
                     "--thread-crash" => thread_crash = true,
+                    "--daemon-crash" => daemon_crash = true,
                     "--plans" => plans = number(flag, value(flag)?)?,
                     "--seed" => {
                         seed = value(flag)?
@@ -662,7 +701,12 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                     other => return Err(UsageError(format!("unknown flag `{other}`"))),
                 }
             }
-            if workload.is_none() && !thread_crash {
+            if thread_crash && daemon_crash {
+                return Err(UsageError(
+                    "--thread-crash and --daemon-crash are mutually exclusive".into(),
+                ));
+            }
+            if workload.is_none() && !thread_crash && !daemon_crash {
                 return Err(UsageError("--workload is required".into()));
             }
             Ok(Command::Chaos {
@@ -675,6 +719,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                 json,
                 metrics,
                 thread_crash,
+                daemon_crash,
                 plans,
                 seed,
             })
@@ -722,6 +767,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
             let mut fail_mode: Option<FailMode> = None;
             let mut drain_ms = 5000u64;
             let mut metrics: Option<String> = None;
+            let mut journal_dir: Option<String> = None;
             while let Some(flag) = it.next() {
                 let mut value = |name: &str| {
                     it.next()
@@ -742,6 +788,8 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                     "--fail-mode" => fail_mode = Some(parse_fail_mode(value(flag)?)?),
                     "--drain-ms" => drain_ms = parse_number(flag, value(flag)?)?,
                     "--metrics" => metrics = Some(value(flag)?),
+                    "--journal-dir" => journal_dir = Some(value(flag)?),
+                    "--no-journal" => journal_dir = None,
                     other => return Err(UsageError(format!("unknown flag `{other}`"))),
                 }
             }
@@ -756,11 +804,13 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                 fail_mode,
                 drain_ms,
                 metrics,
+                journal_dir,
             })
         }
         "push" => {
             let mut addr: Option<String> = None;
             let mut trace: Option<String> = None;
+            let mut session: Option<String> = None;
             let mut json = false;
             while let Some(flag) = it.next() {
                 let mut value = |name: &str| {
@@ -771,13 +821,40 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                 match flag.as_str() {
                     "--addr" | "-a" => addr = Some(value(flag)?),
                     "--trace" => trace = Some(value(flag)?),
+                    "--session" | "-s" => session = Some(value(flag)?),
                     "--json" => json = true,
                     other => return Err(UsageError(format!("unknown flag `{other}`"))),
+                }
+            }
+            if let Some(key) = &session {
+                if !pm_serve::valid_session_key(key) {
+                    return Err(UsageError(format!(
+                        "invalid session key `{key}` (1-{} chars of [A-Za-z0-9._-])",
+                        pm_serve::MAX_SESSION_KEY
+                    )));
                 }
             }
             Ok(Command::Push {
                 addr: addr.ok_or_else(|| UsageError("--addr is required".into()))?,
                 trace: trace.ok_or_else(|| UsageError("--trace is required".into()))?,
+                session,
+                json,
+            })
+        }
+        "recover" => {
+            let mut dir: Option<String> = None;
+            let mut json = false;
+            for arg in it.by_ref() {
+                match arg.as_str() {
+                    "--json" => json = true,
+                    other if dir.is_none() && !other.starts_with('-') => {
+                        dir = Some(other.to_owned());
+                    }
+                    other => return Err(UsageError(format!("unexpected argument `{other}`"))),
+                }
+            }
+            Ok(Command::Recover {
+                dir: dir.ok_or_else(|| UsageError("recover expects a journal directory".into()))?,
                 json,
             })
         }
@@ -1269,6 +1346,13 @@ fn write_push_response(
         )
         .map_err(wr)?;
     }
+    if response.replayed {
+        writeln!(
+            out,
+            "  replayed from the verdict ledger (emitted exactly once by an earlier push)"
+        )
+        .map_err(wr)?;
+    }
     if let Some(truncated) = &response.truncated {
         writeln!(out, "  truncated: {truncated}").map_err(wr)?;
     }
@@ -1370,9 +1454,65 @@ pub fn execute_outcome(command: Command, out: &mut dyn fmt::Write) -> Result<Out
             json,
             metrics,
             thread_crash,
+            daemon_crash,
             plans,
             seed,
         } => {
+            if daemon_crash {
+                let opts = pm_chaos::DaemonCrashOptions {
+                    plans,
+                    seed,
+                    wall_clock: budget_ms.map(std::time::Duration::from_millis),
+                    // Only a real `pmdbg` binary can serve as the
+                    // kill -9 subprocess daemon; anything else (e.g. a
+                    // test harness hosting this library) falls back to
+                    // the in-process crash path.
+                    pmdbg_exe: std::env::current_exe().ok().filter(|exe| {
+                        exe.file_name()
+                            .is_some_and(|name| name.to_string_lossy().starts_with("pmdbg"))
+                    }),
+                };
+                let report = pm_chaos::daemon_crash_sweep(&opts);
+                if json {
+                    writeln!(out, "{}", report.to_json()).map_err(wr)?;
+                } else {
+                    writeln!(
+                        out,
+                        "daemon-crash: {}/{} plan(s), {} verdict(s) replayed from ledger, \
+                         {} session(s) resumed from checkpoint, {} torn region(s) discarded, \
+                         {} lost, {} duplicated, {} abort(s) in {} ms -> {}",
+                        report.plans_run,
+                        report.plans_planned,
+                        report.replayed_from_ledger,
+                        report.resumed_from_checkpoint,
+                        report.torn_discarded_total,
+                        report.verdicts_lost,
+                        report.verdicts_duplicated,
+                        report.aborts,
+                        report.wall_ms,
+                        if report.ok() { "OK" } else { "VIOLATIONS" },
+                    )
+                    .map_err(wr)?;
+                    for (plan, count) in &report.plan_mix {
+                        writeln!(out, "  plan {plan}: {count}").map_err(wr)?;
+                    }
+                    for violation in &report.violations {
+                        writeln!(
+                            out,
+                            "  violation [{}] plan {} ({}): {}",
+                            violation.kind, violation.index, violation.plan, violation.detail
+                        )
+                        .map_err(wr)?;
+                    }
+                    for truncation in &report.truncations {
+                        writeln!(out, "  truncated: {truncation}").map_err(wr)?;
+                    }
+                }
+                return Ok(Outcome {
+                    bugs_found: !report.ok(),
+                    degraded: false,
+                });
+            }
             if thread_crash {
                 let opts = pm_chaos::ThreadCrashOptions {
                     plans,
@@ -1997,9 +2137,11 @@ pub fn execute_outcome(command: Command, out: &mut dyn fmt::Write) -> Result<Out
             fail_mode,
             drain_ms,
             metrics,
+            journal_dir,
         } => {
             let listen = Listen::parse(&listen).map_err(ExecError::Input)?;
             let mut cfg = ServeConfig::new(listen);
+            cfg.journal_dir = journal_dir.map(std::path::PathBuf::from);
             cfg.model = parse_model(&model)?;
             cfg.mode = if salvage {
                 IngestMode::Salvage
@@ -2020,8 +2162,15 @@ pub fn execute_outcome(command: Command, out: &mut dyn fmt::Write) -> Result<Out
                 cfg.fail_mode = mode;
             }
             SERVE_STOP.store(false, Ordering::Relaxed);
+            let journal_note = cfg
+                .journal_dir
+                .as_ref()
+                .map(|dir| format!("; journaling keyed sessions to {}", dir.display()));
             let server =
                 Server::start(cfg).map_err(|e| ExecError::Input(format!("cannot listen: {e}")))?;
+            if let Some(note) = journal_note {
+                eprintln!("pmdbg serve: crash-durable{note}");
+            }
             // Live progress goes to stderr: `out` is buffered until the
             // command returns, which for a daemon is shutdown.
             eprintln!(
@@ -2076,12 +2225,20 @@ pub fn execute_outcome(command: Command, out: &mut dyn fmt::Write) -> Result<Out
                 degraded: summary.quarantined + summary.errored + summary.host_panics > 0,
             })
         }
-        Command::Push { addr, trace, json } => {
+        Command::Push {
+            addr,
+            trace,
+            session,
+            json,
+        } => {
             let listen = Listen::parse(&addr).map_err(ExecError::Input)?;
             let bytes = std::fs::read(&trace)
                 .map_err(|e| ExecError::Input(format!("cannot read {trace}: {e}")))?;
-            let response = push_bytes(&listen, &bytes)
-                .map_err(|e| ExecError::Input(format!("push to {listen}: {e}")))?;
+            let response = match &session {
+                Some(key) => push_bytes_keyed(&listen, key, &bytes),
+                None => push_bytes(&listen, &bytes),
+            }
+            .map_err(|e| ExecError::Input(format!("push to {listen}: {e}")))?;
             if json {
                 writeln!(out, "{}", response.to_json_line()).map_err(wr)?;
             } else {
@@ -2163,6 +2320,43 @@ pub fn execute_outcome(command: Command, out: &mut dyn fmt::Write) -> Result<Out
                 bugs_found: !report.ok(),
                 degraded: false,
             })
+        }
+        Command::Recover { dir, json } => {
+            let summary = recover_dir(std::path::Path::new(&dir))
+                .map_err(|e| ExecError::Input(format!("cannot recover {dir}: {e}")))?;
+            if json {
+                writeln!(out, "{}", summary.to_json()).map_err(wr)?;
+            } else {
+                writeln!(
+                    out,
+                    "{dir}: {} journaled session(s), {} record(s), {} torn region(s) discarded",
+                    summary.sessions.len(),
+                    summary.records_total,
+                    summary.torn_total,
+                )
+                .map_err(wr)?;
+                for s in &summary.sessions {
+                    writeln!(
+                        out,
+                        "  {}: {} — {} event(s) committed, {} report(s), \
+                         {} record(s), {} torn",
+                        s.key,
+                        if s.has_verdict {
+                            "completed (verdict ledgered)"
+                        } else if s.events_committed > 0 {
+                            "resumable from checkpoint"
+                        } else {
+                            "no durable progress"
+                        },
+                        s.events_committed,
+                        s.reports,
+                        s.records,
+                        s.torn_discarded,
+                    )
+                    .map_err(wr)?;
+                }
+            }
+            Ok(Outcome::clean())
         }
     }
 }
@@ -2423,6 +2617,7 @@ mod tests {
                 json: false,
                 metrics: None,
                 thread_crash: false,
+                daemon_crash: false,
                 plans: 100,
                 seed: 0x7C4A_5AD0,
             }
@@ -2453,6 +2648,7 @@ mod tests {
                 json: true,
                 metrics: None,
                 thread_crash: true,
+                daemon_crash: false,
                 plans: 12,
                 seed: 9,
             }
@@ -2473,6 +2669,7 @@ mod tests {
                 json: true,
                 metrics: None,
                 thread_crash: true,
+                daemon_crash: false,
                 plans: 6,
                 seed: 1,
             },
@@ -2515,6 +2712,7 @@ mod tests {
                 json: true,
                 metrics: None,
                 thread_crash: false,
+                daemon_crash: false,
                 plans: 100,
                 seed: 0x7C4A_5AD0,
             }
@@ -2537,6 +2735,7 @@ mod tests {
                 json: false,
                 metrics: None,
                 thread_crash: false,
+                daemon_crash: false,
                 plans: 100,
                 seed: 0x7C4A_5AD0,
             },
@@ -2561,6 +2760,7 @@ mod tests {
                 json: true,
                 metrics: None,
                 thread_crash: false,
+                daemon_crash: false,
                 plans: 100,
                 seed: 0x7C4A_5AD0,
             },
@@ -2839,6 +3039,7 @@ mod tests {
                 json: false,
                 metrics: Some(path.to_str().unwrap().to_owned()),
                 thread_crash: false,
+                daemon_crash: false,
                 plans: 100,
                 seed: 0x7C4A_5AD0,
             },
@@ -3663,6 +3864,7 @@ mod tests {
                 fail_mode: None,
                 drain_ms: 5000,
                 metrics: None,
+                journal_dir: None,
             }
         );
         let cmd = parse(&args(&[
@@ -3701,9 +3903,42 @@ mod tests {
                 fail_mode: Some(FailMode::Strict),
                 drain_ms: 100,
                 metrics: Some("/tmp/m.json".into()),
+                journal_dir: None,
             }
         );
         assert!(parse(&args(&["serve"])).is_err(), "--listen required");
+
+        let cmd = parse(&args(&[
+            "serve",
+            "--listen",
+            "/tmp/pmdbg.sock",
+            "--journal-dir",
+            "/tmp/jrnl",
+        ]))
+        .unwrap();
+        assert!(
+            matches!(&cmd, Command::Serve { journal_dir: Some(dir), .. } if dir == "/tmp/jrnl"),
+            "{cmd:?}"
+        );
+        let cmd = parse(&args(&[
+            "serve",
+            "--listen",
+            "/tmp/pmdbg.sock",
+            "--journal-dir",
+            "/tmp/jrnl",
+            "--no-journal",
+        ]))
+        .unwrap();
+        assert!(
+            matches!(
+                &cmd,
+                Command::Serve {
+                    journal_dir: None,
+                    ..
+                }
+            ),
+            "--no-journal overrides --journal-dir: {cmd:?}"
+        );
 
         let cmd = parse(&args(&[
             "push",
@@ -3719,10 +3954,39 @@ mod tests {
             Command::Push {
                 addr: "/tmp/a.sock".into(),
                 trace: "t.pmt2".into(),
+                session: None,
                 json: true,
             }
         );
         assert!(parse(&args(&["push", "--trace", "t"])).is_err(), "--addr");
+
+        let cmd = parse(&args(&[
+            "push",
+            "--addr",
+            "/tmp/a.sock",
+            "--trace",
+            "t.pmt2",
+            "--session",
+            "run-1",
+        ]))
+        .unwrap();
+        assert!(
+            matches!(&cmd, Command::Push { session: Some(key), .. } if key == "run-1"),
+            "{cmd:?}"
+        );
+        assert!(
+            parse(&args(&[
+                "push",
+                "--addr",
+                "/tmp/a.sock",
+                "--trace",
+                "t",
+                "--session",
+                "bad key!"
+            ]))
+            .is_err(),
+            "session keys are validated at parse time"
+        );
 
         let cmd = parse(&args(&["serve-chaos"])).unwrap();
         assert_eq!(
@@ -3757,6 +4021,121 @@ mod tests {
     }
 
     #[test]
+    fn parses_daemon_crash_and_recover() {
+        let cmd = parse(&args(&[
+            "chaos",
+            "--daemon-crash",
+            "--plans",
+            "25",
+            "--seed",
+            "9",
+            "--json",
+        ]))
+        .unwrap();
+        assert!(
+            matches!(
+                &cmd,
+                Command::Chaos {
+                    daemon_crash: true,
+                    thread_crash: false,
+                    plans: 25,
+                    seed: 9,
+                    json: true,
+                    workload: None,
+                    ..
+                }
+            ),
+            "{cmd:?}"
+        );
+        assert!(
+            parse(&args(&["chaos", "--daemon-crash", "--thread-crash"])).is_err(),
+            "the two sweep modes are mutually exclusive"
+        );
+
+        let cmd = parse(&args(&["recover", "/tmp/jrnl", "--json"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Recover {
+                dir: "/tmp/jrnl".into(),
+                json: true,
+            }
+        );
+        assert!(parse(&args(&["recover"])).is_err(), "directory required");
+        assert!(parse(&args(&["recover", "/tmp/a", "/tmp/b"])).is_err());
+    }
+
+    #[test]
+    fn recover_scans_a_journal_directory() {
+        let dir = std::env::temp_dir().join(format!("pmdbg-cli-recover-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("k1.wal"), pm_serve::JOURNAL_FILE_MAGIC).unwrap();
+        let mut out = String::new();
+        let outcome = execute_outcome(
+            Command::Recover {
+                dir: dir.to_str().unwrap().to_owned(),
+                json: false,
+            },
+            &mut out,
+        )
+        .unwrap();
+        assert!(!outcome.bugs_found && !outcome.degraded);
+        assert!(out.contains("1 journaled session(s)"), "{out}");
+        assert!(out.contains("k1: no durable progress"), "{out}");
+
+        let mut json_out = String::new();
+        execute_outcome(
+            Command::Recover {
+                dir: dir.to_str().unwrap().to_owned(),
+                json: true,
+            },
+            &mut json_out,
+        )
+        .unwrap();
+        assert!(
+            json_out.contains("\"schema\":\"pmdbg-recover-v1\""),
+            "{json_out}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+
+        let err = execute_outcome(
+            Command::Recover {
+                dir: "/nonexistent/journal-dir".into(),
+                json: false,
+            },
+            &mut String::new(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ExecError::Input(_)), "{err:?}");
+    }
+
+    #[test]
+    fn daemon_crash_sweep_runs_clean_via_cli() {
+        let mut out = String::new();
+        let outcome = execute_outcome(
+            Command::Chaos {
+                workload: None,
+                ops: 64,
+                points: 1,
+                images: 1,
+                budget_ms: None,
+                matrix: false,
+                json: true,
+                metrics: None,
+                thread_crash: false,
+                daemon_crash: true,
+                plans: 6,
+                seed: 0xD00D_1E5E,
+            },
+            &mut out,
+        )
+        .unwrap();
+        assert!(!outcome.bugs_found, "{out}");
+        assert!(out.contains("\"ok\":true"), "{out}");
+        assert!(out.contains("\"verdicts_lost\":0"), "{out}");
+        assert!(out.contains("\"verdicts_duplicated\":0"), "{out}");
+    }
+
+    #[test]
     fn push_to_dead_address_is_an_input_error() {
         let err = execute_outcome(
             Command::Push {
@@ -3766,6 +4145,7 @@ mod tests {
                     .unwrap()
                     .to_owned(),
                 trace: "/nonexistent/trace.pmt2".into(),
+                session: None,
                 json: false,
             },
             &mut String::new(),
@@ -3813,6 +4193,7 @@ mod tests {
                     fail_mode: None,
                     drain_ms: 2000,
                     metrics: Some(serve_manifest),
+                    journal_dir: None,
                 },
                 &mut out,
             );
@@ -3829,6 +4210,7 @@ mod tests {
             Command::Push {
                 addr: socket.to_str().unwrap().to_owned(),
                 trace: trace_path.to_str().unwrap().to_owned(),
+                session: None,
                 json: false,
             },
             &mut push_out,

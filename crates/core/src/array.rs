@@ -7,6 +7,8 @@
 
 use pm_trace::Addr;
 
+use crate::ckpt::{self, CheckpointDecodeError, CkptReader, CkptWriter};
+
 /// Flush state of one tracked memory location.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FlushState {
@@ -148,6 +150,66 @@ impl MemLocArray {
             .take(end.saturating_sub(start) + 1)
             .filter(move |(_, e)| e.overlaps(addr, len))
     }
+
+    pub(crate) fn encode_into(&self, w: &mut CkptWriter) {
+        w.usize(self.capacity);
+        w.usize(self.entries.len());
+        for entry in &self.entries {
+            encode_loc_entry(w, entry);
+        }
+    }
+
+    pub(crate) fn decode_from(r: &mut CkptReader) -> Result<Self, CheckpointDecodeError> {
+        let capacity = r.varint()? as usize;
+        if capacity == 0 {
+            return Err(ckpt::corrupt("memory location array capacity is zero"));
+        }
+        let count = r.count()?;
+        if count > capacity {
+            return Err(ckpt::corrupt(format!(
+                "array holds {count} entries but capacity is {capacity}"
+            )));
+        }
+        let mut array = MemLocArray::new(capacity);
+        for _ in 0..count {
+            let entry = decode_loc_entry(r)?;
+            array.push(entry).expect("count is within capacity");
+        }
+        Ok(array)
+    }
+}
+
+pub(crate) fn encode_flush_state(w: &mut CkptWriter, state: FlushState) {
+    w.u8(match state {
+        FlushState::NotFlushed => 0,
+        FlushState::Flushed => 1,
+    });
+}
+
+pub(crate) fn decode_flush_state(r: &mut CkptReader) -> Result<FlushState, CheckpointDecodeError> {
+    match r.u8()? {
+        0 => Ok(FlushState::NotFlushed),
+        1 => Ok(FlushState::Flushed),
+        b => Err(ckpt::corrupt(format!("invalid flush-state byte {b:#04x}"))),
+    }
+}
+
+pub(crate) fn encode_loc_entry(w: &mut CkptWriter, entry: &LocEntry) {
+    w.varint(entry.addr);
+    w.varint(entry.size);
+    encode_flush_state(w, entry.state);
+    w.bool(entry.in_epoch);
+    w.varint(entry.store_seq);
+}
+
+pub(crate) fn decode_loc_entry(r: &mut CkptReader) -> Result<LocEntry, CheckpointDecodeError> {
+    Ok(LocEntry {
+        addr: r.varint()?,
+        size: r.varint()?,
+        state: decode_flush_state(r)?,
+        in_epoch: r.bool()?,
+        store_seq: r.varint()?,
+    })
 }
 
 #[cfg(test)]

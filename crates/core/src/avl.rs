@@ -13,6 +13,7 @@
 use pm_trace::Addr;
 
 use crate::array::FlushState;
+use crate::ckpt::{CheckpointDecodeError, CkptReader, CkptWriter};
 
 /// A tracked memory location stored in the tree.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -430,6 +431,57 @@ impl AvlTree {
             out.push(node.record);
             Self::in_order(&node.right, out);
         }
+    }
+
+    pub(crate) fn encode_into(&self, w: &mut CkptWriter) {
+        let records = self.to_sorted_vec();
+        w.usize(records.len());
+        for record in &records {
+            w.varint(record.addr);
+            w.varint(record.size);
+            crate::array::encode_flush_state(w, record.state);
+            w.bool(record.in_epoch);
+            w.varint(record.store_seq);
+        }
+        w.varint(self.stats.rotations);
+        w.varint(self.stats.merges);
+        w.varint(self.stats.inserts);
+        w.varint(self.stats.removals);
+    }
+
+    /// Decodes a tree serialized by `encode_into`. The rebuilt tree is the
+    /// balanced form of the same record set; shape differences from the
+    /// original are behaviorally invisible (all queries are order- and
+    /// shape-insensitive), so byte-identity of detection output holds.
+    pub(crate) fn decode_from(r: &mut CkptReader) -> Result<Self, CheckpointDecodeError> {
+        let count = r.count()?;
+        let mut records = Vec::with_capacity(count.min(4096));
+        for _ in 0..count {
+            let record = TreeRecord {
+                addr: r.varint()?,
+                size: r.varint()?,
+                state: crate::array::decode_flush_state(r)?,
+                in_epoch: r.bool()?,
+                store_seq: r.varint()?,
+            };
+            if let Some(prev) = records.last() {
+                let prev: &TreeRecord = prev;
+                if record.addr < prev.addr {
+                    return Err(crate::ckpt::corrupt("tree records are not address-sorted"));
+                }
+            }
+            records.push(record);
+        }
+        let stats = TreeOpStats {
+            rotations: r.varint()?,
+            merges: r.varint()?,
+            inserts: r.varint()?,
+            removals: r.varint()?,
+        };
+        let mut tree = AvlTree::new();
+        tree.rebuild_from_sorted(&records);
+        tree.stats = stats;
+        Ok(tree)
     }
 
     fn rebuild_from_sorted(&mut self, records: &[TreeRecord]) {

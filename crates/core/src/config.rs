@@ -2,6 +2,8 @@
 
 use pm_trace::OrderSpec;
 
+use crate::ckpt::{self, CheckpointDecodeError, CkptReader, CkptWriter};
+
 /// The persistency model under which the program is debugged (paper §2.3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum PersistencyModel {
@@ -143,6 +145,78 @@ impl DebuggerConfig {
     pub fn with_merge_threshold(mut self, threshold: usize) -> Self {
         self.merge_threshold = threshold;
         self
+    }
+
+    pub(crate) fn encode_into(&self, w: &mut CkptWriter) {
+        w.u8(match self.model {
+            PersistencyModel::Strict => 0,
+            PersistencyModel::Epoch => 1,
+            PersistencyModel::Strand => 2,
+        });
+        let rules = [
+            self.rules.no_durability,
+            self.rules.multiple_overwrites,
+            self.rules.no_order,
+            self.rules.redundant_flush,
+            self.rules.flush_nothing,
+            self.rules.redundant_logging,
+            self.rules.lack_durability_in_epoch,
+            self.rules.redundant_epoch_fence,
+            self.rules.lack_ordering_in_strands,
+            self.rules.cross_failure,
+            self.rules.cross_thread,
+        ];
+        let mask = rules
+            .iter()
+            .enumerate()
+            .fold(0u64, |m, (i, &on)| m | (u64::from(on) << i));
+        w.varint(mask);
+        w.usize(self.array_capacity);
+        w.usize(self.merge_threshold);
+        ckpt::encode_order_spec(w, &self.order_spec);
+    }
+
+    pub(crate) fn decode_from(r: &mut CkptReader) -> Result<Self, CheckpointDecodeError> {
+        let model = match r.u8()? {
+            0 => PersistencyModel::Strict,
+            1 => PersistencyModel::Epoch,
+            2 => PersistencyModel::Strand,
+            b => {
+                return Err(ckpt::corrupt(format!(
+                    "invalid persistency-model byte {b:#04x}"
+                )))
+            }
+        };
+        let mask = r.varint()?;
+        if mask >= 1 << 11 {
+            return Err(ckpt::corrupt(format!(
+                "rule bitmask {mask:#x} out of range"
+            )));
+        }
+        let bit = |i: u32| mask & (1 << i) != 0;
+        let rules = RuleSet {
+            no_durability: bit(0),
+            multiple_overwrites: bit(1),
+            no_order: bit(2),
+            redundant_flush: bit(3),
+            flush_nothing: bit(4),
+            redundant_logging: bit(5),
+            lack_durability_in_epoch: bit(6),
+            redundant_epoch_fence: bit(7),
+            lack_ordering_in_strands: bit(8),
+            cross_failure: bit(9),
+            cross_thread: bit(10),
+        };
+        let array_capacity = r.varint()? as usize;
+        let merge_threshold = r.varint()? as usize;
+        let order_spec = ckpt::decode_order_spec(r)?;
+        Ok(DebuggerConfig {
+            model,
+            rules,
+            array_capacity,
+            merge_threshold,
+            order_spec,
+        })
     }
 }
 

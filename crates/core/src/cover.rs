@@ -5,6 +5,8 @@
 
 use pm_trace::Addr;
 
+use crate::ckpt::{self, CheckpointDecodeError, CkptReader, CkptWriter};
+
 /// A set of disjoint, sorted, half-open byte ranges.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RangeCover {
@@ -74,6 +76,30 @@ impl RangeCover {
     /// The stored disjoint ranges.
     pub fn ranges(&self) -> &[(Addr, Addr)] {
         &self.ranges
+    }
+
+    pub(crate) fn encode_into(&self, w: &mut CkptWriter) {
+        w.usize(self.ranges.len());
+        for &(lo, hi) in &self.ranges {
+            w.varint(lo);
+            w.varint(hi);
+        }
+    }
+
+    pub(crate) fn decode_from(r: &mut CkptReader) -> Result<Self, CheckpointDecodeError> {
+        let count = r.count()?;
+        let mut ranges = Vec::with_capacity(count.min(4096));
+        let mut prev_hi: Option<Addr> = None;
+        for _ in 0..count {
+            let lo = r.varint()?;
+            let hi = r.varint()?;
+            if lo >= hi || prev_hi.is_some_and(|p| lo <= p) {
+                return Err(ckpt::corrupt("range cover entries not sorted and disjoint"));
+            }
+            prev_hi = Some(hi);
+            ranges.push((lo, hi));
+        }
+        Ok(RangeCover { ranges })
     }
 }
 

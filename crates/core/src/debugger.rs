@@ -10,6 +10,7 @@ use pm_trace::{
     Addr, BugKind, BugReport, Detector, FenceKind, PmEvent, PmEventRef, StrandId, ThreadId,
 };
 
+use crate::ckpt::{self, CheckpointDecodeError, CkptReader, CkptWriter};
 use crate::config::{DebuggerConfig, PersistencyModel};
 use crate::order::{CrossThreadTracker, OrderTracker};
 use crate::space::BookkeepingSpace;
@@ -313,6 +314,131 @@ impl PmDebugger {
     /// that need checkpointing (the serve sessions) must not register
     /// custom rules on the source, which [`crate::session::DetectSession`]
     /// enforces by never exposing them.
+    /// Serializes the full detection state into the checkpoint payload.
+    /// Only fork-shaped state is encodable: custom rules are boxed trait
+    /// objects with no wire form (and sessions — the only checkpoint
+    /// producers — never register them), and metrics handles rebind on
+    /// resume.
+    pub(crate) fn encode_into(&self, w: &mut CkptWriter) {
+        debug_assert!(
+            self.custom_rules.is_empty(),
+            "checkpointed state never carries custom rules"
+        );
+        self.config.encode_into(w);
+        w.usize(self.spaces.len());
+        for (key, space) in &self.spaces {
+            match key {
+                SpaceKey::Thread(tid) => {
+                    w.u8(0);
+                    w.varint(u64::from(tid.0));
+                }
+                SpaceKey::Strand(strand) => {
+                    w.u8(1);
+                    w.varint(u64::from(strand.0));
+                }
+            }
+            space.encode_into(w);
+        }
+        self.order.encode_into(w);
+        self.cross.encode_into(w);
+        let epochs = ckpt::sorted_entries(&self.epochs);
+        w.usize(epochs.len());
+        for (tid, state) in epochs {
+            w.varint(u64::from(tid.0));
+            w.varint(u64::from(state.fences));
+            w.usize(state.logged.len());
+            for &(addr, len) in &state.logged {
+                w.varint(addr);
+                w.varint(len);
+            }
+        }
+        w.usize(self.reports.len());
+        for report in &self.reports {
+            ckpt::encode_report(w, report);
+        }
+        match &self.crash_residuals {
+            None => w.u8(0),
+            Some(residuals) => {
+                w.u8(1);
+                w.usize(residuals.len());
+                for &(addr, len) in residuals {
+                    w.varint(addr);
+                    w.varint(len);
+                }
+            }
+        }
+        w.varint(self.events_processed);
+        w.bool(self.strand_seen);
+        w.varint(self.malformed_events);
+    }
+
+    pub(crate) fn decode_from(r: &mut CkptReader) -> Result<PmDebugger, CheckpointDecodeError> {
+        let config = DebuggerConfig::decode_from(r)?;
+        let space_count = r.count()?;
+        let mut spaces = BTreeMap::new();
+        for _ in 0..space_count {
+            let key = match r.u8()? {
+                0 => SpaceKey::Thread(ThreadId(r.varint()? as u32)),
+                1 => SpaceKey::Strand(StrandId(r.varint()? as u32)),
+                b => return Err(ckpt::corrupt(format!("invalid space-key tag {b:#04x}"))),
+            };
+            spaces.insert(key, BookkeepingSpace::decode_from(r)?);
+        }
+        let order = OrderTracker::decode_from(r)?;
+        let cross = CrossThreadTracker::decode_from(r)?;
+        let epoch_count = r.count()?;
+        let mut epochs = HashMap::new();
+        for _ in 0..epoch_count {
+            let tid = ThreadId(r.varint()? as u32);
+            let fences = r.varint()? as u32;
+            let logged_count = r.count()?;
+            let mut logged = Vec::with_capacity(logged_count.min(4096));
+            for _ in 0..logged_count {
+                logged.push((r.varint()?, r.varint()?));
+            }
+            epochs.insert(tid, EpochState { fences, logged });
+        }
+        let report_count = r.count()?;
+        let mut reports = Vec::with_capacity(report_count.min(4096));
+        for _ in 0..report_count {
+            reports.push(ckpt::decode_report(r)?);
+        }
+        let crash_residuals = match r.u8()? {
+            0 => None,
+            1 => {
+                let count = r.count()?;
+                let mut residuals = Vec::with_capacity(count.min(4096));
+                for _ in 0..count {
+                    residuals.push((r.varint()?, r.varint()?));
+                }
+                Some(residuals)
+            }
+            b => {
+                return Err(ckpt::corrupt(format!(
+                    "invalid crash-residual tag {b:#04x}"
+                )))
+            }
+        };
+        let events_processed = r.varint()?;
+        let strand_seen = r.bool()?;
+        let malformed_events = r.varint()?;
+        Ok(PmDebugger {
+            config,
+            spaces,
+            stats_cache: RefCell::new(StatsCache::default()),
+            order,
+            cross,
+            epochs,
+            reports,
+            custom_rules: Vec::new(),
+            crash_residuals,
+            events_processed,
+            strand_seen,
+            malformed_events,
+            metrics: None,
+        })
+    }
+
     pub(crate) fn fork_state(&self) -> PmDebugger {
         PmDebugger {
             config: self.config.clone(),

@@ -12,6 +12,8 @@ use std::hash::{BuildHasherDefault, Hasher};
 
 use pm_trace::Addr;
 
+use crate::ckpt::{self, CheckpointDecodeError, CkptReader, CkptWriter};
+
 /// A multiplicative hasher for cache-line addresses (already well-mixed
 /// keys); the store path runs once per store, so SipHash would dominate it.
 #[derive(Debug, Default, Clone, Copy)]
@@ -183,6 +185,89 @@ impl IntervalList {
         self.intervals.clear();
         self.line_map.clear();
         self.open = false;
+    }
+
+    pub(crate) fn encode_into(&self, w: &mut CkptWriter) {
+        w.bool(self.open);
+        w.usize(self.intervals.len());
+        for meta in &self.intervals {
+            w.usize(meta.start);
+            w.usize(meta.end);
+            w.varint(meta.min_addr);
+            w.varint(meta.max_end);
+            w.u8(match meta.state {
+                IntervalState::NotFlushed => 0,
+                IntervalState::PartiallyFlushed => 1,
+                IntervalState::AllFlushed => 2,
+            });
+        }
+        // The line map cannot be reconstructed from the intervals (flush
+        // splits rewrite entry ranges after the map was populated from the
+        // original store arguments), so it travels explicitly — in sorted
+        // line order for a deterministic encoding.
+        let lines = ckpt::sorted_entries(&self.line_map);
+        w.usize(lines.len());
+        for (line, slots) in lines {
+            w.varint(*line);
+            w.usize(slots.len());
+            for slot in slots {
+                w.usize(*slot);
+            }
+        }
+    }
+
+    pub(crate) fn decode_from(r: &mut CkptReader) -> Result<Self, CheckpointDecodeError> {
+        let open = r.bool()?;
+        let interval_count = r.count()?;
+        if open && interval_count == 0 {
+            return Err(ckpt::corrupt("interval list open with no tail interval"));
+        }
+        let mut intervals = Vec::with_capacity(interval_count.min(4096));
+        for _ in 0..interval_count {
+            let start = r.varint()? as usize;
+            let end = r.varint()? as usize;
+            let min_addr = r.varint()?;
+            let max_end = r.varint()?;
+            let state = match r.u8()? {
+                0 => IntervalState::NotFlushed,
+                1 => IntervalState::PartiallyFlushed,
+                2 => IntervalState::AllFlushed,
+                b => {
+                    return Err(ckpt::corrupt(format!(
+                        "invalid interval-state byte {b:#04x}"
+                    )))
+                }
+            };
+            intervals.push(IntervalMeta {
+                start,
+                end,
+                min_addr,
+                max_end,
+                state,
+            });
+        }
+        let line_count = r.count()?;
+        let mut line_map = LineMap::default();
+        for _ in 0..line_count {
+            let line = r.varint()?;
+            let slot_count = r.count()?;
+            let mut slots = Vec::with_capacity(slot_count.min(4096));
+            for _ in 0..slot_count {
+                let slot = r.varint()? as usize;
+                if slot >= intervals.len() {
+                    return Err(ckpt::corrupt(format!(
+                        "line-map slot {slot} references a missing interval"
+                    )));
+                }
+                slots.push(slot);
+            }
+            line_map.insert(line, slots);
+        }
+        Ok(IntervalList {
+            intervals,
+            open,
+            line_map,
+        })
     }
 }
 

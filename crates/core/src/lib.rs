@@ -43,6 +43,7 @@
 
 pub mod array;
 pub mod avl;
+pub mod ckpt;
 pub mod config;
 pub mod cover;
 pub mod debugger;
@@ -57,6 +58,7 @@ pub mod supervisor;
 
 pub use array::{FlushState, LocEntry, MemLocArray};
 pub use avl::{AvlTree, TreeOpStats, TreeRecord};
+pub use ckpt::{decode_reports, encode_reports, CheckpointDecodeError, CHECKPOINT_VERSION};
 pub use config::{
     DebuggerConfig, PersistencyModel, RuleSet, DEFAULT_ARRAY_CAPACITY, DEFAULT_MERGE_THRESHOLD,
 };

@@ -20,6 +20,7 @@ use std::collections::{BTreeMap, HashMap};
 use pm_trace::events::ranges_overlap;
 use pm_trace::{Addr, BugKind, BugReport, OrderSpec, StrandId, ThreadId, CAS_PUBLISH_WINDOW};
 
+use crate::ckpt::{self, CheckpointDecodeError, CkptReader, CkptWriter};
 use crate::cover::RangeCover;
 
 /// Persist state of one named variable.
@@ -248,6 +249,84 @@ impl OrderTracker {
             Some(func) => *self.armed_functions.get(func).unwrap_or(&false),
         }
     }
+
+    pub(crate) fn encode_into(&self, w: &mut CkptWriter) {
+        ckpt::encode_order_spec(w, &self.spec);
+        let vars = ckpt::sorted_entries(&self.vars);
+        w.usize(vars.len());
+        for (name, state) in vars {
+            w.str(name);
+            match state.range {
+                None => w.u8(0),
+                Some((addr, len)) => {
+                    w.u8(1);
+                    w.varint(addr);
+                    w.varint(len);
+                }
+            }
+            w.bool(state.dirty);
+            w.bool(state.ever_stored);
+            state.flushed.encode_into(w);
+            w.opt_varint(state.store_strand.map(|s| u64::from(s.0)));
+            w.opt_varint(state.flush_strand.map(|s| u64::from(s.0)));
+        }
+        let armed = ckpt::sorted_entries(&self.armed_functions);
+        w.usize(armed.len());
+        for (name, armed) in armed {
+            w.str(name);
+            w.bool(*armed);
+        }
+        w.usize(self.reported.len());
+        for &reported in &self.reported {
+            w.bool(reported);
+        }
+    }
+
+    pub(crate) fn decode_from(r: &mut CkptReader) -> Result<Self, CheckpointDecodeError> {
+        let spec = ckpt::decode_order_spec(r)?;
+        let var_count = r.count()?;
+        let mut vars = HashMap::new();
+        for _ in 0..var_count {
+            let name = r.str()?;
+            let range = match r.u8()? {
+                0 => None,
+                1 => Some((r.varint()?, r.varint()?)),
+                b => return Err(ckpt::corrupt(format!("invalid range tag {b:#04x}"))),
+            };
+            let state = VarState {
+                range,
+                dirty: r.bool()?,
+                ever_stored: r.bool()?,
+                flushed: RangeCover::decode_from(r)?,
+                store_strand: r.opt_varint()?.map(|s| StrandId(s as u32)),
+                flush_strand: r.opt_varint()?.map(|s| StrandId(s as u32)),
+            };
+            vars.insert(name, state);
+        }
+        let armed_count = r.count()?;
+        let mut armed_functions = HashMap::new();
+        for _ in 0..armed_count {
+            let name = r.str()?;
+            armed_functions.insert(name, r.bool()?);
+        }
+        let reported_count = r.count()?;
+        if reported_count != spec.rules().len() {
+            return Err(ckpt::corrupt(format!(
+                "reported-flag count {reported_count} does not match the {} rules",
+                spec.rules().len()
+            )));
+        }
+        let mut reported = Vec::with_capacity(reported_count.min(4096));
+        for _ in 0..reported_count {
+            reported.push(r.bool()?);
+        }
+        Ok(OrderTracker {
+            spec,
+            vars,
+            armed_functions,
+            reported,
+        })
+    }
 }
 
 /// Volatile-but-visible state of one store awaiting durability.
@@ -385,6 +464,65 @@ impl CrossThreadTracker {
         }
         self.on_store(seq, addr, size, tid);
         reports
+    }
+
+    pub(crate) fn encode_into(&self, w: &mut CkptWriter) {
+        w.usize(self.fence_epochs.len());
+        for (tid, epoch) in &self.fence_epochs {
+            w.varint(u64::from(tid.0));
+            w.varint(*epoch);
+        }
+        w.usize(self.pending.len());
+        for (&(addr, size), entry) in &self.pending {
+            w.varint(addr);
+            w.varint(size);
+            w.varint(u64::from(entry.store_tid.0));
+            w.varint(entry.store_seq);
+            match entry.flushed_by {
+                None => w.u8(0),
+                Some((tid, epoch)) => {
+                    w.u8(1);
+                    w.varint(u64::from(tid.0));
+                    w.varint(epoch);
+                }
+            }
+            w.bool(entry.reported);
+        }
+    }
+
+    pub(crate) fn decode_from(r: &mut CkptReader) -> Result<Self, CheckpointDecodeError> {
+        let epoch_count = r.count()?;
+        let mut fence_epochs = BTreeMap::new();
+        for _ in 0..epoch_count {
+            let tid = ThreadId(r.varint()? as u32);
+            fence_epochs.insert(tid, r.varint()?);
+        }
+        let pending_count = r.count()?;
+        let mut pending = BTreeMap::new();
+        for _ in 0..pending_count {
+            let key = (r.varint()?, r.varint()?);
+            let store_tid = ThreadId(r.varint()? as u32);
+            let store_seq = r.varint()?;
+            let flushed_by = match r.u8()? {
+                0 => None,
+                1 => Some((ThreadId(r.varint()? as u32), r.varint()?)),
+                b => return Err(ckpt::corrupt(format!("invalid flushed-by tag {b:#04x}"))),
+            };
+            let reported = r.bool()?;
+            pending.insert(
+                key,
+                PendingStore {
+                    store_tid,
+                    store_seq,
+                    flushed_by,
+                    reported,
+                },
+            );
+        }
+        Ok(CrossThreadTracker {
+            fence_epochs,
+            pending,
+        })
     }
 }
 

@@ -27,6 +27,7 @@
 
 use pm_trace::{BugReport, Detector, PmEvent, PmEventRef};
 
+use crate::ckpt::{self, CheckpointDecodeError, CkptReader, CkptWriter};
 use crate::config::DebuggerConfig;
 use crate::debugger::PmDebugger;
 use crate::stats::DebuggerStats;
@@ -62,6 +63,40 @@ impl SessionCheckpoint {
     /// Reports the session had already handed out at checkpoint time.
     pub fn reports_emitted(&self) -> u64 {
         self.reports_emitted
+    }
+
+    /// Serializes the checkpoint into a self-contained binary blob:
+    /// `PMCKPT` magic, a version field, the full detection state as LEB128
+    /// payload fields (v2 framing discipline), and a trailing CRC32 over
+    /// the payload. [`SessionCheckpoint::from_bytes`] is the exact inverse.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = CkptWriter::new();
+        w.varint(self.events_fed);
+        w.varint(self.reports_emitted);
+        self.state.encode_into(&mut w);
+        ckpt::seal(w.into_bytes())
+    }
+
+    /// Rebuilds a checkpoint from [`SessionCheckpoint::to_bytes`] output.
+    ///
+    /// Decoding is total: arbitrary (including bit-flipped or truncated)
+    /// input returns a typed [`CheckpointDecodeError`], never a panic, and
+    /// blobs written by a different format version are rejected with a
+    /// clear message before any payload is interpreted.
+    pub fn from_bytes(bytes: &[u8]) -> Result<SessionCheckpoint, CheckpointDecodeError> {
+        let payload = ckpt::unseal(bytes)?;
+        let mut r = CkptReader::new(payload);
+        let events_fed = r.varint()?;
+        let reports_emitted = r.varint()?;
+        let state = PmDebugger::decode_from(&mut r)?;
+        if !r.is_empty() {
+            return Err(ckpt::corrupt("trailing bytes after checkpoint state"));
+        }
+        Ok(SessionCheckpoint {
+            state,
+            events_fed,
+            reports_emitted,
+        })
     }
 }
 

@@ -17,6 +17,7 @@ use pm_trace::Addr;
 
 use crate::array::{FlushState, LocEntry, MemLocArray};
 use crate::avl::{split_against_flush, AvlTree, SmallReplacement, TreeRecord};
+use crate::ckpt::{CheckpointDecodeError, CkptReader, CkptWriter};
 use crate::interval::{IntervalList, IntervalState};
 
 /// Result of processing one store (input to the multiple-overwrites rule).
@@ -168,6 +169,47 @@ impl BookkeepingSpace {
     /// Tree maintenance statistics.
     pub fn tree_stats(&self) -> crate::avl::TreeOpStats {
         self.tree.stats()
+    }
+
+    pub(crate) fn encode_into(&self, w: &mut CkptWriter) {
+        self.array.encode_into(w);
+        self.intervals.encode_into(w);
+        self.tree.encode_into(w);
+        w.usize(self.merge_threshold);
+        w.varint(self.stats.array_stores);
+        w.varint(self.stats.array_spills);
+        w.varint(self.stats.splits);
+        w.varint(self.stats.fence_intervals);
+        w.varint(self.stats.tree_node_sum);
+        w.varint(self.stats.migrations);
+        w.usize(self.array_epoch);
+        w.varint(self.version);
+    }
+
+    pub(crate) fn decode_from(r: &mut CkptReader) -> Result<Self, CheckpointDecodeError> {
+        let array = MemLocArray::decode_from(r)?;
+        let intervals = IntervalList::decode_from(r)?;
+        let tree = AvlTree::decode_from(r)?;
+        let merge_threshold = r.varint()? as usize;
+        let stats = SpaceStats {
+            array_stores: r.varint()?,
+            array_spills: r.varint()?,
+            splits: r.varint()?,
+            fence_intervals: r.varint()?,
+            tree_node_sum: r.varint()?,
+            migrations: r.varint()?,
+        };
+        let array_epoch = r.varint()? as usize;
+        let version = r.varint()?;
+        Ok(BookkeepingSpace {
+            array,
+            intervals,
+            tree,
+            merge_threshold,
+            stats,
+            array_epoch,
+            version,
+        })
     }
 
     /// The effective flush state of an array element, taking the interval's

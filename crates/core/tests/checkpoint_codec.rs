@@ -1,0 +1,211 @@
+//! Property-based tests for the [`SessionCheckpoint`] binary codec: a
+//! serialize/deserialize cycle must be behaviorally lossless (the resumed
+//! session finishes byte-identically to the original), decoding must be
+//! total (arbitrary corruption yields a typed error, never a panic), and
+//! blobs from a different format version are rejected up front.
+
+use pm_trace::{report_hash, FenceKind, PmEvent, ThreadId};
+use pmdebugger::{
+    CheckpointDecodeError, DebuggerConfig, DetectSession, PersistencyModel, PmDebugger,
+    SessionCheckpoint,
+};
+use pmem_sim::FlushKind;
+use proptest::prelude::*;
+
+/// Same rule-triggering event mix as `session_properties.rs`: a small
+/// address space so stores, flushes and fences interact, plus epoch
+/// sections, transaction logging, crashes and recovery reads.
+fn any_event() -> impl Strategy<Value = PmEvent> {
+    prop_oneof![
+        4 => (0u64..512, 1u32..64, 0u32..3, any::<bool>()).prop_map(
+            |(addr, size, tid, in_epoch)| PmEvent::Store {
+                addr,
+                size,
+                tid: ThreadId(tid),
+                strand: None,
+                in_epoch,
+            }
+        ),
+        3 => (0u64..512, 0u32..3).prop_map(|(addr, tid)| PmEvent::Flush {
+            kind: FlushKind::Clwb,
+            addr: addr & !63,
+            size: 64,
+            tid: ThreadId(tid),
+            strand: None,
+        }),
+        2 => (0u32..3, any::<bool>()).prop_map(|(tid, in_epoch)| PmEvent::Fence {
+            kind: FenceKind::Sfence,
+            tid: ThreadId(tid),
+            strand: None,
+            in_epoch,
+        }),
+        1 => (0u32..3).prop_map(|tid| PmEvent::EpochBegin { tid: ThreadId(tid) }),
+        1 => (0u32..3).prop_map(|tid| PmEvent::EpochEnd { tid: ThreadId(tid) }),
+        1 => (0u64..512, 1u32..64, 0u32..3).prop_map(|(addr, size, tid)| PmEvent::TxLog {
+            obj_addr: addr,
+            size,
+            tid: ThreadId(tid),
+        }),
+        1 => Just(PmEvent::Crash),
+        1 => (0u64..512, 1u32..64).prop_map(|(addr, size)| PmEvent::RecoveryRead { addr, size }),
+        1 => ("[a-c]", 0u64..512, 1u32..64)
+            .prop_map(|(name, addr, size)| PmEvent::NameRange { name, addr, size }),
+        1 => ("fn_[a-c]", 0u32..3)
+            .prop_map(|(name, tid)| PmEvent::FuncEnter { name, tid: ThreadId(tid) }),
+    ]
+}
+
+fn models() -> impl Strategy<Value = PersistencyModel> {
+    prop_oneof![
+        Just(PersistencyModel::Strict),
+        Just(PersistencyModel::Epoch),
+        Just(PersistencyModel::Strand),
+    ]
+}
+
+fn batch(model: PersistencyModel, events: &[PmEvent]) -> Vec<pm_trace::BugReport> {
+    PmDebugger::new(DebuggerConfig::for_model(model)).detect_stream(events.iter())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Round-trip identity: checkpoint mid-stream, serialize, deserialize,
+    /// resume, and finish — the full report list (committed prefix plus
+    /// the resumed tail) must equal the uninterrupted batch run, and the
+    /// revived checkpoint's accounting must match the original.
+    #[test]
+    fn serialized_checkpoint_resumes_byte_identically(
+        events in proptest::collection::vec(any_event(), 2..100),
+        cut_num in 1usize..8,
+        model in models(),
+    ) {
+        let expect = batch(model, &events);
+        let cut = (events.len() * cut_num / 8).clamp(1, events.len() - 1);
+
+        let mut session = DetectSession::new(DebuggerConfig::for_model(model));
+        let mut got = session.feed(&events[..cut]);
+        let ckpt = session.checkpoint();
+        let bytes = ckpt.to_bytes();
+        let revived = SessionCheckpoint::from_bytes(&bytes).expect("round-trip decode");
+        prop_assert_eq!(revived.events_fed(), ckpt.events_fed());
+        prop_assert_eq!(revived.reports_emitted(), ckpt.reports_emitted());
+
+        let mut resumed = DetectSession::resume(revived);
+        got.extend(resumed.feed(&events[cut..]));
+        got.extend(resumed.finish());
+        prop_assert_eq!(&got, &expect);
+        prop_assert_eq!(report_hash(&got), report_hash(&expect));
+    }
+
+    /// The encoding is deterministic: serializing the same checkpoint
+    /// twice — and serializing its decoded image — yields identical bytes.
+    /// The journal's recovery path depends on this for idempotent replay.
+    #[test]
+    fn encoding_is_deterministic(
+        events in proptest::collection::vec(any_event(), 1..60),
+        model in models(),
+    ) {
+        let mut session = DetectSession::new(DebuggerConfig::for_model(model));
+        let _ = session.feed(&events);
+        let ckpt = session.checkpoint();
+        let a = ckpt.to_bytes();
+        let b = ckpt.to_bytes();
+        prop_assert_eq!(&a, &b);
+        let c = SessionCheckpoint::from_bytes(&a).unwrap().to_bytes();
+        prop_assert_eq!(&a, &c);
+    }
+
+    /// Decoding is total: flipping any single bit of a valid blob must
+    /// produce a typed error (the CRC trailer catches every 1-bit flip),
+    /// never a panic or a silently-wrong checkpoint.
+    #[test]
+    fn single_bit_flips_are_rejected_without_panicking(
+        events in proptest::collection::vec(any_event(), 1..40),
+        bit in 0usize..4096,
+        model in models(),
+    ) {
+        let mut session = DetectSession::new(DebuggerConfig::for_model(model));
+        let _ = session.feed(&events);
+        let mut bytes = session.checkpoint().to_bytes();
+        let bit = bit % (bytes.len() * 8);
+        bytes[bit / 8] ^= 1 << (bit % 8);
+        prop_assert!(SessionCheckpoint::from_bytes(&bytes).is_err());
+    }
+
+    /// Arbitrary garbage — random bytes that never saw an encoder — must
+    /// decode to an error, never a panic.
+    #[test]
+    fn arbitrary_bytes_never_panic_the_decoder(
+        bytes in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let _ = SessionCheckpoint::from_bytes(&bytes);
+    }
+
+    /// Every truncation of a valid blob is rejected.
+    #[test]
+    fn truncations_are_rejected(
+        events in proptest::collection::vec(any_event(), 1..40),
+        keep_num in 0usize..8,
+    ) {
+        let mut session =
+            DetectSession::new(DebuggerConfig::for_model(PersistencyModel::Strict));
+        let _ = session.feed(&events);
+        let bytes = session.checkpoint().to_bytes();
+        let keep = bytes.len() * keep_num / 8;
+        prop_assert!(SessionCheckpoint::from_bytes(&bytes[..keep]).is_err());
+    }
+}
+
+/// A blob stamped with a future format version is rejected before any
+/// payload is interpreted, with an error message that names both the found
+/// and the supported version.
+#[test]
+fn cross_version_blobs_are_rejected_with_clear_error() {
+    let mut session = DetectSession::new(DebuggerConfig::for_model(PersistencyModel::Strict));
+    let _ = session.feed(&[PmEvent::Store {
+        addr: 0,
+        size: 8,
+        tid: ThreadId(0),
+        strand: None,
+        in_epoch: false,
+    }]);
+    let mut bytes = session.checkpoint().to_bytes();
+    // Version field: little-endian u16 right after the 6-byte magic.
+    bytes[6] = 7;
+    bytes[7] = 0;
+    let err = SessionCheckpoint::from_bytes(&bytes).unwrap_err();
+    assert_eq!(err, CheckpointDecodeError::UnsupportedVersion { found: 7 });
+    assert_eq!(
+        err.to_string(),
+        "unsupported checkpoint version 7 (supported: 1)"
+    );
+}
+
+/// Known-corruption classes map to their dedicated error variants.
+#[test]
+fn corruption_classes_have_typed_errors() {
+    let mut session = DetectSession::new(DebuggerConfig::for_model(PersistencyModel::Strict));
+    let _ = session.feed(&[PmEvent::Crash]);
+    let bytes = session.checkpoint().to_bytes();
+
+    assert!(matches!(
+        SessionCheckpoint::from_bytes(&bytes[..4]),
+        Err(CheckpointDecodeError::TooShort { .. })
+    ));
+
+    let mut bad_magic = bytes.clone();
+    bad_magic[0] ^= 0xFF;
+    assert!(matches!(
+        SessionCheckpoint::from_bytes(&bad_magic),
+        Err(CheckpointDecodeError::BadMagic)
+    ));
+
+    let mut bad_crc = bytes.clone();
+    let last = bad_crc.len() - 1;
+    bad_crc[last] ^= 0xFF;
+    assert!(matches!(
+        SessionCheckpoint::from_bytes(&bad_crc),
+        Err(CheckpointDecodeError::ChecksumMismatch { .. })
+    ));
+}

@@ -8,7 +8,7 @@ use std::os::unix::net::UnixStream;
 use std::time::Duration;
 
 use crate::config::Listen;
-use crate::protocol::{PushResponse, STATS_REQUEST};
+use crate::protocol::{session_preface, PushResponse, STATS_REQUEST};
 
 /// One client connection, unix or TCP, with explicit half-close so the
 /// server sees end-of-stream while the response can still come back.
@@ -108,6 +108,21 @@ pub fn push_bytes(listen: &Listen, bytes: &[u8]) -> std::io::Result<PushResponse
             ))
         }
     }
+}
+
+/// Pushes one complete trace image under a session key (`SESSION <key>`
+/// preface) and waits for the response line. Against a journaling
+/// server the push is crash-durable: re-pushing the same key after the
+/// daemon restarts either resumes from the last durable checkpoint or
+/// replays the ledgered verdict (`replayed:true`).
+///
+/// # Errors
+///
+/// Socket errors, or `InvalidData` when the response does not parse.
+pub fn push_bytes_keyed(listen: &Listen, key: &str, bytes: &[u8]) -> std::io::Result<PushResponse> {
+    let mut framed = session_preface(key);
+    framed.extend_from_slice(bytes);
+    push_bytes(listen, &framed)
 }
 
 /// Requests the server's live run-manifest snapshot (`STATS\n`).

@@ -9,6 +9,8 @@ use std::time::Duration;
 use pm_trace::{IngestLimits, IngestMode};
 use pmdebugger::{FailMode, PersistencyModel};
 
+use crate::journal::JournalEnv;
+
 /// Where the server listens (and where clients connect).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Listen {
@@ -103,9 +105,57 @@ pub struct ServeConfig {
     /// Degrade (quarantine with partial results) or strict (typed error)
     /// when a session exhausts its retries.
     pub fail_mode: FailMode,
+    /// Write-ahead journal directory: keyed sessions become
+    /// crash-durable (checkpoints + verdict ledger) when set.
+    pub journal_dir: Option<PathBuf>,
+    /// Journal I/O implementation override (`None` = real files). The
+    /// chaos suite injects torn writes, dropped fsyncs and ENOSPC here.
+    pub journal_env: Option<Arc<dyn JournalEnv>>,
     /// Test-only fault injection (see [`FaultHook`]).
     pub fault_hook: Option<FaultHook>,
 }
+
+/// A configuration bound violation, caught at [`ServeConfig::validate`]
+/// (which [`crate::Server::start`] runs before binding) instead of being
+/// silently clamped deep in the session host.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeConfigError {
+    /// `checkpoint_every` must be at least 1: it is both the commit
+    /// batch size and the in-flight queue bound.
+    CheckpointEvery {
+        /// The rejected value.
+        got: usize,
+    },
+    /// `max_sessions` must be at least 1 or the server sheds everything.
+    MaxSessions {
+        /// The rejected value.
+        got: usize,
+    },
+    /// `max_bytes_in_flight` must be at least 1 or the server sheds
+    /// everything.
+    MaxBytesInFlight {
+        /// The rejected value.
+        got: u64,
+    },
+}
+
+impl fmt::Display for ServeConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeConfigError::CheckpointEvery { got } => {
+                write!(f, "checkpoint_every must be >= 1, got {got}")
+            }
+            ServeConfigError::MaxSessions { got } => {
+                write!(f, "max_sessions must be >= 1, got {got}")
+            }
+            ServeConfigError::MaxBytesInFlight { got } => {
+                write!(f, "max_bytes_in_flight must be >= 1, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeConfigError {}
 
 impl fmt::Debug for ServeConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -119,6 +169,8 @@ impl fmt::Debug for ServeConfig {
             .field("max_retries", &self.max_retries)
             .field("session_deadline", &self.session_deadline)
             .field("fail_mode", &self.fail_mode)
+            .field("journal_dir", &self.journal_dir)
+            .field("journal_env", &self.journal_env.is_some())
             .field("fault_hook", &self.fault_hook.is_some())
             .finish()
     }
@@ -142,8 +194,36 @@ impl ServeConfig {
             session_deadline: Some(Duration::from_secs(30)),
             retry_after: Duration::from_millis(250),
             fail_mode: FailMode::Degrade,
+            journal_dir: None,
+            journal_env: None,
             fault_hook: None,
         }
+    }
+
+    /// Checks every bound the server relies on. Fields are public and
+    /// mutated after `new()`, so this runs at [`crate::Server::start`]
+    /// (and in the CLI's flag parser) rather than at construction.
+    ///
+    /// # Errors
+    ///
+    /// The first violated bound, as a typed [`ServeConfigError`].
+    pub fn validate(&self) -> Result<(), ServeConfigError> {
+        if self.checkpoint_every < 1 {
+            return Err(ServeConfigError::CheckpointEvery {
+                got: self.checkpoint_every,
+            });
+        }
+        if self.max_sessions < 1 {
+            return Err(ServeConfigError::MaxSessions {
+                got: self.max_sessions,
+            });
+        }
+        if self.max_bytes_in_flight < 1 {
+            return Err(ServeConfigError::MaxBytesInFlight {
+                got: self.max_bytes_in_flight,
+            });
+        }
+        Ok(())
     }
 }
 
@@ -167,5 +247,41 @@ mod tests {
         );
         assert!(Listen::parse("").is_err());
         assert!(Listen::parse("not-an-address").is_err());
+    }
+
+    #[test]
+    fn defaults_validate() {
+        assert!(ServeConfig::new(Listen::Tcp("127.0.0.1:0".into()))
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_zero_bounds_with_typed_errors() {
+        let listen = Listen::Tcp("127.0.0.1:0".to_owned());
+        let mut cfg = ServeConfig::new(listen.clone());
+        cfg.checkpoint_every = 0;
+        assert_eq!(
+            cfg.validate(),
+            Err(ServeConfigError::CheckpointEvery { got: 0 })
+        );
+        assert_eq!(
+            cfg.validate().unwrap_err().to_string(),
+            "checkpoint_every must be >= 1, got 0"
+        );
+
+        let mut cfg = ServeConfig::new(listen.clone());
+        cfg.max_sessions = 0;
+        assert_eq!(
+            cfg.validate(),
+            Err(ServeConfigError::MaxSessions { got: 0 })
+        );
+
+        let mut cfg = ServeConfig::new(listen);
+        cfg.max_bytes_in_flight = 0;
+        assert_eq!(
+            cfg.validate(),
+            Err(ServeConfigError::MaxBytesInFlight { got: 0 })
+        );
     }
 }

@@ -12,18 +12,34 @@
 //! bytes) sheds new connections with a structured retry-after answer
 //! instead of degrading running sessions.
 //!
+//! Sessions that announce a key (`SESSION <key>\n` preface) can be made
+//! *crash-durable*: a server started with a journal directory appends a
+//! write-ahead record at every committed batch boundary and a verdict
+//! ledger record at end-of-stream (see [`journal`]). After a daemon
+//! crash, recovery scans the journal, discards torn tails, resumes
+//! interrupted sessions from their last durable checkpoint, and answers
+//! completed keys from the ledger — verdicts are emitted exactly once.
+//!
 //! Wire protocol and response schema live in [`protocol`]; client-side
 //! helpers (used by `pmdbg push` and the chaos sweep) in [`client`].
 
 pub mod client;
 pub mod config;
 pub mod error;
+pub mod journal;
 pub mod protocol;
 mod server;
 mod session;
 
-pub use client::{fetch_stats, push_bytes, ClientConn};
-pub use config::{FaultHook, FaultPoint, Listen, ServeConfig};
+pub use client::{fetch_stats, push_bytes, push_bytes_keyed, ClientConn};
+pub use config::{FaultHook, FaultPoint, Listen, ServeConfig, ServeConfigError};
 pub use error::SessionError;
-pub use protocol::{PushResponse, SessionStatus, RESPONSE_SCHEMA, STATS_REQUEST};
+pub use journal::{
+    recover_dir, scan_journal, FsJournalEnv, JournalEnv, JournalIo, RecoveredSessionSummary,
+    RecoverySummary, ScanOutcome, JOURNAL_FILE_MAGIC,
+};
+pub use protocol::{
+    session_preface, valid_session_key, PushResponse, SessionStatus, MAX_SESSION_KEY,
+    RESPONSE_SCHEMA, SESSION_PREFIX, STATS_REQUEST,
+};
 pub use server::{ServeSummary, Server};

@@ -21,6 +21,34 @@ use pm_obs::json::{escape, Value};
 /// Leader bytes of a stats request.
 pub const STATS_REQUEST: &[u8] = b"STATS\n";
 
+/// Leader bytes of a keyed-session preface: `SESSION <key>\n` before
+/// the trace stream. Keyed sessions are journaled (when the server has
+/// a journal directory), resumable after a daemon crash, and fenced to
+/// exactly-once verdict emission.
+pub const SESSION_PREFIX: &[u8] = b"SESSION ";
+
+/// Longest accepted session key.
+pub const MAX_SESSION_KEY: usize = 64;
+
+/// Whether `key` is a valid session key: 1–64 characters drawn from
+/// `[A-Za-z0-9._-]` (safe as a journal file stem on any filesystem).
+pub fn valid_session_key(key: &str) -> bool {
+    !key.is_empty()
+        && key.len() <= MAX_SESSION_KEY
+        && key
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'.' || b == b'_' || b == b'-')
+}
+
+/// Builds the wire preface announcing `key`.
+pub fn session_preface(key: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(SESSION_PREFIX.len() + key.len() + 1);
+    out.extend_from_slice(SESSION_PREFIX);
+    out.extend_from_slice(key.as_bytes());
+    out.push(b'\n');
+    out
+}
+
 /// Response schema identifier.
 pub const RESPONSE_SCHEMA: &str = "pmdbg-serve-v1";
 
@@ -109,6 +137,9 @@ pub struct PushResponse {
     pub error_kind: Option<String>,
     /// Back-off hint on busy responses.
     pub retry_after_ms: Option<u64>,
+    /// `true` when this verdict was answered from the journal's ledger
+    /// (the key already completed) instead of recomputed.
+    pub replayed: bool,
 }
 
 impl PushResponse {
@@ -134,6 +165,7 @@ impl PushResponse {
             error: None,
             error_kind: None,
             retry_after_ms: None,
+            replayed: false,
         }
     }
 
@@ -180,6 +212,9 @@ impl PushResponse {
         }
         if let Some(ms) = self.retry_after_ms {
             out.push_str(&format!(",\"retry_after_ms\":{ms}"));
+        }
+        if self.replayed {
+            out.push_str(",\"replayed\":true");
         }
         out.push('}');
         out
@@ -249,6 +284,7 @@ impl PushResponse {
                 .and_then(Value::as_str)
                 .map(str::to_owned),
             retry_after_ms: value.get("retry_after_ms").and_then(Value::as_u64),
+            replayed: matches!(value.get("replayed"), Some(Value::Bool(true))),
         })
     }
 }
@@ -298,5 +334,35 @@ mod tests {
     fn junk_is_rejected_with_detail() {
         assert!(PushResponse::from_json("not json").is_err());
         assert!(PushResponse::from_json("{\"schema\":\"other\"}").is_err());
+    }
+
+    #[test]
+    fn replayed_flag_roundtrips_and_defaults_false() {
+        let mut resp = PushResponse::empty(SessionStatus::Ok);
+        assert!(
+            !PushResponse::from_json(&resp.to_json_line())
+                .unwrap()
+                .replayed
+        );
+        resp.replayed = true;
+        let line = resp.to_json_line();
+        assert!(line.contains("\"replayed\":true"));
+        assert!(PushResponse::from_json(&line).unwrap().replayed);
+    }
+
+    #[test]
+    fn session_keys_are_validated() {
+        assert!(valid_session_key("run-42.alpha_X"));
+        assert!(!valid_session_key(""));
+        assert!(!valid_session_key("has space"));
+        assert!(!valid_session_key("slash/key"));
+        assert!(!valid_session_key("dots/../escape"));
+        assert!(!valid_session_key(&"x".repeat(MAX_SESSION_KEY + 1)));
+        assert!(valid_session_key(&"x".repeat(MAX_SESSION_KEY)));
+    }
+
+    #[test]
+    fn session_preface_shape() {
+        assert_eq!(session_preface("k1"), b"SESSION k1\n");
     }
 }

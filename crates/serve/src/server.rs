@@ -14,6 +14,7 @@ use std::time::{Duration, Instant};
 use pm_obs::{MetricsRegistry, RunManifest};
 
 use crate::config::{Listen, ServeConfig};
+use crate::journal::{FsJournalEnv, Journal};
 use crate::protocol::{PushResponse, SessionStatus};
 use crate::session::{handle_conn, SessionCtx, SessionEnd, SessionIo, ShutdownFlags};
 
@@ -109,6 +110,9 @@ struct Shared {
     registry: MetricsRegistry,
     slots: Mutex<Vec<SessionSlot>>,
     started: Instant,
+    /// Write-ahead journal manager (recovery already run), when the
+    /// server was started with a journal directory.
+    journal: Option<Arc<Journal>>,
 }
 
 impl Shared {
@@ -175,6 +179,23 @@ impl Server {
     /// Propagates socket bind errors (address in use, bad permissions).
     pub fn start(cfg: ServeConfig) -> std::io::Result<Server> {
         install_session_panic_silencer();
+        cfg.validate()
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string()))?;
+        let registry = MetricsRegistry::new();
+        // Recovery runs before the listener binds: by the time a client
+        // can connect, every durable checkpoint and ledgered verdict is
+        // already loaded.
+        let journal = match &cfg.journal_dir {
+            Some(dir) => {
+                std::fs::create_dir_all(dir)?;
+                let env = cfg
+                    .journal_env
+                    .clone()
+                    .unwrap_or_else(|| Arc::new(FsJournalEnv));
+                Some(Arc::new(Journal::open(dir.clone(), env, registry.clone())?))
+            }
+            None => None,
+        };
         let (listener, local, unlink) = match &cfg.listen {
             Listen::Unix(path) => {
                 // A stale socket file from a dead server would make bind
@@ -200,9 +221,10 @@ impl Server {
         let shared = Arc::new(Shared {
             cfg,
             flags: Arc::new(ShutdownFlags::default()),
-            registry: MetricsRegistry::new(),
+            registry,
             slots: Mutex::new(Vec::new()),
             started: Instant::now(),
+            journal,
         });
         let accept_shared = Arc::clone(&shared);
         let accept = thread::Builder::new()
@@ -379,6 +401,7 @@ fn spawn_session(shared: &Arc<Shared>, conn: Conn, id: u64) {
         flags: Arc::clone(&shared.flags),
         buffered: Arc::clone(&buffered),
         registry: shared.registry.clone(),
+        journal: shared.journal.clone(),
     };
     let session_shared = Arc::clone(shared);
     let session_done = Arc::clone(&done);
@@ -420,7 +443,7 @@ fn spawn_session(shared: &Arc<Shared>, conn: Conn, id: u64) {
 /// Installs (once per process) a panic hook that suppresses default
 /// backtrace printing for session host threads — their panics are caught
 /// and accounted — and forwards everything else to the previous hook.
-fn install_session_panic_silencer() {
+pub(crate) fn install_session_panic_silencer() {
     static SILENCER: Once = Once::new();
     SILENCER.call_once(|| {
         let previous = std::panic::take_hook();
@@ -433,4 +456,55 @@ fn install_session_panic_silencer() {
             }
         }));
     });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stale_unix_socket_is_unlinked_but_live_one_is_not() {
+        let path = std::env::temp_dir().join(format!(
+            "pmdbg-stale-{}-{:?}.sock",
+            std::process::id(),
+            thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+
+        // A dead server's leftover: bind then drop the listener. The
+        // socket file stays on disk but nothing accepts on it.
+        drop(UnixListener::bind(&path).unwrap());
+        assert!(path.exists(), "dropping a listener leaves the file");
+
+        let cfg = ServeConfig::new(Listen::Unix(path.clone()));
+        let server = Server::start(cfg.clone()).expect("stale socket must be unlinked and rebound");
+
+        // A *live* socket must not be stolen: second bind fails.
+        assert!(
+            Server::start(cfg).is_err(),
+            "live socket must not be unlinked"
+        );
+
+        server.shutdown(Duration::from_millis(100));
+        assert!(!path.exists(), "shutdown unlinks the socket");
+    }
+
+    #[test]
+    fn start_rejects_invalid_config_before_binding() {
+        let path = std::env::temp_dir().join(format!(
+            "pmdbg-badcfg-{}-{:?}.sock",
+            std::process::id(),
+            thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let mut cfg = ServeConfig::new(Listen::Unix(path.clone()));
+        cfg.checkpoint_every = 0;
+        let err = match Server::start(cfg) {
+            Err(e) => e,
+            Ok(_) => panic!("invalid config must be rejected"),
+        };
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+        assert!(err.to_string().contains("checkpoint_every"));
+        assert!(!path.exists(), "rejected config must not bind");
+    }
 }

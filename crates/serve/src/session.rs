@@ -30,7 +30,10 @@ use pmdebugger::{DebuggerConfig, DetectSession, FailMode, SessionCheckpoint};
 
 use crate::config::{FaultPoint, ServeConfig};
 use crate::error::SessionError;
-use crate::protocol::{PushResponse, SessionStatus, STATS_REQUEST};
+use crate::journal::{Begin, Journal, SessionJournal};
+use crate::protocol::{
+    valid_session_key, PushResponse, SessionStatus, MAX_SESSION_KEY, SESSION_PREFIX, STATS_REQUEST,
+};
 
 /// Socket read size.
 const READ_CHUNK: usize = 8 * 1024;
@@ -84,6 +87,9 @@ pub(crate) struct SessionCtx {
     /// loop for the global bytes-in-flight shed decision.
     pub buffered: Arc<AtomicU64>,
     pub registry: MetricsRegistry,
+    /// The write-ahead journal, when the server runs with one. Only
+    /// sessions that announce a key (`SESSION <key>\n`) use it.
+    pub journal: Option<Arc<Journal>>,
 }
 
 /// How one session ended, for the server's summary accounting.
@@ -110,6 +116,13 @@ struct DetectPump<'a> {
     /// Total panics absorbed (attempt n is the n-th panic).
     attempts: u32,
     failure: Option<SessionError>,
+    /// Journal handle for keyed sessions (checkpoints appended at every
+    /// commit boundary; verdict ledgered by the host at end-of-stream).
+    journal: Option<SessionJournal>,
+    /// Decoded events to drop before feeding: a resumed client re-sends
+    /// the full stream, and the first `skip` events are already
+    /// committed in the recovered checkpoint.
+    skip: u64,
 }
 
 impl<'a> DetectPump<'a> {
@@ -126,6 +139,8 @@ impl<'a> DetectPump<'a> {
             events_committed: 0,
             attempts: 0,
             failure: None,
+            journal: None,
+            skip: 0,
         }
     }
 
@@ -133,10 +148,31 @@ impl<'a> DetectPump<'a> {
         self.failure.is_some()
     }
 
+    /// Attaches a keyed session's journal. When a durable checkpoint
+    /// was recovered, the pump resumes from it: detection state, the
+    /// committed report prefix and the commit counter are restored, and
+    /// the first `events_committed` re-sent events are skipped.
+    fn attach_journal(&mut self, mut journal: SessionJournal) {
+        if let Some(resume) = journal.take_resume() {
+            self.session = Some(DetectSession::resume(resume.checkpoint.clone()));
+            self.checkpoint = resume.checkpoint;
+            self.committed = resume.committed;
+            self.events_committed = resume.events_committed;
+            self.skip = resume.events_committed;
+        }
+        self.journal = Some(journal);
+    }
+
     /// Queues one decoded event, flushing a full batch through the
     /// detector first when the in-flight queue is at capacity.
+    /// (`checkpoint_every >= 1` is enforced by `ServeConfig::validate`
+    /// before the server starts.)
     fn push_event(&mut self, event: PmEvent) {
-        if self.pending.len() >= self.cfg.checkpoint_every.max(1) {
+        if self.skip > 0 {
+            self.skip -= 1;
+            return;
+        }
+        if self.pending.len() >= self.cfg.checkpoint_every {
             self.run_batch(false);
         }
         if !self.failed() {
@@ -185,6 +221,16 @@ impl<'a> DetectPump<'a> {
                     self.events_committed = session.events_fed();
                     if !at_finish {
                         self.checkpoint = session.checkpoint();
+                        // Commit boundary: make the checkpoint (and the
+                        // cumulative committed reports) durable before
+                        // acknowledging more of the stream.
+                        if let Some(journal) = self.journal.as_mut() {
+                            journal.append_checkpoint(
+                                self.events_committed,
+                                &self.checkpoint,
+                                &self.committed,
+                            );
+                        }
                     }
                     self.session = Some(session);
                     self.pending.clear();
@@ -203,7 +249,9 @@ impl<'a> DetectPump<'a> {
                         return;
                     }
                     if !self.cfg.retry_backoff.is_zero() {
-                        thread::sleep(self.cfg.retry_backoff * self.attempts);
+                        let jitter =
+                            retry_jitter(self.session_id, self.attempts, self.cfg.retry_backoff);
+                        thread::sleep(self.cfg.retry_backoff * self.attempts + jitter);
                     }
                     self.session = Some(DetectSession::resume(self.checkpoint.clone()));
                 }
@@ -228,6 +276,25 @@ impl<'a> DetectPump<'a> {
     }
 }
 
+/// Deterministic retry jitter: a splitmix64-mixed fraction of the base
+/// backoff, derived from (session, attempt). Sessions that fault
+/// together don't retry in lockstep, while any given (session, attempt)
+/// pair always waits the same amount — seeded chaos plans stay
+/// reproducible.
+fn retry_jitter(session_id: u64, attempt: u32, base: Duration) -> Duration {
+    let base_ns = base.as_nanos() as u64;
+    if base_ns == 0 {
+        return Duration::ZERO;
+    }
+    let mut z = session_id
+        .rotate_left(32)
+        .wrapping_add(u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    Duration::from_nanos(z % base_ns)
+}
+
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&'static str>() {
         (*s).to_string()
@@ -238,10 +305,56 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-/// Handles one accepted connection end to end: sniffs push vs stats,
-/// runs the detection pump, writes the one-line response. Never panics
-/// out (the server additionally wraps it in `catch_unwind` as a
-/// last-resort zero-abort guarantee).
+/// What the head bytes of a connection turned out to be.
+enum Preface {
+    /// Not enough bytes to decide yet.
+    NeedMore,
+    /// `STATS\n` — answer with the metrics snapshot.
+    Stats,
+    /// `SESSION <key>\n` — a keyed (journalable) push; `consumed` bytes
+    /// of the head belong to the preface, the rest is trace data.
+    Session { key: String, consumed: usize },
+    /// Anything else — an anonymous push.
+    Push,
+}
+
+/// Classifies the sniffed head bytes. With `eof` set the decision is
+/// forced (a partial leader at end-of-stream is a tiny push).
+fn sniff_preface(head: &[u8], eof: bool) -> Preface {
+    if head.starts_with(STATS_REQUEST) {
+        return Preface::Stats;
+    }
+    if head.starts_with(SESSION_PREFIX) {
+        let rest = &head[SESSION_PREFIX.len()..];
+        if let Some(nl) = rest.iter().position(|&b| b == b'\n') {
+            return match std::str::from_utf8(&rest[..nl]) {
+                Ok(key) if valid_session_key(key) => Preface::Session {
+                    key: key.to_owned(),
+                    consumed: SESSION_PREFIX.len() + nl + 1,
+                },
+                // A malformed key is not silently an anonymous push of
+                // ambiguous bytes — but salvage decode of the preface
+                // text yields zero frames, which is the same answer.
+                _ => Preface::Push,
+            };
+        }
+        if eof || rest.len() > MAX_SESSION_KEY {
+            return Preface::Push;
+        }
+        return Preface::NeedMore;
+    }
+    let may_be_stats = head.len() < STATS_REQUEST.len() && STATS_REQUEST.starts_with(head);
+    let may_be_session = head.len() < SESSION_PREFIX.len() && SESSION_PREFIX.starts_with(head);
+    if !eof && (may_be_stats || may_be_session) {
+        return Preface::NeedMore;
+    }
+    Preface::Push
+}
+
+/// Handles one accepted connection end to end: sniffs push vs stats
+/// vs keyed session, runs the detection pump, writes the one-line
+/// response. Never panics out (the server additionally wraps it in
+/// `catch_unwind` as a last-resort zero-abort guarantee).
 pub(crate) fn handle_conn<S: SessionIo>(
     mut stream: S,
     cfg: &ServeConfig,
@@ -296,18 +409,28 @@ pub(crate) fn handle_conn<S: SessionIo>(
         };
         if sniffing {
             head.extend_from_slice(&chunk[..n]);
-            if head.len() < STATS_REQUEST.len() && !eof {
-                continue;
+            match sniff_preface(&head, eof) {
+                Preface::NeedMore => continue,
+                Preface::Stats => {
+                    ctx.registry.counter("serve.stats_requests").inc();
+                    let _ = stream.write_all(stats_snapshot().as_bytes());
+                    let _ = stream.write_all(b"\n");
+                    return SessionEnd::Stats;
+                }
+                Preface::Session { key, consumed } => {
+                    sniffing = false;
+                    if let Some(end) = begin_keyed(&mut stream, cfg, ctx, &mut pump, &key) {
+                        return end;
+                    }
+                    let sniffed = std::mem::take(&mut head);
+                    decoder.push(&sniffed[consumed..]);
+                }
+                Preface::Push => {
+                    sniffing = false;
+                    let sniffed = std::mem::take(&mut head);
+                    decoder.push(&sniffed);
+                }
             }
-            sniffing = false;
-            if head.starts_with(STATS_REQUEST) {
-                ctx.registry.counter("serve.stats_requests").inc();
-                let _ = stream.write_all(stats_snapshot().as_bytes());
-                let _ = stream.write_all(b"\n");
-                return SessionEnd::Stats;
-            }
-            let sniffed = std::mem::take(&mut head);
-            decoder.push(&sniffed);
         } else {
             decoder.push(&chunk[..n]);
         }
@@ -319,15 +442,26 @@ pub(crate) fn handle_conn<S: SessionIo>(
     }
 
     if sniffing && !head.is_empty() {
-        // Stream shorter than a STATS leader: it is a (tiny) push.
-        if head.starts_with(STATS_REQUEST) {
-            ctx.registry.counter("serve.stats_requests").inc();
-            let _ = stream.write_all(stats_snapshot().as_bytes());
-            let _ = stream.write_all(b"\n");
-            return SessionEnd::Stats;
+        // Stream ended inside the sniff window; the decision is forced.
+        match sniff_preface(&head, true) {
+            Preface::Stats => {
+                ctx.registry.counter("serve.stats_requests").inc();
+                let _ = stream.write_all(stats_snapshot().as_bytes());
+                let _ = stream.write_all(b"\n");
+                return SessionEnd::Stats;
+            }
+            Preface::Session { key, consumed } => {
+                if let Some(end) = begin_keyed(&mut stream, cfg, ctx, &mut pump, &key) {
+                    return end;
+                }
+                let sniffed = std::mem::take(&mut head);
+                decoder.push(&sniffed[consumed..]);
+            }
+            Preface::NeedMore | Preface::Push => {
+                let sniffed = std::mem::take(&mut head);
+                decoder.push(&sniffed);
+            }
         }
-        let sniffed = std::mem::take(&mut head);
-        decoder.push(&sniffed);
     }
 
     if !pump.failed() {
@@ -342,6 +476,20 @@ pub(crate) fn handle_conn<S: SessionIo>(
     ctx.buffered.store(0, Ordering::Relaxed);
 
     let response = build_response(cfg, ctx, &mut decoder, &pump, start);
+    // Verdict ledger: only content-terminal outcomes — a clean end of
+    // stream or a quarantine after exhausted retries — fence replay.
+    // Deadline/io/drain failures leave the key resumable instead, so a
+    // crashed daemon's interrupted sessions pick up from their last
+    // durable checkpoint on the next push.
+    if let Some(mut journal) = pump.journal.take() {
+        if matches!(pump.failure, None | Some(SessionError::Faulted { .. })) {
+            let line = response.to_json_line();
+            journal.append_verdict(&line);
+            journal.finish(Some(line));
+        } else {
+            journal.finish(None);
+        }
+    }
     let end = match response.status {
         SessionStatus::Ok => SessionEnd::Ok,
         SessionStatus::Quarantined => SessionEnd::Quarantined,
@@ -351,6 +499,51 @@ pub(crate) fn handle_conn<S: SessionIo>(
     let _ = stream.write_all(response.to_json_line().as_bytes());
     let _ = stream.write_all(b"\n");
     end
+}
+
+/// Begins a keyed session against the journal. `Some(end)` means the
+/// connection was already answered (replayed verdict, or duplicate-key
+/// busy) and the host should return; `None` means detection proceeds —
+/// with the journal attached when the server runs one.
+fn begin_keyed<S: SessionIo>(
+    stream: &mut S,
+    cfg: &ServeConfig,
+    ctx: &SessionCtx,
+    pump: &mut DetectPump<'_>,
+    key: &str,
+) -> Option<SessionEnd> {
+    let journal = ctx.journal.as_ref()?;
+    match journal.begin(key) {
+        Begin::Replay(line) => {
+            ctx.registry.counter("serve.sessions").inc();
+            ctx.registry.counter("serve.sessions_ok").inc();
+            let answer = match PushResponse::from_json(&line) {
+                Ok(mut response) => {
+                    response.replayed = true;
+                    response.to_json_line()
+                }
+                // A ledger line that no longer parses is still the
+                // verdict of record; replay it verbatim.
+                Err(_) => line,
+            };
+            let _ = stream.write_all(answer.as_bytes());
+            let _ = stream.write_all(b"\n");
+            Some(SessionEnd::Ok)
+        }
+        Begin::Busy => {
+            ctx.registry.counter("serve.session_key_busy").inc();
+            let mut response = PushResponse::empty(SessionStatus::Busy);
+            response.error = Some(format!("session key `{key}` is already active"));
+            response.retry_after_ms = Some(cfg.retry_after.as_millis() as u64);
+            let _ = stream.write_all(response.to_json_line().as_bytes());
+            let _ = stream.write_all(b"\n");
+            Some(SessionEnd::Errored)
+        }
+        Begin::Fresh(journal) => {
+            pump.attach_journal(*journal);
+            None
+        }
+    }
 }
 
 /// Pulls every currently decodable event into the pump. Only strict
@@ -504,10 +697,10 @@ mod tests {
         }
     }
 
-    fn sample_bytes() -> Vec<u8> {
+    fn sample_events() -> Vec<PmEvent> {
         // 48 events: 16 × (store, flush, fence) — fully persisted, so a
         // clean run reports zero bugs.
-        let trace: Trace = (0..16u64)
+        (0..16u64)
             .flat_map(|i| {
                 [
                     PmEvent::Store {
@@ -532,7 +725,11 @@ mod tests {
                     },
                 ]
             })
-            .collect();
+            .collect()
+    }
+
+    fn sample_bytes() -> Vec<u8> {
+        let trace: Trace = sample_events().into_iter().collect();
         to_binary(&trace)
     }
 
@@ -542,6 +739,7 @@ mod tests {
             flags: Arc::new(ShutdownFlags::default()),
             buffered: Arc::new(AtomicU64::new(0)),
             registry: MetricsRegistry::new(),
+            journal: None,
         };
         let mut io = Loopback {
             input: std::io::Cursor::new(input),
@@ -644,6 +842,7 @@ mod tests {
             flags: Arc::new(ShutdownFlags::default()),
             buffered: Arc::new(AtomicU64::new(0)),
             registry: MetricsRegistry::new(),
+            journal: None,
         };
         let mut io = Loopback {
             input: std::io::Cursor::new(STATS_REQUEST.to_vec()),
@@ -663,5 +862,158 @@ mod tests {
         // (empty) session — the server answers rather than aborting.
         assert_eq!(end, SessionEnd::Ok);
         assert_eq!(resp.frames_ok, 0);
+    }
+
+    #[test]
+    fn retry_jitter_is_deterministic_and_bounded() {
+        let base = Duration::from_millis(5);
+        for session in 0..32u64 {
+            for attempt in 1..4u32 {
+                let a = retry_jitter(session, attempt, base);
+                assert_eq!(a, retry_jitter(session, attempt, base), "deterministic");
+                assert!(a < base, "jitter stays under one base backoff");
+            }
+        }
+        // Different sessions de-correlate (not all equal).
+        let spread: std::collections::HashSet<_> =
+            (0..32u64).map(|s| retry_jitter(s, 1, base)).collect();
+        assert!(spread.len() > 16, "jitter varies across sessions");
+        assert_eq!(retry_jitter(3, 1, Duration::ZERO), Duration::ZERO);
+    }
+
+    fn journal_tmp(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("pmdbg-sess-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn keyed_ctx(dir: &std::path::Path, registry: MetricsRegistry) -> SessionCtx {
+        let journal = Arc::new(
+            crate::journal::Journal::open(
+                dir.to_path_buf(),
+                Arc::new(crate::journal::FsJournalEnv),
+                registry.clone(),
+            )
+            .unwrap(),
+        );
+        SessionCtx {
+            id: 1,
+            flags: Arc::new(ShutdownFlags::default()),
+            buffered: Arc::new(AtomicU64::new(0)),
+            registry,
+            journal: Some(journal),
+        }
+    }
+
+    fn run_keyed(
+        cfg: &ServeConfig,
+        ctx: &SessionCtx,
+        input: Vec<u8>,
+    ) -> (SessionEnd, PushResponse) {
+        let mut io = Loopback {
+            input: std::io::Cursor::new(input),
+            out: Vec::new(),
+        };
+        let end = handle_conn(&mut io, cfg, ctx, &|| "{}".to_owned());
+        let text = String::from_utf8(io.out).unwrap();
+        (end, PushResponse::from_json(&text).unwrap())
+    }
+
+    #[test]
+    fn keyed_push_journals_and_replays_exactly_once() {
+        let dir = journal_tmp("replay");
+        let cfg = test_config();
+        let registry = MetricsRegistry::new();
+        let ctx = keyed_ctx(&dir, registry.clone());
+
+        let mut input = crate::protocol::session_preface("k1");
+        input.extend_from_slice(&sample_bytes());
+
+        let (end, first) = run_keyed(&cfg, &ctx, input.clone());
+        assert_eq!(end, SessionEnd::Ok);
+        assert!(!first.replayed);
+        assert_eq!(first.frames_ok, 48);
+        assert!(registry.counter("journal.records_appended").get() >= 2);
+
+        // Second push of the same key: answered from the ledger, with
+        // identical results and no recomputation.
+        let (end, second) = run_keyed(&cfg, &ctx, input.clone());
+        assert_eq!(end, SessionEnd::Ok);
+        assert!(second.replayed);
+        assert_eq!(second.report_hash, first.report_hash);
+        assert_eq!(second.events_committed, first.events_committed);
+        assert_eq!(registry.counter("journal.verdicts_replayed").get(), 1);
+
+        // The replay fence survives a full restart over the same dir.
+        let ctx = keyed_ctx(&dir, MetricsRegistry::new());
+        let (_, third) = run_keyed(&cfg, &ctx, input);
+        assert!(third.replayed);
+        assert_eq!(third.report_hash, first.report_hash);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn interrupted_keyed_session_resumes_from_checkpoint() {
+        let dir = journal_tmp("resume");
+        let cfg = test_config();
+        let (_, clean) = run(&cfg, sample_bytes());
+
+        // Simulate a daemon crash mid-session: 24 of 48 events made it
+        // to a durable checkpoint, no verdict was ledgered.
+        {
+            let registry = MetricsRegistry::new();
+            let journal = Arc::new(
+                crate::journal::Journal::open(
+                    dir.clone(),
+                    Arc::new(crate::journal::FsJournalEnv),
+                    registry,
+                )
+                .unwrap(),
+            );
+            let Begin::Fresh(mut sj) = journal.begin("k2") else {
+                panic!("expected fresh session");
+            };
+            let events = sample_events();
+            let mut session = DetectSession::new(DebuggerConfig::for_model(cfg.model));
+            let committed = session.feed(&events[..24]);
+            sj.append_checkpoint(24, &session.checkpoint(), &committed);
+            sj.finish(None);
+        }
+
+        // Restarted server, client re-pushes the full stream: the pump
+        // skips the committed prefix and finishes identically to an
+        // uninterrupted run.
+        let registry = MetricsRegistry::new();
+        let ctx = keyed_ctx(&dir, registry.clone());
+        let mut input = crate::protocol::session_preface("k2");
+        input.extend_from_slice(&sample_bytes());
+        let (end, resp) = run_keyed(&cfg, &ctx, input);
+        assert_eq!(end, SessionEnd::Ok);
+        assert!(!resp.replayed);
+        assert_eq!(resp.events_committed, 48);
+        assert_eq!(resp.report_hash, clean.report_hash);
+        assert_eq!(registry.counter("journal.sessions_resumed").get(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_same_key_is_answered_busy() {
+        let dir = journal_tmp("busy");
+        let cfg = test_config();
+        let ctx = keyed_ctx(&dir, MetricsRegistry::new());
+        let journal = ctx.journal.clone().unwrap();
+        // Hold the key open as another in-flight connection would.
+        let Begin::Fresh(holder) = journal.begin("k3") else {
+            panic!("expected fresh session");
+        };
+        let mut input = crate::protocol::session_preface("k3");
+        input.extend_from_slice(&sample_bytes());
+        let (end, resp) = run_keyed(&cfg, &ctx, input);
+        assert_eq!(end, SessionEnd::Errored);
+        assert_eq!(resp.status, SessionStatus::Busy);
+        assert!(resp.retry_after_ms.is_some());
+        drop(holder);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

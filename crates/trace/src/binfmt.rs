@@ -150,6 +150,32 @@ fn put_varint(out: &mut Vec<u8>, mut v: u64) {
     }
 }
 
+/// Appends `v` to `out` as an unsigned LEB128 varint — the integer
+/// encoding every v2 payload uses. Public so downstream binary formats
+/// (the `pmdebugger` checkpoint codec, the `pm-serve` session journal)
+/// reuse the exact framing discipline instead of reinventing it.
+pub fn write_varint(out: &mut Vec<u8>, v: u64) {
+    put_varint(out, v);
+}
+
+/// Decodes one unsigned LEB128 varint from the front of `bytes`,
+/// returning the value and its encoded length. `None` when `bytes` ends
+/// mid-varint or the value overflows 64 bits.
+pub fn read_varint(bytes: &[u8]) -> Option<(u64, usize)> {
+    let mut v: u64 = 0;
+    for i in 0..10usize {
+        let &byte = bytes.get(i)?;
+        if i == 9 && byte > 1 {
+            return None;
+        }
+        v |= u64::from(byte & 0x7F) << (7 * i as u32);
+        if byte & 0x80 == 0 {
+            return Some((v, i + 1));
+        }
+    }
+    None
+}
+
 fn put_str(out: &mut Vec<u8>, s: &str) {
     put_varint(out, s.len() as u64);
     out.extend_from_slice(s.as_bytes());

@@ -60,7 +60,7 @@ pub mod zerocopy;
 pub use annotations::Annotation;
 pub use binfmt::{
     crc32, crc32_fast, decode_payload, decode_payload_ref, encode_payload, frame_spans,
-    from_binary, to_binary, BinParseError,
+    from_binary, read_varint, to_binary, write_varint, BinParseError,
 };
 pub use characterize::{
     CharacterizationReport, DistanceHistogram, FenceIntervalHistogram, TraceCharacterizer,

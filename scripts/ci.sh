@@ -3,15 +3,16 @@
 #
 #   lint -> fmt -> unit -> integration -> docs -> bench-smoke -> ingest-bench
 #     -> obs-smoke -> ingest-torture -> supervisor-chaos -> serve-chaos
-#     -> concurrent-chaos
+#     -> concurrent-chaos -> journal-chaos
 #
 # Every run writes target/ci_timings.json (override: PM_CI_TIMINGS_JSON), a
 # machine-readable ledger of {stage, seconds, status} rows plus an overall
 # verdict — on early exit the in-flight stage is recorded as "fail" and its
 # name printed, so a red pipeline names its culprit without log spelunking.
-# The four wall-clock-budgeted sweeps (ingest-torture, supervisor-chaos,
-# serve-chaos, concurrent-chaos) share one knob: PM_CI_BUDGET_SECS
-# (default 120) — turn it down for a quick local pass, up for a soak run.
+# The five wall-clock-budgeted sweeps (ingest-torture, supervisor-chaos,
+# serve-chaos, concurrent-chaos, journal-chaos) share one knob:
+# PM_CI_BUDGET_SECS (default 120) — turn it down for a quick local pass,
+# up for a soak run.
 #
 # lint        clippy over all targets, warnings are errors
 # fmt         rustfmt check
@@ -60,6 +61,16 @@
 #             engines over the survivor stream under a wall-clock budget,
 #             gated on exit code 0 and "ok":true (zero process aborts,
 #             zero survivor-stream divergence between engines)
+# journal-chaos
+#             daemon-crash sweep (`pmdbg chaos --daemon-crash`): >=100
+#             seeded plans run keyed (journaled) sessions, kill the
+#             serving daemon mid-stream (in-process hard stops over a
+#             fault-injecting journal — torn writes, dropped fsyncs,
+#             short writes, ENOSPC — plus real kill -9 of `pmdbg serve`
+#             subprocesses), restart it over the same journal directory
+#             and replay the clients, gated on exit code 0 and
+#             "ok":true with explicitly zero lost and zero duplicated
+#             verdicts (exactly-once emission across crashes)
 #
 # Select a subset of stages by name: `scripts/ci.sh lint fmt unit`.
 set -euo pipefail
@@ -67,7 +78,7 @@ cd "$(dirname "$0")/.."
 
 STAGES=("$@")
 if [ ${#STAGES[@]} -eq 0 ]; then
-  STAGES=(lint fmt unit integration docs bench-smoke ingest-bench obs-smoke ingest-torture supervisor-chaos serve-chaos concurrent-chaos)
+  STAGES=(lint fmt unit integration docs bench-smoke ingest-bench obs-smoke ingest-torture supervisor-chaos serve-chaos concurrent-chaos journal-chaos)
 fi
 
 # Shared wall-clock budget for the chaos/torture sweeps, in seconds.
@@ -299,6 +310,43 @@ concurrent_chaos_stage() {
   echo "concurrent-chaos: ok"
 }
 
+journal_chaos_stage() {
+  # Daemon-crash sweep: 100 seeded plans mixing clean runs (replay
+  # fences across restarts) with mid-stream daemon kills over torn-write
+  # / dropped-fsync / short-write / ENOSPC journal filesystems and real
+  # kill -9 of `pmdbg serve` subprocesses, each followed by recovery
+  # over the same journal directory and a client replay. The sweep's
+  # own oracles enforce the crash-durability contract — zero verdict
+  # loss, zero duplication, byte-identical recovered verdicts; here we
+  # gate on the machine-readable report plus the loss/duplication and
+  # completion counts explicitly.
+  cargo build -q --offline -p pm-cli
+  local report
+  report=$(cargo run -q --offline -p pm-cli -- \
+    chaos --daemon-crash --plans 100 --budget-ms "${BUDGET_MS}" --json)
+  if ! grep -q '"ok":true' <<<"${report}"; then
+    echo "journal-chaos: sweep reported violations:" >&2
+    echo "${report}" >&2
+    exit 1
+  fi
+  if ! grep -q '"verdicts_lost":0' <<<"${report}" ||
+    ! grep -q '"verdicts_duplicated":0' <<<"${report}"; then
+    echo "journal-chaos: exactly-once verdict contract broken:" >&2
+    echo "${report}" >&2
+    exit 1
+  fi
+  if grep -Eq '"aborts":[1-9]' <<<"${report}"; then
+    echo "journal-chaos: sweep reported daemon aborts" >&2
+    exit 1
+  fi
+  if ! grep -q '"plans_run":100' <<<"${report}"; then
+    echo "journal-chaos: sweep did not complete all 100 plans in budget:" >&2
+    echo "${report}" >&2
+    exit 1
+  fi
+  echo "journal-chaos: ok"
+}
+
 obs_smoke_stage() {
   # Metrics-overhead gate: smoke-sized run, fail when metrics-on costs
   # more than PM_OBS_MAX_OVERHEAD_PCT (default 5% — the smoke inputs are
@@ -346,6 +394,9 @@ for stage in "${STAGES[@]}"; do
       ;;
     concurrent-chaos)
       run_stage concurrent-chaos concurrent_chaos_stage
+      ;;
+    journal-chaos)
+      run_stage journal-chaos journal_chaos_stage
       ;;
     *)
       echo "unknown stage: ${stage}" >&2
