@@ -40,6 +40,12 @@
 //!   `kill -9` of a `pmdbg serve` subprocess — restart it over the same
 //!   journal directory, and assert zero verdict loss, zero duplication,
 //!   and byte-identical recovery against an uninterrupted batch run.
+//! * [`mem_pressure`] starves the daemon of *memory*: seeded plans inject
+//!   a [`pmdebugger::MemGovernor`] with whale-sized sessions over tiny
+//!   per-session budgets, herds of small sessions, spill-storm thrash,
+//!   failing-allocator vetoes and under-estimate global budgets, then
+//!   assert zero aborts, zero verdict divergence against unpressured
+//!   batch runs, and exact paused/spilled/rejected accounting.
 //! * Everything degrades gracefully: budgets ([`Budget`]) bound crash
 //!   points, images per point, replayed trace length, pool size and wall
 //!   clock, and exceeding any of them yields a partial report carrying
@@ -49,6 +55,7 @@ pub mod budget;
 pub mod corrupt;
 pub mod daemon_crash;
 pub mod error;
+pub mod mem_pressure;
 pub mod perturb;
 pub mod replay;
 pub mod report;
@@ -65,6 +72,9 @@ pub use daemon_crash::{
     FaultSpec,
 };
 pub use error::ChaosError;
+pub use mem_pressure::{
+    mem_plan_for, mem_pressure_sweep, MemPlan, MemPressureOptions, MemPressureReport, MemViolation,
+};
 pub use perturb::{
     apply, perturbations, sensitivity_matrix, ClassRow, FaultClass, Perturbation, SensitivityMatrix,
 };

@@ -192,6 +192,14 @@ pub enum Command {
     /// serve` subprocess), restart it over the same journal directory,
     /// and assert zero verdict loss, zero duplication, and
     /// byte-identical recovery.
+    ///
+    /// `pmdbg chaos --mem-pressure [--plans <n>] [--seed <n>]
+    /// [--budget-ms <n>] [--json]` — run the memory-pressure sweep:
+    /// seeded plans starve a governed server (whale sessions over tiny
+    /// budgets, spill storms, failing allocators, under-estimate global
+    /// budgets) and assert zero aborts, zero verdict divergence against
+    /// unpressured batch runs, and exact paused/spilled/rejected
+    /// accounting.
     Chaos {
         /// Workload name (campaign mode; ignored by `--thread-crash`).
         workload: Option<String>,
@@ -216,6 +224,10 @@ pub enum Command {
         /// mid-stream, recover the journal, check exactly-once
         /// verdicts) instead of the crash-point campaign.
         daemon_crash: bool,
+        /// Run the memory-pressure sweep (governed budgets, spills,
+        /// structured sheds, failing allocators) instead of the
+        /// crash-point campaign.
+        mem_pressure: bool,
         /// Thread-crash / daemon-crash plans to run.
         plans: usize,
         /// Sweep seed (thread-crash / daemon-crash modes).
@@ -236,8 +248,10 @@ pub enum Command {
     /// `pmdbg serve --listen <addr> [--model <m>] [--strict]
     /// [--max-sessions <n>] [--max-events <n>] [--session-deadline-ms <n>]
     /// [--max-retries <n>] [--fail-mode strict|degrade] [--drain-ms <n>]
-    /// [--metrics <file>]` — run the streaming detection service until
-    /// SIGINT/SIGTERM, then drain and write the final manifest.
+    /// [--metrics <file>] [--mem-budget <bytes>]
+    /// [--session-mem-budget <bytes>] [--spill-dir <dir>]` — run the
+    /// streaming detection service until SIGINT/SIGTERM, then drain and
+    /// write the final manifest.
     Serve {
         /// Listen address: a unix-socket path (contains `/`) or TCP
         /// `host:port`.
@@ -267,6 +281,15 @@ pub enum Command {
         /// Write-ahead journal directory: keyed sessions become
         /// crash-durable, and the directory is recovered on startup.
         journal_dir: Option<String>,
+        /// Global tracked-byte budget across all live sessions; admission
+        /// sheds with a structured `bytes_wanted` once exhausted.
+        mem_budget: Option<u64>,
+        /// Per-session tracked-byte budget; a session crossing it is
+        /// spilled to disk and transparently rehydrated.
+        session_mem_budget: Option<u64>,
+        /// Directory for spilled session checkpoints (defaults to the
+        /// journal directory when one is configured).
+        spill_dir: Option<String>,
     },
     /// `pmdbg push --addr <addr> --trace <file> [--session <key>]
     /// [--json]` — stream a recorded trace to a running server and
@@ -412,11 +435,14 @@ USAGE:
               [--budget-ms <n>] [--json]
   pmdbg chaos --daemon-crash [--plans <n>] [--seed <n>] [--budget-ms <n>]
               [--json]
+  pmdbg chaos --mem-pressure [--plans <n>] [--seed <n>] [--budget-ms <n>]
+              [--json]
   pmdbg serve --listen <addr> [--model strict|epoch|strand] [--strict]
               [--max-sessions <n>] [--max-events <n>]
               [--session-deadline-ms <n>] [--max-retries <n>]
               [--fail-mode strict|degrade] [--drain-ms <n>] [--metrics <file>]
-              [--journal-dir <dir> | --no-journal]
+              [--journal-dir <dir> | --no-journal] [--mem-budget <bytes>]
+              [--session-mem-budget <bytes>] [--spill-dir <dir>]
   pmdbg push --addr <addr> --trace <file> [--session <key>] [--json]
   pmdbg recover <journal-dir> [--json]
   pmdbg serve-chaos [--sessions <n>] [--seed <n>] [--budget-ms <n>] [--json]
@@ -431,7 +457,7 @@ WORKLOADS: b_tree c_tree r_tree rb_tree hashmap_tx hashmap_atomic
            synth_strand memcached redis a_YCSB..f_YCSB
            treiber_stack ms_queue cas_hash (concurrent)
 EXIT CODES: 0 clean run, 1 bugs or torture/supervise/serve-chaos/
-            thread-crash/daemon-crash violations found, 2 bad usage or
+            thread-crash/daemon-crash/mem-pressure violations found, 2 bad usage or
             parse/ingest/recover failure, 3 internal error (incl.
             strict-mode shard or session failure), 4 degraded-but-clean
             run (shards or serve sessions quarantined, no bugs in
@@ -669,6 +695,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
             let mut metrics: Option<String> = None;
             let mut thread_crash = false;
             let mut daemon_crash = false;
+            let mut mem_pressure = false;
             let mut plans = 100usize;
             let mut seed = 0x7C4A_5AD0u64;
             while let Some(flag) = it.next() {
@@ -692,6 +719,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                     "--metrics" => metrics = Some(value(flag)?),
                     "--thread-crash" => thread_crash = true,
                     "--daemon-crash" => daemon_crash = true,
+                    "--mem-pressure" => mem_pressure = true,
                     "--plans" => plans = number(flag, value(flag)?)?,
                     "--seed" => {
                         seed = value(flag)?
@@ -701,12 +729,14 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                     other => return Err(UsageError(format!("unknown flag `{other}`"))),
                 }
             }
-            if thread_crash && daemon_crash {
+            if usize::from(thread_crash) + usize::from(daemon_crash) + usize::from(mem_pressure) > 1
+            {
                 return Err(UsageError(
-                    "--thread-crash and --daemon-crash are mutually exclusive".into(),
+                    "--thread-crash, --daemon-crash and --mem-pressure are mutually exclusive"
+                        .into(),
                 ));
             }
-            if workload.is_none() && !thread_crash && !daemon_crash {
+            if workload.is_none() && !thread_crash && !daemon_crash && !mem_pressure {
                 return Err(UsageError("--workload is required".into()));
             }
             Ok(Command::Chaos {
@@ -720,6 +750,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                 metrics,
                 thread_crash,
                 daemon_crash,
+                mem_pressure,
                 plans,
                 seed,
             })
@@ -768,6 +799,9 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
             let mut drain_ms = 5000u64;
             let mut metrics: Option<String> = None;
             let mut journal_dir: Option<String> = None;
+            let mut mem_budget: Option<u64> = None;
+            let mut session_mem_budget: Option<u64> = None;
+            let mut spill_dir: Option<String> = None;
             while let Some(flag) = it.next() {
                 let mut value = |name: &str| {
                     it.next()
@@ -790,6 +824,11 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                     "--metrics" => metrics = Some(value(flag)?),
                     "--journal-dir" => journal_dir = Some(value(flag)?),
                     "--no-journal" => journal_dir = None,
+                    "--mem-budget" => mem_budget = Some(parse_number(flag, value(flag)?)?),
+                    "--session-mem-budget" => {
+                        session_mem_budget = Some(parse_number(flag, value(flag)?)?);
+                    }
+                    "--spill-dir" => spill_dir = Some(value(flag)?),
                     other => return Err(UsageError(format!("unknown flag `{other}`"))),
                 }
             }
@@ -805,6 +844,9 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                 drain_ms,
                 metrics,
                 journal_dir,
+                mem_budget,
+                session_mem_budget,
+                spill_dir,
             })
         }
         "push" => {
@@ -1061,6 +1103,22 @@ fn model_label(model: PersistencyModel) -> &'static str {
     }
 }
 
+/// Writes a report, manifest or recorded trace atomically: the bytes go
+/// to a sibling `<path>.tmp` first and are renamed over the destination,
+/// so a crash mid-write can never leave a torn half-file behind — the
+/// destination is either the previous intact file or the complete new
+/// one, never a prefix.
+fn write_atomic(path: &str, contents: &[u8]) -> std::io::Result<()> {
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, contents)?;
+    // Test hook: die between the temp write and the rename — exactly
+    // where a kill would tear a non-atomic `fs::write` destination.
+    if std::env::var_os("PMDBG_KILL_BEFORE_RENAME").is_some() {
+        std::process::abort();
+    }
+    std::fs::rename(&tmp, path)
+}
+
 /// Absorbs `registry` into a fresh manifest and writes it to `path`,
 /// noting the destination on `out`.
 #[allow(clippy::too_many_arguments)]
@@ -1080,7 +1138,7 @@ fn write_manifest(
     manifest.threads = threads as u64;
     manifest.absorb_snapshot(&registry.snapshot());
     manifest.bugs = bugs;
-    std::fs::write(path, manifest.to_json())
+    write_atomic(path, manifest.to_json().as_bytes())
         .map_err(|e| ExecError::Internal(format!("cannot write {path}: {e}")))?;
     writeln!(out, "metrics manifest -> {path}").map_err(wr)
 }
@@ -1455,9 +1513,58 @@ pub fn execute_outcome(command: Command, out: &mut dyn fmt::Write) -> Result<Out
             metrics,
             thread_crash,
             daemon_crash,
+            mem_pressure,
             plans,
             seed,
         } => {
+            if mem_pressure {
+                let opts = pm_chaos::MemPressureOptions {
+                    plans,
+                    seed,
+                    wall_clock: budget_ms.map(std::time::Duration::from_millis),
+                };
+                let report = pm_chaos::mem_pressure_sweep(&opts);
+                if json {
+                    writeln!(out, "{}", report.to_json()).map_err(wr)?;
+                } else {
+                    writeln!(
+                        out,
+                        "mem-pressure: {}/{} plan(s), {} session(s) ({} ok), \
+                         {} memory shed(s), {} spill(s), {} rehydration(s), \
+                         {} rejection(s), {} pause(s) in {} ms -> {}",
+                        report.plans_run,
+                        report.plans_planned,
+                        report.sessions_total,
+                        report.ok_sessions,
+                        report.memory_sheds,
+                        report.spills_total,
+                        report.rehydrations_total,
+                        report.rejections_total,
+                        report.pauses_total,
+                        report.wall_ms,
+                        if report.ok() { "OK" } else { "VIOLATIONS" },
+                    )
+                    .map_err(wr)?;
+                    for (plan, count) in &report.plan_mix {
+                        writeln!(out, "  plan {plan}: {count}").map_err(wr)?;
+                    }
+                    for violation in &report.violations {
+                        writeln!(
+                            out,
+                            "  violation [{}] plan {} ({}): {}",
+                            violation.kind, violation.index, violation.plan, violation.detail
+                        )
+                        .map_err(wr)?;
+                    }
+                    for truncation in &report.truncations {
+                        writeln!(out, "  truncated: {truncation}").map_err(wr)?;
+                    }
+                }
+                return Ok(Outcome {
+                    bugs_found: !report.ok(),
+                    degraded: false,
+                });
+            }
             if daemon_crash {
                 let opts = pm_chaos::DaemonCrashOptions {
                     plans,
@@ -1727,7 +1834,7 @@ pub fn execute_outcome(command: Command, out: &mut dyn fmt::Write) -> Result<Out
                 "bin" => pm_trace::to_binary(&trace),
                 _ => pm_trace::to_text(&trace).into_bytes(),
             };
-            std::fs::write(&path, data)
+            write_atomic(&path, &data)
                 .map_err(|e| ExecError::Internal(format!("cannot write {path}: {e}")))?;
             writeln!(
                 out,
@@ -2138,10 +2245,16 @@ pub fn execute_outcome(command: Command, out: &mut dyn fmt::Write) -> Result<Out
             drain_ms,
             metrics,
             journal_dir,
+            mem_budget,
+            session_mem_budget,
+            spill_dir,
         } => {
             let listen = Listen::parse(&listen).map_err(ExecError::Input)?;
             let mut cfg = ServeConfig::new(listen);
             cfg.journal_dir = journal_dir.map(std::path::PathBuf::from);
+            cfg.mem_budget = mem_budget;
+            cfg.session_mem_budget = session_mem_budget;
+            cfg.spill_dir = spill_dir.map(std::path::PathBuf::from);
             cfg.model = parse_model(&model)?;
             cfg.mode = if salvage {
                 IngestMode::Salvage
@@ -2216,7 +2329,7 @@ pub fn execute_outcome(command: Command, out: &mut dyn fmt::Write) -> Result<Out
             )
             .map_err(wr)?;
             if let Some(path) = metrics {
-                std::fs::write(&path, &summary.manifest_json)
+                write_atomic(&path, summary.manifest_json.as_bytes())
                     .map_err(|e| ExecError::Internal(format!("cannot write {path}: {e}")))?;
                 writeln!(out, "metrics manifest -> {path}").map_err(wr)?;
             }
@@ -2335,6 +2448,19 @@ pub fn execute_outcome(command: Command, out: &mut dyn fmt::Write) -> Result<Out
                     summary.torn_total,
                 )
                 .map_err(wr)?;
+                if summary.read_failures > 0 {
+                    writeln!(
+                        out,
+                        "  {} unreadable journal entr{} skipped",
+                        summary.read_failures,
+                        if summary.read_failures == 1 {
+                            "y"
+                        } else {
+                            "ies"
+                        },
+                    )
+                    .map_err(wr)?;
+                }
                 for s in &summary.sessions {
                     writeln!(
                         out,
@@ -2356,7 +2482,13 @@ pub fn execute_outcome(command: Command, out: &mut dyn fmt::Write) -> Result<Out
                     .map_err(wr)?;
                 }
             }
-            Ok(Outcome::clean())
+            // Partial readability degrades (exit 4) instead of either
+            // aborting the scan or silently pretending the directory was
+            // fully recovered.
+            Ok(Outcome {
+                bugs_found: false,
+                degraded: summary.read_failures > 0,
+            })
         }
     }
 }
@@ -2618,6 +2750,7 @@ mod tests {
                 metrics: None,
                 thread_crash: false,
                 daemon_crash: false,
+                mem_pressure: false,
                 plans: 100,
                 seed: 0x7C4A_5AD0,
             }
@@ -2649,6 +2782,7 @@ mod tests {
                 metrics: None,
                 thread_crash: true,
                 daemon_crash: false,
+                mem_pressure: false,
                 plans: 12,
                 seed: 9,
             }
@@ -2670,6 +2804,7 @@ mod tests {
                 metrics: None,
                 thread_crash: true,
                 daemon_crash: false,
+                mem_pressure: false,
                 plans: 6,
                 seed: 1,
             },
@@ -2713,6 +2848,7 @@ mod tests {
                 metrics: None,
                 thread_crash: false,
                 daemon_crash: false,
+                mem_pressure: false,
                 plans: 100,
                 seed: 0x7C4A_5AD0,
             }
@@ -2736,6 +2872,7 @@ mod tests {
                 metrics: None,
                 thread_crash: false,
                 daemon_crash: false,
+                mem_pressure: false,
                 plans: 100,
                 seed: 0x7C4A_5AD0,
             },
@@ -2761,6 +2898,7 @@ mod tests {
                 metrics: None,
                 thread_crash: false,
                 daemon_crash: false,
+                mem_pressure: false,
                 plans: 100,
                 seed: 0x7C4A_5AD0,
             },
@@ -3040,6 +3178,7 @@ mod tests {
                 metrics: Some(path.to_str().unwrap().to_owned()),
                 thread_crash: false,
                 daemon_crash: false,
+                mem_pressure: false,
                 plans: 100,
                 seed: 0x7C4A_5AD0,
             },
@@ -3865,6 +4004,9 @@ mod tests {
                 drain_ms: 5000,
                 metrics: None,
                 journal_dir: None,
+                mem_budget: None,
+                session_mem_budget: None,
+                spill_dir: None,
             }
         );
         let cmd = parse(&args(&[
@@ -3904,6 +4046,9 @@ mod tests {
                 drain_ms: 100,
                 metrics: Some("/tmp/m.json".into()),
                 journal_dir: None,
+                mem_budget: None,
+                session_mem_budget: None,
+                spill_dir: None,
             }
         );
         assert!(parse(&args(&["serve"])).is_err(), "--listen required");
@@ -3934,6 +4079,9 @@ mod tests {
                 &cmd,
                 Command::Serve {
                     journal_dir: None,
+                    mem_budget: None,
+                    session_mem_budget: None,
+                    spill_dir: None,
                     ..
                 }
             ),
@@ -4037,6 +4185,7 @@ mod tests {
                 &cmd,
                 Command::Chaos {
                     daemon_crash: true,
+                    mem_pressure: false,
                     thread_crash: false,
                     plans: 25,
                     seed: 9,
@@ -4108,6 +4257,83 @@ mod tests {
         assert!(matches!(err, ExecError::Input(_)), "{err:?}");
     }
 
+    /// Pins the 0/2/3/4 exit-code contract for the offline inspection
+    /// commands: unreadable inputs are typed [`ExecError::Input`] (exit
+    /// 2, never a panic or an internal error), and a journal directory
+    /// that is only partially readable degrades (exit 4) with the
+    /// skipped entries counted instead of aborting the scan.
+    #[test]
+    fn recover_and_stats_honor_the_exit_code_contract() {
+        // A regular file where a directory is expected: Input, exit 2.
+        let not_a_dir =
+            std::env::temp_dir().join(format!("pmdbg-cli-not-a-dir-{}.wal", std::process::id()));
+        std::fs::write(&not_a_dir, b"not a directory").unwrap();
+        let err = execute_outcome(
+            Command::Recover {
+                dir: not_a_dir.to_str().unwrap().to_owned(),
+                json: false,
+            },
+            &mut String::new(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ExecError::Input(_)), "{err:?}");
+        std::fs::remove_file(&not_a_dir).unwrap();
+
+        // A directory with one good journal and one unreadable `.wal`
+        // entry (a subdirectory): the scan survives, reports the good
+        // session, counts the skipped entry, and degrades (exit 4).
+        let dir = std::env::temp_dir().join(format!("pmdbg-cli-degraded-{}", std::process::id()));
+        std::fs::create_dir_all(dir.join("bad.wal")).unwrap();
+        std::fs::write(dir.join("good.wal"), pm_serve::JOURNAL_FILE_MAGIC).unwrap();
+        let mut out = String::new();
+        let outcome = execute_outcome(
+            Command::Recover {
+                dir: dir.to_str().unwrap().to_owned(),
+                json: false,
+            },
+            &mut out,
+        )
+        .unwrap();
+        assert!(outcome.degraded && !outcome.bugs_found, "{out}");
+        assert!(out.contains("1 journaled session(s)"), "{out}");
+        assert!(out.contains("1 unreadable journal entry skipped"), "{out}");
+
+        let mut json_out = String::new();
+        execute_outcome(
+            Command::Recover {
+                dir: dir.to_str().unwrap().to_owned(),
+                json: true,
+            },
+            &mut json_out,
+        )
+        .unwrap();
+        assert!(json_out.contains("\"read_failures\":1"), "{json_out}");
+        std::fs::remove_dir_all(&dir).unwrap();
+
+        // Stats on a missing file and on garbage bytes: Input, exit 2.
+        let err = execute_outcome(
+            Command::Stats {
+                file: "/nonexistent/manifest.json".into(),
+            },
+            &mut String::new(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ExecError::Input(_)), "{err:?}");
+
+        let garbage =
+            std::env::temp_dir().join(format!("pmdbg-cli-garbage-{}.json", std::process::id()));
+        std::fs::write(&garbage, b"\x00\xffnot json at all").unwrap();
+        let err = execute_outcome(
+            Command::Stats {
+                file: garbage.to_str().unwrap().to_owned(),
+            },
+            &mut String::new(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ExecError::Input(_)), "{err:?}");
+        std::fs::remove_file(&garbage).unwrap();
+    }
+
     #[test]
     fn daemon_crash_sweep_runs_clean_via_cli() {
         let mut out = String::new();
@@ -4123,6 +4349,7 @@ mod tests {
                 metrics: None,
                 thread_crash: false,
                 daemon_crash: true,
+                mem_pressure: false,
                 plans: 6,
                 seed: 0xD00D_1E5E,
             },
@@ -4133,6 +4360,93 @@ mod tests {
         assert!(out.contains("\"ok\":true"), "{out}");
         assert!(out.contains("\"verdicts_lost\":0"), "{out}");
         assert!(out.contains("\"verdicts_duplicated\":0"), "{out}");
+    }
+
+    #[test]
+    fn parses_mem_pressure_and_serve_memory_flags() {
+        let cmd = parse(&args(&[
+            "chaos",
+            "--mem-pressure",
+            "--plans",
+            "10",
+            "--seed",
+            "3",
+            "--json",
+        ]))
+        .unwrap();
+        assert!(
+            matches!(
+                &cmd,
+                Command::Chaos {
+                    mem_pressure: true,
+                    daemon_crash: false,
+                    thread_crash: false,
+                    plans: 10,
+                    seed: 3,
+                    json: true,
+                    workload: None,
+                    ..
+                }
+            ),
+            "{cmd:?}"
+        );
+        assert!(
+            parse(&args(&["chaos", "--mem-pressure", "--daemon-crash"])).is_err(),
+            "sweep modes are mutually exclusive"
+        );
+
+        let cmd = parse(&args(&[
+            "serve",
+            "--listen",
+            "/tmp/s.sock",
+            "--mem-budget",
+            "1048576",
+            "--session-mem-budget",
+            "65536",
+            "--spill-dir",
+            "/tmp/spill",
+        ]))
+        .unwrap();
+        assert!(
+            matches!(
+                &cmd,
+                Command::Serve {
+                    mem_budget: Some(1_048_576),
+                    session_mem_budget: Some(65_536),
+                    spill_dir: Some(dir),
+                    ..
+                } if dir == "/tmp/spill"
+            ),
+            "{cmd:?}"
+        );
+    }
+
+    #[test]
+    fn mem_pressure_sweep_runs_clean_via_cli() {
+        let mut out = String::new();
+        let outcome = execute_outcome(
+            Command::Chaos {
+                workload: None,
+                ops: 64,
+                points: 1,
+                images: 1,
+                budget_ms: None,
+                matrix: false,
+                json: true,
+                metrics: None,
+                thread_crash: false,
+                daemon_crash: false,
+                mem_pressure: true,
+                plans: 8,
+                seed: 0x0D0_0BED,
+            },
+            &mut out,
+        )
+        .unwrap();
+        assert!(!outcome.bugs_found, "{out}");
+        assert!(out.contains("\"ok\":true"), "{out}");
+        assert!(out.contains("\"aborts\":0"), "{out}");
+        assert!(out.contains("\"verdict_divergence\":0"), "{out}");
     }
 
     #[test]
@@ -4194,6 +4508,9 @@ mod tests {
                     drain_ms: 2000,
                     metrics: Some(serve_manifest),
                     journal_dir: None,
+                    mem_budget: None,
+                    session_mem_budget: None,
+                    spill_dir: None,
                 },
                 &mut out,
             );

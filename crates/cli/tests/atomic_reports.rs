@@ -1,0 +1,147 @@
+//! Torn-report regression tests: every file `pmdbg` emits (metrics
+//! manifests, recorded traces) must be written atomically — a process
+//! killed between producing the bytes and publishing them may leave a
+//! stale temp file, but never a torn destination. The kill is injected
+//! by the `PMDBG_KILL_BEFORE_RENAME` hook, which aborts the process at
+//! the exact point where a non-atomic `fs::write` would have left a
+//! prefix behind.
+
+use std::path::Path;
+use std::process::Command;
+
+fn pmdbg() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_pmdbg"))
+}
+
+fn run_killed(args: &[&str]) {
+    let status = pmdbg()
+        .args(args)
+        .env("PMDBG_KILL_BEFORE_RENAME", "1")
+        .status()
+        .expect("spawn pmdbg");
+    assert!(!status.success(), "kill hook must abort the process");
+}
+
+#[test]
+fn killed_metrics_write_leaves_no_torn_manifest() {
+    let dir = std::env::temp_dir().join(format!("pmdbg-atomic-manifest-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let manifest = dir.join("run.json");
+    let manifest_str = manifest.to_str().unwrap();
+
+    // Killed mid-write on a fresh destination: nothing may appear there.
+    run_killed(&[
+        "run",
+        "--workload",
+        "b_tree",
+        "--ops",
+        "16",
+        "--metrics",
+        manifest_str,
+    ]);
+    assert!(
+        !manifest.exists(),
+        "a killed write must not publish a destination file"
+    );
+
+    // A clean run over the stale temp file publishes a complete, parsable
+    // manifest and leaves no temp debris.
+    let output = pmdbg()
+        .args([
+            "run",
+            "--workload",
+            "b_tree",
+            "--ops",
+            "16",
+            "--metrics",
+            manifest_str,
+        ])
+        .output()
+        .expect("spawn pmdbg");
+    assert!(output.status.success(), "{output:?}");
+    let json = std::fs::read_to_string(&manifest).unwrap();
+    assert!(
+        json.starts_with('{') && json.ends_with('}'),
+        "manifest must be a complete JSON object, got {} bytes",
+        json.len()
+    );
+    assert!(json.contains("\"schema\""), "{json}");
+    assert!(
+        !Path::new(&format!("{manifest_str}.tmp")).exists(),
+        "temp file must be consumed by the rename"
+    );
+
+    // Killed mid-overwrite: the previous intact manifest must survive
+    // byte-for-byte — never a prefix of the new one.
+    run_killed(&[
+        "run",
+        "--workload",
+        "b_tree",
+        "--ops",
+        "32",
+        "--metrics",
+        manifest_str,
+    ]);
+    assert_eq!(
+        std::fs::read_to_string(&manifest).unwrap(),
+        json,
+        "a killed overwrite must leave the old manifest intact"
+    );
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn killed_record_leaves_no_torn_trace() {
+    let dir = std::env::temp_dir().join(format!("pmdbg-atomic-record-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("trace.pmt2");
+    let trace_str = trace.to_str().unwrap();
+
+    run_killed(&[
+        "record",
+        "--workload",
+        "b_tree",
+        "--ops",
+        "16",
+        "--format",
+        "bin",
+        "--out",
+        trace_str,
+    ]);
+    assert!(!trace.exists(), "a killed record must not publish a trace");
+
+    let output = pmdbg()
+        .args([
+            "record",
+            "--workload",
+            "b_tree",
+            "--ops",
+            "16",
+            "--format",
+            "bin",
+            "--out",
+            trace_str,
+        ])
+        .output()
+        .expect("spawn pmdbg");
+    assert!(output.status.success(), "{output:?}");
+
+    // The published trace is complete: a strict replay ingests every
+    // frame (exit 0 = clean, exit 1 = bugs reported; either means the
+    // file parsed intact).
+    let replay = pmdbg()
+        .args(["replay", "--trace", trace_str, "--strict"])
+        .output()
+        .expect("spawn pmdbg");
+    assert!(
+        matches!(replay.status.code(), Some(0 | 1)),
+        "strict replay must ingest the published trace: {replay:?}"
+    );
+    assert!(
+        String::from_utf8_lossy(&replay.stdout).contains("replayed"),
+        "{replay:?}"
+    );
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}

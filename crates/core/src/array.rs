@@ -107,6 +107,13 @@ impl MemLocArray {
         self.capacity
     }
 
+    /// Heap bytes held by the backing storage. The array keeps its
+    /// allocation across fences (clear is metadata invalidation), so this
+    /// is the *allocated* capacity, not the live length.
+    pub fn tracked_bytes(&self) -> u64 {
+        (self.entries.capacity() * std::mem::size_of::<LocEntry>()) as u64
+    }
+
     /// The valid entries in store order.
     pub fn entries(&self) -> &[LocEntry] {
         &self.entries

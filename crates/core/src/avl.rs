@@ -132,6 +132,11 @@ impl AvlTree {
         self.len
     }
 
+    /// Heap bytes held by the tree's nodes (one boxed `Node` per record).
+    pub fn tracked_bytes(&self) -> u64 {
+        (self.len * std::mem::size_of::<Node>()) as u64
+    }
+
     /// Whether the tree is empty.
     pub fn is_empty(&self) -> bool {
         self.len == 0

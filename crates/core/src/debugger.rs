@@ -492,6 +492,40 @@ impl PmDebugger {
         out
     }
 
+    /// Estimated heap bytes held by the detection state: every bookkeeping
+    /// space plus the order/cross-thread/epoch trackers, per-rule dedup
+    /// state and pending reports. Each space reports its size in O(1), so a
+    /// call costs O(spaces) — the same profile as [`PmDebugger::stats`].
+    pub fn tracked_bytes(&self) -> u64 {
+        let spaces: u64 = self.spaces.values().map(|s| s.tracked_bytes()).sum();
+        let epochs: u64 = self
+            .epochs
+            .values()
+            .map(|e| {
+                (std::mem::size_of::<EpochState>()
+                    + e.logged.capacity() * std::mem::size_of::<(Addr, u64)>())
+                    as u64
+            })
+            .sum();
+        let reports = (self.reports.capacity() * std::mem::size_of::<BugReport>()) as u64
+            + self
+                .reports
+                .iter()
+                .map(|r| r.message.len() as u64)
+                .sum::<u64>();
+        let residuals = self
+            .crash_residuals
+            .as_ref()
+            .map_or(0, |r| r.capacity() * std::mem::size_of::<(Addr, u64)>())
+            as u64;
+        spaces
+            + self.order.tracked_bytes()
+            + self.cross.tracked_bytes()
+            + epochs
+            + reports
+            + residuals
+    }
+
     fn space_key(&self, tid: ThreadId, strand: Option<StrandId>) -> SpaceKey {
         match strand {
             Some(s) if self.config.model == PersistencyModel::Strand => SpaceKey::Strand(s),

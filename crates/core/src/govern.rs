@@ -1,0 +1,599 @@
+//! Memory governance: global and per-session allocation accounting with a
+//! typed pressure signal.
+//!
+//! PMDebugger's speed comes from keeping everything hot in memory — the
+//! location arrays, interval trees and per-rule dedup state — which means a
+//! long-running daemon must degrade by *policy* when tracked bytes approach
+//! a budget, never by the kernel OOM killer. [`MemGovernor`] is that
+//! policy's accounting substrate:
+//!
+//! * every session registers a [`SessionGrant`] and reports its tracked
+//!   bytes (from [`crate::PmDebugger::tracked_bytes`]) as it grows;
+//! * the governor maintains the global total, a high-water mark, and
+//!   watermark-derived [`MemPressure`] with hysteresis (pressure entered at
+//!   the high watermark is not released until the total falls under the low
+//!   watermark, so backpressure does not flap);
+//! * admission callers ask [`MemGovernor::try_admit`] whether an estimated
+//!   cost fits; rejections carry the byte count that was wanted so shed
+//!   responses can be structured;
+//! * spills, rehydrations, rejections and pause time are counted and
+//!   exported as `mem.*` metrics.
+//!
+//! Accounting is shared-state (`Arc` + atomics): clones observe the same
+//! totals, so the accept loop, session threads and metrics exporters all
+//! see one truth. Tracked bytes can never go negative — grants remember
+//! their own contribution and release exactly it — and after every grant is
+//! dropped the governor returns to its empty-state baseline (property:
+//! `crates/core/tests/govern_properties.rs`).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use pm_obs::MetricsRegistry;
+
+/// Typed memory-pressure signal derived from the global budget watermarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum MemPressure {
+    /// Tracked bytes are under the soft watermark: no action needed.
+    Ok,
+    /// Tracked bytes crossed the soft (high) watermark: pause reads on the
+    /// largest sessions so detection drains faster than ingest.
+    Soft,
+    /// Tracked bytes crossed the hard watermark: spill cold sessions to
+    /// disk to free live state.
+    Hard,
+    /// Tracked bytes exceed the budget itself: admit nothing, shed new
+    /// work.
+    Reject,
+}
+
+impl MemPressure {
+    /// Stable lowercase name (for logs and reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            MemPressure::Ok => "ok",
+            MemPressure::Soft => "soft",
+            MemPressure::Hard => "hard",
+            MemPressure::Reject => "reject",
+        }
+    }
+}
+
+/// Why an admission attempt was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdmitError {
+    /// Bytes the admission would have needed.
+    pub bytes_wanted: u64,
+    /// Pressure level at refusal time.
+    pub pressure: MemPressure,
+}
+
+impl std::fmt::Display for AdmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "memory budget exhausted ({} pressure, {} bytes wanted)",
+            self.pressure.name(),
+            self.bytes_wanted
+        )
+    }
+}
+
+impl std::error::Error for AdmitError {}
+
+/// Watermark configuration. Percentages are of the global budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GovernorConfig {
+    /// Global tracked-byte budget. `None` disables global governance
+    /// (pressure is always [`MemPressure::Ok`]).
+    pub global_budget: Option<u64>,
+    /// Per-session tracked-byte budget. `None` disables per-session caps.
+    pub session_budget: Option<u64>,
+    /// Soft (high) watermark as a percentage of the global budget.
+    pub soft_pct: u8,
+    /// Hard watermark as a percentage of the global budget.
+    pub hard_pct: u8,
+    /// Low watermark as a percentage: once pressure is entered it is held
+    /// until the total falls below this (hysteresis).
+    pub low_pct: u8,
+}
+
+impl Default for GovernorConfig {
+    fn default() -> Self {
+        GovernorConfig {
+            global_budget: None,
+            session_budget: None,
+            soft_pct: 70,
+            hard_pct: 90,
+            low_pct: 60,
+        }
+    }
+}
+
+impl GovernorConfig {
+    /// Config with only a global budget set (default watermarks).
+    pub fn with_global_budget(budget: u64) -> Self {
+        GovernorConfig {
+            global_budget: Some(budget),
+            ..GovernorConfig::default()
+        }
+    }
+}
+
+/// A hook that can veto byte reservations — the injectable failing
+/// allocator used by the chaos harness. Returning `false` fails the
+/// reservation as if the budget were exhausted.
+pub type ReserveHook = dyn Fn(u64) -> bool + Send + Sync;
+
+#[derive(Debug, Default)]
+struct Counters {
+    spills: AtomicU64,
+    rehydrations: AtomicU64,
+    rejections: AtomicU64,
+    pauses: AtomicU64,
+    pause_ms: AtomicU64,
+}
+
+struct Inner {
+    cfg: GovernorConfig,
+    /// Total tracked bytes across all live grants.
+    tracked: AtomicU64,
+    /// High-water mark of `tracked`.
+    peak: AtomicU64,
+    /// Hysteresis latch: non-zero while pressure entered at a watermark has
+    /// not yet drained below the low watermark.
+    latched: AtomicU64,
+    /// Per-session tracked bytes, for largest/coldest targeting.
+    sessions: Mutex<HashMap<u64, u64>>,
+    counters: Counters,
+    reserve_hook: Mutex<Option<Arc<ReserveHook>>>,
+}
+
+impl std::fmt::Debug for Inner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemGovernor")
+            .field("cfg", &self.cfg)
+            .field("tracked", &self.tracked.load(Ordering::Relaxed))
+            .field("peak", &self.peak.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// Shared memory-governance accounting. Cheap to clone; clones are handles
+/// onto the same totals.
+#[derive(Debug, Clone)]
+pub struct MemGovernor {
+    inner: Arc<Inner>,
+}
+
+/// Counter snapshot (see [`MemGovernor::counters`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GovernorCounters {
+    /// Live tracked bytes at snapshot time.
+    pub tracked_bytes: u64,
+    /// High-water mark of tracked bytes.
+    pub peak_bytes: u64,
+    /// Sessions spilled to disk under Hard pressure.
+    pub spills: u64,
+    /// Spilled sessions brought back to memory.
+    pub rehydrations: u64,
+    /// Admissions refused (budget or failing-allocator hook).
+    pub rejections: u64,
+    /// Read pauses applied under Soft pressure.
+    pub pauses: u64,
+    /// Total milliseconds sessions spent paused.
+    pub pause_ms: u64,
+}
+
+impl MemGovernor {
+    /// A governor with the given watermark configuration.
+    pub fn new(cfg: GovernorConfig) -> Self {
+        MemGovernor {
+            inner: Arc::new(Inner {
+                cfg,
+                tracked: AtomicU64::new(0),
+                peak: AtomicU64::new(0),
+                latched: AtomicU64::new(0),
+                sessions: Mutex::new(HashMap::new()),
+                counters: Counters::default(),
+                reserve_hook: Mutex::new(None),
+            }),
+        }
+    }
+
+    /// A governor with no budgets: all accounting, no pressure.
+    pub fn unlimited() -> Self {
+        Self::new(GovernorConfig::default())
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> GovernorConfig {
+        self.inner.cfg
+    }
+
+    /// Installs (or clears) the reservation veto hook — the failing
+    /// allocator the chaos harness injects.
+    pub fn set_reserve_hook(&self, hook: Option<Arc<ReserveHook>>) {
+        *self.inner.reserve_hook.lock().expect("hook lock") = hook;
+    }
+
+    /// Live tracked bytes across all grants.
+    pub fn tracked_bytes(&self) -> u64 {
+        self.inner.tracked.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of tracked bytes.
+    pub fn peak_bytes(&self) -> u64 {
+        self.inner.peak.load(Ordering::Relaxed)
+    }
+
+    /// Current pressure with hysteresis: entering Soft/Hard latches until
+    /// the total drains below the low watermark.
+    pub fn pressure(&self) -> MemPressure {
+        let Some(budget) = self.inner.cfg.global_budget else {
+            return MemPressure::Ok;
+        };
+        let tracked = self.tracked_bytes();
+        let pct = |p: u8| budget / 100 * u64::from(p) + budget % 100 * u64::from(p) / 100;
+        let raw = if tracked >= budget {
+            MemPressure::Reject
+        } else if tracked >= pct(self.inner.cfg.hard_pct) {
+            MemPressure::Hard
+        } else if tracked >= pct(self.inner.cfg.soft_pct) {
+            MemPressure::Soft
+        } else {
+            MemPressure::Ok
+        };
+        if raw > MemPressure::Ok {
+            self.inner.latched.store(1, Ordering::Relaxed);
+            return raw;
+        }
+        if self.inner.latched.load(Ordering::Relaxed) != 0 {
+            if tracked >= pct(self.inner.cfg.low_pct) {
+                // Latched: hold Soft until drained below the low watermark.
+                return MemPressure::Soft;
+            }
+            self.inner.latched.store(0, Ordering::Relaxed);
+        }
+        MemPressure::Ok
+    }
+
+    /// Per-session pressure for a session currently holding `bytes`.
+    pub fn session_pressure(&self, bytes: u64) -> MemPressure {
+        match self.inner.cfg.session_budget {
+            Some(budget) if bytes >= budget => MemPressure::Hard,
+            _ => MemPressure::Ok,
+        }
+    }
+
+    /// Whether an admission costing an estimated `bytes_wanted` fits the
+    /// budget right now. Refusals count as rejections.
+    pub fn try_admit(&self, bytes_wanted: u64) -> Result<(), AdmitError> {
+        if let Some(hook) = self.inner.reserve_hook.lock().expect("hook lock").clone() {
+            if !hook(bytes_wanted) {
+                self.inner
+                    .counters
+                    .rejections
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(AdmitError {
+                    bytes_wanted,
+                    pressure: self.pressure(),
+                });
+            }
+        }
+        let Some(budget) = self.inner.cfg.global_budget else {
+            return Ok(());
+        };
+        let tracked = self.tracked_bytes();
+        if tracked.saturating_add(bytes_wanted) > budget || self.pressure() >= MemPressure::Hard {
+            self.inner
+                .counters
+                .rejections
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(AdmitError {
+                bytes_wanted,
+                pressure: self.pressure(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Registers a session and returns its accounting grant. The grant
+    /// releases its contribution when dropped.
+    pub fn register_session(&self, session_id: u64) -> SessionGrant {
+        self.inner
+            .sessions
+            .lock()
+            .expect("session table lock")
+            .insert(session_id, 0);
+        SessionGrant {
+            governor: self.clone(),
+            session_id,
+            bytes: 0,
+        }
+    }
+
+    /// Whether `session_id` currently holds the largest tracked footprint
+    /// (ties broken toward the queried session). Soft-pressure read pausing
+    /// targets exactly these sessions.
+    pub fn is_largest(&self, session_id: u64) -> bool {
+        let sessions = self.inner.sessions.lock().expect("session table lock");
+        let Some(&own) = sessions.get(&session_id) else {
+            return false;
+        };
+        own > 0 && sessions.values().all(|&b| b <= own)
+    }
+
+    /// Number of registered sessions.
+    pub fn session_count(&self) -> usize {
+        self.inner
+            .sessions
+            .lock()
+            .expect("session table lock")
+            .len()
+    }
+
+    /// Records a Soft-pressure read pause of `ms` milliseconds.
+    pub fn note_pause(&self, ms: u64) {
+        self.inner.counters.pauses.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .counters
+            .pause_ms
+            .fetch_add(ms, Ordering::Relaxed);
+    }
+
+    /// Records a session spill to disk.
+    pub fn note_spill(&self) {
+        self.inner.counters.spills.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a spilled session rehydrated back to memory.
+    pub fn note_rehydration(&self) {
+        self.inner
+            .counters
+            .rehydrations
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counter snapshot.
+    pub fn counters(&self) -> GovernorCounters {
+        GovernorCounters {
+            tracked_bytes: self.tracked_bytes(),
+            peak_bytes: self.peak_bytes(),
+            spills: self.inner.counters.spills.load(Ordering::Relaxed),
+            rehydrations: self.inner.counters.rehydrations.load(Ordering::Relaxed),
+            rejections: self.inner.counters.rejections.load(Ordering::Relaxed),
+            pauses: self.inner.counters.pauses.load(Ordering::Relaxed),
+            pause_ms: self.inner.counters.pause_ms.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Exports the counters as `mem.*` metrics. Gauges carry the live
+    /// values; counters are set to the lifetime totals (export is a
+    /// snapshot, not a delta — call once per manifest).
+    pub fn export(&self, registry: &MetricsRegistry) {
+        let c = self.counters();
+        registry
+            .gauge("mem.tracked_bytes")
+            .set(i64::try_from(c.tracked_bytes).unwrap_or(i64::MAX));
+        registry
+            .gauge("mem.peak_bytes")
+            .set(i64::try_from(c.peak_bytes).unwrap_or(i64::MAX));
+        for (name, value) in [
+            ("mem.spills", c.spills),
+            ("mem.rehydrations", c.rehydrations),
+            ("mem.rejections", c.rejections),
+            ("mem.pauses", c.pauses),
+            ("mem.pause_ms", c.pause_ms),
+        ] {
+            if value > 0 {
+                registry.counter(name).add(value);
+            }
+        }
+    }
+
+    /// Applies a grant delta to the global total and the session table.
+    fn apply_delta(&self, session_id: u64, old: u64, new: u64) {
+        if new > old {
+            let grown = new - old;
+            let total = self.inner.tracked.fetch_add(grown, Ordering::Relaxed) + grown;
+            self.inner.peak.fetch_max(total, Ordering::Relaxed);
+        } else {
+            let shrunk = old - new;
+            // Grants only ever release what they contributed, so the total
+            // cannot underflow; saturate anyway so a logic bug degrades to
+            // skewed accounting instead of a wrapped "18 exabytes tracked".
+            let prev = self.inner.tracked.load(Ordering::Relaxed);
+            debug_assert!(prev >= shrunk, "governor release exceeds tracked total");
+            self.inner
+                .tracked
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |t| {
+                    Some(t.saturating_sub(shrunk))
+                })
+                .expect("fetch_update closure never returns None");
+        }
+        if let Ok(mut sessions) = self.inner.sessions.lock() {
+            if let Some(entry) = sessions.get_mut(&session_id) {
+                *entry = new;
+            }
+        }
+    }
+
+    fn drop_session(&self, session_id: u64) {
+        if let Ok(mut sessions) = self.inner.sessions.lock() {
+            sessions.remove(&session_id);
+        }
+    }
+}
+
+/// One session's accounting handle. Update it with the session's current
+/// tracked bytes after each batch; dropping it releases the session's full
+/// contribution and unregisters the session.
+#[derive(Debug)]
+pub struct SessionGrant {
+    governor: MemGovernor,
+    session_id: u64,
+    bytes: u64,
+}
+
+impl SessionGrant {
+    /// The session this grant accounts for.
+    pub fn session_id(&self) -> u64 {
+        self.session_id
+    }
+
+    /// Bytes currently charged by this grant.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Sets the grant to the session's current tracked bytes.
+    pub fn update(&mut self, bytes: u64) {
+        if bytes != self.bytes {
+            self.governor
+                .apply_delta(self.session_id, self.bytes, bytes);
+            self.bytes = bytes;
+        }
+    }
+
+    /// Releases the full contribution without unregistering (the session
+    /// spilled its state to disk and holds ~0 live bytes).
+    pub fn release_all(&mut self) {
+        self.update(0);
+    }
+
+    /// Pressure on this session against the per-session budget.
+    pub fn pressure(&self) -> MemPressure {
+        self.governor.session_pressure(self.bytes)
+    }
+}
+
+impl Drop for SessionGrant {
+    fn drop(&mut self) {
+        self.governor.apply_delta(self.session_id, self.bytes, 0);
+        self.governor.drop_session(self.session_id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_budget_means_no_pressure() {
+        let gov = MemGovernor::unlimited();
+        let mut grant = gov.register_session(1);
+        grant.update(u64::MAX / 2);
+        assert_eq!(gov.pressure(), MemPressure::Ok);
+        assert!(gov.try_admit(u64::MAX / 2).is_ok());
+    }
+
+    #[test]
+    fn watermarks_drive_pressure() {
+        let gov = MemGovernor::new(GovernorConfig::with_global_budget(1000));
+        let mut grant = gov.register_session(1);
+        assert_eq!(gov.pressure(), MemPressure::Ok);
+        grant.update(700);
+        assert_eq!(gov.pressure(), MemPressure::Soft);
+        grant.update(900);
+        assert_eq!(gov.pressure(), MemPressure::Hard);
+        grant.update(1000);
+        assert_eq!(gov.pressure(), MemPressure::Reject);
+    }
+
+    #[test]
+    fn pressure_latches_until_low_watermark() {
+        let gov = MemGovernor::new(GovernorConfig::with_global_budget(1000));
+        let mut grant = gov.register_session(1);
+        grant.update(950); // Hard
+        assert_eq!(gov.pressure(), MemPressure::Hard);
+        grant.update(650); // between low (600) and soft (700): still latched
+        assert_eq!(gov.pressure(), MemPressure::Soft);
+        grant.update(550); // under low watermark: released
+        assert_eq!(gov.pressure(), MemPressure::Ok);
+        grant.update(650); // re-approaching without a watermark hit: Ok
+        assert_eq!(gov.pressure(), MemPressure::Ok);
+    }
+
+    #[test]
+    fn admission_accounts_rejections() {
+        let gov = MemGovernor::new(GovernorConfig::with_global_budget(1000));
+        let mut grant = gov.register_session(1);
+        grant.update(800);
+        assert!(gov.try_admit(100).is_ok());
+        let err = gov.try_admit(300).unwrap_err();
+        assert_eq!(err.bytes_wanted, 300);
+        assert_eq!(gov.counters().rejections, 1);
+    }
+
+    #[test]
+    fn grant_drop_returns_to_baseline() {
+        let gov = MemGovernor::new(GovernorConfig::with_global_budget(1000));
+        {
+            let mut a = gov.register_session(1);
+            let mut b = gov.register_session(2);
+            a.update(300);
+            b.update(400);
+            assert_eq!(gov.tracked_bytes(), 700);
+            a.update(100);
+            assert_eq!(gov.tracked_bytes(), 500);
+        }
+        assert_eq!(gov.tracked_bytes(), 0);
+        assert_eq!(gov.session_count(), 0);
+        assert_eq!(gov.peak_bytes(), 700);
+    }
+
+    #[test]
+    fn largest_session_targeting() {
+        let gov = MemGovernor::unlimited();
+        let mut a = gov.register_session(1);
+        let mut b = gov.register_session(2);
+        a.update(100);
+        b.update(200);
+        assert!(!gov.is_largest(1));
+        assert!(gov.is_largest(2));
+        a.update(300);
+        assert!(gov.is_largest(1));
+    }
+
+    #[test]
+    fn reserve_hook_vetoes_admission() {
+        let gov = MemGovernor::unlimited();
+        gov.set_reserve_hook(Some(Arc::new(|bytes| bytes < 100)));
+        assert!(gov.try_admit(50).is_ok());
+        assert!(gov.try_admit(200).is_err());
+        gov.set_reserve_hook(None);
+        assert!(gov.try_admit(200).is_ok());
+    }
+
+    #[test]
+    fn session_budget_pressure() {
+        let gov = MemGovernor::new(GovernorConfig {
+            session_budget: Some(500),
+            ..GovernorConfig::default()
+        });
+        let mut grant = gov.register_session(1);
+        grant.update(400);
+        assert_eq!(grant.pressure(), MemPressure::Ok);
+        grant.update(500);
+        assert_eq!(grant.pressure(), MemPressure::Hard);
+    }
+
+    #[test]
+    fn export_emits_mem_metrics() {
+        let registry = MetricsRegistry::new();
+        let gov = MemGovernor::new(GovernorConfig::with_global_budget(1000));
+        let mut grant = gov.register_session(1);
+        grant.update(600);
+        gov.note_spill();
+        gov.note_rehydration();
+        gov.note_pause(25);
+        gov.export(&registry);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("mem.spills"), 1);
+        assert_eq!(snap.counter("mem.rehydrations"), 1);
+        assert_eq!(snap.counter("mem.pauses"), 1);
+        assert_eq!(snap.counter("mem.pause_ms"), 25);
+    }
+}

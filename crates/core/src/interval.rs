@@ -99,6 +99,9 @@ pub struct IntervalList {
     /// bounding box can only be covered by a flush that also covers its
     /// store lines, so the index loses no state transitions.
     line_map: LineMap,
+    /// Total slots across all `line_map` values, maintained incrementally
+    /// so memory accounting never walks the map.
+    line_slots: usize,
 }
 
 impl IntervalList {
@@ -135,6 +138,7 @@ impl IntervalList {
             let slots = self.line_map.entry(line).or_default();
             if slots.last() != Some(&interval_idx) {
                 slots.push(interval_idx);
+                self.line_slots += 1;
             }
         }
     }
@@ -184,7 +188,18 @@ impl IntervalList {
     pub fn clear(&mut self) {
         self.intervals.clear();
         self.line_map.clear();
+        self.line_slots = 0;
         self.open = false;
+    }
+
+    /// Heap bytes held by the interval metadata and the line index.
+    pub fn tracked_bytes(&self) -> u64 {
+        let intervals = self.intervals.capacity() * std::mem::size_of::<IntervalMeta>();
+        // One map entry per line (key + Vec header) plus the slot storage.
+        let map_entries =
+            self.line_map.len() * (std::mem::size_of::<Addr>() + std::mem::size_of::<Vec<usize>>());
+        let slots = self.line_slots * std::mem::size_of::<usize>();
+        (intervals + map_entries + slots) as u64
     }
 
     pub(crate) fn encode_into(&self, w: &mut CkptWriter) {
@@ -248,6 +263,7 @@ impl IntervalList {
         }
         let line_count = r.count()?;
         let mut line_map = LineMap::default();
+        let mut line_slots = 0;
         for _ in 0..line_count {
             let line = r.varint()?;
             let slot_count = r.count()?;
@@ -261,12 +277,14 @@ impl IntervalList {
                 }
                 slots.push(slot);
             }
+            line_slots += slots.len();
             line_map.insert(line, slots);
         }
         Ok(IntervalList {
             intervals,
             open,
             line_map,
+            line_slots,
         })
     }
 }

@@ -47,6 +47,7 @@ pub mod ckpt;
 pub mod config;
 pub mod cover;
 pub mod debugger;
+pub mod govern;
 pub mod interval;
 pub mod order;
 pub mod parallel;
@@ -64,6 +65,9 @@ pub use config::{
 };
 pub use cover::RangeCover;
 pub use debugger::{CustomRule, PmDebugger, SpaceView};
+pub use govern::{
+    AdmitError, GovernorConfig, GovernorCounters, MemGovernor, MemPressure, SessionGrant,
+};
 pub use interval::{IntervalList, IntervalMeta, IntervalState};
 pub use order::{CrossThreadTracker, OrderTracker};
 pub use parallel::{

@@ -83,6 +83,23 @@ impl OrderTracker {
         self.spec.rules().is_empty()
     }
 
+    /// Estimated heap bytes held by the variable and function tables.
+    /// Walks the maps, but both are bounded by the (small) order spec, so
+    /// this stays cheap even when called per batch.
+    pub fn tracked_bytes(&self) -> u64 {
+        let vars: usize = self
+            .vars
+            .keys()
+            .map(|name| name.len() + std::mem::size_of::<VarState>())
+            .sum();
+        let armed: usize = self
+            .armed_functions
+            .keys()
+            .map(|name| name.len() + std::mem::size_of::<bool>())
+            .sum();
+        (vars + armed + self.reported.capacity()) as u64
+    }
+
     /// Binds variable `name` to `[addr, addr+len)`.
     pub fn bind(&mut self, name: &str, addr: Addr, len: u64) {
         let state = self.vars.entry(name.to_owned()).or_default();
@@ -376,6 +393,16 @@ impl CrossThreadTracker {
     /// A tracker with no pending state.
     pub fn new() -> Self {
         CrossThreadTracker::default()
+    }
+
+    /// Estimated heap bytes held by the fence-epoch vector and the pending
+    /// store set. O(1): both maps expose their lengths.
+    pub fn tracked_bytes(&self) -> u64 {
+        let epochs = self.fence_epochs.len()
+            * (std::mem::size_of::<ThreadId>() + std::mem::size_of::<u64>());
+        let pending = self.pending.len()
+            * (std::mem::size_of::<(Addr, u64)>() + std::mem::size_of::<PendingStore>());
+        (epochs + pending) as u64
     }
 
     /// Current fence epoch of `tid`.

@@ -65,6 +65,12 @@ impl SessionCheckpoint {
         self.reports_emitted
     }
 
+    /// Estimated heap bytes the checkpointed state will occupy once
+    /// resumed (see [`PmDebugger::tracked_bytes`]).
+    pub fn tracked_bytes(&self) -> u64 {
+        self.state.tracked_bytes()
+    }
+
     /// Serializes the checkpoint into a self-contained binary blob:
     /// `PMCKPT` magic, a version field, the full detection state as LEB128
     /// payload fields (v2 framing discipline), and a trailing CRC32 over
@@ -249,6 +255,13 @@ impl DetectSession {
     /// Live bookkeeping statistics (see [`PmDebugger::stats`]).
     pub fn stats(&self) -> DebuggerStats {
         self.inner.stats()
+    }
+
+    /// Estimated heap bytes held by the session's detection state (see
+    /// [`PmDebugger::tracked_bytes`]). This is the number memory governors
+    /// account against session budgets.
+    pub fn tracked_bytes(&self) -> u64 {
+        self.inner.tracked_bytes()
     }
 
     /// Structurally invalid events tolerated so far (see

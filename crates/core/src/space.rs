@@ -166,6 +166,14 @@ impl BookkeepingSpace {
         self.stats
     }
 
+    /// Heap bytes held by this space's array, interval metadata and tree.
+    /// O(1): every component tracks its own size incrementally. Unchanged
+    /// whenever [`BookkeepingSpace::version`] is unchanged, so aggregate
+    /// callers can cache per-space contributions.
+    pub fn tracked_bytes(&self) -> u64 {
+        self.array.tracked_bytes() + self.intervals.tracked_bytes() + self.tree.tracked_bytes()
+    }
+
     /// Tree maintenance statistics.
     pub fn tree_stats(&self) -> crate::avl::TreeOpStats {
         self.tree.stats()

@@ -174,10 +174,21 @@ impl SupervisorConfig {
     }
 
     /// Total attempt slots a shard gets: the initial attempt, the threaded
-    /// retries, and the sequential fallback if enabled.
+    /// retries, and the sequential fallback if enabled. Saturates so a
+    /// `max_retries` of `u32::MAX` stays a budget, not an overflow.
     pub fn total_attempts(&self) -> u32 {
-        self.max_retries + 1 + u32::from(self.sequential_fallback)
+        self.max_retries
+            .saturating_add(1)
+            .saturating_add(u32::from(self.sequential_fallback))
     }
+}
+
+/// The linear retry delay `base * attempt`, saturating: `Duration * u32`
+/// panics on overflow, and retry/backoff products near the extremes
+/// (`max_retries` close to `u32::MAX`, multi-year backoffs) must degrade
+/// to a capped sleep, never abort the supervisor.
+fn linear_backoff(base: Duration, attempt: u32) -> Duration {
+    base.saturating_mul(attempt)
 }
 
 /// One injected detector fault.
@@ -822,7 +833,7 @@ pub fn detect_supervised_from(
         if attempt > 0 {
             retries += pending.len() as u64;
             if !sup.retry_backoff.is_zero() {
-                thread::sleep(sup.retry_backoff * attempt);
+                thread::sleep(linear_backoff(sup.retry_backoff, attempt));
             }
         }
         let results = run_attempt(
@@ -846,10 +857,10 @@ pub fn detect_supervised_from(
     }
 
     if sup.sequential_fallback && !pending.is_empty() {
-        let attempt = sup.max_retries + 1;
+        let attempt = sup.max_retries.saturating_add(1);
         retries += pending.len() as u64;
         if !sup.retry_backoff.is_zero() {
-            thread::sleep(sup.retry_backoff * attempt);
+            thread::sleep(linear_backoff(sup.retry_backoff, attempt));
         }
         let mut still_failed = Vec::new();
         for &w in &pending {
@@ -1032,6 +1043,30 @@ mod tests {
             det.on_event(seq as u64, event);
         }
         det.finish()
+    }
+
+    #[test]
+    fn retry_arithmetic_saturates_at_the_extremes() {
+        // `Duration * u32` aborts on overflow; the backoff product near
+        // `u64::MAX` nanoseconds must cap instead.
+        assert_eq!(
+            linear_backoff(Duration::from_millis(10), 3),
+            Duration::from_millis(30)
+        );
+        assert_eq!(
+            linear_backoff(Duration::from_secs(u64::MAX / 2), u32::MAX),
+            Duration::MAX
+        );
+        assert_eq!(linear_backoff(Duration::MAX, 2), Duration::MAX);
+        assert_eq!(linear_backoff(Duration::MAX, 0), Duration::ZERO);
+
+        // The attempt budget itself must not wrap either.
+        let sup = SupervisorConfig::default()
+            .with_max_retries(u32::MAX)
+            .with_sequential_fallback(true);
+        assert_eq!(sup.total_attempts(), u32::MAX);
+        let sup = SupervisorConfig::default().with_max_retries(u32::MAX - 1);
+        assert_eq!(sup.total_attempts(), u32::MAX);
     }
 
     #[test]

@@ -1,0 +1,123 @@
+//! Property-based tests for [`pmdebugger::MemGovernor`]: under arbitrary
+//! interleavings of grant growth, shrinkage, spill-style full releases
+//! and session teardown, the tracked total always equals the sum of the
+//! live grants (it can never underflow into a huge wrapped value), the
+//! peak is a true high-water mark, and tearing every session down
+//! returns the governor to its empty-state baseline — no leaked bytes
+//! across spill/rehydrate/quarantine paths.
+
+use pmdebugger::{GovernorConfig, MemGovernor, SessionGrant};
+use proptest::prelude::*;
+
+/// One step of a session's life the serve layer can drive.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Charge the session with a new tracked-byte reading (growth or
+    /// shrinkage — rehydration, batch commits, clears).
+    Update { session: usize, bytes: u64 },
+    /// Spill: release the full contribution, session stays registered.
+    ReleaseAll { session: usize },
+    /// Teardown (clean end or quarantine): drop the grant entirely.
+    Drop { session: usize },
+    /// A torn-down session id is reused by a new connection.
+    Reregister { session: usize },
+}
+
+fn any_op(sessions: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => (0..sessions, 0u64..1_000_000).prop_map(|(session, bytes)| Op::Update {
+            session,
+            bytes
+        }),
+        2 => (0..sessions).prop_map(|session| Op::ReleaseAll { session }),
+        2 => (0..sessions).prop_map(|session| Op::Drop { session }),
+        1 => (0..sessions).prop_map(|session| Op::Reregister { session }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn tracked_bytes_match_live_grants_and_drain_to_zero(
+        ops in proptest::collection::vec(any_op(6), 1..200),
+        budget in proptest::option::of(1u64..2_000_000),
+    ) {
+        let governor = MemGovernor::new(GovernorConfig {
+            global_budget: budget,
+            ..GovernorConfig::default()
+        });
+        let mut grants: Vec<Option<SessionGrant>> = (0..6)
+            .map(|id| Some(governor.register_session(id as u64)))
+            .collect();
+        let mut peak_seen: u64 = 0;
+
+        for op in ops {
+            match op {
+                Op::Update { session, bytes } => {
+                    if let Some(grant) = grants[session].as_mut() {
+                        grant.update(bytes);
+                    }
+                }
+                Op::ReleaseAll { session } => {
+                    if let Some(grant) = grants[session].as_mut() {
+                        grant.release_all();
+                        prop_assert_eq!(grant.bytes(), 0);
+                    }
+                }
+                Op::Drop { session } => {
+                    grants[session] = None;
+                }
+                Op::Reregister { session } => {
+                    if grants[session].is_none() {
+                        grants[session] =
+                            Some(governor.register_session(session as u64));
+                    }
+                }
+            }
+            let live: u64 = grants
+                .iter()
+                .flatten()
+                .map(SessionGrant::bytes)
+                .sum();
+            prop_assert_eq!(
+                governor.tracked_bytes(),
+                live,
+                "tracked total must equal the sum of live grants"
+            );
+            peak_seen = peak_seen.max(live);
+            prop_assert!(governor.peak_bytes() >= governor.tracked_bytes());
+            prop_assert_eq!(governor.peak_bytes(), peak_seen);
+        }
+
+        // Teardown: every path — spilled, quarantined, clean — ends with
+        // the grant dropped, and the governor must be back at baseline.
+        grants.clear();
+        prop_assert_eq!(governor.tracked_bytes(), 0);
+        prop_assert_eq!(governor.session_count(), 0);
+        prop_assert_eq!(governor.peak_bytes(), peak_seen);
+    }
+
+    #[test]
+    fn largest_session_is_a_true_maximum(
+        sizes in proptest::collection::vec(0u64..100_000, 2..8),
+    ) {
+        let governor = MemGovernor::unlimited();
+        let mut grants: Vec<SessionGrant> = sizes
+            .iter()
+            .enumerate()
+            .map(|(id, _)| governor.register_session(id as u64))
+            .collect();
+        for (grant, &bytes) in grants.iter_mut().zip(&sizes) {
+            grant.update(bytes);
+        }
+        let max = sizes.iter().copied().max().unwrap_or(0);
+        for (id, &bytes) in sizes.iter().enumerate() {
+            let largest = governor.is_largest(id as u64);
+            if largest {
+                prop_assert_eq!(bytes, max);
+                prop_assert!(bytes > 0);
+            } else {
+                prop_assert!(bytes < max || bytes == 0);
+            }
+        }
+    }
+}

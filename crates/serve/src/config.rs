@@ -113,6 +113,20 @@ pub struct ServeConfig {
     pub journal_env: Option<Arc<dyn JournalEnv>>,
     /// Test-only fault injection (see [`FaultHook`]).
     pub fault_hook: Option<FaultHook>,
+    /// Global tracked-byte budget across all live sessions. `None`
+    /// disables memory governance.
+    pub mem_budget: Option<u64>,
+    /// Per-session tracked-byte budget: a session crossing it is spilled
+    /// to disk at its next batch boundary.
+    pub session_mem_budget: Option<u64>,
+    /// Directory spilled session state is written to. Defaults to the
+    /// journal directory when unset; with neither set, Hard pressure can
+    /// only pause, not spill.
+    pub spill_dir: Option<PathBuf>,
+    /// Pre-built governor override (the chaos harness injects one with a
+    /// failing-allocator hook installed). `None` = built from the budgets
+    /// above at server start.
+    pub governor: Option<pmdebugger::MemGovernor>,
 }
 
 /// A configuration bound violation, caught at [`ServeConfig::validate`]
@@ -137,6 +151,17 @@ pub enum ServeConfigError {
         /// The rejected value.
         got: u64,
     },
+    /// `mem_budget` must be at least 1 byte when set.
+    MemBudget {
+        /// The rejected value.
+        got: u64,
+    },
+    /// `session_mem_budget` must not exceed `mem_budget` (a session could
+    /// never reach it) and must be at least 1 byte when set.
+    SessionMemBudget {
+        /// The rejected value.
+        got: u64,
+    },
 }
 
 impl fmt::Display for ServeConfigError {
@@ -150,6 +175,15 @@ impl fmt::Display for ServeConfigError {
             }
             ServeConfigError::MaxBytesInFlight { got } => {
                 write!(f, "max_bytes_in_flight must be >= 1, got {got}")
+            }
+            ServeConfigError::MemBudget { got } => {
+                write!(f, "mem_budget must be >= 1 byte when set, got {got}")
+            }
+            ServeConfigError::SessionMemBudget { got } => {
+                write!(
+                    f,
+                    "session_mem_budget must be >= 1 byte and <= mem_budget, got {got}"
+                )
             }
         }
     }
@@ -172,6 +206,9 @@ impl fmt::Debug for ServeConfig {
             .field("journal_dir", &self.journal_dir)
             .field("journal_env", &self.journal_env.is_some())
             .field("fault_hook", &self.fault_hook.is_some())
+            .field("mem_budget", &self.mem_budget)
+            .field("session_mem_budget", &self.session_mem_budget)
+            .field("spill_dir", &self.spill_dir)
             .finish()
     }
 }
@@ -197,6 +234,10 @@ impl ServeConfig {
             journal_dir: None,
             journal_env: None,
             fault_hook: None,
+            mem_budget: None,
+            session_mem_budget: None,
+            spill_dir: None,
+            governor: None,
         }
     }
 
@@ -223,7 +264,26 @@ impl ServeConfig {
                 got: self.max_bytes_in_flight,
             });
         }
+        if let Some(budget) = self.mem_budget {
+            if budget < 1 {
+                return Err(ServeConfigError::MemBudget { got: budget });
+            }
+        }
+        if let Some(session_budget) = self.session_mem_budget {
+            let over_global = self.mem_budget.is_some_and(|b| session_budget > b);
+            if session_budget < 1 || over_global {
+                return Err(ServeConfigError::SessionMemBudget {
+                    got: session_budget,
+                });
+            }
+        }
         Ok(())
+    }
+
+    /// The directory spilled session state goes to: `spill_dir` when set,
+    /// otherwise the journal directory.
+    pub fn effective_spill_dir(&self) -> Option<&PathBuf> {
+        self.spill_dir.as_ref().or(self.journal_dir.as_ref())
     }
 }
 
@@ -283,5 +343,44 @@ mod tests {
             cfg.validate(),
             Err(ServeConfigError::MaxBytesInFlight { got: 0 })
         );
+    }
+
+    #[test]
+    fn validate_rejects_bad_memory_budgets() {
+        let listen = Listen::Tcp("127.0.0.1:0".to_owned());
+        let mut cfg = ServeConfig::new(listen.clone());
+        cfg.mem_budget = Some(0);
+        assert_eq!(cfg.validate(), Err(ServeConfigError::MemBudget { got: 0 }));
+
+        let mut cfg = ServeConfig::new(listen.clone());
+        cfg.session_mem_budget = Some(0);
+        assert_eq!(
+            cfg.validate(),
+            Err(ServeConfigError::SessionMemBudget { got: 0 })
+        );
+
+        // A per-session budget above the global budget is unreachable.
+        let mut cfg = ServeConfig::new(listen.clone());
+        cfg.mem_budget = Some(1 << 20);
+        cfg.session_mem_budget = Some(2 << 20);
+        assert_eq!(
+            cfg.validate(),
+            Err(ServeConfigError::SessionMemBudget { got: 2 << 20 })
+        );
+
+        let mut cfg = ServeConfig::new(listen);
+        cfg.mem_budget = Some(2 << 20);
+        cfg.session_mem_budget = Some(1 << 20);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn spill_dir_falls_back_to_journal_dir() {
+        let mut cfg = ServeConfig::new(Listen::Tcp("127.0.0.1:0".to_owned()));
+        assert!(cfg.effective_spill_dir().is_none());
+        cfg.journal_dir = Some(PathBuf::from("/tmp/j"));
+        assert_eq!(cfg.effective_spill_dir(), Some(&PathBuf::from("/tmp/j")));
+        cfg.spill_dir = Some(PathBuf::from("/tmp/s"));
+        assert_eq!(cfg.effective_spill_dir(), Some(&PathBuf::from("/tmp/s")));
     }
 }

@@ -595,6 +595,11 @@ pub struct RecoverySummary {
     pub records_total: u64,
     /// Torn/corrupt regions across all files.
     pub torn_total: u64,
+    /// `.wal` entries that could not be read at all (a directory with
+    /// the `.wal` suffix, permission failure, concurrent unlink). The
+    /// scan degrades — it keeps going — rather than aborting the whole
+    /// recovery over one bad entry.
+    pub read_failures: u64,
 }
 
 impl RecoverySummary {
@@ -603,10 +608,11 @@ impl RecoverySummary {
         use pm_obs::json::escape;
         let mut out = String::from("{\"schema\":\"pmdbg-recover-v1\",");
         out.push_str(&format!(
-            "\"sessions\":{},\"records_total\":{},\"torn_total\":{},\"entries\":[",
+            "\"sessions\":{},\"records_total\":{},\"torn_total\":{},\"read_failures\":{},\"entries\":[",
             self.sessions.len(),
             self.records_total,
-            self.torn_total
+            self.torn_total,
+            self.read_failures
         ));
         for (i, s) in self.sessions.iter().enumerate() {
             if i > 0 {
@@ -630,15 +636,25 @@ impl RecoverySummary {
 
 /// Scans a journal directory offline (no server needed) and summarizes
 /// every session's durable state — what `pmdbg recover <dir>` prints.
+/// An entry that cannot be read (a directory named `*.wal`, permission
+/// failure) is counted in [`RecoverySummary::read_failures`] and the
+/// scan continues over the rest.
 ///
 /// # Errors
 ///
-/// Directory-listing or file-read failure.
+/// Directory-listing failure (missing directory, a file where a
+/// directory was expected, no list permission).
 pub fn recover_dir(dir: &Path) -> io::Result<RecoverySummary> {
     let env = FsJournalEnv;
     let mut summary = RecoverySummary::default();
     for key in env.list_keys(dir)? {
-        let bytes = env.read(dir, &key)?;
+        let bytes = match env.read(dir, &key) {
+            Ok(bytes) => bytes,
+            Err(_) => {
+                summary.read_failures += 1;
+                continue;
+            }
+        };
         let scan = scan_journal(&key, &bytes);
         let (events_committed, reports) = match &scan.checkpoint {
             Some((ec, _, reports_blob)) => (
@@ -818,6 +834,27 @@ mod tests {
         assert!(summary.sessions[0].has_verdict);
         assert!(summary.to_json().contains("\"pmdbg-recover-v1\""));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unreadable_wal_entry_degrades_the_scan_instead_of_aborting() {
+        let dir = std::env::temp_dir().join(format!("pmdbg-jrnl-unread-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(dir.join("bad.wal")).unwrap();
+        std::fs::write(dir.join("good.wal"), JOURNAL_FILE_MAGIC).unwrap();
+
+        let summary = recover_dir(&dir).unwrap();
+        assert_eq!(
+            summary.read_failures, 1,
+            "the directory entry is unreadable"
+        );
+        assert_eq!(summary.sessions.len(), 1, "the good journal still scans");
+        assert_eq!(summary.sessions[0].key, "good");
+        assert!(summary.to_json().contains("\"read_failures\":1"));
+
+        // A missing directory is still a hard listing error.
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(recover_dir(&dir).is_err());
     }
 
     #[test]

@@ -137,6 +137,9 @@ pub struct PushResponse {
     pub error_kind: Option<String>,
     /// Back-off hint on busy responses.
     pub retry_after_ms: Option<u64>,
+    /// On memory-governed shed responses: the bytes the admission would
+    /// have needed. Clients can use it to split or downsize streams.
+    pub bytes_wanted: Option<u64>,
     /// `true` when this verdict was answered from the journal's ledger
     /// (the key already completed) instead of recomputed.
     pub replayed: bool,
@@ -165,6 +168,7 @@ impl PushResponse {
             error: None,
             error_kind: None,
             retry_after_ms: None,
+            bytes_wanted: None,
             replayed: false,
         }
     }
@@ -212,6 +216,9 @@ impl PushResponse {
         }
         if let Some(ms) = self.retry_after_ms {
             out.push_str(&format!(",\"retry_after_ms\":{ms}"));
+        }
+        if let Some(bytes) = self.bytes_wanted {
+            out.push_str(&format!(",\"bytes_wanted\":{bytes}"));
         }
         if self.replayed {
             out.push_str(",\"replayed\":true");
@@ -284,6 +291,7 @@ impl PushResponse {
                 .and_then(Value::as_str)
                 .map(str::to_owned),
             retry_after_ms: value.get("retry_after_ms").and_then(Value::as_u64),
+            bytes_wanted: value.get("bytes_wanted").and_then(Value::as_u64),
             replayed: matches!(value.get("replayed"), Some(Value::Bool(true))),
         })
     }
@@ -328,6 +336,20 @@ mod tests {
         let back = PushResponse::from_json(&resp.to_json_line()).unwrap();
         assert_eq!(back.status, SessionStatus::Busy);
         assert_eq!(back.retry_after_ms, Some(250));
+        assert_eq!(back.bytes_wanted, None);
+    }
+
+    #[test]
+    fn memory_shed_response_carries_bytes_wanted() {
+        let mut resp = PushResponse::empty(SessionStatus::Busy);
+        resp.retry_after_ms = Some(250);
+        resp.bytes_wanted = Some(262_144);
+        resp.error = Some("memory budget exhausted".to_owned());
+        let line = resp.to_json_line();
+        assert!(line.contains("\"bytes_wanted\":262144"));
+        let back = PushResponse::from_json(&line).unwrap();
+        assert_eq!(back.bytes_wanted, Some(262_144));
+        assert_eq!(back, resp);
     }
 
     #[test]

@@ -12,6 +12,7 @@ use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use pm_obs::{MetricsRegistry, RunManifest};
+use pmdebugger::{GovernorConfig, MemGovernor};
 
 use crate::config::{Listen, ServeConfig};
 use crate::journal::{FsJournalEnv, Journal};
@@ -25,6 +26,10 @@ pub const SESSION_THREAD_PREFIX: &str = "pm-serve-session";
 
 /// Accept-loop poll granularity.
 const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// Seed for the learned bytes-per-session admission estimate, used until
+/// the first sessions complete and the EWMA takes over.
+const DEFAULT_SESSION_COST: u64 = 256 * 1024;
 
 /// How one accepted socket reaches the generic session host.
 enum Conn {
@@ -113,6 +118,12 @@ struct Shared {
     /// Write-ahead journal manager (recovery already run), when the
     /// server was started with a journal directory.
     journal: Option<Arc<Journal>>,
+    /// Memory-governance accounting shared by the accept loop (admission)
+    /// and every session (tracked-byte grants, pause/spill decisions).
+    governor: MemGovernor,
+    /// Learned bytes-per-session estimate (EWMA over completed sessions,
+    /// seeded with [`DEFAULT_SESSION_COST`]) — the admission cost.
+    session_cost: Arc<AtomicU64>,
 }
 
 impl Shared {
@@ -126,6 +137,28 @@ impl Shared {
         };
         let mut manifest = RunManifest::new("pmdbg-serve", &self.cfg.listen.to_string(), model);
         manifest.absorb_snapshot(&self.registry.snapshot());
+        // Memory rows are inserted (not absorbed) so repeated snapshots
+        // never double-count the governor's lifetime totals.
+        let mem = self.governor.counters();
+        manifest.gauges.insert(
+            "mem.tracked_bytes".to_owned(),
+            i64::try_from(mem.tracked_bytes).unwrap_or(i64::MAX),
+        );
+        manifest.gauges.insert(
+            "mem.peak_bytes".to_owned(),
+            i64::try_from(mem.peak_bytes).unwrap_or(i64::MAX),
+        );
+        for (name, value) in [
+            ("mem.spills", mem.spills),
+            ("mem.rehydrations", mem.rehydrations),
+            ("mem.rejections", mem.rejections),
+            ("mem.pauses", mem.pauses),
+            ("mem.pause_ms", mem.pause_ms),
+        ] {
+            if value > 0 {
+                manifest.counters.insert(name.to_owned(), value);
+            }
+        }
         manifest
     }
 }
@@ -218,6 +251,16 @@ impl Server {
                 (AnyListener::Tcp(l), Listen::Tcp(local.to_string()), None)
             }
         };
+        // An injected governor (chaos harness) wins; otherwise one is
+        // built from the configured budgets — unbudgeted servers still
+        // account tracked bytes, they just never feel pressure.
+        let governor = cfg.governor.clone().unwrap_or_else(|| {
+            MemGovernor::new(GovernorConfig {
+                global_budget: cfg.mem_budget,
+                session_budget: cfg.session_mem_budget,
+                ..GovernorConfig::default()
+            })
+        });
         let shared = Arc::new(Shared {
             cfg,
             flags: Arc::new(ShutdownFlags::default()),
@@ -225,6 +268,8 @@ impl Server {
             slots: Mutex::new(Vec::new()),
             started: Instant::now(),
             journal,
+            governor,
+            session_cost: Arc::new(AtomicU64::new(DEFAULT_SESSION_COST)),
         });
         let accept_shared = Arc::clone(&shared);
         let accept = thread::Builder::new()
@@ -324,8 +369,8 @@ fn accept_loop(shared: &Arc<Shared>, listener: AnyListener) {
             }
         };
         reap_finished(shared);
-        if let Some(reason) = overloaded(shared) {
-            shed(shared, conn, &reason);
+        if let Some(decision) = overloaded(shared) {
+            shed(shared, conn, &decision);
             continue;
         }
         next_id += 1;
@@ -350,19 +395,30 @@ fn reap_finished(shared: &Arc<Shared>) {
     *slots = kept;
 }
 
-/// The global overload decision: too many live sessions, or too many
-/// undecoded bytes buffered across them.
-fn overloaded(shared: &Arc<Shared>) -> Option<String> {
+/// Why a connection was shed, plus the structured memory detail when the
+/// refusal came from the governor.
+struct ShedDecision {
+    reason: String,
+    bytes_wanted: Option<u64>,
+}
+
+/// The global overload decision: too many live sessions, too many
+/// undecoded bytes buffered across them, or the memory governor refusing
+/// the estimated cost of one more session.
+fn overloaded(shared: &Arc<Shared>) -> Option<ShedDecision> {
     let slots = shared.slots.lock().expect("slots poisoned");
     let live = slots
         .iter()
         .filter(|s| !s.done.load(Ordering::Relaxed))
         .count();
     if live >= shared.cfg.max_sessions {
-        return Some(format!(
-            "server at max sessions ({}/{})",
-            live, shared.cfg.max_sessions
-        ));
+        return Some(ShedDecision {
+            reason: format!(
+                "server at max sessions ({}/{})",
+                live, shared.cfg.max_sessions
+            ),
+            bytes_wanted: None,
+        });
     }
     let in_flight: u64 = slots
         .iter()
@@ -373,22 +429,35 @@ fn overloaded(shared: &Arc<Shared>) -> Option<String> {
         .gauge("serve.bytes_in_flight_last")
         .set(in_flight as i64);
     if in_flight >= shared.cfg.max_bytes_in_flight {
-        return Some(format!(
-            "server at max bytes in flight ({in_flight}/{})",
-            shared.cfg.max_bytes_in_flight
-        ));
+        return Some(ShedDecision {
+            reason: format!(
+                "server at max bytes in flight ({in_flight}/{})",
+                shared.cfg.max_bytes_in_flight
+            ),
+            bytes_wanted: None,
+        });
+    }
+    drop(slots);
+    let estimate = shared.session_cost.load(Ordering::Relaxed);
+    if let Err(err) = shared.governor.try_admit(estimate) {
+        shared.registry.counter("serve.shed_memory").inc();
+        return Some(ShedDecision {
+            reason: err.to_string(),
+            bytes_wanted: Some(err.bytes_wanted),
+        });
     }
     None
 }
 
 /// Answers an overload connection with a busy response without reading
 /// its stream.
-fn shed(shared: &Arc<Shared>, mut conn: Conn, reason: &str) {
+fn shed(shared: &Arc<Shared>, mut conn: Conn, decision: &ShedDecision) {
     shared.registry.counter("serve.shed").inc();
     let _ = conn.set_write_timeout_ms(Some(1_000));
     let mut response = PushResponse::empty(SessionStatus::Busy);
-    response.error = Some(reason.to_owned());
+    response.error = Some(decision.reason.clone());
     response.retry_after_ms = Some(shared.cfg.retry_after.as_millis() as u64);
+    response.bytes_wanted = decision.bytes_wanted;
     let _ = conn.write_all(response.to_json_line().as_bytes());
     let _ = conn.write_all(b"\n");
 }
@@ -402,6 +471,8 @@ fn spawn_session(shared: &Arc<Shared>, conn: Conn, id: u64) {
         buffered: Arc::clone(&buffered),
         registry: shared.registry.clone(),
         journal: shared.journal.clone(),
+        governor: shared.governor.clone(),
+        session_cost: Arc::clone(&shared.session_cost),
     };
     let session_shared = Arc::clone(shared);
     let session_done = Arc::clone(&done);
@@ -487,6 +558,36 @@ mod tests {
 
         server.shutdown(Duration::from_millis(100));
         assert!(!path.exists(), "shutdown unlinks the socket");
+    }
+
+    #[test]
+    fn memory_exhausted_server_sheds_with_bytes_wanted() {
+        use std::io::{BufRead, BufReader};
+        // A 1-byte global budget: the seeded admission estimate can never
+        // fit, so every connection is shed with the structured memory
+        // detail instead of being accepted and OOMing later.
+        let mut cfg = ServeConfig::new(Listen::Tcp("127.0.0.1:0".into()));
+        cfg.mem_budget = Some(1);
+        let server = Server::start(cfg).unwrap();
+        let addr = match server.local_listen() {
+            Listen::Tcp(addr) => addr.clone(),
+            other => panic!("expected tcp, got {other:?}"),
+        };
+        let stream = TcpStream::connect(&addr).unwrap();
+        let mut line = String::new();
+        BufReader::new(stream).read_line(&mut line).unwrap();
+        let response = PushResponse::from_json(&line).unwrap();
+        assert_eq!(response.status, SessionStatus::Busy);
+        assert_eq!(response.bytes_wanted, Some(DEFAULT_SESSION_COST));
+        assert!(response.retry_after_ms.is_some());
+        assert!(response
+            .error
+            .as_deref()
+            .unwrap_or_default()
+            .contains("memory budget exhausted"));
+        let summary = server.shutdown(Duration::from_millis(200));
+        assert_eq!(summary.shed, 1);
+        assert!(summary.manifest_json.contains("\"mem.rejections\":1"));
     }
 
     #[test]

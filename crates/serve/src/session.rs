@@ -19,6 +19,7 @@
 
 use std::io::{Read, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
@@ -26,7 +27,10 @@ use std::time::{Duration, Instant};
 
 use pm_obs::MetricsRegistry;
 use pm_trace::{report_hash, BugReport, IngestError, PmEvent, StreamDecoder};
-use pmdebugger::{DebuggerConfig, DetectSession, FailMode, SessionCheckpoint};
+use pmdebugger::{
+    DebuggerConfig, DetectSession, FailMode, MemGovernor, MemPressure, SessionCheckpoint,
+    SessionGrant,
+};
 
 use crate::config::{FaultPoint, ServeConfig};
 use crate::error::SessionError;
@@ -90,6 +94,12 @@ pub(crate) struct SessionCtx {
     /// The write-ahead journal, when the server runs with one. Only
     /// sessions that announce a key (`SESSION <key>\n`) use it.
     pub journal: Option<Arc<Journal>>,
+    /// Shared memory-governance accounting: the host charges its tracked
+    /// bytes here and obeys its pause/spill pressure signals.
+    pub governor: MemGovernor,
+    /// Learned bytes-per-session admission estimate, updated with this
+    /// session's peak tracked bytes when it finishes.
+    pub session_cost: Arc<AtomicU64>,
 }
 
 /// How one session ended, for the server's summary accounting.
@@ -123,6 +133,12 @@ struct DetectPump<'a> {
     /// the full stream, and the first `skip` events are already
     /// committed in the recovered checkpoint.
     skip: u64,
+    /// Where this session's state goes under Hard memory pressure.
+    spill_dir: Option<PathBuf>,
+    /// The live spill file while the session's state is on disk.
+    spilled: Option<PathBuf>,
+    /// Governor handle for spill/rehydration accounting, when hosted.
+    governor: Option<MemGovernor>,
 }
 
 impl<'a> DetectPump<'a> {
@@ -141,11 +157,86 @@ impl<'a> DetectPump<'a> {
             failure: None,
             journal: None,
             skip: 0,
+            spill_dir: cfg.effective_spill_dir().cloned(),
+            spilled: None,
+            governor: None,
         }
     }
 
     fn failed(&self) -> bool {
         self.failure.is_some()
+    }
+
+    /// Live heap footprint of the detection state: the in-memory session
+    /// plus its rollback checkpoint. Zero-ish while spilled.
+    fn tracked_bytes(&self) -> u64 {
+        let session = self
+            .session
+            .as_ref()
+            .map_or(0, DetectSession::tracked_bytes);
+        session + self.checkpoint.tracked_bytes()
+    }
+
+    /// Spills the committed detection state to disk (temp file + atomic
+    /// rename) and frees the live session and rollback checkpoint. The
+    /// pending batch — bounded by `checkpoint_every` — stays in memory,
+    /// and the next batch rehydrates transparently. Best-effort: on any
+    /// I/O error the state simply stays in memory.
+    fn spill(&mut self) -> bool {
+        if self.spilled.is_some() || self.failed() {
+            return false;
+        }
+        let Some(dir) = self.spill_dir.clone() else {
+            return false;
+        };
+        // Between batches the live session and the checkpoint are the
+        // same state (feeding happens only inside `run_batch`, which
+        // re-checkpoints on commit), so persisting the checkpoint loses
+        // nothing.
+        let path = dir.join(format!("session-{}.spill", self.session_id));
+        let tmp = dir.join(format!("session-{}.spill.tmp", self.session_id));
+        let bytes = self.checkpoint.to_bytes();
+        if std::fs::write(&tmp, &bytes)
+            .and_then(|()| std::fs::rename(&tmp, &path))
+            .is_err()
+        {
+            let _ = std::fs::remove_file(&tmp);
+            return false;
+        }
+        self.session = None;
+        self.checkpoint =
+            DetectSession::new(DebuggerConfig::for_model(self.cfg.model)).checkpoint();
+        self.spilled = Some(path);
+        if let Some(governor) = &self.governor {
+            governor.note_spill();
+        }
+        true
+    }
+
+    /// Brings a spilled session back: reads the spill file, restores the
+    /// rollback checkpoint and resumes detection from it.
+    fn rehydrate(&mut self) -> Result<(), String> {
+        let Some(path) = self.spilled.take() else {
+            return Ok(());
+        };
+        let bytes = std::fs::read(&path).map_err(|e| format!("spill read failed: {e}"))?;
+        let checkpoint = SessionCheckpoint::from_bytes(&bytes)
+            .map_err(|e| format!("spill decode failed: {e}"))?;
+        let _ = std::fs::remove_file(&path);
+        self.session = Some(DetectSession::resume(checkpoint.clone()));
+        self.checkpoint = checkpoint;
+        if let Some(governor) = &self.governor {
+            governor.note_rehydration();
+        }
+        Ok(())
+    }
+
+    /// Removes the on-disk spill file when the session ended while
+    /// spilled (failure paths — success rehydrates before finishing).
+    fn cleanup_spill(&mut self) {
+        if let Some(path) = self.spilled.take() {
+            let _ = std::fs::remove_file(path);
+        }
     }
 
     /// Attaches a keyed session's journal. When a durable checkpoint
@@ -188,6 +279,12 @@ impl<'a> DetectPump<'a> {
     fn run_batch(&mut self, at_finish: bool) {
         if self.failed() || (self.pending.is_empty() && !at_finish) {
             return;
+        }
+        if self.spilled.is_some() {
+            if let Err(message) = self.rehydrate() {
+                self.fail(SessionError::Io { message });
+                return;
+            }
         }
         loop {
             let session = match self.session.take() {
@@ -251,7 +348,7 @@ impl<'a> DetectPump<'a> {
                     if !self.cfg.retry_backoff.is_zero() {
                         let jitter =
                             retry_jitter(self.session_id, self.attempts, self.cfg.retry_backoff);
-                        thread::sleep(self.cfg.retry_backoff * self.attempts + jitter);
+                        thread::sleep(backoff_delay(self.cfg.retry_backoff, self.attempts, jitter));
                     }
                     self.session = Some(DetectSession::resume(self.checkpoint.clone()));
                 }
@@ -274,6 +371,13 @@ impl<'a> DetectPump<'a> {
     fn frames_lost(&self, frames_decoded: u64) -> u64 {
         frames_decoded.saturating_sub(self.events_committed)
     }
+}
+
+/// Linear retry backoff, saturating end to end: `base * attempt + jitter`
+/// must never panic, even with `retry_backoff` and `max_retries`
+/// configured at their extremes (`Duration * u32` aborts on overflow).
+fn backoff_delay(base: Duration, attempt: u32, jitter: Duration) -> Duration {
+    base.saturating_mul(attempt).saturating_add(jitter)
 }
 
 /// Deterministic retry jitter: a splitmix64-mixed fraction of the base
@@ -367,6 +471,10 @@ pub(crate) fn handle_conn<S: SessionIo>(
 
     let mut decoder = StreamDecoder::new(cfg.mode, cfg.limits.clone());
     let mut pump = DetectPump::new(cfg, ctx.id);
+    pump.governor = Some(ctx.governor.clone());
+    let mut grant = ctx.governor.register_session(ctx.id);
+    let mut peak_tracked: u64 = 0;
+    let mut paused_last = false;
     let mut head: Vec<u8> = Vec::with_capacity(STATS_REQUEST.len());
     let mut sniffing = true;
     let mut eof = false;
@@ -387,6 +495,19 @@ pub(crate) fn handle_conn<S: SessionIo>(
             pump.fail(SessionError::Drained);
             break;
         }
+        // Soft pressure: throttle ingest on the largest session,
+        // alternating pause and read so a lone whale still drains
+        // instead of deadlocking on its own footprint.
+        if !paused_last
+            && ctx.governor.pressure() == MemPressure::Soft
+            && ctx.governor.is_largest(ctx.id)
+        {
+            ctx.governor.note_pause(POLL_MS);
+            thread::sleep(Duration::from_millis(POLL_MS));
+            paused_last = true;
+            continue;
+        }
+        paused_last = false;
         let n = match stream.read(&mut chunk) {
             Ok(0) => {
                 eof = true;
@@ -435,10 +556,11 @@ pub(crate) fn handle_conn<S: SessionIo>(
             decoder.push(&chunk[..n]);
         }
         if let Err(e) = drain_decoder(&mut decoder, &mut pump, cfg) {
-            return respond_decode_error(&mut stream, ctx, &mut decoder, &pump, start, e);
+            return respond_decode_error(&mut stream, ctx, &mut decoder, &mut pump, start, e);
         }
         ctx.buffered
             .store(decoder.buffered_bytes() as u64, Ordering::Relaxed);
+        govern(ctx, &mut pump, &mut grant, &mut peak_tracked);
     }
 
     if sniffing && !head.is_empty() {
@@ -467,13 +589,17 @@ pub(crate) fn handle_conn<S: SessionIo>(
     if !pump.failed() {
         decoder.finish();
         if let Err(e) = drain_decoder(&mut decoder, &mut pump, cfg) {
-            return respond_decode_error(&mut stream, ctx, &mut decoder, &pump, start, e);
+            return respond_decode_error(&mut stream, ctx, &mut decoder, &mut pump, start, e);
         }
         // End-of-stream rules (no-durability residuals) under the same
         // retry envelope as every other batch.
         pump.run_batch(true);
     }
     ctx.buffered.store(0, Ordering::Relaxed);
+    peak_tracked = peak_tracked.max(pump.tracked_bytes());
+    drop(grant);
+    pump.cleanup_spill();
+    observe_cost(&ctx.session_cost, peak_tracked);
 
     let response = build_response(cfg, ctx, &mut decoder, &pump, start);
     // Verdict ledger: only content-terminal outcomes — a clean end of
@@ -499,6 +625,32 @@ pub(crate) fn handle_conn<S: SessionIo>(
     let _ = stream.write_all(response.to_json_line().as_bytes());
     let _ = stream.write_all(b"\n");
     end
+}
+
+/// Post-drain governance: charge the grant with the session's live
+/// tracked bytes, then spill under Hard pressure — a per-session budget
+/// overrun, or global Hard pressure when this session holds the largest
+/// footprint.
+fn govern(ctx: &SessionCtx, pump: &mut DetectPump<'_>, grant: &mut SessionGrant, peak: &mut u64) {
+    let tracked = pump.tracked_bytes();
+    *peak = (*peak).max(tracked);
+    grant.update(tracked);
+    let hard = grant.pressure() >= MemPressure::Hard
+        || (ctx.governor.pressure() >= MemPressure::Hard && ctx.governor.is_largest(ctx.id));
+    if hard && pump.spill() {
+        grant.release_all();
+    }
+}
+
+/// Folds one finished session's peak tracked bytes into the learned
+/// admission estimate (EWMA, weight 1/4 to the new observation).
+fn observe_cost(cell: &AtomicU64, observed: u64) {
+    if observed == 0 {
+        return;
+    }
+    let old = cell.load(Ordering::Relaxed);
+    let new = old.saturating_mul(3).saturating_add(observed) / 4;
+    cell.store(new.max(1), Ordering::Relaxed);
 }
 
 /// Begins a keyed session against the journal. `Some(end)` means the
@@ -568,10 +720,11 @@ fn respond_decode_error<S: SessionIo>(
     stream: &mut S,
     ctx: &SessionCtx,
     decoder: &mut StreamDecoder,
-    pump: &DetectPump<'_>,
+    pump: &mut DetectPump<'_>,
     start: Instant,
     error: IngestError,
 ) -> SessionEnd {
+    pump.cleanup_spill();
     let mut response = PushResponse::empty(SessionStatus::Error);
     let report = decoder.report();
     response.session = ctx.id;
@@ -733,14 +886,20 @@ mod tests {
         to_binary(&trace)
     }
 
-    fn run(cfg: &ServeConfig, input: Vec<u8>) -> (SessionEnd, PushResponse) {
-        let ctx = SessionCtx {
-            id: 1,
+    fn anon_ctx(id: u64) -> SessionCtx {
+        SessionCtx {
+            id,
             flags: Arc::new(ShutdownFlags::default()),
             buffered: Arc::new(AtomicU64::new(0)),
             registry: MetricsRegistry::new(),
             journal: None,
-        };
+            governor: MemGovernor::unlimited(),
+            session_cost: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    fn run(cfg: &ServeConfig, input: Vec<u8>) -> (SessionEnd, PushResponse) {
+        let ctx = anon_ctx(1);
         let mut io = Loopback {
             input: std::io::Cursor::new(input),
             out: Vec::new(),
@@ -837,13 +996,7 @@ mod tests {
 
     #[test]
     fn stats_request_returns_snapshot_not_push_response() {
-        let ctx = SessionCtx {
-            id: 9,
-            flags: Arc::new(ShutdownFlags::default()),
-            buffered: Arc::new(AtomicU64::new(0)),
-            registry: MetricsRegistry::new(),
-            journal: None,
-        };
+        let ctx = anon_ctx(9);
         let mut io = Loopback {
             input: std::io::Cursor::new(STATS_REQUEST.to_vec()),
             out: Vec::new(),
@@ -862,6 +1015,89 @@ mod tests {
         // (empty) session — the server answers rather than aborting.
         assert_eq!(end, SessionEnd::Ok);
         assert_eq!(resp.frames_ok, 0);
+    }
+
+    #[test]
+    fn backoff_delay_saturates_instead_of_panicking() {
+        assert_eq!(
+            backoff_delay(Duration::from_millis(5), 3, Duration::from_millis(1)),
+            Duration::from_millis(16)
+        );
+        // max_retries / retry_backoff configured at their extremes: the
+        // product and the jitter add must saturate, never abort.
+        let huge = Duration::from_secs(u64::MAX / 2);
+        assert_eq!(backoff_delay(huge, u32::MAX, Duration::MAX), Duration::MAX);
+        assert_eq!(
+            backoff_delay(Duration::MAX, 2, Duration::ZERO),
+            Duration::MAX
+        );
+        assert_eq!(
+            backoff_delay(Duration::MAX, 1, Duration::from_nanos(1)),
+            Duration::MAX
+        );
+    }
+
+    #[test]
+    fn spill_and_rehydrate_is_byte_identical_mid_stream() {
+        let dir = journal_tmp("pump-spill");
+        let mut cfg = test_config();
+        cfg.spill_dir = Some(dir.clone());
+        let events = sample_events();
+        let mut clean = DetectPump::new(&cfg, 7);
+        for e in events.clone() {
+            clean.push_event(e);
+        }
+        clean.run_batch(true);
+
+        // Spill mid-stream (16 of 48 events committed, 8 pending in
+        // memory), keep feeding: the next batch rehydrates and the run
+        // must end byte-identical to the unspilled one.
+        let mut pump = DetectPump::new(&cfg, 7);
+        for e in events.iter().take(24).cloned() {
+            pump.push_event(e);
+        }
+        assert!(pump.spill(), "state must move to disk");
+        assert!(pump.spilled.is_some());
+        assert!(pump.session.is_none(), "live session freed");
+        for e in events.iter().skip(24).cloned() {
+            pump.push_event(e);
+        }
+        pump.run_batch(true);
+        assert!(pump.spilled.is_none(), "rehydrated transparently");
+        assert_eq!(report_hash(&pump.committed), report_hash(&clean.committed));
+        assert_eq!(pump.events_committed, clean.events_committed);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn whale_session_spills_and_matches_unpressured_run() {
+        use pmdebugger::GovernorConfig;
+        let (_, clean) = run(&test_config(), sample_bytes());
+        let dir = journal_tmp("whale");
+        let mut cfg = test_config();
+        cfg.spill_dir = Some(dir.clone());
+        // A budget far under one session's baseline: the whale crosses it
+        // immediately, so the host must spill and still answer exactly
+        // like the unpressured run.
+        let gov = MemGovernor::new(GovernorConfig::with_global_budget(4096));
+        let mut ctx = anon_ctx(1);
+        ctx.governor = gov.clone();
+        let mut io = Loopback {
+            input: std::io::Cursor::new(sample_bytes()),
+            out: Vec::new(),
+        };
+        let end = handle_conn(&mut io, &cfg, &ctx, &|| "{}".to_owned());
+        let resp = PushResponse::from_json(&String::from_utf8(io.out).unwrap()).unwrap();
+        assert_eq!(end, SessionEnd::Ok);
+        assert_eq!(resp.status, SessionStatus::Ok);
+        assert_eq!(resp.report_hash, clean.report_hash);
+        assert_eq!(resp.events_committed, clean.events_committed);
+        let counters = gov.counters();
+        assert!(counters.spills >= 1, "whale must spill: {counters:?}");
+        assert!(counters.rehydrations >= 1, "and rehydrate: {counters:?}");
+        assert_eq!(gov.tracked_bytes(), 0, "grant fully released at teardown");
+        assert_eq!(gov.session_count(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -903,6 +1139,8 @@ mod tests {
             buffered: Arc::new(AtomicU64::new(0)),
             registry,
             journal: Some(journal),
+            governor: MemGovernor::unlimited(),
+            session_cost: Arc::new(AtomicU64::new(0)),
         }
     }
 

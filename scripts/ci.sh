@@ -3,14 +3,14 @@
 #
 #   lint -> fmt -> unit -> integration -> docs -> bench-smoke -> ingest-bench
 #     -> obs-smoke -> ingest-torture -> supervisor-chaos -> serve-chaos
-#     -> concurrent-chaos -> journal-chaos
+#     -> concurrent-chaos -> journal-chaos -> mem-chaos
 #
 # Every run writes target/ci_timings.json (override: PM_CI_TIMINGS_JSON), a
 # machine-readable ledger of {stage, seconds, status} rows plus an overall
 # verdict — on early exit the in-flight stage is recorded as "fail" and its
 # name printed, so a red pipeline names its culprit without log spelunking.
-# The five wall-clock-budgeted sweeps (ingest-torture, supervisor-chaos,
-# serve-chaos, concurrent-chaos, journal-chaos) share one knob:
+# The six wall-clock-budgeted sweeps (ingest-torture, supervisor-chaos,
+# serve-chaos, concurrent-chaos, journal-chaos, mem-chaos) share one knob:
 # PM_CI_BUDGET_SECS (default 120) — turn it down for a quick local pass,
 # up for a soak run.
 #
@@ -71,6 +71,15 @@
 #             and replay the clients, gated on exit code 0 and
 #             "ok":true with explicitly zero lost and zero duplicated
 #             verdicts (exactly-once emission across crashes)
+# mem-chaos   memory-pressure sweep (`pmdbg chaos --mem-pressure`): 100
+#             seeded plans starve a governed server — whale sessions over
+#             per-session budgets far below their footprint, herds of
+#             small sessions under generous budgets, spill-storm thrash,
+#             failing-allocator vetoes, global budgets below the
+#             admission estimate — gated on exit code 0 and "ok":true
+#             with explicitly zero aborts and zero verdict divergence
+#             against unpressured batch runs, plus exact
+#             paused/spilled/rejected accounting
 #
 # Select a subset of stages by name: `scripts/ci.sh lint fmt unit`.
 set -euo pipefail
@@ -78,7 +87,7 @@ cd "$(dirname "$0")/.."
 
 STAGES=("$@")
 if [ ${#STAGES[@]} -eq 0 ]; then
-  STAGES=(lint fmt unit integration docs bench-smoke ingest-bench obs-smoke ingest-torture supervisor-chaos serve-chaos concurrent-chaos journal-chaos)
+  STAGES=(lint fmt unit integration docs bench-smoke ingest-bench obs-smoke ingest-torture supervisor-chaos serve-chaos concurrent-chaos journal-chaos mem-chaos)
 fi
 
 # Shared wall-clock budget for the chaos/torture sweeps, in seconds.
@@ -347,6 +356,40 @@ journal_chaos_stage() {
   echo "journal-chaos: ok"
 }
 
+mem_chaos_stage() {
+  # Memory-pressure sweep: 100 seeded plans inject a memory governor into
+  # a fresh in-process server per plan and starve it five ways (whale
+  # sessions, small-session herds, spill storms, failing allocators,
+  # under-estimate global budgets). The sweep's own oracles enforce the
+  # governance contract — tracked bytes drain to zero, every spill is
+  # matched by a rehydration, rejections equal client-observed sheds;
+  # here we gate on the machine-readable report plus the abort,
+  # divergence and completion counts explicitly.
+  local report
+  report=$(cargo run -q --offline -p pm-cli -- \
+    chaos --mem-pressure --plans 100 --budget-ms "${BUDGET_MS}" --json)
+  if ! grep -q '"ok":true' <<<"${report}"; then
+    echo "mem-chaos: sweep reported violations:" >&2
+    echo "${report}" >&2
+    exit 1
+  fi
+  if grep -Eq '"aborts":[1-9]' <<<"${report}"; then
+    echo "mem-chaos: sweep reported server aborts" >&2
+    exit 1
+  fi
+  if ! grep -q '"verdict_divergence":0' <<<"${report}"; then
+    echo "mem-chaos: pressured verdicts diverged from batch runs:" >&2
+    echo "${report}" >&2
+    exit 1
+  fi
+  if ! grep -q '"plans_run":100' <<<"${report}"; then
+    echo "mem-chaos: sweep did not complete all 100 plans in budget:" >&2
+    echo "${report}" >&2
+    exit 1
+  fi
+  echo "mem-chaos: ok"
+}
+
 obs_smoke_stage() {
   # Metrics-overhead gate: smoke-sized run, fail when metrics-on costs
   # more than PM_OBS_MAX_OVERHEAD_PCT (default 5% — the smoke inputs are
@@ -397,6 +440,9 @@ for stage in "${STAGES[@]}"; do
       ;;
     journal-chaos)
       run_stage journal-chaos journal_chaos_stage
+      ;;
+    mem-chaos)
+      run_stage mem-chaos mem_chaos_stage
       ;;
     *)
       echo "unknown stage: ${stage}" >&2
